@@ -1,0 +1,117 @@
+// E5 — The expansion study: a comprehensive vocabulary over five schemata.
+// §3.4: "They gave us four additional large schemata: SC, SD, SE, and SF,
+// and requested a comprehensive vocabulary for SA and these four ... for
+// any non-empty subset of {SA, SC, SD, SE, SF}, the customer wanted to know
+// the terms those schemata (and no others) held in common." Lesson #4:
+// "given N schemata there are 2^N−1 such sets partitioning their N-way
+// match."
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "nway/vocabulary_builder.h"
+#include "synth/generator.h"
+
+namespace {
+
+using namespace harmony;
+
+struct Study {
+  synth::NWayResult gen;
+  std::vector<const schema::Schema*> schemas;
+  std::vector<nway::PairwiseMatches> matches;
+};
+
+const Study& GetStudy() {
+  static const Study kStudy = [] {
+    Study s;
+    synth::NWaySpec spec;
+    spec.schema_count = 5;
+    spec.universe_concepts = 40;
+    spec.concepts_per_schema = 16;
+    spec.names = {"SA", "SC", "SD", "SE", "SF"};
+    s.gen = synth::GenerateNWay(spec);
+    for (const auto& schema : s.gen.schemas) s.schemas.push_back(&schema);
+    s.matches = nway::MatchAllPairs(s.schemas, /*threshold=*/0.45);
+    return s;
+  }();
+  return kStudy;
+}
+
+// Fraction of multi-member terms whose members all share one semantic key —
+// the vocabulary's internal consistency against ground truth.
+double TermPurity(const Study& s, const nway::ComprehensiveVocabulary& vocab) {
+  size_t multi = 0, pure = 0;
+  for (const auto& term : vocab.terms()) {
+    if (term.members.size() < 2) continue;
+    ++multi;
+    std::map<std::string, size_t> keys;
+    for (const auto& ref : term.members) {
+      const auto& semantics = s.gen.semantics[ref.schema_index];
+      auto it = semantics.find(s.schemas[ref.schema_index]->Path(ref.element));
+      if (it != semantics.end()) keys[it->second]++;
+    }
+    size_t best = 0;
+    for (const auto& [key, n] : keys) {
+      (void)key;
+      best = std::max(best, n);
+    }
+    if (best == term.members.size()) ++pure;
+  }
+  return multi == 0 ? 0.0 : static_cast<double>(pure) / static_cast<double>(multi);
+}
+
+void PrintReport() {
+  const Study& s = GetStudy();
+  bench::PrintBanner("E5", "comprehensive vocabulary over {SA,SC,SD,SE,SF}",
+                     "2^5-1 = 31 regions partition the 5-way match");
+
+  nway::ComprehensiveVocabulary vocab(s.schemas, s.matches);
+  auto hist = vocab.RegionHistogram();
+
+  size_t total_elements = 0;
+  for (const auto* schema : s.schemas) total_elements += schema->element_count();
+  std::printf("schemata: 5, total elements: %zu, vocabulary terms: %zu\n",
+              total_elements, vocab.terms().size());
+  std::printf("populated regions: %zu of 31 possible\n", hist.size());
+  std::printf("terms shared by all five schemata: %zu\n", vocab.FullOverlapCount());
+  std::printf("term purity vs ground truth (multi-member terms): %.3f\n\n",
+              TermPurity(s, vocab));
+
+  std::printf("%-28s %8s\n", "region (top 12 by terms)", "terms");
+  for (size_t i = 0; i < std::min<size_t>(12, hist.size()); ++i) {
+    std::printf("%-28s %8zu\n", vocab.RegionName(hist[i].first).c_str(),
+                hist[i].second);
+  }
+  std::printf("\n");
+}
+
+void BM_PairwiseMatching(benchmark::State& state) {
+  const Study& s = GetStudy();
+  for (auto _ : state) {
+    auto matches = nway::MatchAllPairs(s.schemas, 0.45);
+    benchmark::DoNotOptimize(matches.size());
+  }
+}
+BENCHMARK(BM_PairwiseMatching)->Unit(benchmark::kSecond);
+
+void BM_VocabularyConstruction(benchmark::State& state) {
+  const Study& s = GetStudy();
+  for (auto _ : state) {
+    nway::ComprehensiveVocabulary vocab(s.schemas, s.matches);
+    benchmark::DoNotOptimize(vocab.terms().size());
+  }
+}
+BENCHMARK(BM_VocabularyConstruction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E7 — Scaling the match to industrial schema sizes. §3.3: "we had recently
+// scaled Harmony to perform matches of this size" — the paper's central
+// quantitative claim is that a ~10^6-pair match is interactive-scale
+// (seconds). This bench measures match time as schema size grows and
+// verifies the expected quadratic pair growth with roughly constant
+// per-pair cost.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "core/match_engine.h"
+#include "synth/generator.h"
+
+namespace {
+
+using namespace harmony;
+
+// Schemata sized by concept count; each concept contributes ~13 elements.
+const synth::GeneratedPair& PairOfSize(size_t concepts) {
+  static std::map<size_t, std::unique_ptr<synth::GeneratedPair>> cache;
+  auto it = cache.find(concepts);
+  if (it == cache.end()) {
+    synth::PairSpec spec;
+    spec.seed = 1000 + concepts;
+    spec.source_concepts = concepts;
+    spec.target_concepts = concepts;
+    spec.shared_concepts = concepts / 3;
+    spec.disjoint_base_pools = false;  // Sizes beyond the disjoint-pool cap.
+    it = cache.emplace(concepts, std::make_unique<synth::GeneratedPair>(
+                                     synth::GeneratePair(spec)))
+             .first;
+  }
+  return *it->second;
+}
+
+void PrintReport() {
+  std::printf("================================================================\n");
+  std::printf("E7: match cost vs schema size\n");
+  std::printf("paper: 1378x784 (~10^6 pairs) runs in seconds; quadratic growth\n");
+  std::printf("================================================================\n");
+  std::printf("(timings below, via google-benchmark: BM_MatchBySize/concepts)\n\n");
+}
+
+void BM_MatchBySize(benchmark::State& state) {
+  const auto& pair = PairOfSize(static_cast<size_t>(state.range(0)));
+  core::MatchEngine engine(pair.source, pair.target);
+  size_t pairs = pair.source.element_count() * pair.target.element_count();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.ComputeMatrix().MaxScore());
+  }
+  state.counters["elements_per_side"] =
+      static_cast<double>(pair.source.element_count());
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["pairs_per_s"] =
+      benchmark::Counter(static_cast<double>(pairs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MatchBySize)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(150)
+    ->Unit(benchmark::kMillisecond);
+
+// Preprocessing should scale linearly in total elements.
+void BM_PreprocessBySize(benchmark::State& state) {
+  const auto& pair = PairOfSize(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::MatchEngine engine(pair.source, pair.target);
+    benchmark::DoNotOptimize(&engine);
+  }
+  state.counters["elements_total"] = static_cast<double>(
+      pair.source.element_count() + pair.target.element_count());
+}
+BENCHMARK(BM_PreprocessBySize)->Arg(16)->Arg(64)->Arg(150)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

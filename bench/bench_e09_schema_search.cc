@@ -1,0 +1,125 @@
+// E9 — Schema search over a registry. §2: "A powerful way to search the MDR
+// would be to simply use one's target schema as the 'query term' ... the
+// system would rank the available schemata." Expected shape: same-family
+// schemata dominate the top ranks (high MRR / precision@k) and search is
+// interactive-speed.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "search/schema_search.h"
+#include "synth/generator.h"
+
+namespace {
+
+using namespace harmony;
+
+struct Study {
+  std::vector<synth::RepositorySchema> population;
+  std::unique_ptr<search::SchemaSearchIndex> index;
+};
+
+const Study& GetStudy() {
+  static const Study kStudy = [] {
+    Study s;
+    synth::RepositorySpec spec;
+    spec.families = 10;
+    spec.schemas_per_family = 10;
+    spec.concepts_per_schema = 8;
+    spec.family_pool_concepts = 12;
+    spec.seed = 77;
+    s.population = synth::GenerateRepository(spec);
+    s.index = std::make_unique<search::SchemaSearchIndex>();
+    for (const auto& rs : s.population) s.index->Add(rs.schema);
+    s.index->Finalize();
+    return s;
+  }();
+  return kStudy;
+}
+
+void PrintReport() {
+  const Study& s = GetStudy();
+  std::printf("================================================================\n");
+  std::printf("E9: schema-as-query search over a 100-schema registry\n");
+  std::printf("paper: rank the registry using the target schema as query term\n");
+  std::printf("================================================================\n");
+
+  // Leave-one-out: query with each schema, score how its family ranks.
+  double mrr = 0.0;
+  double p_at_5 = 0.0;
+  size_t queries = 0;
+  for (size_t q = 0; q < s.population.size(); ++q) {
+    auto hits = s.index->Search(s.population[q].schema, 10);
+    size_t family = s.population[q].family;
+    double rank_recip = 0.0;
+    size_t family_in_top5 = 0;
+    size_t rank = 0;
+    for (const auto& hit : hits) {
+      if (hit.schema_index == q) continue;  // Skip self-hit.
+      ++rank;
+      bool same_family = s.population[hit.schema_index].family == family;
+      if (same_family && rank_recip == 0.0) {
+        rank_recip = 1.0 / static_cast<double>(rank);
+      }
+      if (same_family && rank <= 5) ++family_in_top5;
+    }
+    mrr += rank_recip;
+    p_at_5 += static_cast<double>(family_in_top5) / 5.0;
+    ++queries;
+  }
+  std::printf("registry size: %zu schemata (10 families)\n", s.population.size());
+  std::printf("mean reciprocal rank of first same-family hit: %.3f "
+              "(expected near 1.0)\n",
+              mrr / queries);
+  std::printf("precision@5 (same family): %.3f (expected > 0.8)\n\n",
+              p_at_5 / queries);
+}
+
+void BM_SchemaAsQuery(benchmark::State& state) {
+  const Study& s = GetStudy();
+  for (auto _ : state) {
+    auto hits = s.index->Search(s.population[3].schema, 10);
+    benchmark::DoNotOptimize(hits.size());
+  }
+}
+BENCHMARK(BM_SchemaAsQuery)->Unit(benchmark::kMillisecond);
+
+void BM_KeywordQuery(benchmark::State& state) {
+  const Study& s = GetStudy();
+  for (auto _ : state) {
+    auto hits = s.index->SearchKeywords("blood test result", 10);
+    benchmark::DoNotOptimize(hits.size());
+  }
+}
+BENCHMARK(BM_KeywordQuery)->Unit(benchmark::kMillisecond);
+
+void BM_FragmentQuery(benchmark::State& state) {
+  const Study& s = GetStudy();
+  for (auto _ : state) {
+    auto hits = s.index->SearchFragments("blood test result", 10);
+    benchmark::DoNotOptimize(hits.size());
+  }
+}
+BENCHMARK(BM_FragmentQuery)->Unit(benchmark::kMillisecond);
+
+void BM_IndexConstruction(benchmark::State& state) {
+  const Study& s = GetStudy();
+  for (auto _ : state) {
+    search::SchemaSearchIndex index;
+    for (const auto& rs : s.population) index.Add(rs.schema);
+    index.Finalize();
+    benchmark::DoNotOptimize(index.size());
+  }
+}
+BENCHMARK(BM_IndexConstruction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// E11 — Schema summarization quality (Lesson #1 / §5 research direction):
+// "research is needed both in exploiting such summaries, and in creating
+// them". The automatic summarizer must recover the concepts a human would
+// assign: we measure agreement with the generator's reference labels as the
+// concept budget varies, on the paper-scale SA.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "summarize/auto_summarizer.h"
+#include "synth/generator.h"
+
+namespace {
+
+using namespace harmony;
+
+const synth::GeneratedPair& PaperPair() {
+  static const synth::GeneratedPair kPair = [] {
+    synth::PairSpec spec;
+    return synth::GeneratePair(spec);
+  }();
+  return kPair;
+}
+
+void PrintReport() {
+  std::printf("================================================================\n");
+  std::printf("E11: automatic schema summarization vs manual reference\n");
+  std::printf("paper: engineers manually labeled 140 concepts in SA, 51 in SB\n");
+  std::printf("================================================================\n");
+  const auto& pair = PaperPair();
+
+  std::printf("%-8s %-10s %10s %10s %10s\n", "schema", "budget", "concepts",
+              "coverage", "agreement");
+  struct Row {
+    const schema::Schema* schema;
+    const std::map<std::string, std::string>* labels;
+    size_t budget;
+  };
+  std::vector<Row> rows = {
+      {&pair.source, &pair.truth.source_concept_labels, 35},
+      {&pair.source, &pair.truth.source_concept_labels, 70},
+      {&pair.source, &pair.truth.source_concept_labels, 140},
+      {&pair.source, &pair.truth.source_concept_labels, 200},
+      {&pair.target, &pair.truth.target_concept_labels, 25},
+      {&pair.target, &pair.truth.target_concept_labels, 51},
+  };
+  for (const Row& row : rows) {
+    summarize::AutoSummarizeOptions options;
+    options.max_concepts = row.budget;
+    auto summary = summarize::AutoSummarize(*row.schema, options);
+    std::printf("%-8s %-10zu %10zu %10.3f %10.3f\n", row.schema->name().c_str(),
+                row.budget, summary.concept_count(), summary.Coverage(),
+                summarize::SummaryAgreement(summary, *row.labels));
+  }
+  std::printf("(expected: agreement near 1.0 once the budget reaches the true\n"
+              " concept count — 140 for SA, 51 for SB — and coverage near 1.0)\n\n");
+}
+
+void BM_AutoSummarize(benchmark::State& state) {
+  const auto& pair = PaperPair();
+  summarize::AutoSummarizeOptions options;
+  options.max_concepts = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto summary = summarize::AutoSummarize(pair.source, options);
+    benchmark::DoNotOptimize(summary.concept_count());
+  }
+}
+BENCHMARK(BM_AutoSummarize)->Arg(35)->Arg(140)->Unit(benchmark::kMillisecond);
+
+void BM_SummaryMembers(benchmark::State& state) {
+  const auto& pair = PaperPair();
+  summarize::AutoSummarizeOptions options;
+  options.max_concepts = 140;
+  auto summary = summarize::AutoSummarize(pair.source, options);
+  for (auto _ : state) {
+    size_t total = 0;
+    for (const auto& c : summary.concepts()) total += summary.Members(c.id).size();
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_SummaryMembers)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

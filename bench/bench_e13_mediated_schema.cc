@@ -1,0 +1,103 @@
+// E13 — Exchange-schema distillation (paper §2 "Generating an exchange
+// schema"): agencies "throw their data models into a giant beaker and ...
+// distill out a minimal mediated schema". Expected shape: the distilled
+// schema covers a substantial fraction of every member schema, shrinks as
+// min_sources rises, and distills in interactive time once pairwise matches
+// exist.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "nway/mediated_schema.h"
+#include "nway/vocabulary_builder.h"
+#include "synth/generator.h"
+
+namespace {
+
+using namespace harmony;
+
+struct Study {
+  synth::NWayResult gen;
+  std::vector<const schema::Schema*> schemas;
+  std::unique_ptr<nway::ComprehensiveVocabulary> vocabulary;
+};
+
+const Study& GetStudy() {
+  static const Study kStudy = [] {
+    Study s;
+    synth::NWaySpec spec;
+    spec.seed = 2009;
+    spec.schema_count = 6;
+    spec.universe_concepts = 20;
+    spec.concepts_per_schema = 10;
+    s.gen = synth::GenerateNWay(spec);
+    for (const auto& schema : s.gen.schemas) s.schemas.push_back(&schema);
+    s.vocabulary = std::make_unique<nway::ComprehensiveVocabulary>(
+        s.schemas, nway::MatchAllPairs(s.schemas, 0.45));
+    return s;
+  }();
+  return kStudy;
+}
+
+void PrintReport() {
+  const Study& s = GetStudy();
+  std::printf("================================================================\n");
+  std::printf("E13: mediated/exchange schema distillation (the 'giant beaker')\n");
+  std::printf("paper: distill a minimal mediated schema from the partners' models\n");
+  std::printf("================================================================\n");
+  std::printf("partners: %zu schemata, vocabulary: %zu terms\n\n",
+              s.schemas.size(), s.vocabulary->terms().size());
+
+  std::printf("%-12s %10s %10s %14s %14s\n", "min_sources", "concepts", "fields",
+              "min coverage", "mean coverage");
+  for (size_t min_sources : {2, 3, 4, 6}) {
+    nway::MediatedSchemaOptions options;
+    options.min_sources = min_sources;
+    auto result = nway::BuildMediatedSchema(*s.vocabulary, options);
+    double min_cov = 1.0, sum_cov = 0.0;
+    for (size_t i = 0; i < s.schemas.size(); ++i) {
+      double c = nway::MediatedCoverage(*s.vocabulary, result, i);
+      min_cov = std::min(min_cov, c);
+      sum_cov += c;
+    }
+    std::printf("%-12zu %10zu %10zu %13.0f%% %13.0f%%\n", min_sources,
+                result.containers_emitted, result.leaves_emitted,
+                100.0 * min_cov, 100.0 * sum_cov / s.schemas.size());
+  }
+  std::printf("(expected: monotone shrink as min_sources rises; coverage high\n"
+              " at min_sources=2, small common core at min_sources=N)\n\n");
+}
+
+void BM_DistillMediatedSchema(benchmark::State& state) {
+  const Study& s = GetStudy();
+  nway::MediatedSchemaOptions options;
+  options.min_sources = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = nway::BuildMediatedSchema(*s.vocabulary, options);
+    benchmark::DoNotOptimize(result.leaves_emitted);
+  }
+}
+BENCHMARK(BM_DistillMediatedSchema)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_Coverage(benchmark::State& state) {
+  const Study& s = GetStudy();
+  auto result = nway::BuildMediatedSchema(*s.vocabulary);
+  for (auto _ : state) {
+    double total = 0.0;
+    for (size_t i = 0; i < s.schemas.size(); ++i) {
+      total += nway::MediatedCoverage(*s.vocabulary, result, i);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_Coverage)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// E14 — Match reuse from the repository (paper §5): "other developers
+// should be able to benefit from previous matches." Expected shape:
+// composing stored A↔C and C↔B artifacts proposes A↔B candidates whose
+// precision approaches a direct engine run at a tiny fraction of the cost.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/match_engine.h"
+#include "core/selection.h"
+#include "repository/match_reuse.h"
+#include "repository/metadata_repository.h"
+#include "synth/generator.h"
+
+namespace {
+
+using namespace harmony;
+
+struct Study {
+  repository::MetadataRepository repo;
+  repository::SchemaId a = 0, b = 0, c = 0;
+  std::unique_ptr<bench::TruthIndex> ab_truth;
+
+  // Quality of the composed candidates is judged against the engine's own
+  // direct high-confidence links.
+  std::vector<core::Correspondence> direct_links;
+};
+
+const Study& GetStudy() {
+  static Study& kStudy = *[] {
+    auto* s = new Study();
+    // Three schemata over one concept universe: A, B, C all overlap.
+    synth::NWaySpec spec;
+    spec.seed = 5150;
+    spec.schema_count = 3;
+    spec.universe_concepts = 16;
+    spec.concepts_per_schema = 12;
+    spec.names = {"A", "B", "C"};
+    auto gen = synth::GenerateNWay(spec);
+
+    repository::Provenance prov;
+    prov.author = "eng";
+    prov.tool = "harmony/1.0";
+    prov.created_at = "2009-01-06";
+    prov.context = "planning";
+    prov.threshold = 0.45;
+
+    s->a = *s->repo.RegisterSchema(std::move(gen.schemas[0]));
+    s->b = *s->repo.RegisterSchema(std::move(gen.schemas[1]));
+    s->c = *s->repo.RegisterSchema(std::move(gen.schemas[2]));
+
+    auto store = [&](repository::SchemaId x, repository::SchemaId y) {
+      core::MatchEngine engine(s->repo.schema(x), s->repo.schema(y));
+      auto links = core::SelectGreedyOneToOne(engine.ComputeMatrix(), 0.45);
+      (void)*s->repo.StoreMatch(x, y, std::move(links), prov);
+    };
+    store(s->a, s->c);
+    store(s->c, s->b);
+
+    core::MatchEngine direct(s->repo.schema(s->a), s->repo.schema(s->b));
+    s->direct_links = core::SelectGreedyOneToOne(direct.ComputeMatrix(), 0.45);
+    return s;
+  }();
+  return kStudy;
+}
+
+void PrintReport() {
+  const Study& s = GetStudy();
+  std::printf("================================================================\n");
+  std::printf("E14: reusing prior matches from the metadata repository\n");
+  std::printf("paper: other developers should benefit from previous matches\n");
+  std::printf("================================================================\n");
+
+  auto composed = repository::ComposePriorMatches(s.repo, s.a, s.b);
+  // Agreement with the direct engine run.
+  std::set<std::pair<schema::ElementId, schema::ElementId>> direct_set;
+  for (const auto& link : s.direct_links) {
+    direct_set.insert({link.source, link.target});
+  }
+  size_t agree = 0;
+  for (const auto& link : composed) {
+    if (direct_set.count({link.source, link.target})) ++agree;
+  }
+  std::printf("direct engine links (A-B @0.45):        %zu\n",
+              s.direct_links.size());
+  std::printf("composed candidates via C:              %zu\n", composed.size());
+  std::printf("composed agreeing with direct:          %zu (%.0f%% of composed)\n",
+              agree, composed.empty() ? 0.0 : 100.0 * agree / composed.size());
+  std::printf("direct links recovered by composition:  %.0f%%\n",
+              s.direct_links.empty()
+                  ? 0.0
+                  : 100.0 * agree / s.direct_links.size());
+  std::printf("(timings below: composition vs a fresh engine run)\n\n");
+}
+
+void BM_ComposePriorMatches(benchmark::State& state) {
+  const Study& s = GetStudy();
+  for (auto _ : state) {
+    auto composed = repository::ComposePriorMatches(s.repo, s.a, s.b);
+    benchmark::DoNotOptimize(composed.size());
+  }
+}
+BENCHMARK(BM_ComposePriorMatches)->Unit(benchmark::kMillisecond);
+
+void BM_DirectEngineRun(benchmark::State& state) {
+  const Study& s = GetStudy();
+  for (auto _ : state) {
+    core::MatchEngine engine(s.repo.schema(s.a), s.repo.schema(s.b));
+    auto links = core::SelectGreedyOneToOne(engine.ComputeMatrix(), 0.45);
+    benchmark::DoNotOptimize(links.size());
+  }
+}
+BENCHMARK(BM_DirectEngineRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.h"
+
+namespace harmony::bench {
+
+TruthIndex::TruthIndex(
+    const schema::Schema& source, const schema::Schema& target,
+    const std::vector<std::pair<std::string, std::string>>& matches) {
+  for (const auto& [sp, tp] : matches) {
+    auto s = source.FindByPath(sp);
+    auto t = target.FindByPath(tp);
+    if (s.ok() && t.ok()) pairs_.insert({*s, *t});
+  }
+}
+
+Prf Evaluate(const std::vector<core::Correspondence>& links,
+             const TruthIndex& truth) {
+  Prf out;
+  out.selected = links.size();
+  for (const auto& link : links) {
+    if (truth.Contains(link)) ++out.true_positives;
+  }
+  if (out.selected > 0) {
+    out.precision = static_cast<double>(out.true_positives) /
+                    static_cast<double>(out.selected);
+  }
+  if (truth.size() > 0) {
+    out.recall =
+        static_cast<double>(out.true_positives) / static_cast<double>(truth.size());
+  }
+  if (out.precision + out.recall > 0.0) {
+    out.f1 = 2.0 * out.precision * out.recall / (out.precision + out.recall);
+  }
+  return out;
+}
+
+OperatingPoint BestF1Sweep(const core::MatchMatrix& matrix, const TruthIndex& truth,
+                           double lo, double hi, double step) {
+  OperatingPoint best;
+  for (double thr = lo; thr <= hi + 1e-12; thr += step) {
+    Prf prf = Evaluate(matrix.PairsAbove(thr), truth);
+    if (prf.f1 > best.prf.f1) {
+      best.threshold = thr;
+      best.prf = prf;
+    }
+  }
+  return best;
+}
+
+double RankingAuc(const core::MatchMatrix& matrix, const TruthIndex& truth) {
+  std::vector<double> pos, neg;
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    for (size_t c = 0; c < matrix.cols(); ++c) {
+      core::Correspondence link{matrix.SourceIdAt(r), matrix.TargetIdAt(c),
+                                matrix.GetByIndex(r, c)};
+      (truth.Contains(link) ? pos : neg).push_back(link.score);
+    }
+  }
+  if (pos.empty() || neg.empty()) return 0.0;
+  size_t wins = 0, ties = 0, total = 0;
+  // Stride-sample the negative side to bound the cost.
+  size_t stride = std::max<size_t>(1, neg.size() / 2000);
+  for (double p : pos) {
+    for (size_t j = 0; j < neg.size(); j += stride) {
+      ++total;
+      if (p > neg[j]) ++wins;
+      else if (p == neg[j]) ++ties;
+    }
+  }
+  return (static_cast<double>(wins) + 0.5 * static_cast<double>(ties)) /
+         static_cast<double>(total);
+}
+
+std::function<bool(const core::Correspondence&)> NoisyOracle(
+    const TruthIndex* truth, double fp_rate, double fn_rate, uint64_t seed) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [truth, fp_rate, fn_rate, rng](const core::Correspondence& link) {
+    if (truth->Contains(link)) return !rng->Bernoulli(fn_rate);
+    return rng->Bernoulli(fp_rate);
+  };
+}
+
+void PrintBanner(const char* experiment_id, const char* title,
+                 const char* paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("%s: %s\n", experiment_id, title);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace harmony::bench

@@ -1,0 +1,73 @@
+// Shared helpers for the experiment benches: ground-truth indexing,
+// precision/recall evaluation, threshold sweeps, oracle reviewers, and
+// uniform report formatting. Every bench prints its experiment report first
+// (the rows/series the paper — or our DESIGN.md experiment table — calls
+// for), then runs its google-benchmark timings.
+
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/match_matrix.h"
+#include "schema/schema.h"
+#include "synth/generator.h"
+
+namespace harmony::bench {
+
+/// Path-level ground-truth set for a generated pair.
+class TruthIndex {
+ public:
+  TruthIndex(const schema::Schema& source, const schema::Schema& target,
+             const std::vector<std::pair<std::string, std::string>>& matches);
+
+  bool Contains(const core::Correspondence& link) const {
+    return pairs_.count({link.source, link.target}) > 0;
+  }
+
+  size_t size() const { return pairs_.size(); }
+
+ private:
+  std::set<std::pair<schema::ElementId, schema::ElementId>> pairs_;
+};
+
+/// Precision/recall/F1 of a selected link set against truth.
+struct Prf {
+  size_t selected = 0;
+  size_t true_positives = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+Prf Evaluate(const std::vector<core::Correspondence>& links, const TruthIndex& truth);
+
+/// Sweeps thresholds over a score matrix (threshold selection) and returns
+/// the best-F1 operating point.
+struct OperatingPoint {
+  double threshold = 0.0;
+  Prf prf;
+};
+
+OperatingPoint BestF1Sweep(const core::MatchMatrix& matrix, const TruthIndex& truth,
+                           double lo, double hi, double step);
+
+/// Ranking quality (threshold-free): probability that a random true pair
+/// outscores a random false pair, sampled for tractability.
+double RankingAuc(const core::MatchMatrix& matrix, const TruthIndex& truth);
+
+/// An oracle reviewer derived from truth with configurable error rates:
+/// accepts true candidates with probability 1−fn_rate and false candidates
+/// with probability fp_rate — the scripted stand-in for the paper's human
+/// integration engineers.
+std::function<bool(const core::Correspondence&)> NoisyOracle(
+    const TruthIndex* truth, double fp_rate, double fn_rate, uint64_t seed);
+
+/// Prints the standard experiment banner.
+void PrintBanner(const char* experiment_id, const char* title,
+                 const char* paper_claim);
+
+}  // namespace harmony::bench

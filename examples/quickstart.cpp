@@ -1,0 +1,114 @@
+// Quickstart: import a relational schema from DDL and an XML Schema from
+// XSD, run the Harmony match engine, and print the scored correspondences
+// with their per-voter explanations.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "core/match_engine.h"
+#include "core/selection.h"
+#include "sql/ddl_parser.h"
+#include "xml/xsd_importer.h"
+
+namespace {
+
+constexpr const char* kDdl = R"SQL(
+-- Sys(SA): the system of record, version 3.
+CREATE TABLE PERSON (
+  PERSON_ID NUMBER(10) PRIMARY KEY,  -- Unique identifier of the person
+  LAST_NAME VARCHAR2(64) NOT NULL,   -- The surname of the person
+  FIRST_NAME VARCHAR2(64),           -- The given name of the person
+  BIRTH_DT DATE,                     -- The date on which the person was born
+  BLOOD_TYP_CD VARCHAR2(4),          -- Blood group of the person
+  RANK_CD VARCHAR2(8)                -- Military rank of the person
+);
+
+CREATE TABLE VEH (
+  VEH_ID NUMBER(10) PRIMARY KEY,     -- Unique identifier of the vehicle
+  VEH_IDENT_NBR VARCHAR2(17),        -- Identification number of the vehicle
+  MAKE_NM VARCHAR2(32),              -- Manufacturer of the vehicle
+  FUEL_TYP_CD VARCHAR2(8)            -- Kind of fuel the vehicle consumes
+);
+)SQL";
+
+constexpr const char* kXsd = R"(<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="Individual">
+    <xs:annotation><xs:documentation>An individual tracked by the legacy system.</xs:documentation></xs:annotation>
+    <xs:sequence>
+      <xs:element name="FamilyName" type="xs:string">
+        <xs:annotation><xs:documentation>Family name of the individual.</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="GivenName" type="xs:string">
+        <xs:annotation><xs:documentation>First name of the individual.</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="BirthDate" type="xs:date">
+        <xs:annotation><xs:documentation>Birth date of the individual.</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="BloodGroup" type="xs:string">
+        <xs:annotation><xs:documentation>The blood type recorded for the individual.</xs:documentation></xs:annotation>
+      </xs:element>
+    </xs:sequence>
+    <xs:attribute name="id" type="xs:int" use="required"/>
+  </xs:complexType>
+  <xs:complexType name="Conveyance">
+    <xs:annotation><xs:documentation>A conveyance used for transport.</xs:documentation></xs:annotation>
+    <xs:sequence>
+      <xs:element name="VehicleIdentificationNumber" type="xs:string">
+        <xs:annotation><xs:documentation>The VIN assigned to the conveyance.</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="Manufacturer" type="xs:string">
+        <xs:annotation><xs:documentation>Name of the maker of the conveyance.</xs:documentation></xs:annotation>
+      </xs:element>
+    </xs:sequence>
+  </xs:complexType>
+</xs:schema>)";
+
+}  // namespace
+
+int main() {
+  using namespace harmony;
+
+  auto sa = sql::ImportDdl(kDdl, "SA");
+  if (!sa.ok()) {
+    std::fprintf(stderr, "DDL import failed: %s\n", sa.status().ToString().c_str());
+    return 1;
+  }
+  auto sb = xml::ImportXsd(kXsd, "SB");
+  if (!sb.ok()) {
+    std::fprintf(stderr, "XSD import failed: %s\n", sb.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Imported %s: %zu elements (relational)\n", sa->name().c_str(),
+              sa->element_count());
+  std::printf("Imported %s: %zu elements (XML Schema)\n\n", sb->name().c_str(),
+              sb->element_count());
+
+  core::MatchEngine engine(*sa, *sb);
+  core::MatchMatrix matrix = engine.ComputeMatrix();
+  auto links = core::SelectGreedyOneToOne(matrix, engine.options().threshold);
+
+  std::printf("%-28s %-40s %7s\n", "SA element", "SB element", "score");
+  std::printf("%.*s\n", 78, "-----------------------------------------------"
+                            "-------------------------------");
+  for (const auto& link : links) {
+    std::printf("%-28s %-40s %7.3f\n", sa->Path(link.source).c_str(),
+                sb->Path(link.target).c_str(), link.score);
+  }
+
+  // Explain the top correspondence: which voters contributed, and with how
+  // much evidence.
+  if (!links.empty()) {
+    const auto& top = links.front();
+    auto why = engine.Explain(top.source, top.target);
+    std::printf("\nWhy does %s match %s?\n", sa->Path(top.source).c_str(),
+                sb->Path(top.target).c_str());
+    for (size_t i = 0; i < why.voter_names.size(); ++i) {
+      std::printf("  %-14s ratio=%.3f evidence=%.1f\n", why.voter_names[i],
+                  why.scores[i].ratio, why.scores[i].evidence);
+    }
+    std::printf("  merged match score: %.3f\n", why.merged);
+  }
+  return 0;
+}

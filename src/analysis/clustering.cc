@@ -1,0 +1,233 @@
+#include "analysis/clustering.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <string>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace harmony::analysis {
+
+ClusteringResult AgglomerativeCluster(const std::vector<double>& distance_matrix,
+                                      size_t n, size_t num_clusters,
+                                      double max_merge_distance, Linkage linkage) {
+  HARMONY_CHECK_EQ(distance_matrix.size(), n * n);
+  ClusteringResult result;
+  if (n == 0) return result;
+
+  // Active clusters, each a member list; cluster ids grow as merges happen.
+  struct Cluster {
+    size_t id;
+    std::vector<size_t> members;
+  };
+  std::vector<Cluster> active;
+  active.reserve(n);
+  for (size_t i = 0; i < n; ++i) active.push_back({i, {i}});
+  size_t next_id = n;
+
+  auto link_distance = [&](const Cluster& a, const Cluster& b) {
+    double best = (linkage == Linkage::kSingle)
+                      ? std::numeric_limits<double>::infinity()
+                      : 0.0;
+    double sum = 0.0;
+    for (size_t x : a.members) {
+      for (size_t y : b.members) {
+        double d = distance_matrix[x * n + y];
+        switch (linkage) {
+          case Linkage::kSingle:
+            best = std::min(best, d);
+            break;
+          case Linkage::kComplete:
+            best = std::max(best, d);
+            break;
+          case Linkage::kAverage:
+            sum += d;
+            break;
+        }
+      }
+    }
+    if (linkage == Linkage::kAverage) {
+      return sum / static_cast<double>(a.members.size() * b.members.size());
+    }
+    return best;
+  };
+
+  size_t stop_at = std::max<size_t>(1, std::min(num_clusters, n));
+  // The cut point: cluster count at which we record the flat assignment.
+  std::vector<size_t> cut_assignment(n, 0);
+  bool cut_taken = false;
+  auto record_cut = [&]() {
+    for (size_t c = 0; c < active.size(); ++c) {
+      for (size_t m : active[c].members) cut_assignment[m] = c;
+    }
+    result.cluster_count = active.size();
+    cut_taken = true;
+  };
+
+  while (active.size() > 1) {
+    // Find the closest pair of active clusters.
+    size_t best_i = 0, best_j = 1;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < active.size(); ++i) {
+      for (size_t j = i + 1; j < active.size(); ++j) {
+        double d = link_distance(active[i], active[j]);
+        if (d < best_d) {
+          best_d = d;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    // Take the flat cut before this merge if either stop criterion fires.
+    if (!cut_taken && (active.size() <= stop_at || best_d > max_merge_distance)) {
+      record_cut();
+    }
+    result.dendrogram.push_back(
+        {active[best_i].id, active[best_j].id, best_d, next_id});
+    active[best_i].id = next_id++;
+    active[best_i].members.insert(active[best_i].members.end(),
+                                  active[best_j].members.begin(),
+                                  active[best_j].members.end());
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(best_j));
+  }
+  if (!cut_taken) record_cut();
+  result.assignment = std::move(cut_assignment);
+  return result;
+}
+
+double ClusterSeparation(const std::vector<double>& distance_matrix, size_t n,
+                         const std::vector<size_t>& assignment) {
+  HARMONY_CHECK_EQ(assignment.size(), n);
+  double intra_sum = 0.0, inter_sum = 0.0;
+  size_t intra_n = 0, inter_n = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double d = distance_matrix[i * n + j];
+      if (assignment[i] == assignment[j]) {
+        intra_sum += d;
+        ++intra_n;
+      } else {
+        inter_sum += d;
+        ++inter_n;
+      }
+    }
+  }
+  double intra = intra_n ? intra_sum / static_cast<double>(intra_n) : 0.0;
+  double inter = inter_n ? inter_sum / static_cast<double>(inter_n) : 0.0;
+  return intra - inter;
+}
+
+double ClusterPurity(const std::vector<size_t>& assignment,
+                     const std::vector<size_t>& reference_labels) {
+  HARMONY_CHECK_EQ(assignment.size(), reference_labels.size());
+  if (assignment.empty()) return 0.0;
+  std::map<size_t, std::map<size_t, size_t>> counts;  // cluster → label → n
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    counts[assignment[i]][reference_labels[i]]++;
+  }
+  size_t majority_total = 0;
+  for (const auto& [cluster, labels] : counts) {
+    (void)cluster;
+    size_t best = 0;
+    for (const auto& [label, c] : labels) {
+      (void)label;
+      best = std::max(best, c);
+    }
+    majority_total += best;
+  }
+  return static_cast<double>(majority_total) /
+         static_cast<double>(assignment.size());
+}
+
+std::vector<CoiProposal> ProposeCois(const std::vector<double>& distance_matrix,
+                                     size_t n, const std::vector<size_t>& assignment,
+                                     size_t min_size, double max_internal_distance) {
+  HARMONY_CHECK_EQ(assignment.size(), n);
+  std::map<size_t, std::vector<size_t>> clusters;
+  for (size_t i = 0; i < n; ++i) clusters[assignment[i]].push_back(i);
+
+  std::vector<CoiProposal> out;
+  for (const auto& [label, members] : clusters) {
+    (void)label;
+    if (members.size() < min_size) continue;
+    double sum = 0.0;
+    size_t pairs = 0;
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        sum += distance_matrix[members[a] * n + members[b]];
+        ++pairs;
+      }
+    }
+    double mean = pairs ? sum / static_cast<double>(pairs) : 0.0;
+    if (mean <= max_internal_distance) {
+      out.push_back({members, mean});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const CoiProposal& a, const CoiProposal& b) {
+    if (a.mean_internal_distance != b.mean_internal_distance) {
+      return a.mean_internal_distance < b.mean_internal_distance;
+    }
+    return a.members.size() > b.members.size();
+  });
+  return out;
+}
+
+namespace {
+
+// Recursive dendrogram printer. Cluster ids < n are leaves; others index
+// merge steps via `step_of`.
+void PrintNode(size_t id, size_t n, const std::vector<std::string>& names,
+               const std::map<size_t, const MergeStep*>& step_of,
+               const std::string& prefix, bool is_last, std::string* out) {
+  *out += prefix;
+  *out += is_last ? "`-" : "|-";
+  if (id < n) {
+    *out += " " + names[id] + "\n";
+    return;
+  }
+  auto it = step_of.find(id);
+  HARMONY_CHECK(it != step_of.end()) << "dangling cluster id " << id;
+  *out += StringFormat("+ d=%.3f\n", it->second->distance);
+  std::string child_prefix = prefix + (is_last ? "   " : "|  ");
+  PrintNode(it->second->cluster_a, n, names, step_of, child_prefix, false, out);
+  PrintNode(it->second->cluster_b, n, names, step_of, child_prefix, true, out);
+}
+
+}  // namespace
+
+std::string RenderDendrogram(const ClusteringResult& result,
+                             const std::vector<std::string>& names) {
+  size_t n = names.size();
+  if (n == 0) return "";
+  if (result.dendrogram.empty()) {
+    return n == 1 ? names[0] + "\n" : std::string("(no merges)\n");
+  }
+  std::map<size_t, const MergeStep*> step_of;
+  for (const MergeStep& step : result.dendrogram) {
+    step_of[step.merged_id] = &step;
+  }
+  // Roots: merged ids that are never consumed by a later merge, plus any
+  // leaf never merged (possible when the caller truncated the history).
+  std::map<size_t, bool> consumed;
+  for (const MergeStep& step : result.dendrogram) {
+    consumed[step.cluster_a] = true;
+    consumed[step.cluster_b] = true;
+  }
+  std::vector<size_t> roots;
+  for (const MergeStep& step : result.dendrogram) {
+    if (!consumed.count(step.merged_id)) roots.push_back(step.merged_id);
+  }
+  for (size_t leaf = 0; leaf < n; ++leaf) {
+    if (!consumed.count(leaf)) roots.push_back(leaf);
+  }
+  std::string out;
+  for (size_t i = 0; i < roots.size(); ++i) {
+    PrintNode(roots[i], n, names, step_of, "", i + 1 == roots.size(), &out);
+  }
+  return out;
+}
+
+}  // namespace harmony::analysis

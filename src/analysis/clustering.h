@@ -1,0 +1,84 @@
+// Schema clustering ("The ability to identify clusters of related schemata
+// is vital, providing CIOs with a big picture view of enterprise data
+// sources and revealing to integration planners the most promising (i.e.,
+// tightly clustered) candidates for integration"). Hierarchical
+// agglomerative clustering over any inter-schema distance matrix, plus COI
+// (community-of-interest) proposal from the tight clusters.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace harmony::analysis {
+
+/// \brief Linkage criterion for merging clusters.
+enum class Linkage : uint8_t {
+  kSingle,    ///< min pairwise distance
+  kComplete,  ///< max pairwise distance
+  kAverage,   ///< mean pairwise distance (UPGMA)
+};
+
+/// \brief One step of the agglomeration, for dendrogram rendering.
+struct MergeStep {
+  size_t cluster_a = 0;  ///< Cluster ids; leaves are 0..n−1, merges n, n+1, ...
+  size_t cluster_b = 0;
+  double distance = 0.0;
+  size_t merged_id = 0;
+};
+
+/// \brief Result of a clustering run.
+struct ClusteringResult {
+  /// Flat assignment: item index → cluster label (0-based, dense).
+  std::vector<size_t> assignment;
+  size_t cluster_count = 0;
+  /// The full merge history (n−1 steps), usable as a dendrogram.
+  std::vector<MergeStep> dendrogram;
+};
+
+/// \brief Agglomerative clustering of `n` items given their row-major
+/// symmetric `n*n` distance matrix.
+///
+/// Stops when `num_clusters` remain, or earlier if the next merge distance
+/// would exceed `max_merge_distance` (pass n<=1 / infinity to disable either
+/// criterion). The dendrogram always records the full history regardless of
+/// the cut.
+ClusteringResult AgglomerativeCluster(const std::vector<double>& distance_matrix,
+                                      size_t n, size_t num_clusters,
+                                      double max_merge_distance,
+                                      Linkage linkage = Linkage::kAverage);
+
+/// \brief Mean intra-cluster distance minus mean inter-cluster distance —
+/// negative is good. Quick cohesion diagnostic for benches.
+double ClusterSeparation(const std::vector<double>& distance_matrix, size_t n,
+                         const std::vector<size_t>& assignment);
+
+/// \brief Purity of a clustering against reference labels: the fraction of
+/// items whose cluster's majority reference label matches their own.
+double ClusterPurity(const std::vector<size_t>& assignment,
+                     const std::vector<size_t>& reference_labels);
+
+/// \brief A proposed community of interest: a tight cluster of schemata
+/// worth convening around ("a schema repository ... could automatically
+/// propose new COIs by clustering the schemata into related groups").
+struct CoiProposal {
+  std::vector<size_t> members;    ///< Item indices.
+  double mean_internal_distance = 0.0;
+};
+
+/// Proposes COIs: clusters with >= min_size members whose mean internal
+/// distance is <= max_internal_distance, tightest first.
+std::vector<CoiProposal> ProposeCois(const std::vector<double>& distance_matrix,
+                                     size_t n,
+                                     const std::vector<size_t>& assignment,
+                                     size_t min_size = 2,
+                                     double max_internal_distance = 0.6);
+
+/// \brief Renders the merge history as an ASCII dendrogram — "appropriate
+/// means to visualize them" (§5) in a terminal. `names` supplies the leaf
+/// labels (names.size() must equal the clustered item count).
+std::string RenderDendrogram(const ClusteringResult& result,
+                             const std::vector<std::string>& names);
+
+}  // namespace harmony::analysis

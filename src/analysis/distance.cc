@@ -1,0 +1,73 @@
+#include "analysis/distance.h"
+
+#include "analysis/overlap.h"
+#include "common/logging.h"
+#include "core/selection.h"
+#include "text/stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace harmony::analysis {
+
+std::vector<std::string> SchemaTokenBag(const schema::Schema& schema) {
+  std::vector<std::string> bag;
+  text::TokenizerOptions opts;
+  opts.drop_pure_numbers = true;
+  for (schema::ElementId id : schema.AllElementIds()) {
+    const schema::SchemaElement& e = schema.element(id);
+    for (auto& t : text::StemAll(text::TokenizeIdentifier(e.name, opts))) {
+      bag.push_back(std::move(t));
+    }
+    auto doc = text::RemoveStopWords(text::TokenizeText(e.documentation));
+    for (auto& t : text::StemAll(std::move(doc))) {
+      bag.push_back(std::move(t));
+    }
+  }
+  return bag;
+}
+
+TokenProfileIndex::TokenProfileIndex(
+    const std::vector<const schema::Schema*>& schemas) {
+  std::vector<size_t> doc_ids;
+  doc_ids.reserve(schemas.size());
+  for (const schema::Schema* s : schemas) {
+    HARMONY_CHECK(s != nullptr);
+    doc_ids.push_back(corpus_.AddDocument(SchemaTokenBag(*s)));
+  }
+  corpus_.Finalize();
+  vectors_.reserve(doc_ids.size());
+  for (size_t id : doc_ids) vectors_.push_back(corpus_.DocumentVector(id));
+}
+
+double TokenProfileIndex::Similarity(size_t i, size_t j) const {
+  HARMONY_CHECK_LT(i, vectors_.size());
+  HARMONY_CHECK_LT(j, vectors_.size());
+  return text::TfIdfCorpus::Cosine(vectors_[i], vectors_[j]);
+}
+
+std::vector<double> TokenProfileIndex::DistanceMatrix() const {
+  size_t n = vectors_.size();
+  std::vector<double> m(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double d = Distance(i, j);
+      m[i * n + j] = d;
+      m[j * n + i] = d;
+    }
+  }
+  return m;
+}
+
+text::SparseVector TokenProfileIndex::Profile(const schema::Schema& schema) const {
+  return corpus_.Vectorize(SchemaTokenBag(schema));
+}
+
+double MatchOverlapSimilarity(const schema::Schema& a, const schema::Schema& b,
+                              double threshold, const core::MatchOptions& options) {
+  core::MatchEngine engine(a, b, options);
+  auto links = core::SelectGreedyOneToOne(engine.ComputeMatrix(), threshold);
+  OverlapPartition partition = ComputeOverlap(a, b, links);
+  return OverlapSimilarity(partition, a.element_count(), b.element_count());
+}
+
+}  // namespace harmony::analysis

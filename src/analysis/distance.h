@@ -1,0 +1,61 @@
+// Inter-schema distance metrics ("We need new techniques to characterize
+// overlap approximately but quickly"). Two price points:
+//   - TokenProfileSimilarity: a fast bag-of-tokens TF-IDF cosine that never
+//     runs the matcher — suitable for all-pairs distance matrices over a
+//     repository (the clustering input).
+//   - MatchOverlapSimilarity: the exact-but-slow characterization that runs
+//     the Harmony engine and measures the matched fraction.
+
+#pragma once
+
+#include <vector>
+
+#include "core/match_engine.h"
+#include "schema/schema.h"
+#include "text/tfidf.h"
+
+namespace harmony::analysis {
+
+/// \brief Precomputed token profiles for a set of schemata, enabling O(1)
+/// pairwise similarity lookups after an O(total tokens) build.
+class TokenProfileIndex {
+ public:
+  /// Builds TF-IDF profiles over the whole set (IDF reflects the corpus, so
+  /// ubiquitous tokens like "code" separate schemata poorly — as they
+  /// should).
+  explicit TokenProfileIndex(const std::vector<const schema::Schema*>& schemas);
+
+  size_t size() const { return vectors_.size(); }
+
+  /// Cosine similarity of two schemata's token profiles, in [0,1].
+  double Similarity(size_t i, size_t j) const;
+
+  /// Distance = 1 − similarity.
+  double Distance(size_t i, size_t j) const { return 1.0 - Similarity(i, j); }
+
+  /// Full symmetric distance matrix (row-major, size n*n).
+  std::vector<double> DistanceMatrix() const;
+
+  /// The profile vector of schema `i` (for search-style uses).
+  const text::SparseVector& vector(size_t i) const { return vectors_[i]; }
+
+  /// Profile of an out-of-set schema against this index's IDF table.
+  text::SparseVector Profile(const schema::Schema& schema) const;
+
+ private:
+  text::TfIdfCorpus corpus_;
+  std::vector<text::SparseVector> vectors_;
+};
+
+/// The bag-of-tokens for one schema: stemmed name tokens and documentation
+/// tokens of every element. Exposed for the search index.
+std::vector<std::string> SchemaTokenBag(const schema::Schema& schema);
+
+/// \brief Exact overlap similarity: runs the Harmony engine with `options`,
+/// selects greedy 1:1 links above `threshold`, and returns the matched
+/// fraction of elements ((|M1|+|M2|) / (|S1|+|S2|)).
+double MatchOverlapSimilarity(const schema::Schema& a, const schema::Schema& b,
+                              double threshold = 0.4,
+                              const core::MatchOptions& options = {});
+
+}  // namespace harmony::analysis

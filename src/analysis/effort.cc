@@ -1,0 +1,94 @@
+#include "analysis/effort.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace harmony::analysis {
+
+EffortEstimate EstimateIntegrationEffort(const schema::Schema& source,
+                                         const schema::Schema& target,
+                                         const core::MatchMatrix& matrix,
+                                         const EffortModel& model) {
+  (void)source;
+  (void)target;
+  HARMONY_CHECK_LE(model.hard_threshold, model.easy_threshold);
+  EffortEstimate est;
+
+  // Best candidate per target column; review load counts every pair above
+  // the hard threshold.
+  std::vector<double> best_per_target(matrix.cols(),
+                                      -std::numeric_limits<double>::infinity());
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    for (size_t c = 0; c < matrix.cols(); ++c) {
+      double s = matrix.GetByIndex(r, c);
+      best_per_target[c] = std::max(best_per_target[c], s);
+      if (s >= model.hard_threshold) ++est.candidates_reviewed;
+    }
+  }
+
+  for (double best : best_per_target) {
+    if (best >= model.easy_threshold) {
+      ++est.easy_mappings;
+    } else if (best >= model.hard_threshold) {
+      ++est.medium_mappings;
+    } else {
+      ++est.unmatched_target_elements;
+    }
+  }
+
+  double minutes_per_day = model.hours_per_person_day * 60.0;
+  est.mapping_person_days =
+      (static_cast<double>(est.easy_mappings) * model.minutes_per_easy_mapping +
+       static_cast<double>(est.medium_mappings) * model.minutes_per_medium_mapping) /
+      minutes_per_day;
+  est.expansion_person_days = static_cast<double>(est.unmatched_target_elements) *
+                              model.minutes_per_unmatched_target / minutes_per_day;
+  est.review_person_days = static_cast<double>(est.candidates_reviewed) *
+                           model.minutes_per_candidate_review / minutes_per_day;
+  est.total_person_days =
+      est.mapping_person_days + est.expansion_person_days + est.review_person_days;
+
+  if (matrix.cols() > 0) {
+    est.target_coverage =
+        static_cast<double>(est.easy_mappings + est.medium_mappings) /
+        static_cast<double>(matrix.cols());
+  }
+  return est;
+}
+
+std::string RenderEffortMemo(const schema::Schema& source,
+                             const schema::Schema& target,
+                             const EffortEstimate& estimate,
+                             const EffortModel& model) {
+  std::string memo = StringFormat(
+      "Integration effort estimate: mapping %s (%zu elements) onto %s (%zu "
+      "elements)\n",
+      source.name().c_str(), source.element_count(), target.name().c_str(),
+      target.element_count());
+  memo += StringFormat(
+      "  easy mappings   (score >= %.2f): %6zu  (~%.0f min each)\n",
+      model.easy_threshold, estimate.easy_mappings,
+      model.minutes_per_easy_mapping);
+  memo += StringFormat(
+      "  medium mappings (score >= %.2f): %6zu  (~%.0f min each)\n",
+      model.hard_threshold, estimate.medium_mappings,
+      model.minutes_per_medium_mapping);
+  memo += StringFormat(
+      "  unmatched target elements:       %6zu  (~%.0f min each)\n",
+      estimate.unmatched_target_elements, model.minutes_per_unmatched_target);
+  memo += StringFormat("  candidates to review:            %6zu\n",
+                       estimate.candidates_reviewed);
+  memo += StringFormat("  target coverage: %.0f%%\n",
+                       100.0 * estimate.target_coverage);
+  memo += StringFormat(
+      "  person-days: %.1f mapping + %.1f vocabulary expansion + %.1f review "
+      "= %.1f total\n",
+      estimate.mapping_person_days, estimate.expansion_person_days,
+      estimate.review_person_days, estimate.total_person_days);
+  return memo;
+}
+
+}  // namespace harmony::analysis

@@ -1,0 +1,72 @@
+// Integration effort estimation (paper §2 "Project planning"): "how much
+// time and money should be allocated to these projects? ... to help the COI
+// planners estimate the level of programming effort required to establish
+// the actual mappings so an appropriate contract can be written with
+// realistic cost estimates." The model banding is deliberately simple and
+// fully parameterized: planners calibrate the per-band minutes from their
+// own historical projects.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/match_matrix.h"
+#include "schema/schema.h"
+
+namespace harmony::analysis {
+
+/// \brief Per-item effort parameters (minutes of engineer time).
+struct EffortModel {
+  /// Match-score band boundaries: links scoring >= easy_threshold are
+  /// near-certain (rename-level mappings); [hard_threshold, easy_threshold)
+  /// need investigation; below hard_threshold a candidate is treated as
+  /// unmatched.
+  double easy_threshold = 0.6;
+  double hard_threshold = 0.3;
+
+  double minutes_per_easy_mapping = 3.0;
+  double minutes_per_medium_mapping = 15.0;
+  /// Target elements with no candidate: the vocabulary must be extended or
+  /// a source found — the expensive case.
+  double minutes_per_unmatched_target = 40.0;
+  /// Review overhead applied to every candidate surfaced (validating a
+  /// wrong candidate costs time too).
+  double minutes_per_candidate_review = 1.5;
+
+  double hours_per_person_day = 6.0;  ///< Productive hours, not clock hours.
+};
+
+/// \brief Candidate counts by band plus the derived totals.
+struct EffortEstimate {
+  size_t easy_mappings = 0;
+  size_t medium_mappings = 0;
+  size_t unmatched_target_elements = 0;
+  size_t candidates_reviewed = 0;
+
+  double mapping_person_days = 0.0;    ///< Easy + medium mapping work.
+  double expansion_person_days = 0.0;  ///< Unmatched-target work.
+  double review_person_days = 0.0;     ///< Candidate triage.
+  double total_person_days = 0.0;
+
+  /// Fraction of target elements with at least a medium-band candidate —
+  /// the §2 feasibility question "to what extent can the attributes in the
+  /// community vocabulary be populated by a specific data source?".
+  double target_coverage = 0.0;
+};
+
+/// \brief Estimates the effort of mapping `source` onto `target` given the
+/// engine's score matrix. Uses each target element's best candidate for
+/// banding; all pairs above hard_threshold count toward review load.
+EffortEstimate EstimateIntegrationEffort(const schema::Schema& source,
+                                         const schema::Schema& target,
+                                         const core::MatchMatrix& matrix,
+                                         const EffortModel& model = {});
+
+/// \brief Renders the estimate as the planner-facing memo.
+std::string RenderEffortMemo(const schema::Schema& source,
+                             const schema::Schema& target,
+                             const EffortEstimate& estimate,
+                             const EffortModel& model = {});
+
+}  // namespace harmony::analysis

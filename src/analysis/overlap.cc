@@ -1,0 +1,87 @@
+#include "analysis/overlap.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace harmony::analysis {
+
+OverlapPartition ComputeOverlap(const schema::Schema& source,
+                                const schema::Schema& target,
+                                const std::vector<core::Correspondence>& links,
+                                const std::vector<schema::ElementId>& source_ids,
+                                const std::vector<schema::ElementId>& target_ids) {
+  (void)source;
+  (void)target;
+  std::unordered_set<schema::ElementId> matched_src, matched_tgt;
+  for (const auto& link : links) {
+    matched_src.insert(link.source);
+    matched_tgt.insert(link.target);
+  }
+  OverlapPartition out;
+  for (schema::ElementId id : source_ids) {
+    (matched_src.count(id) ? out.source_matched : out.source_only).push_back(id);
+  }
+  for (schema::ElementId id : target_ids) {
+    (matched_tgt.count(id) ? out.target_matched : out.target_only).push_back(id);
+  }
+  if (!source_ids.empty()) {
+    out.source_matched_fraction = static_cast<double>(out.source_matched.size()) /
+                                  static_cast<double>(source_ids.size());
+  }
+  if (!target_ids.empty()) {
+    out.target_matched_fraction = static_cast<double>(out.target_matched.size()) /
+                                  static_cast<double>(target_ids.size());
+  }
+  return out;
+}
+
+OverlapPartition ComputeOverlap(const schema::Schema& source,
+                                const schema::Schema& target,
+                                const std::vector<core::Correspondence>& links) {
+  return ComputeOverlap(source, target, links, source.AllElementIds(),
+                        target.AllElementIds());
+}
+
+double OverlapSimilarity(const OverlapPartition& partition, size_t source_count,
+                         size_t target_count) {
+  size_t total = source_count + target_count;
+  if (total == 0) return 0.0;
+  return static_cast<double>(partition.source_matched.size() +
+                             partition.target_matched.size()) /
+         static_cast<double>(total);
+}
+
+std::string RenderDecisionMemo(const schema::Schema& source,
+                               const schema::Schema& target,
+                               const OverlapPartition& partition) {
+  double pct_matched = 100.0 * partition.target_matched_fraction;
+  double pct_distinct = 100.0 - pct_matched;
+  std::string memo = StringFormat(
+      "Overlap analysis of %s (%zu elements) vs %s (%zu elements):\n"
+      "  %s-only elements: %zu\n"
+      "  %s-only elements: %zu  (%.0f%% of %s)\n"
+      "  matched %s elements: %zu  (%.0f%% of %s)\n",
+      source.name().c_str(), source.element_count(), target.name().c_str(),
+      target.element_count(), source.name().c_str(), partition.source_only.size(),
+      target.name().c_str(), partition.target_only.size(), pct_distinct,
+      target.name().c_str(), target.name().c_str(), partition.target_matched.size(),
+      pct_matched, target.name().c_str());
+  if (partition.target_matched_fraction >= 0.5) {
+    memo += StringFormat(
+        "  RECOMMENDATION: %s substantially overlaps %s; subsuming Sys(%s) "
+        "into Sys(%s) is plausible.\n",
+        target.name().c_str(), source.name().c_str(), target.name().c_str(),
+        source.name().c_str());
+  } else {
+    memo += StringFormat(
+        "  RECOMMENDATION: %zu distinct %s elements (%.0f%%) make subsumption "
+        "a challenging undertaking; consider retaining Sys(%s) with an ETL "
+        "bridge into Sys(%s) (data-warehouse architecture).\n",
+        partition.target_only.size(), target.name().c_str(), pct_distinct,
+        target.name().c_str(), source.name().c_str());
+  }
+  return memo;
+}
+
+}  // namespace harmony::analysis

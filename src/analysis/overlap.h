@@ -1,0 +1,63 @@
+// Overlap analysis (paper Lesson #3): "the three sets {S1−S2}, {S2−S1},
+// and {S1∩S2} provide a useful partition of the match of two large
+// schemata" — the knowledge the customer's subsume-vs-bridge decision
+// turned on ("only 34% of SB matched SA and 66% of SB (or 517 elements)
+// did not").
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/match_matrix.h"
+#include "schema/schema.h"
+
+namespace harmony::analysis {
+
+/// \brief The binary overlap partition of a match.
+struct OverlapPartition {
+  /// Elements of S1 participating in at least one accepted correspondence.
+  std::vector<schema::ElementId> source_matched;
+  /// Elements of S1 with no accepted correspondence (S1 − S2).
+  std::vector<schema::ElementId> source_only;
+  /// Elements of S2 participating in at least one accepted correspondence.
+  std::vector<schema::ElementId> target_matched;
+  /// Elements of S2 with no accepted correspondence (S2 − S1).
+  std::vector<schema::ElementId> target_only;
+
+  /// Fractions of each side's element count that matched.
+  double source_matched_fraction = 0.0;
+  double target_matched_fraction = 0.0;
+};
+
+/// \brief Partitions both schemata's elements by the accepted links.
+///
+/// Only elements in `source_ids`/`target_ids` (e.g. leaves, or all
+/// elements) are classified; pass the full id lists for the paper's
+/// whole-schema percentages.
+OverlapPartition ComputeOverlap(const schema::Schema& source,
+                                const schema::Schema& target,
+                                const std::vector<core::Correspondence>& links,
+                                const std::vector<schema::ElementId>& source_ids,
+                                const std::vector<schema::ElementId>& target_ids);
+
+/// Convenience overload over all non-root elements of both schemata.
+OverlapPartition ComputeOverlap(const schema::Schema& source,
+                                const schema::Schema& target,
+                                const std::vector<core::Correspondence>& links);
+
+/// \brief Numeric overlap characterization usable as a similarity between
+/// schemata ("Numeric characterizations of overlap could also be used as
+/// inter-schema distance metrics by a clustering algorithm").
+///
+/// Returns |matched₁| + |matched₂| over |S1| + |S2|, in [0,1].
+double OverlapSimilarity(const OverlapPartition& partition,
+                         size_t source_count, size_t target_count);
+
+/// \brief Human-readable decision memo for the §3.1 subsume-vs-bridge
+/// question, driven by the measured overlap.
+std::string RenderDecisionMemo(const schema::Schema& source,
+                               const schema::Schema& target,
+                               const OverlapPartition& partition);
+
+}  // namespace harmony::analysis

@@ -1,0 +1,91 @@
+#include "analysis/schema_stats.h"
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace harmony::analysis {
+
+SchemaStats ComputeSchemaStats(const schema::Schema& schema) {
+  SchemaStats stats;
+  stats.name = schema.name();
+  stats.flavor = schema.flavor();
+  stats.element_count = schema.element_count();
+  stats.max_depth = schema.MaxDepth();
+
+  size_t documented = 0;
+  size_t doc_tokens = 0;
+  size_t fanout_total = 0;
+  size_t unknown_leaves = 0;
+
+  for (schema::ElementId id : schema.AllElementIds()) {
+    const schema::SchemaElement& e = schema.element(id);
+    stats.kind_histogram[e.kind]++;
+    stats.type_histogram[e.type]++;
+    if (e.is_leaf()) {
+      ++stats.leaf_count;
+      if (e.type == schema::DataType::kUnknown) ++unknown_leaves;
+    } else {
+      ++stats.container_count;
+      fanout_total += e.children.size();
+    }
+    if (!e.documentation.empty()) {
+      ++documented;
+      doc_tokens += text::TokenizeText(e.documentation).size();
+    }
+  }
+  if (stats.element_count > 0) {
+    stats.doc_coverage =
+        static_cast<double>(documented) / static_cast<double>(stats.element_count);
+  }
+  if (documented > 0) {
+    stats.mean_doc_tokens =
+        static_cast<double>(doc_tokens) / static_cast<double>(documented);
+  }
+  if (stats.container_count > 0) {
+    stats.mean_container_fanout = static_cast<double>(fanout_total) /
+                                  static_cast<double>(stats.container_count);
+  }
+  if (stats.leaf_count > 0) {
+    stats.unknown_type_fraction =
+        static_cast<double>(unknown_leaves) / static_cast<double>(stats.leaf_count);
+  }
+  return stats;
+}
+
+std::string RenderSchemaStats(const SchemaStats& stats) {
+  std::string out = StringFormat(
+      "%s (%s): %zu elements — %zu containers, %zu leaves, depth %u, mean "
+      "fan-out %.1f\n",
+      stats.name.c_str(), schema::SchemaFlavorToString(stats.flavor),
+      stats.element_count, stats.container_count, stats.leaf_count,
+      stats.max_depth, stats.mean_container_fanout);
+  out += StringFormat(
+      "  documentation: %.0f%% of elements, %.1f tokens on average; unknown "
+      "leaf types: %.0f%%\n",
+      100.0 * stats.doc_coverage, stats.mean_doc_tokens,
+      100.0 * stats.unknown_type_fraction);
+  out += "  kinds:";
+  for (const auto& [kind, n] : stats.kind_histogram) {
+    out += StringFormat(" %s=%zu", schema::ElementKindToString(kind), n);
+  }
+  out += "\n  types:";
+  for (const auto& [type, n] : stats.type_histogram) {
+    out += StringFormat(" %s=%zu", schema::DataTypeToString(type), n);
+  }
+  out += "\n";
+  return out;
+}
+
+std::string RenderStatsTable(const std::vector<SchemaStats>& stats) {
+  std::string out = StringFormat("%-16s %-10s %9s %11s %6s %8s\n", "schema",
+                                 "flavor", "elements", "containers", "depth",
+                                 "doc%");
+  for (const SchemaStats& s : stats) {
+    out += StringFormat("%-16s %-10s %9zu %11zu %6u %7.0f%%\n", s.name.c_str(),
+                        schema::SchemaFlavorToString(s.flavor), s.element_count,
+                        s.container_count, s.max_depth, 100.0 * s.doc_coverage);
+  }
+  return out;
+}
+
+}  // namespace harmony::analysis

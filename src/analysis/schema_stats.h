@@ -1,0 +1,52 @@
+// Schema profiling for enterprise awareness (paper §2): "The CIO of a large
+// enterprise needs to understand what information is being managed across
+// the enterprise's information systems, and by which systems." Before any
+// matching happens, planners need the shape of each asset: size, depth,
+// kind/type mix, and — critical for a documentation-driven matcher — how
+// much documentation exists at all.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+
+namespace harmony::analysis {
+
+/// \brief Profile of one schema.
+struct SchemaStats {
+  std::string name;
+  schema::SchemaFlavor flavor = schema::SchemaFlavor::kGeneric;
+
+  size_t element_count = 0;
+  size_t container_count = 0;  ///< Non-leaf elements.
+  size_t leaf_count = 0;
+  uint32_t max_depth = 0;
+  double mean_container_fanout = 0.0;
+
+  std::map<schema::ElementKind, size_t> kind_histogram;
+  std::map<schema::DataType, size_t> type_histogram;
+
+  /// Fraction of elements carrying documentation, and the mean token count
+  /// of documented elements — the matcher's fuel gauge.
+  double doc_coverage = 0.0;
+  double mean_doc_tokens = 0.0;
+
+  /// Fraction of leaves with an unknown data type (import quality signal).
+  double unknown_type_fraction = 0.0;
+};
+
+/// Profiles a schema.
+SchemaStats ComputeSchemaStats(const schema::Schema& schema);
+
+/// Renders one profile as a short report block.
+std::string RenderSchemaStats(const SchemaStats& stats);
+
+/// Renders a fleet table (one row per schema) for repository listings:
+/// name, flavor, elements, containers, depth, doc coverage.
+std::string RenderStatsTable(const std::vector<SchemaStats>& stats);
+
+}  // namespace harmony::analysis

@@ -1,0 +1,211 @@
+#include "baseline/baseline_matcher.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "text/stemmer.h"
+#include "text/string_metrics.h"
+#include "text/tokenizer.h"
+
+namespace harmony::baseline {
+
+using core::MatchMatrix;
+using schema::ElementId;
+using schema::Schema;
+
+namespace {
+
+// Flat lower-case name with separators removed ("DATE_BEGIN" → "datebegin").
+std::string FlatName(const std::string& name) {
+  text::TokenizerOptions opts;
+  opts.drop_pure_numbers = true;
+  return Join(text::TokenizeIdentifier(name, opts), "");
+}
+
+std::vector<std::string> NameTokens(const std::string& name, bool stem) {
+  text::TokenizerOptions opts;
+  opts.drop_pure_numbers = true;
+  auto tokens = text::TokenizeIdentifier(name, opts);
+  return stem ? text::StemAll(std::move(tokens)) : tokens;
+}
+
+}  // namespace
+
+MatchMatrix NameEqualityMatcher::Compute(const Schema& source,
+                                         const Schema& target) const {
+  MatchMatrix m(source.AllElementIds(), target.AllElementIds());
+  std::vector<std::string> src_flat(m.rows()), tgt_flat(m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    src_flat[r] = FlatName(source.element(m.SourceIdAt(r)).name);
+  }
+  for (size_t c = 0; c < m.cols(); ++c) {
+    tgt_flat[c] = FlatName(target.element(m.TargetIdAt(c)).name);
+  }
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      m.SetByIndex(r, c, (!src_flat[r].empty() && src_flat[r] == tgt_flat[c])
+                             ? 1.0
+                             : 0.0);
+    }
+  }
+  return m;
+}
+
+MatchMatrix ComaStyleMatcher::Compute(const Schema& source,
+                                      const Schema& target) const {
+  MatchMatrix m(source.AllElementIds(), target.AllElementIds());
+  struct Feature {
+    std::string flat;
+    std::vector<std::string> tokens;  // Unstemmed, unexpanded.
+  };
+  std::vector<Feature> src(m.rows()), tgt(m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const auto& name = source.element(m.SourceIdAt(r)).name;
+    src[r] = {FlatName(name), NameTokens(name, /*stem=*/false)};
+  }
+  for (size_t c = 0; c < m.cols(); ++c) {
+    const auto& name = target.element(m.TargetIdAt(c)).name;
+    tgt[c] = {FlatName(name), NameTokens(name, /*stem=*/false)};
+  }
+
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      const auto& a = src[r];
+      const auto& b = tgt[c];
+      if (a.flat.empty() || b.flat.empty()) {
+        m.SetByIndex(r, c, 0.0);
+        continue;
+      }
+      double trigram = text::QGramSimilarity(a.flat, b.flat, 3);
+      double edit = text::LevenshteinSimilarity(a.flat, b.flat);
+      double tokens = text::TokenDice(a.tokens, b.tokens);
+      // Affix measure: shared prefix or suffix relative to the shorter name.
+      size_t max_affix = std::min(a.flat.size(), b.flat.size());
+      size_t prefix = 0;
+      while (prefix < max_affix && a.flat[prefix] == b.flat[prefix]) ++prefix;
+      size_t suffix = 0;
+      while (suffix < max_affix &&
+             a.flat[a.flat.size() - 1 - suffix] == b.flat[b.flat.size() - 1 - suffix]) {
+        ++suffix;
+      }
+      double affix = static_cast<double>(std::max(prefix, suffix)) /
+                     static_cast<double>(max_affix);
+      // COMA's "Average" combination strategy.
+      m.SetByIndex(r, c, (trigram + edit + tokens + affix) / 4.0);
+    }
+  }
+  return m;
+}
+
+MatchMatrix CupidStyleMatcher::Compute(const Schema& source,
+                                       const Schema& target) const {
+  MatchMatrix m(source.AllElementIds(), target.AllElementIds());
+
+  // Linguistic similarity: stemmed token soft-match (Cupid's name matcher
+  // had a thesaurus; stemming is our stand-in).
+  std::vector<std::vector<std::string>> src_tokens(m.rows()), tgt_tokens(m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    src_tokens[r] = NameTokens(source.element(m.SourceIdAt(r)).name, /*stem=*/true);
+  }
+  for (size_t c = 0; c < m.cols(); ++c) {
+    tgt_tokens[c] = NameTokens(target.element(m.TargetIdAt(c)).name, /*stem=*/true);
+  }
+
+  std::vector<double> lsim(m.rows() * m.cols(), 0.0);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      lsim[r * m.cols() + c] =
+          text::SoftTokenSimilarity(src_tokens[r], tgt_tokens[c]);
+    }
+  }
+
+  // Structural similarity, bottom-up. Leaves: data-type compatibility.
+  // Inner nodes: the fraction of leaves in the two subtrees that have a
+  // "strong link" (wsim of the leaf pair above a threshold), per Cupid's
+  // structural phase.
+  constexpr double kStrongLink = 0.6;
+  std::vector<std::vector<ElementId>> src_leaves(source.node_count());
+  std::vector<std::vector<ElementId>> tgt_leaves(target.node_count());
+  auto collect_leaves = [](const Schema& s, std::vector<std::vector<ElementId>>& out) {
+    for (ElementId id : s.AllElementIds()) {
+      if (!s.element(id).is_leaf()) continue;
+      // Add to every ancestor's leaf list.
+      for (ElementId cur = id; cur != Schema::kRootId;
+           cur = s.element(cur).parent) {
+        out[cur].push_back(id);
+      }
+    }
+  };
+  collect_leaves(source, src_leaves);
+  collect_leaves(target, tgt_leaves);
+
+  // Leaf wsim (needed for inner-node ssim): wstruct·typecompat + (1-w)·lsim.
+  std::unordered_map<ElementId, size_t> src_row, tgt_col;
+  for (size_t r = 0; r < m.rows(); ++r) src_row[m.SourceIdAt(r)] = r;
+  for (size_t c = 0; c < m.cols(); ++c) tgt_col[m.TargetIdAt(c)] = c;
+
+  auto leaf_wsim = [&](ElementId a, ElementId b) {
+    double type_compat = schema::DataTypeCompatibility(source.element(a).type,
+                                                       target.element(b).type);
+    double ls = lsim[src_row[a] * m.cols() + tgt_col[b]];
+    return structural_weight_ * type_compat + (1.0 - structural_weight_) * ls;
+  };
+
+  for (size_t r = 0; r < m.rows(); ++r) {
+    ElementId a = m.SourceIdAt(r);
+    bool a_leaf = source.element(a).is_leaf();
+    for (size_t c = 0; c < m.cols(); ++c) {
+      ElementId b = m.TargetIdAt(c);
+      bool b_leaf = target.element(b).is_leaf();
+      double ssim;
+      if (a_leaf && b_leaf) {
+        ssim = schema::DataTypeCompatibility(source.element(a).type,
+                                             target.element(b).type);
+      } else if (a_leaf != b_leaf) {
+        ssim = 0.0;  // A leaf and a container are structurally dissimilar.
+      } else {
+        // Fraction of subtree leaves participating in strong links.
+        const auto& la = src_leaves[a];
+        const auto& lb = tgt_leaves[b];
+        if (la.empty() || lb.empty()) {
+          ssim = 0.0;
+        } else {
+          size_t linked_a = 0;
+          for (ElementId x : la) {
+            for (ElementId y : lb) {
+              if (leaf_wsim(x, y) >= kStrongLink) {
+                ++linked_a;
+                break;
+              }
+            }
+          }
+          size_t linked_b = 0;
+          for (ElementId y : lb) {
+            for (ElementId x : la) {
+              if (leaf_wsim(x, y) >= kStrongLink) {
+                ++linked_b;
+                break;
+              }
+            }
+          }
+          ssim = (static_cast<double>(linked_a) + static_cast<double>(linked_b)) /
+                 static_cast<double>(la.size() + lb.size());
+        }
+      }
+      double wsim = structural_weight_ * ssim +
+                    (1.0 - structural_weight_) * lsim[r * m.cols() + c];
+      m.SetByIndex(r, c, wsim);
+    }
+  }
+  return m;
+}
+
+std::vector<std::unique_ptr<BaselineMatcher>> CreateAllBaselines() {
+  std::vector<std::unique_ptr<BaselineMatcher>> out;
+  out.push_back(std::make_unique<NameEqualityMatcher>());
+  out.push_back(std::make_unique<ComaStyleMatcher>());
+  out.push_back(std::make_unique<CupidStyleMatcher>());
+  return out;
+}
+
+}  // namespace harmony::baseline

@@ -1,0 +1,75 @@
+// Baseline matchers representing the pre-Harmony state of the art the paper
+// cites: trivial name equality, COMA-style composite name matching (Do &
+// Rahm, VLDB'02) and Cupid-style linguistic × structural matching (Madhavan
+// et al., VLDB'01). Used by bench E6 to show where the evidence-aware,
+// documentation-driven engine earns its keep.
+//
+// Baseline scores are similarities in [0, 1] (these systems had no notion
+// of negative evidence); quality sweeps pick each matcher's own best
+// threshold so the scale difference from Harmony's (−1,+1) does not bias
+// the comparison.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/match_matrix.h"
+#include "schema/schema.h"
+
+namespace harmony::baseline {
+
+/// \brief Interface shared by all baseline matchers.
+class BaselineMatcher {
+ public:
+  virtual ~BaselineMatcher() = default;
+
+  /// Stable identifier ("name_equality", "coma_style", "cupid_style").
+  virtual const char* name() const = 0;
+
+  /// Scores every source element against every target element.
+  virtual core::MatchMatrix Compute(const schema::Schema& source,
+                                    const schema::Schema& target) const = 0;
+};
+
+/// \brief Exact name equality after case/separator normalization
+/// ("DATE_BEGIN" == "dateBegin"). The spreadsheet-and-eyeballs floor.
+class NameEqualityMatcher : public BaselineMatcher {
+ public:
+  const char* name() const override { return "name_equality"; }
+  core::MatchMatrix Compute(const schema::Schema& source,
+                            const schema::Schema& target) const override;
+};
+
+/// \brief COMA-style composite matcher: the average of several independent
+/// name similarity measures (trigram, edit, token overlap, prefix/suffix),
+/// no documentation, no abbreviation expansion, no evidence weighting.
+class ComaStyleMatcher : public BaselineMatcher {
+ public:
+  const char* name() const override { return "coma_style"; }
+  core::MatchMatrix Compute(const schema::Schema& source,
+                            const schema::Schema& target) const override;
+};
+
+/// \brief Cupid-style matcher: per-pair weighted sum of a linguistic
+/// similarity (token-level, with stemming) and a structural similarity
+/// computed bottom-up from leaf type compatibility and subtree leaf
+/// agreement.
+class CupidStyleMatcher : public BaselineMatcher {
+ public:
+  /// `structural_weight` is Cupid's wstruct (0.5 in the original paper).
+  explicit CupidStyleMatcher(double structural_weight = 0.5)
+      : structural_weight_(structural_weight) {}
+  const char* name() const override { return "cupid_style"; }
+  core::MatchMatrix Compute(const schema::Schema& source,
+                            const schema::Schema& target) const override;
+
+ private:
+  double structural_weight_;
+};
+
+/// All three baselines, for sweep-style benches.
+std::vector<std::unique_ptr<BaselineMatcher>> CreateAllBaselines();
+
+}  // namespace harmony::baseline

@@ -1,0 +1,116 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace harmony {
+
+Status CsvWriter::AppendRow(const std::vector<std::string>& fields) {
+  if (strict_width_ && !rows_.empty() && fields.size() != rows_.front().size()) {
+    return Status::InvalidArgument(StringFormat(
+        "row width %zu differs from first row width %zu", fields.size(),
+        rows_.front().size()));
+  }
+  rows_.push_back(fields);
+  return Status::OK();
+}
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  bool needs_quote = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += EscapeField(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IOError("cannot open for writing: " + path);
+  f << ToString();
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  size_t i = 0;
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field += c;
+        ++i;
+      }
+    } else {
+      if (c == '"') {
+        if (!field.empty()) {
+          return Status::ParseError(
+              StringFormat("unexpected quote mid-field at offset %zu", i));
+        }
+        in_quotes = true;
+        field_started = true;
+        ++i;
+      } else if (c == ',') {
+        end_field();
+        ++i;
+      } else if (c == '\n') {
+        end_row();
+        ++i;
+      } else if (c == '\r') {
+        ++i;  // Tolerate CRLF.
+      } else {
+        field += c;
+        field_started = true;
+        ++i;
+      }
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  if (field_started || !field.empty() || !row.empty()) {
+    end_row();  // Final line without trailing newline.
+  }
+  return rows;
+}
+
+}  // namespace harmony

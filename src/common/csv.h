@@ -1,0 +1,55 @@
+// RFC-4180-style CSV writing. The paper's customer consumed results as a
+// spreadsheet (§3.4, Lesson #2); every exported artifact in this library goes
+// through this writer so quoting/escaping is handled in one place.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace harmony {
+
+/// \brief Accumulates rows and renders RFC-4180 CSV.
+///
+/// Fields containing commas, quotes, or newlines are quoted; embedded quotes
+/// are doubled. Row lengths are not required to be uniform (the outer-join
+/// export uses ragged sections), but `set_strict_width` can enforce it.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+
+  /// When enabled, AppendRow fails if a row's width differs from the first
+  /// row's width.
+  void set_strict_width(bool strict) { strict_width_ = strict; }
+
+  /// Appends one row of fields.
+  Status AppendRow(const std::vector<std::string>& fields);
+
+  /// Number of rows appended so far.
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders all rows as CSV text ("\n" line endings).
+  std::string ToString() const;
+
+  /// Writes the rendered CSV to `path`, replacing any existing file.
+  Status WriteToFile(const std::string& path) const;
+
+  /// Escapes a single field per RFC 4180.
+  static std::string EscapeField(const std::string& field);
+
+ private:
+  bool strict_width_ = false;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Parses CSV text previously produced by CsvWriter (used by tests and
+/// by the repository's persistence layer).
+///
+/// Handles quoted fields, doubled quotes, and embedded newlines. Returns the
+/// rows, or a ParseError for malformed quoting.
+Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& text);
+
+}  // namespace harmony

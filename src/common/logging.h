@@ -1,0 +1,62 @@
+// Minimal leveled logging plus HARMONY_CHECK assertions, modelled on the
+// glog-style macros used throughout Arrow and RocksDB.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace harmony {
+
+/// \brief Severity of a log message.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal {
+
+/// Stream-style log sink. Emits on destruction; aborts for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Sets the minimum level that will be emitted (default kWarning so tests and
+/// benchmarks stay quiet). Returns the previous threshold.
+LogLevel SetLogThreshold(LogLevel level);
+
+/// Current threshold.
+LogLevel GetLogThreshold();
+
+#define HARMONY_LOG(level)                                             \
+  ::harmony::internal::LogMessage(::harmony::LogLevel::k##level,       \
+                                  __FILE__, __LINE__)
+
+/// Fatal if `cond` is false. Use for invariants that indicate programmer
+/// error rather than bad input (bad input gets a Status).
+#define HARMONY_CHECK(cond)                                        \
+  if (!(cond))                                                     \
+  HARMONY_LOG(Fatal) << "Check failed: " #cond " "
+
+#define HARMONY_CHECK_EQ(a, b) HARMONY_CHECK((a) == (b))
+#define HARMONY_CHECK_NE(a, b) HARMONY_CHECK((a) != (b))
+#define HARMONY_CHECK_LT(a, b) HARMONY_CHECK((a) < (b))
+#define HARMONY_CHECK_LE(a, b) HARMONY_CHECK((a) <= (b))
+#define HARMONY_CHECK_GT(a, b) HARMONY_CHECK((a) > (b))
+#define HARMONY_CHECK_GE(a, b) HARMONY_CHECK((a) >= (b))
+
+}  // namespace harmony

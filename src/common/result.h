@@ -1,0 +1,86 @@
+// Result<T>: value-or-Status, the companion of Status for operations that
+// produce a payload. Mirrors arrow::Result.
+
+#pragma once
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace harmony {
+
+/// \brief Either a value of type T or a non-OK Status describing why the
+/// value could not be produced.
+///
+/// Typical use:
+/// \code
+///   Result<Schema> r = ImportXsd(text);
+///   if (!r.ok()) return r.status();
+///   Schema s = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. Aborts if the status is OK, because an
+  /// OK Result must carry a value.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(repr_).ok()) {
+      std::abort();  // Programmer error: OK status without a value.
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Borrow the value. Requires ok().
+  const T& ValueOrDie() const& {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+
+  /// Take the value. Requires ok().
+  T ValueOrDie() && {
+    if (!ok()) std::abort();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Borrow the value, mutably. Requires ok().
+  T& ValueOrDie() & {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating a non-OK status; otherwise
+/// moves the value into `lhs`.
+#define HARMONY_ASSIGN_OR_RETURN(lhs, expr)          \
+  HARMONY_ASSIGN_OR_RETURN_IMPL_(                    \
+      HARMONY_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define HARMONY_CONCAT_INNER_(a, b) a##b
+#define HARMONY_CONCAT_(a, b) HARMONY_CONCAT_INNER_(a, b)
+
+#define HARMONY_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie()
+
+}  // namespace harmony

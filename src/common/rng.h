@@ -1,0 +1,66 @@
+// Deterministic pseudo-random generator used by the synthetic schema
+// generator and the benchmarks. All experiments must be reproducible from a
+// seed, so library code never touches global RNG state.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace harmony {
+
+/// \brief Small, fast, seedable PRNG (xoshiro256** core).
+///
+/// Not cryptographic. A given seed produces the same stream on every
+/// platform, which keeps the synthetic workloads and benchmark inputs stable
+/// across runs and machines.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw: true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Uniformly chosen element of `v`. Requires non-empty `v`.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    HARMONY_CHECK(!v.empty());
+    return v[static_cast<size_t>(Uniform(0, static_cast<int64_t>(v.size()) - 1))];
+  }
+
+  /// Index drawn from the (unnormalised, non-negative) weights. Requires a
+  /// positive total weight.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, static_cast<int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Gaussian draw (Box-Muller) with the given mean and stddev.
+  double Gaussian(double mean, double stddev);
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace harmony

@@ -1,0 +1,116 @@
+// Status: lightweight error propagation for harmony, modelled on the
+// Status idiom used by RocksDB and Apache Arrow. Library code returns a
+// Status (or a Result<T>, see result.h) instead of throwing; exceptions are
+// reserved for programmer errors surfaced through HARMONY_CHECK.
+
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace harmony {
+
+/// \brief Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kParseError = 4,
+  kIOError = 5,
+  kOutOfRange = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+/// \brief Human-readable name of a status code ("Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail without a payload.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// message. Copyable and cheaply movable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg);
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The status code; kOk when ok().
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// The error message; empty when ok().
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // Shared so copies are cheap; errors are immutable after construction.
+  std::shared_ptr<const State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status to the caller.
+#define HARMONY_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::harmony::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+}  // namespace harmony

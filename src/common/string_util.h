@@ -1,0 +1,49 @@
+// Small string helpers shared across modules: case conversion, trimming,
+// splitting, joining, prefix/suffix tests, and printf-style formatting.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace harmony {
+
+/// ASCII lower-case copy of `s`.
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-case copy of `s`.
+std::string ToUpper(std::string_view s);
+
+/// Copy of `s` with leading/trailing ASCII whitespace removed.
+std::string Trim(std::string_view s);
+
+/// Splits `s` on the single character `sep`. Empty fields are preserved, so
+/// `Split("a,,b", ',')` yields {"a", "", "b"}; `Split("", ',')` yields {""}.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on runs of ASCII whitespace; no empty fields are produced.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True iff `s` begins with `prefix` (case sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True iff `s` ends with `suffix` (case sensitive).
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True iff the strings are equal ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True iff every character of `s` is an ASCII digit (and `s` is non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// Replaces every occurrence of `from` (non-empty) in `s` with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to);
+
+/// printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace harmony

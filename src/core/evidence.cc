@@ -1,0 +1,26 @@
+#include "core/evidence.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace harmony::core {
+
+double EvidenceWeight(double evidence, double half_evidence) {
+  HARMONY_CHECK_GT(half_evidence, 0.0);
+  if (evidence <= 0.0) return 0.0;
+  return evidence / (evidence + half_evidence);
+}
+
+double EvidenceWeightedConfidence(const VoterScore& score, double half_evidence) {
+  double ratio = std::clamp(score.ratio, 0.0, 1.0);
+  return (2.0 * ratio - 1.0) * EvidenceWeight(score.evidence, half_evidence);
+}
+
+double RatioOnlyConfidence(const VoterScore& score) {
+  if (score.evidence <= 0.0) return 0.0;  // An abstention stays an abstention.
+  double ratio = std::clamp(score.ratio, 0.0, 1.0);
+  return 2.0 * ratio - 1.0;
+}
+
+}  // namespace harmony::core

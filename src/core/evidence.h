@@ -1,0 +1,50 @@
+// Harmony's evidence-aware confidence model (paper §3.2):
+//
+//   "For each [source element, target element] pair, each match voter
+//    establishes a confidence score in the range (−1, +1) where −1 indicates
+//    that there is definitely no correspondence, +1 indicates a definite
+//    correspondence and 0 indicates complete uncertainty. ... As a match
+//    voter observes more evidence, the confidence score is pushed towards −1
+//    or +1. Compared to conventional schema matching tools, Harmony is novel
+//    in that it considers both the standard evidence ratio (e.g., number of
+//    shared words in the documentation) as well as the total amount of
+//    available evidence when calculating confidence scores."
+//
+// We model each voter's raw output as (ratio, evidence): the similarity
+// ratio in [0,1] and a non-negative measure of how much material the ratio
+// was computed from. The confidence is the ratio mapped to (−1,+1) and
+// attenuated toward 0 when evidence is scarce.
+
+#pragma once
+
+namespace harmony::core {
+
+/// \brief Raw output of one match voter for one element pair.
+struct VoterScore {
+  /// Similarity ratio in [0,1] (e.g. fraction of shared words).
+  double ratio = 0.0;
+  /// Amount of evidence behind the ratio (e.g. total words compared). Zero
+  /// evidence means the voter abstains (confidence 0).
+  double evidence = 0.0;
+};
+
+/// \brief Saturating weight of an evidence amount, in [0,1).
+///
+/// w(n) = n / (n + half_evidence): 0 at n=0, 0.5 at n=half_evidence,
+/// approaching 1 as evidence accumulates. `half_evidence` is each voter's
+/// notion of "a moderate amount of material".
+double EvidenceWeight(double evidence, double half_evidence);
+
+/// \brief Maps a (ratio, evidence) pair to a confidence in (−1, +1).
+///
+/// confidence = (2·ratio − 1) · w(evidence): with no evidence the voter is
+/// completely uncertain (0); with abundant evidence the confidence is pushed
+/// toward −1 (ratio 0) or +1 (ratio 1), exactly the behaviour §3.2
+/// describes.
+double EvidenceWeightedConfidence(const VoterScore& score, double half_evidence);
+
+/// \brief The conventional, ratio-only confidence (2·ratio − 1) that ignores
+/// evidence volume — kept as the ablation arm for bench E10.
+double RatioOnlyConfidence(const VoterScore& score);
+
+}  // namespace harmony::core

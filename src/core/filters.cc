@@ -1,0 +1,62 @@
+#include "core/filters.h"
+
+#include <algorithm>
+
+namespace harmony::core {
+
+std::vector<Correspondence> FilterLinks(const MatchMatrix& matrix,
+                                        const ConfidenceFilter& filter) {
+  std::vector<Correspondence> out = matrix.PairsAbove(filter.min_score);
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](const Correspondence& c) {
+                             return c.score > filter.max_score;
+                           }),
+            out.end());
+  return out;
+}
+
+NodeFilter& NodeFilter::WithDepthRange(uint32_t min_depth, uint32_t max_depth) {
+  min_depth_ = min_depth;
+  max_depth_ = max_depth;
+  return *this;
+}
+
+NodeFilter& NodeFilter::WithMaxDepth(uint32_t max_depth) {
+  max_depth_ = max_depth;
+  return *this;
+}
+
+NodeFilter& NodeFilter::WithSubtree(schema::ElementId root) {
+  subtree_root_ = root;
+  return *this;
+}
+
+NodeFilter& NodeFilter::WithKinds(std::set<schema::ElementKind> kinds) {
+  kinds_ = std::move(kinds);
+  return *this;
+}
+
+NodeFilter& NodeFilter::LeavesOnly() {
+  leaves_only_ = true;
+  return *this;
+}
+
+bool NodeFilter::Accepts(const schema::Schema& schema, schema::ElementId id) const {
+  const schema::SchemaElement& e = schema.element(id);
+  if (min_depth_ && e.depth < *min_depth_) return false;
+  if (max_depth_ && e.depth > *max_depth_) return false;
+  if (kinds_ && kinds_->count(e.kind) == 0) return false;
+  if (leaves_only_ && !e.is_leaf()) return false;
+  if (subtree_root_ && !schema.IsAncestorOrSelf(*subtree_root_, id)) return false;
+  return true;
+}
+
+std::vector<schema::ElementId> NodeFilter::Select(const schema::Schema& schema) const {
+  std::vector<schema::ElementId> out;
+  for (schema::ElementId id : schema.AllElementIds()) {
+    if (Accepts(schema, id)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace harmony::core

@@ -1,0 +1,76 @@
+// The Harmony GUI's filters (paper §3.2), reimplemented as library
+// operations: link filters (confidence range) select among candidate
+// correspondences; node filters (depth, sub-tree) select which schema
+// elements participate at all. The engineers "relied heavily on" the
+// sub-tree filter, and the depth filter "made it possible to only match
+// table names in SA, and ignore their attributes" (§4.1).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/match_matrix.h"
+#include "schema/schema.h"
+
+namespace harmony::core {
+
+/// \brief Link filter: keep correspondences whose match score falls within
+/// [min_score, max_score]. "Only those correspondences whose match score
+/// falls within the specific range of values are displayed" (§3.2).
+struct ConfidenceFilter {
+  double min_score = 0.35;
+  double max_score = 1.0;
+
+  bool Accepts(const Correspondence& link) const {
+    return link.score >= min_score && link.score <= max_score;
+  }
+};
+
+/// Applies a confidence filter to a matrix, returning the surviving links
+/// sorted by descending score.
+std::vector<Correspondence> FilterLinks(const MatchMatrix& matrix,
+                                        const ConfidenceFilter& filter);
+
+/// \brief Node filter: selects which elements of one schema participate in a
+/// match. All criteria are conjunctive; unset criteria accept everything.
+class NodeFilter {
+ public:
+  NodeFilter() = default;
+
+  /// Keep only elements with min_depth <= depth <= max_depth.
+  NodeFilter& WithDepthRange(uint32_t min_depth, uint32_t max_depth);
+
+  /// Keep only elements at depth <= max_depth — the §4.1 depth filter
+  /// ("ignore schema elements whose depth exceeds a certain threshold").
+  NodeFilter& WithMaxDepth(uint32_t max_depth);
+
+  /// Keep only the sub-tree rooted at `root` (inclusive) — the §3.2
+  /// sub-tree filter ("focus one's attention on the 'Vehicle' sub-schema").
+  NodeFilter& WithSubtree(schema::ElementId root);
+
+  /// Keep only elements of the given kinds.
+  NodeFilter& WithKinds(std::set<schema::ElementKind> kinds);
+
+  /// Keep only leaf elements.
+  NodeFilter& LeavesOnly();
+
+  /// True iff `id` passes every configured criterion.
+  bool Accepts(const schema::Schema& schema, schema::ElementId id) const;
+
+  /// All non-root element ids of `schema` passing the filter, in pre-order.
+  std::vector<schema::ElementId> Select(const schema::Schema& schema) const;
+
+  bool has_subtree() const { return subtree_root_.has_value(); }
+
+ private:
+  std::optional<uint32_t> min_depth_;
+  std::optional<uint32_t> max_depth_;
+  std::optional<schema::ElementId> subtree_root_;
+  std::optional<std::set<schema::ElementKind>> kinds_;
+  bool leaves_only_ = false;
+};
+
+}  // namespace harmony::core

@@ -1,0 +1,75 @@
+#include "core/match_engine.h"
+
+namespace harmony::core {
+
+MatchEngine::MatchEngine(const schema::Schema& source, const schema::Schema& target,
+                         MatchOptions options)
+    : options_(std::move(options)),
+      profiles_(source, target, options_.preprocess),
+      voters_(CreateVoters(options_.voters)),
+      merger_(options_.merger) {}
+
+MatchMatrix MatchEngine::ComputeMatrix() const {
+  return ComputeMatrix(source().AllElementIds(), target().AllElementIds());
+}
+
+MatchMatrix MatchEngine::ComputeRefinedMatrix() const {
+  return PropagateScores(source(), target(), ComputeMatrix(), options_.propagation);
+}
+
+MatchMatrix MatchEngine::ComputeMatrix(const NodeFilter& source_filter,
+                                       const NodeFilter& target_filter) const {
+  return ComputeMatrix(source_filter.Select(source()), target_filter.Select(target()));
+}
+
+MatchMatrix MatchEngine::ComputeMatrix(
+    const std::vector<schema::ElementId>& source_ids,
+    const std::vector<schema::ElementId>& target_ids) const {
+  MatchMatrix matrix(source_ids, target_ids);
+  std::vector<VoterScore> scores(voters_.size());
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    schema::ElementId s = matrix.SourceIdAt(r);
+    for (size_t c = 0; c < matrix.cols(); ++c) {
+      schema::ElementId t = matrix.TargetIdAt(c);
+      for (size_t v = 0; v < voters_.size(); ++v) {
+        scores[v] = voters_[v]->Vote(profiles_, s, t);
+      }
+      matrix.SetByIndex(r, c, merger_.Merge(voters_, scores));
+    }
+  }
+  return matrix;
+}
+
+MatchMatrix MatchEngine::MatchSubtree(schema::ElementId source_root) const {
+  NodeFilter sub;
+  sub.WithSubtree(source_root);
+  return ComputeMatrix(sub.Select(source()), target().AllElementIds());
+}
+
+std::vector<Correspondence> MatchEngine::Match() const {
+  return SelectByThreshold(ComputeMatrix(), options_.threshold);
+}
+
+VoteBreakdown MatchEngine::Explain(schema::ElementId source_id,
+                                   schema::ElementId target_id) const {
+  VoteBreakdown out;
+  out.voter_names.reserve(voters_.size());
+  out.scores.reserve(voters_.size());
+  for (const auto& v : voters_) {
+    out.voter_names.push_back(v->name());
+    out.scores.push_back(v->Vote(profiles_, source_id, target_id));
+  }
+  out.merged = merger_.Merge(voters_, out.scores);
+  return out;
+}
+
+double MatchEngine::ScorePair(schema::ElementId source_id,
+                              schema::ElementId target_id) const {
+  std::vector<VoterScore> scores(voters_.size());
+  for (size_t v = 0; v < voters_.size(); ++v) {
+    scores[v] = voters_[v]->Vote(profiles_, source_id, target_id);
+  }
+  return merger_.Merge(voters_, scores);
+}
+
+}  // namespace harmony::core

@@ -1,0 +1,84 @@
+#include "core/match_matrix.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace harmony::core {
+
+MatchMatrix::MatchMatrix(std::vector<schema::ElementId> source_ids,
+                         std::vector<schema::ElementId> target_ids)
+    : source_ids_(std::move(source_ids)), target_ids_(std::move(target_ids)) {
+  source_index_.reserve(source_ids_.size());
+  target_index_.reserve(target_ids_.size());
+  for (size_t i = 0; i < source_ids_.size(); ++i) source_index_[source_ids_[i]] = i;
+  for (size_t i = 0; i < target_ids_.size(); ++i) target_index_[target_ids_[i]] = i;
+  HARMONY_CHECK_EQ(source_index_.size(), source_ids_.size()) << "duplicate source id";
+  HARMONY_CHECK_EQ(target_index_.size(), target_ids_.size()) << "duplicate target id";
+  data_.assign(source_ids_.size() * target_ids_.size(), 0.0);
+}
+
+size_t MatchMatrix::SourceIndex(schema::ElementId id) const {
+  auto it = source_index_.find(id);
+  HARMONY_CHECK(it != source_index_.end()) << "id " << id << " not a source row";
+  return it->second;
+}
+
+size_t MatchMatrix::TargetIndex(schema::ElementId id) const {
+  auto it = target_index_.find(id);
+  HARMONY_CHECK(it != target_index_.end()) << "id " << id << " not a target column";
+  return it->second;
+}
+
+double MatchMatrix::Get(schema::ElementId source, schema::ElementId target) const {
+  return GetByIndex(SourceIndex(source), TargetIndex(target));
+}
+
+void MatchMatrix::Set(schema::ElementId source, schema::ElementId target,
+                      double score) {
+  SetByIndex(SourceIndex(source), TargetIndex(target), score);
+}
+
+std::vector<Correspondence> MatchMatrix::PairsAbove(double threshold) const {
+  std::vector<Correspondence> out;
+  for (size_t r = 0; r < rows(); ++r) {
+    for (size_t c = 0; c < cols(); ++c) {
+      double s = GetByIndex(r, c);
+      if (s >= threshold) out.push_back({source_ids_[r], target_ids_[c], s});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Correspondence& a,
+                                       const Correspondence& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.source != b.source) return a.source < b.source;
+    return a.target < b.target;
+  });
+  return out;
+}
+
+std::vector<Correspondence> MatchMatrix::BestPerSource() const {
+  std::vector<Correspondence> out;
+  if (cols() == 0) return out;
+  out.reserve(rows());
+  for (size_t r = 0; r < rows(); ++r) {
+    size_t best = 0;
+    double best_score = GetByIndex(r, 0);
+    for (size_t c = 1; c < cols(); ++c) {
+      double s = GetByIndex(r, c);
+      if (s > best_score) {
+        best_score = s;
+        best = c;
+      }
+    }
+    out.push_back({source_ids_[r], target_ids_[best], best_score});
+  }
+  return out;
+}
+
+double MatchMatrix::MaxScore() const {
+  double best = 0.0;
+  for (double s : data_) best = std::max(best, s);
+  return best;
+}
+
+}  // namespace harmony::core

@@ -1,0 +1,80 @@
+// MatchMatrix: the dense |S|×|T| score matrix produced by the match engine —
+// the paper's "match matrix" (§3.3). Scores live in (−1, +1).
+
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "schema/element.h"
+
+namespace harmony::core {
+
+/// \brief One scored candidate correspondence.
+struct Correspondence {
+  schema::ElementId source = schema::kInvalidElementId;
+  schema::ElementId target = schema::kInvalidElementId;
+  double score = 0.0;
+
+  bool operator==(const Correspondence& o) const {
+    return source == o.source && target == o.target;
+  }
+};
+
+/// \brief Dense score matrix over chosen source rows × target columns.
+///
+/// Rows/columns are arbitrary subsets of the schemata's element ids (the
+/// sub-tree filter matches a sub-tree against the whole opposing schema by
+/// restricting the row set), stored with id↔index maps.
+class MatchMatrix {
+ public:
+  MatchMatrix(std::vector<schema::ElementId> source_ids,
+              std::vector<schema::ElementId> target_ids);
+
+  size_t rows() const { return source_ids_.size(); }
+  size_t cols() const { return target_ids_.size(); }
+  size_t pair_count() const { return rows() * cols(); }
+
+  const std::vector<schema::ElementId>& source_ids() const { return source_ids_; }
+  const std::vector<schema::ElementId>& target_ids() const { return target_ids_; }
+
+  /// True iff the element participates in this matrix.
+  bool HasSource(schema::ElementId id) const { return source_index_.count(id) > 0; }
+  bool HasTarget(schema::ElementId id) const { return target_index_.count(id) > 0; }
+
+  /// Score accessors by element id (checked).
+  double Get(schema::ElementId source, schema::ElementId target) const;
+  void Set(schema::ElementId source, schema::ElementId target, double score);
+
+  /// Score accessors by dense index (hot path).
+  double GetByIndex(size_t row, size_t col) const { return data_[row * cols() + col]; }
+  void SetByIndex(size_t row, size_t col, double score) {
+    data_[row * cols() + col] = score;
+  }
+
+  schema::ElementId SourceIdAt(size_t row) const { return source_ids_[row]; }
+  schema::ElementId TargetIdAt(size_t col) const { return target_ids_[col]; }
+
+  /// All pairs with score >= threshold, sorted by descending score.
+  std::vector<Correspondence> PairsAbove(double threshold) const;
+
+  /// The best-scoring target for each source row (ties broken by column
+  /// order), regardless of threshold. Rows with no columns are skipped.
+  std::vector<Correspondence> BestPerSource() const;
+
+  /// Largest score in the matrix (0 for an empty matrix).
+  double MaxScore() const;
+
+ private:
+  size_t SourceIndex(schema::ElementId id) const;
+  size_t TargetIndex(schema::ElementId id) const;
+
+  std::vector<schema::ElementId> source_ids_;
+  std::vector<schema::ElementId> target_ids_;
+  std::unordered_map<schema::ElementId, size_t> source_index_;
+  std::unordered_map<schema::ElementId, size_t> target_index_;
+  std::vector<double> data_;
+};
+
+}  // namespace harmony::core

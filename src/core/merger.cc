@@ -1,0 +1,44 @@
+#include "core/merger.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace harmony::core {
+
+double VoteMerger::Merge(const std::vector<std::unique_ptr<MatchVoter>>& voters,
+                         const std::vector<VoterScore>& scores) const {
+  HARMONY_CHECK_EQ(voters.size(), scores.size());
+  MergeMode mode = options_.effective_mode();
+
+  if (mode == MergeMode::kNaiveAverage) {
+    // Conventional averaging: abstentions count as zero similarity.
+    double weighted_sum = 0.0;
+    double weight_total = 0.0;
+    for (size_t i = 0; i < voters.size(); ++i) {
+      double ratio =
+          scores[i].evidence > 0.0 ? std::clamp(scores[i].ratio, 0.0, 1.0) : 0.0;
+      weighted_sum += voters[i]->base_weight() * (2.0 * ratio - 1.0);
+      weight_total += voters[i]->base_weight();
+    }
+    return weight_total == 0.0 ? 0.0 : weighted_sum / weight_total;
+  }
+
+  double weighted_sum = 0.0;
+  double strength_total = 0.0;
+  for (size_t i = 0; i < voters.size(); ++i) {
+    const VoterScore& s = scores[i];
+    if (s.evidence <= 0.0) continue;  // Abstention.
+    double strength = voters[i]->base_weight();
+    if (mode == MergeMode::kEvidenceWeighted) {
+      strength *= EvidenceWeight(s.evidence, voters[i]->half_evidence());
+    }
+    double direction = 2.0 * std::clamp(s.ratio, 0.0, 1.0) - 1.0;
+    weighted_sum += strength * direction;
+    strength_total += strength;
+  }
+  if (strength_total == 0.0) return 0.0;
+  return weighted_sum / (options_.prior_weight + strength_total);
+}
+
+}  // namespace harmony::core

@@ -1,0 +1,79 @@
+// The vote merger (paper §3.2): "A vote merger combines the confidence
+// scores into a single match score ... based on how confident each match
+// voter is regarding a given correspondence."
+
+#pragma once
+
+#include <vector>
+
+#include "core/evidence.h"
+#include "core/voters.h"
+
+namespace harmony::core {
+
+/// \brief How per-voter scores are combined (the arms of bench E10).
+enum class MergeMode : uint8_t {
+  /// Harmony's model: abstention-aware, and each voter's influence is
+  /// attenuated by its evidence volume.
+  kEvidenceWeighted = 0,
+  /// Abstention-aware but volume-blind: a participating voter votes at full
+  /// strength however thin its evidence (ratio information only).
+  kRatioOnly,
+  /// The conventional naive combiner: every voter contributes at full
+  /// weight, and a voter with nothing to say (no documentation, unknown
+  /// type) counts as a similarity of zero rather than abstaining — the
+  /// behaviour of straightforward similarity averaging.
+  kNaiveAverage,
+};
+
+/// \brief How voter outputs are combined.
+struct MergerOptions {
+  MergeMode mode = MergeMode::kEvidenceWeighted;
+
+  /// Legacy toggle mapped onto `mode` for convenience: setting this false
+  /// selects kRatioOnly unless `mode` was changed explicitly.
+  bool evidence_weighting = true;
+
+  /// Pseudo-count of "prior uncertainty" in the normalizer (not used by
+  /// kNaiveAverage). Higher values pull every merged score toward 0 unless
+  /// substantial evidence has accumulated; 0 would let a single
+  /// thin-evidence voter dictate the full-magnitude score.
+  double prior_weight = 1.0;
+
+  /// The effective mode after applying the legacy toggle.
+  MergeMode effective_mode() const {
+    if (mode == MergeMode::kEvidenceWeighted && !evidence_weighting) {
+      return MergeMode::kRatioOnly;
+    }
+    return mode;
+  }
+};
+
+/// \brief Combines per-voter (ratio, evidence) scores into one match score
+/// in (−1, +1).
+///
+/// Each participating voter i (evidence > 0) contributes with strength
+/// s_i = base_weight_i · EvidenceWeight(evidence_i) (or just base_weight_i
+/// when evidence weighting is off) a directional vote d_i = 2·ratio_i − 1:
+///
+///   merged = Σ s_i · d_i / (prior_weight + Σ s_i)
+///
+/// This is a Bayesian-flavoured shrinkage mean: voters with abundant
+/// evidence dominate, thin-evidence voters barely move the score, and with
+/// no participating voters the score is exactly 0 ("complete uncertainty").
+class VoteMerger {
+ public:
+  explicit VoteMerger(MergerOptions options = {}) : options_(options) {}
+
+  /// `voters` and `scores` are parallel arrays. Returns 0 when every voter
+  /// abstains.
+  double Merge(const std::vector<std::unique_ptr<MatchVoter>>& voters,
+               const std::vector<VoterScore>& scores) const;
+
+  const MergerOptions& options() const { return options_; }
+
+ private:
+  MergerOptions options_;
+};
+
+}  // namespace harmony::core

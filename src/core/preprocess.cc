@@ -1,0 +1,122 @@
+#include "core/preprocess.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "text/stemmer.h"
+#include "text/stopwords.h"
+
+namespace harmony::core {
+
+double SortedJaccard(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    int cmp = a[i].compare(b[j]);
+    if (cmp == 0) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+namespace {
+
+std::vector<std::string> SortedUnique(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+ElementProfile BuildProfile(const schema::SchemaElement& element,
+                            const PreprocessOptions& options) {
+  ElementProfile p;
+  p.id = element.id;
+
+  // Normalized flat name for character-level metrics.
+  text::TokenizerOptions flat = options.tokenizer;
+  flat.drop_pure_numbers = true;
+  auto raw_tokens = text::TokenizeIdentifier(element.name, flat);
+  p.normalized_name = Join(raw_tokens, "");
+
+  // Expanded tokens (pre-stemming) feed the initials string.
+  auto expanded = options.abbreviations.ExpandAll(raw_tokens);
+  for (const auto& t : expanded) {
+    if (!t.empty()) p.initials += t[0];
+  }
+
+  if (options.canonicalize_synonyms) {
+    expanded = options.synonyms.CanonicalizeAll(expanded);
+  }
+  p.name_tokens = options.stem ? text::StemAll(expanded) : expanded;
+
+  auto doc_tokens = text::TokenizeText(element.documentation);
+  if (options.remove_stop_words) doc_tokens = text::RemoveStopWords(doc_tokens);
+  if (options.canonicalize_synonyms) {
+    doc_tokens = options.synonyms.CanonicalizeAll(doc_tokens);
+  }
+  p.doc_tokens = options.stem ? text::StemAll(std::move(doc_tokens)) : doc_tokens;
+  p.sorted_name_tokens = SortedUnique(p.name_tokens);
+  return p;
+}
+
+ProfilePair::ProfilePair(const schema::Schema& source, const schema::Schema& target,
+                         const PreprocessOptions& options)
+    : source_(&source), target_(&target) {
+  source_profiles_.resize(source.node_count());
+  target_profiles_.resize(target.node_count());
+
+  // Build profiles and register every non-empty documentation bag in the
+  // joint corpus so IDF weights reflect word frequency across both schemata.
+  struct Pending {
+    ElementProfile* profile;
+    size_t doc_id;
+  };
+  std::vector<Pending> pending;
+
+  auto build_side = [&](const schema::Schema& s, std::vector<ElementProfile>& out) {
+    for (schema::ElementId id : s.AllElementIds()) {
+      out[id] = BuildProfile(s.element(id), options);
+      if (!out[id].doc_tokens.empty()) {
+        size_t doc_id = corpus_.AddDocument(out[id].doc_tokens);
+        pending.push_back({&out[id], doc_id});
+      }
+    }
+    // Structural context: parent tokens and the union of children tokens.
+    for (schema::ElementId id : s.AllElementIds()) {
+      const schema::SchemaElement& e = s.element(id);
+      if (e.parent != schema::Schema::kRootId &&
+          e.parent != schema::kInvalidElementId) {
+        out[id].parent_tokens = out[e.parent].sorted_name_tokens;
+      }
+      std::vector<std::string> child_union;
+      for (schema::ElementId c : e.children) {
+        const auto& ct = out[c].sorted_name_tokens;
+        child_union.insert(child_union.end(), ct.begin(), ct.end());
+      }
+      std::sort(child_union.begin(), child_union.end());
+      child_union.erase(std::unique(child_union.begin(), child_union.end()),
+                        child_union.end());
+      out[id].children_tokens = std::move(child_union);
+    }
+  };
+  build_side(source, source_profiles_);
+  build_side(target, target_profiles_);
+
+  corpus_.Finalize();
+  for (auto& [profile, doc_id] : pending) {
+    profile->doc_vector = corpus_.DocumentVector(doc_id);
+  }
+}
+
+}  // namespace harmony::core

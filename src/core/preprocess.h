@@ -1,0 +1,112 @@
+// Linguistic preprocessing of schema elements (paper §3.2 step 1):
+// tokenization, abbreviation expansion, stemming, and stop-word removal of
+// element names and documentation, plus TF-IDF vectorization of the
+// documentation over the combined corpus of both schemata.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+#include "text/abbreviations.h"
+#include "text/synonyms.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+
+namespace harmony::core {
+
+/// \brief Precomputed linguistic features of one schema element.
+struct ElementProfile {
+  schema::ElementId id = schema::kInvalidElementId;
+
+  /// Normalized (lower-cased) raw name with separators removed, for string
+  /// metrics: "DATE_BEGIN_156" → "datebegin156".
+  std::string normalized_name;
+
+  /// Name tokens after splitting, abbreviation expansion, and stemming;
+  /// pure-number tokens dropped ("DATE_BEGIN_156" → {date, begin}).
+  std::vector<std::string> name_tokens;
+
+  /// Documentation tokens after stop-word removal and stemming.
+  std::vector<std::string> doc_tokens;
+
+  /// TF-IDF vector of doc_tokens over the joint corpus; empty when the
+  /// element has no documentation.
+  text::SparseVector doc_vector;
+
+  /// First letter of each (expanded, unstemmed) name token — used by the
+  /// acronym voter ("place of birth" → "pob").
+  std::string initials;
+
+  /// name_tokens, sorted and de-duplicated (fast set intersection).
+  std::vector<std::string> sorted_name_tokens;
+
+  /// Sorted unique name tokens of the parent element (empty for depth-1
+  /// elements, whose parent is the schema root). Used by the structural
+  /// voter.
+  std::vector<std::string> parent_tokens;
+
+  /// Sorted unique union of the children's name tokens. Used by the
+  /// structural voter: two containers whose members share names likely
+  /// correspond.
+  std::vector<std::string> children_tokens;
+};
+
+/// Fraction-of-overlap of two sorted unique token vectors:
+/// |A∩B| / |A∪B| (Jaccard). Two empty vectors → 1.
+double SortedJaccard(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b);
+
+/// \brief Options shared by preprocessing and the voters.
+struct PreprocessOptions {
+  text::TokenizerOptions tokenizer;
+  /// Abbreviation dictionary; defaults to the built-in table.
+  text::AbbreviationDictionary abbreviations = text::AbbreviationDictionary::Builtin();
+  /// Thesaurus; synonym tokens are canonicalized before stemming, the same
+  /// way Cupid's linguistic matcher consulted its thesaurus. Set
+  /// canonicalize_synonyms to false to run thesaurus-free.
+  text::SynonymDictionary synonyms = text::SynonymDictionary::Builtin();
+  bool canonicalize_synonyms = true;
+  /// Strip stop words from documentation.
+  bool remove_stop_words = true;
+  /// Apply Porter stemming to name and documentation tokens.
+  bool stem = true;
+
+  PreprocessOptions() { tokenizer.drop_pure_numbers = true; }
+};
+
+/// \brief Profiles for every element of a pair of schemata, with a joint
+/// TF-IDF corpus so IDF reflects both sides.
+class ProfilePair {
+ public:
+  /// Builds profiles for all non-root elements of both schemata.
+  ProfilePair(const schema::Schema& source, const schema::Schema& target,
+              const PreprocessOptions& options);
+
+  const ElementProfile& source_profile(schema::ElementId id) const {
+    return source_profiles_[id];
+  }
+  const ElementProfile& target_profile(schema::ElementId id) const {
+    return target_profiles_[id];
+  }
+
+  const schema::Schema& source() const { return *source_; }
+  const schema::Schema& target() const { return *target_; }
+
+  const text::TfIdfCorpus& corpus() const { return corpus_; }
+
+ private:
+  const schema::Schema* source_;
+  const schema::Schema* target_;
+  text::TfIdfCorpus corpus_;
+  std::vector<ElementProfile> source_profiles_;  // Indexed by ElementId.
+  std::vector<ElementProfile> target_profiles_;
+};
+
+/// Builds the profile of a single element (without the TF-IDF vector, which
+/// requires the corpus). Exposed for tests.
+ElementProfile BuildProfile(const schema::SchemaElement& element,
+                            const PreprocessOptions& options);
+
+}  // namespace harmony::core

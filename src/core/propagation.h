@@ -1,0 +1,39 @@
+// Structural score propagation — a similarity-flooding-flavoured refinement
+// pass (Melnik et al.'s idea, echoed by the paper's citation of
+// "Industrial-Strength Schema Matching"): a pair's score is reinforced by
+// the scores of its neighbourhood (its parents' pair and its children's
+// best pairs), damped toward the original lexical evidence. One or two
+// iterations sharpen container matches and break ties among identically
+// named leaves.
+
+#pragma once
+
+#include <cstddef>
+
+#include "core/match_matrix.h"
+#include "schema/schema.h"
+
+namespace harmony::core {
+
+/// \brief Propagation parameters.
+struct PropagationOptions {
+  /// Blend factor: score' = (1−alpha)·score + alpha·neighbourhood.
+  double alpha = 0.3;
+  /// Number of propagation sweeps.
+  size_t iterations = 1;
+  /// Relative weight of the parent-pair score within the neighbourhood
+  /// contribution (the rest comes from children agreement).
+  double parent_weight = 0.5;
+};
+
+/// \brief Runs propagation over a full-schema matrix.
+///
+/// `matrix` must cover all non-root elements of both schemata (the layout
+/// produced by MatchEngine::ComputeMatrix() with no filters); pairs are
+/// addressed through the schema tree, so partial matrices are rejected with
+/// a CHECK. Scores stay within (−1, 1).
+MatchMatrix PropagateScores(const schema::Schema& source,
+                            const schema::Schema& target, const MatchMatrix& matrix,
+                            const PropagationOptions& options = {});
+
+}  // namespace harmony::core

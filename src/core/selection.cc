@@ -1,0 +1,133 @@
+#include "core/selection.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+namespace harmony::core {
+
+std::vector<Correspondence> SelectByThreshold(const MatchMatrix& matrix,
+                                              double threshold) {
+  return matrix.PairsAbove(threshold);
+}
+
+std::vector<Correspondence> SelectTopKPerSource(const MatchMatrix& matrix, size_t k,
+                                                double threshold) {
+  std::vector<Correspondence> out;
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    std::vector<std::pair<double, size_t>> scored;
+    for (size_t c = 0; c < matrix.cols(); ++c) {
+      double s = matrix.GetByIndex(r, c);
+      if (s >= threshold) scored.emplace_back(s, c);
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    for (size_t i = 0; i < std::min(k, scored.size()); ++i) {
+      out.push_back({matrix.SourceIdAt(r), matrix.TargetIdAt(scored[i].second),
+                     scored[i].first});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Correspondence& a,
+                                       const Correspondence& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.source != b.source) return a.source < b.source;
+    return a.target < b.target;
+  });
+  return out;
+}
+
+std::vector<Correspondence> SelectGreedyOneToOne(const MatchMatrix& matrix,
+                                                 double threshold) {
+  std::vector<Correspondence> candidates = matrix.PairsAbove(threshold);
+  std::vector<bool> source_used(matrix.rows(), false);
+  std::vector<bool> target_used(matrix.cols(), false);
+  // Map element ids back to dense indices via linear construction.
+  std::unordered_map<schema::ElementId, size_t> src_idx, tgt_idx;
+  for (size_t i = 0; i < matrix.rows(); ++i) src_idx[matrix.SourceIdAt(i)] = i;
+  for (size_t i = 0; i < matrix.cols(); ++i) tgt_idx[matrix.TargetIdAt(i)] = i;
+
+  std::vector<Correspondence> out;
+  for (const auto& c : candidates) {  // Already sorted by descending score.
+    size_t r = src_idx[c.source];
+    size_t col = tgt_idx[c.target];
+    if (source_used[r] || target_used[col]) continue;
+    source_used[r] = target_used[col] = true;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<Correspondence> SelectStableMarriage(const MatchMatrix& matrix,
+                                                 double threshold) {
+  const size_t n_src = matrix.rows();
+  const size_t n_tgt = matrix.cols();
+  if (n_src == 0 || n_tgt == 0) return {};
+
+  // Each source's acceptable targets, best first.
+  std::vector<std::vector<uint32_t>> prefs(n_src);
+  for (size_t r = 0; r < n_src; ++r) {
+    std::vector<std::pair<double, uint32_t>> scored;
+    for (size_t c = 0; c < n_tgt; ++c) {
+      double s = matrix.GetByIndex(r, c);
+      if (s >= threshold) scored.emplace_back(s, static_cast<uint32_t>(c));
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    prefs[r].reserve(scored.size());
+    for (const auto& [s, c] : scored) {
+      (void)s;
+      prefs[r].push_back(c);
+    }
+  }
+
+  constexpr uint32_t kFree = UINT32_MAX;
+  std::vector<uint32_t> target_partner(n_tgt, kFree);
+  std::vector<size_t> next_proposal(n_src, 0);
+  std::deque<uint32_t> free_sources;
+  for (size_t r = 0; r < n_src; ++r) {
+    if (!prefs[r].empty()) free_sources.push_back(static_cast<uint32_t>(r));
+  }
+
+  while (!free_sources.empty()) {
+    uint32_t r = free_sources.front();
+    free_sources.pop_front();
+    if (next_proposal[r] >= prefs[r].size()) continue;  // Exhausted; stays unmatched.
+    uint32_t c = prefs[r][next_proposal[r]++];
+    uint32_t incumbent = target_partner[c];
+    if (incumbent == kFree) {
+      target_partner[c] = r;
+    } else {
+      // The target prefers the higher score (ties keep the incumbent).
+      double s_new = matrix.GetByIndex(r, c);
+      double s_old = matrix.GetByIndex(incumbent, c);
+      if (s_new > s_old) {
+        target_partner[c] = r;
+        free_sources.push_back(incumbent);
+      } else {
+        free_sources.push_back(r);
+      }
+    }
+  }
+
+  std::vector<Correspondence> out;
+  for (size_t c = 0; c < n_tgt; ++c) {
+    if (target_partner[c] == kFree) continue;
+    size_t r = target_partner[c];
+    out.push_back({matrix.SourceIdAt(r), matrix.TargetIdAt(c),
+                   matrix.GetByIndex(r, c)});
+  }
+  std::sort(out.begin(), out.end(), [](const Correspondence& a,
+                                       const Correspondence& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.source != b.source) return a.source < b.source;
+    return a.target < b.target;
+  });
+  return out;
+}
+
+}  // namespace harmony::core

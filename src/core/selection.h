@@ -1,0 +1,36 @@
+// Match selection: turning a score matrix into a discrete set of proposed
+// correspondences. Downstream consumers differ — a human review queue wants
+// every pair above a threshold; mapping generation wants a 1:1 assignment —
+// so several strategies are provided.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/match_matrix.h"
+
+namespace harmony::core {
+
+/// All pairs scoring >= threshold, sorted by descending score (the review
+/// queue the paper's engineers worked through).
+std::vector<Correspondence> SelectByThreshold(const MatchMatrix& matrix,
+                                              double threshold);
+
+/// For each source row, its best `k` targets that also clear `threshold`.
+std::vector<Correspondence> SelectTopKPerSource(const MatchMatrix& matrix, size_t k,
+                                                double threshold);
+
+/// Greedy 1:1 assignment: repeatedly accept the best remaining pair whose
+/// endpoints are both unused, stopping below `threshold`. Fast and usually
+/// near-optimal for peaked score matrices.
+std::vector<Correspondence> SelectGreedyOneToOne(const MatchMatrix& matrix,
+                                                 double threshold);
+
+/// Stable-marriage 1:1 assignment (Gale-Shapley, sources proposing), with
+/// pairs scoring below `threshold` treated as unacceptable to both sides.
+/// Guarantees no blocking pair among the accepted matches.
+std::vector<Correspondence> SelectStableMarriage(const MatchMatrix& matrix,
+                                                 double threshold);
+
+}  // namespace harmony::core

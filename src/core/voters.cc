@@ -1,0 +1,135 @@
+#include "core/voters.h"
+
+#include <algorithm>
+
+#include "text/string_metrics.h"
+#include "text/tfidf.h"
+
+namespace harmony::core {
+
+VoterScore NameStringVoter::Vote(const ProfilePair& profiles,
+                                 schema::ElementId source,
+                                 schema::ElementId target) const {
+  const auto& a = profiles.source_profile(source).normalized_name;
+  const auto& b = profiles.target_profile(target).normalized_name;
+  if (a.empty() || b.empty()) return {0.0, 0.0};
+  double sim = std::max(text::JaroWinklerSimilarity(a, b),
+                        text::LevenshteinSimilarity(a, b));
+  double evidence = static_cast<double>(std::min(a.size(), b.size()));
+  return {sim, evidence};
+}
+
+VoterScore NameTokenVoter::Vote(const ProfilePair& profiles, schema::ElementId source,
+                                schema::ElementId target) const {
+  const auto& a = profiles.source_profile(source).name_tokens;
+  const auto& b = profiles.target_profile(target).name_tokens;
+  if (a.empty() || b.empty()) return {0.0, 0.0};
+  double sim = text::SoftTokenSimilarity(a, b);
+  double evidence = (static_cast<double>(a.size()) + static_cast<double>(b.size())) / 2.0;
+  return {sim, evidence};
+}
+
+VoterScore DocumentationVoter::Vote(const ProfilePair& profiles,
+                                    schema::ElementId source,
+                                    schema::ElementId target) const {
+  const auto& pa = profiles.source_profile(source);
+  const auto& pb = profiles.target_profile(target);
+  if (pa.doc_tokens.empty() || pb.doc_tokens.empty()) return {0.0, 0.0};
+  double sim = text::TfIdfCorpus::Cosine(pa.doc_vector, pb.doc_vector);
+  // The evidence behind a cosine is bounded by the thinner document: a
+  // 3-word blurb can at best weakly confirm, however well it aligns.
+  double evidence = static_cast<double>(
+      std::min(pa.doc_tokens.size(), pb.doc_tokens.size()));
+  return {sim, evidence};
+}
+
+VoterScore DataTypeVoter::Vote(const ProfilePair& profiles, schema::ElementId source,
+                               schema::ElementId target) const {
+  const auto& ea = profiles.source().element(source);
+  const auto& eb = profiles.target().element(target);
+  if (ea.type == schema::DataType::kUnknown || eb.type == schema::DataType::kUnknown ||
+      ea.type == schema::DataType::kComposite ||
+      eb.type == schema::DataType::kComposite) {
+    return {0.0, 0.0};
+  }
+  return {schema::DataTypeCompatibility(ea.type, eb.type), 1.0};
+}
+
+VoterScore StructuralVoter::Vote(const ProfilePair& profiles, schema::ElementId source,
+                                 schema::ElementId target) const {
+  const auto& pa = profiles.source_profile(source);
+  const auto& pb = profiles.target_profile(target);
+
+  double ratio_sum = 0.0;
+  double evidence = 0.0;
+
+  // Parent context: leaves inside similarly named containers support each
+  // other — and, crucially, identically named boilerplate fields
+  // (IDENTIFIER, NAME) in *different* containers get pushed apart. Only
+  // comparable when both sides have a non-root parent. Soft matching
+  // tolerates synonym/abbreviation noise in the container names.
+  if (!pa.parent_tokens.empty() && !pb.parent_tokens.empty()) {
+    constexpr double kParentEvidence = 2.0;
+    ratio_sum +=
+        kParentEvidence * text::SoftSortedSimilarity(pa.parent_tokens,
+                                                     pb.parent_tokens);
+    evidence += kParentEvidence;
+  }
+
+  // Child vocabulary overlap: containers sharing member names support each
+  // other. Weighted by the smaller child set (comparing a 2-column table to
+  // a 40-column one is thin evidence either way).
+  if (!pa.children_tokens.empty() && !pb.children_tokens.empty()) {
+    double overlap =
+        text::SoftSortedSimilarity(pa.children_tokens, pb.children_tokens);
+    double child_evidence = static_cast<double>(
+        std::min(pa.children_tokens.size(), pb.children_tokens.size()));
+    child_evidence = std::min(child_evidence, 6.0);
+    ratio_sum += overlap * child_evidence;
+    evidence += child_evidence;
+  }
+
+  if (evidence == 0.0) return {0.0, 0.0};
+  return {ratio_sum / evidence, evidence};
+}
+
+VoterScore AcronymVoter::Vote(const ProfilePair& profiles, schema::ElementId source,
+                              schema::ElementId target) const {
+  const auto& pa = profiles.source_profile(source);
+  const auto& pb = profiles.target_profile(target);
+  // An acronym must abbreviate at least two words and match the other
+  // side's flattened name exactly.
+  bool a_is_acronym_of_b =
+      pb.initials.size() >= 2 && pa.normalized_name == pb.initials;
+  bool b_is_acronym_of_a =
+      pa.initials.size() >= 2 && pb.normalized_name == pa.initials;
+  if (!a_is_acronym_of_b && !b_is_acronym_of_a) return {0.0, 0.0};
+  double len = static_cast<double>(
+      a_is_acronym_of_b ? pb.initials.size() : pa.initials.size());
+  return {1.0, len};
+}
+
+std::vector<std::unique_ptr<MatchVoter>> CreateVoters(const VoterConfig& config) {
+  std::vector<std::unique_ptr<MatchVoter>> voters;
+  if (config.name_string_weight > 0.0) {
+    voters.push_back(std::make_unique<NameStringVoter>(config.name_string_weight));
+  }
+  if (config.name_token_weight > 0.0) {
+    voters.push_back(std::make_unique<NameTokenVoter>(config.name_token_weight));
+  }
+  if (config.documentation_weight > 0.0) {
+    voters.push_back(std::make_unique<DocumentationVoter>(config.documentation_weight));
+  }
+  if (config.data_type_weight > 0.0) {
+    voters.push_back(std::make_unique<DataTypeVoter>(config.data_type_weight));
+  }
+  if (config.structural_weight > 0.0) {
+    voters.push_back(std::make_unique<StructuralVoter>(config.structural_weight));
+  }
+  if (config.acronym_weight > 0.0) {
+    voters.push_back(std::make_unique<AcronymVoter>(config.acronym_weight));
+  }
+  return voters;
+}
+
+}  // namespace harmony::core

@@ -1,0 +1,135 @@
+// The match voters (paper §3.2): "several match voters are invoked, each of
+// which identifies correspondences using a different strategy." Each voter
+// returns a (ratio, evidence) pair — see evidence.h — and the merger
+// combines them.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evidence.h"
+#include "core/preprocess.h"
+#include "schema/schema.h"
+
+namespace harmony::core {
+
+/// \brief Strategy interface for one line of matching evidence.
+class MatchVoter {
+ public:
+  virtual ~MatchVoter() = default;
+
+  /// Stable identifier ("name_string", "documentation", ...).
+  virtual const char* name() const = 0;
+
+  /// The evidence amount at which this voter reaches half confidence.
+  virtual double half_evidence() const = 0;
+
+  /// Relative influence in the merged score (see VoteMerger).
+  double base_weight() const { return base_weight_; }
+  void set_base_weight(double w) { base_weight_ = w; }
+
+  /// Scores one element pair. Returning evidence 0 abstains.
+  virtual VoterScore Vote(const ProfilePair& profiles, schema::ElementId source,
+                          schema::ElementId target) const = 0;
+
+ protected:
+  explicit MatchVoter(double base_weight) : base_weight_(base_weight) {}
+
+ private:
+  double base_weight_;
+};
+
+/// \brief Character-level similarity of the normalized names
+/// (max of Jaro-Winkler and edit similarity). Evidence grows with the
+/// shorter name's length: agreeing on "organizationidentifier" is stronger
+/// evidence than agreeing on "id".
+class NameStringVoter : public MatchVoter {
+ public:
+  explicit NameStringVoter(double base_weight = 1.0) : MatchVoter(base_weight) {}
+  const char* name() const override { return "name_string"; }
+  double half_evidence() const override { return 4.0; }
+  VoterScore Vote(const ProfilePair& profiles, schema::ElementId source,
+                  schema::ElementId target) const override;
+};
+
+/// \brief Word-level similarity of the tokenized, abbreviation-expanded,
+/// stemmed names (soft token matching, so "vehicle"/"vehicles" and
+/// "veh"/"vehicle" agree). The workhorse voter.
+class NameTokenVoter : public MatchVoter {
+ public:
+  explicit NameTokenVoter(double base_weight = 1.5) : MatchVoter(base_weight) {}
+  const char* name() const override { return "name_token"; }
+  double half_evidence() const override { return 2.0; }
+  VoterScore Vote(const ProfilePair& profiles, schema::ElementId source,
+                  schema::ElementId target) const override;
+};
+
+/// \brief TF-IDF cosine similarity of the elements' documentation — the
+/// evidence source the paper singles out ("number of shared words in the
+/// documentation" vs "total amount of available evidence"). Harmony "relies
+/// heavily on textual documentation ... instead of data instances".
+class DocumentationVoter : public MatchVoter {
+ public:
+  explicit DocumentationVoter(double base_weight = 1.5) : MatchVoter(base_weight) {}
+  const char* name() const override { return "documentation"; }
+  double half_evidence() const override { return 5.0; }
+  VoterScore Vote(const ProfilePair& profiles, schema::ElementId source,
+                  schema::ElementId target) const override;
+};
+
+/// \brief Compatibility of declared data types. A weak voter: it can veto
+/// (date vs binary) or mildly support, and abstains when either side's type
+/// is unknown or composite.
+class DataTypeVoter : public MatchVoter {
+ public:
+  explicit DataTypeVoter(double base_weight = 0.5) : MatchVoter(base_weight) {}
+  const char* name() const override { return "data_type"; }
+  double half_evidence() const override { return 1.0; }
+  VoterScore Vote(const ProfilePair& profiles, schema::ElementId source,
+                  schema::ElementId target) const override;
+};
+
+/// \brief Structural neighbourhood similarity: parent-name agreement plus
+/// overlap of the children's name vocabulary. Containers holding the same
+/// fields, and fields inside similar containers, reinforce each other.
+class StructuralVoter : public MatchVoter {
+ public:
+  explicit StructuralVoter(double base_weight = 1.0) : MatchVoter(base_weight) {}
+  const char* name() const override { return "structural"; }
+  double half_evidence() const override { return 3.0; }
+  VoterScore Vote(const ProfilePair& profiles, schema::ElementId source,
+                  schema::ElementId target) const override;
+};
+
+/// \brief Acronym detection: fires when one element's flattened name equals
+/// the initials of the other's expanded tokens ("POB" vs "PlaceOfBirth").
+/// Positive-only: abstains unless the pattern holds.
+class AcronymVoter : public MatchVoter {
+ public:
+  explicit AcronymVoter(double base_weight = 0.5) : MatchVoter(base_weight) {}
+  const char* name() const override { return "acronym"; }
+  double half_evidence() const override { return 2.0; }
+  VoterScore Vote(const ProfilePair& profiles, schema::ElementId source,
+                  schema::ElementId target) const override;
+};
+
+/// \brief Which voters participate, and with what influence. A weight of 0
+/// disables a voter entirely.
+struct VoterConfig {
+  double name_string_weight = 1.0;
+  double name_token_weight = 1.5;
+  double documentation_weight = 1.5;
+  double data_type_weight = 0.5;
+  /// Weighted above the individual name voters: parent/child context is
+  /// what separates identically named boilerplate fields (IDENTIFIER,
+  /// LAST_UPDATE) living in unrelated containers.
+  double structural_weight = 1.75;
+  double acronym_weight = 0.5;
+};
+
+/// Instantiates the configured voter set.
+std::vector<std::unique_ptr<MatchVoter>> CreateVoters(const VoterConfig& config);
+
+}  // namespace harmony::core

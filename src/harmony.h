@@ -1,0 +1,73 @@
+// Umbrella header for the harmony library: one include for downstream
+// applications. Fine-grained headers remain available for faster builds.
+//
+//   #include "harmony.h"
+//
+//   auto sa = harmony::sql::ImportDdl(ddl, "SA");
+//   auto sb = harmony::xml::ImportXsd(xsd, "SB");
+//   harmony::core::MatchEngine engine(*sa, *sb);
+//   auto links = harmony::core::SelectGreedyOneToOne(
+//       engine.ComputeRefinedMatrix(), 0.35);
+
+#pragma once
+
+// Substrates.
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "schema/builder.h"
+#include "schema/element.h"
+#include "schema/schema.h"
+#include "schema/schema_io.h"
+#include "sql/ddl_exporter.h"
+#include "sql/ddl_parser.h"
+#include "text/abbreviations.h"
+#include "text/stemmer.h"
+#include "text/stopwords.h"
+#include "text/string_metrics.h"
+#include "text/synonyms.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "xml/xml_parser.h"
+#include "xml/xsd_exporter.h"
+#include "xml/xsd_importer.h"
+
+// The match engine (the paper's contribution).
+#include "core/evidence.h"
+#include "core/filters.h"
+#include "core/match_engine.h"
+#include "core/match_matrix.h"
+#include "core/merger.h"
+#include "core/preprocess.h"
+#include "core/propagation.h"
+#include "core/selection.h"
+#include "core/voters.h"
+
+// Baselines and synthetic workloads.
+#include "baseline/baseline_matcher.h"
+#include "synth/generator.h"
+#include "synth/vocabulary.h"
+
+// Enterprise layers.
+#include "analysis/clustering.h"
+#include "analysis/distance.h"
+#include "analysis/effort.h"
+#include "analysis/overlap.h"
+#include "analysis/schema_stats.h"
+#include "nway/mediated_schema.h"
+#include "nway/vocabulary_builder.h"
+#include "repository/match_reuse.h"
+#include "repository/metadata_repository.h"
+#include "search/schema_search.h"
+#include "summarize/auto_summarizer.h"
+#include "summarize/concept_lift.h"
+#include "summarize/summary.h"
+#include "workflow/concept_workflow.h"
+#include "workflow/match_record.h"
+#include "workflow/match_view.h"
+#include "workflow/workspace_io.h"
+#include "workflow/spreadsheet_export.h"
+#include "workflow/team.h"

@@ -1,0 +1,215 @@
+#include "nway/mediated_schema.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace harmony::nway {
+
+namespace {
+
+using schema::DataType;
+using schema::ElementId;
+using schema::ElementKind;
+using schema::Schema;
+
+int PopCount(uint32_t mask) {
+  int n = 0;
+  while (mask != 0) {
+    mask &= mask - 1;
+    ++n;
+  }
+  return n;
+}
+
+uint64_t RefKey(const ElementRef& ref) {
+  return (static_cast<uint64_t>(ref.schema_index) << 32) | ref.element;
+}
+
+// Majority vote over member data types (composite members vote only when a
+// term is container-like).
+DataType MajorityType(const ComprehensiveVocabulary& vocab, const Term& term) {
+  std::map<DataType, size_t> votes;
+  for (const auto& ref : term.members) {
+    votes[vocab.schema(ref.schema_index).element(ref.element).type]++;
+  }
+  DataType best = DataType::kUnknown;
+  size_t best_n = 0;
+  for (const auto& [type, n] : votes) {
+    if (n > best_n) {
+      best = type;
+      best_n = n;
+    }
+  }
+  return best;
+}
+
+// The longest member documentation — "distilled" per the scenario.
+std::string RichestDoc(const ComprehensiveVocabulary& vocab, const Term& term) {
+  const std::string* best = nullptr;
+  for (const auto& ref : term.members) {
+    const std::string& doc =
+        vocab.schema(ref.schema_index).element(ref.element).documentation;
+    if (best == nullptr || doc.size() > best->size()) best = &doc;
+  }
+  return best == nullptr ? std::string() : *best;
+}
+
+// True if most members are containers (have children).
+bool IsContainerTerm(const ComprehensiveVocabulary& vocab, const Term& term) {
+  size_t containers = 0;
+  for (const auto& ref : term.members) {
+    if (!vocab.schema(ref.schema_index).element(ref.element).is_leaf()) {
+      ++containers;
+    }
+  }
+  return containers * 2 > term.members.size();
+}
+
+class UniqueNamer {
+ public:
+  std::string Unique(ElementId parent, std::string name) {
+    if (name.empty()) name = "unnamed";
+    auto& used = used_[parent];
+    if (used.insert(name).second) return name;
+    for (int i = 2;; ++i) {
+      std::string candidate = name + "_" + std::to_string(i);
+      if (used.insert(candidate).second) return candidate;
+    }
+  }
+
+ private:
+  std::unordered_map<ElementId, std::unordered_set<std::string>> used_;
+};
+
+}  // namespace
+
+MediatedSchemaResult BuildMediatedSchema(const ComprehensiveVocabulary& vocabulary,
+                                         const MediatedSchemaOptions& options) {
+  MediatedSchemaResult result;
+  result.schema = Schema(options.name, schema::SchemaFlavor::kGeneric);
+  result.terms_considered = vocabulary.terms().size();
+
+  const auto& terms = vocabulary.terms();
+
+  // Element → owning term index.
+  std::unordered_map<uint64_t, size_t> term_of;
+  for (size_t t = 0; t < terms.size(); ++t) {
+    for (const auto& ref : terms[t].members) term_of[RefKey(ref)] = t;
+  }
+
+  // Classify qualifying terms.
+  std::vector<size_t> container_terms;
+  std::vector<size_t> leaf_terms;
+  for (size_t t = 0; t < terms.size(); ++t) {
+    if (PopCount(terms[t].schema_mask) < static_cast<int>(options.min_sources)) {
+      continue;
+    }
+    (IsContainerTerm(vocabulary, terms[t]) ? container_terms : leaf_terms)
+        .push_back(t);
+  }
+
+  // Tentatively assign each leaf term to a qualifying container term by
+  // majority vote over its members' parents.
+  std::unordered_set<size_t> container_term_set(container_terms.begin(),
+                                                container_terms.end());
+  std::unordered_map<size_t, size_t> parent_term_of_leaf_term;
+  std::unordered_map<size_t, size_t> field_count;  // container term → fields
+  for (size_t lt : leaf_terms) {
+    std::map<size_t, size_t> votes;
+    for (const auto& ref : terms[lt].members) {
+      const Schema& s = vocabulary.schema(ref.schema_index);
+      ElementId parent = s.element(ref.element).parent;
+      if (parent == Schema::kRootId || parent == schema::kInvalidElementId) continue;
+      auto it = term_of.find(RefKey({ref.schema_index, parent}));
+      if (it == term_of.end() || !container_term_set.count(it->second)) continue;
+      votes[it->second]++;
+    }
+    size_t best_term = SIZE_MAX;
+    size_t best_n = 0;
+    for (const auto& [ct, n] : votes) {
+      if (n > best_n) {
+        best_term = ct;
+        best_n = n;
+      }
+    }
+    if (best_term != SIZE_MAX) {
+      parent_term_of_leaf_term[lt] = best_term;
+      field_count[best_term]++;
+    }
+  }
+
+  // Emit containers with enough distilled fields.
+  UniqueNamer namer;
+  std::unordered_map<size_t, ElementId> emitted_container;
+  for (size_t ct : container_terms) {
+    if (field_count[ct] < options.min_fields_per_container) continue;
+    ElementId id = result.schema.AddElement(
+        Schema::kRootId, namer.Unique(Schema::kRootId, terms[ct].display_name),
+        ElementKind::kGroup, DataType::kComposite);
+    result.schema.mutable_element(id).documentation =
+        RichestDoc(vocabulary, terms[ct]);
+    result.schema.mutable_element(id).annotations["sources"] =
+        vocabulary.RegionName(terms[ct].schema_mask);
+    emitted_container[ct] = id;
+    result.provenance[result.schema.Path(id)] = terms[ct].members;
+    ++result.containers_emitted;
+  }
+
+  // Optional catch-all for orphaned shared leaves.
+  ElementId orphan_bucket = schema::kInvalidElementId;
+  auto ensure_orphan_bucket = [&]() {
+    if (orphan_bucket == schema::kInvalidElementId) {
+      orphan_bucket = result.schema.AddElement(
+          Schema::kRootId, namer.Unique(Schema::kRootId, "SharedElements"),
+          ElementKind::kGroup, DataType::kComposite);
+      result.schema.mutable_element(orphan_bucket).documentation =
+          "Shared elements whose concepts did not qualify for the exchange "
+          "schema.";
+    }
+    return orphan_bucket;
+  };
+
+  // Emit leaves.
+  for (size_t lt : leaf_terms) {
+    ElementId parent = schema::kInvalidElementId;
+    auto it = parent_term_of_leaf_term.find(lt);
+    if (it != parent_term_of_leaf_term.end()) {
+      auto emitted = emitted_container.find(it->second);
+      if (emitted != emitted_container.end()) parent = emitted->second;
+    }
+    if (parent == schema::kInvalidElementId) {
+      if (!options.keep_orphan_leaves) continue;
+      parent = ensure_orphan_bucket();
+    }
+    ElementId id = result.schema.AddElement(
+        parent, namer.Unique(parent, terms[lt].display_name), ElementKind::kElement,
+        MajorityType(vocabulary, terms[lt]));
+    result.schema.mutable_element(id).documentation =
+        RichestDoc(vocabulary, terms[lt]);
+    result.schema.mutable_element(id).annotations["sources"] =
+        vocabulary.RegionName(terms[lt].schema_mask);
+    result.provenance[result.schema.Path(id)] = terms[lt].members;
+    ++result.leaves_emitted;
+  }
+  return result;
+}
+
+double MediatedCoverage(const ComprehensiveVocabulary& vocabulary,
+                        const MediatedSchemaResult& result, size_t schema_index) {
+  HARMONY_CHECK_LT(schema_index, vocabulary.schema_count());
+  std::unordered_set<ElementId> covered;
+  for (const auto& [path, members] : result.provenance) {
+    (void)path;
+    for (const auto& ref : members) {
+      if (ref.schema_index == schema_index) covered.insert(ref.element);
+    }
+  }
+  size_t total = vocabulary.schema(schema_index).element_count();
+  return total == 0 ? 0.0
+                    : static_cast<double>(covered.size()) / static_cast<double>(total);
+}
+
+}  // namespace harmony::nway

@@ -1,0 +1,67 @@
+// Exchange-schema generation (paper §2 "Generating an exchange schema"):
+// "The various agencies need to be able to throw their data models into a
+// giant beaker and to distill out a minimal mediated schema that will serve
+// as the basis for their collaboration." The builder distills a
+// comprehensive vocabulary into a mediated Schema containing the concepts
+// shared widely enough to exchange, keeping the S′→S provenance mapping the
+// paper's summarization lesson demands.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nway/vocabulary_builder.h"
+#include "schema/schema.h"
+
+namespace harmony::nway {
+
+/// \brief Distillation knobs.
+struct MediatedSchemaOptions {
+  std::string name = "MEDIATED";
+  /// A term must appear in at least this many member schemata to be
+  /// distilled into the exchange schema (1 would copy everything; the
+  /// emergency-response scenario wants the *common* core).
+  size_t min_sources = 2;
+  /// Containers with fewer than this many distilled fields are dropped
+  /// again (a shared concept nobody shares fields of is not exchangeable).
+  size_t min_fields_per_container = 1;
+  /// Keep leaf terms whose parent concept did not qualify, grouped under a
+  /// catch-all container (named "SharedElements"). Off by default: such
+  /// orphans usually indicate boilerplate.
+  bool keep_orphan_leaves = false;
+};
+
+/// \brief The distilled schema plus its provenance mapping.
+struct MediatedSchemaResult {
+  schema::Schema schema;
+  /// Mediated element path → the member elements it was distilled from.
+  std::map<std::string, std::vector<ElementRef>> provenance;
+  size_t terms_considered = 0;
+  size_t containers_emitted = 0;
+  size_t leaves_emitted = 0;
+
+  MediatedSchemaResult() : schema("MEDIATED") {}
+};
+
+/// \brief Distills a mediated schema from a comprehensive vocabulary.
+///
+/// Container terms meeting min_sources become depth-1 containers of the
+/// mediated schema (named by the term's display name, uniquified); leaf
+/// terms meeting min_sources attach to the mediated container that the
+/// majority of their members' parents map to. Types are resolved by
+/// majority vote over members; documentation is taken from the
+/// longest-documented member ("distilled", per the scenario).
+MediatedSchemaResult BuildMediatedSchema(const ComprehensiveVocabulary& vocabulary,
+                                         const MediatedSchemaOptions& options = {});
+
+/// \brief Fraction of schema `schema_index`'s elements that are represented
+/// in the mediated schema (appear in some provenance list) — the §2
+/// feasibility signal: how well would this source be served by the
+/// exchange schema?
+double MediatedCoverage(const ComprehensiveVocabulary& vocabulary,
+                        const MediatedSchemaResult& result, size_t schema_index);
+
+}  // namespace harmony::nway

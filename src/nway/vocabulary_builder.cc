@@ -1,0 +1,195 @@
+#include "nway/vocabulary_builder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/selection.h"
+#include "text/tokenizer.h"
+
+namespace harmony::nway {
+
+namespace {
+
+// Disjoint-set over the global element index space.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), rank_(n, 0) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+  }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> rank_;
+};
+
+std::string NormalizedName(const schema::Schema& s, schema::ElementId id) {
+  text::TokenizerOptions opts;
+  opts.drop_pure_numbers = true;
+  return Join(text::TokenizeIdentifier(s.element(id).name, opts), "_");
+}
+
+}  // namespace
+
+ComprehensiveVocabulary::ComprehensiveVocabulary(
+    std::vector<const schema::Schema*> schemas,
+    const std::vector<PairwiseMatches>& matches)
+    : schemas_(std::move(schemas)) {
+  HARMONY_CHECK_LE(schemas_.size(), kMaxSchemas);
+  for (const auto* s : schemas_) HARMONY_CHECK(s != nullptr);
+
+  // Global index: offset[i] + element_id addresses schema i's node arena
+  // (root slots stay unused — harmless).
+  std::vector<size_t> offset(schemas_.size() + 1, 0);
+  for (size_t i = 0; i < schemas_.size(); ++i) {
+    offset[i + 1] = offset[i] + schemas_[i]->node_count();
+  }
+  UnionFind uf(offset.back());
+
+  for (const auto& pm : matches) {
+    HARMONY_CHECK_LT(pm.source_index, schemas_.size());
+    HARMONY_CHECK_LT(pm.target_index, schemas_.size());
+    for (const auto& link : pm.links) {
+      uf.Union(offset[pm.source_index] + link.source,
+               offset[pm.target_index] + link.target);
+    }
+  }
+
+  // Collect classes over all non-root elements.
+  std::unordered_map<size_t, size_t> term_of_root;  // UF root → term index
+  for (size_t i = 0; i < schemas_.size(); ++i) {
+    for (schema::ElementId id : schemas_[i]->AllElementIds()) {
+      size_t root = uf.Find(offset[i] + id);
+      auto [it, inserted] = term_of_root.emplace(root, terms_.size());
+      if (inserted) terms_.push_back(Term{});
+      Term& term = terms_[it->second];
+      term.members.push_back({i, id});
+      term.schema_mask |= (1u << i);
+    }
+  }
+
+  // Display names: the most common normalized member name.
+  for (Term& term : terms_) {
+    std::map<std::string, size_t> name_votes;
+    for (const ElementRef& ref : term.members) {
+      name_votes[NormalizedName(*schemas_[ref.schema_index], ref.element)]++;
+    }
+    size_t best = 0;
+    for (const auto& [name, n] : name_votes) {
+      if (n > best) {
+        best = n;
+        term.display_name = name;
+      }
+    }
+  }
+
+  std::sort(terms_.begin(), terms_.end(), [](const Term& a, const Term& b) {
+    if (a.members.size() != b.members.size()) {
+      return a.members.size() > b.members.size();
+    }
+    return a.display_name < b.display_name;
+  });
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    terms_by_mask_[terms_[t].schema_mask].push_back(t);
+  }
+}
+
+std::vector<const Term*> ComprehensiveVocabulary::TermsInRegion(uint32_t mask) const {
+  std::vector<const Term*> out;
+  auto it = terms_by_mask_.find(mask);
+  if (it == terms_by_mask_.end()) return out;
+  out.reserve(it->second.size());
+  for (size_t t : it->second) out.push_back(&terms_[t]);
+  return out;
+}
+
+size_t ComprehensiveVocabulary::RegionCount(uint32_t mask) const {
+  auto it = terms_by_mask_.find(mask);
+  return it == terms_by_mask_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::pair<uint32_t, size_t>> ComprehensiveVocabulary::RegionHistogram()
+    const {
+  std::vector<std::pair<uint32_t, size_t>> out;
+  out.reserve(terms_by_mask_.size());
+  for (const auto& [mask, terms] : terms_by_mask_) {
+    out.emplace_back(mask, terms.size());
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::string ComprehensiveVocabulary::RegionName(uint32_t mask) const {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < schemas_.size(); ++i) {
+    if (mask & (1u << i)) names.push_back(schemas_[i]->name());
+  }
+  return "{" + Join(names, ",") + "}";
+}
+
+size_t ComprehensiveVocabulary::FullOverlapCount() const {
+  uint32_t full = (schemas_.size() == 32)
+                      ? 0xffffffffu
+                      : ((1u << schemas_.size()) - 1u);
+  return RegionCount(full);
+}
+
+std::string ComprehensiveVocabulary::ToCsv() const {
+  CsvWriter w;
+  w.AppendRow({"term", "region", "member_count", "members"});
+  for (const Term& term : terms_) {
+    std::vector<std::string> member_paths;
+    member_paths.reserve(term.members.size());
+    for (const ElementRef& ref : term.members) {
+      member_paths.push_back(schemas_[ref.schema_index]->name() + ":" +
+                             schemas_[ref.schema_index]->Path(ref.element));
+    }
+    w.AppendRow({term.display_name, RegionName(term.schema_mask),
+                 std::to_string(term.members.size()), Join(member_paths, " | ")});
+  }
+  return w.ToString();
+}
+
+std::vector<PairwiseMatches> MatchAllPairs(
+    const std::vector<const schema::Schema*>& schemas, double threshold,
+    bool one_to_one, const core::MatchOptions& options) {
+  std::vector<PairwiseMatches> out;
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    for (size_t j = i + 1; j < schemas.size(); ++j) {
+      core::MatchEngine engine(*schemas[i], *schemas[j], options);
+      core::MatchMatrix matrix = engine.ComputeMatrix();
+      PairwiseMatches pm;
+      pm.source_index = i;
+      pm.target_index = j;
+      pm.links = one_to_one ? core::SelectGreedyOneToOne(matrix, threshold)
+                            : core::SelectByThreshold(matrix, threshold);
+      out.push_back(std::move(pm));
+    }
+  }
+  return out;
+}
+
+}  // namespace harmony::nway

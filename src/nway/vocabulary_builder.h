@@ -1,0 +1,103 @@
+// N-way matching and the comprehensive vocabulary (paper §2 "Enterprise
+// information asset awareness", §3.4 expansion, Lesson #4): "given N
+// schemata there are 2^N−1 such sets partitioning their N-way match; each of
+// which supplies a potentially valuable piece of knowledge". A
+// comprehensive vocabulary is "an exhaustive list of the concepts found in a
+// set of data sources, and, for each concept, the sources using that
+// concept".
+//
+// Terms are equivalence classes of elements across schemata, computed as the
+// transitive closure (union-find) of the supplied pairwise correspondences.
+// Every element belongs to exactly one term; a term's region is the set of
+// schemata contributing members, encoded as a bitmask.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/match_engine.h"
+#include "core/match_matrix.h"
+#include "schema/schema.h"
+
+namespace harmony::nway {
+
+/// \brief One element within the N-schema set.
+struct ElementRef {
+  size_t schema_index = 0;
+  schema::ElementId element = schema::kInvalidElementId;
+
+  bool operator==(const ElementRef& o) const {
+    return schema_index == o.schema_index && element == o.element;
+  }
+};
+
+/// \brief The accepted correspondences between one ordered pair of schemata.
+struct PairwiseMatches {
+  size_t source_index = 0;
+  size_t target_index = 0;
+  std::vector<core::Correspondence> links;
+};
+
+/// \brief A vocabulary term: one equivalence class of elements.
+struct Term {
+  std::vector<ElementRef> members;
+  /// Bit i set ⇔ schema i contributes at least one member.
+  uint32_t schema_mask = 0;
+  /// Representative display name (the most common normalized member name).
+  std::string display_name;
+};
+
+/// \brief The comprehensive vocabulary over N schemata.
+class ComprehensiveVocabulary {
+ public:
+  /// Bitmask width limit; "large numbers of schemata" in the paper's world
+  /// are dozens, not thousands.
+  static constexpr size_t kMaxSchemas = 32;
+
+  /// Builds the vocabulary from pairwise matches. Indices inside `matches`
+  /// must reference `schemas`; the schemata must outlive the vocabulary.
+  ComprehensiveVocabulary(std::vector<const schema::Schema*> schemas,
+                          const std::vector<PairwiseMatches>& matches);
+
+  size_t schema_count() const { return schemas_.size(); }
+  const schema::Schema& schema(size_t i) const { return *schemas_[i]; }
+
+  /// All terms (singletons included), ordered by descending member count.
+  const std::vector<Term>& terms() const { return terms_; }
+
+  /// Terms whose region is exactly `mask`.
+  std::vector<const Term*> TermsInRegion(uint32_t mask) const;
+
+  /// Number of terms with region exactly `mask`.
+  size_t RegionCount(uint32_t mask) const;
+
+  /// (mask, count) for every non-empty region, descending count. At most
+  /// 2^N − 1 rows — the paper's partition of the N-way match.
+  std::vector<std::pair<uint32_t, size_t>> RegionHistogram() const;
+
+  /// Renders a mask as "{SA,SC}" using schema names.
+  std::string RegionName(uint32_t mask) const;
+
+  /// Terms shared by *all* N schemata (the community's common core).
+  size_t FullOverlapCount() const;
+
+  /// CSV export: one row per term (display name, region, member paths).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<const schema::Schema*> schemas_;
+  std::vector<Term> terms_;
+  std::map<uint32_t, std::vector<size_t>> terms_by_mask_;
+};
+
+/// \brief Convenience driver: runs the Harmony engine over every unordered
+/// schema pair and selects links (greedy 1:1 when `one_to_one`, else all
+/// pairs above threshold).
+std::vector<PairwiseMatches> MatchAllPairs(
+    const std::vector<const schema::Schema*>& schemas, double threshold,
+    bool one_to_one = true, const core::MatchOptions& options = {});
+
+}  // namespace harmony::nway

@@ -1,0 +1,78 @@
+#include "repository/match_reuse.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace harmony::repository {
+
+namespace {
+
+// One hop: element of `from` → (element of `to`, score).
+using HopMap =
+    std::unordered_map<schema::ElementId,
+                       std::vector<std::pair<schema::ElementId, double>>>;
+
+// Collects artifact links between `from` and `to` oriented from → to.
+void CollectHops(const MetadataRepository& repo, SchemaId from, SchemaId to,
+                 const ReuseOptions& options, HopMap* hops) {
+  for (const MatchArtifact* artifact : repo.MatchesBetween(from, to)) {
+    if (!options.required_context.empty() &&
+        artifact->provenance.context != options.required_context) {
+      continue;
+    }
+    bool forward = (artifact->source == from);
+    for (const auto& link : artifact->links) {
+      schema::ElementId f = forward ? link.source : link.target;
+      schema::ElementId t = forward ? link.target : link.source;
+      (*hops)[f].emplace_back(t, link.score);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<core::Correspondence> ComposePriorMatches(
+    const MetadataRepository& repository, SchemaId a, SchemaId b,
+    const ReuseOptions& options) {
+  std::map<std::pair<schema::ElementId, schema::ElementId>, double> best;
+
+  for (SchemaId c : repository.AllSchemaIds()) {
+    if (c == a || c == b) continue;
+    HopMap a_to_c;
+    CollectHops(repository, a, c, options, &a_to_c);
+    if (a_to_c.empty()) continue;
+    HopMap c_to_b;
+    CollectHops(repository, c, b, options, &c_to_b);
+    if (c_to_b.empty()) continue;
+
+    for (const auto& [a_el, c_links] : a_to_c) {
+      for (const auto& [c_el, s1] : c_links) {
+        auto it = c_to_b.find(c_el);
+        if (it == c_to_b.end()) continue;
+        for (const auto& [b_el, s2] : it->second) {
+          double composed = std::min(s1, s2) * options.decay;
+          if (composed < options.min_score) continue;
+          auto key = std::make_pair(a_el, b_el);
+          auto [entry, inserted] = best.emplace(key, composed);
+          if (!inserted) entry->second = std::max(entry->second, composed);
+        }
+      }
+    }
+  }
+
+  std::vector<core::Correspondence> out;
+  out.reserve(best.size());
+  for (const auto& [key, score] : best) {
+    out.push_back({key.first, key.second, score});
+  }
+  std::sort(out.begin(), out.end(), [](const core::Correspondence& x,
+                                       const core::Correspondence& y) {
+    if (x.score != y.score) return x.score > y.score;
+    if (x.source != y.source) return x.source < y.source;
+    return x.target < y.target;
+  });
+  return out;
+}
+
+}  // namespace harmony::repository

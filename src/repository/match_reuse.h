@@ -1,0 +1,38 @@
+// Match reuse (paper §5): "other developers should be able to benefit from
+// previous matches." When the repository already holds validated matches
+// A↔C and C↔B, their composition proposes A↔B candidates for free — the
+// repository acting as a knowledge base rather than a file cabinet.
+
+#pragma once
+
+#include <vector>
+
+#include "core/match_matrix.h"
+#include "repository/metadata_repository.h"
+
+namespace harmony::repository {
+
+/// \brief Composition parameters.
+struct ReuseOptions {
+  /// Composed score = min(score1, score2) · decay — each hop through an
+  /// intermediate schema loses confidence.
+  double decay = 0.85;
+  /// Composed candidates below this are dropped.
+  double min_score = 0.2;
+  /// Restrict to artifacts whose provenance context equals this value;
+  /// empty accepts any context (remember: "a match that supports search may
+  /// not have sufficient precision to support a business intelligence
+  /// application").
+  std::string required_context;
+};
+
+/// \brief Proposes A↔B correspondences by composing stored artifacts
+/// through every intermediate schema C with artifacts to both sides.
+/// Duplicate compositions keep the best score. Direct A↔B artifacts are
+/// NOT returned (use MatchesBetween for those); this is purely the
+/// transitive knowledge. Results are sorted by descending score.
+std::vector<core::Correspondence> ComposePriorMatches(
+    const MetadataRepository& repository, SchemaId a, SchemaId b,
+    const ReuseOptions& options = {});
+
+}  // namespace harmony::repository

@@ -1,0 +1,244 @@
+#include "repository/metadata_repository.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "schema/schema_io.h"
+
+namespace harmony::repository {
+
+namespace fs = std::filesystem;
+
+Result<SchemaId> MetadataRepository::RegisterSchema(schema::Schema schema) {
+  for (const auto& existing : schemas_) {
+    if (existing->name() == schema.name()) {
+      return Status::AlreadyExists("schema '" + schema.name() +
+                                   "' is already registered");
+    }
+  }
+  schemas_.push_back(std::make_unique<schema::Schema>(std::move(schema)));
+  return static_cast<SchemaId>(schemas_.size() - 1);
+}
+
+const schema::Schema& MetadataRepository::schema(SchemaId id) const {
+  HARMONY_CHECK_LT(id, schemas_.size());
+  return *schemas_[id];
+}
+
+Result<SchemaId> MetadataRepository::FindSchema(const std::string& name) const {
+  for (size_t i = 0; i < schemas_.size(); ++i) {
+    if (schemas_[i]->name() == name) return static_cast<SchemaId>(i);
+  }
+  return Status::NotFound("no schema named '" + name + "'");
+}
+
+std::vector<SchemaId> MetadataRepository::AllSchemaIds() const {
+  std::vector<SchemaId> out(schemas_.size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = static_cast<SchemaId>(i);
+  return out;
+}
+
+Result<MatchId> MetadataRepository::StoreMatch(
+    SchemaId source, SchemaId target, std::vector<core::Correspondence> links,
+    Provenance provenance) {
+  if (source >= schemas_.size() || target >= schemas_.size()) {
+    return Status::InvalidArgument("unknown schema id in StoreMatch");
+  }
+  for (const auto& link : links) {
+    if (!schemas_[source]->Contains(link.source) ||
+        link.source == schema::Schema::kRootId) {
+      return Status::InvalidArgument(
+          StringFormat("link source element %u is not an element of '%s'",
+                       link.source, schemas_[source]->name().c_str()));
+    }
+    if (!schemas_[target]->Contains(link.target) ||
+        link.target == schema::Schema::kRootId) {
+      return Status::InvalidArgument(
+          StringFormat("link target element %u is not an element of '%s'",
+                       link.target, schemas_[target]->name().c_str()));
+    }
+  }
+  MatchArtifact artifact;
+  artifact.id = static_cast<MatchId>(matches_.size());
+  artifact.source = source;
+  artifact.target = target;
+  artifact.links = std::move(links);
+  artifact.provenance = std::move(provenance);
+  matches_.push_back(std::move(artifact));
+  return matches_.back().id;
+}
+
+const MatchArtifact& MetadataRepository::match(MatchId id) const {
+  HARMONY_CHECK_LT(id, matches_.size());
+  return matches_[id];
+}
+
+std::vector<const MatchArtifact*> MetadataRepository::MatchesFor(SchemaId id) const {
+  std::vector<const MatchArtifact*> out;
+  for (const auto& m : matches_) {
+    if (m.source == id || m.target == id) out.push_back(&m);
+  }
+  return out;
+}
+
+std::vector<const MatchArtifact*> MetadataRepository::MatchesBetween(
+    SchemaId a, SchemaId b) const {
+  std::vector<const MatchArtifact*> out;
+  for (const auto& m : matches_) {
+    if ((m.source == a && m.target == b) || (m.source == b && m.target == a)) {
+      out.push_back(&m);
+    }
+  }
+  return out;
+}
+
+std::vector<const MatchArtifact*> MetadataRepository::MatchesInContext(
+    const std::string& context) const {
+  std::vector<const MatchArtifact*> out;
+  for (const auto& m : matches_) {
+    if (m.provenance.context == context) out.push_back(&m);
+  }
+  return out;
+}
+
+search::SchemaSearchIndex MetadataRepository::BuildSearchIndex() const {
+  search::SchemaSearchIndex index;
+  for (const auto& s : schemas_) index.Add(*s);
+  index.Finalize();
+  return index;
+}
+
+std::vector<const schema::Schema*> MetadataRepository::AllSchemas() const {
+  std::vector<const schema::Schema*> out;
+  out.reserve(schemas_.size());
+  for (const auto& s : schemas_) out.push_back(s.get());
+  return out;
+}
+
+Status MetadataRepository::SaveTo(const std::string& directory) const {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) return Status::IOError("cannot create directory " + directory);
+
+  CsvWriter catalog;
+  catalog.AppendRow({"schema_id", "name", "file"});
+  for (size_t i = 0; i < schemas_.size(); ++i) {
+    std::string file = "schema_" + std::to_string(i) + ".hsc";
+    HARMONY_RETURN_NOT_OK(
+        schema::WriteSchemaFile(*schemas_[i], directory + "/" + file));
+    catalog.AppendRow({std::to_string(i), schemas_[i]->name(), file});
+  }
+  HARMONY_RETURN_NOT_OK(catalog.WriteToFile(directory + "/catalog.csv"));
+
+  CsvWriter matches;
+  matches.AppendRow({"match_id", "source_id", "target_id", "author", "tool",
+                     "created_at", "context", "threshold"});
+  CsvWriter links;
+  links.AppendRow({"match_id", "source_element", "target_element", "score"});
+  for (const auto& m : matches_) {
+    matches.AppendRow({std::to_string(m.id), std::to_string(m.source),
+                       std::to_string(m.target), m.provenance.author,
+                       m.provenance.tool, m.provenance.created_at,
+                       m.provenance.context,
+                       StringFormat("%.6f", m.provenance.threshold)});
+    for (const auto& link : m.links) {
+      links.AppendRow({std::to_string(m.id), std::to_string(link.source),
+                       std::to_string(link.target),
+                       StringFormat("%.6f", link.score)});
+    }
+  }
+  HARMONY_RETURN_NOT_OK(matches.WriteToFile(directory + "/matches.csv"));
+  HARMONY_RETURN_NOT_OK(links.WriteToFile(directory + "/links.csv"));
+  return Status::OK();
+}
+
+namespace {
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ParseCsv(ss.str());
+}
+
+Result<uint64_t> ParseUint(const std::string& s, const char* what) {
+  char* end = nullptr;
+  uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::ParseError(std::string("bad ") + what + ": '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<MetadataRepository> MetadataRepository::LoadFrom(const std::string& directory) {
+  MetadataRepository repo;
+  HARMONY_ASSIGN_OR_RETURN(auto catalog, ReadCsvFile(directory + "/catalog.csv"));
+  if (catalog.empty() || catalog[0] != std::vector<std::string>{"schema_id", "name",
+                                                                "file"}) {
+    return Status::ParseError("malformed catalog.csv header");
+  }
+  for (size_t r = 1; r < catalog.size(); ++r) {
+    if (catalog[r].size() != 3) {
+      return Status::ParseError(StringFormat("catalog.csv row %zu malformed", r));
+    }
+    HARMONY_ASSIGN_OR_RETURN(
+        schema::Schema s, schema::ReadSchemaFile(directory + "/" + catalog[r][2]));
+    HARMONY_ASSIGN_OR_RETURN(SchemaId id, repo.RegisterSchema(std::move(s)));
+    HARMONY_ASSIGN_OR_RETURN(uint64_t expected, ParseUint(catalog[r][0], "schema id"));
+    if (id != expected) {
+      return Status::ParseError("catalog.csv schema ids out of order");
+    }
+  }
+
+  HARMONY_ASSIGN_OR_RETURN(auto matches, ReadCsvFile(directory + "/matches.csv"));
+  HARMONY_ASSIGN_OR_RETURN(auto links, ReadCsvFile(directory + "/links.csv"));
+
+  // Group links by match id first.
+  std::vector<std::vector<core::Correspondence>> links_of;
+  for (size_t r = 1; r < links.size(); ++r) {
+    if (links[r].size() != 4) {
+      return Status::ParseError(StringFormat("links.csv row %zu malformed", r));
+    }
+    HARMONY_ASSIGN_OR_RETURN(uint64_t mid, ParseUint(links[r][0], "match id"));
+    HARMONY_ASSIGN_OR_RETURN(uint64_t se, ParseUint(links[r][1], "source element"));
+    HARMONY_ASSIGN_OR_RETURN(uint64_t te, ParseUint(links[r][2], "target element"));
+    if (mid >= links_of.size()) links_of.resize(mid + 1);
+    links_of[mid].push_back({static_cast<schema::ElementId>(se),
+                             static_cast<schema::ElementId>(te),
+                             std::atof(links[r][3].c_str())});
+  }
+
+  for (size_t r = 1; r < matches.size(); ++r) {
+    if (matches[r].size() != 8) {
+      return Status::ParseError(StringFormat("matches.csv row %zu malformed", r));
+    }
+    HARMONY_ASSIGN_OR_RETURN(uint64_t mid, ParseUint(matches[r][0], "match id"));
+    HARMONY_ASSIGN_OR_RETURN(uint64_t src, ParseUint(matches[r][1], "source id"));
+    HARMONY_ASSIGN_OR_RETURN(uint64_t tgt, ParseUint(matches[r][2], "target id"));
+    Provenance prov;
+    prov.author = matches[r][3];
+    prov.tool = matches[r][4];
+    prov.created_at = matches[r][5];
+    prov.context = matches[r][6];
+    prov.threshold = std::atof(matches[r][7].c_str());
+    std::vector<core::Correspondence> match_links;
+    if (mid < links_of.size()) match_links = std::move(links_of[mid]);
+    HARMONY_ASSIGN_OR_RETURN(
+        MatchId stored,
+        repo.StoreMatch(static_cast<SchemaId>(src), static_cast<SchemaId>(tgt),
+                        std::move(match_links), std::move(prov)));
+    if (stored != mid) {
+      return Status::ParseError("matches.csv match ids out of order");
+    }
+  }
+  return repo;
+}
+
+}  // namespace harmony::repository

@@ -1,0 +1,116 @@
+// Enterprise metadata repository (paper §5): "Large enterprises can have
+// hundreds to thousands of schemata, illustrating the need to manage
+// schemata as data themselves. A schema (metadata) repository is an
+// appropriate context in which to cluster schemata, to summarize them, to
+// search for match candidates and to store resulting match information."
+//
+// Matches are first-class knowledge artifacts with provenance ("who said
+// that X is the same as Y, and should I trust that assertion in my
+// application?") and a context tag, because "matches are context-dependent;
+// a match that supports search may not have sufficient precision to support
+// a business intelligence application."
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/match_matrix.h"
+#include "schema/schema.h"
+#include "search/schema_search.h"
+
+namespace harmony::repository {
+
+/// Repository-wide schema identifier.
+using SchemaId = uint32_t;
+/// Repository-wide match-artifact identifier.
+using MatchId = uint32_t;
+
+/// \brief Who/what/when/for-what behind a stored match set.
+struct Provenance {
+  std::string author;      ///< Integration engineer or service account.
+  std::string tool;        ///< e.g. "harmony/1.0" or "manual".
+  std::string created_at;  ///< Caller-supplied timestamp string (ISO-8601).
+  /// Fitness-for-purpose tag: e.g. "search", "planning", "bi". Consumers
+  /// filter by context before trusting a match.
+  std::string context;
+  /// The confidence threshold the links were selected at.
+  double threshold = 0.0;
+};
+
+/// \brief A stored match set between two registered schemata.
+struct MatchArtifact {
+  MatchId id = 0;
+  SchemaId source = 0;
+  SchemaId target = 0;
+  std::vector<core::Correspondence> links;
+  Provenance provenance;
+};
+
+/// \brief The repository: owns schemata and match artifacts; persists to a
+/// directory and reloads.
+class MetadataRepository {
+ public:
+  MetadataRepository() = default;
+
+  // Movable (owns unique_ptrs), not copyable.
+  MetadataRepository(MetadataRepository&&) = default;
+  MetadataRepository& operator=(MetadataRepository&&) = default;
+
+  /// Registers a schema. Names are unique keys: AlreadyExists on collision.
+  Result<SchemaId> RegisterSchema(schema::Schema schema);
+
+  size_t schema_count() const { return schemas_.size(); }
+
+  /// Access by id (checked) — the reference is stable for the repository's
+  /// lifetime.
+  const schema::Schema& schema(SchemaId id) const;
+
+  /// Lookup by unique name; NotFound when absent.
+  Result<SchemaId> FindSchema(const std::string& name) const;
+
+  std::vector<SchemaId> AllSchemaIds() const;
+
+  /// Stores a match artifact. Validates the schema ids and that every link
+  /// endpoint is a real element of the respective schema (InvalidArgument
+  /// otherwise).
+  Result<MatchId> StoreMatch(SchemaId source, SchemaId target,
+                             std::vector<core::Correspondence> links,
+                             Provenance provenance);
+
+  size_t match_count() const { return matches_.size(); }
+  const MatchArtifact& match(MatchId id) const;
+
+  /// All artifacts touching `id` (as source or target) — "other developers
+  /// should be able to benefit from previous matches".
+  std::vector<const MatchArtifact*> MatchesFor(SchemaId id) const;
+
+  /// Artifacts between the given pair (either direction), newest last.
+  std::vector<const MatchArtifact*> MatchesBetween(SchemaId a, SchemaId b) const;
+
+  /// Artifacts whose provenance context equals `context`.
+  std::vector<const MatchArtifact*> MatchesInContext(const std::string& context) const;
+
+  /// Builds a search index over all registered schemata (references this
+  /// repository's storage; the repository must outlive the index).
+  search::SchemaSearchIndex BuildSearchIndex() const;
+
+  /// Pointers to all registered schemata (e.g. for clustering).
+  std::vector<const schema::Schema*> AllSchemas() const;
+
+  /// Persists everything under `directory` (created if absent): one
+  /// HSC1 file per schema plus catalog.csv, matches.csv, links.csv.
+  Status SaveTo(const std::string& directory) const;
+
+  /// Loads a repository previously written by SaveTo.
+  static Result<MetadataRepository> LoadFrom(const std::string& directory);
+
+ private:
+  std::vector<std::unique_ptr<schema::Schema>> schemas_;
+  std::vector<MatchArtifact> matches_;
+};
+
+}  // namespace harmony::repository

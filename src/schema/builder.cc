@@ -1,0 +1,66 @@
+#include "schema/builder.h"
+
+namespace harmony::schema {
+
+RelationalBuilder::RelationalBuilder(std::string name)
+    : schema_(std::move(name), SchemaFlavor::kRelational) {}
+
+ElementId RelationalBuilder::Table(std::string name, std::string documentation) {
+  ElementId id =
+      schema_.AddElement(Schema::kRootId, std::move(name), ElementKind::kTable,
+                         DataType::kComposite);
+  schema_.mutable_element(id).documentation = std::move(documentation);
+  return id;
+}
+
+ElementId RelationalBuilder::View(std::string name, std::string documentation) {
+  ElementId id = schema_.AddElement(Schema::kRootId, std::move(name),
+                                    ElementKind::kView, DataType::kComposite);
+  schema_.mutable_element(id).documentation = std::move(documentation);
+  return id;
+}
+
+ElementId RelationalBuilder::Column(ElementId table, std::string name, DataType type,
+                                    std::string documentation) {
+  ElementId id = schema_.AddElement(table, std::move(name), ElementKind::kColumn, type);
+  schema_.mutable_element(id).documentation = std::move(documentation);
+  return id;
+}
+
+void RelationalBuilder::SetPrimaryKey(ElementId column) {
+  schema_.mutable_element(column).annotations["primary_key"] = "true";
+  schema_.mutable_element(column).nullable = false;
+}
+
+Schema RelationalBuilder::Build() && { return std::move(schema_); }
+
+XmlBuilder::XmlBuilder(std::string name)
+    : schema_(std::move(name), SchemaFlavor::kXml) {}
+
+ElementId XmlBuilder::ComplexType(std::string name, std::string documentation) {
+  ElementId id =
+      schema_.AddElement(Schema::kRootId, std::move(name), ElementKind::kComplexType,
+                         DataType::kComposite);
+  schema_.mutable_element(id).documentation = std::move(documentation);
+  return id;
+}
+
+ElementId XmlBuilder::Element(ElementId parent, std::string name, DataType type,
+                              std::string documentation) {
+  ElementId id = schema_.AddElement(parent, std::move(name), ElementKind::kElement,
+                                    type);
+  schema_.mutable_element(id).documentation = std::move(documentation);
+  return id;
+}
+
+ElementId XmlBuilder::Attribute(ElementId parent, std::string name, DataType type,
+                                std::string documentation) {
+  ElementId id =
+      schema_.AddElement(parent, std::move(name), ElementKind::kAttribute, type);
+  schema_.mutable_element(id).documentation = std::move(documentation);
+  return id;
+}
+
+Schema XmlBuilder::Build() && { return std::move(schema_); }
+
+}  // namespace harmony::schema

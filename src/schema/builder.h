@@ -1,0 +1,75 @@
+// Convenience builders for hand-constructing schemata in tests, examples,
+// and documentation. The importers (sql/, xml/) construct Schema directly.
+
+#pragma once
+
+#include <string>
+
+#include "schema/schema.h"
+
+namespace harmony::schema {
+
+/// \brief Fluent builder for relational schemata.
+///
+/// \code
+///   RelationalBuilder b("HR");
+///   auto person = b.Table("PERSON", "A person employed by the org");
+///   b.Column(person, "PERSON_ID", DataType::kInteger, "Primary key");
+///   b.Column(person, "LAST_NAME", DataType::kString);
+///   Schema s = std::move(b).Build();
+/// \endcode
+class RelationalBuilder {
+ public:
+  explicit RelationalBuilder(std::string name);
+
+  /// Adds a table; returns its id for use as a Column parent.
+  ElementId Table(std::string name, std::string documentation = "");
+
+  /// Adds a view (matched like a table, tagged as kView).
+  ElementId View(std::string name, std::string documentation = "");
+
+  /// Adds a column under `table`.
+  ElementId Column(ElementId table, std::string name,
+                   DataType type = DataType::kString,
+                   std::string documentation = "");
+
+  /// Marks a column as (part of) the primary key.
+  void SetPrimaryKey(ElementId column);
+
+  /// Access to the schema under construction (for annotations etc.).
+  Schema& schema() { return schema_; }
+
+  /// Finishes construction.
+  Schema Build() &&;
+
+ private:
+  Schema schema_;
+};
+
+/// \brief Fluent builder for XML-flavoured schemata.
+class XmlBuilder {
+ public:
+  explicit XmlBuilder(std::string name);
+
+  /// Adds a complex type at the top level; returns its id.
+  ElementId ComplexType(std::string name, std::string documentation = "");
+
+  /// Adds an element under `parent` (a complex type or another element).
+  ElementId Element(ElementId parent, std::string name,
+                    DataType type = DataType::kUnknown,
+                    std::string documentation = "");
+
+  /// Adds an attribute under `parent`.
+  ElementId Attribute(ElementId parent, std::string name,
+                      DataType type = DataType::kString,
+                      std::string documentation = "");
+
+  Schema& schema() { return schema_; }
+
+  Schema Build() &&;
+
+ private:
+  Schema schema_;
+};
+
+}  // namespace harmony::schema

@@ -1,0 +1,97 @@
+#include "schema/element.h"
+
+namespace harmony::schema {
+
+const char* ElementKindToString(ElementKind kind) {
+  switch (kind) {
+    case ElementKind::kRoot:
+      return "root";
+    case ElementKind::kTable:
+      return "table";
+    case ElementKind::kView:
+      return "view";
+    case ElementKind::kColumn:
+      return "column";
+    case ElementKind::kComplexType:
+      return "complexType";
+    case ElementKind::kElement:
+      return "element";
+    case ElementKind::kAttribute:
+      return "attribute";
+    case ElementKind::kGroup:
+      return "group";
+  }
+  return "group";
+}
+
+ElementKind ElementKindFromString(const std::string& s) {
+  if (s == "root") return ElementKind::kRoot;
+  if (s == "table") return ElementKind::kTable;
+  if (s == "view") return ElementKind::kView;
+  if (s == "column") return ElementKind::kColumn;
+  if (s == "complexType") return ElementKind::kComplexType;
+  if (s == "element") return ElementKind::kElement;
+  if (s == "attribute") return ElementKind::kAttribute;
+  return ElementKind::kGroup;
+}
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kUnknown:
+      return "unknown";
+    case DataType::kString:
+      return "string";
+    case DataType::kInteger:
+      return "integer";
+    case DataType::kDecimal:
+      return "decimal";
+    case DataType::kFloat:
+      return "float";
+    case DataType::kBoolean:
+      return "boolean";
+    case DataType::kDate:
+      return "date";
+    case DataType::kTime:
+      return "time";
+    case DataType::kDateTime:
+      return "dateTime";
+    case DataType::kBinary:
+      return "binary";
+    case DataType::kComposite:
+      return "composite";
+  }
+  return "unknown";
+}
+
+DataType DataTypeFromString(const std::string& s) {
+  if (s == "string") return DataType::kString;
+  if (s == "integer") return DataType::kInteger;
+  if (s == "decimal") return DataType::kDecimal;
+  if (s == "float") return DataType::kFloat;
+  if (s == "boolean") return DataType::kBoolean;
+  if (s == "date") return DataType::kDate;
+  if (s == "time") return DataType::kTime;
+  if (s == "dateTime") return DataType::kDateTime;
+  if (s == "binary") return DataType::kBinary;
+  if (s == "composite") return DataType::kComposite;
+  return DataType::kUnknown;
+}
+
+double DataTypeCompatibility(DataType a, DataType b) {
+  if (a == DataType::kUnknown || b == DataType::kUnknown) return 0.5;
+  if (a == b) return 1.0;
+  auto numeric = [](DataType t) {
+    return t == DataType::kInteger || t == DataType::kDecimal || t == DataType::kFloat;
+  };
+  auto temporal = [](DataType t) {
+    return t == DataType::kDate || t == DataType::kTime || t == DataType::kDateTime;
+  };
+  if (numeric(a) && numeric(b)) return 0.8;
+  if (temporal(a) && temporal(b)) return 0.8;
+  // Strings can encode nearly anything, so string-vs-other is weakly
+  // compatible rather than contradictory.
+  if (a == DataType::kString || b == DataType::kString) return 0.4;
+  return 0.0;
+}
+
+}  // namespace harmony::schema

@@ -1,0 +1,98 @@
+// Schema element vocabulary: the node kinds and data types shared by the
+// relational and XML views of a schema. The paper's task mixes both — SA is
+// relational (tables/columns), SB is an XML Schema (types/elements/
+// attributes) — so the model is a generic labeled tree with kind tags.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace harmony::schema {
+
+/// Index of an element within its Schema's arena.
+using ElementId = uint32_t;
+
+/// Sentinel for "no element" (e.g. the parent of the root).
+constexpr ElementId kInvalidElementId = std::numeric_limits<ElementId>::max();
+
+/// \brief Structural role of a schema element.
+enum class ElementKind : uint8_t {
+  kRoot = 0,         ///< The implicit schema root (not counted as an element).
+  kTable,            ///< Relational table.
+  kView,             ///< Relational view.
+  kColumn,           ///< Relational column.
+  kComplexType,      ///< XSD complex type.
+  kElement,          ///< XSD element.
+  kAttribute,        ///< XSD attribute.
+  kGroup,            ///< Generic grouping node (concept, package, sequence).
+};
+
+/// Human-readable kind name ("table", "column", ...).
+const char* ElementKindToString(ElementKind kind);
+
+/// Parses the output of ElementKindToString; returns kGroup for unknown text.
+ElementKind ElementKindFromString(const std::string& s);
+
+/// \brief Normalized logical data type of a leaf element.
+///
+/// Importers map concrete SQL/XSD types (VARCHAR(30), xs:dateTime) onto this
+/// enum; the data-type match voter compares at this level.
+enum class DataType : uint8_t {
+  kUnknown = 0,
+  kString,
+  kInteger,
+  kDecimal,
+  kFloat,
+  kBoolean,
+  kDate,
+  kTime,
+  kDateTime,
+  kBinary,
+  kComposite,  ///< Non-leaf (table, complex type).
+};
+
+/// Human-readable type name ("string", "integer", ...).
+const char* DataTypeToString(DataType type);
+
+/// Parses the output of DataTypeToString; returns kUnknown for unknown text.
+DataType DataTypeFromString(const std::string& s);
+
+/// \brief Compatibility of two data types for the type voter, in [0,1].
+///
+/// Identical types score 1; related numerics / temporal types score
+/// fractionally; unrelated types score 0. kUnknown is neutral (0.5) because
+/// absence of type information is not evidence against a match.
+double DataTypeCompatibility(DataType a, DataType b);
+
+/// \brief One node of a schema tree.
+///
+/// Elements live in their Schema's arena and refer to each other by
+/// ElementId. Plain data: the Schema class enforces the tree invariants.
+struct SchemaElement {
+  ElementId id = kInvalidElementId;
+  ElementId parent = kInvalidElementId;
+  std::vector<ElementId> children;
+
+  std::string name;
+  std::string documentation;
+  ElementKind kind = ElementKind::kGroup;
+  DataType type = DataType::kUnknown;
+  /// The raw declared type text, e.g. "VARCHAR(30)" or "xs:dateTime".
+  std::string declared_type;
+  bool nullable = true;
+  /// Depth in the tree; the root is 0, its children 1, etc. In a relational
+  /// schema tables sit at depth 1 and columns at depth 2 (paper §3.2).
+  uint32_t depth = 0;
+
+  /// Free-form key→value annotations (importers and the workflow layer use
+  /// these: primary-key flags, concept labels, validation notes).
+  std::map<std::string, std::string> annotations;
+
+  bool is_leaf() const { return children.empty(); }
+};
+
+}  // namespace harmony::schema

@@ -1,0 +1,208 @@
+#include "schema/schema.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace harmony::schema {
+
+const char* SchemaFlavorToString(SchemaFlavor flavor) {
+  switch (flavor) {
+    case SchemaFlavor::kGeneric:
+      return "generic";
+    case SchemaFlavor::kRelational:
+      return "relational";
+    case SchemaFlavor::kXml:
+      return "xml";
+  }
+  return "generic";
+}
+
+SchemaFlavor SchemaFlavorFromString(const std::string& s) {
+  if (s == "relational") return SchemaFlavor::kRelational;
+  if (s == "xml") return SchemaFlavor::kXml;
+  return SchemaFlavor::kGeneric;
+}
+
+Schema::Schema(std::string name, SchemaFlavor flavor) : flavor_(flavor) {
+  SchemaElement root;
+  root.id = kRootId;
+  root.parent = kInvalidElementId;
+  root.name = std::move(name);
+  root.kind = ElementKind::kRoot;
+  root.type = DataType::kComposite;
+  root.depth = 0;
+  elements_.push_back(std::move(root));
+}
+
+ElementId Schema::AddElement(ElementId parent, std::string name, ElementKind kind,
+                             DataType type) {
+  HARMONY_CHECK_LT(parent, elements_.size()) << "invalid parent id";
+  ElementId id = static_cast<ElementId>(elements_.size());
+  SchemaElement e;
+  e.id = id;
+  e.parent = parent;
+  e.name = std::move(name);
+  e.kind = kind;
+  e.type = type;
+  e.depth = elements_[parent].depth + 1;
+  elements_.push_back(std::move(e));
+  elements_[parent].children.push_back(id);
+  return id;
+}
+
+const SchemaElement& Schema::element(ElementId id) const {
+  HARMONY_CHECK_LT(id, elements_.size()) << "invalid element id";
+  return elements_[id];
+}
+
+SchemaElement& Schema::mutable_element(ElementId id) {
+  HARMONY_CHECK_LT(id, elements_.size()) << "invalid element id";
+  return elements_[id];
+}
+
+std::vector<ElementId> Schema::PreOrder() const { return SubtreeIds(kRootId); }
+
+std::vector<ElementId> Schema::AllElementIds() const {
+  auto ids = PreOrder();
+  ids.erase(ids.begin());  // Drop the root.
+  return ids;
+}
+
+std::vector<ElementId> Schema::SubtreeIds(ElementId id) const {
+  HARMONY_CHECK_LT(id, elements_.size());
+  std::vector<ElementId> out;
+  std::vector<ElementId> stack{id};
+  while (!stack.empty()) {
+    ElementId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const auto& children = elements_[cur].children;
+    // Push in reverse so pre-order matches insertion order.
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+size_t Schema::DescendantCount(ElementId id) const {
+  return SubtreeIds(id).size() - 1;
+}
+
+std::vector<ElementId> Schema::LeafIds() const {
+  std::vector<ElementId> out;
+  for (const auto& e : elements_) {
+    if (e.id != kRootId && e.is_leaf()) out.push_back(e.id);
+  }
+  return out;
+}
+
+std::string Schema::Path(ElementId id) const {
+  HARMONY_CHECK_LT(id, elements_.size());
+  if (id == kRootId) return "";
+  std::vector<const std::string*> parts;
+  for (ElementId cur = id; cur != kRootId; cur = elements_[cur].parent) {
+    parts.push_back(&elements_[cur].name);
+  }
+  std::string out;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    if (!out.empty()) out += '.';
+    out += **it;
+  }
+  return out;
+}
+
+Result<ElementId> Schema::FindByPath(const std::string& path) const {
+  if (path.empty()) return kRootId;
+  ElementId cur = kRootId;
+  for (const auto& part : Split(path, '.')) {
+    bool found = false;
+    for (ElementId child : elements_[cur].children) {
+      if (elements_[child].name == part) {
+        cur = child;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::NotFound("no element at path '" + path + "' in schema '" +
+                              name() + "'");
+    }
+  }
+  return cur;
+}
+
+std::vector<ElementId> Schema::FindByName(const std::string& target) const {
+  std::vector<ElementId> out;
+  for (const auto& e : elements_) {
+    if (e.id != kRootId && EqualsIgnoreCase(e.name, target)) out.push_back(e.id);
+  }
+  return out;
+}
+
+std::vector<ElementId> Schema::IdsAtDepth(uint32_t depth) const {
+  std::vector<ElementId> out;
+  for (const auto& e : elements_) {
+    if (e.depth == depth && e.id != kRootId) out.push_back(e.id);
+  }
+  if (depth == 0) out.push_back(kRootId);
+  return out;
+}
+
+uint32_t Schema::MaxDepth() const {
+  uint32_t max_depth = 0;
+  for (const auto& e : elements_) max_depth = std::max(max_depth, e.depth);
+  return max_depth;
+}
+
+void Schema::Visit(const std::function<void(const SchemaElement&)>& fn) const {
+  for (ElementId id : PreOrder()) fn(elements_[id]);
+}
+
+bool Schema::IsAncestorOrSelf(ElementId ancestor, ElementId id) const {
+  HARMONY_CHECK_LT(ancestor, elements_.size());
+  HARMONY_CHECK_LT(id, elements_.size());
+  ElementId cur = id;
+  while (true) {
+    if (cur == ancestor) return true;
+    if (cur == kRootId) return false;
+    cur = elements_[cur].parent;
+  }
+}
+
+Status Schema::Validate() const {
+  if (elements_.empty() || elements_[kRootId].kind != ElementKind::kRoot) {
+    return Status::Internal("schema has no root");
+  }
+  for (const auto& e : elements_) {
+    if (e.id == kRootId) {
+      if (e.parent != kInvalidElementId || e.depth != 0) {
+        return Status::Internal("malformed root node");
+      }
+      continue;
+    }
+    if (e.parent >= elements_.size()) {
+      return Status::Internal(StringFormat("element %u has invalid parent", e.id));
+    }
+    const auto& p = elements_[e.parent];
+    if (e.depth != p.depth + 1) {
+      return Status::Internal(StringFormat("element %u has wrong depth", e.id));
+    }
+    if (std::find(p.children.begin(), p.children.end(), e.id) == p.children.end()) {
+      return Status::Internal(
+          StringFormat("element %u missing from parent's child list", e.id));
+    }
+  }
+  for (const auto& e : elements_) {
+    for (ElementId c : e.children) {
+      if (c >= elements_.size() || elements_[c].parent != e.id) {
+        return Status::Internal(StringFormat("bad child link %u -> %u", e.id, c));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace harmony::schema

@@ -1,0 +1,118 @@
+// Schema: an arena-backed labeled tree of SchemaElements with the traversal
+// and lookup operations the matcher, summarizer, and filters need.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "schema/element.h"
+
+namespace harmony::schema {
+
+/// \brief Source data-model family of a schema.
+enum class SchemaFlavor : uint8_t { kGeneric = 0, kRelational, kXml };
+
+const char* SchemaFlavorToString(SchemaFlavor flavor);
+SchemaFlavor SchemaFlavorFromString(const std::string& s);
+
+/// \brief An entire schema: a named tree of elements.
+///
+/// Construction creates an implicit root node (id 0, kind kRoot) carrying
+/// the schema name; the root is *not* counted by element_count(), matching
+/// the paper's element counts (SA has 1378 elements, none of which is the
+/// schema itself).
+///
+/// Elements are stored in an arena indexed by ElementId; ids are dense and
+/// stable for the lifetime of the schema. Adding elements never invalidates
+/// ids (but may invalidate SchemaElement references, so hold ids, not
+/// pointers, across mutations).
+class Schema {
+ public:
+  /// Creates an empty schema whose root carries `name`.
+  explicit Schema(std::string name, SchemaFlavor flavor = SchemaFlavor::kGeneric);
+
+  const std::string& name() const { return elements_[kRootId].name; }
+  SchemaFlavor flavor() const { return flavor_; }
+  void set_flavor(SchemaFlavor flavor) { flavor_ = flavor; }
+
+  /// Schema-level documentation (shown in repository listings).
+  const std::string& documentation() const { return elements_[kRootId].documentation; }
+  void set_documentation(std::string doc) {
+    elements_[kRootId].documentation = std::move(doc);
+  }
+
+  /// Id of the implicit root.
+  static constexpr ElementId kRootId = 0;
+
+  /// Adds a child of `parent` and returns its id. `parent` must be a valid
+  /// id in this schema (checked; passing a stale id is a programmer error).
+  ElementId AddElement(ElementId parent, std::string name, ElementKind kind,
+                       DataType type = DataType::kUnknown);
+
+  /// Total nodes excluding the root — the paper's notion of schema size.
+  size_t element_count() const { return elements_.size() - 1; }
+
+  /// Total nodes including the root.
+  size_t node_count() const { return elements_.size(); }
+
+  /// True iff `id` names a node in this schema (root included).
+  bool Contains(ElementId id) const { return id < elements_.size(); }
+
+  /// Element access (checked).
+  const SchemaElement& element(ElementId id) const;
+  SchemaElement& mutable_element(ElementId id);
+
+  const SchemaElement& root() const { return elements_[kRootId]; }
+
+  /// All ids in pre-order (root first). Stable across calls.
+  std::vector<ElementId> PreOrder() const;
+
+  /// All non-root ids in pre-order.
+  std::vector<ElementId> AllElementIds() const;
+
+  /// Ids of the subtree rooted at `id` (inclusive), pre-order.
+  std::vector<ElementId> SubtreeIds(ElementId id) const;
+
+  /// Number of descendants of `id` (excluding `id`).
+  size_t DescendantCount(ElementId id) const;
+
+  /// Leaf ids only (non-root).
+  std::vector<ElementId> LeafIds() const;
+
+  /// Dotted path from the root to `id`, excluding the root name, e.g.
+  /// "All_Event_Vitals.DATE_BEGIN_156". The root itself yields "".
+  std::string Path(ElementId id) const;
+
+  /// Resolves a dotted path produced by Path(); NotFound if absent.
+  Result<ElementId> FindByPath(const std::string& path) const;
+
+  /// All non-root elements whose name equals `name` (case-insensitive).
+  std::vector<ElementId> FindByName(const std::string& name) const;
+
+  /// Ids at exactly `depth` (root is depth 0).
+  std::vector<ElementId> IdsAtDepth(uint32_t depth) const;
+
+  /// Maximum depth of any node.
+  uint32_t MaxDepth() const;
+
+  /// Visits each id (root included) in pre-order.
+  void Visit(const std::function<void(const SchemaElement&)>& fn) const;
+
+  /// True iff `ancestor` is `id` itself or a proper ancestor of `id`.
+  bool IsAncestorOrSelf(ElementId ancestor, ElementId id) const;
+
+  /// Structural integrity check (parent/child agreement, depth correctness).
+  /// Always OK for schemata built through AddElement; used to validate
+  /// deserialized schemata.
+  Status Validate() const;
+
+ private:
+  SchemaFlavor flavor_;
+  std::vector<SchemaElement> elements_;
+};
+
+}  // namespace harmony::schema

@@ -1,0 +1,137 @@
+#include "schema/schema_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace harmony::schema {
+
+namespace {
+
+std::string EscapeAnnotationPiece(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\\' || c == ';' || c == '=') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string EncodeAnnotations(const std::map<std::string, std::string>& ann) {
+  std::string out;
+  for (const auto& [k, v] : ann) {
+    if (!out.empty()) out += ';';
+    out += EscapeAnnotationPiece(k);
+    out += '=';
+    out += EscapeAnnotationPiece(v);
+  }
+  return out;
+}
+
+std::map<std::string, std::string> DecodeAnnotations(const std::string& text) {
+  std::map<std::string, std::string> out;
+  std::string key, cur;
+  bool in_key = true;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '\\' && i + 1 < text.size()) {
+      cur += text[++i];
+    } else if (c == '=' && in_key) {
+      key = cur;
+      cur.clear();
+      in_key = false;
+    } else if (c == ';' && !in_key) {
+      out[key] = cur;
+      cur.clear();
+      in_key = true;
+    } else {
+      cur += c;
+    }
+  }
+  if (!in_key) out[key] = cur;
+  return out;
+}
+
+}  // namespace
+
+std::string SerializeSchema(const Schema& schema) {
+  CsvWriter w;
+  w.AppendRow({"HSC1", schema.name(), SchemaFlavorToString(schema.flavor()),
+               schema.documentation()});
+  for (ElementId id : schema.AllElementIds()) {
+    const SchemaElement& e = schema.element(id);
+    w.AppendRow({std::to_string(e.id), std::to_string(e.parent),
+                 ElementKindToString(e.kind), DataTypeToString(e.type), e.name,
+                 e.declared_type, e.nullable ? "1" : "0", e.documentation,
+                 EncodeAnnotations(e.annotations)});
+  }
+  return w.ToString();
+}
+
+Result<Schema> DeserializeSchema(const std::string& text) {
+  HARMONY_ASSIGN_OR_RETURN(auto rows, ParseCsv(text));
+  if (rows.empty() || rows[0].size() < 4 || rows[0][0] != "HSC1") {
+    return Status::ParseError("missing HSC1 header row");
+  }
+  Schema schema(rows[0][1], SchemaFlavorFromString(rows[0][2]));
+  schema.set_documentation(rows[0][3]);
+
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != 9) {
+      return Status::ParseError(
+          StringFormat("row %zu: expected 9 fields, got %zu", r, row.size()));
+    }
+    char* endp = nullptr;
+    unsigned long id = std::strtoul(row[0].c_str(), &endp, 10);
+    if (endp == row[0].c_str() || *endp != '\0') {
+      return Status::ParseError(StringFormat("row %zu: bad element id '%s'", r,
+                                             row[0].c_str()));
+    }
+    unsigned long parent = std::strtoul(row[1].c_str(), &endp, 10);
+    if (endp == row[1].c_str() || *endp != '\0') {
+      return Status::ParseError(StringFormat("row %zu: bad parent id '%s'", r,
+                                             row[1].c_str()));
+    }
+    if (id != schema.node_count()) {
+      return Status::ParseError(
+          StringFormat("row %zu: ids must be dense and in order (expected %zu, "
+                       "got %lu)",
+                       r, schema.node_count(), id));
+    }
+    if (parent >= schema.node_count()) {
+      return Status::ParseError(
+          StringFormat("row %zu: parent %lu not yet defined", r, parent));
+    }
+    ElementId new_id =
+        schema.AddElement(static_cast<ElementId>(parent), row[4],
+                          ElementKindFromString(row[2]), DataTypeFromString(row[3]));
+    SchemaElement& e = schema.mutable_element(new_id);
+    e.declared_type = row[5];
+    e.nullable = (row[6] != "0");
+    e.documentation = row[7];
+    e.annotations = DecodeAnnotations(row[8]);
+  }
+  HARMONY_RETURN_NOT_OK(schema.Validate());
+  return schema;
+}
+
+Status WriteSchemaFile(const Schema& schema, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IOError("cannot open for writing: " + path);
+  f << SerializeSchema(schema);
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Schema> ReadSchemaFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return DeserializeSchema(ss.str());
+}
+
+}  // namespace harmony::schema

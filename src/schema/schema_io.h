@@ -1,0 +1,32 @@
+// Schema serialization. The metadata repository persists schemata to disk in
+// a CSV-backed format ("HSC1"); this header defines the round-trip.
+
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "schema/schema.h"
+
+namespace harmony::schema {
+
+/// \brief Serializes a schema to the HSC1 text format.
+///
+/// Layout: a header row `["HSC1", name, flavor, documentation]`, then one row
+/// per non-root element:
+/// `[id, parent, kind, type, name, declared_type, nullable, documentation,
+///   annotations]` where annotations is `k=v;k=v;...` with ';'/'=' escaped.
+/// Rows appear in id order, so parents always precede children.
+std::string SerializeSchema(const Schema& schema);
+
+/// \brief Parses text produced by SerializeSchema. Returns ParseError on
+/// malformed input and validates structural integrity before returning.
+Result<Schema> DeserializeSchema(const std::string& text);
+
+/// \brief Writes SerializeSchema output to `path`.
+Status WriteSchemaFile(const Schema& schema, const std::string& path);
+
+/// \brief Reads and parses a schema file.
+Result<Schema> ReadSchemaFile(const std::string& path);
+
+}  // namespace harmony::schema

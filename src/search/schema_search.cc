@@ -1,0 +1,116 @@
+#include "search/schema_search.h"
+
+#include <algorithm>
+
+#include "analysis/distance.h"
+#include "common/logging.h"
+#include "text/stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace harmony::search {
+
+std::vector<std::string> ElementTokenBag(const schema::Schema& schema,
+                                         schema::ElementId id) {
+  const schema::SchemaElement& e = schema.element(id);
+  text::TokenizerOptions opts;
+  opts.drop_pure_numbers = true;
+  std::vector<std::string> bag =
+      text::StemAll(text::TokenizeIdentifier(e.name, opts));
+  auto doc = text::StemAll(text::RemoveStopWords(text::TokenizeText(e.documentation)));
+  bag.insert(bag.end(), doc.begin(), doc.end());
+  return bag;
+}
+
+size_t SchemaSearchIndex::Add(const schema::Schema& schema) {
+  HARMONY_CHECK(!finalized_) << "Add after Finalize";
+  size_t index = schemas_.size();
+  schemas_.push_back(&schema);
+  schema_doc_.push_back(corpus_.AddDocument(analysis::SchemaTokenBag(schema)));
+  for (schema::ElementId id : schema.AllElementIds()) {
+    element_docs_.push_back(
+        {index, id, corpus_.AddDocument(ElementTokenBag(schema, id))});
+  }
+  return index;
+}
+
+void SchemaSearchIndex::Finalize() {
+  corpus_.Finalize();
+  finalized_ = true;
+}
+
+const schema::Schema& SchemaSearchIndex::schema(size_t i) const {
+  HARMONY_CHECK_LT(i, schemas_.size());
+  return *schemas_[i];
+}
+
+std::vector<SearchHit> SchemaSearchIndex::RankSchemas(
+    const text::SparseVector& query_vec, size_t k, const SearchFilter& filter) const {
+  HARMONY_CHECK(finalized_) << "query before Finalize";
+  std::vector<SearchHit> hits;
+  for (size_t i = 0; i < schemas_.size(); ++i) {
+    const schema::Schema& s = *schemas_[i];
+    if (filter.flavor && s.flavor() != *filter.flavor) continue;
+    if (s.element_count() < filter.min_elements ||
+        s.element_count() > filter.max_elements) {
+      continue;
+    }
+    double score =
+        text::TfIdfCorpus::Cosine(query_vec, corpus_.DocumentVector(schema_doc_[i]));
+    if (score > 0.0) hits.push_back({i, score});
+  }
+  std::sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.schema_index < b.schema_index;
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+std::vector<SearchHit> SchemaSearchIndex::Search(const schema::Schema& query,
+                                                 size_t k,
+                                                 const SearchFilter& filter) const {
+  HARMONY_CHECK(finalized_) << "query before Finalize";
+  return RankSchemas(corpus_.Vectorize(analysis::SchemaTokenBag(query)), k, filter);
+}
+
+std::vector<SearchHit> SchemaSearchIndex::SearchKeywords(
+    const std::string& keywords, size_t k, const SearchFilter& filter) const {
+  HARMONY_CHECK(finalized_) << "query before Finalize";
+  auto tokens = text::StemAll(text::RemoveStopWords(text::TokenizeText(keywords)));
+  return RankSchemas(corpus_.Vectorize(tokens), k, filter);
+}
+
+std::vector<FragmentHit> SchemaSearchIndex::RankFragments(
+    const text::SparseVector& query_vec, size_t k) const {
+  std::vector<FragmentHit> hits;
+  for (const ElementDoc& doc : element_docs_) {
+    double score =
+        text::TfIdfCorpus::Cosine(query_vec, corpus_.DocumentVector(doc.doc_id));
+    if (score > 0.0) hits.push_back({doc.schema_index, doc.element, score});
+  }
+  std::sort(hits.begin(), hits.end(), [](const FragmentHit& a, const FragmentHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.schema_index != b.schema_index) return a.schema_index < b.schema_index;
+    return a.element < b.element;
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+std::vector<FragmentHit> SchemaSearchIndex::SearchFragments(const std::string& text_q,
+                                                            size_t k) const {
+  HARMONY_CHECK(finalized_) << "query before Finalize";
+  auto tokens = text::StemAll(text::RemoveStopWords(text::TokenizeText(text_q)));
+  return RankFragments(corpus_.Vectorize(tokens), k);
+}
+
+std::vector<FragmentHit> SchemaSearchIndex::SearchFragments(
+    const schema::Schema& query_schema, schema::ElementId query_element,
+    size_t k) const {
+  HARMONY_CHECK(finalized_) << "query before Finalize";
+  return RankFragments(
+      corpus_.Vectorize(ElementTokenBag(query_schema, query_element)), k);
+}
+
+}  // namespace harmony::search

@@ -1,0 +1,104 @@
+// Schema search (paper §2 "Finding relevant and related schemata" and §5):
+// "A powerful way to search the MDR would be to simply use one's target
+// schema as the 'query term'. Using schema matching technology, the system
+// would rank the available schemata." Also supports keyword queries,
+// predicate filters over schema characteristics, and fragment-level results
+// ("a more sophisticated one could return relevant schema fragments").
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+#include "text/tfidf.h"
+
+namespace harmony::search {
+
+/// \brief One ranked schema result.
+struct SearchHit {
+  size_t schema_index = 0;  ///< Index in registration order.
+  double score = 0.0;       ///< TF-IDF cosine relevance in [0,1].
+};
+
+/// \brief One ranked element-level result.
+struct FragmentHit {
+  size_t schema_index = 0;
+  schema::ElementId element = schema::kInvalidElementId;
+  double score = 0.0;
+};
+
+/// \brief Predicates over schema characteristics, applied before ranking.
+struct SearchFilter {
+  std::optional<schema::SchemaFlavor> flavor;
+  size_t min_elements = 0;
+  size_t max_elements = std::numeric_limits<size_t>::max();
+};
+
+/// \brief TF-IDF search index over a pool of schemata.
+///
+/// Usage: Add() every schema, Finalize() once, then query. Registered
+/// schemata must outlive the index.
+class SchemaSearchIndex {
+ public:
+  SchemaSearchIndex() = default;
+
+  /// Registers a schema; returns its index.
+  size_t Add(const schema::Schema& schema);
+
+  /// Builds the TF-IDF statistics. Must be called once after all Add calls.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+  size_t size() const { return schemas_.size(); }
+  const schema::Schema& schema(size_t i) const;
+
+  /// Schema-as-query: rank registered schemata by profile similarity to
+  /// `query`. Returns at most `k` hits with non-zero score, best first.
+  std::vector<SearchHit> Search(const schema::Schema& query, size_t k,
+                                const SearchFilter& filter = {}) const;
+
+  /// Keyword query ("blood test"): the CIO's §2 question "which data
+  /// sources contain the concept of 'blood test'?".
+  std::vector<SearchHit> SearchKeywords(const std::string& text, size_t k,
+                                        const SearchFilter& filter = {}) const;
+
+  /// Fragment-level results: the best-matching individual elements across
+  /// all registered schemata for a keyword query.
+  std::vector<FragmentHit> SearchFragments(const std::string& text,
+                                           size_t k) const;
+
+  /// Fragment-level results for a query schema element (name+doc bag).
+  std::vector<FragmentHit> SearchFragments(const schema::Schema& query_schema,
+                                           schema::ElementId query_element,
+                                           size_t k) const;
+
+ private:
+  std::vector<SearchHit> RankSchemas(const text::SparseVector& query_vec, size_t k,
+                                     const SearchFilter& filter) const;
+  std::vector<FragmentHit> RankFragments(const text::SparseVector& query_vec,
+                                         size_t k) const;
+
+  bool finalized_ = false;
+  std::vector<const schema::Schema*> schemas_;
+  text::TfIdfCorpus corpus_;
+  /// One corpus document per schema (whole-schema token bag)...
+  std::vector<size_t> schema_doc_;
+  /// ...and one per element, for fragment search.
+  struct ElementDoc {
+    size_t schema_index;
+    schema::ElementId element;
+    size_t doc_id;
+  };
+  std::vector<ElementDoc> element_docs_;
+};
+
+/// The token bag of one element: stemmed name tokens plus stop-filtered,
+/// stemmed documentation tokens.
+std::vector<std::string> ElementTokenBag(const schema::Schema& schema,
+                                         schema::ElementId id);
+
+}  // namespace harmony::search

@@ -1,0 +1,121 @@
+#include "sql/ddl_exporter.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace harmony::sql {
+
+using schema::DataType;
+using schema::ElementId;
+using schema::ElementKind;
+using schema::Schema;
+
+const char* DataTypeToSqlType(DataType type) {
+  switch (type) {
+    case DataType::kString:
+      return "VARCHAR(255)";
+    case DataType::kInteger:
+      return "INTEGER";
+    case DataType::kDecimal:
+      return "NUMERIC(18,4)";
+    case DataType::kFloat:
+      return "DOUBLE PRECISION";
+    case DataType::kBoolean:
+      return "BOOLEAN";
+    case DataType::kDate:
+      return "DATE";
+    case DataType::kTime:
+      return "TIME";
+    case DataType::kDateTime:
+      return "TIMESTAMP";
+    case DataType::kBinary:
+      return "BLOB";
+    case DataType::kUnknown:
+    case DataType::kComposite:
+      return "VARCHAR(255)";
+  }
+  return "VARCHAR(255)";
+}
+
+namespace {
+
+std::string SqlStringLiteral(const std::string& s) {
+  return "'" + ReplaceAll(s, "'", "''") + "'";
+}
+
+struct Column {
+  std::string name;
+  const schema::SchemaElement* element;
+};
+
+// Collects the (possibly flattened) column list of a container.
+void CollectColumns(const Schema& s, ElementId container, const std::string& prefix,
+                    bool flatten, std::vector<Column>* out) {
+  for (ElementId child : s.element(container).children) {
+    const schema::SchemaElement& e = s.element(child);
+    if (e.is_leaf()) {
+      out->push_back({prefix + e.name, &e});
+    } else if (flatten) {
+      CollectColumns(s, child, prefix + e.name + "_", flatten, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string ExportDdl(const Schema& schema, const DdlExportOptions& options) {
+  std::string out;
+  std::string comments;
+
+  for (ElementId id : schema.IdsAtDepth(1)) {
+    const schema::SchemaElement& table = schema.element(id);
+    bool is_view = (table.kind == ElementKind::kView);
+
+    std::vector<Column> columns;
+    CollectColumns(schema, id, "", options.flatten_nested, &columns);
+
+    if (is_view) {
+      out += "CREATE VIEW " + table.name + " (";
+      for (size_t i = 0; i < columns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += columns[i].name;
+      }
+      out += ") AS SELECT * FROM " + table.name + "_BASE;\n\n";
+    } else {
+      out += "CREATE TABLE " + table.name + " (\n";
+      std::vector<std::string> pk_columns;
+      for (size_t i = 0; i < columns.size(); ++i) {
+        const Column& col = columns[i];
+        out += "  " + col.name + " " + DataTypeToSqlType(col.element->type);
+        if (!col.element->nullable) out += " NOT NULL";
+        auto pk = col.element->annotations.find("primary_key");
+        if (pk != col.element->annotations.end() && pk->second == "true") {
+          pk_columns.push_back(col.name);
+        }
+        if (i + 1 < columns.size() || !pk_columns.empty()) out += ",";
+        out += "\n";
+      }
+      if (!pk_columns.empty()) {
+        out += "  PRIMARY KEY (" + Join(pk_columns, ", ") + ")\n";
+      }
+      out += ");\n\n";
+    }
+
+    if (options.emit_comments) {
+      if (!table.documentation.empty()) {
+        comments += "COMMENT ON TABLE " + table.name + " IS " +
+                    SqlStringLiteral(table.documentation) + ";\n";
+      }
+      for (const Column& col : columns) {
+        if (col.element->documentation.empty()) continue;
+        comments += "COMMENT ON COLUMN " + table.name + "." + col.name + " IS " +
+                    SqlStringLiteral(col.element->documentation) + ";\n";
+      }
+    }
+  }
+  if (!comments.empty()) out += comments;
+  return out;
+}
+
+}  // namespace harmony::sql

@@ -1,0 +1,33 @@
+// DDL export: renders a schema back to CREATE TABLE statements with
+// COMMENT ON documentation. Together with the importer this round-trips
+// relational schemata, and lets mediated/exchange schemata produced by the
+// nway module be handed to a DBA as a concrete starting point.
+
+#pragma once
+
+#include <string>
+
+#include "schema/schema.h"
+
+namespace harmony::sql {
+
+/// \brief Export options.
+struct DdlExportOptions {
+  /// Emit COMMENT ON TABLE/COLUMN statements for documentation.
+  bool emit_comments = true;
+  /// Nested containers (depth > 1 groups) are flattened into their table
+  /// with underscore-joined column names ("BIRTH_DATE" from BIRTH.DATE).
+  bool flatten_nested = true;
+};
+
+/// \brief Renders `schema` as a SQL DDL script. Depth-1 containers become
+/// tables (views keep CREATE VIEW with a column list); leaves become typed
+/// columns; primary-key and NOT NULL constraints are reconstructed from
+/// annotations and nullability.
+std::string ExportDdl(const schema::Schema& schema,
+                      const DdlExportOptions& options = {});
+
+/// Maps a normalized DataType to a concrete SQL type name.
+const char* DataTypeToSqlType(schema::DataType type);
+
+}  // namespace harmony::sql

@@ -1,0 +1,111 @@
+#include "sql/ddl_lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace harmony::sql {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> LexDdl(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError(StringFormat("line %d: %s", line, msg.c_str()));
+  };
+
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < text.size() && text[i + 1] == '-') {
+      size_t start = i + 2;
+      size_t end = text.find('\n', start);
+      if (end == std::string_view::npos) end = text.size();
+      out.push_back({TokenType::kComment, Trim(text.substr(start, end - start)), line});
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      size_t end = text.find("*/", i + 2);
+      if (end == std::string_view::npos) return error("unterminated block comment");
+      for (size_t k = i; k < end; ++k) {
+        if (text[k] == '\n') ++line;
+      }
+      i = end + 2;
+      continue;
+    }
+    if (c == '\'') {
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < text.size()) {
+        if (text[i] == '\'') {
+          if (i + 1 < text.size() && text[i + 1] == '\'') {
+            value += '\'';
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          if (text[i] == '\n') ++line;
+          value += text[i++];
+        }
+      }
+      if (!closed) return error("unterminated string literal");
+      out.push_back({TokenType::kString, std::move(value), line});
+      continue;
+    }
+    if (c == '"' || c == '`' || c == '[') {
+      char close = (c == '[') ? ']' : c;
+      size_t end = text.find(close, i + 1);
+      if (end == std::string_view::npos) return error("unterminated quoted identifier");
+      out.push_back(
+          {TokenType::kIdentifier, std::string(text.substr(i + 1, end - i - 1)), line});
+      i = end + 1;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[i])) || text[i] == '.')) {
+        ++i;
+      }
+      out.push_back({TokenType::kNumber, std::string(text.substr(start, i - start)),
+                     line});
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) || text[i] == '_' ||
+              text[i] == '$' || text[i] == '#')) {
+        ++i;
+      }
+      out.push_back({TokenType::kIdentifier, std::string(text.substr(start, i - start)),
+                     line});
+      continue;
+    }
+    // Any other single character is a symbol token.
+    out.push_back({TokenType::kSymbol, std::string(1, c), line});
+    ++i;
+  }
+  out.push_back({TokenType::kEnd, "", line});
+  return out;
+}
+
+}  // namespace harmony::sql

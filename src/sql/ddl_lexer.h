@@ -1,0 +1,44 @@
+// SQL DDL lexer. Produces the token stream consumed by the DDL parser;
+// line comments are preserved as tokens because enterprise DDL commonly
+// documents columns with trailing `-- remarks`, which the importer turns
+// into element documentation.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace harmony::sql {
+
+/// \brief Lexical class of a DDL token.
+enum class TokenType : uint8_t {
+  kIdentifier,  ///< Bare or "quoted" identifier (quotes stripped).
+  kNumber,      ///< Numeric literal.
+  kString,      ///< 'single-quoted' string literal (quotes stripped, '' unescaped).
+  kSymbol,      ///< Single punctuation character: ( ) , . ; =
+  kComment,     ///< `-- text` line comment (text trimmed, no dashes).
+  kEnd,         ///< End of input.
+};
+
+/// \brief One token with its source line for diagnostics.
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  int line = 0;
+
+  /// Case-insensitive keyword test for identifier tokens.
+  bool IsKeyword(std::string_view kw) const;
+  bool IsSymbol(char c) const {
+    return type == TokenType::kSymbol && text.size() == 1 && text[0] == c;
+  }
+};
+
+/// \brief Tokenizes DDL text. Block comments are dropped; line comments are
+/// kept as kComment tokens. Returns ParseError for unterminated strings or
+/// block comments. The final token is always kEnd.
+Result<std::vector<Token>> LexDdl(std::string_view text);
+
+}  // namespace harmony::sql

@@ -1,0 +1,527 @@
+#include "sql/ddl_parser.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "sql/ddl_lexer.h"
+
+namespace harmony::sql {
+
+using schema::DataType;
+using schema::ElementId;
+using schema::ElementKind;
+using schema::Schema;
+
+schema::DataType SqlTypeToDataType(std::string_view type_name, int precision_args) {
+  std::string t = ToUpper(type_name);
+  if (t == "VARCHAR" || t == "VARCHAR2" || t == "NVARCHAR" || t == "NVARCHAR2" ||
+      t == "CHAR" || t == "NCHAR" || t == "TEXT" || t == "CLOB" || t == "NCLOB" ||
+      t == "STRING" || t == "CHARACTER") {
+    return DataType::kString;
+  }
+  if (t == "INT" || t == "INTEGER" || t == "BIGINT" || t == "SMALLINT" ||
+      t == "TINYINT" || t == "SERIAL") {
+    return DataType::kInteger;
+  }
+  if (t == "NUMBER" || t == "NUMERIC" || t == "DECIMAL" || t == "DEC") {
+    // NUMBER(p) is integral; NUMBER(p,s) carries a scale.
+    return precision_args >= 2 ? DataType::kDecimal : DataType::kInteger;
+  }
+  if (t == "FLOAT" || t == "REAL" || t == "DOUBLE" || t == "BINARY_FLOAT" ||
+      t == "BINARY_DOUBLE") {
+    return DataType::kFloat;
+  }
+  if (t == "BOOLEAN" || t == "BOOL" || t == "BIT") return DataType::kBoolean;
+  if (t == "DATE") return DataType::kDate;
+  if (t == "TIME") return DataType::kTime;
+  if (t == "TIMESTAMP" || t == "DATETIME" || t == "DATETIME2") {
+    return DataType::kDateTime;
+  }
+  if (t == "BLOB" || t == "RAW" || t == "BINARY" || t == "VARBINARY" ||
+      t == "BYTEA" || t == "IMAGE" || t == "LONG") {
+    return DataType::kBinary;
+  }
+  return DataType::kUnknown;
+}
+
+namespace {
+
+class DdlParser {
+ public:
+  DdlParser(std::vector<Token> tokens, Schema* schema)
+      : tokens_(std::move(tokens)), schema_(schema) {}
+
+  Status Run() {
+    while (!AtEnd()) {
+      SkipComments();
+      if (AtEnd()) break;
+      const Token& t = Peek();
+      if (t.IsKeyword("CREATE")) {
+        HARMONY_RETURN_NOT_OK(ParseCreate());
+      } else if (t.IsKeyword("COMMENT")) {
+        HARMONY_RETURN_NOT_OK(ParseComment());
+      } else {
+        // Unknown statement (ALTER, GRANT, INSERT, ...): skip to ';'.
+        SkipStatement();
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool AtEnd() const { return tokens_[pos_].type == TokenType::kEnd; }
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  void SkipComments() {
+    while (tokens_[pos_].type == TokenType::kComment) ++pos_;
+  }
+
+  // Consumes the next non-comment token.
+  const Token& Next() {
+    SkipComments();
+    return Advance();
+  }
+
+  const Token& PeekToken() {
+    SkipComments();
+    return Peek();
+  }
+
+  Status Error(const Token& at, const std::string& msg) const {
+    return Status::ParseError(
+        StringFormat("line %d: %s (near '%s')", at.line, msg.c_str(),
+                     at.text.c_str()));
+  }
+
+  void SkipStatement() {
+    while (!AtEnd()) {
+      const Token& t = Advance();
+      if (t.IsSymbol(';')) return;
+    }
+  }
+
+  // Consumes a possibly schema-qualified name (a.b.c), returning the last
+  // component (object name) and optionally all components.
+  Result<std::string> ParseObjectName() {
+    const Token& first = Next();
+    if (first.type != TokenType::kIdentifier) {
+      return Error(first, "expected identifier");
+    }
+    std::string name = first.text;
+    while (PeekToken().IsSymbol('.')) {
+      Next();  // '.'
+      const Token& part = Next();
+      if (part.type != TokenType::kIdentifier) {
+        return Error(part, "expected identifier after '.'");
+      }
+      name = part.text;  // Keep only the final component.
+    }
+    return name;
+  }
+
+  Status ParseCreate() {
+    Next();  // CREATE
+    if (PeekToken().IsKeyword("OR")) {
+      Next();  // OR
+      const Token& repl = Next();
+      if (!repl.IsKeyword("REPLACE")) return Error(repl, "expected REPLACE");
+    }
+    // Optional GLOBAL TEMPORARY etc. before TABLE/VIEW.
+    while (PeekToken().type == TokenType::kIdentifier &&
+           !PeekToken().IsKeyword("TABLE") && !PeekToken().IsKeyword("VIEW")) {
+      if (PeekToken().IsKeyword("INDEX") || PeekToken().IsKeyword("SEQUENCE") ||
+          PeekToken().IsKeyword("TRIGGER") || PeekToken().IsKeyword("FUNCTION") ||
+          PeekToken().IsKeyword("PROCEDURE")) {
+        SkipStatement();
+        return Status::OK();
+      }
+      Next();
+    }
+    const Token& kind = Next();
+    if (kind.IsKeyword("TABLE")) return ParseCreateTable();
+    if (kind.IsKeyword("VIEW")) return ParseCreateView();
+    SkipStatement();
+    return Status::OK();
+  }
+
+  Status ParseCreateTable() {
+    // Optional IF NOT EXISTS.
+    if (PeekToken().IsKeyword("IF")) {
+      Next();
+      Next();  // NOT
+      Next();  // EXISTS
+    }
+    HARMONY_ASSIGN_OR_RETURN(std::string table_name, ParseObjectName());
+    ElementId table = schema_->AddElement(Schema::kRootId, table_name,
+                                          ElementKind::kTable, DataType::kComposite);
+    tables_[ToUpper(table_name)] = table;
+
+    const Token& open = Next();
+    if (!open.IsSymbol('(')) return Error(open, "expected '(' after table name");
+
+    while (true) {
+      SkipComments();
+      if (PeekToken().IsSymbol(')')) {
+        Next();
+        break;
+      }
+      HARMONY_RETURN_NOT_OK(ParseTableItem(table));
+      SkipComments();
+      if (PeekToken().IsSymbol(',')) {
+        int comma_line = PeekToken().line;
+        Next();
+        // A `-- remark` on the same line as the comma documents the column
+        // just parsed (standard DDL style); a comment on its own line
+        // documents the next item and is left for it.
+        while (Peek().type == TokenType::kComment && Peek().line == comma_line) {
+          AttachDocToLastColumn(Advance().text);
+        }
+        continue;
+      }
+      if (PeekToken().IsSymbol(')')) {
+        Next();
+        break;
+      }
+      return Error(PeekToken(), "expected ',' or ')' in table body");
+    }
+    // Optional storage clauses up to ';'.
+    SkipStatement();
+    return Status::OK();
+  }
+
+  void AttachDocToLastColumn(const std::string& text) {
+    if (last_column_ == schema::kInvalidElementId || text.empty()) return;
+    schema::SchemaElement& e = schema_->mutable_element(last_column_);
+    if (!e.documentation.empty()) e.documentation += ' ';
+    e.documentation += text;
+  }
+
+  // One parenthesized item: a column definition or a table constraint.
+  Status ParseTableItem(ElementId table) {
+    last_column_ = schema::kInvalidElementId;
+    const Token& first = PeekToken();
+    if (first.IsKeyword("PRIMARY")) return ParseTablePrimaryKey(table);
+    if (first.IsKeyword("FOREIGN")) return ParseTableForeignKey(table);
+    if (first.IsKeyword("CONSTRAINT")) {
+      Next();  // CONSTRAINT
+      Next();  // constraint name
+      const Token& what = PeekToken();
+      if (what.IsKeyword("PRIMARY")) return ParseTablePrimaryKey(table);
+      if (what.IsKeyword("FOREIGN")) return ParseTableForeignKey(table);
+      SkipConstraintBody();
+      return Status::OK();
+    }
+    if (first.IsKeyword("UNIQUE") || first.IsKeyword("CHECK") ||
+        first.IsKeyword("INDEX") || first.IsKeyword("KEY")) {
+      SkipConstraintBody();
+      return Status::OK();
+    }
+    return ParseColumnDef(table);
+  }
+
+  // Skips a constraint's tokens up to (not including) the next top-level
+  // ',' or ')'.
+  void SkipConstraintBody() {
+    int depth = 0;
+    while (!AtEnd()) {
+      const Token& t = PeekToken();
+      if (depth == 0 && (t.IsSymbol(',') || t.IsSymbol(')'))) return;
+      if (t.IsSymbol('(')) ++depth;
+      if (t.IsSymbol(')')) --depth;
+      Next();
+    }
+  }
+
+  Status ParseTablePrimaryKey(ElementId table) {
+    Next();  // PRIMARY
+    const Token& kw = Next();
+    if (!kw.IsKeyword("KEY")) return Error(kw, "expected KEY");
+    const Token& open = Next();
+    if (!open.IsSymbol('(')) return Error(open, "expected '(' after PRIMARY KEY");
+    while (true) {
+      const Token& col = Next();
+      if (col.type != TokenType::kIdentifier) {
+        return Error(col, "expected column name in PRIMARY KEY");
+      }
+      MarkPrimaryKey(table, col.text);
+      const Token& sep = Next();
+      if (sep.IsSymbol(')')) break;
+      if (!sep.IsSymbol(',')) return Error(sep, "expected ',' or ')'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableForeignKey(ElementId table) {
+    Next();  // FOREIGN
+    const Token& kw = Next();
+    if (!kw.IsKeyword("KEY")) return Error(kw, "expected KEY");
+    const Token& open = Next();
+    if (!open.IsSymbol('(')) return Error(open, "expected '('");
+    std::vector<std::string> local_cols;
+    while (true) {
+      const Token& col = Next();
+      if (col.type != TokenType::kIdentifier) {
+        return Error(col, "expected column name in FOREIGN KEY");
+      }
+      local_cols.push_back(col.text);
+      const Token& sep = Next();
+      if (sep.IsSymbol(')')) break;
+      if (!sep.IsSymbol(',')) return Error(sep, "expected ',' or ')'");
+    }
+    const Token& refs = Next();
+    if (!refs.IsKeyword("REFERENCES")) return Error(refs, "expected REFERENCES");
+    HARMONY_ASSIGN_OR_RETURN(std::string ref_table, ParseObjectName());
+    std::vector<std::string> ref_cols;
+    if (PeekToken().IsSymbol('(')) {
+      Next();
+      while (true) {
+        const Token& col = Next();
+        if (col.type != TokenType::kIdentifier) {
+          return Error(col, "expected referenced column");
+        }
+        ref_cols.push_back(col.text);
+        const Token& sep = Next();
+        if (sep.IsSymbol(')')) break;
+        if (!sep.IsSymbol(',')) return Error(sep, "expected ',' or ')'");
+      }
+    }
+    for (size_t i = 0; i < local_cols.size(); ++i) {
+      std::string target = ref_table;
+      if (i < ref_cols.size()) target += "." + ref_cols[i];
+      AnnotateColumn(table, local_cols[i], "foreign_key", target);
+    }
+    // ON DELETE ... etc.
+    SkipConstraintBody();
+    return Status::OK();
+  }
+
+  Status ParseColumnDef(ElementId table) {
+    const Token& name_tok = Next();
+    if (name_tok.type != TokenType::kIdentifier) {
+      return Error(name_tok, "expected column name");
+    }
+    const Token& type_tok = Next();
+    if (type_tok.type != TokenType::kIdentifier) {
+      return Error(type_tok, "expected column type");
+    }
+    std::string declared = type_tok.text;
+    int precision_args = 0;
+    // Raw peek: PeekToken() would consume a trailing `-- remark` between the
+    // type and the separator, which documents this column.
+    if (Peek().IsSymbol('(')) {
+      Next();
+      declared += '(';
+      while (!PeekToken().IsSymbol(')')) {
+        const Token& arg = Next();
+        if (arg.type == TokenType::kEnd) return Error(arg, "unterminated type args");
+        if (arg.IsSymbol(',')) {
+          declared += ',';
+          continue;
+        }
+        declared += arg.text;
+        if (arg.type == TokenType::kNumber || arg.type == TokenType::kIdentifier) {
+          ++precision_args;
+        }
+      }
+      Next();  // ')'
+      declared += ')';
+    }
+    // Multi-word types: DOUBLE PRECISION, CHARACTER VARYING, etc. Peek the
+    // raw stream — PeekToken() would consume a trailing `-- remark` that the
+    // documentation loop below must see.
+    while (Peek().IsKeyword("PRECISION") || Peek().IsKeyword("VARYING")) {
+      Advance();
+    }
+
+    DataType dt = SqlTypeToDataType(type_tok.text, precision_args);
+    ElementId col = schema_->AddElement(table, name_tok.text, ElementKind::kColumn, dt);
+    schema_->mutable_element(col).declared_type = declared;
+    last_column_ = col;
+
+    // Column constraints until ',' / ')' at depth 0.
+    int depth = 0;
+    while (!AtEnd()) {
+      // Peek *without* skipping comments: a line comment here documents this
+      // column.
+      const Token& t = Peek();
+      if (t.type == TokenType::kComment) {
+        if (!t.text.empty()) {
+          schema::SchemaElement& e = schema_->mutable_element(col);
+          if (!e.documentation.empty()) e.documentation += ' ';
+          e.documentation += t.text;
+        }
+        Advance();
+        continue;
+      }
+      if (depth == 0 && (t.IsSymbol(',') || t.IsSymbol(')'))) break;
+      if (t.IsSymbol('(')) ++depth;
+      if (t.IsSymbol(')')) --depth;
+      if (t.IsKeyword("NOT")) {
+        Advance();
+        if (Peek().IsKeyword("NULL")) {
+          Advance();
+          schema_->mutable_element(col).nullable = false;
+        }
+        continue;
+      }
+      if (t.IsKeyword("PRIMARY")) {
+        Advance();
+        if (Peek().IsKeyword("KEY")) {
+          Advance();
+          schema_->mutable_element(col).annotations["primary_key"] = "true";
+          schema_->mutable_element(col).nullable = false;
+        }
+        continue;
+      }
+      if (t.IsKeyword("REFERENCES")) {
+        Advance();
+        HARMONY_ASSIGN_OR_RETURN(std::string ref_table, ParseObjectName());
+        std::string target = ref_table;
+        if (PeekToken().IsSymbol('(')) {
+          Next();
+          const Token& rc = Next();
+          if (rc.type == TokenType::kIdentifier) target += "." + rc.text;
+          while (!PeekToken().IsSymbol(')') && !AtEnd()) Next();
+          Next();  // ')'
+        }
+        schema_->mutable_element(col).annotations["foreign_key"] = target;
+        continue;
+      }
+      Advance();
+    }
+
+    // A comment token appearing immediately after the separator but on the
+    // same source line also belongs to this column; the main loop above
+    // already consumed pre-separator comments. Post-comma same-line comments
+    // are handled by LookaheadColumnComment at the call site — kept simple
+    // here by accepting only pre-separator comments.
+    return Status::OK();
+  }
+
+  Status ParseCreateView() {
+    if (PeekToken().IsKeyword("IF")) {
+      Next();
+      Next();
+      Next();
+    }
+    HARMONY_ASSIGN_OR_RETURN(std::string view_name, ParseObjectName());
+    ElementId view = schema_->AddElement(Schema::kRootId, view_name,
+                                         ElementKind::kView, DataType::kComposite);
+    tables_[ToUpper(view_name)] = view;
+    if (PeekToken().IsSymbol('(')) {
+      Next();
+      while (true) {
+        const Token& col = Next();
+        if (col.type != TokenType::kIdentifier) {
+          return Error(col, "expected view column name");
+        }
+        schema_->AddElement(view, col.text, ElementKind::kColumn, DataType::kUnknown);
+        const Token& sep = Next();
+        if (sep.IsSymbol(')')) break;
+        if (!sep.IsSymbol(',')) return Error(sep, "expected ',' or ')'");
+      }
+    }
+    SkipStatement();  // AS SELECT ... ;
+    return Status::OK();
+  }
+
+  Status ParseComment() {
+    Next();  // COMMENT
+    const Token& on = Next();
+    if (!on.IsKeyword("ON")) return Error(on, "expected ON");
+    const Token& what = Next();
+    bool is_column = what.IsKeyword("COLUMN");
+    bool is_table = what.IsKeyword("TABLE") || what.IsKeyword("VIEW");
+    if (!is_column && !is_table) {
+      SkipStatement();
+      return Status::OK();
+    }
+    // Qualified name: table or table.column (possibly schema-qualified).
+    std::vector<std::string> parts;
+    while (true) {
+      const Token& part = Next();
+      if (part.type != TokenType::kIdentifier) {
+        return Error(part, "expected name in COMMENT ON");
+      }
+      parts.push_back(part.text);
+      if (PeekToken().IsSymbol('.')) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    const Token& is_kw = Next();
+    if (!is_kw.IsKeyword("IS")) return Error(is_kw, "expected IS");
+    const Token& text = Next();
+    if (text.type != TokenType::kString) return Error(text, "expected string literal");
+
+    if (is_table) {
+      std::string table_name = parts.back();
+      auto it = tables_.find(ToUpper(table_name));
+      if (it != tables_.end()) {
+        schema::SchemaElement& e = schema_->mutable_element(it->second);
+        if (!e.documentation.empty()) e.documentation += ' ';
+        e.documentation += text.text;
+      }
+    } else {
+      if (parts.size() >= 2) {
+        std::string column_name = parts.back();
+        std::string table_name = parts[parts.size() - 2];
+        SetColumnDoc(table_name, column_name, text.text);
+      }
+    }
+    SkipStatement();
+    return Status::OK();
+  }
+
+  ElementId FindColumn(ElementId table, const std::string& column_name) const {
+    for (ElementId c : schema_->element(table).children) {
+      if (EqualsIgnoreCase(schema_->element(c).name, column_name)) return c;
+    }
+    return schema::kInvalidElementId;
+  }
+
+  void MarkPrimaryKey(ElementId table, const std::string& column_name) {
+    ElementId c = FindColumn(table, column_name);
+    if (c == schema::kInvalidElementId) return;
+    schema_->mutable_element(c).annotations["primary_key"] = "true";
+    schema_->mutable_element(c).nullable = false;
+  }
+
+  void AnnotateColumn(ElementId table, const std::string& column_name,
+                      const std::string& key, const std::string& value) {
+    ElementId c = FindColumn(table, column_name);
+    if (c == schema::kInvalidElementId) return;
+    schema_->mutable_element(c).annotations[key] = value;
+  }
+
+  void SetColumnDoc(const std::string& table_name, const std::string& column_name,
+                    const std::string& doc) {
+    auto it = tables_.find(ToUpper(table_name));
+    if (it == tables_.end()) return;
+    ElementId c = FindColumn(it->second, column_name);
+    if (c == schema::kInvalidElementId) return;
+    schema::SchemaElement& e = schema_->mutable_element(c);
+    if (!e.documentation.empty()) e.documentation += ' ';
+    e.documentation += doc;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Schema* schema_;
+  std::unordered_map<std::string, ElementId> tables_;
+  ElementId last_column_ = schema::kInvalidElementId;
+};
+
+}  // namespace
+
+Result<Schema> ImportDdl(std::string_view ddl_text, const std::string& schema_name) {
+  HARMONY_ASSIGN_OR_RETURN(auto tokens, LexDdl(ddl_text));
+  Schema schema(schema_name, schema::SchemaFlavor::kRelational);
+  DdlParser parser(std::move(tokens), &schema);
+  HARMONY_RETURN_NOT_OK(parser.Run());
+  return schema;
+}
+
+}  // namespace harmony::sql

@@ -1,0 +1,42 @@
+// SQL DDL importer: parses a script of CREATE TABLE / CREATE VIEW /
+// COMMENT ON statements into the generic schema model. The paper's SA is
+// relational (1378 elements: tables, views, columns) and was supplied as
+// DDL plus documentation.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "schema/schema.h"
+
+namespace harmony::sql {
+
+/// \brief Supported statements:
+///
+///   CREATE TABLE name ( column type [NOT NULL] [PRIMARY KEY] [DEFAULT x]
+///                       [, ...] [, PRIMARY KEY (...)]
+///                       [, FOREIGN KEY (...) REFERENCES t (...)]
+///                       [, CONSTRAINT name ...] );
+///   CREATE [OR REPLACE] VIEW name [(col, ...)] AS SELECT ... ;
+///   COMMENT ON TABLE name IS 'text' ;
+///   COMMENT ON COLUMN table.column IS 'text' ;
+///
+/// Trailing `-- remark` comments on a column definition line become that
+/// column's documentation. Unknown statements are skipped up to their
+/// terminating semicolon; truly malformed input yields a ParseError with a
+/// line number.
+///
+/// Foreign keys are recorded as a `foreign_key` annotation on the referencing
+/// column (value "table.column"); primary keys as annotation
+/// `primary_key=true` and nullable=false.
+Result<schema::Schema> ImportDdl(std::string_view ddl_text,
+                                 const std::string& schema_name = "sql");
+
+/// Maps a SQL type name (VARCHAR, NUMBER, TIMESTAMP, ...) to the normalized
+/// DataType. `precision_args` is the number of parenthesized arguments
+/// (NUMBER(10) → integer, NUMBER(10,2) → decimal).
+schema::DataType SqlTypeToDataType(std::string_view type_name, int precision_args);
+
+}  // namespace harmony::sql

@@ -1,0 +1,99 @@
+#include "summarize/auto_summarizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+#include "text/tokenizer.h"
+
+namespace harmony::summarize {
+
+double ElementImportance(const schema::Schema& schema, schema::ElementId id,
+                         const AutoSummarizeOptions& options) {
+  const schema::SchemaElement& e = schema.element(id);
+  double descendants = static_cast<double>(schema.DescendantCount(id));
+  double children = static_cast<double>(e.children.size());
+  double doc_words =
+      static_cast<double>(text::TokenizeText(e.documentation).size());
+  return std::log2(1.0 + descendants) + std::log2(1.0 + children) +
+         options.doc_weight * std::log2(1.0 + doc_words);
+}
+
+Summary AutoSummarize(const schema::Schema& schema,
+                      const AutoSummarizeOptions& options) {
+  struct Candidate {
+    schema::ElementId id;
+    double importance;
+  };
+  std::vector<Candidate> candidates;
+  for (schema::ElementId id : schema.AllElementIds()) {
+    const schema::SchemaElement& e = schema.element(id);
+    if (e.is_leaf()) continue;
+    if (e.depth > options.max_anchor_depth) continue;
+    if (schema.DescendantCount(id) < options.min_subtree_size) continue;
+    candidates.push_back({id, ElementImportance(schema, id, options)});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.importance != b.importance) return a.importance > b.importance;
+              return a.id < b.id;
+            });
+
+  Summary summary(schema);
+  std::set<std::string> used_labels;
+  size_t taken = 0;
+  for (const Candidate& c : candidates) {
+    if (taken >= options.max_concepts) break;
+    std::string label = schema.element(c.id).name;
+    if (!used_labels.insert(label).second) {
+      label = schema.Path(c.id);  // Disambiguate colliding names by path.
+      if (!used_labels.insert(label).second) continue;
+    }
+    ConceptId concept_id = summary.AddConcept(label);
+    // Anchor never fails here: candidates are distinct non-root elements.
+    HARMONY_CHECK(summary.Anchor(concept_id, c.id).ok());
+    ++taken;
+  }
+  return summary;
+}
+
+double SummaryAgreement(
+    const Summary& summary,
+    const std::map<std::string, std::string>& reference_labels) {
+  const schema::Schema& schema = summary.schema();
+  // Group reference-labeled elements by their auto concept; agreement means
+  // the auto anchor element itself carries (or descends from) a container
+  // whose reference label matches the element's reference label.
+  size_t agreed = 0;
+  size_t total = 0;
+  for (schema::ElementId id : schema.AllElementIds()) {
+    std::string path = schema.Path(id);
+    // Reference labels are given for container paths; resolve an element's
+    // reference concept by walking up.
+    const std::string* ref = nullptr;
+    for (schema::ElementId cur = id; cur != schema::Schema::kRootId;
+         cur = schema.element(cur).parent) {
+      auto it = reference_labels.find(schema.Path(cur));
+      if (it != reference_labels.end()) {
+        ref = &it->second;
+        break;
+      }
+    }
+    if (ref == nullptr) continue;
+    ++total;
+    auto concept_id = summary.ConceptOf(id);
+    if (!concept_id) continue;
+    // The auto concept agrees if one of its anchors has this reference label.
+    for (schema::ElementId anchor : summary.concept_at(*concept_id).anchors) {
+      auto it = reference_labels.find(schema.Path(anchor));
+      if (it != reference_labels.end() && it->second == *ref) {
+        ++agreed;
+        break;
+      }
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(agreed) / static_cast<double>(total);
+}
+
+}  // namespace harmony::summarize

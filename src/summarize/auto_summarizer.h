@@ -1,0 +1,52 @@
+// Automatic schema summarization, the research direction the paper calls
+// for ("promising work [12, 13] has been done, based on purely structural
+// hints"). Implements an importance-based summarizer in the spirit of Yu &
+// Jagadish (VLDB'06): containers are scored by structural importance
+// (sub-tree size, fan-out, depth) plus documentation richness, the top-k
+// become concepts, and every element maps to its nearest chosen ancestor.
+
+#pragma once
+
+#include <cstdint>
+
+#include "summarize/summary.h"
+
+namespace harmony::summarize {
+
+/// \brief Knobs of the automatic summarizer.
+struct AutoSummarizeOptions {
+  /// Maximum number of concepts to emit (the size of S′).
+  size_t max_concepts = 50;
+  /// Containers deeper than this are never concept anchors (the paper's
+  /// engineers labeled tables and top-level types, i.e. depth 1).
+  uint32_t max_anchor_depth = 2;
+  /// Minimum sub-tree size (descendants) for an anchor candidate; tiny
+  /// containers make poor concepts.
+  size_t min_subtree_size = 1;
+  /// Relative weight of documentation length vs structural size in the
+  /// importance score.
+  double doc_weight = 0.25;
+};
+
+/// \brief Importance score of one element (exposed for tests/benches).
+///
+/// importance = log2(1 + descendants) + log2(1 + children)
+///            + doc_weight · log2(1 + doc_words)
+double ElementImportance(const schema::Schema& schema, schema::ElementId id,
+                         const AutoSummarizeOptions& options);
+
+/// \brief Produces a summary of `schema`: top-ranked containers become
+/// concepts labeled with the container's name (path-qualified when names
+/// collide).
+Summary AutoSummarize(const schema::Schema& schema,
+                      const AutoSummarizeOptions& options = {});
+
+/// \brief Accuracy of an automatic summary against reference labels
+/// (element path → reference concept label), e.g. the synthetic
+/// generator's truth labels. Returns the fraction of reference-labeled
+/// elements whose auto-assigned concept anchor lies on the same container
+/// as the reference label.
+double SummaryAgreement(const Summary& summary,
+                        const std::map<std::string, std::string>& reference_labels);
+
+}  // namespace harmony::summarize

@@ -1,0 +1,80 @@
+#include "summarize/concept_lift.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace harmony::summarize {
+
+std::vector<ConceptMatch> LiftToConcepts(const Summary& source_summary,
+                                         const Summary& target_summary,
+                                         const std::vector<core::Correspondence>& links,
+                                         const ConceptLiftOptions& options) {
+  std::map<std::pair<ConceptId, ConceptId>, size_t> support;
+  for (const auto& link : links) {
+    auto sc = source_summary.ConceptOf(link.source);
+    auto tc = target_summary.ConceptOf(link.target);
+    if (!sc || !tc) continue;
+    support[{*sc, *tc}]++;
+  }
+
+  // Member counts, computed lazily per concept.
+  std::map<ConceptId, size_t> src_members, tgt_members;
+  auto members = [](const Summary& s, ConceptId id,
+                    std::map<ConceptId, size_t>& cache) {
+    auto it = cache.find(id);
+    if (it != cache.end()) return it->second;
+    size_t n = s.Members(id).size();
+    cache[id] = n;
+    return n;
+  };
+
+  std::vector<ConceptMatch> out;
+  for (const auto& [pair, n] : support) {
+    if (n < options.min_supporting_links) continue;
+    size_t na = members(source_summary, pair.first, src_members);
+    size_t nb = members(target_summary, pair.second, tgt_members);
+    size_t smaller = std::max<size_t>(1, std::min(na, nb));
+    double coverage = static_cast<double>(n) / static_cast<double>(smaller);
+    if (coverage < options.min_coverage) continue;
+    out.push_back(ConceptMatch{pair.first, pair.second, n, coverage});
+  }
+  std::sort(out.begin(), out.end(), [](const ConceptMatch& a, const ConceptMatch& b) {
+    if (a.supporting_links != b.supporting_links) {
+      return a.supporting_links > b.supporting_links;
+    }
+    if (a.source_concept != b.source_concept) {
+      return a.source_concept < b.source_concept;
+    }
+    return a.target_concept < b.target_concept;
+  });
+  return out;
+}
+
+std::vector<ConceptMatch> ReduceToOneToOne(std::vector<ConceptMatch> matches) {
+  // Input is sorted by strength (LiftToConcepts) — re-sort defensively.
+  std::sort(matches.begin(), matches.end(),
+            [](const ConceptMatch& a, const ConceptMatch& b) {
+              if (a.supporting_links != b.supporting_links) {
+                return a.supporting_links > b.supporting_links;
+              }
+              if (a.coverage != b.coverage) return a.coverage > b.coverage;
+              if (a.source_concept != b.source_concept) {
+                return a.source_concept < b.source_concept;
+              }
+              return a.target_concept < b.target_concept;
+            });
+  std::set<ConceptId> used_src, used_tgt;
+  std::vector<ConceptMatch> out;
+  for (const auto& m : matches) {
+    if (used_src.count(m.source_concept) || used_tgt.count(m.target_concept)) {
+      continue;
+    }
+    used_src.insert(m.source_concept);
+    used_tgt.insert(m.target_concept);
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace harmony::summarize

@@ -1,0 +1,50 @@
+// Concept-level match lifting (paper §3.3): "A common outcome was a strong
+// match from the fields of one concept to the fields of a corresponding
+// concept in the other schema ... When this occurred, we also recorded a
+// concept-level match." This header derives those concept-level matches
+// from element-level correspondences and two summaries.
+
+#pragma once
+
+#include <vector>
+
+#include "core/match_matrix.h"
+#include "summarize/summary.h"
+
+namespace harmony::summarize {
+
+/// \brief One lifted concept-level match.
+struct ConceptMatch {
+  ConceptId source_concept = kInvalidConceptId;
+  ConceptId target_concept = kInvalidConceptId;
+  /// Element-level correspondences between the two concepts' members.
+  size_t supporting_links = 0;
+  /// supporting_links / min(|members A|, |members B|) — how much of the
+  /// smaller concept is covered by the match.
+  double coverage = 0.0;
+};
+
+/// \brief Lifting thresholds.
+struct ConceptLiftOptions {
+  /// Minimum element-level links between two concepts to consider lifting.
+  size_t min_supporting_links = 2;
+  /// Minimum coverage of the smaller concept.
+  double min_coverage = 0.25;
+};
+
+/// \brief Lifts element correspondences to concept matches.
+///
+/// Links whose endpoints fall outside any concept are ignored. Results are
+/// sorted by descending supporting_links, and each (source, target) concept
+/// pair appears at most once.
+std::vector<ConceptMatch> LiftToConcepts(const Summary& source_summary,
+                                         const Summary& target_summary,
+                                         const std::vector<core::Correspondence>& links,
+                                         const ConceptLiftOptions& options = {});
+
+/// \brief One-to-one reduction of lifted matches: greedily keep the
+/// strongest match per concept on either side (what the engineers recorded:
+/// 24 concept-level matches between 140 and 51 concepts).
+std::vector<ConceptMatch> ReduceToOneToOne(std::vector<ConceptMatch> matches);
+
+}  // namespace harmony::summarize

@@ -1,0 +1,92 @@
+#include "summarize/summary.h"
+
+#include "common/logging.h"
+
+namespace harmony::summarize {
+
+ConceptId Summary::AddConcept(const std::string& label) {
+  auto it = by_label_.find(label);
+  if (it != by_label_.end()) return it->second;
+  ConceptId id = static_cast<ConceptId>(concepts_.size());
+  concepts_.push_back(Concept{id, label, {}});
+  by_label_[label] = id;
+  return id;
+}
+
+Status Summary::Anchor(ConceptId concept_id, schema::ElementId element) {
+  if (concept_id >= concepts_.size()) {
+    return Status::NotFound("no concept with id " + std::to_string(concept_id));
+  }
+  if (!schema_->Contains(element) || element == schema::Schema::kRootId) {
+    return Status::InvalidArgument("element " + std::to_string(element) +
+                                   " is not an element of schema '" +
+                                   schema_->name() + "'");
+  }
+  auto [it, inserted] = anchor_of_.emplace(element, concept_id);
+  if (!inserted) {
+    if (it->second == concept_id) return Status::OK();  // Idempotent.
+    return Status::AlreadyExists(
+        "element " + schema_->Path(element) + " is already anchored to concept '" +
+        concepts_[it->second].label + "'");
+  }
+  concepts_[concept_id].anchors.push_back(element);
+  return Status::OK();
+}
+
+Status Summary::AnchorNew(const std::string& label, schema::ElementId element) {
+  return Anchor(AddConcept(label), element);
+}
+
+const Concept& Summary::concept_at(ConceptId id) const {
+  HARMONY_CHECK_LT(id, concepts_.size());
+  return concepts_[id];
+}
+
+std::optional<ConceptId> Summary::FindConcept(const std::string& label) const {
+  auto it = by_label_.find(label);
+  if (it == by_label_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<ConceptId> Summary::ConceptOf(schema::ElementId element) const {
+  schema::ElementId cur = element;
+  while (cur != schema::Schema::kRootId) {
+    auto it = anchor_of_.find(cur);
+    if (it != anchor_of_.end()) return it->second;
+    cur = schema_->element(cur).parent;
+  }
+  return std::nullopt;
+}
+
+std::vector<schema::ElementId> Summary::Members(ConceptId id) const {
+  HARMONY_CHECK_LT(id, concepts_.size());
+  std::vector<schema::ElementId> out;
+  for (schema::ElementId anchor : concepts_[id].anchors) {
+    for (schema::ElementId e : schema_->SubtreeIds(anchor)) {
+      // A nested anchor to a different concept shadows this one.
+      auto owner = ConceptOf(e);
+      if (owner && *owner == id) out.push_back(e);
+    }
+  }
+  return out;
+}
+
+double Summary::Coverage() const {
+  if (schema_->element_count() == 0) return 0.0;
+  size_t covered = 0;
+  for (schema::ElementId e : schema_->AllElementIds()) {
+    if (ConceptOf(e)) ++covered;
+  }
+  return static_cast<double>(covered) /
+         static_cast<double>(schema_->element_count());
+}
+
+std::vector<schema::ElementId> Summary::Unassigned() const {
+  std::vector<schema::ElementId> out;
+  for (schema::ElementId e : schema_->AllElementIds()) {
+    if (!ConceptOf(e)) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace harmony::summarize

@@ -1,0 +1,88 @@
+// Schema summarization (paper Lesson #1): "This operator would take a
+// schema S as its input and generate a simpler representation S′ as its
+// output. The operator must also generate a mapping that relates the
+// elements of S to those of S′." Here S′ is a set of concept labels, and
+// the mapping assigns each schema element to at most one concept — exactly
+// the "flat list of concept labels" the paper's engineers used, with room
+// for richer structures later.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/schema.h"
+
+namespace harmony::summarize {
+
+/// Index of a concept within a Summary.
+using ConceptId = uint32_t;
+constexpr ConceptId kInvalidConceptId = UINT32_MAX;
+
+/// \brief One concept of the simplified representation S′.
+struct Concept {
+  ConceptId id = kInvalidConceptId;
+  std::string label;  ///< Human-facing name ("Event", "Person").
+  /// Elements directly anchored to the concept (usually containers; the
+  /// paper's engineers anchored 140 elements in SA and 51 in SB).
+  std::vector<schema::ElementId> anchors;
+};
+
+/// \brief A summary of one schema: the concept list plus the S → S′
+/// mapping.
+///
+/// Anchoring a concept to an element implicitly covers the element's whole
+/// sub-tree: ConceptOf(e) walks up to the nearest anchored ancestor. An
+/// element anchored to one concept cannot be re-anchored to another
+/// (AlreadyExists), mirroring the "at most one concept per element" rule.
+class Summary {
+ public:
+  /// Creates an empty summary of `schema` (which must outlive the summary).
+  explicit Summary(const schema::Schema& schema) : schema_(&schema) {}
+
+  const schema::Schema& schema() const { return *schema_; }
+
+  /// Adds (or returns the existing id of) a concept labeled `label`.
+  ConceptId AddConcept(const std::string& label);
+
+  /// Anchors `element` to the concept. Fails with AlreadyExists if the
+  /// element is anchored elsewhere, NotFound for an unknown concept id, and
+  /// InvalidArgument for an element outside the schema.
+  Status Anchor(ConceptId concept_id, schema::ElementId element);
+
+  /// Convenience: AddConcept + Anchor.
+  Status AnchorNew(const std::string& label, schema::ElementId element);
+
+  size_t concept_count() const { return concepts_.size(); }
+  const Concept& concept_at(ConceptId id) const;
+  const std::vector<Concept>& concepts() const { return concepts_; }
+
+  /// Looks a concept up by label.
+  std::optional<ConceptId> FindConcept(const std::string& label) const;
+
+  /// The concept covering `element`: the concept anchored at the element or
+  /// at its nearest anchored ancestor; nullopt if no ancestor is anchored.
+  std::optional<ConceptId> ConceptOf(schema::ElementId element) const;
+
+  /// All elements covered by a concept (the anchored sub-trees, minus any
+  /// nested sub-tree re-anchored to a different concept).
+  std::vector<schema::ElementId> Members(ConceptId id) const;
+
+  /// Fraction of the schema's elements covered by some concept.
+  double Coverage() const;
+
+  /// Elements covered by no concept (knowledge the summary is missing).
+  std::vector<schema::ElementId> Unassigned() const;
+
+ private:
+  const schema::Schema* schema_;
+  std::vector<Concept> concepts_;
+  std::map<schema::ElementId, ConceptId> anchor_of_;
+  std::map<std::string, ConceptId> by_label_;
+};
+
+}  // namespace harmony::summarize

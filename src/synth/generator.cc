@@ -1,0 +1,524 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "text/abbreviations.h"
+
+namespace harmony::synth {
+
+namespace {
+
+using schema::DataType;
+using schema::ElementId;
+using schema::ElementKind;
+using schema::Schema;
+using schema::SchemaFlavor;
+
+// ----------------------------------------------------------------- Abstract
+
+struct AbstractField {
+  const FieldTemplate* tmpl = nullptr;
+  // Semantic identity, the join key for ground truth. Fields of the same
+  // *base* concept are the same property wherever they appear — the begin
+  // date of an event is the same notion in EVENT_STATUS and EVENT_HISTORY
+  // (the paper's engineers likewise "did observe some cross-concept
+  // matches") — so base fields are keyed "b<base>.f<k>", aspect fields
+  // "a<aspect>.f<k>.b<base>" and boilerplate fields "g<k>.b<base>" (an
+  // identifier *of a person* is not an identifier *of a vehicle*).
+  std::string semantic;
+};
+
+struct AbstractConcept {
+  size_t combo = 0;
+  const ConceptTemplate* base = nullptr;
+  const AspectTemplate* aspect = nullptr;  // Null for the aspect-less form.
+  std::string semantic;                    // "c<combo>"
+  std::string label;                       // "event/status" (canonical words).
+  std::vector<AbstractField> fields;
+};
+
+// Builds the abstract (side-independent) form of one (concept, aspect)
+// combination, including a stable draw of common boilerplate fields.
+AbstractConcept BuildAbstractConcept(const DomainVocabulary& vocab, size_t combo,
+                                     harmony::Rng* rng) {
+  AbstractConcept c;
+  c.combo = combo;
+  size_t n_aspects = vocab.aspects.size() + 1;
+  size_t base_idx = combo / n_aspects;
+  c.base = &vocab.concepts[base_idx];
+  size_t aspect_idx = combo % n_aspects;
+  c.aspect = (aspect_idx == 0) ? nullptr : &vocab.aspects[aspect_idx - 1];
+  c.semantic = "c" + std::to_string(combo);
+  c.label = c.base->name_alts[0];
+  if (c.aspect != nullptr) c.label += "/" + c.aspect->name_alts[0];
+
+  std::string base_tag = ".b" + std::to_string(base_idx);
+  // 2-4 common boilerplate fields, drawn once so both sides agree on which
+  // boilerplate the concept carries.
+  std::vector<size_t> common_order(vocab.common_fields.size());
+  for (size_t i = 0; i < common_order.size(); ++i) common_order[i] = i;
+  rng->Shuffle(common_order);
+  size_t n_common = static_cast<size_t>(rng->Uniform(2, 4));
+  std::sort(common_order.begin(), common_order.begin() + n_common);
+  for (size_t i = 0; i < n_common; ++i) {
+    c.fields.push_back({&vocab.common_fields[common_order[i]],
+                        "g" + std::to_string(common_order[i]) + base_tag});
+  }
+  for (size_t k = 0; k < c.base->fields.size(); ++k) {
+    c.fields.push_back({&c.base->fields[k],
+                        "b" + std::to_string(base_idx) + ".f" + std::to_string(k)});
+  }
+  if (c.aspect != nullptr) {
+    for (size_t k = 0; k < c.aspect->fields.size(); ++k) {
+      c.fields.push_back({&c.aspect->fields[k],
+                          "a" + std::to_string(aspect_idx - 1) + ".f" +
+                              std::to_string(k) + base_tag});
+    }
+  }
+  return c;
+}
+
+// ----------------------------------------------------------------- Renderer
+
+// word → candidate abbreviations, inverted from the built-in dictionary
+// (single-word expansions only).
+const std::unordered_map<std::string, std::vector<std::string>>& ReverseAbbrevs() {
+  static const auto* kMap = [] {
+    auto* m = new std::unordered_map<std::string, std::vector<std::string>>();
+    for (const auto& [abbrev, expansion] :
+         text::AbbreviationDictionary::Builtin().entries()) {
+      if (expansion.find(' ') == std::string::npos) {
+        (*m)[expansion].push_back(abbrev);
+      }
+    }
+    return m;
+  }();
+  return *kMap;
+}
+
+std::string Capitalize(const std::string& w) {
+  if (w.empty()) return w;
+  std::string out = w;
+  out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  return out;
+}
+
+// Renders concept/field word-choice lists into a surface name.
+class Renderer {
+ public:
+  Renderer(Schema* schema, const RenderStyle& style, harmony::Rng* rng)
+      : schema_(schema), style_(style), rng_(rng) {}
+
+  // Renders one abstract concept with the given subset of its fields
+  // (`include` holds semantic keys; pass nullptr to include all). Records
+  // semantic → path into `semantics` when non-null.
+  ElementId RenderConcept(const AbstractConcept& c,
+                          const std::set<std::string>* include,
+                          std::map<std::string, std::string>* semantics) {
+    std::vector<std::vector<std::string>> words;
+    // Occasionally prefix a rollup container the way legacy schemata do
+    // ("All_Event_Vitals").
+    if (style_.flavor == SchemaFlavor::kRelational && rng_->Bernoulli(0.08)) {
+      words.push_back({"all"});
+    }
+    words.push_back(c.base->name_alts);
+    if (c.aspect != nullptr) words.push_back(c.aspect->name_alts);
+
+    bool xml = (style_.flavor == SchemaFlavor::kXml);
+    ElementId container = schema_->AddElement(
+        Schema::kRootId, UniqueName(Schema::kRootId, RenderName(words)),
+        xml ? ElementKind::kComplexType : ElementKind::kTable, DataType::kComposite);
+    if (rng_->Bernoulli(style_.doc_probability) && !c.base->doc_variants.empty()) {
+      schema_->mutable_element(container).documentation = PickDoc(c.base->doc_variants);
+    }
+    if (semantics != nullptr) {
+      (*semantics)[schema_->Path(container)] = c.semantic;
+    }
+
+    for (const auto& field : c.fields) {
+      if (include != nullptr && include->count(field.semantic) == 0) continue;
+      ElementKind kind = ElementKind::kColumn;
+      if (xml) {
+        // A minority of XML fields render as attributes.
+        kind = rng_->Bernoulli(0.15) ? ElementKind::kAttribute : ElementKind::kElement;
+      }
+      ElementId el = schema_->AddElement(
+          container, UniqueName(container, RenderName(field.tmpl->words)), kind,
+          field.tmpl->type);
+      schema::SchemaElement& e = schema_->mutable_element(el);
+      if (rng_->Bernoulli(style_.doc_probability) &&
+          !field.tmpl->doc_variants.empty()) {
+        e.documentation = PickDoc(field.tmpl->doc_variants);
+        // Data dictionaries commonly carry a boilerplate gloss naming the
+        // field and its entity in canonical vocabulary; this is the shared
+        // signal that makes documentation genuinely useful for matching.
+        if (rng_->Bernoulli(0.75)) {
+          e.documentation += " " + CanonicalGloss(field.tmpl->words, *c.base);
+        }
+      }
+      if (semantics != nullptr) {
+        (*semantics)[schema_->Path(el)] = field.semantic;
+      }
+    }
+    return container;
+  }
+
+ private:
+  // Chooses a documentation variant, biased toward the canonical first
+  // variant: real documentation for the same field tends to descend from a
+  // common data dictionary, so the two sides agree more often than uniform
+  // choice would suggest.
+  std::string PickDoc(const std::vector<std::string>& variants) {
+    if (variants.size() == 1 || rng_->Bernoulli(0.65)) return variants[0];
+    return variants[static_cast<size_t>(
+        rng_->Uniform(1, static_cast<int64_t>(variants.size()) - 1))];
+  }
+
+  // "The <canonical field words> of the <canonical concept name>." —
+  // rendered from canonical vocabulary on both sides, so it carries shared
+  // stemmed content words whatever the surface name noise did.
+  static std::string CanonicalGloss(
+      const std::vector<std::vector<std::string>>& words,
+      const ConceptTemplate& base) {
+    std::string gloss = "The";
+    for (const auto& alts : words) gloss += " " + alts[0];
+    gloss += " of the " + base.name_alts[0] + ".";
+    return gloss;
+  }
+
+  // One surface rendering of a word-choice list: synonym draws, abbreviation
+  // substitution, casing style, optional numeric suffix.
+  std::string RenderName(const std::vector<std::vector<std::string>>& words) {
+    std::vector<std::string> chosen;
+    chosen.reserve(words.size());
+    for (const auto& alts : words) {
+      HARMONY_CHECK(!alts.empty());
+      std::string w = alts[0];
+      if (alts.size() > 1 && rng_->Bernoulli(style_.synonym_probability)) {
+        w = alts[static_cast<size_t>(
+            rng_->Uniform(1, static_cast<int64_t>(alts.size()) - 1))];
+      }
+      if (rng_->Bernoulli(style_.abbreviation_probability)) {
+        auto it = ReverseAbbrevs().find(w);
+        if (it != ReverseAbbrevs().end()) w = rng_->Choice(it->second);
+      }
+      chosen.push_back(std::move(w));
+    }
+
+    std::string name;
+    switch (style_.name_style) {
+      case NameStyle::kUpperUnderscore:
+        for (auto& w : chosen) w = ToUpper(w);
+        name = Join(chosen, "_");
+        break;
+      case NameStyle::kLowerUnderscore:
+        name = Join(chosen, "_");
+        break;
+      case NameStyle::kCamelCase:
+        for (auto& w : chosen) w = Capitalize(w);
+        name = Join(chosen, "");
+        break;
+      case NameStyle::kLowerCamel:
+        for (size_t i = 1; i < chosen.size(); ++i) chosen[i] = Capitalize(chosen[i]);
+        name = Join(chosen, "");
+        break;
+    }
+    if (rng_->Bernoulli(style_.numeric_suffix_probability)) {
+      std::string suffix = std::to_string(rng_->Uniform(100, 999));
+      bool underscore = style_.name_style == NameStyle::kUpperUnderscore ||
+                        style_.name_style == NameStyle::kLowerUnderscore;
+      name += underscore ? "_" + suffix : suffix;
+    }
+    return name;
+  }
+
+  // Guarantees sibling-name uniqueness (case-insensitive) by appending a
+  // numeric disambiguator when needed.
+  std::string UniqueName(ElementId parent, std::string name) {
+    auto& used = used_names_[parent];
+    std::string key = ToLower(name);
+    if (used.insert(key).second) return name;
+    for (int n = 2;; ++n) {
+      std::string candidate = name + "_" + std::to_string(n);
+      if (used.insert(ToLower(candidate)).second) return candidate;
+    }
+  }
+
+  Schema* schema_;
+  RenderStyle style_;
+  harmony::Rng* rng_;
+  std::unordered_map<ElementId, std::unordered_set<std::string>> used_names_;
+};
+
+std::vector<size_t> ShuffledCombos(const DomainVocabulary& vocab, harmony::Rng* rng) {
+  std::vector<size_t> combos(vocab.CombinationCount());
+  for (size_t i = 0; i < combos.size(); ++i) combos[i] = i;
+  rng->Shuffle(combos);
+  return combos;
+}
+
+}  // namespace
+
+namespace {
+
+// Chooses the combo (concept × aspect) indices for the shared, source-only,
+// and target-only pools. With disjoint_base_pools the three pools use
+// disjoint sets of base concepts, so one schema's unique concepts cannot
+// accidentally share fields with the other schema.
+std::vector<size_t> ChooseCombos(const DomainVocabulary& vocab, const PairSpec& spec,
+                                 size_t n_total, harmony::Rng* rng) {
+  if (!spec.disjoint_base_pools) {
+    std::vector<size_t> combos = ShuffledCombos(vocab, rng);
+    combos.resize(n_total);
+    return combos;
+  }
+
+  size_t n_aspects = vocab.aspects.size() + 1;
+  size_t pool_need[3] = {spec.shared_concepts,
+                         spec.source_concepts - spec.shared_concepts,
+                         spec.target_concepts - spec.shared_concepts};
+  size_t bases_needed[3];
+  size_t total_bases = 0;
+  for (int p = 0; p < 3; ++p) {
+    bases_needed[p] = (pool_need[p] + n_aspects - 1) / n_aspects;
+    total_bases += bases_needed[p];
+  }
+  HARMONY_CHECK_LE(total_bases, vocab.concepts.size())
+      << "vocabulary has too few base concepts for disjoint pools";
+
+  // Spread leftover bases across pools (proportional-ish round robin) for
+  // naming variety beyond the bare minimum.
+  size_t leftover = vocab.concepts.size() - total_bases;
+  for (int p = 0; leftover > 0; p = (p + 1) % 3) {
+    if (pool_need[p] > 0) {
+      ++bases_needed[p];
+      --leftover;
+    } else if (pool_need[0] == 0 && pool_need[1] == 0 && pool_need[2] == 0) {
+      break;
+    }
+  }
+
+  std::vector<size_t> bases(vocab.concepts.size());
+  for (size_t i = 0; i < bases.size(); ++i) bases[i] = i;
+  rng->Shuffle(bases);
+
+  std::vector<size_t> out;
+  out.reserve(n_total);
+  size_t next_base = 0;
+  for (int p = 0; p < 3; ++p) {
+    std::vector<size_t> pool_combos;
+    for (size_t b = 0; b < bases_needed[p] && next_base < bases.size(); ++b) {
+      size_t base = bases[next_base++];
+      for (size_t a = 0; a < n_aspects; ++a) {
+        pool_combos.push_back(base * n_aspects + a);
+      }
+    }
+    HARMONY_CHECK_LE(pool_need[p], pool_combos.size());
+    rng->Shuffle(pool_combos);
+    out.insert(out.end(), pool_combos.begin(),
+               pool_combos.begin() + static_cast<std::ptrdiff_t>(pool_need[p]));
+  }
+  return out;
+}
+
+}  // namespace
+
+GeneratedPair GeneratePair(const PairSpec& spec) {
+  const DomainVocabulary& vocab = DomainVocabulary::Military();
+  harmony::Rng rng(spec.seed);
+
+  HARMONY_CHECK_LE(spec.shared_concepts, spec.source_concepts);
+  HARMONY_CHECK_LE(spec.shared_concepts, spec.target_concepts);
+  size_t n_total = spec.source_concepts + spec.target_concepts - spec.shared_concepts;
+  HARMONY_CHECK_LE(n_total, vocab.CombinationCount())
+      << "vocabulary too small for requested concept counts";
+
+  std::vector<size_t> combos = ChooseCombos(vocab, spec, n_total, &rng);
+
+  std::vector<AbstractConcept> concepts;
+  concepts.reserve(n_total);
+  for (size_t i = 0; i < n_total; ++i) {
+    concepts.push_back(BuildAbstractConcept(vocab, combos[i], &rng));
+  }
+
+  // Field-side assignment for shared concepts: each field goes to both
+  // sides with probability shared_field_overlap, else to exactly one side.
+  // side_sets[i] holds the per-side included semantics for concept i.
+  struct SideFields {
+    std::set<std::string> source;
+    std::set<std::string> target;
+  };
+  std::vector<SideFields> side_fields(n_total);
+  for (size_t i = 0; i < n_total; ++i) {
+    bool is_shared = i < spec.shared_concepts;
+    bool in_source = is_shared || i < spec.source_concepts;
+    bool in_target = is_shared || i >= spec.source_concepts;
+    for (const auto& f : concepts[i].fields) {
+      if (!is_shared) {
+        if (in_source) side_fields[i].source.insert(f.semantic);
+        if (in_target) side_fields[i].target.insert(f.semantic);
+        continue;
+      }
+      if (rng.Bernoulli(spec.shared_field_overlap)) {
+        side_fields[i].source.insert(f.semantic);
+        side_fields[i].target.insert(f.semantic);
+      } else if (rng.Bernoulli(spec.shared_field_source_bias)) {
+        side_fields[i].source.insert(f.semantic);
+      } else {
+        side_fields[i].target.insert(f.semantic);
+      }
+    }
+  }
+
+  GeneratedPair out;
+  out.source = Schema(spec.source_name, spec.source_style.flavor);
+  out.target = Schema(spec.target_name, spec.target_style.flavor);
+
+  std::map<std::string, std::string> source_semantics;  // path → semantic
+  std::map<std::string, std::string> target_semantics;
+
+  // Render each side in an independently shuffled concept order.
+  auto render_side = [&](Schema* schema, const RenderStyle& style, bool is_source,
+                         std::map<std::string, std::string>* semantics) {
+    Renderer renderer(schema, style, &rng);
+    std::vector<size_t> order;
+    for (size_t i = 0; i < n_total; ++i) {
+      bool member = is_source ? (i < spec.source_concepts)
+                              : (i < spec.shared_concepts ||
+                                 i >= spec.source_concepts);
+      if (member) order.push_back(i);
+    }
+    rng.Shuffle(order);
+    for (size_t i : order) {
+      const std::set<std::string>& include =
+          is_source ? side_fields[i].source : side_fields[i].target;
+      renderer.RenderConcept(concepts[i], &include, semantics);
+    }
+  };
+  render_side(&out.source, spec.source_style, /*is_source=*/true, &source_semantics);
+  render_side(&out.target, spec.target_style, /*is_source=*/false, &target_semantics);
+
+  // Join the two sides on semantic identity. The relation is many-to-many:
+  // the same base field can surface in several concept containers per side.
+  std::map<std::string, std::vector<std::string>> target_by_semantic;
+  for (const auto& [path, sem] : target_semantics) {
+    target_by_semantic[sem].push_back(path);
+  }
+
+  std::map<std::string, std::string> concept_label_by_semantic;
+  for (const auto& c : concepts) concept_label_by_semantic[c.semantic] = c.label;
+
+  for (const auto& [path, sem] : source_semantics) {
+    bool is_container = sem[0] == 'c';
+    if (is_container) {
+      out.truth.source_concept_labels[path] = concept_label_by_semantic[sem];
+    }
+    auto it = target_by_semantic.find(sem);
+    if (it == target_by_semantic.end()) continue;
+    for (const auto& target_path : it->second) {
+      if (is_container) {
+        out.truth.concept_matches.emplace_back(path, target_path);
+      } else {
+        out.truth.element_matches.emplace_back(path, target_path);
+      }
+    }
+  }
+  for (const auto& [path, sem] : target_semantics) {
+    if (sem[0] == 'c') {
+      out.truth.target_concept_labels[path] = concept_label_by_semantic[sem];
+    }
+  }
+  return out;
+}
+
+schema::Schema GenerateSchema(const SchemaSpec& spec) {
+  const DomainVocabulary& vocab = DomainVocabulary::Military();
+  harmony::Rng rng(spec.seed);
+  HARMONY_CHECK_LE(spec.concepts, vocab.CombinationCount());
+
+  std::vector<size_t> combos = ShuffledCombos(vocab, &rng);
+  Schema schema(spec.name, spec.style.flavor);
+  Renderer renderer(&schema, spec.style, &rng);
+  for (size_t i = 0; i < spec.concepts; ++i) {
+    AbstractConcept c = BuildAbstractConcept(vocab, combos[i], &rng);
+    renderer.RenderConcept(c, nullptr, nullptr);
+  }
+  return schema;
+}
+
+NWayResult GenerateNWay(const NWaySpec& spec) {
+  const DomainVocabulary& vocab = DomainVocabulary::Military();
+  harmony::Rng rng(spec.seed);
+  HARMONY_CHECK_LE(spec.universe_concepts, vocab.CombinationCount());
+  HARMONY_CHECK_LE(spec.concepts_per_schema, spec.universe_concepts);
+
+  std::vector<size_t> combos = ShuffledCombos(vocab, &rng);
+  std::vector<AbstractConcept> universe;
+  universe.reserve(spec.universe_concepts);
+  for (size_t i = 0; i < spec.universe_concepts; ++i) {
+    universe.push_back(BuildAbstractConcept(vocab, combos[i], &rng));
+  }
+
+  NWayResult out;
+  for (size_t s = 0; s < spec.schema_count; ++s) {
+    std::string name = (s < spec.names.size()) ? spec.names[s]
+                                               : "S" + std::to_string(s + 1);
+    Schema schema(name, spec.style.flavor);
+    Renderer renderer(&schema, spec.style, &rng);
+
+    std::vector<size_t> pick(spec.universe_concepts);
+    for (size_t i = 0; i < pick.size(); ++i) pick[i] = i;
+    rng.Shuffle(pick);
+
+    std::map<std::string, std::string> semantics;
+    for (size_t i = 0; i < spec.concepts_per_schema; ++i) {
+      renderer.RenderConcept(universe[pick[i]], nullptr, &semantics);
+    }
+    out.schemas.push_back(std::move(schema));
+    out.semantics.push_back(std::move(semantics));
+  }
+  return out;
+}
+
+std::vector<RepositorySchema> GenerateRepository(const RepositorySpec& spec) {
+  const DomainVocabulary& vocab = DomainVocabulary::Military();
+  harmony::Rng rng(spec.seed);
+  HARMONY_CHECK_LE(spec.concepts_per_schema, spec.family_pool_concepts);
+  HARMONY_CHECK_LE(spec.families * spec.family_pool_concepts,
+                   vocab.CombinationCount())
+      << "vocabulary too small for disjoint family pools";
+
+  std::vector<size_t> combos = ShuffledCombos(vocab, &rng);
+  std::vector<RepositorySchema> out;
+
+  for (size_t f = 0; f < spec.families; ++f) {
+    // Disjoint slice of the combo space for this family.
+    std::vector<AbstractConcept> pool;
+    pool.reserve(spec.family_pool_concepts);
+    for (size_t i = 0; i < spec.family_pool_concepts; ++i) {
+      pool.push_back(
+          BuildAbstractConcept(vocab, combos[f * spec.family_pool_concepts + i],
+                               &rng));
+    }
+    for (size_t m = 0; m < spec.schemas_per_family; ++m) {
+      std::string name = "F" + std::to_string(f) + "_S" + std::to_string(m);
+      Schema schema(name, spec.style.flavor);
+      Renderer renderer(&schema, spec.style, &rng);
+      std::vector<size_t> pick(pool.size());
+      for (size_t i = 0; i < pick.size(); ++i) pick[i] = i;
+      rng.Shuffle(pick);
+      for (size_t i = 0; i < spec.concepts_per_schema; ++i) {
+        renderer.RenderConcept(pool[pick[i]], nullptr, nullptr);
+      }
+      out.emplace_back(std::move(schema), f);
+    }
+  }
+  return out;
+}
+
+}  // namespace harmony::synth

@@ -1,0 +1,168 @@
+// Synthetic enterprise schema generation with ground truth. This is the
+// substitution for the paper's proprietary military schemata (see
+// DESIGN.md §1): it produces schemata with the same observable signals —
+// concept-organized sub-trees, corrupted enterprise names
+// ("DATE_BEGIN_156"), prose documentation, relational or XML flavour — at
+// the paper's scales, plus the ground-truth correspondences the paper's
+// authors never had, enabling precision/recall measurement.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "schema/schema.h"
+#include "synth/vocabulary.h"
+
+namespace harmony::synth {
+
+/// \brief Surface syntax of generated element names.
+enum class NameStyle : uint8_t {
+  kUpperUnderscore,  ///< DATE_BEGIN_156 (legacy relational style)
+  kLowerUnderscore,  ///< date_begin
+  kCamelCase,        ///< DateTimeFirstInfo (XML style)
+  kLowerCamel,       ///< dateTimeFirstInfo
+};
+
+/// \brief How one side of a pair renders abstract concepts into a schema.
+struct RenderStyle {
+  NameStyle name_style = NameStyle::kUpperUnderscore;
+  schema::SchemaFlavor flavor = schema::SchemaFlavor::kRelational;
+  /// Probability a word is rendered as a non-canonical synonym.
+  double synonym_probability = 0.25;
+  /// Probability a word is replaced by its enterprise abbreviation
+  /// (date → DT, quantity → QTY).
+  double abbreviation_probability = 0.25;
+  /// Probability an element name gets a numeric disambiguation suffix.
+  double numeric_suffix_probability = 0.12;
+  /// Probability an element carries documentation at all.
+  double doc_probability = 0.85;
+};
+
+/// \brief Specification of an SA/SB-style overlapping pair.
+struct PairSpec {
+  uint64_t seed = 42;
+  std::string source_name = "SA";
+  std::string target_name = "SB";
+  /// Concept counts: the paper's engineers identified 140 concepts in SA and
+  /// 51 in SB, with 24 concept-level matches.
+  size_t source_concepts = 140;
+  size_t target_concepts = 51;
+  size_t shared_concepts = 24;
+  /// Within a shared concept, probability a field appears on both sides
+  /// (else it lands on exactly one side).
+  double shared_field_overlap = 0.65;
+  /// When a shared concept's field lands on exactly one side, probability it
+  /// lands on the source. Above 0.5 models the paper's situation: SB was
+  /// "reputed ... to include a conceptual subset of SA", i.e. SA carries the
+  /// richer version of the shared concepts.
+  double shared_field_source_bias = 0.5;
+  /// When true (default), A-only, B-only, and shared concepts draw from
+  /// *disjoint pools of base concepts*, so elements unique to one schema are
+  /// genuinely distinct — the regime of the paper's study, where 66% of SB
+  /// had no SA counterpart. When false, every concept samples the full
+  /// base-concept space and the two schemata share vocabulary pervasively
+  /// (the "everyone models the same domain" regime).
+  bool disjoint_base_pools = true;
+  RenderStyle source_style;
+  RenderStyle target_style;
+
+  PairSpec() {
+    target_style.name_style = NameStyle::kCamelCase;
+    target_style.flavor = schema::SchemaFlavor::kXml;
+    target_style.abbreviation_probability = 0.1;
+    target_style.numeric_suffix_probability = 0.0;
+  }
+};
+
+/// \brief Ground truth accompanying a generated pair. Paths are dotted
+/// element paths (schema::Schema::Path).
+struct GroundTruth {
+  /// Leaf-level true correspondences (source path, target path).
+  std::vector<std::pair<std::string, std::string>> element_matches;
+  /// Container-level true correspondences.
+  std::vector<std::pair<std::string, std::string>> concept_matches;
+  /// Abstract concept label for each container path, per side (the "manual
+  /// summarization" an oracle would produce).
+  std::map<std::string, std::string> source_concept_labels;
+  std::map<std::string, std::string> target_concept_labels;
+};
+
+/// \brief A generated pair with its truth.
+struct GeneratedPair {
+  schema::Schema source;
+  schema::Schema target;
+  GroundTruth truth;
+
+  GeneratedPair() : source("SA"), target("SB") {}
+};
+
+/// Generates an overlapping schema pair per the spec. Deterministic in the
+/// seed. Requires shared <= min(source, target) and
+/// source + target − shared <= vocabulary combination count.
+GeneratedPair GeneratePair(const PairSpec& spec);
+
+/// \brief Specification of a single stand-alone schema.
+struct SchemaSpec {
+  uint64_t seed = 1;
+  std::string name = "S";
+  size_t concepts = 50;
+  RenderStyle style;
+};
+
+/// Generates one schema (no truth). Deterministic in the seed.
+schema::Schema GenerateSchema(const SchemaSpec& spec);
+
+/// \brief Specification for N schemata over a shared concept universe — the
+/// §3.4 expansion study ({SA, SC, SD, SE, SF}) and the N-way benches.
+struct NWaySpec {
+  uint64_t seed = 11;
+  size_t schema_count = 5;
+  /// Size of the abstract concept universe the schemata draw from.
+  size_t universe_concepts = 40;
+  /// Concepts per schema (sampled from the universe).
+  size_t concepts_per_schema = 15;
+  RenderStyle style;
+  /// Optional explicit names; defaults to S1..SN.
+  std::vector<std::string> names;
+};
+
+/// \brief N generated schemata plus semantic annotations: for every element
+/// path of every schema, the abstract identity ("c12" for a concept
+/// container, "c12.f3" for a field), so any cross-schema agreement is
+/// checkable against truth.
+struct NWayResult {
+  std::vector<schema::Schema> schemas;
+  std::vector<std::map<std::string, std::string>> semantics;
+};
+
+NWayResult GenerateNWay(const NWaySpec& spec);
+
+/// \brief Specification of a clustered schema repository (benches E8/E9):
+/// `families` planted clusters, each drawing from its own concept pool.
+struct RepositorySpec {
+  uint64_t seed = 7;
+  size_t families = 4;
+  size_t schemas_per_family = 6;
+  size_t concepts_per_schema = 12;
+  /// Concepts in each family's private pool (>= concepts_per_schema).
+  size_t family_pool_concepts = 16;
+  RenderStyle style;
+};
+
+struct RepositorySchema {
+  schema::Schema schema;
+  size_t family;
+
+  RepositorySchema(schema::Schema s, size_t f) : schema(std::move(s)), family(f) {}
+};
+
+/// Generates the repository population. Schemata are named "F<f>_S<i>".
+/// Requires families * family_pool_concepts <= combination count (pools are
+/// disjoint).
+std::vector<RepositorySchema> GenerateRepository(const RepositorySpec& spec);
+
+}  // namespace harmony::synth

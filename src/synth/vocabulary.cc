@@ -1,0 +1,810 @@
+#include "synth/vocabulary.h"
+
+namespace harmony::synth {
+
+namespace {
+
+using schema::DataType;
+
+using Words = std::vector<std::vector<std::string>>;
+using Docs = std::vector<std::string>;
+
+FieldTemplate F(Words words, DataType type, Docs docs) {
+  FieldTemplate f;
+  f.words = std::move(words);
+  f.type = type;
+  f.doc_variants = std::move(docs);
+  return f;
+}
+
+DomainVocabulary BuildMilitary() {
+  DomainVocabulary v;
+
+  // ---------------------------------------------------------------- Person
+  v.concepts.push_back(ConceptTemplate{
+      {"person", "individual"},
+      {"A person known to the system, military or civilian.",
+       "An individual tracked by the enterprise."},
+      {
+          F({{"last", "family"}, {"name"}}, DataType::kString,
+            {"The surname of the person.", "Family name of the individual."}),
+          F({{"first", "given"}, {"name"}}, DataType::kString,
+            {"The given name of the person.", "First name of the individual."}),
+          F({{"birth"}, {"date"}}, DataType::kDate,
+            {"The date on which the person was born.",
+             "Birth date of the individual."}),
+          F({{"birth"}, {"place", "location"}}, DataType::kString,
+            {"The place where the person was born.",
+             "Location of birth for the individual."}),
+          F({{"gender", "sex"}, {"code"}}, DataType::kString,
+            {"Coded value for the gender of the person.",
+             "Sex code of the individual."}),
+          F({{"nationality"}, {"code"}}, DataType::kString,
+            {"Country of citizenship of the person.",
+             "Coded nationality of the individual."}),
+          F({{"blood"}, {"type", "group"}}, DataType::kString,
+            {"Blood group of the person, from a blood test.",
+             "The blood type recorded for the individual."}),
+          F({{"rank", "grade"}, {"code"}}, DataType::kString,
+            {"Military rank of the person.",
+             "Pay grade or rank code of the individual."}),
+          F({{"service"}, {"number", "identifier"}}, DataType::kString,
+            {"Service number assigned to the person.",
+             "Military service identifier of the individual."}),
+          F({{"marital"}, {"status"}, {"code"}}, DataType::kString,
+            {"Marital status of the person.",
+             "Coded marital state of the individual."}),
+          F({{"height"}, {"quantity", "measure"}}, DataType::kDecimal,
+            {"Height of the person in centimeters.",
+             "Measured height of the individual."}),
+          F({{"weight"}, {"quantity", "measure"}}, DataType::kDecimal,
+            {"Weight of the person in kilograms.",
+             "Measured weight of the individual."}),
+      }});
+
+  // --------------------------------------------------------------- Vehicle
+  v.concepts.push_back(ConceptTemplate{
+      {"vehicle", "conveyance"},
+      {"A ground, air, or sea vehicle.",
+       "A conveyance used for transport of persons or materiel."},
+      {
+          F({{"vehicle", "conveyance"}, {"identification"}, {"number"}},
+            DataType::kString,
+            {"Unique identification number of the vehicle.",
+             "The VIN assigned to the conveyance."}),
+          F({{"make", "manufacturer"}, {"name"}}, DataType::kString,
+            {"Manufacturer of the vehicle.", "Name of the maker of the conveyance."}),
+          F({{"model"}, {"name"}}, DataType::kString,
+            {"Model designation of the vehicle.",
+             "The model name of the conveyance."}),
+          F({{"fuel"}, {"type", "category"}, {"code"}}, DataType::kString,
+            {"Kind of fuel the vehicle consumes.",
+             "Coded fuel category for the conveyance."}),
+          F({{"cargo"}, {"capacity"}, {"quantity"}}, DataType::kDecimal,
+            {"Maximum cargo the vehicle can carry.",
+             "Load capacity of the conveyance in kilograms."}),
+          F({{"crew"}, {"count", "quantity"}}, DataType::kInteger,
+            {"Number of crew members required to operate the vehicle.",
+             "Required crew size for the conveyance."}),
+          F({{"registration", "license"}, {"number"}}, DataType::kString,
+            {"Registration plate number of the vehicle.",
+             "License number issued for the conveyance."}),
+          F({{"armor"}, {"level"}, {"code"}}, DataType::kString,
+            {"Armor protection level of the vehicle.",
+             "Coded armor rating of the conveyance."}),
+          F({{"max", "maximum"}, {"speed", "velocity"}}, DataType::kDecimal,
+            {"Maximum speed of the vehicle in kilometers per hour.",
+             "Top velocity the conveyance can reach."}),
+          F({{"odometer"}, {"reading", "value"}}, DataType::kDecimal,
+            {"Current odometer reading of the vehicle.",
+             "Distance the conveyance has traveled."}),
+      }});
+
+  // ----------------------------------------------------------------- Event
+  v.concepts.push_back(ConceptTemplate{
+      {"event", "incident"},
+      {"An occurrence of operational significance.",
+       "An incident reported to or observed by the enterprise."},
+      {
+          F({{"begin", "start"}, {"date"}}, DataType::kDateTime,
+            {"The date and time at which the event began.",
+             "Start timestamp of the incident.",
+             "When the first information about the event was received."}),
+          F({{"end", "stop"}, {"date"}}, DataType::kDateTime,
+            {"The date and time at which the event ended.",
+             "Completion timestamp of the incident."}),
+          F({{"event", "incident"}, {"type", "category"}, {"code"}},
+            DataType::kString,
+            {"Coded category of the event.", "Kind of incident that occurred."}),
+          F({{"severity"}, {"level"}, {"code"}}, DataType::kString,
+            {"Severity classification of the event.",
+             "How serious the incident was judged to be."}),
+          F({{"casualty"}, {"count"}}, DataType::kInteger,
+            {"Number of casualties attributed to the event.",
+             "Casualties resulting from the incident."}),
+          F({{"description", "narrative"}, {"text"}}, DataType::kString,
+            {"Free text describing the event.",
+             "Narrative account of the incident."}),
+          F({{"reporting"}, {"organization", "unit"}}, DataType::kString,
+            {"The organization that reported the event.",
+             "Unit submitting the incident report."}),
+          F({{"confirmation"}, {"status"}, {"code"}}, DataType::kString,
+            {"Whether the event has been confirmed.",
+             "Verification state of the incident."}),
+          F({{"priority"}, {"code"}}, DataType::kString,
+            {"Handling priority assigned to the event.",
+             "Urgency code of the incident."}),
+      }});
+
+  // ---------------------------------------------------------- Organization
+  v.concepts.push_back(ConceptTemplate{
+      {"organization", "unit"},
+      {"A military unit or civil organization.",
+       "An organizational entity with command responsibility."},
+      {
+          F({{"organization", "unit"}, {"name"}}, DataType::kString,
+            {"Official name of the organization.", "Designation of the unit."}),
+          F({{"echelon"}, {"level"}, {"code"}}, DataType::kString,
+            {"Command echelon of the organization.",
+             "Hierarchical level of the unit."}),
+          F({{"parent"}, {"organization", "unit"}, {"identifier"}},
+            DataType::kString,
+            {"The organization this one reports to.",
+             "Identifier of the superior unit."}),
+          F({{"strength"}, {"quantity", "count"}}, DataType::kInteger,
+            {"Authorized personnel strength of the organization.",
+             "Number of members assigned to the unit."}),
+          F({{"readiness"}, {"status"}, {"code"}}, DataType::kString,
+            {"Operational readiness of the organization.",
+             "Coded readiness state of the unit."}),
+          F({{"country"}, {"code"}}, DataType::kString,
+            {"Country the organization belongs to.",
+             "National affiliation of the unit."}),
+          F({{"activation"}, {"date"}}, DataType::kDate,
+            {"Date the organization was activated.",
+             "When the unit was stood up."}),
+          F({{"commander"}, {"name"}}, DataType::kString,
+            {"Name of the commanding officer of the organization.",
+             "Commander assigned to the unit."}),
+      }});
+
+  // -------------------------------------------------------------- Location
+  v.concepts.push_back(ConceptTemplate{
+      {"location", "place"},
+      {"A geographic location referenced by operations.",
+       "A place with known coordinates."},
+      {
+          F({{"latitude"}, {"coordinate", "value"}}, DataType::kDecimal,
+            {"Latitude of the location in decimal degrees.",
+             "North-south geographic coordinate of the place."}),
+          F({{"longitude"}, {"coordinate", "value"}}, DataType::kDecimal,
+            {"Longitude of the location in decimal degrees.",
+             "East-west geographic coordinate of the place."}),
+          F({{"elevation", "altitude"}, {"measure", "value"}}, DataType::kDecimal,
+            {"Elevation of the location above sea level.",
+             "Altitude of the place in meters."}),
+          F({{"location", "place"}, {"name"}}, DataType::kString,
+            {"Common name of the location.", "Name by which the place is known."}),
+          F({{"country"}, {"code"}}, DataType::kString,
+            {"Country containing the location.",
+             "National territory of the place."}),
+          F({{"region"}, {"name"}}, DataType::kString,
+            {"Administrative region of the location.",
+             "Province or state of the place."}),
+          F({{"datum"}, {"code"}}, DataType::kString,
+            {"Geodetic datum of the coordinates.",
+             "Reference datum for the place coordinates."}),
+          F({{"precision"}, {"measure", "value"}}, DataType::kDecimal,
+            {"Horizontal precision of the coordinates in meters.",
+             "Accuracy estimate for the place position."}),
+      }});
+
+  // ------------------------------------------------------------- Equipment
+  v.concepts.push_back(ConceptTemplate{
+      {"equipment", "materiel"},
+      {"An item of equipment held by a unit.",
+       "Materiel tracked in inventories."},
+      {
+          F({{"serial"}, {"number"}}, DataType::kString,
+            {"Serial number of the equipment item.",
+             "Manufacturer serial of the materiel."}),
+          F({{"nomenclature", "designation"}, {"name"}}, DataType::kString,
+            {"Standard nomenclature of the equipment.",
+             "Official designation of the materiel."}),
+          F({{"condition"}, {"status"}, {"code"}}, DataType::kString,
+            {"Condition code of the equipment.",
+             "Serviceability state of the materiel."}),
+          F({{"acquisition"}, {"date"}}, DataType::kDate,
+            {"Date the equipment was acquired.",
+             "When the materiel entered the inventory."}),
+          F({{"unit", "acquisition"}, {"cost", "price"}}, DataType::kDecimal,
+            {"Unit cost of the equipment.",
+             "Purchase price of the materiel."}),
+          F({{"stock"}, {"number"}}, DataType::kString,
+            {"National stock number of the equipment.",
+             "NSN identifying the materiel line."}),
+          F({{"maintenance"}, {"due"}, {"date"}}, DataType::kDate,
+            {"Date the next maintenance is due.",
+             "Scheduled service date for the materiel."}),
+      }});
+
+  // -------------------------------------------------------------- Facility
+  v.concepts.push_back(ConceptTemplate{
+      {"facility", "installation"},
+      {"A fixed facility such as a base, depot, or hospital.",
+       "An installation occupying a physical site."},
+      {
+          F({{"facility", "installation"}, {"name"}}, DataType::kString,
+            {"Name of the facility.", "Official name of the installation."}),
+          F({{"facility", "installation"}, {"type", "category"}, {"code"}},
+            DataType::kString,
+            {"Functional category of the facility.",
+             "Type code of the installation."}),
+          F({{"capacity"}, {"quantity"}}, DataType::kInteger,
+            {"Nominal capacity of the facility.",
+             "How many occupants the installation supports."}),
+          F({{"operational"}, {"status"}, {"code"}}, DataType::kString,
+            {"Operational status of the facility.",
+             "Whether the installation is currently usable."}),
+          F({{"security"}, {"level"}, {"code"}}, DataType::kString,
+            {"Security classification of the facility.",
+             "Protection level of the installation."}),
+          F({{"commissioning"}, {"date"}}, DataType::kDate,
+            {"Date the facility was commissioned.",
+             "When the installation opened."}),
+      }});
+
+  // --------------------------------------------------------------- Mission
+  v.concepts.push_back(ConceptTemplate{
+      {"mission", "operation"},
+      {"A planned military mission.", "An operation with assigned objectives."},
+      {
+          F({{"mission", "operation"}, {"name"}}, DataType::kString,
+            {"Code name of the mission.", "Name assigned to the operation."}),
+          F({{"objective"}, {"text", "description"}}, DataType::kString,
+            {"Objective of the mission.", "What the operation intends to achieve."}),
+          F({{"commence", "start"}, {"date"}}, DataType::kDateTime,
+            {"Planned start of the mission.",
+             "When the operation is scheduled to begin."}),
+          F({{"completion", "end"}, {"date"}}, DataType::kDateTime,
+            {"Planned completion of the mission.",
+             "When the operation is scheduled to finish."}),
+          F({{"phase"}, {"code"}}, DataType::kString,
+            {"Current phase of the mission.",
+             "Execution phase code of the operation."}),
+          F({{"approval"}, {"status"}, {"code"}}, DataType::kString,
+            {"Approval state of the mission plan.",
+             "Whether the operation has been authorized."}),
+          F({{"risk"}, {"level"}, {"code"}}, DataType::kString,
+            {"Assessed risk level of the mission.",
+             "Risk rating of the operation."}),
+      }});
+
+  // ---------------------------------------------------------------- Supply
+  v.concepts.push_back(ConceptTemplate{
+      {"supply", "provision"},
+      {"A supply line item.", "Provisions managed by logistics."},
+      {
+          F({{"item"}, {"name"}}, DataType::kString,
+            {"Name of the supplied item.", "Designation of the provision."}),
+          F({{"quantity"}, {"on"}, {"hand"}}, DataType::kInteger,
+            {"Quantity currently on hand.",
+             "Stock level of the provision."}),
+          F({{"reorder"}, {"point", "level"}}, DataType::kInteger,
+            {"Stock level at which reorder is triggered.",
+             "Reorder threshold for the provision."}),
+          F({{"unit"}, {"of"}, {"measure"}, {"code"}}, DataType::kString,
+            {"Unit of measure for the item.",
+             "How quantities of the provision are counted."}),
+          F({{"expiration"}, {"date"}}, DataType::kDate,
+            {"Expiration date of perishable stock.",
+             "Date after which the provision is unusable."}),
+          F({{"storage"}, {"requirement"}, {"code"}}, DataType::kString,
+            {"Special storage requirements.",
+             "Storage condition code for the provision."}),
+      }});
+
+  // --------------------------------------------------------------- Medical
+  v.concepts.push_back(ConceptTemplate{
+      {"medical", "health"},
+      {"A medical record entry for a person.",
+       "Health information tracked for individuals."},
+      {
+          F({{"blood"}, {"test"}, {"result", "value"}}, DataType::kString,
+            {"Result of a blood test.", "Laboratory blood analysis outcome."}),
+          F({{"diagnosis"}, {"code"}}, DataType::kString,
+            {"Coded diagnosis.", "Medical condition identified."}),
+          F({{"treatment"}, {"description", "text"}}, DataType::kString,
+            {"Treatment administered.", "Care provided for the condition."}),
+          F({{"immunization"}, {"status"}, {"code"}}, DataType::kString,
+            {"Immunization status.", "Vaccination state of the patient."}),
+          F({{"examination", "checkup"}, {"date"}}, DataType::kDate,
+            {"Date of the medical examination.",
+             "When the health checkup occurred."}),
+          F({{"fitness"}, {"category"}, {"code"}}, DataType::kString,
+            {"Duty fitness category.",
+             "Medical fitness classification for duty."}),
+          F({{"allergy"}, {"text", "description"}}, DataType::kString,
+            {"Known allergies of the patient.",
+             "Substances the person reacts to."}),
+      }});
+
+  // ---------------------------------------------------------------- Weapon
+  v.concepts.push_back(ConceptTemplate{
+      {"weapon", "armament"},
+      {"A weapon system.", "Armament assigned to units or platforms."},
+      {
+          F({{"weapon", "armament"}, {"type", "category"}, {"code"}},
+            DataType::kString,
+            {"Category of the weapon.", "Kind of armament."}),
+          F({{"caliber"}, {"measure", "value"}}, DataType::kDecimal,
+            {"Caliber of the weapon in millimeters.",
+             "Bore diameter of the armament."}),
+          F({{"effective"}, {"range"}, {"quantity", "value"}}, DataType::kDecimal,
+            {"Effective range of the weapon in meters.",
+             "Distance at which the armament is effective."}),
+          F({{"ammunition", "munition"}, {"type"}, {"code"}}, DataType::kString,
+            {"Ammunition type the weapon fires.",
+             "Munition compatible with the armament."}),
+          F({{"rate"}, {"of"}, {"fire"}}, DataType::kInteger,
+            {"Rate of fire in rounds per minute.",
+             "Firing cadence of the armament."}),
+          F({{"safety"}, {"status"}, {"code"}}, DataType::kString,
+            {"Safety state of the weapon.",
+             "Whether the armament is safed or armed."}),
+      }});
+
+  // ----------------------------------------------------------------- Track
+  v.concepts.push_back(ConceptTemplate{
+      {"track", "contact"},
+      {"A track observed by sensors.",
+       "A contact being followed by surveillance."},
+      {
+          F({{"track", "contact"}, {"number", "identifier"}}, DataType::kString,
+            {"Identifier of the track.", "Number assigned to the contact."}),
+          F({{"course", "heading"}, {"value"}}, DataType::kDecimal,
+            {"Course of the track in degrees.",
+             "Direction of travel of the contact."}),
+          F({{"speed", "velocity"}, {"value"}}, DataType::kDecimal,
+            {"Speed of the track.", "Velocity of the contact in knots."}),
+          F({{"classification"}, {"code"}}, DataType::kString,
+            {"Classification of the track.",
+             "Identity assessment of the contact."}),
+          F({{"first"}, {"observation", "detection"}, {"date"}},
+            DataType::kDateTime,
+            {"When the track was first observed.",
+             "Initial detection time of the contact."}),
+          F({{"last"}, {"observation", "detection"}, {"date"}},
+            DataType::kDateTime,
+            {"When the track was last observed.",
+             "Most recent detection time of the contact."}),
+          F({{"hostility"}, {"code"}}, DataType::kString,
+            {"Hostility assessment of the track.",
+             "Whether the contact is friendly, hostile, or unknown."}),
+      }});
+
+  // ---------------------------------------------------------------- Sensor
+  v.concepts.push_back(ConceptTemplate{
+      {"sensor", "detector"},
+      {"A sensor producing observations.",
+       "A detector feeding the surveillance picture."},
+      {
+          F({{"sensor", "detector"}, {"type", "category"}, {"code"}},
+            DataType::kString,
+            {"Category of the sensor.", "Kind of detector."}),
+          F({{"detection"}, {"range"}, {"value"}}, DataType::kDecimal,
+            {"Detection range of the sensor in kilometers.",
+             "Distance at which the detector can see targets."}),
+          F({{"frequency"}, {"band"}, {"code"}}, DataType::kString,
+            {"Operating frequency band of the sensor.",
+             "Band in which the detector operates."}),
+          F({{"sweep", "scan"}, {"rate"}}, DataType::kDecimal,
+            {"Scan rate of the sensor.", "Sweep period of the detector."}),
+          F({{"operational"}, {"status"}, {"code"}}, DataType::kString,
+            {"Whether the sensor is operational.",
+             "Serviceability of the detector."}),
+      }});
+
+  // --------------------------------------------------------------- Message
+  v.concepts.push_back(ConceptTemplate{
+      {"message", "communication"},
+      {"A message exchanged between parties.",
+       "A communication transmitted across the network."},
+      {
+          F({{"subject"}, {"text"}}, DataType::kString,
+            {"Subject line of the message.",
+             "Topic of the communication."}),
+          F({{"body"}, {"text"}}, DataType::kString,
+            {"Body of the message.", "Content of the communication."}),
+          F({{"transmission", "sent"}, {"date"}}, DataType::kDateTime,
+            {"When the message was transmitted.",
+             "Send time of the communication."}),
+          F({{"originator", "sender"}, {"identifier"}}, DataType::kString,
+            {"Originator of the message.",
+             "Party that sent the communication."}),
+          F({{"recipient", "addressee"}, {"identifier"}}, DataType::kString,
+            {"Recipient of the message.",
+             "Party the communication was addressed to."}),
+          F({{"precedence", "priority"}, {"code"}}, DataType::kString,
+            {"Precedence of the message.",
+             "Handling priority of the communication."}),
+          F({{"classification"}, {"code"}}, DataType::kString,
+            {"Security classification of the message.",
+             "Protection marking of the communication."}),
+      }});
+
+  // ---------------------------------------------------------------- Report
+  v.concepts.push_back(ConceptTemplate{
+      {"report", "summary"},
+      {"A periodic or incident report.",
+       "A summary document submitted to higher echelons."},
+      {
+          F({{"report", "summary"}, {"type", "category"}, {"code"}},
+            DataType::kString,
+            {"Category of the report.", "Kind of summary document."}),
+          F({{"submission"}, {"date"}}, DataType::kDateTime,
+            {"When the report was submitted.",
+             "Filing time of the summary."}),
+          F({{"reporting"}, {"period"}, {"text"}}, DataType::kString,
+            {"Period the report covers.",
+             "Time span summarized by the document."}),
+          F({{"author", "preparer"}, {"name"}}, DataType::kString,
+            {"Author of the report.", "Person who prepared the summary."}),
+          F({{"approval"}, {"status"}, {"code"}}, DataType::kString,
+            {"Approval status of the report.",
+             "Review state of the summary."}),
+      }});
+
+  // -------------------------------------------------------------- Aircraft
+  v.concepts.push_back(ConceptTemplate{
+      {"aircraft", "airframe"},
+      {"A fixed or rotary wing aircraft.",
+       "An airframe in the aviation inventory."},
+      {
+          F({{"tail"}, {"number"}}, DataType::kString,
+            {"Tail number of the aircraft.",
+             "Registration marking of the airframe."}),
+          F({{"aircraft", "airframe"}, {"type", "model"}, {"code"}},
+            DataType::kString,
+            {"Type designation of the aircraft.",
+             "Model code of the airframe."}),
+          F({{"flight"}, {"hours"}, {"quantity"}}, DataType::kDecimal,
+            {"Accumulated flight hours.",
+             "Total hours flown by the airframe."}),
+          F({{"fuel"}, {"capacity"}, {"quantity"}}, DataType::kDecimal,
+            {"Fuel capacity in liters.",
+             "Maximum fuel load of the airframe."}),
+          F({{"service"}, {"ceiling"}, {"value"}}, DataType::kDecimal,
+            {"Service ceiling in meters.",
+             "Maximum operating altitude of the airframe."}),
+          F({{"mission"}, {"ready"}, {"indicator"}}, DataType::kBoolean,
+            {"Whether the aircraft is mission ready.",
+             "Readiness flag of the airframe."}),
+      }});
+
+  // ---------------------------------------------------------------- Vessel
+  v.concepts.push_back(ConceptTemplate{
+      {"vessel", "ship"},
+      {"A naval or commercial vessel.", "A ship tracked by maritime systems."},
+      {
+          F({{"hull"}, {"number"}}, DataType::kString,
+            {"Hull number of the vessel.", "Identification painted on the ship."}),
+          F({{"displacement"}, {"quantity", "value"}}, DataType::kDecimal,
+            {"Displacement of the vessel in tonnes.",
+             "Weight of water the ship displaces."}),
+          F({{"draft"}, {"measure", "value"}}, DataType::kDecimal,
+            {"Draft of the vessel in meters.",
+             "Depth of the ship below the waterline."}),
+          F({{"home"}, {"port"}, {"name"}}, DataType::kString,
+            {"Home port of the vessel.", "Port where the ship is based."}),
+          F({{"flag"}, {"country"}, {"code"}}, DataType::kString,
+            {"Flag state of the vessel.", "Country of registry of the ship."}),
+          F({{"crew"}, {"complement", "count"}}, DataType::kInteger,
+            {"Crew complement of the vessel.",
+             "Number of sailors assigned to the ship."}),
+      }});
+
+  // -------------------------------------------------------------- Casualty
+  v.concepts.push_back(ConceptTemplate{
+      {"casualty", "injury"},
+      {"A casualty resulting from an event.",
+       "An injury record linked to an incident."},
+      {
+          F({{"casualty", "injury"}, {"type", "category"}, {"code"}},
+            DataType::kString,
+            {"Category of the casualty.", "Kind of injury sustained."}),
+          F({{"severity"}, {"code"}}, DataType::kString,
+            {"Severity of the injury.", "How serious the casualty is."}),
+          F({{"occurrence"}, {"date"}}, DataType::kDateTime,
+            {"When the casualty occurred.", "Time of the injury."}),
+          F({{"evacuation"}, {"status"}, {"code"}}, DataType::kString,
+            {"Evacuation status of the casualty.",
+             "Whether the injured person has been evacuated."}),
+          F({{"treatment"}, {"facility"}, {"name"}}, DataType::kString,
+            {"Facility treating the casualty.",
+             "Hospital caring for the injured person."}),
+      }});
+
+  // ------------------------------------------------------------- Personnel
+  v.concepts.push_back(ConceptTemplate{
+      {"assignment", "posting"},
+      {"An assignment of a person to a position.",
+       "A posting linking personnel to organizations."},
+      {
+          F({{"position"}, {"title", "name"}}, DataType::kString,
+            {"Title of the assigned position.",
+             "Name of the post being filled."}),
+          F({{"assignment", "posting"}, {"begin", "start"}, {"date"}},
+            DataType::kDate,
+            {"Start date of the assignment.", "When the posting begins."}),
+          F({{"assignment", "posting"}, {"end", "stop"}, {"date"}},
+            DataType::kDate,
+            {"End date of the assignment.", "When the posting concludes."}),
+          F({{"duty"}, {"status"}, {"code"}}, DataType::kString,
+            {"Duty status during the assignment.",
+             "Status of the person while posted."}),
+          F({{"billet"}, {"identifier"}}, DataType::kString,
+            {"Billet identifier for the position.",
+             "Authorized manpower slot of the posting."}),
+      }});
+
+  // --------------------------------------------------------------- Weather
+  v.concepts.push_back(ConceptTemplate{
+      {"weather", "meteorology"},
+      {"A weather observation.", "Meteorological conditions at a place and time."},
+      {
+          F({{"temperature"}, {"value", "reading"}}, DataType::kDecimal,
+            {"Air temperature in degrees Celsius.",
+             "Observed temperature reading."}),
+          F({{"wind"}, {"speed", "velocity"}}, DataType::kDecimal,
+            {"Wind speed in knots.", "Observed wind velocity."}),
+          F({{"wind"}, {"direction"}, {"value"}}, DataType::kDecimal,
+            {"Wind direction in degrees.",
+             "Bearing from which the wind blows."}),
+          F({{"visibility"}, {"distance", "value"}}, DataType::kDecimal,
+            {"Visibility in kilometers.", "Observed visual range."}),
+          F({{"precipitation"}, {"type"}, {"code"}}, DataType::kString,
+            {"Type of precipitation.", "Rain, snow, or other falling moisture."}),
+          F({{"cloud"}, {"cover", "amount"}, {"code"}}, DataType::kString,
+            {"Cloud cover classification.", "Amount of sky obscured by cloud."}),
+      }});
+
+  // -------------------------------------------------------------- Contract
+  v.concepts.push_back(ConceptTemplate{
+      {"contract", "agreement"},
+      {"A procurement contract.", "A commercial agreement with a vendor."},
+      {
+          F({{"contract", "agreement"}, {"number", "identifier"}},
+            DataType::kString,
+            {"Contract number.", "Identifier of the agreement."}),
+          F({{"vendor", "supplier"}, {"name"}}, DataType::kString,
+            {"Vendor holding the contract.",
+             "Supplier party to the agreement."}),
+          F({{"award"}, {"date"}}, DataType::kDate,
+            {"Date the contract was awarded.",
+             "When the agreement was signed."}),
+          F({{"total"}, {"value", "amount"}}, DataType::kDecimal,
+            {"Total value of the contract.",
+             "Monetary amount of the agreement."}),
+          F({{"expiration", "completion"}, {"date"}}, DataType::kDate,
+            {"Expiration date of the contract.",
+             "When the agreement ends."}),
+      }});
+
+  // -------------------------------------------------------------- Training
+  v.concepts.push_back(ConceptTemplate{
+      {"training", "instruction"},
+      {"A training course or qualification.",
+       "Instruction completed by personnel."},
+      {
+          F({{"course"}, {"name", "title"}}, DataType::kString,
+            {"Name of the training course.",
+             "Title of the instruction program."}),
+          F({{"completion"}, {"date"}}, DataType::kDate,
+            {"Date the training was completed.",
+             "When the instruction finished."}),
+          F({{"qualification"}, {"code"}}, DataType::kString,
+            {"Qualification earned.", "Certification granted by the instruction."}),
+          F({{"score", "grade"}, {"value"}}, DataType::kDecimal,
+            {"Score achieved in the training.",
+             "Grade earned in the instruction."}),
+          F({{"instructor"}, {"name"}}, DataType::kString,
+            {"Instructor who delivered the training.",
+             "Person who taught the instruction."}),
+      }});
+
+  // ---------------------------------------------------------------- Budget
+  v.concepts.push_back(ConceptTemplate{
+      {"budget", "funding"},
+      {"A budget line.", "Funding allocated to an activity."},
+      {
+          F({{"fiscal"}, {"year"}}, DataType::kInteger,
+            {"Fiscal year of the budget.", "Year the funding applies to."}),
+          F({{"allocated", "authorized"}, {"amount"}}, DataType::kDecimal,
+            {"Amount allocated.", "Funding authorized for the line."}),
+          F({{"obligated", "committed"}, {"amount"}}, DataType::kDecimal,
+            {"Amount obligated.", "Funding committed against the line."}),
+          F({{"expended", "spent"}, {"amount"}}, DataType::kDecimal,
+            {"Amount expended.", "Funding actually spent."}),
+          F({{"appropriation"}, {"code"}}, DataType::kString,
+            {"Appropriation category.", "Funding source classification."}),
+      }});
+
+  // ---------------------------------------------------------------- Route
+  v.concepts.push_back(ConceptTemplate{
+      {"route", "path"},
+      {"A movement route.", "A path between locations."},
+      {
+          F({{"origin", "departure"}, {"location", "point"}}, DataType::kString,
+            {"Origin of the route.", "Starting point of the path."}),
+          F({{"destination", "arrival"}, {"location", "point"}}, DataType::kString,
+            {"Destination of the route.", "End point of the path."}),
+          F({{"distance"}, {"quantity", "value"}}, DataType::kDecimal,
+            {"Length of the route in kilometers.",
+             "Total distance along the path."}),
+          F({{"estimated"}, {"duration"}, {"value"}}, DataType::kDecimal,
+            {"Estimated transit time in hours.",
+             "Expected time to traverse the path."}),
+          F({{"trafficability"}, {"code"}}, DataType::kString,
+            {"Trafficability classification of the route.",
+             "Whether the path supports heavy vehicles."}),
+      }});
+
+  // ================================================================ Aspects
+  v.aspects = {
+      AspectTemplate{
+          {"vitals", "core"},
+          {
+              F({{"record"}, {"status"}, {"code"}}, DataType::kString,
+                {"Status of the vital record.", "Lifecycle state of the core record."}),
+              F({{"verification"}, {"date"}}, DataType::kDate,
+                {"Date the vitals were last verified.",
+                 "When the core data was confirmed."}),
+          }},
+      AspectTemplate{
+          {"status", "state"},
+          {
+              F({{"current"}, {"status", "state"}, {"code"}}, DataType::kString,
+                {"Current status value.", "Present state of the entity."}),
+              F({{"status", "state"}, {"change"}, {"date"}}, DataType::kDateTime,
+                {"When the status last changed.",
+                 "Timestamp of the most recent state transition."}),
+              F({{"status", "state"}, {"reason"}, {"text"}}, DataType::kString,
+                {"Reason for the current status.",
+                 "Explanation of the present state."}),
+          }},
+      AspectTemplate{
+          {"history", "log"},
+          {
+              F({{"effective"}, {"date"}}, DataType::kDateTime,
+                {"When the historical value became effective.",
+                 "Start of validity for the logged value."}),
+              F({{"superseded", "expired"}, {"date"}}, DataType::kDateTime,
+                {"When the historical value was superseded.",
+                 "End of validity for the logged value."}),
+              F({{"change"}, {"author", "user"}}, DataType::kString,
+                {"Who made the historical change.",
+                 "User recorded against the log entry."}),
+          }},
+      AspectTemplate{
+          {"contact", "address"},
+          {
+              F({{"street"}, {"address"}, {"text"}}, DataType::kString,
+                {"Street address line.", "Postal street of the contact."}),
+              F({{"city"}, {"name"}}, DataType::kString,
+                {"City of the address.", "Municipality of the contact."}),
+              F({{"postal"}, {"code"}}, DataType::kString,
+                {"Postal code of the address.", "ZIP code of the contact."}),
+              F({{"telephone", "phone"}, {"number"}}, DataType::kString,
+                {"Telephone number.", "Voice contact number."}),
+              F({{"electronic", "email"}, {"mail"}, {"address"}},
+                DataType::kString,
+                {"Email address.", "Electronic mail address of the contact."}),
+          }},
+      AspectTemplate{
+          {"schedule", "plan"},
+          {
+              F({{"planned", "scheduled"}, {"begin", "start"}, {"date"}},
+                DataType::kDateTime,
+                {"Planned start time.", "Scheduled beginning of the activity."}),
+              F({{"planned", "scheduled"}, {"end", "finish"}, {"date"}},
+                DataType::kDateTime,
+                {"Planned end time.", "Scheduled completion of the activity."}),
+              F({{"recurrence"}, {"pattern", "rule"}, {"code"}},
+                DataType::kString,
+                {"Recurrence pattern of the schedule.",
+                 "How often the planned activity repeats."}),
+          }},
+      AspectTemplate{
+          {"inventory", "holding"},
+          {
+              F({{"quantity"}, {"held", "stocked"}}, DataType::kInteger,
+                {"Quantity held.", "Number of items in the holding."}),
+              F({{"storage"}, {"location", "site"}}, DataType::kString,
+                {"Where the items are stored.", "Site of the holding."}),
+              F({{"stocktake", "audit"}, {"date"}}, DataType::kDate,
+                {"Date of the last stocktake.",
+                 "When the holding was last audited."}),
+          }},
+      AspectTemplate{
+          {"assignment", "allocation"},
+          {
+              F({{"assigned", "allocated"}, {"to"}, {"identifier"}},
+                DataType::kString,
+                {"What the entity is assigned to.",
+                 "Receiver of the allocation."}),
+              F({{"assignment", "allocation"}, {"date"}}, DataType::kDate,
+                {"Date of the assignment.", "When the allocation was made."}),
+              F({{"release"}, {"date"}}, DataType::kDate,
+                {"Date the assignment ends.",
+                 "When the allocation is released."}),
+          }},
+      AspectTemplate{
+          {"detail", "attribute"},
+          {
+              F({{"remark", "note"}, {"text"}}, DataType::kString,
+                {"Free text remarks.", "Additional notes about the entity."}),
+              F({{"external"}, {"reference"}, {"identifier"}}, DataType::kString,
+                {"Reference to an external system.",
+                 "Identifier of the entity in another system."}),
+          }},
+      AspectTemplate{
+          {"summary", "rollup"},
+          {
+              F({{"total"}, {"count"}}, DataType::kInteger,
+                {"Total count in the summary.",
+                 "Aggregate number of items rolled up."}),
+              F({{"as"}, {"of"}, {"date"}}, DataType::kDateTime,
+                {"Summary as-of time.",
+                 "Timestamp the rollup was computed."}),
+          }},
+      AspectTemplate{
+          {"authorization", "clearance"},
+          {
+              F({{"authorization", "clearance"}, {"level"}, {"code"}},
+                DataType::kString,
+                {"Authorization level granted.",
+                 "Clearance tier of the entity."}),
+              F({{"granted", "issued"}, {"date"}}, DataType::kDate,
+                {"When authorization was granted.",
+                 "Issue date of the clearance."}),
+              F({{"expiration", "expiry"}, {"date"}}, DataType::kDate,
+                {"When authorization expires.",
+                 "Expiry date of the clearance."}),
+          }},
+  };
+
+  // ========================================================== Common fields
+  v.common_fields = {
+      F({{"identifier"}}, DataType::kInteger,
+        {"Unique identifier of the record.", "Primary key of the row."}),
+      F({{"name"}}, DataType::kString,
+        {"Name of the entity.", "Human readable name."}),
+      F({{"type", "category"}, {"code"}}, DataType::kString,
+        {"Type code of the record.", "Coded category of the entity."}),
+      F({{"description"}, {"text"}}, DataType::kString,
+        {"Description of the entity.", "Free text describing the record."}),
+      F({{"creation", "entry"}, {"date"}}, DataType::kDateTime,
+        {"When the record was created.", "Entry timestamp of the row."}),
+      F({{"last"}, {"update", "modification"}, {"date"}}, DataType::kDateTime,
+        {"When the record was last updated.",
+         "Most recent modification time of the row."}),
+      F({{"update", "modification"}, {"user", "author"}}, DataType::kString,
+        {"User who last updated the record.",
+         "Author of the most recent modification."}),
+      F({{"source"}, {"system"}, {"code"}}, DataType::kString,
+        {"System the record originated from.",
+         "Source feed of the row."}),
+  };
+
+  return v;
+}
+
+}  // namespace
+
+const DomainVocabulary& DomainVocabulary::Military() {
+  static const DomainVocabulary kVocab = BuildMilitary();
+  return kVocab;
+}
+
+}  // namespace harmony::synth

@@ -1,0 +1,64 @@
+// Domain vocabulary for the synthetic enterprise schema generator: the
+// abstract concepts (Person, Vehicle, Event, Unit, ...) the paper says the
+// two military schemata should share, each with realistic fields, synonym
+// alternatives, and documentation paraphrases. The generator combines base
+// concepts with "aspects" (Vitals, Status, History, ...) to produce the
+// hundreds of distinct concept tables an SA-scale schema needs — e.g.
+// "All_Event_Vitals" is base EVENT × aspect VITALS.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/element.h"
+
+namespace harmony::synth {
+
+/// \brief One field of a concept. `words` holds, per word position, one or
+/// more interchangeable alternatives (the first is canonical; the generator
+/// may pick a synonym so the two sides of a pair differ). `doc_variants`
+/// are paraphrases of the field's meaning; the two sides get independently
+/// chosen variants so documentation matches are non-trivial.
+struct FieldTemplate {
+  std::vector<std::vector<std::string>> words;
+  schema::DataType type = schema::DataType::kString;
+  std::vector<std::string> doc_variants;
+};
+
+/// \brief A base domain concept (Person, Vehicle, ...).
+struct ConceptTemplate {
+  /// Interchangeable names for the concept ("person", "individual").
+  std::vector<std::string> name_alts;
+  std::vector<std::string> doc_variants;
+  std::vector<FieldTemplate> fields;
+};
+
+/// \brief An aspect that can specialize any base concept (Vitals, History,
+/// Status, ...), contributing its own name word and extra fields.
+struct AspectTemplate {
+  std::vector<std::string> name_alts;
+  std::vector<FieldTemplate> fields;
+};
+
+/// \brief The full vocabulary: base concepts × aspects + common boilerplate
+/// fields that appear in most tables (ID, TYPE_CODE, LAST_UPDATE, ...) and
+/// act as realistic false-positive bait for matchers.
+struct DomainVocabulary {
+  std::vector<ConceptTemplate> concepts;
+  std::vector<AspectTemplate> aspects;
+  std::vector<FieldTemplate> common_fields;
+
+  /// The military / emergency-response flavoured vocabulary matching the
+  /// paper's domain (persons, vehicles, military units, events, ...).
+  static const DomainVocabulary& Military();
+
+  /// Number of distinct (concept, aspect) combinations available, including
+  /// the aspect-less form of each concept.
+  size_t CombinationCount() const {
+    return concepts.size() * (aspects.size() + 1);
+  }
+};
+
+}  // namespace harmony::synth

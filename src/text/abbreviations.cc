@@ -1,0 +1,95 @@
+#include "text/abbreviations.h"
+
+#include "common/string_util.h"
+
+namespace harmony::text {
+
+AbbreviationDictionary AbbreviationDictionary::Builtin() {
+  AbbreviationDictionary d;
+  // Common data-modeling abbreviations seen in enterprise schemata,
+  // including the military-flavoured ones from the paper's domain (persons,
+  // vehicles, units, events).
+  static const struct { const char* abbrev; const char* expansion; } kTable[] = {
+      {"abbr", "abbreviation"}, {"acct", "account"},     {"addr", "address"},
+      {"amt", "amount"},        {"arr", "arrival"},      {"assoc", "association"},
+      {"attr", "attribute"},    {"auth", "authorization"}, {"avg", "average"},
+      {"bgn", "begin"},         {"bldg", "building"},    {"cat", "category"},
+      {"cd", "code"},           {"cmd", "command"},      {"cnt", "count"},
+      {"coord", "coordinate"},  {"ctry", "country"},     {"cur", "current"},
+      {"dep", "departure"},     {"dept", "department"},  {"desc", "description"},
+      {"dest", "destination"},  {"dim", "dimension"},    {"dob", "date of birth"},
+      {"doc", "document"},      {"dt", "date"},          {"dtg", "date time group"},
+      {"elev", "elevation"},    {"eqp", "equipment"},    {"est", "estimate"},
+      {"evt", "event"},         {"fac", "facility"},     {"fname", "first name"},
+      {"freq", "frequency"},    {"geo", "geographic"},   {"gp", "group"},
+      {"hosp", "hospital"},     {"hq", "headquarters"},  {"id", "identifier"},
+      {"ident", "identifier"},  {"ind", "indicator"},    {"info", "information"},
+      {"lat", "latitude"},      {"lname", "last name"},  {"loc", "location"},
+      {"lon", "longitude"},     {"lvl", "level"},        {"max", "maximum"},
+      {"mbr", "member"},        {"med", "medical"},      {"mil", "military"},
+      {"min", "minimum"},       {"msg", "message"},      {"mun", "munition"},
+      {"nat", "nationality"},   {"nbr", "number"},       {"nm", "name"},
+      {"no", "number"},         {"num", "number"},       {"obj", "object"},
+      {"obs", "observation"},   {"op", "operation"},     {"org", "organization"},
+      {"orig", "origin"},       {"pct", "percent"},      {"pers", "person"},
+      {"phys", "physical"},     {"pos", "position"},     {"prev", "previous"},
+      {"pri", "priority"},      {"qty", "quantity"},     {"rec", "record"},
+      {"ref", "reference"},     {"rgn", "region"},       {"rpt", "report"},
+      {"seq", "sequence"},      {"src", "source"},       {"stat", "status"},
+      {"sts", "status"},        {"svc", "service"},      {"tm", "time"},
+      {"trk", "track"},         {"txt", "text"},         {"typ", "type"},
+      {"uom", "unit of measure"}, {"upd", "update"},     {"veh", "vehicle"},
+      {"vel", "velocity"},      {"ver", "version"},      {"wpn", "weapon"},
+      {"wt", "weight"},         {"xfer", "transfer"},    {"yr", "year"},
+  };
+  for (const auto& e : kTable) d.Add(e.abbrev, e.expansion);
+  return d;
+}
+
+void AbbreviationDictionary::Add(std::string_view abbrev, std::string_view expansion) {
+  map_[ToLower(abbrev)] = ToLower(expansion);
+}
+
+Status AbbreviationDictionary::LoadFromString(std::string_view text) {
+  int line_no = 0;
+  for (const auto& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::ParseError(
+          StringFormat("line %d: expected 'abbrev=expansion', got '%s'", line_no,
+                       line.c_str()));
+    }
+    std::string key = Trim(line.substr(0, eq));
+    std::string val = Trim(line.substr(eq + 1));
+    if (key.empty() || val.empty()) {
+      return Status::ParseError(StringFormat("line %d: empty key or value", line_no));
+    }
+    Add(key, val);
+  }
+  return Status::OK();
+}
+
+std::string AbbreviationDictionary::Lookup(std::string_view token) const {
+  auto it = map_.find(ToLower(token));
+  return it == map_.end() ? std::string() : it->second;
+}
+
+std::vector<std::string> AbbreviationDictionary::ExpandAll(
+    const std::vector<std::string>& tokens) const {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    auto it = map_.find(ToLower(t));
+    if (it == map_.end()) {
+      out.push_back(t);
+    } else {
+      for (auto& w : SplitWhitespace(it->second)) out.push_back(std::move(w));
+    }
+  }
+  return out;
+}
+
+}  // namespace harmony::text

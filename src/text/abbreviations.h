@@ -1,0 +1,55 @@
+// Abbreviation expansion. Enterprise schemata are dense with abbreviations
+// ("QTY", "DT", "ORG", "VEH"); expanding them before matching lets the name
+// voter align "VEH_ID_NBR" with "VehicleIdentificationNumber".
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace harmony::text {
+
+/// \brief Dictionary mapping abbreviations to expansions, seeded with a
+/// built-in table of common enterprise/military data-modeling abbreviations
+/// and extensible per project.
+class AbbreviationDictionary {
+ public:
+  /// Empty dictionary (no built-ins).
+  AbbreviationDictionary() = default;
+
+  /// Dictionary pre-loaded with the built-in table (dt→date, qty→quantity,
+  /// org→organization, ...).
+  static AbbreviationDictionary Builtin();
+
+  /// Adds or replaces a mapping; keys are stored lower-case.
+  void Add(std::string_view abbrev, std::string_view expansion);
+
+  /// Loads "abbrev=expansion" lines; '#' starts a comment. Returns a
+  /// ParseError naming the offending line on malformed input.
+  Status LoadFromString(std::string_view text);
+
+  /// Expansion for `token` (lower-case lookup), or empty if unknown.
+  std::string Lookup(std::string_view token) const;
+
+  /// Expands every known abbreviation in `tokens`; multi-word expansions
+  /// ("dob" → "date of birth") contribute multiple tokens. Unknown tokens
+  /// pass through unchanged.
+  std::vector<std::string> ExpandAll(const std::vector<std::string>& tokens) const;
+
+  size_t size() const { return map_.size(); }
+
+  /// Read access to all mappings (abbrev → expansion), e.g. to build a
+  /// reverse map for the synthetic name corrupter.
+  const std::unordered_map<std::string, std::string>& entries() const {
+    return map_;
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> map_;
+};
+
+}  // namespace harmony::text

@@ -1,0 +1,321 @@
+#include "text/stemmer.h"
+
+#include <cctype>
+
+namespace harmony::text {
+
+namespace {
+
+// Working buffer for one stemming pass. `k` is the index of the last
+// character of the current word (inclusive), following Porter's original
+// exposition.
+class PorterState {
+ public:
+  explicit PorterState(std::string word) : b_(std::move(word)), k_(b_.size() - 1) {}
+
+  std::string Finish() { return b_.substr(0, k_ + 1); }
+
+  // True if b[i] is a consonant, with Porter's special-case for 'y'.
+  bool IsConsonant(size_t i) const {
+    char c = b_[i];
+    switch (c) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return (i == 0) ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the stem b[0..j]: the number of VC sequences.
+  size_t Measure(size_t j) const {
+    size_t n = 0;
+    size_t i = 0;
+    while (true) {
+      if (i > j) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  // True if the stem b[0..j] contains a vowel.
+  bool VowelInStem(size_t j) const {
+    for (size_t i = 0; i <= j; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  // True if b[i-1..i] is a double consonant.
+  bool DoubleConsonant(size_t i) const {
+    if (i < 1) return false;
+    if (b_[i] != b_[i - 1]) return false;
+    return IsConsonant(i);
+  }
+
+  // True if b[i-2..i] is consonant-vowel-consonant and the final consonant
+  // is not w, x or y. Used to restore an 'e' (hop → hope).
+  bool CvC(size_t i) const {
+    if (i < 2) return false;
+    if (!IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) return false;
+    char c = b_[i];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  // True if the word ends with `s`; if so sets j_ to the offset before it.
+  bool Ends(const char* s) {
+    size_t len = 0;
+    while (s[len] != '\0') ++len;
+    if (len > k_ + 1) return false;
+    if (b_.compare(k_ + 1 - len, len, s) != 0) return false;
+    j_ = k_ - len;
+    return true;
+  }
+
+  // Replaces the suffix matched by the last Ends() with `s`.
+  void SetTo(const char* s) {
+    size_t len = 0;
+    while (s[len] != '\0') ++len;
+    b_.replace(j_ + 1, k_ - j_, s, len);
+    k_ = j_ + len;
+  }
+
+  // SetTo guarded by m(j) > 0.
+  void ReplaceIfM(const char* s) {
+    if (Measure(j_) > 0) SetTo(s);
+  }
+
+  void Step1a() {
+    if (b_[k_] == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (k_ >= 1 && b_[k_ - 1] != 's') {
+        --k_;
+      }
+    }
+  }
+
+  void Step1b() {
+    if (Ends("eed")) {
+      if (Measure(j_) > 0) --k_;
+      return;
+    }
+    bool trimmed = false;
+    if (Ends("ed")) {
+      if (VowelInStem(j_)) {
+        k_ = j_;
+        trimmed = true;
+      }
+    } else if (Ends("ing")) {
+      if (VowelInStem(j_)) {
+        k_ = j_;
+        trimmed = true;
+      }
+    }
+    if (trimmed) {
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        char c = b_[k_];
+        if (c != 'l' && c != 's' && c != 'z') --k_;
+      } else if (Measure(k_) == 1 && CvC(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  void Step1c() {
+    if (Ends("y") && j_ != static_cast<size_t>(-1) && VowelInStem(j_)) {
+      b_[k_] = 'i';
+    }
+  }
+
+  void Step2() {
+    if (k_ < 1) return;
+    switch (b_[k_ - 1]) {
+      case 'a':
+        if (Ends("ational")) { ReplaceIfM("ate"); break; }
+        if (Ends("tional")) { ReplaceIfM("tion"); break; }
+        break;
+      case 'c':
+        if (Ends("enci")) { ReplaceIfM("ence"); break; }
+        if (Ends("anci")) { ReplaceIfM("ance"); break; }
+        break;
+      case 'e':
+        if (Ends("izer")) { ReplaceIfM("ize"); break; }
+        break;
+      case 'l':
+        if (Ends("bli")) { ReplaceIfM("ble"); break; }
+        if (Ends("alli")) { ReplaceIfM("al"); break; }
+        if (Ends("entli")) { ReplaceIfM("ent"); break; }
+        if (Ends("eli")) { ReplaceIfM("e"); break; }
+        if (Ends("ousli")) { ReplaceIfM("ous"); break; }
+        break;
+      case 'o':
+        if (Ends("ization")) { ReplaceIfM("ize"); break; }
+        if (Ends("ation")) { ReplaceIfM("ate"); break; }
+        if (Ends("ator")) { ReplaceIfM("ate"); break; }
+        break;
+      case 's':
+        if (Ends("alism")) { ReplaceIfM("al"); break; }
+        if (Ends("iveness")) { ReplaceIfM("ive"); break; }
+        if (Ends("fulness")) { ReplaceIfM("ful"); break; }
+        if (Ends("ousness")) { ReplaceIfM("ous"); break; }
+        break;
+      case 't':
+        if (Ends("aliti")) { ReplaceIfM("al"); break; }
+        if (Ends("iviti")) { ReplaceIfM("ive"); break; }
+        if (Ends("biliti")) { ReplaceIfM("ble"); break; }
+        break;
+      case 'g':
+        if (Ends("logi")) { ReplaceIfM("log"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step3() {
+    switch (b_[k_]) {
+      case 'e':
+        if (Ends("icate")) { ReplaceIfM("ic"); break; }
+        if (Ends("ative")) { ReplaceIfM(""); break; }
+        if (Ends("alize")) { ReplaceIfM("al"); break; }
+        break;
+      case 'i':
+        if (Ends("iciti")) { ReplaceIfM("ic"); break; }
+        break;
+      case 'l':
+        if (Ends("ical")) { ReplaceIfM("ic"); break; }
+        if (Ends("ful")) { ReplaceIfM(""); break; }
+        break;
+      case 's':
+        if (Ends("ness")) { ReplaceIfM(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step4() {
+    if (k_ < 1) return;
+    bool matched = false;
+    switch (b_[k_ - 1]) {
+      case 'a':
+        matched = Ends("al");
+        break;
+      case 'c':
+        matched = Ends("ance") || Ends("ence");
+        break;
+      case 'e':
+        matched = Ends("er");
+        break;
+      case 'i':
+        matched = Ends("ic");
+        break;
+      case 'l':
+        matched = Ends("able") || Ends("ible");
+        break;
+      case 'n':
+        matched = Ends("ant") || Ends("ement") || Ends("ment") || Ends("ent");
+        break;
+      case 'o':
+        if (Ends("ion")) {
+          matched = j_ != static_cast<size_t>(-1) &&
+                    (b_[j_] == 's' || b_[j_] == 't');
+        } else {
+          matched = Ends("ou");
+        }
+        break;
+      case 's':
+        matched = Ends("ism");
+        break;
+      case 't':
+        matched = Ends("ate") || Ends("iti");
+        break;
+      case 'u':
+        matched = Ends("ous");
+        break;
+      case 'v':
+        matched = Ends("ive");
+        break;
+      case 'z':
+        matched = Ends("ize");
+        break;
+      default:
+        break;
+    }
+    if (matched && Measure(j_) > 1) k_ = j_;
+  }
+
+  void Step5a() {
+    if (b_[k_] == 'e') {
+      j_ = k_ - 1;
+      size_t m = Measure(k_ - 1);
+      if (m > 1 || (m == 1 && !CvC(k_ - 1))) --k_;
+    }
+  }
+
+  void Step5b() {
+    if (b_[k_] == 'l' && DoubleConsonant(k_) && Measure(k_) > 1) --k_;
+  }
+
+ private:
+  std::string b_;
+  size_t k_;
+  size_t j_ = 0;
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  for (char c : word) {
+    if (!std::islower(static_cast<unsigned char>(c))) return std::string(word);
+  }
+  PorterState st{std::string(word)};
+  st.Step1a();
+  st.Step1b();
+  st.Step1c();
+  st.Step2();
+  st.Step3();
+  st.Step4();
+  st.Step5a();
+  st.Step5b();
+  return st.Finish();
+}
+
+std::vector<std::string> StemAll(std::vector<std::string> tokens) {
+  for (auto& t : tokens) t = PorterStem(t);
+  return tokens;
+}
+
+}  // namespace harmony::text

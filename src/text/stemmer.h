@@ -1,0 +1,25 @@
+// Porter stemming — the second stage of Harmony's linguistic preprocessing.
+// Reduces inflected English words to a common stem so that, e.g., the
+// element name "locations" and the documentation word "located" agree.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace harmony::text {
+
+/// \brief Returns the Porter stem of `word`.
+///
+/// Implements the original Porter (1980) algorithm, steps 1a through 5b.
+/// Input is expected to be a single lower-case ASCII word; non-alphabetic
+/// input is returned unchanged. Words of length <= 2 are returned unchanged
+/// (per the algorithm).
+std::string PorterStem(std::string_view word);
+
+/// \brief Stems every token in place and returns the vector (convenience for
+/// pipeline code).
+std::vector<std::string> StemAll(std::vector<std::string> tokens);
+
+}  // namespace harmony::text

@@ -1,0 +1,41 @@
+#include "text/stopwords.h"
+
+#include <unordered_set>
+
+namespace harmony::text {
+
+namespace {
+
+const std::unordered_set<std::string>& StopSet() {
+  static const std::unordered_set<std::string> kStop = {
+      "a",     "an",    "and",   "are",   "as",    "at",    "be",    "been",
+      "but",   "by",    "can",   "could", "did",   "do",    "does",  "for",
+      "from",  "had",   "has",   "have",  "he",    "her",   "his",   "how",
+      "i",     "if",    "in",    "into",  "is",    "it",    "its",   "may",
+      "might", "must",  "no",    "not",   "of",    "on",    "or",    "our",
+      "shall", "she",   "should","so",    "some",  "such",  "than",  "that",
+      "the",   "their", "them",  "then",  "there", "these", "they",  "this",
+      "those", "to",    "was",   "we",    "were",  "what",  "when",  "where",
+      "which", "while", "who",   "whom",  "whose", "why",   "will",  "with",
+      "would", "you",   "your",  "each",  "other", "any",   "all",   "also",
+      "etc",   "e",     "g",     "ie",    "eg",    "s",     "t",
+  };
+  return kStop;
+}
+
+}  // namespace
+
+bool IsStopWord(std::string_view word) {
+  return StopSet().count(std::string(word)) > 0;
+}
+
+std::vector<std::string> RemoveStopWords(const std::vector<std::string>& tokens) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    if (!IsStopWord(t)) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace harmony::text

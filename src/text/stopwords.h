@@ -1,0 +1,21 @@
+// English stop-word filtering for documentation text. Schema documentation
+// is prose ("The date on which the event began..."); function words carry no
+// matching evidence and would otherwise dominate shared-word counts.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace harmony::text {
+
+/// True iff `word` (lower-case) is an English function word or a schema
+/// boilerplate word ("code", "id", "type" are NOT stop words — they are weak
+/// but real evidence and are down-weighted by TF-IDF instead).
+bool IsStopWord(std::string_view word);
+
+/// Returns `tokens` with stop words removed.
+std::vector<std::string> RemoveStopWords(const std::vector<std::string>& tokens);
+
+}  // namespace harmony::text

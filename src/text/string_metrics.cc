@@ -1,0 +1,221 @@
+#include "text/string_metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace harmony::text {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // Ensure b is the shorter.
+  std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  size_t m = std::max(a.size(), b.size());
+  if (m == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) / static_cast<double>(m);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t window = std::max(a.size(), b.size()) / 2;
+  if (window > 0) --window;
+
+  std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t lo = (i > window) ? i - window : 0;
+    size_t hi = std::min(b.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  size_t transpositions = 0;
+  size_t k = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[k]) ++k;
+    if (a[i] != b[k]) ++transpositions;
+    ++k;
+  }
+  double m = static_cast<double>(matches);
+  return (m / a.size() + m / b.size() + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  size_t limit = std::min({a.size(), b.size(), static_cast<size_t>(4)});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + 0.1 * static_cast<double>(prefix) * (1.0 - jaro);
+}
+
+size_t LongestCommonSubsequence(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return 0;
+  std::vector<size_t> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    for (size_t j = 1; j <= b.size(); ++j) {
+      cur[j] = (a[i - 1] == b[j - 1]) ? prev[j - 1] + 1 : std::max(prev[j], cur[j - 1]);
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+double LcsSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  return 2.0 * static_cast<double>(LongestCommonSubsequence(a, b)) /
+         static_cast<double>(a.size() + b.size());
+}
+
+double QGramSimilarity(std::string_view a, std::string_view b, size_t q) {
+  if (a == b) return 1.0;
+  if (a.size() < q || b.size() < q) return 0.0;
+  std::unordered_map<std::string, int> grams;
+  for (size_t i = 0; i + q <= a.size(); ++i) {
+    grams[std::string(a.substr(i, q))]++;
+  }
+  size_t shared = 0;
+  for (size_t i = 0; i + q <= b.size(); ++i) {
+    auto it = grams.find(std::string(b.substr(i, q)));
+    if (it != grams.end() && it->second > 0) {
+      --it->second;
+      ++shared;
+    }
+  }
+  size_t na = a.size() - q + 1;
+  size_t nb = b.size() - q + 1;
+  return 2.0 * static_cast<double>(shared) / static_cast<double>(na + nb);
+}
+
+namespace {
+
+std::unordered_set<std::string> ToSet(const std::vector<std::string>& v) {
+  return std::unordered_set<std::string>(v.begin(), v.end());
+}
+
+}  // namespace
+
+double TokenJaccard(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  auto sa = ToSet(a);
+  auto sb = ToSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t inter = 0;
+  for (const auto& t : sa) {
+    if (sb.count(t)) ++inter;
+  }
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double TokenDice(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+  auto sa = ToSet(a);
+  auto sb = ToSet(b);
+  if (sa.empty() && sb.empty()) return 1.0;
+  if (sa.empty() || sb.empty()) return 0.0;
+  size_t inter = 0;
+  for (const auto& t : sa) {
+    if (sb.count(t)) ++inter;
+  }
+  return 2.0 * static_cast<double>(inter) / static_cast<double>(sa.size() + sb.size());
+}
+
+double SoftTokenSimilarity(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b,
+                           double token_threshold) {
+  auto sa = std::vector<std::string>(ToSet(a).begin(), ToSet(a).end());
+  auto sb = std::vector<std::string>(ToSet(b).begin(), ToSet(b).end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  if (sa.empty() || sb.empty()) return 0.0;
+
+  // Greedy maximum-weight matching: repeatedly take the best remaining pair.
+  struct Pair {
+    size_t i, j;
+    double sim;
+  };
+  std::vector<Pair> pairs;
+  for (size_t i = 0; i < sa.size(); ++i) {
+    for (size_t j = 0; j < sb.size(); ++j) {
+      double s = JaroWinklerSimilarity(sa[i], sb[j]);
+      if (s >= token_threshold) pairs.push_back({i, j, s});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& x, const Pair& y) { return x.sim > y.sim; });
+  std::vector<bool> used_a(sa.size(), false), used_b(sb.size(), false);
+  double total = 0.0;
+  for (const auto& p : pairs) {
+    if (used_a[p.i] || used_b[p.j]) continue;
+    used_a[p.i] = used_b[p.j] = true;
+    total += p.sim;
+  }
+  return 2.0 * total / static_cast<double>(sa.size() + sb.size());
+}
+
+double SoftSortedSimilarity(const std::vector<std::string>& a_unique,
+                            const std::vector<std::string>& b_unique,
+                            double token_threshold) {
+  if (a_unique.empty() && b_unique.empty()) return 1.0;
+  if (a_unique.empty() || b_unique.empty()) return 0.0;
+  constexpr size_t kMaxSoft = 32;
+  if (a_unique.size() > kMaxSoft || b_unique.size() > kMaxSoft) {
+    // Large sets: exact-match Jaccard via merge (inputs are sorted).
+    size_t i = 0, j = 0, inter = 0;
+    while (i < a_unique.size() && j < b_unique.size()) {
+      int cmp = a_unique[i].compare(b_unique[j]);
+      if (cmp == 0) {
+        ++inter;
+        ++i;
+        ++j;
+      } else if (cmp < 0) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    size_t uni = a_unique.size() + b_unique.size() - inter;
+    return static_cast<double>(inter) / static_cast<double>(uni);
+  }
+
+  bool used_b[kMaxSoft] = {false};
+  double total = 0.0;
+  for (const auto& ta : a_unique) {
+    double best = 0.0;
+    size_t best_j = kMaxSoft;
+    for (size_t j = 0; j < b_unique.size(); ++j) {
+      if (used_b[j]) continue;
+      double s = JaroWinklerSimilarity(ta, b_unique[j]);
+      if (s > best) {
+        best = s;
+        best_j = j;
+      }
+    }
+    if (best >= token_threshold && best_j != kMaxSoft) {
+      used_b[best_j] = true;
+      total += best;
+    }
+  }
+  return 2.0 * total / static_cast<double>(a_unique.size() + b_unique.size());
+}
+
+}  // namespace harmony::text

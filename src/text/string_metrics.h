@@ -1,0 +1,62 @@
+// String and token-set similarity metrics used by the match voters.
+// All similarities are normalized to [0, 1], where 1 means identical.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace harmony::text {
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Edit similarity: 1 - distance / max(|a|,|b|). Two empty strings → 1.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0,1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity: Jaro boosted for a shared prefix (standard
+/// scaling factor 0.1, prefix capped at 4).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Length of the longest common subsequence of `a` and `b`.
+size_t LongestCommonSubsequence(std::string_view a, std::string_view b);
+
+/// LCS similarity: 2*LCS / (|a|+|b|). Two empty strings → 1.
+double LcsSimilarity(std::string_view a, std::string_view b);
+
+/// Dice coefficient on the multiset of character q-grams (default bigrams).
+/// Strings shorter than q yield 0 unless both are equal.
+double QGramSimilarity(std::string_view a, std::string_view b, size_t q = 2);
+
+/// Jaccard similarity of two token sets: |A∩B| / |A∪B| (duplicates within a
+/// side are ignored). Two empty sets → 1.
+double TokenJaccard(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b);
+
+/// Dice similarity of two token sets: 2|A∩B| / (|A|+|B|) on the de-duplicated
+/// sets. Two empty sets → 1.
+double TokenDice(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b);
+
+/// Soft token-set similarity: greedy best-pair matching where two tokens
+/// count as matched with weight JaroWinkler(t1,t2) if it exceeds
+/// `token_threshold`. Normalized like Dice. Robust to small spelling
+/// variations between token sets.
+double SoftTokenSimilarity(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b,
+                           double token_threshold = 0.85);
+
+/// Allocation-light variant of SoftTokenSimilarity for pre-deduplicated
+/// token vectors of at most 32 entries each (larger inputs fall back to
+/// exact-match Jaccard). Intended for hot per-pair loops such as the
+/// structural voter.
+double SoftSortedSimilarity(const std::vector<std::string>& a_unique,
+                            const std::vector<std::string>& b_unique,
+                            double token_threshold = 0.85);
+
+}  // namespace harmony::text

@@ -1,0 +1,157 @@
+#include "text/synonyms.h"
+
+#include "common/string_util.h"
+#include "text/stemmer.h"
+
+namespace harmony::text {
+
+SynonymDictionary SynonymDictionary::Builtin() {
+  SynonymDictionary d;
+  // General enterprise/military data-modeling synsets; first entry is the
+  // canonical representative.
+  static const std::vector<std::vector<std::string>> kSynsets = {
+      {"person", "individual", "people", "human"},
+      {"vehicle", "conveyance", "automobile", "car"},
+      {"event", "incident", "occurrence", "happening"},
+      {"organization", "unit", "agency", "organisation"},
+      {"location", "place", "site", "position"},
+      {"equipment", "materiel", "gear"},
+      {"facility", "installation"},
+      {"mission", "operation", "sortie"},
+      {"supply", "provision", "stock"},
+      {"medical", "health", "clinical"},
+      {"weapon", "armament", "arm"},
+      {"track", "contact"},
+      {"sensor", "detector"},
+      {"message", "communication", "transmission"},
+      {"report", "summary", "rollup"},
+      {"aircraft", "airframe", "plane"},
+      {"vessel", "ship", "boat"},
+      {"casualty", "injury"},
+      {"assignment", "posting", "allocation", "tasking"},
+      {"weather", "meteorology"},
+      {"contract", "agreement"},
+      {"training", "instruction", "education"},
+      {"budget", "funding"},
+      {"route", "path"},
+      {"begin", "start", "commence", "initiate"},
+      {"end", "stop", "finish", "terminate", "conclusion"},
+      {"last name", "surname"},
+      {"family", "last"},  // family name ≈ last name in this domain.
+      {"given", "first"},
+      {"maximum", "max", "top", "peak"},
+      {"minimum", "min"},
+      {"speed", "velocity"},
+      {"heading", "course", "bearing"},
+      {"manufacturer", "maker", "make", "builder"},
+      {"type", "category", "kind", "class"},
+      {"status", "state", "condition"},
+      {"quantity", "count", "amount", "total"},
+      {"name", "title", "designation", "label"},
+      {"identifier", "identification", "key"},
+      {"description", "narrative", "remarks"},
+      {"note", "remark", "comment"},
+      {"author", "preparer", "writer", "creator"},
+      {"user", "operator"},
+      {"grade", "score", "mark"},
+      {"expiration", "expiry"},
+      {"authorization", "clearance", "authorisation"},
+      {"audit", "stocktake", "inspection"},
+      {"schedule", "plan", "timetable"},
+      {"origin", "departure"},
+      {"destination", "arrival"},
+      {"telephone", "phone"},
+      {"city", "municipality", "town"},
+      {"update", "modification", "revision", "change"},
+      {"creation", "entry", "insertion"},
+      {"cost", "price", "expense"},
+      {"allocated", "authorized", "apportioned"},
+      {"obligated", "committed"},
+      {"expended", "spent", "disbursed"},
+      {"vendor", "supplier", "contractor"},
+      {"held", "stocked", "stored"},
+      {"issued", "granted"},
+      {"superseded", "expired", "replaced"},
+      {"effective", "valid"},
+      {"observation", "detection", "sighting"},
+      {"elevation", "altitude", "height"},
+      {"precision", "accuracy"},
+      {"readiness", "preparedness"},
+      {"strength", "manpower"},
+      {"commander", "leader"},
+      {"checkup", "examination"},
+      {"fitness", "suitability"},
+      {"severity", "seriousness"},
+      {"priority", "precedence", "urgency"},
+      {"value", "reading", "measurement", "measure"},
+      {"fraction", "percent", "percentage", "ratio"},
+  };
+  for (const auto& synset : kSynsets) d.AddSynset(synset);
+  return d;
+}
+
+void SynonymDictionary::AddSynset(const std::vector<std::string>& synset) {
+  if (synset.empty()) return;
+  std::string canonical = ToLower(synset[0]);
+  for (size_t i = 1; i < synset.size(); ++i) {
+    std::string word = ToLower(synset[i]);
+    map_[word] = canonical;
+    // Also key by the stem so inflected forms resolve.
+    std::string stemmed = PorterStem(word);
+    if (stemmed != word) map_.emplace(stemmed, canonical);
+  }
+}
+
+Status SynonymDictionary::LoadFromString(std::string_view content) {
+  int line_no = 0;
+  for (const auto& raw : Split(content, '\n')) {
+    ++line_no;
+    std::string line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::ParseError(
+          StringFormat("line %d: expected 'canonical = syn1, syn2'", line_no));
+    }
+    std::string canonical = Trim(line.substr(0, eq));
+    if (canonical.empty()) {
+      return Status::ParseError(StringFormat("line %d: empty canonical", line_no));
+    }
+    std::vector<std::string> synset{canonical};
+    for (const auto& part : Split(line.substr(eq + 1), ',')) {
+      std::string word = Trim(part);
+      if (!word.empty()) synset.push_back(word);
+    }
+    if (synset.size() < 2) {
+      return Status::ParseError(StringFormat("line %d: no synonyms listed", line_no));
+    }
+    AddSynset(synset);
+  }
+  return Status::OK();
+}
+
+std::string SynonymDictionary::Canonicalize(std::string_view token) const {
+  std::string key = ToLower(token);
+  auto it = map_.find(key);
+  if (it != map_.end()) return it->second;
+  it = map_.find(PorterStem(key));
+  if (it != map_.end()) return it->second;
+  return key;
+}
+
+std::vector<std::string> SynonymDictionary::CanonicalizeAll(
+    const std::vector<std::string>& tokens) const {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    std::string canonical = Canonicalize(t);
+    if (canonical.find(' ') == std::string::npos) {
+      out.push_back(std::move(canonical));
+    } else {
+      for (auto& w : SplitWhitespace(canonical)) out.push_back(std::move(w));
+    }
+  }
+  return out;
+}
+
+}  // namespace harmony::text

@@ -1,0 +1,55 @@
+// Synonym canonicalization — the thesaurus component every matcher of the
+// paper's era carried (Cupid shipped one; COMA supported synonym tables).
+// Tokens from the same synset map to one canonical representative, so
+// "Individual"/"PERSON" and "FamilyName"/"SURNAME" agree at the token level
+// even though no string metric relates them.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace harmony::text {
+
+/// \brief Token-level synonym table mapping words to a canonical
+/// representative (possibly multi-word, e.g. surname → "last name").
+///
+/// Lookups try the raw token first, then its Porter stem, so inflected
+/// forms ("incidents") still canonicalize.
+class SynonymDictionary {
+ public:
+  /// Empty dictionary.
+  SynonymDictionary() = default;
+
+  /// Dictionary pre-loaded with a general enterprise-English thesaurus.
+  static SynonymDictionary Builtin();
+
+  /// Declares a synset: every word in `synset` (after the first) maps to
+  /// the first, canonical, entry. The canonical entry maps to itself.
+  void AddSynset(const std::vector<std::string>& synset);
+
+  /// Loads "canonical = syn1, syn2, ..." lines; '#' starts a comment.
+  Status LoadFromString(std::string_view content);
+
+  /// Canonical form of `token` (lower-case); returns `token` itself when no
+  /// synset covers it.
+  std::string Canonicalize(std::string_view token) const;
+
+  /// Canonicalizes every token; multi-word canonicals contribute multiple
+  /// tokens ("surname" → {"last", "name"}).
+  std::vector<std::string> CanonicalizeAll(
+      const std::vector<std::string>& tokens) const;
+
+  /// Number of non-identity mappings.
+  size_t size() const { return map_.size(); }
+
+ private:
+  // token (and its stem) → canonical text.
+  std::unordered_map<std::string, std::string> map_;
+};
+
+}  // namespace harmony::text

@@ -1,0 +1,116 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace harmony::text {
+
+uint32_t TfIdfCorpus::InternToken(const std::string& token) {
+  auto it = vocab_.find(token);
+  if (it != vocab_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(vocab_.size());
+  vocab_.emplace(token, id);
+  doc_freq_.push_back(0);
+  return id;
+}
+
+size_t TfIdfCorpus::AddDocument(const std::vector<std::string>& tokens) {
+  HARMONY_CHECK(!finalized_) << "AddDocument after Finalize";
+  std::unordered_map<uint32_t, uint32_t> counts;
+  for (const auto& t : tokens) {
+    counts[InternToken(t)]++;
+  }
+  for (const auto& [term, n] : counts) {
+    (void)n;
+    doc_freq_[term]++;
+  }
+  documents_.push_back(std::move(counts));
+  return documents_.size() - 1;
+}
+
+void TfIdfCorpus::Finalize() {
+  HARMONY_CHECK(!finalized_) << "Finalize called twice";
+  finalized_ = true;
+  double n_docs = static_cast<double>(documents_.size());
+  idf_.resize(doc_freq_.size());
+  for (size_t t = 0; t < doc_freq_.size(); ++t) {
+    // Smoothed IDF; always positive so present terms always contribute.
+    idf_[t] = std::log((n_docs + 1.0) / (static_cast<double>(doc_freq_[t]) + 1.0)) + 1.0;
+  }
+  vectors_.reserve(documents_.size());
+  for (const auto& doc : documents_) {
+    SparseVector v;
+    double norm_sq = 0.0;
+    for (const auto& [term, count] : doc) {
+      double w = (1.0 + std::log(static_cast<double>(count))) * idf_[term];
+      v[term] = w;
+      norm_sq += w * w;
+    }
+    if (norm_sq > 0.0) {
+      double inv = 1.0 / std::sqrt(norm_sq);
+      for (auto& [term, w] : v) w *= inv;
+    }
+    vectors_.push_back(std::move(v));
+  }
+}
+
+const SparseVector& TfIdfCorpus::DocumentVector(size_t doc_id) const {
+  HARMONY_CHECK(finalized_);
+  HARMONY_CHECK_LT(doc_id, vectors_.size());
+  return vectors_[doc_id];
+}
+
+SparseVector TfIdfCorpus::Vectorize(const std::vector<std::string>& tokens) const {
+  HARMONY_CHECK(finalized_);
+  std::unordered_map<uint32_t, uint32_t> counts;
+  for (const auto& t : tokens) {
+    auto it = vocab_.find(t);
+    if (it != vocab_.end()) counts[it->second]++;
+  }
+  SparseVector v;
+  double norm_sq = 0.0;
+  for (const auto& [term, count] : counts) {
+    double w = (1.0 + std::log(static_cast<double>(count))) * idf_[term];
+    v[term] = w;
+    norm_sq += w * w;
+  }
+  if (norm_sq > 0.0) {
+    double inv = 1.0 / std::sqrt(norm_sq);
+    for (auto& [term, w] : v) w *= inv;
+  }
+  return v;
+}
+
+double TfIdfCorpus::Similarity(size_t doc_a, size_t doc_b) const {
+  return Cosine(DocumentVector(doc_a), DocumentVector(doc_b));
+}
+
+double TfIdfCorpus::Idf(const std::string& token) const {
+  auto it = vocab_.find(token);
+  if (it == vocab_.end()) return 0.0;
+  return finalized_ ? idf_[it->second] : 0.0;
+}
+
+double TfIdfCorpus::Cosine(const SparseVector& a, const SparseVector& b) {
+  const SparseVector& small = (a.size() <= b.size()) ? a : b;
+  const SparseVector& large = (a.size() <= b.size()) ? b : a;
+  double dot = 0.0;
+  for (const auto& [term, w] : small) {
+    auto it = large.find(term);
+    if (it != large.end()) dot += w * it->second;
+  }
+  double na = 0.0, nb = 0.0;
+  for (const auto& [t, w] : a) {
+    (void)t;
+    na += w * w;
+  }
+  for (const auto& [t, w] : b) {
+    (void)t;
+    nb += w * w;
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace harmony::text

@@ -1,0 +1,69 @@
+// TF-IDF corpus model over documentation text. The documentation voter and
+// the schema-search engine both score by cosine similarity of TF-IDF
+// vectors; weighting by inverse document frequency keeps ubiquitous schema
+// words ("code", "identifier") from dominating the shared-word evidence.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace harmony::text {
+
+/// \brief Sparse TF-IDF vector: term id → weight.
+using SparseVector = std::unordered_map<uint32_t, double>;
+
+/// \brief A corpus of token documents with IDF statistics and TF-IDF
+/// vectorization.
+///
+/// Usage: AddDocument each document, then Finalize(), then Vectorize() /
+/// Similarity(). Adding documents after Finalize() is a programmer error.
+class TfIdfCorpus {
+ public:
+  TfIdfCorpus() = default;
+
+  /// Adds a document (a bag of tokens) and returns its document id.
+  size_t AddDocument(const std::vector<std::string>& tokens);
+
+  /// Computes IDF weights. Must be called once, after all AddDocument calls.
+  void Finalize();
+
+  /// True once Finalize() has run.
+  bool finalized() const { return finalized_; }
+
+  size_t document_count() const { return documents_.size(); }
+  size_t vocabulary_size() const { return vocab_.size(); }
+
+  /// TF-IDF vector (L2-normalized) of a stored document. Requires
+  /// finalized() and a valid id.
+  const SparseVector& DocumentVector(size_t doc_id) const;
+
+  /// TF-IDF vector (L2-normalized) of an ad-hoc bag of tokens, using this
+  /// corpus's IDF table. Out-of-vocabulary tokens are ignored. Requires
+  /// finalized().
+  SparseVector Vectorize(const std::vector<std::string>& tokens) const;
+
+  /// Cosine similarity of two stored documents. Requires finalized().
+  double Similarity(size_t doc_a, size_t doc_b) const;
+
+  /// IDF of a token; 0 for out-of-vocabulary tokens.
+  double Idf(const std::string& token) const;
+
+  /// Cosine of two sparse vectors (helper, assumes both L2-normalized is NOT
+  /// required — computes the full cosine).
+  static double Cosine(const SparseVector& a, const SparseVector& b);
+
+ private:
+  uint32_t InternToken(const std::string& token);
+
+  bool finalized_ = false;
+  std::unordered_map<std::string, uint32_t> vocab_;
+  std::vector<uint32_t> doc_freq_;                   // term id → #docs containing it
+  std::vector<double> idf_;                          // term id → idf weight
+  std::vector<std::unordered_map<uint32_t, uint32_t>> documents_;  // raw term counts
+  std::vector<SparseVector> vectors_;                // normalized tf-idf, post-Finalize
+};
+
+}  // namespace harmony::text

@@ -1,0 +1,92 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace harmony::text {
+
+namespace {
+
+inline bool IsSeparator(char c) {
+  return c == '_' || c == '-' || c == '.' || c == '/' || c == ':' || c == ' ' ||
+         c == '\t' || c == '\n' || c == '\r';
+}
+
+inline bool IsUpper(char c) { return std::isupper(static_cast<unsigned char>(c)) != 0; }
+inline bool IsLower(char c) { return std::islower(static_cast<unsigned char>(c)) != 0; }
+inline bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+}  // namespace
+
+std::vector<std::string> TokenizeIdentifier(std::string_view id,
+                                            const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  auto flush = [&]() {
+    if (!cur.empty()) {
+      tokens.push_back(cur);
+      cur.clear();
+    }
+  };
+
+  for (size_t i = 0; i < id.size(); ++i) {
+    char c = id[i];
+    if (options.split_on_separators && IsSeparator(c)) {
+      flush();
+      continue;
+    }
+    if (!cur.empty()) {
+      char prev = cur.back();
+      bool boundary = false;
+      if (options.split_digits && (IsDigit(prev) != IsDigit(c))) {
+        boundary = true;
+      }
+      if (options.split_camel_case) {
+        // lower→Upper boundary: dateBegin → date|Begin.
+        if (IsLower(prev) && IsUpper(c)) boundary = true;
+        // Acronym end: "XMLParser" — boundary before the 'P' when the next
+        // char is lower-case ("...LPa..." splits as XML|Parser).
+        if (IsUpper(prev) && IsUpper(c) && i + 1 < id.size() && IsLower(id[i + 1])) {
+          boundary = true;
+        }
+      }
+      if (boundary) flush();
+    }
+    cur += c;
+  }
+  flush();
+
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (auto& t : tokens) {
+    if (options.drop_pure_numbers && IsAllDigits(t)) continue;
+    out.push_back(options.lowercase ? ToLower(t) : std::move(t));
+  }
+  return out;
+}
+
+std::vector<std::string> TokenizeText(std::string_view textual) {
+  std::vector<std::string> out;
+  std::string cur;
+  auto flush = [&]() {
+    if (!cur.empty()) {
+      out.push_back(ToLower(cur));
+      cur.clear();
+    }
+  };
+  for (char c : textual) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      cur += c;
+    } else if (c == '\'') {
+      // Keep apostophes out but don't break the word: "person's" → persons.
+      continue;
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace harmony::text

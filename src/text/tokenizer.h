@@ -1,0 +1,43 @@
+// Identifier and documentation tokenization — the first stage of Harmony's
+// linguistic preprocessing (paper §3.2: "It begins with linguistic
+// preprocessing (e.g., tokenization and stemming) of element names and any
+// associated documentation").
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace harmony::text {
+
+/// \brief Options controlling identifier tokenization.
+struct TokenizerOptions {
+  /// Split "dateBegin" into {date, begin}.
+  bool split_camel_case = true;
+  /// Split on '_', '-', '.', '/', ':' and whitespace.
+  bool split_on_separators = true;
+  /// Split "DATE156" into {date, 156}; standalone numbers are kept as tokens
+  /// so downstream stages can decide whether to drop them.
+  bool split_digits = true;
+  /// Lower-case every token.
+  bool lowercase = true;
+  /// Drop tokens that are entirely digits (e.g. the "156" in DATE_BEGIN_156,
+  /// which is a disambiguation suffix, not a word).
+  bool drop_pure_numbers = false;
+};
+
+/// \brief Splits schema identifiers such as "DATE_BEGIN_156",
+/// "AllEventVitals" or "person-birthDate" into word tokens.
+///
+/// Handles underscore/hyphen separators, camelCase boundaries (including the
+/// "XMLParser" acronym-then-word case, which yields {xml, parser}), and
+/// letter/digit boundaries.
+std::vector<std::string> TokenizeIdentifier(std::string_view identifier,
+                                            const TokenizerOptions& options = {});
+
+/// \brief Splits free-text documentation into lower-cased word tokens,
+/// stripping punctuation. Numbers are kept (they may be meaningful units).
+std::vector<std::string> TokenizeText(std::string_view text);
+
+}  // namespace harmony::text

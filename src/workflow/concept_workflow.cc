@@ -1,0 +1,72 @@
+#include "workflow/concept_workflow.h"
+
+#include "common/logging.h"
+#include "core/selection.h"
+
+namespace harmony::workflow {
+
+ConceptWorkflowReport RunConceptWorkflow(const core::MatchEngine& engine,
+                                         const summarize::Summary& source_summary,
+                                         const summarize::Summary& target_summary,
+                                         const ConceptWorkflowOptions& options,
+                                         MatchWorkspace* workspace) {
+  HARMONY_CHECK(workspace != nullptr);
+  ConceptWorkflowReport report;
+
+  std::vector<schema::ElementId> target_ids = engine.target().AllElementIds();
+
+  for (const summarize::Concept& concept_info : source_summary.concepts()) {
+    ConceptIncrement increment;
+    increment.concept_id = concept_info.id;
+
+    // The concept's members form the sub-tree(s) matched against all of SB.
+    std::vector<schema::ElementId> rows = source_summary.Members(concept_info.id);
+    if (rows.empty()) {
+      report.increments.push_back(increment);
+      continue;
+    }
+    core::MatchMatrix matrix = engine.ComputeMatrix(rows, target_ids);
+    increment.pairs_considered = matrix.pair_count();
+
+    // Confidence filter, then the scripted reviewer.
+    std::vector<core::Correspondence> candidates =
+        options.one_to_one
+            ? core::SelectGreedyOneToOne(matrix, options.review_threshold)
+            : core::SelectByThreshold(matrix, options.review_threshold);
+    increment.candidates_reviewed = candidates.size();
+
+    size_t base = workspace->record_count();
+    size_t added = workspace->ImportCandidates(candidates);
+    // ImportCandidates dedups against earlier increments; review the newly
+    // added tail (cross-concept repeats were already reviewed once).
+    for (size_t i = base; i < base + added; ++i) {
+      const MatchRecord& r = workspace->record(i);
+      if (options.oracle) {
+        if (options.oracle(r.link)) {
+          HARMONY_CHECK(workspace->Accept(i, options.reviewer).ok());
+          ++increment.accepted;
+        } else {
+          HARMONY_CHECK(workspace->Reject(i, options.reviewer).ok());
+        }
+      } else if (r.link.score >= options.auto_accept_threshold) {
+        HARMONY_CHECK(workspace->Accept(i, options.reviewer).ok());
+        ++increment.accepted;
+      } else {
+        HARMONY_CHECK(workspace->Defer(i, options.reviewer).ok());
+        ++increment.deferred;
+      }
+    }
+
+    report.total_pairs_considered += increment.pairs_considered;
+    report.total_accepted += increment.accepted;
+    report.total_deferred += increment.deferred;
+    report.increments.push_back(increment);
+  }
+
+  report.concept_matches = summarize::ReduceToOneToOne(
+      summarize::LiftToConcepts(source_summary, target_summary,
+                                workspace->AcceptedLinks(), options.lift));
+  return report;
+}
+
+}  // namespace harmony::workflow

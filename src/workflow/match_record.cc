@@ -1,0 +1,161 @@
+#include "workflow/match_record.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace harmony::workflow {
+
+const char* ValidationStatusToString(ValidationStatus status) {
+  switch (status) {
+    case ValidationStatus::kCandidate:
+      return "candidate";
+    case ValidationStatus::kAccepted:
+      return "accepted";
+    case ValidationStatus::kRejected:
+      return "rejected";
+    case ValidationStatus::kDeferred:
+      return "deferred";
+  }
+  return "candidate";
+}
+
+const char* SemanticAnnotationToString(SemanticAnnotation annotation) {
+  switch (annotation) {
+    case SemanticAnnotation::kUnspecified:
+      return "";
+    case SemanticAnnotation::kEquivalent:
+      return "equivalent";
+    case SemanticAnnotation::kIsA:
+      return "is-a";
+    case SemanticAnnotation::kPartOf:
+      return "part-of";
+    case SemanticAnnotation::kRelated:
+      return "related";
+  }
+  return "";
+}
+
+size_t MatchWorkspace::ImportCandidates(
+    const std::vector<core::Correspondence>& links) {
+  std::map<std::pair<schema::ElementId, schema::ElementId>, size_t> index;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    index[{records_[i].link.source, records_[i].link.target}] = i;
+  }
+  size_t added = 0;
+  for (const auto& link : links) {
+    auto key = std::make_pair(link.source, link.target);
+    auto it = index.find(key);
+    if (it != index.end()) {
+      records_[it->second].link.score =
+          std::max(records_[it->second].link.score, link.score);
+      continue;
+    }
+    index[key] = records_.size();
+    records_.push_back(MatchRecord{link, ValidationStatus::kCandidate,
+                                   SemanticAnnotation::kUnspecified, "", ""});
+    ++added;
+  }
+  return added;
+}
+
+const MatchRecord& MatchWorkspace::record(size_t index) const {
+  HARMONY_CHECK_LT(index, records_.size());
+  return records_[index];
+}
+
+namespace {
+
+Status CheckIndex(size_t index, size_t count) {
+  if (index >= count) {
+    return Status::OutOfRange("record index " + std::to_string(index) +
+                              " out of range (have " + std::to_string(count) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MatchWorkspace::Accept(size_t index, const std::string& reviewer,
+                              SemanticAnnotation annotation,
+                              const std::string& note) {
+  HARMONY_RETURN_NOT_OK(CheckIndex(index, records_.size()));
+  MatchRecord& r = records_[index];
+  r.status = ValidationStatus::kAccepted;
+  r.annotation = annotation;
+  r.reviewer = reviewer;
+  r.note = note;
+  return Status::OK();
+}
+
+Status MatchWorkspace::Reject(size_t index, const std::string& reviewer,
+                              const std::string& note) {
+  HARMONY_RETURN_NOT_OK(CheckIndex(index, records_.size()));
+  MatchRecord& r = records_[index];
+  r.status = ValidationStatus::kRejected;
+  r.reviewer = reviewer;
+  r.note = note;
+  return Status::OK();
+}
+
+Status MatchWorkspace::Defer(size_t index, const std::string& reviewer,
+                             const std::string& note) {
+  HARMONY_RETURN_NOT_OK(CheckIndex(index, records_.size()));
+  MatchRecord& r = records_[index];
+  r.status = ValidationStatus::kDeferred;
+  r.reviewer = reviewer;
+  r.note = note;
+  return Status::OK();
+}
+
+std::vector<MatchRecord> MatchWorkspace::Sorted(RecordOrder order) const {
+  std::vector<MatchRecord> out = records_;
+  switch (order) {
+    case RecordOrder::kByScoreDesc:
+      std::stable_sort(out.begin(), out.end(),
+                       [](const MatchRecord& a, const MatchRecord& b) {
+                         return a.link.score > b.link.score;
+                       });
+      break;
+    case RecordOrder::kByStatus:
+      std::stable_sort(out.begin(), out.end(),
+                       [](const MatchRecord& a, const MatchRecord& b) {
+                         return static_cast<int>(a.status) <
+                                static_cast<int>(b.status);
+                       });
+      break;
+    case RecordOrder::kByReviewer:
+      std::stable_sort(out.begin(), out.end(),
+                       [](const MatchRecord& a, const MatchRecord& b) {
+                         return a.reviewer < b.reviewer;
+                       });
+      break;
+    case RecordOrder::kBySourcePath:
+      std::stable_sort(out.begin(), out.end(),
+                       [this](const MatchRecord& a, const MatchRecord& b) {
+                         return source_->Path(a.link.source) <
+                                source_->Path(b.link.source);
+                       });
+      break;
+  }
+  return out;
+}
+
+std::vector<core::Correspondence> MatchWorkspace::AcceptedLinks() const {
+  std::vector<core::Correspondence> out;
+  for (const auto& r : records_) {
+    if (r.status == ValidationStatus::kAccepted) out.push_back(r.link);
+  }
+  return out;
+}
+
+size_t MatchWorkspace::CountWithStatus(ValidationStatus status) const {
+  size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.status == status) ++n;
+  }
+  return n;
+}
+
+}  // namespace harmony::workflow

@@ -1,0 +1,104 @@
+// Validated match records (paper §3.3): candidates surfaced by the engine
+// were "examined by a human integration engineer; valid matches and related
+// annotations were recorded in Harmony" — including semantics "such as
+// is-a or part-of". The workspace is the match-centric view Lesson #2 asks
+// for: records, not schema trees, are the primary objects, and they can be
+// sorted and grouped freely.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/match_matrix.h"
+#include "schema/schema.h"
+
+namespace harmony::workflow {
+
+/// \brief Review lifecycle of a candidate correspondence.
+enum class ValidationStatus : uint8_t {
+  kCandidate = 0,  ///< Surfaced by the matcher, not yet reviewed.
+  kAccepted,
+  kRejected,
+  kDeferred,  ///< Parked for another team member / later pass.
+};
+
+const char* ValidationStatusToString(ValidationStatus status);
+
+/// \brief Semantic refinement recorded during validation.
+enum class SemanticAnnotation : uint8_t {
+  kUnspecified = 0,
+  kEquivalent,
+  kIsA,
+  kPartOf,
+  kRelated,
+};
+
+const char* SemanticAnnotationToString(SemanticAnnotation annotation);
+
+/// \brief One candidate correspondence and its review state.
+struct MatchRecord {
+  core::Correspondence link;
+  ValidationStatus status = ValidationStatus::kCandidate;
+  SemanticAnnotation annotation = SemanticAnnotation::kUnspecified;
+  std::string reviewer;
+  std::string note;
+};
+
+/// \brief Sort keys for the match-centric view.
+enum class RecordOrder : uint8_t {
+  kByScoreDesc,
+  kByStatus,
+  kByReviewer,
+  kBySourcePath,
+};
+
+/// \brief The review workspace for one schema pair.
+class MatchWorkspace {
+ public:
+  /// Both schemata must outlive the workspace.
+  MatchWorkspace(const schema::Schema& source, const schema::Schema& target)
+      : source_(&source), target_(&target) {}
+
+  const schema::Schema& source() const { return *source_; }
+  const schema::Schema& target() const { return *target_; }
+
+  /// Imports candidates as kCandidate records. A (source, target) pair
+  /// already present is not duplicated; its score is raised to the higher
+  /// value. Returns the number of new records.
+  size_t ImportCandidates(const std::vector<core::Correspondence>& links);
+
+  size_t record_count() const { return records_.size(); }
+  const MatchRecord& record(size_t index) const;
+
+  /// Review operations; `index` must be < record_count (OutOfRange
+  /// otherwise). Re-reviewing is allowed (engineers change their minds).
+  Status Accept(size_t index, const std::string& reviewer,
+                SemanticAnnotation annotation = SemanticAnnotation::kEquivalent,
+                const std::string& note = "");
+  Status Reject(size_t index, const std::string& reviewer,
+                const std::string& note = "");
+  Status Defer(size_t index, const std::string& reviewer,
+               const std::string& note = "");
+
+  /// Records in the requested order (a copy; the workspace order is stable
+  /// import order).
+  std::vector<MatchRecord> Sorted(RecordOrder order) const;
+
+  /// The accepted correspondences.
+  std::vector<core::Correspondence> AcceptedLinks() const;
+
+  /// Count per status.
+  size_t CountWithStatus(ValidationStatus status) const;
+
+  const std::vector<MatchRecord>& records() const { return records_; }
+
+ private:
+  const schema::Schema* source_;
+  const schema::Schema* target_;
+  std::vector<MatchRecord> records_;
+};
+
+}  // namespace harmony::workflow

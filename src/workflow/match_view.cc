@@ -1,0 +1,109 @@
+#include "workflow/match_view.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace harmony::workflow {
+
+namespace {
+
+bool PassesFilter(const MatchRecord& r, const MatchViewFilter& filter) {
+  if (filter.status && r.status != *filter.status) return false;
+  if (filter.reviewer && r.reviewer != *filter.reviewer) return false;
+  if (r.link.score < filter.min_score) return false;
+  return true;
+}
+
+std::string GroupKey(const MatchRecord& r, MatchViewGroupBy group_by) {
+  switch (group_by) {
+    case MatchViewGroupBy::kNone:
+      return "";
+    case MatchViewGroupBy::kStatus:
+      return ValidationStatusToString(r.status);
+    case MatchViewGroupBy::kReviewer:
+      return r.reviewer.empty() ? "(unreviewed)" : r.reviewer;
+  }
+  return "";
+}
+
+std::string RenderRow(const MatchWorkspace& ws, const MatchRecord& r) {
+  return StringFormat("%7.3f  %-9s  %-10s  %-14s  %-36s %s\n", r.link.score,
+                      ValidationStatusToString(r.status),
+                      SemanticAnnotationToString(r.annotation),
+                      r.reviewer.empty() ? "-" : r.reviewer.c_str(),
+                      ws.source().Path(r.link.source).c_str(),
+                      ws.target().Path(r.link.target).c_str());
+}
+
+}  // namespace
+
+std::string RenderMatchView(const MatchWorkspace& workspace,
+                            const MatchViewOptions& options) {
+  std::vector<MatchRecord> rows = workspace.Sorted(options.order);
+  rows.erase(std::remove_if(rows.begin(), rows.end(),
+                            [&](const MatchRecord& r) {
+                              return !PassesFilter(r, options.filter);
+                            }),
+             rows.end());
+
+  std::string out = StringFormat("%7s  %-9s  %-10s  %-14s  %-36s %s\n", "score",
+                                 "status", "semantics", "reviewer", "source",
+                                 "target");
+  out += std::string(110, '-') + "\n";
+
+  if (options.group_by == MatchViewGroupBy::kNone) {
+    size_t rendered = 0;
+    for (const auto& r : rows) {
+      if (options.max_rows > 0 && rendered >= options.max_rows) {
+        out += StringFormat("  ... %zu more rows\n", rows.size() - rendered);
+        break;
+      }
+      out += RenderRow(workspace, r);
+      ++rendered;
+    }
+    out += StringFormat("%zu matches shown\n", std::min(rows.size(),
+                                                        options.max_rows == 0
+                                                            ? rows.size()
+                                                            : options.max_rows));
+    return out;
+  }
+
+  // Grouped: stable-partition rows into sections, preserving sort order.
+  std::map<std::string, std::vector<const MatchRecord*>> groups;
+  std::vector<std::string> group_order;
+  for (const auto& r : rows) {
+    std::string key = GroupKey(r, options.group_by);
+    auto [it, inserted] = groups.emplace(key, std::vector<const MatchRecord*>{});
+    if (inserted) group_order.push_back(key);
+    it->second.push_back(&r);
+  }
+  // Sections in first-appearance order of the sorted rows.
+  for (const std::string& key : group_order) {
+    const auto& members = groups[key];
+    out += StringFormat("== %s (%zu) ==\n", key.c_str(), members.size());
+    size_t rendered = 0;
+    for (const MatchRecord* r : members) {
+      if (options.max_rows > 0 && rendered >= options.max_rows) {
+        out += StringFormat("  ... %zu more rows\n", members.size() - rendered);
+        break;
+      }
+      out += RenderRow(workspace, *r);
+      ++rendered;
+    }
+  }
+  return out;
+}
+
+std::string RenderStatusSummary(const MatchWorkspace& workspace) {
+  return StringFormat(
+      "candidate %zu | accepted %zu | rejected %zu | deferred %zu",
+      workspace.CountWithStatus(ValidationStatus::kCandidate),
+      workspace.CountWithStatus(ValidationStatus::kAccepted),
+      workspace.CountWithStatus(ValidationStatus::kRejected),
+      workspace.CountWithStatus(ValidationStatus::kDeferred));
+}
+
+}  // namespace harmony::workflow

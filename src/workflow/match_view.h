@@ -1,0 +1,52 @@
+// The match-centric view (paper Lesson #2): "we need a match-centric view
+// of matches in addition to the typical schema-centric view ... Spreadsheets
+// allow users to flexibly sort matches (e.g., by status, team member
+// assigned to investigate it, etc.). This kind of match-centric view is
+// something that must be added to schema match tools." This renderer is the
+// text-mode equivalent: records are the rows; sorting, grouping and
+// filtering are first-class.
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "workflow/match_record.h"
+
+namespace harmony::workflow {
+
+/// \brief Row filter for the view.
+struct MatchViewFilter {
+  std::optional<ValidationStatus> status;
+  std::optional<std::string> reviewer;
+  double min_score = -1.0;
+};
+
+/// \brief Grouping key for sectioned output.
+enum class MatchViewGroupBy : uint8_t {
+  kNone = 0,
+  kStatus,
+  kReviewer,
+};
+
+/// \brief View options.
+struct MatchViewOptions {
+  RecordOrder order = RecordOrder::kByScoreDesc;
+  MatchViewGroupBy group_by = MatchViewGroupBy::kNone;
+  MatchViewFilter filter;
+  /// Cap on rendered rows (0 = no cap); the group structure still reflects
+  /// all rows.
+  size_t max_rows = 0;
+};
+
+/// \brief Renders the workspace as a fixed-width text table: one row per
+/// match record, ordered, optionally grouped into sections with per-section
+/// counts. Columns: score, status, annotation, reviewer, source path,
+/// target path.
+std::string RenderMatchView(const MatchWorkspace& workspace,
+                            const MatchViewOptions& options = {});
+
+/// \brief One-line-per-status summary ("accepted 223 | deferred 41 | ...").
+std::string RenderStatusSummary(const MatchWorkspace& workspace);
+
+}  // namespace harmony::workflow

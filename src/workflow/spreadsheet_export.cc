@@ -1,0 +1,108 @@
+#include "workflow/spreadsheet_export.h"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace harmony::workflow {
+
+namespace {
+
+std::string ConceptLabelOf(const summarize::Summary& summary,
+                           schema::ElementId element) {
+  auto id = summary.ConceptOf(element);
+  return id ? summary.concept_at(*id).label : std::string();
+}
+
+}  // namespace
+
+std::string ConceptSheetCsv(const summarize::Summary& source_summary,
+                            const summarize::Summary& target_summary,
+                            const std::vector<summarize::ConceptMatch>& matches) {
+  CsvWriter w;
+  w.AppendRow({"row_type", "source_concept", "target_concept", "supporting_links",
+               "coverage"});
+
+  std::set<summarize::ConceptId> matched_src, matched_tgt;
+  for (const auto& m : matches) {
+    w.AppendRow({"matched", source_summary.concept_at(m.source_concept).label,
+                 target_summary.concept_at(m.target_concept).label,
+                 std::to_string(m.supporting_links),
+                 StringFormat("%.3f", m.coverage)});
+    matched_src.insert(m.source_concept);
+    matched_tgt.insert(m.target_concept);
+  }
+  for (const auto& c : source_summary.concepts()) {
+    if (matched_src.count(c.id)) continue;
+    w.AppendRow({"source_only", c.label, "", "", ""});
+  }
+  for (const auto& c : target_summary.concepts()) {
+    if (matched_tgt.count(c.id)) continue;
+    w.AppendRow({"target_only", "", c.label, "", ""});
+  }
+  return w.ToString();
+}
+
+std::string ElementSheetCsv(const summarize::Summary& source_summary,
+                            const summarize::Summary& target_summary,
+                            const MatchWorkspace& workspace) {
+  const schema::Schema& source = workspace.source();
+  const schema::Schema& target = workspace.target();
+
+  CsvWriter w;
+  w.AppendRow({"row_type", "source_concept", "source_path", "target_concept",
+               "target_path", "score", "status", "annotation", "reviewer"});
+
+  std::set<schema::ElementId> matched_src, matched_tgt;
+  for (const auto& r : workspace.records()) {
+    if (r.status != ValidationStatus::kAccepted) continue;
+    w.AppendRow({"matched", ConceptLabelOf(source_summary, r.link.source),
+                 source.Path(r.link.source),
+                 ConceptLabelOf(target_summary, r.link.target),
+                 target.Path(r.link.target), StringFormat("%.3f", r.link.score),
+                 ValidationStatusToString(r.status),
+                 SemanticAnnotationToString(r.annotation), r.reviewer});
+    matched_src.insert(r.link.source);
+    matched_tgt.insert(r.link.target);
+  }
+  for (schema::ElementId id : source.AllElementIds()) {
+    if (matched_src.count(id)) continue;
+    w.AppendRow({"source_only", ConceptLabelOf(source_summary, id),
+                 source.Path(id), "", "", "", "", "", ""});
+  }
+  for (schema::ElementId id : target.AllElementIds()) {
+    if (matched_tgt.count(id)) continue;
+    w.AppendRow({"target_only", "", "", ConceptLabelOf(target_summary, id),
+                 target.Path(id), "", "", "", ""});
+  }
+  return w.ToString();
+}
+
+Status ExportSpreadsheet(const summarize::Summary& source_summary,
+                         const summarize::Summary& target_summary,
+                         const std::vector<summarize::ConceptMatch>& matches,
+                         const MatchWorkspace& workspace,
+                         const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) return Status::IOError("cannot create directory " + directory);
+
+  {
+    std::string csv = ConceptSheetCsv(source_summary, target_summary, matches);
+    std::ofstream f(directory + "/concepts.csv", std::ios::binary | std::ios::trunc);
+    if (!f) return Status::IOError("cannot write concepts.csv");
+    f << csv;
+  }
+  {
+    std::string csv = ElementSheetCsv(source_summary, target_summary, workspace);
+    std::ofstream f(directory + "/elements.csv", std::ios::binary | std::ios::trunc);
+    if (!f) return Status::IOError("cannot write elements.csv");
+    f << csv;
+  }
+  return Status::OK();
+}
+
+}  // namespace harmony::workflow

@@ -1,0 +1,48 @@
+// Spreadsheet delivery (paper §3.4): "the final result was delivered as an
+// Excel spreadsheet. The first sheet enumerated the 191 concepts with their
+// 24 concept-level matches (167 rows), the second sheet contained the
+// individual schema elements (indexed to a concept) and their element-level
+// matches. Both sheets were organized in 'outer-join' style with three
+// types of rows: those specific to SA, those specific to SB, and those
+// having matched elements of SA and SB."
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "summarize/concept_lift.h"
+#include "summarize/summary.h"
+#include "workflow/match_record.h"
+
+namespace harmony::workflow {
+
+/// \brief Sheet 1: the concept outer join.
+///
+/// Columns: row_type (source_only | target_only | matched),
+/// source_concept, target_concept, supporting_links, coverage. Matched
+/// concepts appear once; the row count is |A concepts| + |B concepts| −
+/// |matches| (the paper's 140 + 51 − 24 = 167).
+std::string ConceptSheetCsv(const summarize::Summary& source_summary,
+                            const summarize::Summary& target_summary,
+                            const std::vector<summarize::ConceptMatch>& matches);
+
+/// \brief Sheet 2: the element outer join, indexed to concepts.
+///
+/// Columns: row_type, source_concept, source_path, target_concept,
+/// target_path, score, status, annotation, reviewer. Matched rows come from
+/// accepted records; unmatched elements of each side follow, each with its
+/// concept label (or "" if unassigned).
+std::string ElementSheetCsv(const summarize::Summary& source_summary,
+                            const summarize::Summary& target_summary,
+                            const MatchWorkspace& workspace);
+
+/// Writes both sheets under `directory` as concepts.csv and elements.csv.
+Status ExportSpreadsheet(const summarize::Summary& source_summary,
+                         const summarize::Summary& target_summary,
+                         const std::vector<summarize::ConceptMatch>& matches,
+                         const MatchWorkspace& workspace,
+                         const std::string& directory);
+
+}  // namespace harmony::workflow

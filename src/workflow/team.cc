@@ -1,0 +1,124 @@
+#include "workflow/team.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "text/stemmer.h"
+#include "text/tokenizer.h"
+
+namespace harmony::workflow {
+
+std::vector<const MatchTask*> TeamPlan::QueueFor(const std::string& member) const {
+  std::vector<const MatchTask*> out;
+  for (const auto& t : tasks) {
+    if (t.assignee == member) out.push_back(&t);
+  }
+  std::sort(out.begin(), out.end(), [](const MatchTask* a, const MatchTask* b) {
+    if (a->estimated_pairs != b->estimated_pairs) {
+      return a->estimated_pairs > b->estimated_pairs;
+    }
+    return a->concept_label < b->concept_label;
+  });
+  return out;
+}
+
+size_t TeamPlan::LoadOf(const std::string& member) const {
+  size_t load = 0;
+  for (const auto& t : tasks) {
+    if (t.assignee == member) load += t.estimated_pairs;
+  }
+  return load;
+}
+
+double TeamPlan::LoadImbalance(const std::vector<TeamMember>& members) const {
+  if (members.empty()) return 0.0;
+  size_t max_load = 0;
+  size_t total = 0;
+  for (const auto& m : members) {
+    size_t load = LoadOf(m.name);
+    max_load = std::max(max_load, load);
+    total += load;
+  }
+  if (total == 0) return 1.0;
+  double mean = static_cast<double>(total) / static_cast<double>(members.size());
+  return static_cast<double>(max_load) / mean;
+}
+
+namespace {
+
+// Stemmed word set of a label/expertise string.
+std::vector<std::string> Keywords(const std::string& s) {
+  return text::StemAll(text::TokenizeText(s));
+}
+
+bool SharesKeyword(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b) {
+  for (const auto& x : a) {
+    for (const auto& y : b) {
+      if (x == y) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+TeamPlan PlanTeamTasks(const summarize::Summary& source_summary,
+                       const schema::Schema& target,
+                       const std::vector<TeamMember>& members,
+                       double expertise_tolerance) {
+  HARMONY_CHECK(!members.empty());
+  TeamPlan plan;
+
+  for (const summarize::Concept& c : source_summary.concepts()) {
+    MatchTask task;
+    task.concept_id = c.id;
+    task.concept_label = c.label;
+    task.estimated_pairs =
+        source_summary.Members(c.id).size() * target.element_count();
+    plan.tasks.push_back(std::move(task));
+  }
+  // LPT: assign heaviest tasks first.
+  std::sort(plan.tasks.begin(), plan.tasks.end(),
+            [](const MatchTask& a, const MatchTask& b) {
+              if (a.estimated_pairs != b.estimated_pairs) {
+                return a.estimated_pairs > b.estimated_pairs;
+              }
+              return a.concept_label < b.concept_label;
+            });
+
+  std::vector<size_t> load(members.size(), 0);
+  std::vector<std::vector<std::string>> expertise(members.size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    expertise[i] = Keywords(members[i].expertise);
+  }
+
+  for (auto& task : plan.tasks) {
+    auto label_words = Keywords(task.concept_label);
+    size_t min_load = *std::min_element(load.begin(), load.end());
+    // Candidates: members whose load is within tolerance of the minimum.
+    size_t chosen = std::numeric_limits<size_t>::max();
+    for (size_t i = 0; i < members.size(); ++i) {
+      double slack = (min_load == 0)
+                         ? (load[i] == 0 ? 0.0 : 1.0)
+                         : (static_cast<double>(load[i]) - static_cast<double>(min_load)) /
+                               static_cast<double>(min_load);
+      if (slack > expertise_tolerance) continue;
+      if (SharesKeyword(label_words, expertise[i])) {
+        chosen = i;
+        break;
+      }
+    }
+    if (chosen == std::numeric_limits<size_t>::max()) {
+      chosen = static_cast<size_t>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+    }
+    task.assignee = members[chosen].name;
+    load[chosen] += task.estimated_pairs;
+  }
+  return plan;
+}
+
+}  // namespace harmony::workflow

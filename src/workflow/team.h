@@ -1,0 +1,59 @@
+// Team support (paper §5 "Support for integration teams"): "how can we
+// divide very large matching workflows into modular task queues appropriate
+// to each team member ... to support a team-based matching effort?" A task
+// is one concept increment; the planner balances estimated effort across
+// members, preferring members whose expertise matches the concept.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+#include "summarize/summary.h"
+
+namespace harmony::workflow {
+
+/// \brief One member of the integration team.
+struct TeamMember {
+  std::string name;
+  /// Free-text expertise keywords ("event person medical"); concepts whose
+  /// label shares a word are preferentially routed here.
+  std::string expertise;
+};
+
+/// \brief One assignable unit of matching work: a concept increment.
+struct MatchTask {
+  summarize::ConceptId concept_id = summarize::kInvalidConceptId;
+  std::string concept_label;
+  /// Workload proxy: |concept members| × |opposing schema| candidate pairs.
+  size_t estimated_pairs = 0;
+  std::string assignee;
+  bool completed = false;
+};
+
+/// \brief The per-member queues after planning.
+struct TeamPlan {
+  std::vector<MatchTask> tasks;  ///< All tasks, assigned.
+
+  /// Tasks routed to one member, heaviest first.
+  std::vector<const MatchTask*> QueueFor(const std::string& member) const;
+
+  /// Total estimated pairs routed to one member.
+  size_t LoadOf(const std::string& member) const;
+
+  /// max load / mean load — 1.0 is perfectly balanced.
+  double LoadImbalance(const std::vector<TeamMember>& members) const;
+};
+
+/// \brief Plans the division of a concept-at-a-time workflow across a team.
+///
+/// Longest-processing-time-first assignment onto the least-loaded member,
+/// with a bounded preference for expertise matches: among members within
+/// `expertise_tolerance` of the minimum load, an expertise match wins.
+TeamPlan PlanTeamTasks(const summarize::Summary& source_summary,
+                       const schema::Schema& target,
+                       const std::vector<TeamMember>& members,
+                       double expertise_tolerance = 0.25);
+
+}  // namespace harmony::workflow

@@ -1,0 +1,112 @@
+#include "workflow/workspace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace harmony::workflow {
+
+namespace {
+
+ValidationStatus StatusFromString(const std::string& s) {
+  if (s == "accepted") return ValidationStatus::kAccepted;
+  if (s == "rejected") return ValidationStatus::kRejected;
+  if (s == "deferred") return ValidationStatus::kDeferred;
+  return ValidationStatus::kCandidate;
+}
+
+SemanticAnnotation AnnotationFromString(const std::string& s) {
+  if (s == "equivalent") return SemanticAnnotation::kEquivalent;
+  if (s == "is-a") return SemanticAnnotation::kIsA;
+  if (s == "part-of") return SemanticAnnotation::kPartOf;
+  if (s == "related") return SemanticAnnotation::kRelated;
+  return SemanticAnnotation::kUnspecified;
+}
+
+}  // namespace
+
+std::string SerializeWorkspace(const MatchWorkspace& workspace) {
+  CsvWriter w;
+  w.AppendRow({"source_path", "target_path", "score", "status", "annotation",
+               "reviewer", "note"});
+  for (const MatchRecord& r : workspace.records()) {
+    w.AppendRow({workspace.source().Path(r.link.source),
+                 workspace.target().Path(r.link.target),
+                 StringFormat("%.6f", r.link.score),
+                 ValidationStatusToString(r.status),
+                 SemanticAnnotationToString(r.annotation), r.reviewer, r.note});
+  }
+  return w.ToString();
+}
+
+Result<MatchWorkspace> DeserializeWorkspace(const schema::Schema& source,
+                                            const schema::Schema& target,
+                                            const std::string& text,
+                                            size_t* dropped_rows) {
+  HARMONY_ASSIGN_OR_RETURN(auto rows, ParseCsv(text));
+  if (rows.empty() || rows[0].size() != 7 || rows[0][0] != "source_path") {
+    return Status::ParseError("missing workspace header row");
+  }
+  MatchWorkspace workspace(source, target);
+  size_t dropped = 0;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 7) {
+      return Status::ParseError(
+          StringFormat("row %zu: expected 7 fields, got %zu", i, row.size()));
+    }
+    auto s = source.FindByPath(row[0]);
+    auto t = target.FindByPath(row[1]);
+    if (!s.ok() || !t.ok()) {
+      ++dropped;  // Schema drifted since the save; keep loading.
+      continue;
+    }
+    core::Correspondence link{*s, *t, std::atof(row[2].c_str())};
+    if (workspace.ImportCandidates({link}) == 0) {
+      ++dropped;  // Duplicate (source, target) row; first one wins.
+      continue;
+    }
+    size_t index = workspace.record_count() - 1;
+    ValidationStatus status = StatusFromString(row[3]);
+    switch (status) {
+      case ValidationStatus::kAccepted:
+        HARMONY_RETURN_NOT_OK(workspace.Accept(index, row[5],
+                                               AnnotationFromString(row[4]),
+                                               row[6]));
+        break;
+      case ValidationStatus::kRejected:
+        HARMONY_RETURN_NOT_OK(workspace.Reject(index, row[5], row[6]));
+        break;
+      case ValidationStatus::kDeferred:
+        HARMONY_RETURN_NOT_OK(workspace.Defer(index, row[5], row[6]));
+        break;
+      case ValidationStatus::kCandidate:
+        break;
+    }
+  }
+  if (dropped_rows != nullptr) *dropped_rows = dropped;
+  return workspace;
+}
+
+Status SaveWorkspace(const MatchWorkspace& workspace, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IOError("cannot open for writing: " + path);
+  f << SerializeWorkspace(workspace);
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<MatchWorkspace> LoadWorkspace(const schema::Schema& source,
+                                     const schema::Schema& target,
+                                     const std::string& path,
+                                     size_t* dropped_rows) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return DeserializeWorkspace(source, target, ss.str(), dropped_rows);
+}
+
+}  // namespace harmony::workflow

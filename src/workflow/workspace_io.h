@@ -1,0 +1,37 @@
+// Workspace persistence. The paper's engagement ran three days with two
+// engineers (§3.3: the workflow "helped the integration engineers organize
+// and track their progress each day") — so review state must survive
+// sessions. Records are stored by element *path*, not id, so a workspace
+// can be reloaded against a re-imported schema as long as paths are stable.
+
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "workflow/match_record.h"
+
+namespace harmony::workflow {
+
+/// \brief Serializes the workspace's records as CSV (one row per record:
+/// source_path, target_path, score, status, annotation, reviewer, note).
+std::string SerializeWorkspace(const MatchWorkspace& workspace);
+
+/// \brief Restores records into a fresh workspace over the given schemata.
+///
+/// Paths are resolved against the schemata; a row whose path no longer
+/// exists is reported in `dropped_rows` (schema drift between sessions)
+/// rather than failing the whole load. Malformed CSV is a ParseError.
+Result<MatchWorkspace> DeserializeWorkspace(const schema::Schema& source,
+                                            const schema::Schema& target,
+                                            const std::string& text,
+                                            size_t* dropped_rows = nullptr);
+
+/// File convenience wrappers.
+Status SaveWorkspace(const MatchWorkspace& workspace, const std::string& path);
+Result<MatchWorkspace> LoadWorkspace(const schema::Schema& source,
+                                     const schema::Schema& target,
+                                     const std::string& path,
+                                     size_t* dropped_rows = nullptr);
+
+}  // namespace harmony::workflow

@@ -1,0 +1,246 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace harmony::xml {
+
+std::string XmlNode::Attr(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+bool XmlNode::HasAttr(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const XmlNode* XmlNode::FirstChild(std::string_view local) const {
+  for (const auto& c : children) {
+    if (c->LocalName() == local) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::Children(std::string_view local) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& c : children) {
+    if (c->LocalName() == local) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string XmlNode::LocalName() const { return StripPrefix(name); }
+
+std::string StripPrefix(std::string_view qname) {
+  size_t colon = qname.rfind(':');
+  return std::string(colon == std::string_view::npos ? qname
+                                                     : qname.substr(colon + 1));
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<XmlDocument> Parse() {
+    SkipProlog();
+    HARMONY_ASSIGN_OR_RETURN(auto root, ParseElement());
+    SkipMisc();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after document element");
+    }
+    XmlDocument doc;
+    doc.root = std::move(root);
+    return doc;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    int line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return Status::ParseError(StringFormat("line %d: %s", line, msg.c_str()));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool LookingAt(std::string_view s) const {
+    return text_.substr(pos_, s.size()) == s;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  // Skips comments, PIs, whitespace, the XML declaration, and DOCTYPE.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (LookingAt("<!--")) {
+        size_t end = text_.find("-->", pos_ + 4);
+        pos_ = (end == std::string_view::npos) ? text_.size() : end + 3;
+      } else if (LookingAt("<?")) {
+        size_t end = text_.find("?>", pos_ + 2);
+        pos_ = (end == std::string_view::npos) ? text_.size() : end + 2;
+      } else if (LookingAt("<!DOCTYPE")) {
+        size_t end = text_.find('>', pos_);
+        pos_ = (end == std::string_view::npos) ? text_.size() : end + 1;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void SkipProlog() { SkipMisc(); }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+           c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Error("expected name");
+    size_t start = pos_;
+    ++pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos || semi - i > 10) {
+        out += raw[i];
+        continue;
+      }
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "lt") out += '<';
+      else if (ent == "gt") out += '>';
+      else if (ent == "amp") out += '&';
+      else if (ent == "apos") out += '\'';
+      else if (ent == "quot") out += '"';
+      else if (!ent.empty() && ent[0] == '#') {
+        long code = 0;
+        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+          code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+        } else {
+          code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+        }
+        if (code > 0 && code < 128) out += static_cast<char>(code);
+        // Non-ASCII references are dropped; schema files in scope are ASCII.
+      } else {
+        out += raw.substr(i, semi - i + 1);  // Unknown entity: keep literally.
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  Result<std::pair<std::string, std::string>> ParseAttribute() {
+    HARMONY_ASSIGN_OR_RETURN(std::string name, ParseName());
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '=') return Error("expected '=' after attribute name");
+    ++pos_;
+    SkipWhitespace();
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    char quote = Peek();
+    ++pos_;
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) ++pos_;
+    if (AtEnd()) return Error("unterminated attribute value");
+    std::string value = DecodeEntities(text_.substr(start, pos_ - start));
+    ++pos_;
+    return std::make_pair(std::move(name), std::move(value));
+  }
+
+  Result<std::unique_ptr<XmlNode>> ParseElement() {
+    if (AtEnd() || Peek() != '<') return Error("expected '<'");
+    ++pos_;
+    auto node = std::make_unique<XmlNode>();
+    HARMONY_ASSIGN_OR_RETURN(node->name, ParseName());
+
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag <" + node->name);
+      if (Peek() == '/') {
+        if (!LookingAt("/>")) return Error("expected '/>'");
+        pos_ += 2;
+        return node;
+      }
+      if (Peek() == '>') {
+        ++pos_;
+        break;
+      }
+      HARMONY_ASSIGN_OR_RETURN(auto attr, ParseAttribute());
+      node->attributes.push_back(std::move(attr));
+    }
+
+    // Content until matching end tag.
+    while (true) {
+      if (AtEnd()) return Error("missing end tag </" + node->name + ">");
+      if (LookingAt("<!--")) {
+        size_t end = text_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) return Error("unterminated comment");
+        pos_ = end + 3;
+      } else if (LookingAt("<![CDATA[")) {
+        size_t end = text_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) return Error("unterminated CDATA");
+        node->text.append(text_.substr(pos_ + 9, end - pos_ - 9));
+        pos_ = end + 3;
+      } else if (LookingAt("<?")) {
+        size_t end = text_.find("?>", pos_ + 2);
+        if (end == std::string_view::npos) return Error("unterminated PI");
+        pos_ = end + 2;
+      } else if (LookingAt("</")) {
+        pos_ += 2;
+        HARMONY_ASSIGN_OR_RETURN(std::string end_name, ParseName());
+        if (end_name != node->name) {
+          return Error("mismatched end tag </" + end_name + ">, expected </" +
+                       node->name + ">");
+        }
+        SkipWhitespace();
+        if (AtEnd() || Peek() != '>') return Error("malformed end tag");
+        ++pos_;
+        return node;
+      } else if (Peek() == '<') {
+        HARMONY_ASSIGN_OR_RETURN(auto child, ParseElement());
+        node->children.push_back(std::move(child));
+      } else {
+        size_t start = pos_;
+        while (!AtEnd() && Peek() != '<') ++pos_;
+        node->text += DecodeEntities(text_.substr(start, pos_ - start));
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<XmlDocument> ParseXml(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace harmony::xml

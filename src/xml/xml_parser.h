@@ -1,0 +1,58 @@
+// A small, non-validating XML parser producing an in-memory DOM. It exists
+// to read XML Schema documents (the paper's SB is an XML Schema with 784
+// elements), so it supports exactly the XML subset XSD files use: elements,
+// attributes, character data, entity references, comments, CDATA, the XML
+// declaration, and processing instructions. It does not resolve external
+// entities or DTDs.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace harmony::xml {
+
+/// \brief One element node of the parsed document.
+///
+/// Text content is accumulated into `text` (concatenation of all character
+/// data directly inside the element, entity-decoded, whitespace preserved).
+struct XmlNode {
+  std::string name;  ///< Tag name including any namespace prefix ("xs:element").
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<std::unique_ptr<XmlNode>> children;
+  std::string text;
+
+  /// Value of attribute `key`, or "" if absent.
+  std::string Attr(std::string_view key) const;
+
+  /// True iff attribute `key` is present.
+  bool HasAttr(std::string_view key) const;
+
+  /// First child whose local name (prefix stripped) equals `local`, or
+  /// nullptr.
+  const XmlNode* FirstChild(std::string_view local) const;
+
+  /// All children whose local name equals `local`.
+  std::vector<const XmlNode*> Children(std::string_view local) const;
+
+  /// This node's local name (prefix stripped).
+  std::string LocalName() const;
+};
+
+/// \brief A parsed document: exactly one root element.
+struct XmlDocument {
+  std::unique_ptr<XmlNode> root;
+};
+
+/// Strips a namespace prefix: "xs:element" → "element".
+std::string StripPrefix(std::string_view qname);
+
+/// \brief Parses XML text. Returns ParseError with a line number on
+/// malformed input (unbalanced tags, bad attribute syntax, stray '<', ...).
+Result<XmlDocument> ParseXml(std::string_view text);
+
+}  // namespace harmony::xml

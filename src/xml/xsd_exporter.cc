@@ -1,0 +1,176 @@
+#include "xml/xsd_exporter.h"
+
+#include "common/string_util.h"
+
+namespace harmony::xml {
+
+using schema::DataType;
+using schema::ElementId;
+using schema::ElementKind;
+using schema::Schema;
+
+const char* DataTypeToXsdType(DataType type) {
+  switch (type) {
+    case DataType::kString:
+      return "string";
+    case DataType::kInteger:
+      return "int";
+    case DataType::kDecimal:
+      return "decimal";
+    case DataType::kFloat:
+      return "double";
+    case DataType::kBoolean:
+      return "boolean";
+    case DataType::kDate:
+      return "date";
+    case DataType::kTime:
+      return "time";
+    case DataType::kDateTime:
+      return "dateTime";
+    case DataType::kBinary:
+      return "base64Binary";
+    case DataType::kUnknown:
+    case DataType::kComposite:
+      return "string";
+  }
+  return "string";
+}
+
+namespace {
+
+std::string XmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+class XsdWriter {
+ public:
+  XsdWriter(const Schema& schema, const XsdExportOptions& options)
+      : schema_(schema), options_(options), xs_(options.xs_prefix) {}
+
+  std::string Render() {
+    out_ = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+    out_ += "<" + xs_ + ":schema xmlns:" + xs_ +
+            "=\"http://www.w3.org/2001/XMLSchema\"";
+    if (!options_.target_namespace.empty()) {
+      out_ += " targetNamespace=\"" + XmlEscape(options_.target_namespace) + "\"";
+    }
+    out_ += ">\n";
+    for (ElementId id : schema_.IdsAtDepth(1)) {
+      const schema::SchemaElement& e = schema_.element(id);
+      if (e.is_leaf()) {
+        EmitLeafElement(e, 1);
+      } else {
+        EmitNamedComplexType(e, 1);
+      }
+    }
+    out_ += "</" + xs_ + ":schema>\n";
+    return out_;
+  }
+
+ private:
+  void Indent(size_t depth) { out_.append(depth * 2, ' '); }
+
+  void EmitAnnotation(const schema::SchemaElement& e, size_t depth) {
+    if (e.documentation.empty()) return;
+    Indent(depth);
+    out_ += "<" + xs_ + ":annotation><" + xs_ + ":documentation>" +
+            XmlEscape(e.documentation) + "</" + xs_ + ":documentation></" + xs_ +
+            ":annotation>\n";
+  }
+
+  void EmitLeafElement(const schema::SchemaElement& e, size_t depth) {
+    bool is_attr = (e.kind == ElementKind::kAttribute);
+    const char* tag = is_attr ? "attribute" : "element";
+    Indent(depth);
+    out_ += "<" + xs_ + ":" + tag + " name=\"" + XmlEscape(e.name) + "\" type=\"" +
+            xs_ + ":" + DataTypeToXsdType(e.type) + "\"";
+    if (is_attr) {
+      if (!e.nullable) out_ += " use=\"required\"";
+    } else if (e.nullable) {
+      out_ += " minOccurs=\"0\"";
+    }
+    if (e.documentation.empty()) {
+      out_ += "/>\n";
+      return;
+    }
+    out_ += ">\n";
+    EmitAnnotation(e, depth + 1);
+    Indent(depth);
+    out_ += "</" + xs_ + ":" + tag + ">\n";
+  }
+
+  void EmitContent(const schema::SchemaElement& container, size_t depth) {
+    if (depth > options_.max_depth) return;
+    // Elements first inside a sequence, then attributes (XSD ordering).
+    Indent(depth);
+    out_ += "<" + xs_ + ":sequence>\n";
+    for (ElementId child : container.children) {
+      const schema::SchemaElement& e = schema_.element(child);
+      if (e.kind == ElementKind::kAttribute) continue;
+      if (e.is_leaf()) {
+        EmitLeafElement(e, depth + 1);
+      } else {
+        Indent(depth + 1);
+        out_ += "<" + xs_ + ":element name=\"" + XmlEscape(e.name) + "\"";
+        if (e.nullable) out_ += " minOccurs=\"0\"";
+        out_ += ">\n";
+        EmitAnnotation(e, depth + 2);
+        Indent(depth + 2);
+        out_ += "<" + xs_ + ":complexType>\n";
+        EmitContent(e, depth + 3);
+        Indent(depth + 2);
+        out_ += "</" + xs_ + ":complexType>\n";
+        Indent(depth + 1);
+        out_ += "</" + xs_ + ":element>\n";
+      }
+    }
+    Indent(depth);
+    out_ += "</" + xs_ + ":sequence>\n";
+    for (ElementId child : container.children) {
+      const schema::SchemaElement& e = schema_.element(child);
+      if (e.kind == ElementKind::kAttribute) EmitLeafElement(e, depth);
+    }
+  }
+
+  void EmitNamedComplexType(const schema::SchemaElement& e, size_t depth) {
+    Indent(depth);
+    out_ += "<" + xs_ + ":complexType name=\"" + XmlEscape(e.name) + "\">\n";
+    EmitAnnotation(e, depth + 1);
+    EmitContent(e, depth + 1);
+    Indent(depth);
+    out_ += "</" + xs_ + ":complexType>\n";
+  }
+
+  const Schema& schema_;
+  XsdExportOptions options_;
+  std::string xs_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string ExportXsd(const Schema& schema, const XsdExportOptions& options) {
+  return XsdWriter(schema, options).Render();
+}
+
+}  // namespace harmony::xml

@@ -1,0 +1,37 @@
+// XSD export: renders a schema as an XML Schema document with
+// xs:annotation/xs:documentation carrying element documentation. Together
+// with the importer this round-trips XML-flavoured schemata, and gives
+// mediated/exchange schemata a concrete XSD artifact — what a COI would
+// actually publish.
+
+#pragma once
+
+#include <string>
+
+#include "schema/schema.h"
+
+namespace harmony::xml {
+
+/// \brief Export options.
+struct XsdExportOptions {
+  /// Namespace prefix for the XSD vocabulary itself.
+  std::string xs_prefix = "xs";
+  /// Value of the schema's targetNamespace attribute; empty omits it.
+  std::string target_namespace;
+  /// Two-space indentation depth limit guard (defensive; schemata this deep
+  /// indicate a bug upstream).
+  size_t max_depth = 64;
+};
+
+/// \brief Renders `schema` as an XSD document. Depth-1 containers become
+/// named complex types; nested containers become inline complex types;
+/// leaves become xs:element (or xs:attribute if imported as one) with
+/// mapped built-in types; documentation becomes xs:annotation.
+std::string ExportXsd(const schema::Schema& schema,
+                      const XsdExportOptions& options = {});
+
+/// Maps a normalized DataType to the XSD built-in type name (without
+/// prefix).
+const char* DataTypeToXsdType(schema::DataType type);
+
+}  // namespace harmony::xml

@@ -1,0 +1,257 @@
+#include "xml/xsd_importer.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "xml/xml_parser.h"
+
+namespace harmony::xml {
+
+using schema::DataType;
+using schema::ElementId;
+using schema::ElementKind;
+using schema::Schema;
+
+schema::DataType XsdTypeToDataType(std::string_view xsd_type) {
+  std::string local = ToLower(StripPrefix(xsd_type));
+  if (local == "string" || local == "normalizedstring" || local == "token" ||
+      local == "name" || local == "ncname" || local == "anyuri" || local == "id" ||
+      local == "idref" || local == "language" || local == "qname") {
+    return DataType::kString;
+  }
+  if (local == "int" || local == "integer" || local == "long" || local == "short" ||
+      local == "byte" || local == "nonnegativeinteger" || local == "positiveinteger" ||
+      local == "negativeinteger" || local == "nonpositiveinteger" ||
+      local == "unsignedint" || local == "unsignedlong" || local == "unsignedshort" ||
+      local == "unsignedbyte") {
+    return DataType::kInteger;
+  }
+  if (local == "decimal") return DataType::kDecimal;
+  if (local == "float" || local == "double") return DataType::kFloat;
+  if (local == "boolean") return DataType::kBoolean;
+  if (local == "date" || local == "gyear" || local == "gyearmonth") {
+    return DataType::kDate;
+  }
+  if (local == "time") return DataType::kTime;
+  if (local == "datetime" || local == "duration") return DataType::kDateTime;
+  if (local == "base64binary" || local == "hexbinary") return DataType::kBinary;
+  return DataType::kUnknown;
+}
+
+namespace {
+
+/// Collects the xs:documentation text inside an element's xs:annotation.
+std::string ExtractDocumentation(const XmlNode& node) {
+  const XmlNode* ann = node.FirstChild("annotation");
+  if (ann == nullptr) return "";
+  std::string out;
+  for (const XmlNode* doc : ann->Children("documentation")) {
+    std::string piece = Trim(doc->text);
+    if (piece.empty()) continue;
+    if (!out.empty()) out += ' ';
+    out += piece;
+  }
+  return out;
+}
+
+class XsdImporter {
+ public:
+  XsdImporter(const XmlNode& root, Schema* schema, const XsdImportOptions& options)
+      : root_(root), schema_(schema), options_(options) {}
+
+  Status Run() {
+    // Pass 1: register named complex and simple types.
+    for (const auto& child : root_.children) {
+      std::string local = child->LocalName();
+      if (local == "complexType" && child->HasAttr("name")) {
+        named_complex_[child->Attr("name")] = child.get();
+      } else if (local == "simpleType" && child->HasAttr("name")) {
+        named_simple_[child->Attr("name")] = child.get();
+      }
+    }
+    // Pass 2: emit top-level nodes.
+    for (const auto& child : root_.children) {
+      std::string local = child->LocalName();
+      if (local == "element") {
+        HARMONY_RETURN_NOT_OK(ImportElement(*child, Schema::kRootId, 0));
+      } else if (local == "complexType" && child->HasAttr("name")) {
+        ElementId id = schema_->AddElement(Schema::kRootId, child->Attr("name"),
+                                           ElementKind::kComplexType,
+                                           DataType::kComposite);
+        schema_->mutable_element(id).documentation = ExtractDocumentation(*child);
+        HARMONY_RETURN_NOT_OK(ImportComplexTypeContent(*child, id, 0));
+      }
+      // Named simple types are resolved at use sites, not emitted as nodes.
+    }
+    return Status::OK();
+  }
+
+ private:
+  // Resolves a named simple type to its base data type by following
+  // xs:restriction chains.
+  DataType ResolveSimpleType(const std::string& name, uint32_t guard = 0) {
+    if (guard > 8) return DataType::kUnknown;
+    DataType builtin = XsdTypeToDataType(name);
+    if (builtin != DataType::kUnknown) return builtin;
+    auto it = named_simple_.find(StripPrefix(name));
+    if (it == named_simple_.end()) return DataType::kUnknown;
+    const XmlNode* restriction = it->second->FirstChild("restriction");
+    if (restriction == nullptr || !restriction->HasAttr("base")) {
+      return DataType::kString;
+    }
+    return ResolveSimpleType(restriction->Attr("base"), guard + 1);
+  }
+
+  Status ImportElement(const XmlNode& node, ElementId parent, uint32_t expansion) {
+    std::string name = node.Attr("name");
+    if (name.empty()) {
+      // An element reference: <xs:element ref="Foo"/>. Model as a node named
+      // after the referenced element, without expansion.
+      name = StripPrefix(node.Attr("ref"));
+      if (name.empty()) {
+        return Status::ParseError("xs:element without name or ref");
+      }
+    }
+    ElementId id =
+        schema_->AddElement(parent, name, ElementKind::kElement, DataType::kUnknown);
+    schema::SchemaElement& e = schema_->mutable_element(id);
+    e.documentation = ExtractDocumentation(node);
+    e.nullable = (node.Attr("minOccurs") == "0");
+
+    std::string type_attr = node.Attr("type");
+    if (!type_attr.empty()) {
+      e.declared_type = type_attr;
+      DataType dt = XsdTypeToDataType(type_attr);
+      if (dt != DataType::kUnknown) {
+        e.type = dt;
+        return Status::OK();
+      }
+      dt = ResolveSimpleType(type_attr);
+      if (dt != DataType::kUnknown && !named_complex_.count(StripPrefix(type_attr))) {
+        e.type = dt;
+        return Status::OK();
+      }
+      // Named complex type reference: expand beneath this element.
+      auto it = named_complex_.find(StripPrefix(type_attr));
+      if (it != named_complex_.end()) {
+        schema_->mutable_element(id).type = DataType::kComposite;
+        if (options_.expand_top_level_refs &&
+            expansion < options_.max_expansion_depth) {
+          return ImportComplexTypeContent(*it->second, id, expansion + 1);
+        }
+        return Status::OK();
+      }
+      // Unknown external type: leave as unknown leaf.
+      return Status::OK();
+    }
+
+    const XmlNode* inline_complex = node.FirstChild("complexType");
+    if (inline_complex != nullptr) {
+      schema_->mutable_element(id).type = DataType::kComposite;
+      return ImportComplexTypeContent(*inline_complex, id, expansion);
+    }
+    const XmlNode* inline_simple = node.FirstChild("simpleType");
+    if (inline_simple != nullptr) {
+      const XmlNode* restriction = inline_simple->FirstChild("restriction");
+      if (restriction != nullptr && restriction->HasAttr("base")) {
+        schema_->mutable_element(id).type =
+            ResolveSimpleType(restriction->Attr("base"));
+        schema_->mutable_element(id).declared_type = restriction->Attr("base");
+      } else {
+        schema_->mutable_element(id).type = DataType::kString;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ImportAttribute(const XmlNode& node, ElementId parent) {
+    std::string name = node.Attr("name");
+    if (name.empty()) name = StripPrefix(node.Attr("ref"));
+    if (name.empty()) return Status::ParseError("xs:attribute without name or ref");
+    DataType dt = DataType::kString;
+    std::string type_attr = node.Attr("type");
+    if (!type_attr.empty()) {
+      dt = ResolveSimpleType(type_attr);
+      if (dt == DataType::kUnknown) dt = DataType::kString;
+    }
+    ElementId id = schema_->AddElement(parent, name, ElementKind::kAttribute, dt);
+    schema::SchemaElement& e = schema_->mutable_element(id);
+    e.declared_type = type_attr;
+    e.documentation = ExtractDocumentation(node);
+    e.nullable = (node.Attr("use") != "required");
+    return Status::OK();
+  }
+
+  // Imports the content model (sequence/choice/all/attributes) of a
+  // complexType node under `parent`.
+  Status ImportComplexTypeContent(const XmlNode& type_node, ElementId parent,
+                                  uint32_t expansion) {
+    if (expansion > options_.max_expansion_depth) return Status::OK();
+    for (const auto& child : type_node.children) {
+      std::string local = child->LocalName();
+      if (local == "sequence" || local == "choice" || local == "all") {
+        HARMONY_RETURN_NOT_OK(ImportParticle(*child, parent, expansion));
+      } else if (local == "attribute") {
+        HARMONY_RETURN_NOT_OK(ImportAttribute(*child, parent));
+      } else if (local == "complexContent" || local == "simpleContent") {
+        // <extension base="..."> adds to a base type; import the base's
+        // content first, then the extension's own particles.
+        for (const auto& ext : child->children) {
+          std::string ext_local = ext->LocalName();
+          if (ext_local != "extension" && ext_local != "restriction") continue;
+          std::string base = StripPrefix(ext->Attr("base"));
+          auto it = named_complex_.find(base);
+          if (it != named_complex_.end() &&
+              expansion < options_.max_expansion_depth) {
+            HARMONY_RETURN_NOT_OK(
+                ImportComplexTypeContent(*it->second, parent, expansion + 1));
+          }
+          HARMONY_RETURN_NOT_OK(ImportComplexTypeContent(*ext, parent, expansion));
+        }
+      }
+      // xs:annotation handled by the caller via ExtractDocumentation.
+    }
+    return Status::OK();
+  }
+
+  // Imports an xs:sequence / xs:choice / xs:all particle.
+  Status ImportParticle(const XmlNode& particle, ElementId parent,
+                        uint32_t expansion) {
+    for (const auto& child : particle.children) {
+      std::string local = child->LocalName();
+      if (local == "element") {
+        HARMONY_RETURN_NOT_OK(ImportElement(*child, parent, expansion));
+      } else if (local == "sequence" || local == "choice" || local == "all") {
+        HARMONY_RETURN_NOT_OK(ImportParticle(*child, parent, expansion));
+      }
+      // xs:any contributes no matchable structure.
+    }
+    return Status::OK();
+  }
+
+  const XmlNode& root_;
+  Schema* schema_;
+  XsdImportOptions options_;
+  std::unordered_map<std::string, const XmlNode*> named_complex_;
+  std::unordered_map<std::string, const XmlNode*> named_simple_;
+};
+
+}  // namespace
+
+Result<Schema> ImportXsd(std::string_view xsd_text, const std::string& schema_name,
+                         const XsdImportOptions& options) {
+  HARMONY_ASSIGN_OR_RETURN(XmlDocument doc, ParseXml(xsd_text));
+  if (doc.root->LocalName() != "schema") {
+    return Status::ParseError("document element is <" + doc.root->name +
+                              ">, expected an XSD <schema>");
+  }
+  std::string name = schema_name;
+  if (name.empty()) name = doc.root->Attr("targetNamespace");
+  if (name.empty()) name = "xsd";
+  Schema schema(name, schema::SchemaFlavor::kXml);
+  XsdImporter importer(*doc.root, &schema, options);
+  HARMONY_RETURN_NOT_OK(importer.Run());
+  return schema;
+}
+
+}  // namespace harmony::xml

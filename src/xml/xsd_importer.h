@@ -1,0 +1,43 @@
+// XSD → Schema importer. Flattens an XML Schema document into the generic
+// schema tree: named complex types and top-level elements become depth-1
+// nodes; sequences/choices are transparent; named-type references are
+// expanded in place (with a recursion guard for recursive types), matching
+// how Harmony presented SB's "types and elements" to the engineers.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "schema/schema.h"
+
+namespace harmony::xml {
+
+/// \brief Options for XSD import.
+struct XsdImportOptions {
+  /// Maximum depth to which named-type references are expanded; recursive or
+  /// deeply nested types are truncated (the reference node remains, without
+  /// children) rather than rejected.
+  uint32_t max_expansion_depth = 16;
+  /// When a top-level element references a named complex type, expand the
+  /// type's content under the element (true) or leave the element as a leaf
+  /// typed by the reference (false).
+  bool expand_top_level_refs = true;
+};
+
+/// \brief Imports an XSD document into a Schema.
+///
+/// `schema_name` overrides the schema's name; when empty, the value of the
+/// xs:schema element's `targetNamespace` (or "xsd" if absent) is used.
+/// Returns ParseError for malformed XML or a root element that is not an
+/// XSD schema.
+Result<schema::Schema> ImportXsd(std::string_view xsd_text,
+                                 const std::string& schema_name = "",
+                                 const XsdImportOptions& options = {});
+
+/// Maps an XSD built-in type name (with or without the "xs:" prefix) to the
+/// normalized DataType; non-built-in names map to kUnknown.
+schema::DataType XsdTypeToDataType(std::string_view xsd_type);
+
+}  // namespace harmony::xml

@@ -1,0 +1,125 @@
+#include "analysis/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace harmony::analysis {
+namespace {
+
+// Distance matrix with two obvious groups: {0,1,2} and {3,4}.
+std::vector<double> TwoGroups() {
+  constexpr double kNear = 0.1, kFar = 0.9;
+  const size_t n = 5;
+  std::vector<double> m(n * n, kFar);
+  auto set = [&](size_t i, size_t j, double d) {
+    m[i * n + j] = d;
+    m[j * n + i] = d;
+  };
+  for (size_t i = 0; i < n; ++i) m[i * n + i] = 0.0;
+  set(0, 1, kNear);
+  set(0, 2, kNear);
+  set(1, 2, kNear);
+  set(3, 4, kNear);
+  return m;
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ClusteringTest, RecoversPlantedGroupsAtK2) {
+  auto result = AgglomerativeCluster(TwoGroups(), 5, 2, kInf);
+  EXPECT_EQ(result.cluster_count, 2u);
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  EXPECT_EQ(result.assignment[1], result.assignment[2]);
+  EXPECT_EQ(result.assignment[3], result.assignment[4]);
+  EXPECT_NE(result.assignment[0], result.assignment[3]);
+}
+
+TEST(ClusteringTest, DistanceCutStopsEarly) {
+  // Cut below the inter-group distance: merges within groups happen (0.1),
+  // the cross-group merge (≈0.9) does not.
+  auto result = AgglomerativeCluster(TwoGroups(), 5, 1, 0.5);
+  EXPECT_EQ(result.cluster_count, 2u);
+}
+
+TEST(ClusteringTest, DendrogramRecordsAllMerges) {
+  auto result = AgglomerativeCluster(TwoGroups(), 5, 2, kInf);
+  EXPECT_EQ(result.dendrogram.size(), 4u);  // n−1 merges.
+  // Merge distances are the linkage values; the last is the big one.
+  EXPECT_GT(result.dendrogram.back().distance, 0.5);
+  EXPECT_LT(result.dendrogram.front().distance, 0.2);
+}
+
+TEST(ClusteringTest, SingletonAndEmptyInputs) {
+  auto empty = AgglomerativeCluster({}, 0, 3, kInf);
+  EXPECT_TRUE(empty.assignment.empty());
+  auto one = AgglomerativeCluster({0.0}, 1, 3, kInf);
+  ASSERT_EQ(one.assignment.size(), 1u);
+  EXPECT_EQ(one.cluster_count, 1u);
+}
+
+TEST(ClusteringTest, KOneMergesEverything) {
+  auto result = AgglomerativeCluster(TwoGroups(), 5, 1, kInf);
+  EXPECT_EQ(result.cluster_count, 1u);
+  for (size_t v : result.assignment) EXPECT_EQ(v, result.assignment[0]);
+}
+
+TEST(ClusteringTest, LinkageVariantsAllRecoverCleanGroups) {
+  for (Linkage linkage : {Linkage::kSingle, Linkage::kComplete, Linkage::kAverage}) {
+    auto result = AgglomerativeCluster(TwoGroups(), 5, 2, kInf, linkage);
+    EXPECT_EQ(result.assignment[0], result.assignment[1]);
+    EXPECT_NE(result.assignment[0], result.assignment[3]);
+  }
+}
+
+TEST(ClusterSeparationTest, GoodClusteringIsNegative) {
+  auto good = AgglomerativeCluster(TwoGroups(), 5, 2, kInf);
+  EXPECT_LT(ClusterSeparation(TwoGroups(), 5, good.assignment), 0.0);
+  // Everything in one cluster: intra = mix, no inter → separation >= 0 − 0.
+  std::vector<size_t> lump(5, 0);
+  EXPECT_GT(ClusterSeparation(TwoGroups(), 5, lump),
+            ClusterSeparation(TwoGroups(), 5, good.assignment));
+}
+
+TEST(ClusterPurityTest, PerfectAndMixed) {
+  std::vector<size_t> reference{0, 0, 0, 1, 1};
+  auto good = AgglomerativeCluster(TwoGroups(), 5, 2, kInf);
+  EXPECT_DOUBLE_EQ(ClusterPurity(good.assignment, reference), 1.0);
+  std::vector<size_t> lump(5, 0);
+  EXPECT_DOUBLE_EQ(ClusterPurity(lump, reference), 3.0 / 5.0);
+}
+
+TEST(ProposeCoisTest, TightClustersProposed) {
+  auto result = AgglomerativeCluster(TwoGroups(), 5, 2, kInf);
+  auto cois = ProposeCois(TwoGroups(), 5, result.assignment, 2, 0.5);
+  ASSERT_EQ(cois.size(), 2u);
+  EXPECT_LE(cois[0].mean_internal_distance, cois[1].mean_internal_distance);
+  EXPECT_EQ(cois[0].members.size() + cois[1].members.size(), 5u);
+}
+
+TEST(DendrogramTest, RendersAllLeavesAndMergeDistances) {
+  auto result = AgglomerativeCluster(TwoGroups(), 5, 2, kInf);
+  std::vector<std::string> names{"S0", "S1", "S2", "S3", "S4"};
+  std::string tree = RenderDendrogram(result, names);
+  for (const auto& name : names) {
+    EXPECT_NE(tree.find(name), std::string::npos) << tree;
+  }
+  // Four merges → four distance labels; the cross-group one is large.
+  EXPECT_NE(tree.find("d=0.9"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("d=0.1"), std::string::npos) << tree;
+}
+
+TEST(DendrogramTest, SingleLeafAndEmpty) {
+  ClusteringResult empty;
+  EXPECT_EQ(RenderDendrogram(empty, {}), "");
+  EXPECT_EQ(RenderDendrogram(empty, {"ONLY"}), "ONLY\n");
+}
+
+TEST(ProposeCoisTest, MinSizeAndTightnessFilter) {
+  auto result = AgglomerativeCluster(TwoGroups(), 5, 2, kInf);
+  EXPECT_TRUE(ProposeCois(TwoGroups(), 5, result.assignment, 4, 0.5).empty());
+  EXPECT_TRUE(ProposeCois(TwoGroups(), 5, result.assignment, 2, 0.01).empty());
+}
+
+}  // namespace
+}  // namespace harmony::analysis

@@ -1,0 +1,89 @@
+#include "analysis/distance.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+#include "synth/generator.h"
+
+namespace harmony::analysis {
+namespace {
+
+schema::Schema MakeThemed(const std::string& name, const std::string& theme) {
+  schema::RelationalBuilder b(name);
+  auto t = b.Table(theme + "_MAIN", "All about " + theme);
+  b.Column(t, theme + "_ID");
+  b.Column(t, theme + "_STATUS", schema::DataType::kString,
+           "Current " + theme + " status");
+  return std::move(b).Build();
+}
+
+TEST(SchemaTokenBagTest, IncludesNamesAndDocs) {
+  schema::Schema s = MakeThemed("S", "missile");
+  auto bag = SchemaTokenBag(s);
+  EXPECT_NE(std::find(bag.begin(), bag.end(), "missil"), bag.end());  // Stemmed.
+  EXPECT_NE(std::find(bag.begin(), bag.end(), "statu"), bag.end());
+}
+
+TEST(TokenProfileIndexTest, SimilarSchemasCloserThanDissimilar) {
+  schema::Schema a1 = MakeThemed("A1", "hospital");
+  schema::Schema a2 = MakeThemed("A2", "hospital");
+  schema::Schema b1 = MakeThemed("B1", "artillery");
+  TokenProfileIndex index({&a1, &a2, &b1});
+  EXPECT_GT(index.Similarity(0, 1), index.Similarity(0, 2));
+  EXPECT_LT(index.Distance(0, 1), index.Distance(0, 2));
+}
+
+TEST(TokenProfileIndexTest, SelfSimilarityIsOne) {
+  schema::Schema a = MakeThemed("A", "supply");
+  schema::Schema b = MakeThemed("B", "convoy");
+  TokenProfileIndex index({&a, &b});
+  EXPECT_NEAR(index.Similarity(0, 0), 1.0, 1e-9);
+}
+
+TEST(TokenProfileIndexTest, DistanceMatrixSymmetricZeroDiagonal) {
+  schema::Schema a = MakeThemed("A", "port");
+  schema::Schema b = MakeThemed("B", "airfield");
+  schema::Schema c = MakeThemed("C", "depot");
+  TokenProfileIndex index({&a, &b, &c});
+  auto m = index.DistanceMatrix();
+  ASSERT_EQ(m.size(), 9u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(m[i * 3 + i], 0.0, 1e-9);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(m[i * 3 + j], m[j * 3 + i], 1e-12);
+      EXPECT_GE(m[i * 3 + j], 0.0);
+      EXPECT_LE(m[i * 3 + j], 1.0);
+    }
+  }
+}
+
+TEST(TokenProfileIndexTest, OutOfSetProfile) {
+  schema::Schema a = MakeThemed("A", "radar");
+  schema::Schema b = MakeThemed("B", "sonar");
+  TokenProfileIndex index({&a, &b});
+  schema::Schema query = MakeThemed("Q", "radar");
+  auto profile = index.Profile(query);
+  double to_a = text::TfIdfCorpus::Cosine(profile, index.vector(0));
+  double to_b = text::TfIdfCorpus::Cosine(profile, index.vector(1));
+  EXPECT_GT(to_a, to_b);
+}
+
+TEST(MatchOverlapSimilarityTest, OverlappingPairScoresHigherThanDisjoint) {
+  synth::PairSpec overlapping;
+  overlapping.source_concepts = 10;
+  overlapping.target_concepts = 10;
+  overlapping.shared_concepts = 8;
+  auto pair_high = synth::GeneratePair(overlapping);
+
+  synth::PairSpec disjoint = overlapping;
+  disjoint.shared_concepts = 0;
+  disjoint.seed = 43;
+  auto pair_low = synth::GeneratePair(disjoint);
+
+  double high = MatchOverlapSimilarity(pair_high.source, pair_high.target, 0.4);
+  double low = MatchOverlapSimilarity(pair_low.source, pair_low.target, 0.4);
+  EXPECT_GT(high, low);
+}
+
+}  // namespace
+}  // namespace harmony::analysis

@@ -1,0 +1,109 @@
+#include "analysis/effort.h"
+
+#include <gtest/gtest.h>
+
+#include "core/match_engine.h"
+#include "schema/builder.h"
+#include "synth/generator.h"
+
+namespace harmony::analysis {
+namespace {
+
+// A hand-built matrix with known bands.
+core::MatchMatrix BandedMatrix() {
+  core::MatchMatrix m({1, 2}, {10, 11, 12, 13});
+  // Target 10: best 0.9 (easy); 11: best 0.45 (medium); 12: best 0.1
+  // (unmatched); 13: best 0.31 (medium).
+  m.Set(1, 10, 0.9);
+  m.Set(2, 10, 0.2);
+  m.Set(1, 11, 0.45);
+  m.Set(2, 11, 0.40);
+  m.Set(1, 12, 0.1);
+  m.Set(2, 12, 0.05);
+  m.Set(1, 13, 0.31);
+  m.Set(2, 13, -0.2);
+  return m;
+}
+
+TEST(EffortTest, BandsCountedCorrectly) {
+  schema::Schema a("A"), b("B");
+  auto est = EstimateIntegrationEffort(a, b, BandedMatrix());
+  EXPECT_EQ(est.easy_mappings, 1u);
+  EXPECT_EQ(est.medium_mappings, 2u);
+  EXPECT_EQ(est.unmatched_target_elements, 1u);
+  // Candidates >= 0.3: 0.9, 0.45, 0.40, 0.31 → 4.
+  EXPECT_EQ(est.candidates_reviewed, 4u);
+  EXPECT_NEAR(est.target_coverage, 3.0 / 4.0, 1e-9);
+}
+
+TEST(EffortTest, PersonDaysFollowModel) {
+  schema::Schema a("A"), b("B");
+  EffortModel model;
+  auto est = EstimateIntegrationEffort(a, b, BandedMatrix(), model);
+  double minutes_per_day = model.hours_per_person_day * 60.0;
+  EXPECT_NEAR(est.mapping_person_days,
+              (1 * model.minutes_per_easy_mapping +
+               2 * model.minutes_per_medium_mapping) /
+                  minutes_per_day,
+              1e-9);
+  EXPECT_NEAR(est.expansion_person_days,
+              1 * model.minutes_per_unmatched_target / minutes_per_day, 1e-9);
+  EXPECT_NEAR(est.total_person_days,
+              est.mapping_person_days + est.expansion_person_days +
+                  est.review_person_days,
+              1e-9);
+}
+
+TEST(EffortTest, CustomThresholdsShiftBands) {
+  schema::Schema a("A"), b("B");
+  EffortModel strict;
+  strict.easy_threshold = 0.95;
+  strict.hard_threshold = 0.05;
+  auto est = EstimateIntegrationEffort(a, b, BandedMatrix(), strict);
+  EXPECT_EQ(est.easy_mappings, 0u);
+  EXPECT_EQ(est.medium_mappings, 4u);
+  EXPECT_EQ(est.unmatched_target_elements, 0u);
+}
+
+TEST(EffortTest, EmptyMatrix) {
+  schema::Schema a("A"), b("B");
+  core::MatchMatrix empty({}, {});
+  auto est = EstimateIntegrationEffort(a, b, empty);
+  EXPECT_EQ(est.total_person_days, 0.0);
+  EXPECT_EQ(est.target_coverage, 0.0);
+}
+
+TEST(EffortTest, HigherOverlapMeansLessEffort) {
+  synth::PairSpec overlapping;
+  overlapping.source_concepts = 12;
+  overlapping.target_concepts = 12;
+  overlapping.shared_concepts = 10;
+  auto high = synth::GeneratePair(overlapping);
+
+  synth::PairSpec disjoint = overlapping;
+  disjoint.shared_concepts = 1;
+  disjoint.seed = 77;
+  auto low = synth::GeneratePair(disjoint);
+
+  core::MatchEngine high_engine(high.source, high.target);
+  core::MatchEngine low_engine(low.source, low.target);
+  auto high_est = EstimateIntegrationEffort(high.source, high.target,
+                                            high_engine.ComputeMatrix());
+  auto low_est =
+      EstimateIntegrationEffort(low.source, low.target, low_engine.ComputeMatrix());
+  EXPECT_GT(high_est.target_coverage, low_est.target_coverage);
+  EXPECT_LT(high_est.expansion_person_days, low_est.expansion_person_days);
+}
+
+TEST(EffortMemoTest, ContainsTheNumbersPlannersNeed) {
+  schema::Schema a("SA"), b("SB");
+  auto est = EstimateIntegrationEffort(a, b, BandedMatrix());
+  std::string memo = RenderEffortMemo(a, b, est);
+  EXPECT_NE(memo.find("person-days"), std::string::npos);
+  EXPECT_NE(memo.find("target coverage: 75%"), std::string::npos);
+  EXPECT_NE(memo.find("SA"), std::string::npos);
+  EXPECT_NE(memo.find("SB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harmony::analysis

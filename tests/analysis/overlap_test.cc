@@ -1,0 +1,112 @@
+#include "analysis/overlap.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+
+namespace harmony::analysis {
+namespace {
+
+schema::Schema MakeSchema(const std::string& name, int tables, int cols) {
+  schema::RelationalBuilder b(name);
+  for (int t = 0; t < tables; ++t) {
+    auto table = b.Table(name + "_T" + std::to_string(t));
+    for (int c = 0; c < cols; ++c) {
+      b.Column(table, "C" + std::to_string(c));
+    }
+  }
+  return std::move(b).Build();
+}
+
+TEST(OverlapTest, PartitionsBySides) {
+  schema::Schema a = MakeSchema("A", 2, 2);  // 6 elements.
+  schema::Schema b = MakeSchema("B", 1, 3);  // 4 elements.
+  std::vector<core::Correspondence> links = {
+      {*a.FindByPath("A_T0.C0"), *b.FindByPath("B_T0.C0"), 0.9},
+      {*a.FindByPath("A_T0.C1"), *b.FindByPath("B_T0.C1"), 0.8},
+  };
+  auto p = ComputeOverlap(a, b, links);
+  EXPECT_EQ(p.source_matched.size(), 2u);
+  EXPECT_EQ(p.source_only.size(), 4u);
+  EXPECT_EQ(p.target_matched.size(), 2u);
+  EXPECT_EQ(p.target_only.size(), 2u);
+  EXPECT_NEAR(p.source_matched_fraction, 2.0 / 6.0, 1e-9);
+  EXPECT_NEAR(p.target_matched_fraction, 2.0 / 4.0, 1e-9);
+}
+
+TEST(OverlapTest, PartitionIsExhaustiveAndDisjoint) {
+  schema::Schema a = MakeSchema("A", 3, 4);
+  schema::Schema b = MakeSchema("B", 2, 5);
+  std::vector<core::Correspondence> links = {
+      {*a.FindByPath("A_T1.C2"), *b.FindByPath("B_T0.C3"), 0.7}};
+  auto p = ComputeOverlap(a, b, links);
+  EXPECT_EQ(p.source_matched.size() + p.source_only.size(), a.element_count());
+  EXPECT_EQ(p.target_matched.size() + p.target_only.size(), b.element_count());
+}
+
+TEST(OverlapTest, MultipleLinksToSameElementCountOnce) {
+  schema::Schema a = MakeSchema("A", 1, 2);
+  schema::Schema b = MakeSchema("B", 1, 2);
+  std::vector<core::Correspondence> links = {
+      {*a.FindByPath("A_T0.C0"), *b.FindByPath("B_T0.C0"), 0.9},
+      {*a.FindByPath("A_T0.C0"), *b.FindByPath("B_T0.C1"), 0.6},
+  };
+  auto p = ComputeOverlap(a, b, links);
+  EXPECT_EQ(p.source_matched.size(), 1u);
+  EXPECT_EQ(p.target_matched.size(), 2u);
+}
+
+TEST(OverlapTest, RestrictedIdSets) {
+  schema::Schema a = MakeSchema("A", 2, 2);
+  schema::Schema b = MakeSchema("B", 1, 2);
+  std::vector<core::Correspondence> links = {
+      {*a.FindByPath("A_T0.C0"), *b.FindByPath("B_T0.C0"), 0.9}};
+  // Only classify leaves.
+  auto p = ComputeOverlap(a, b, links, a.LeafIds(), b.LeafIds());
+  EXPECT_EQ(p.source_matched.size() + p.source_only.size(), a.LeafIds().size());
+}
+
+TEST(OverlapTest, NoLinksMeansAllDistinct) {
+  schema::Schema a = MakeSchema("A", 1, 1);
+  schema::Schema b = MakeSchema("B", 1, 1);
+  auto p = ComputeOverlap(a, b, {});
+  EXPECT_TRUE(p.source_matched.empty());
+  EXPECT_TRUE(p.target_matched.empty());
+  EXPECT_DOUBLE_EQ(p.source_matched_fraction, 0.0);
+}
+
+TEST(OverlapSimilarityTest, FractionsOfTotals) {
+  OverlapPartition p;
+  p.source_matched = {1, 2};
+  p.target_matched = {3};
+  EXPECT_NEAR(OverlapSimilarity(p, 4, 2), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(OverlapSimilarity(p, 0, 0), 0.0);
+}
+
+TEST(DecisionMemoTest, RecommendsBridgeForLowOverlap) {
+  schema::Schema a = MakeSchema("SA", 3, 3);
+  schema::Schema b = MakeSchema("SB", 3, 3);
+  std::vector<core::Correspondence> links = {
+      {*a.FindByPath("SA_T0.C0"), *b.FindByPath("SB_T0.C0"), 0.9}};
+  auto p = ComputeOverlap(a, b, links);
+  std::string memo = RenderDecisionMemo(a, b, p);
+  EXPECT_NE(memo.find("ETL bridge"), std::string::npos) << memo;
+  EXPECT_NE(memo.find("SB"), std::string::npos);
+}
+
+TEST(DecisionMemoTest, RecommendsSubsumptionForHighOverlap) {
+  schema::Schema a = MakeSchema("SA", 1, 3);
+  schema::Schema b = MakeSchema("SB", 1, 3);
+  std::vector<core::Correspondence> links;
+  for (int c = 0; c < 3; ++c) {
+    links.push_back({*a.FindByPath("SA_T0.C" + std::to_string(c)),
+                     *b.FindByPath("SB_T0.C" + std::to_string(c)), 0.9});
+  }
+  links.push_back({*a.FindByPath("SA_T0"), *b.FindByPath("SB_T0"), 0.9});
+  auto p = ComputeOverlap(a, b, links);
+  std::string memo = RenderDecisionMemo(a, b, p);
+  EXPECT_NE(memo.find("subsuming"), std::string::npos) << memo;
+}
+
+}  // namespace
+}  // namespace harmony::analysis

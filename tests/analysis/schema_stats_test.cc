@@ -1,0 +1,85 @@
+#include "analysis/schema_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+#include "synth/generator.h"
+
+namespace harmony::analysis {
+namespace {
+
+schema::Schema MakeSchema() {
+  schema::RelationalBuilder b("S");
+  auto t = b.Table("PERSON", "A person we track carefully");
+  b.Column(t, "NAME", schema::DataType::kString, "Full name");
+  b.Column(t, "AGE", schema::DataType::kInteger);
+  auto u = b.Table("MYSTERY");
+  b.Column(u, "BLOB_COL", schema::DataType::kUnknown);
+  return std::move(b).Build();
+}
+
+TEST(SchemaStatsTest, CountsAndDepth) {
+  auto stats = ComputeSchemaStats(MakeSchema());
+  EXPECT_EQ(stats.name, "S");
+  EXPECT_EQ(stats.element_count, 5u);
+  EXPECT_EQ(stats.container_count, 2u);
+  EXPECT_EQ(stats.leaf_count, 3u);
+  EXPECT_EQ(stats.max_depth, 2u);
+  EXPECT_NEAR(stats.mean_container_fanout, 1.5, 1e-9);
+}
+
+TEST(SchemaStatsTest, Histograms) {
+  auto stats = ComputeSchemaStats(MakeSchema());
+  EXPECT_EQ(stats.kind_histogram.at(schema::ElementKind::kTable), 2u);
+  EXPECT_EQ(stats.kind_histogram.at(schema::ElementKind::kColumn), 3u);
+  EXPECT_EQ(stats.type_histogram.at(schema::DataType::kString), 1u);
+  EXPECT_EQ(stats.type_histogram.at(schema::DataType::kInteger), 1u);
+}
+
+TEST(SchemaStatsTest, DocCoverageAndUnknownTypes) {
+  auto stats = ComputeSchemaStats(MakeSchema());
+  // PERSON (doc) + NAME (doc) of 5 elements.
+  EXPECT_NEAR(stats.doc_coverage, 2.0 / 5.0, 1e-9);
+  EXPECT_GT(stats.mean_doc_tokens, 1.0);
+  EXPECT_NEAR(stats.unknown_type_fraction, 1.0 / 3.0, 1e-9);
+}
+
+TEST(SchemaStatsTest, EmptySchema) {
+  schema::Schema empty("E");
+  auto stats = ComputeSchemaStats(empty);
+  EXPECT_EQ(stats.element_count, 0u);
+  EXPECT_EQ(stats.doc_coverage, 0.0);
+  EXPECT_EQ(stats.mean_container_fanout, 0.0);
+}
+
+TEST(SchemaStatsTest, GeneratedSchemaDocCoverageTracksSpec) {
+  synth::SchemaSpec spec;
+  spec.concepts = 20;
+  spec.style.doc_probability = 0.9;
+  auto high = ComputeSchemaStats(synth::GenerateSchema(spec));
+  spec.seed = 2;
+  spec.style.doc_probability = 0.2;
+  auto low = ComputeSchemaStats(synth::GenerateSchema(spec));
+  EXPECT_GT(high.doc_coverage, 0.8);
+  EXPECT_LT(low.doc_coverage, 0.4);
+}
+
+TEST(SchemaStatsRenderTest, BlockContainsKeyFigures) {
+  std::string block = RenderSchemaStats(ComputeSchemaStats(MakeSchema()));
+  EXPECT_NE(block.find("5 elements"), std::string::npos);
+  EXPECT_NE(block.find("documentation: 40%"), std::string::npos);
+  EXPECT_NE(block.find("table=2"), std::string::npos);
+}
+
+TEST(SchemaStatsRenderTest, TableOneRowPerSchema) {
+  std::vector<SchemaStats> all = {ComputeSchemaStats(MakeSchema())};
+  schema::Schema other("OTHER", schema::SchemaFlavor::kXml);
+  all.push_back(ComputeSchemaStats(other));
+  std::string table = RenderStatsTable(all);
+  EXPECT_NE(table.find("S "), std::string::npos);
+  EXPECT_NE(table.find("OTHER"), std::string::npos);
+  EXPECT_NE(table.find("xml"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harmony::analysis

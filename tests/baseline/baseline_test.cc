@@ -1,0 +1,106 @@
+#include "baseline/baseline_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+
+namespace harmony::baseline {
+namespace {
+
+using schema::DataType;
+
+schema::Schema MakeSa() {
+  schema::RelationalBuilder b("SA");
+  auto person = b.Table("PERSON");
+  b.Column(person, "LAST_NAME", DataType::kString);
+  b.Column(person, "BIRTH_DATE", DataType::kDate);
+  auto veh = b.Table("VEHICLE");
+  b.Column(veh, "FUEL_CODE", DataType::kString);
+  return std::move(b).Build();
+}
+
+schema::Schema MakeSb() {
+  schema::XmlBuilder b("SB");
+  auto person = b.ComplexType("Person");
+  b.Element(person, "LastName", DataType::kString);
+  b.Element(person, "BirthDate", DataType::kDate);
+  auto veh = b.ComplexType("Vehicle");
+  b.Element(veh, "FuelCode", DataType::kString);
+  return std::move(b).Build();
+}
+
+TEST(NameEqualityTest, NormalizedExactMatchOnly) {
+  auto sa = MakeSa();
+  auto sb = MakeSb();
+  NameEqualityMatcher m;
+  auto matrix = m.Compute(sa, sb);
+  EXPECT_DOUBLE_EQ(
+      matrix.Get(*sa.FindByPath("PERSON.LAST_NAME"), *sb.FindByPath("Person.LastName")),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      matrix.Get(*sa.FindByPath("PERSON.LAST_NAME"), *sb.FindByPath("Person.BirthDate")),
+      0.0);
+  EXPECT_DOUBLE_EQ(matrix.Get(*sa.FindByPath("PERSON"), *sb.FindByPath("Person")), 1.0);
+}
+
+TEST(ComaStyleTest, GradedNameSimilarity) {
+  auto sa = MakeSa();
+  auto sb = MakeSb();
+  ComaStyleMatcher m;
+  auto matrix = m.Compute(sa, sb);
+  double exact = matrix.Get(*sa.FindByPath("PERSON.LAST_NAME"),
+                            *sb.FindByPath("Person.LastName"));
+  double near = matrix.Get(*sa.FindByPath("PERSON.BIRTH_DATE"),
+                           *sb.FindByPath("Person.LastName"));
+  double far = matrix.Get(*sa.FindByPath("VEHICLE.FUEL_CODE"),
+                          *sb.FindByPath("Person.LastName"));
+  EXPECT_DOUBLE_EQ(exact, 1.0);
+  EXPECT_GT(exact, near);
+  EXPECT_GT(near, far);
+}
+
+TEST(CupidStyleTest, StructuralComponentSeparatesContainers) {
+  auto sa = MakeSa();
+  auto sb = MakeSb();
+  CupidStyleMatcher m;
+  auto matrix = m.Compute(sa, sb);
+  double person_pair =
+      matrix.Get(*sa.FindByPath("PERSON"), *sb.FindByPath("Person"));
+  double cross_pair =
+      matrix.Get(*sa.FindByPath("PERSON"), *sb.FindByPath("Vehicle"));
+  EXPECT_GT(person_pair, cross_pair);
+}
+
+TEST(CupidStyleTest, LeafVsContainerScoresLowStructurally) {
+  auto sa = MakeSa();
+  auto sb = MakeSb();
+  CupidStyleMatcher m(1.0);  // Structure only.
+  auto matrix = m.Compute(sa, sb);
+  EXPECT_LT(matrix.Get(*sa.FindByPath("PERSON"), *sb.FindByPath("Person.LastName")),
+            0.2);
+}
+
+TEST(BaselinePropertyTest, AllScoresInUnitInterval) {
+  auto sa = MakeSa();
+  auto sb = MakeSb();
+  for (const auto& matcher : CreateAllBaselines()) {
+    auto matrix = matcher->Compute(sa, sb);
+    for (size_t r = 0; r < matrix.rows(); ++r) {
+      for (size_t c = 0; c < matrix.cols(); ++c) {
+        EXPECT_GE(matrix.GetByIndex(r, c), 0.0) << matcher->name();
+        EXPECT_LE(matrix.GetByIndex(r, c), 1.0) << matcher->name();
+      }
+    }
+  }
+}
+
+TEST(BaselineFactoryTest, ProducesThreeDistinctMatchers) {
+  auto all = CreateAllBaselines();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_STREQ(all[0]->name(), "name_equality");
+  EXPECT_STREQ(all[1]->name(), "coma_style");
+  EXPECT_STREQ(all[2]->name(), "cupid_style");
+}
+
+}  // namespace
+}  // namespace harmony::baseline

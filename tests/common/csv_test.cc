@@ -1,0 +1,105 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony {
+namespace {
+
+TEST(CsvWriterTest, PlainFields) {
+  CsvWriter w;
+  ASSERT_TRUE(w.AppendRow({"a", "b", "c"}).ok());
+  EXPECT_EQ(w.ToString(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter w;
+  ASSERT_TRUE(w.AppendRow({"has,comma", "has\"quote", "has\nnewline", "plain"}).ok());
+  EXPECT_EQ(w.ToString(), "\"has,comma\",\"has\"\"quote\",\"has\nnewline\",plain\n");
+}
+
+TEST(CsvWriterTest, EscapeFieldStandalone) {
+  EXPECT_EQ(CsvWriter::EscapeField("ok"), "ok");
+  EXPECT_EQ(CsvWriter::EscapeField("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(CsvWriter::EscapeField(""), "");
+}
+
+TEST(CsvWriterTest, StrictWidthRejectsRaggedRows) {
+  CsvWriter w;
+  w.set_strict_width(true);
+  ASSERT_TRUE(w.AppendRow({"a", "b"}).ok());
+  EXPECT_TRUE(w.AppendRow({"only-one"}).IsInvalidArgument());
+  EXPECT_EQ(w.row_count(), 1u);
+}
+
+TEST(CsvWriterTest, RaggedRowsAllowedByDefault) {
+  CsvWriter w;
+  ASSERT_TRUE(w.AppendRow({"a", "b"}).ok());
+  ASSERT_TRUE(w.AppendRow({"x"}).ok());
+  EXPECT_EQ(w.row_count(), 2u);
+}
+
+TEST(CsvParseTest, BasicRows) {
+  auto rows = ParseCsv("a,b\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvParseTest, QuotedFieldsWithEverything) {
+  auto rows = ParseCsv("\"a,b\",\"c\"\"d\",\"e\nf\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a,b", "c\"d", "e\nf"}));
+}
+
+TEST(CsvParseTest, MissingTrailingNewline) {
+  auto rows = ParseCsv("a,b");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+}
+
+TEST(CsvParseTest, ToleratesCrLf) {
+  auto rows = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvParseTest, UnterminatedQuoteIsParseError) {
+  EXPECT_TRUE(ParseCsv("\"open,b\n").status().IsParseError());
+}
+
+TEST(CsvParseTest, QuoteMidFieldIsParseError) {
+  EXPECT_TRUE(ParseCsv("ab\"c,d\n").status().IsParseError());
+}
+
+TEST(CsvParseTest, EmptyInputYieldsNoRows) {
+  auto rows = ParseCsv("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+// Property: any field set survives a write→parse round trip.
+class CsvRoundTripTest : public ::testing::TestWithParam<std::vector<std::string>> {};
+
+TEST_P(CsvRoundTripTest, RoundTrips) {
+  CsvWriter w;
+  ASSERT_TRUE(w.AppendRow(GetParam()).ok());
+  auto rows = ParseCsv(w.ToString());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AwkwardFields, CsvRoundTripTest,
+    ::testing::Values(
+        std::vector<std::string>{"plain", "two words"},
+        std::vector<std::string>{"comma,inside", "quote\"inside"},
+        std::vector<std::string>{"new\nline", "\"fully quoted\""},
+        std::vector<std::string>{"", "", ""},
+        std::vector<std::string>{",,,", "\"\"\"\"", "\n\n"},
+        std::vector<std::string>{"mixed,\"all\"\nof it", "x"}));
+
+}  // namespace
+}  // namespace harmony

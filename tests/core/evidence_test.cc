@@ -1,0 +1,91 @@
+#include "core/evidence.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::core {
+namespace {
+
+TEST(EvidenceWeightTest, ZeroEvidenceIsZeroWeight) {
+  EXPECT_DOUBLE_EQ(EvidenceWeight(0.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(EvidenceWeight(-1.0, 4.0), 0.0);
+}
+
+TEST(EvidenceWeightTest, HalfEvidenceGivesHalfWeight) {
+  EXPECT_DOUBLE_EQ(EvidenceWeight(4.0, 4.0), 0.5);
+  EXPECT_DOUBLE_EQ(EvidenceWeight(8.0, 8.0), 0.5);
+}
+
+TEST(EvidenceWeightTest, MonotoneAndBoundedBelowOne) {
+  double prev = 0.0;
+  for (double n = 1.0; n < 1000.0; n *= 2.0) {
+    double w = EvidenceWeight(n, 4.0);
+    EXPECT_GT(w, prev);
+    EXPECT_LT(w, 1.0);
+    prev = w;
+  }
+  EXPECT_GT(prev, 0.98);  // Approaches 1 with abundant evidence.
+}
+
+TEST(EvidenceConfidenceTest, NoEvidenceMeansCompleteUncertainty) {
+  EXPECT_DOUBLE_EQ(EvidenceWeightedConfidence({1.0, 0.0}, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(EvidenceWeightedConfidence({0.0, 0.0}, 4.0), 0.0);
+}
+
+TEST(EvidenceConfidenceTest, PushedTowardPlusOneWithEvidence) {
+  // Perfect ratio: confidence grows toward +1 as evidence accumulates —
+  // the paper's "pushed towards −1 or +1".
+  double thin = EvidenceWeightedConfidence({1.0, 1.0}, 4.0);
+  double thick = EvidenceWeightedConfidence({1.0, 100.0}, 4.0);
+  EXPECT_GT(thin, 0.0);
+  EXPECT_GT(thick, thin);
+  EXPECT_GT(thick, 0.9);
+  EXPECT_LT(thick, 1.0);
+}
+
+TEST(EvidenceConfidenceTest, PushedTowardMinusOneWithEvidence) {
+  double thin = EvidenceWeightedConfidence({0.0, 1.0}, 4.0);
+  double thick = EvidenceWeightedConfidence({0.0, 100.0}, 4.0);
+  EXPECT_LT(thin, 0.0);
+  EXPECT_LT(thick, thin);
+  EXPECT_LT(thick, -0.9);
+  EXPECT_GT(thick, -1.0);
+}
+
+TEST(EvidenceConfidenceTest, HalfRatioIsNeutralRegardlessOfEvidence) {
+  EXPECT_DOUBLE_EQ(EvidenceWeightedConfidence({0.5, 100.0}, 4.0), 0.0);
+}
+
+TEST(EvidenceConfidenceTest, RatioClampedToUnitInterval) {
+  EXPECT_LE(EvidenceWeightedConfidence({1.5, 10.0}, 4.0), 1.0);
+  EXPECT_GE(EvidenceWeightedConfidence({-0.5, 10.0}, 4.0), -1.0);
+}
+
+TEST(RatioOnlyTest, IgnoresEvidenceVolume) {
+  EXPECT_DOUBLE_EQ(RatioOnlyConfidence({1.0, 1.0}),
+                   RatioOnlyConfidence({1.0, 1000.0}));
+  EXPECT_DOUBLE_EQ(RatioOnlyConfidence({1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(RatioOnlyConfidence({0.25, 5.0}), -0.5);
+}
+
+TEST(RatioOnlyTest, AbstentionStillAbstains) {
+  EXPECT_DOUBLE_EQ(RatioOnlyConfidence({1.0, 0.0}), 0.0);
+}
+
+// Property sweep: confidence is monotone in ratio for fixed evidence.
+class ConfidenceMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConfidenceMonotoneTest, MonotoneInRatio) {
+  double evidence = GetParam();
+  double prev = -1.1;
+  for (double r = 0.0; r <= 1.0; r += 0.1) {
+    double c = EvidenceWeightedConfidence({r, evidence}, 4.0);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EvidenceLevels, ConfidenceMonotoneTest,
+                         ::testing::Values(0.5, 1.0, 4.0, 16.0, 256.0));
+
+}  // namespace
+}  // namespace harmony::core

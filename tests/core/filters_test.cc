@@ -1,0 +1,116 @@
+#include "core/filters.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+
+namespace harmony::core {
+namespace {
+
+schema::Schema MakeSchema() {
+  schema::RelationalBuilder b("S");
+  auto person = b.Table("PERSON");
+  b.Column(person, "NAME");
+  b.Column(person, "DOB", schema::DataType::kDate);
+  auto vehicle = b.Table("VEHICLE");
+  b.Column(vehicle, "VIN");
+  schema::Schema s = std::move(b).Build();
+  // One deeper node under VEHICLE for depth tests.
+  auto vehicle_id = *s.FindByPath("VEHICLE");
+  auto engine = s.AddElement(vehicle_id, "ENGINE", schema::ElementKind::kGroup);
+  s.AddElement(engine, "POWER", schema::ElementKind::kColumn,
+               schema::DataType::kDecimal);
+  return s;
+}
+
+TEST(ConfidenceFilterTest, RangeSemantics) {
+  ConfidenceFilter filter{0.3, 0.8};
+  EXPECT_TRUE(filter.Accepts({0, 0, 0.3}));
+  EXPECT_TRUE(filter.Accepts({0, 0, 0.8}));
+  EXPECT_FALSE(filter.Accepts({0, 0, 0.29}));
+  EXPECT_FALSE(filter.Accepts({0, 0, 0.81}));
+}
+
+TEST(FilterLinksTest, AppliesBothBounds) {
+  MatchMatrix m({1, 2}, {3, 4});
+  m.Set(1, 3, 0.9);
+  m.Set(1, 4, 0.5);
+  m.Set(2, 3, 0.2);
+  m.Set(2, 4, 0.7);
+  auto links = FilterLinks(m, ConfidenceFilter{0.4, 0.8});
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_DOUBLE_EQ(links[0].score, 0.7);
+  EXPECT_DOUBLE_EQ(links[1].score, 0.5);
+}
+
+TEST(NodeFilterTest, DefaultAcceptsEverything) {
+  schema::Schema s = MakeSchema();
+  NodeFilter filter;
+  EXPECT_EQ(filter.Select(s).size(), s.element_count());
+}
+
+TEST(NodeFilterTest, MaxDepthIgnoresDeepElements) {
+  schema::Schema s = MakeSchema();
+  NodeFilter filter;
+  filter.WithMaxDepth(1);
+  auto ids = filter.Select(s);
+  // Only the two tables — "match table names in SA and ignore their
+  // attributes" (§4.1).
+  ASSERT_EQ(ids.size(), 2u);
+  for (auto id : ids) EXPECT_EQ(s.element(id).depth, 1u);
+}
+
+TEST(NodeFilterTest, DepthRange) {
+  schema::Schema s = MakeSchema();
+  NodeFilter filter;
+  filter.WithDepthRange(2, 2);
+  auto ids = filter.Select(s);
+  EXPECT_EQ(ids.size(), 4u);  // NAME, DOB, VIN, ENGINE.
+}
+
+TEST(NodeFilterTest, SubtreeFilterSelectsSubtreeInclusively) {
+  schema::Schema s = MakeSchema();
+  NodeFilter filter;
+  filter.WithSubtree(*s.FindByPath("VEHICLE"));
+  auto ids = filter.Select(s);
+  EXPECT_EQ(ids.size(), 4u);  // VEHICLE, VIN, ENGINE, POWER.
+  for (auto id : ids) {
+    EXPECT_TRUE(s.IsAncestorOrSelf(*s.FindByPath("VEHICLE"), id));
+  }
+}
+
+TEST(NodeFilterTest, KindFilter) {
+  schema::Schema s = MakeSchema();
+  NodeFilter filter;
+  filter.WithKinds({schema::ElementKind::kTable});
+  EXPECT_EQ(filter.Select(s).size(), 2u);
+}
+
+TEST(NodeFilterTest, LeavesOnly) {
+  schema::Schema s = MakeSchema();
+  NodeFilter filter;
+  filter.LeavesOnly();
+  auto ids = filter.Select(s);
+  EXPECT_EQ(ids.size(), 4u);  // NAME, DOB, VIN, POWER.
+  for (auto id : ids) EXPECT_TRUE(s.element(id).is_leaf());
+}
+
+TEST(NodeFilterTest, CriteriaAreConjunctive) {
+  schema::Schema s = MakeSchema();
+  NodeFilter filter;
+  filter.WithSubtree(*s.FindByPath("VEHICLE")).WithMaxDepth(2).LeavesOnly();
+  auto ids = filter.Select(s);
+  ASSERT_EQ(ids.size(), 1u);  // Only VIN.
+  EXPECT_EQ(s.element(ids[0]).name, "VIN");
+}
+
+TEST(NodeFilterTest, HasSubtreeIntrospection) {
+  NodeFilter plain;
+  EXPECT_FALSE(plain.has_subtree());
+  NodeFilter sub;
+  sub.WithSubtree(1);
+  EXPECT_TRUE(sub.has_subtree());
+}
+
+}  // namespace
+}  // namespace harmony::core

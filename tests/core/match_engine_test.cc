@@ -1,0 +1,166 @@
+#include "core/match_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+
+namespace harmony::core {
+namespace {
+
+using schema::DataType;
+
+schema::Schema MakeSa() {
+  schema::RelationalBuilder b("SA");
+  auto person = b.Table("PERSON", "A person known to the system");
+  b.Column(person, "LAST_NAME", DataType::kString, "The surname of the person");
+  b.Column(person, "BIRTH_DT", DataType::kDate,
+           "The date on which the person was born");
+  auto vehicle = b.Table("VEHICLE", "A ground vehicle");
+  b.Column(vehicle, "VIN", DataType::kString,
+           "Vehicle identification number assigned by the maker");
+  b.Column(vehicle, "FUEL_CD", DataType::kString, "Coded fuel category");
+  return std::move(b).Build();
+}
+
+schema::Schema MakeSb() {
+  schema::XmlBuilder b("SB");
+  auto person = b.ComplexType("Person", "An individual tracked by the system");
+  b.Element(person, "LastName", DataType::kString, "Family name of the person");
+  b.Element(person, "BirthDate", DataType::kDate, "Date the person was born");
+  auto veh = b.ComplexType("Conveyance", "A conveyance used for transport");
+  b.Element(veh, "VehicleIdentificationNumber", DataType::kString,
+            "Identification number of the vehicle from the manufacturer");
+  return std::move(b).Build();
+}
+
+class MatchEngineTest : public ::testing::Test {
+ protected:
+  MatchEngineTest() : sa_(MakeSa()), sb_(MakeSb()), engine_(sa_, sb_) {}
+
+  schema::ElementId Sa(const std::string& p) { return *sa_.FindByPath(p); }
+  schema::ElementId Sb(const std::string& p) { return *sb_.FindByPath(p); }
+
+  schema::Schema sa_;
+  schema::Schema sb_;
+  MatchEngine engine_;
+};
+
+TEST_F(MatchEngineTest, MatrixCoversAllPairs) {
+  MatchMatrix m = engine_.ComputeMatrix();
+  EXPECT_EQ(m.rows(), sa_.element_count());
+  EXPECT_EQ(m.cols(), sb_.element_count());
+}
+
+TEST_F(MatchEngineTest, TrueMatchesOutscoreDecoys) {
+  MatchMatrix m = engine_.ComputeMatrix();
+  EXPECT_GT(m.Get(Sa("PERSON.LAST_NAME"), Sb("Person.LastName")),
+            m.Get(Sa("PERSON.LAST_NAME"), Sb("Conveyance.VehicleIdentificationNumber")));
+  EXPECT_GT(m.Get(Sa("PERSON.BIRTH_DT"), Sb("Person.BirthDate")),
+            m.Get(Sa("PERSON.BIRTH_DT"), Sb("Person.LastName")));
+  EXPECT_GT(m.Get(Sa("VEHICLE.VIN"), Sb("Conveyance.VehicleIdentificationNumber")),
+            m.Get(Sa("VEHICLE.VIN"), Sb("Person.LastName")));
+}
+
+TEST_F(MatchEngineTest, ScoresWithinOpenInterval) {
+  MatchMatrix m = engine_.ComputeMatrix();
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_GT(m.GetByIndex(r, c), -1.0);
+      EXPECT_LT(m.GetByIndex(r, c), 1.0);
+    }
+  }
+}
+
+TEST_F(MatchEngineTest, MatchSelectsExpectedPairs) {
+  auto links = engine_.Match();
+  ASSERT_FALSE(links.empty());
+  // The top link should be a true pair.
+  bool top_is_true =
+      (links[0].source == Sa("PERSON.LAST_NAME") &&
+       links[0].target == Sb("Person.LastName")) ||
+      (links[0].source == Sa("PERSON.BIRTH_DT") &&
+       links[0].target == Sb("Person.BirthDate")) ||
+      (links[0].source == Sa("PERSON") && links[0].target == Sb("Person")) ||
+      (links[0].source == Sa("VEHICLE.VIN") &&
+       links[0].target == Sb("Conveyance.VehicleIdentificationNumber"));
+  EXPECT_TRUE(top_is_true) << sa_.Path(links[0].source) << " <-> "
+                           << sb_.Path(links[0].target);
+}
+
+TEST_F(MatchEngineTest, SubtreeMatchRestrictsRows) {
+  MatchMatrix m = engine_.MatchSubtree(Sa("VEHICLE"));
+  EXPECT_EQ(m.rows(), 3u);  // VEHICLE, VIN, FUEL_CD.
+  EXPECT_EQ(m.cols(), sb_.element_count());
+  EXPECT_TRUE(m.HasSource(Sa("VEHICLE.VIN")));
+  EXPECT_FALSE(m.HasSource(Sa("PERSON.LAST_NAME")));
+}
+
+TEST_F(MatchEngineTest, SubtreeScoresAgreeWithFullMatrix) {
+  MatchMatrix full = engine_.ComputeMatrix();
+  MatchMatrix sub = engine_.MatchSubtree(Sa("VEHICLE"));
+  for (schema::ElementId s : sa_.SubtreeIds(Sa("VEHICLE"))) {
+    for (schema::ElementId t : sb_.AllElementIds()) {
+      EXPECT_DOUBLE_EQ(sub.Get(s, t), full.Get(s, t));
+    }
+  }
+}
+
+TEST_F(MatchEngineTest, FilteredMatrixRespectsNodeFilters) {
+  NodeFilter tables_only;
+  tables_only.WithMaxDepth(1);
+  MatchMatrix m = engine_.ComputeMatrix(tables_only, tables_only);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+}
+
+TEST_F(MatchEngineTest, ExplainListsAllVoters) {
+  VoteBreakdown b = engine_.Explain(Sa("PERSON.LAST_NAME"), Sb("Person.LastName"));
+  EXPECT_EQ(b.voter_names.size(), 6u);
+  EXPECT_EQ(b.scores.size(), 6u);
+  EXPECT_GT(b.merged, 0.2);
+  EXPECT_DOUBLE_EQ(b.merged,
+                   engine_.ScorePair(Sa("PERSON.LAST_NAME"), Sb("Person.LastName")));
+}
+
+TEST_F(MatchEngineTest, ScorePairMatchesMatrixCell) {
+  MatchMatrix m = engine_.ComputeMatrix();
+  for (schema::ElementId s : sa_.AllElementIds()) {
+    for (schema::ElementId t : sb_.AllElementIds()) {
+      EXPECT_DOUBLE_EQ(engine_.ScorePair(s, t), m.Get(s, t));
+    }
+  }
+}
+
+TEST_F(MatchEngineTest, RefinedMatrixKeepsTruePairsOnTop) {
+  MatchMatrix refined = engine_.ComputeRefinedMatrix();
+  EXPECT_EQ(refined.rows(), sa_.element_count());
+  EXPECT_EQ(refined.cols(), sb_.element_count());
+  EXPECT_GT(refined.Get(Sa("PERSON.LAST_NAME"), Sb("Person.LastName")),
+            refined.Get(Sa("PERSON.LAST_NAME"),
+                        Sb("Conveyance.VehicleIdentificationNumber")));
+  EXPECT_GT(refined.Get(Sa("PERSON"), Sb("Person")),
+            refined.Get(Sa("PERSON"), Sb("Conveyance")));
+}
+
+TEST(MatchEngineOptionsTest, DisabledVotersChangeScores) {
+  schema::Schema sa = MakeSa();
+  schema::Schema sb = MakeSb();
+  MatchOptions no_docs;
+  no_docs.voters.documentation_weight = 0.0;
+  MatchEngine with_docs(sa, sb);
+  MatchEngine without_docs(sa, sb, no_docs);
+  auto s = *sa.FindByPath("PERSON.BIRTH_DT");
+  auto t = *sb.FindByPath("Person.BirthDate");
+  EXPECT_NE(with_docs.ScorePair(s, t), without_docs.ScorePair(s, t));
+}
+
+TEST(MatchEngineOptionsTest, EmptySchemasYieldEmptyMatrix) {
+  schema::Schema a("A"), b("B");
+  MatchEngine engine(a, b);
+  MatchMatrix m = engine.ComputeMatrix();
+  EXPECT_EQ(m.pair_count(), 0u);
+  EXPECT_TRUE(engine.Match().empty());
+}
+
+}  // namespace
+}  // namespace harmony::core

@@ -1,0 +1,97 @@
+#include "core/match_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::core {
+namespace {
+
+MatchMatrix Make3x2() {
+  MatchMatrix m({10, 11, 12}, {20, 21});
+  m.Set(10, 20, 0.9);
+  m.Set(10, 21, 0.1);
+  m.Set(11, 20, 0.4);
+  m.Set(11, 21, 0.6);
+  m.Set(12, 20, -0.5);
+  m.Set(12, 21, 0.0);
+  return m;
+}
+
+TEST(MatchMatrixTest, DimensionsAndMembership) {
+  MatchMatrix m = Make3x2();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.pair_count(), 6u);
+  EXPECT_TRUE(m.HasSource(11));
+  EXPECT_FALSE(m.HasSource(20));
+  EXPECT_TRUE(m.HasTarget(21));
+  EXPECT_FALSE(m.HasTarget(10));
+}
+
+TEST(MatchMatrixTest, GetSetById) {
+  MatchMatrix m = Make3x2();
+  EXPECT_DOUBLE_EQ(m.Get(10, 20), 0.9);
+  EXPECT_DOUBLE_EQ(m.Get(12, 20), -0.5);
+  m.Set(12, 20, 0.33);
+  EXPECT_DOUBLE_EQ(m.Get(12, 20), 0.33);
+}
+
+TEST(MatchMatrixTest, IndexAccessorsAgreeWithIdAccessors) {
+  MatchMatrix m = Make3x2();
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(m.GetByIndex(r, c), m.Get(m.SourceIdAt(r), m.TargetIdAt(c)));
+    }
+  }
+}
+
+TEST(MatchMatrixTest, DefaultsToZero) {
+  MatchMatrix m({1, 2}, {3});
+  EXPECT_DOUBLE_EQ(m.Get(1, 3), 0.0);
+  EXPECT_DOUBLE_EQ(m.MaxScore(), 0.0);
+}
+
+TEST(MatchMatrixTest, PairsAboveSortedDescending) {
+  MatchMatrix m = Make3x2();
+  auto pairs = m.PairsAbove(0.4);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_DOUBLE_EQ(pairs[0].score, 0.9);
+  EXPECT_DOUBLE_EQ(pairs[1].score, 0.6);
+  EXPECT_DOUBLE_EQ(pairs[2].score, 0.4);
+  EXPECT_EQ(pairs[0].source, 10u);
+  EXPECT_EQ(pairs[0].target, 20u);
+}
+
+TEST(MatchMatrixTest, PairsAboveIncludesThresholdItself) {
+  MatchMatrix m = Make3x2();
+  EXPECT_EQ(m.PairsAbove(0.9).size(), 1u);
+  EXPECT_EQ(m.PairsAbove(0.91).size(), 0u);
+}
+
+TEST(MatchMatrixTest, BestPerSource) {
+  MatchMatrix m = Make3x2();
+  auto best = m.BestPerSource();
+  ASSERT_EQ(best.size(), 3u);
+  EXPECT_EQ(best[0].target, 20u);
+  EXPECT_EQ(best[1].target, 21u);
+  EXPECT_EQ(best[2].target, 21u);  // max(-0.5, 0.0).
+}
+
+TEST(MatchMatrixTest, MaxScore) {
+  EXPECT_DOUBLE_EQ(Make3x2().MaxScore(), 0.9);
+}
+
+TEST(MatchMatrixTest, EmptyMatrix) {
+  MatchMatrix m({}, {});
+  EXPECT_EQ(m.pair_count(), 0u);
+  EXPECT_TRUE(m.PairsAbove(-1.0).empty());
+  EXPECT_TRUE(m.BestPerSource().empty());
+}
+
+TEST(MatchMatrixTest, EmptyColumns) {
+  MatchMatrix m({1, 2}, {});
+  EXPECT_TRUE(m.BestPerSource().empty());
+  EXPECT_TRUE(m.PairsAbove(0.0).empty());
+}
+
+}  // namespace
+}  // namespace harmony::core

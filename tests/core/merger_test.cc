@@ -1,0 +1,135 @@
+#include "core/merger.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::core {
+namespace {
+
+std::vector<std::unique_ptr<MatchVoter>> TwoVoters() {
+  VoterConfig config;
+  config.name_string_weight = 1.0;
+  config.name_token_weight = 1.0;
+  config.documentation_weight = 0.0;
+  config.data_type_weight = 0.0;
+  config.structural_weight = 0.0;
+  config.acronym_weight = 0.0;
+  return CreateVoters(config);
+}
+
+TEST(MergerTest, AllAbstainIsZero) {
+  auto voters = TwoVoters();
+  VoteMerger merger;
+  EXPECT_DOUBLE_EQ(merger.Merge(voters, {{1.0, 0.0}, {0.0, 0.0}}), 0.0);
+}
+
+TEST(MergerTest, StrongAgreementScoresHigh) {
+  auto voters = TwoVoters();
+  VoteMerger merger;
+  double score = merger.Merge(voters, {{1.0, 50.0}, {1.0, 50.0}});
+  EXPECT_GT(score, 0.5);
+  EXPECT_LT(score, 1.0);
+}
+
+TEST(MergerTest, StrongDisagreementScoresLow) {
+  auto voters = TwoVoters();
+  VoteMerger merger;
+  double score = merger.Merge(voters, {{0.0, 50.0}, {0.0, 50.0}});
+  EXPECT_LT(score, -0.5);
+  EXPECT_GT(score, -1.0);
+}
+
+TEST(MergerTest, ScoreAlwaysInOpenInterval) {
+  auto voters = TwoVoters();
+  VoteMerger merger;
+  for (double r1 : {0.0, 0.5, 1.0}) {
+    for (double r2 : {0.0, 0.5, 1.0}) {
+      for (double n : {0.0, 1.0, 10.0, 1e6}) {
+        double s = merger.Merge(voters, {{r1, n}, {r2, n}});
+        EXPECT_GT(s, -1.0);
+        EXPECT_LT(s, 1.0);
+      }
+    }
+  }
+}
+
+TEST(MergerTest, ThinEvidenceShrinksTowardZero) {
+  auto voters = TwoVoters();
+  VoteMerger merger;
+  double thin = merger.Merge(voters, {{1.0, 0.5}, {1.0, 0.5}});
+  double thick = merger.Merge(voters, {{1.0, 100.0}, {1.0, 100.0}});
+  EXPECT_GT(thick, thin);
+  EXPECT_GT(thin, 0.0);
+}
+
+TEST(MergerTest, RatioOnlyModeIgnoresEvidenceVolume) {
+  auto voters = TwoVoters();
+  MergerOptions options;
+  options.evidence_weighting = false;
+  VoteMerger merger(options);
+  double thin = merger.Merge(voters, {{1.0, 0.5}, {1.0, 0.5}});
+  double thick = merger.Merge(voters, {{1.0, 100.0}, {1.0, 100.0}});
+  EXPECT_DOUBLE_EQ(thin, thick);
+}
+
+TEST(MergerTest, EvidenceModeSeparatesWhatRatioOnlyCannot) {
+  auto voters = TwoVoters();
+  MergerOptions with_opts;
+  VoteMerger with(with_opts);
+  MergerOptions without_opts;
+  without_opts.mode = MergeMode::kRatioOnly;
+  VoteMerger without(without_opts);
+  // A perfect 2-word doc agreement vs a perfect 50-word one.
+  VoterScore thin{1.0, 2.0};
+  VoterScore thick{1.0, 50.0};
+  EXPECT_LT(with.Merge(voters, {thin, thin}), with.Merge(voters, {thick, thick}));
+  EXPECT_DOUBLE_EQ(without.Merge(voters, {thin, thin}),
+                   without.Merge(voters, {thick, thick}));
+}
+
+TEST(MergerTest, BaseWeightsMatter) {
+  VoterConfig config;
+  config.name_string_weight = 3.0;
+  config.name_token_weight = 1.0;
+  config.documentation_weight = 0.0;
+  config.data_type_weight = 0.0;
+  config.structural_weight = 0.0;
+  config.acronym_weight = 0.0;
+  auto voters = CreateVoters(config);
+  VoteMerger merger;
+  // Voter 0 (weight 3) says yes, voter 1 (weight 1) says no.
+  double tilted = merger.Merge(voters, {{1.0, 50.0}, {0.0, 50.0}});
+  EXPECT_GT(tilted, 0.0);
+}
+
+TEST(MergerTest, HigherPriorWeightShrinksScores) {
+  auto voters = TwoVoters();
+  MergerOptions loose_opts;
+  loose_opts.prior_weight = 0.5;
+  VoteMerger loose(loose_opts);
+  MergerOptions tight_opts;
+  tight_opts.prior_weight = 4.0;
+  VoteMerger tight(tight_opts);
+  std::vector<VoterScore> scores{{1.0, 10.0}, {1.0, 10.0}};
+  EXPECT_GT(loose.Merge(voters, scores), tight.Merge(voters, scores));
+}
+
+TEST(MergerTest, AbstainersExcludedFromNormalization) {
+  auto voters = TwoVoters();
+  VoteMerger merger;
+  // One confident voter plus one abstainer should score like the confident
+  // voter alone, not get diluted by the absent one.
+  double with_abstainer = merger.Merge(voters, {{1.0, 50.0}, {0.0, 0.0}});
+  VoterConfig solo_config;
+  solo_config.name_string_weight = 1.0;
+  solo_config.name_token_weight = 0.0;
+  solo_config.documentation_weight = 0.0;
+  solo_config.data_type_weight = 0.0;
+  solo_config.structural_weight = 0.0;
+  solo_config.acronym_weight = 0.0;
+  auto solo = CreateVoters(solo_config);
+  double alone = merger.Merge(solo, {{1.0, 50.0}});
+  EXPECT_DOUBLE_EQ(with_abstainer, alone);
+}
+
+}  // namespace
+}  // namespace harmony::core

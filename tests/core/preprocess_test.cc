@@ -1,0 +1,118 @@
+#include "core/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+
+namespace harmony::core {
+namespace {
+
+schema::Schema SourceSchema() {
+  schema::RelationalBuilder b("SA");
+  auto t = b.Table("ALL_EVENT_VITALS", "Core facts about events");
+  b.Column(t, "DATE_BEGIN_156", schema::DataType::kDateTime,
+           "The date on which the event began");
+  b.Column(t, "EVT_TYP_CD", schema::DataType::kString, "Coded category");
+  return std::move(b).Build();
+}
+
+schema::Schema TargetSchema() {
+  schema::XmlBuilder b("SB");
+  auto t = b.ComplexType("EventRecord", "An event record");
+  b.Element(t, "DateTimeFirstInfo", schema::DataType::kDateTime,
+            "When the first information about the event was received");
+  return std::move(b).Build();
+}
+
+TEST(BuildProfileTest, NameNormalizationAndTokens) {
+  schema::Schema s = SourceSchema();
+  PreprocessOptions opts;
+  auto id = *s.FindByPath("ALL_EVENT_VITALS.DATE_BEGIN_156");
+  ElementProfile p = BuildProfile(s.element(id), opts);
+  EXPECT_EQ(p.normalized_name, "datebegin");  // Numbers dropped, flattened.
+  EXPECT_EQ(p.name_tokens, (std::vector<std::string>{"date", "begin"}));
+}
+
+TEST(BuildProfileTest, AbbreviationExpansionFeedsTokens) {
+  schema::Schema s = SourceSchema();
+  PreprocessOptions opts;
+  auto id = *s.FindByPath("ALL_EVENT_VITALS.EVT_TYP_CD");
+  ElementProfile p = BuildProfile(s.element(id), opts);
+  // evt→event, typ→type, cd→code, then stemming.
+  EXPECT_EQ(p.name_tokens, (std::vector<std::string>{"event", "type", "code"}));
+  EXPECT_EQ(p.initials, "etc");
+}
+
+TEST(BuildProfileTest, DocTokensStemmedAndStopFiltered) {
+  schema::Schema s = SourceSchema();
+  PreprocessOptions opts;
+  auto id = *s.FindByPath("ALL_EVENT_VITALS.DATE_BEGIN_156");
+  ElementProfile p = BuildProfile(s.element(id), opts);
+  // "The date on which the event began" → {date, event, began→} stems.
+  EXPECT_NE(std::find(p.doc_tokens.begin(), p.doc_tokens.end(), "date"),
+            p.doc_tokens.end());
+  EXPECT_NE(std::find(p.doc_tokens.begin(), p.doc_tokens.end(), "event"),
+            p.doc_tokens.end());
+  EXPECT_EQ(std::find(p.doc_tokens.begin(), p.doc_tokens.end(), "the"),
+            p.doc_tokens.end());
+}
+
+TEST(BuildProfileTest, StemmingCanBeDisabled) {
+  schema::Schema s("X");
+  auto id = s.AddElement(schema::Schema::kRootId, "locations",
+                         schema::ElementKind::kColumn);
+  PreprocessOptions opts;
+  opts.stem = false;
+  EXPECT_EQ(BuildProfile(s.element(id), opts).name_tokens,
+            (std::vector<std::string>{"locations"}));
+  opts.stem = true;
+  EXPECT_EQ(BuildProfile(s.element(id), opts).name_tokens,
+            (std::vector<std::string>{"locat"}));
+}
+
+TEST(ProfilePairTest, BuildsProfilesForAllElements) {
+  schema::Schema a = SourceSchema();
+  schema::Schema b = TargetSchema();
+  ProfilePair profiles(a, b, PreprocessOptions{});
+  for (auto id : a.AllElementIds()) {
+    EXPECT_EQ(profiles.source_profile(id).id, id);
+  }
+  for (auto id : b.AllElementIds()) {
+    EXPECT_EQ(profiles.target_profile(id).id, id);
+  }
+}
+
+TEST(ProfilePairTest, JointCorpusCoversBothSides) {
+  schema::Schema a = SourceSchema();
+  schema::Schema b = TargetSchema();
+  ProfilePair profiles(a, b, PreprocessOptions{});
+  // 4 documented elements in A (incl. table) + 2 in B.
+  EXPECT_EQ(profiles.corpus().document_count(), 5u);
+  EXPECT_TRUE(profiles.corpus().finalized());
+}
+
+TEST(ProfilePairTest, StructuralContextPopulated) {
+  schema::Schema a = SourceSchema();
+  schema::Schema b = TargetSchema();
+  ProfilePair profiles(a, b, PreprocessOptions{});
+  auto col = *a.FindByPath("ALL_EVENT_VITALS.DATE_BEGIN_156");
+  auto table = *a.FindByPath("ALL_EVENT_VITALS");
+  // The column's parent tokens are the table's tokens.
+  EXPECT_EQ(profiles.source_profile(col).parent_tokens,
+            profiles.source_profile(table).sorted_name_tokens);
+  // The table's children tokens include the columns' words.
+  const auto& kids = profiles.source_profile(table).children_tokens;
+  EXPECT_NE(std::find(kids.begin(), kids.end(), "date"), kids.end());
+  // Depth-1 containers have no parent tokens (parent is the root).
+  EXPECT_TRUE(profiles.source_profile(table).parent_tokens.empty());
+}
+
+TEST(SortedJaccardTest, Basics) {
+  EXPECT_DOUBLE_EQ(SortedJaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(SortedJaccard({"a"}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(SortedJaccard({"a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_NEAR(SortedJaccard({"a", "b"}, {"b", "c"}), 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace harmony::core

@@ -1,0 +1,135 @@
+#include "core/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace harmony::core {
+namespace {
+
+MatchMatrix MakeMatrix() {
+  MatchMatrix m({1, 2, 3}, {10, 11, 12});
+  // Row-major scores:
+  //        10    11    12
+  //  1    0.9   0.8   0.1
+  //  2    0.85  0.4   0.3
+  //  3    0.2   0.5   0.45
+  m.Set(1, 10, 0.9);
+  m.Set(1, 11, 0.8);
+  m.Set(1, 12, 0.1);
+  m.Set(2, 10, 0.85);
+  m.Set(2, 11, 0.4);
+  m.Set(2, 12, 0.3);
+  m.Set(3, 10, 0.2);
+  m.Set(3, 11, 0.5);
+  m.Set(3, 12, 0.45);
+  return m;
+}
+
+TEST(SelectByThresholdTest, ReturnsAllAboveSorted) {
+  auto sel = SelectByThreshold(MakeMatrix(), 0.5);
+  ASSERT_EQ(sel.size(), 4u);
+  EXPECT_DOUBLE_EQ(sel[0].score, 0.9);
+  EXPECT_DOUBLE_EQ(sel[3].score, 0.5);
+}
+
+TEST(SelectTopKTest, RespectsKAndThreshold) {
+  auto sel = SelectTopKPerSource(MakeMatrix(), 1, 0.0);
+  ASSERT_EQ(sel.size(), 3u);
+  std::set<schema::ElementId> sources;
+  for (auto& c : sel) sources.insert(c.source);
+  EXPECT_EQ(sources.size(), 3u);
+
+  auto sel2 = SelectTopKPerSource(MakeMatrix(), 2, 0.45);
+  // Row 1: 0.9, 0.8; row 2: 0.85; row 3: 0.5, 0.45.
+  EXPECT_EQ(sel2.size(), 5u);
+}
+
+TEST(SelectGreedyTest, OneToOneAndGreedyOrder) {
+  auto sel = SelectGreedyOneToOne(MakeMatrix(), 0.0);
+  ASSERT_EQ(sel.size(), 3u);
+  // 0.9 (1,10) first, then 2's best remaining is 0.4 (2,11)?  No: sorted
+  // candidates are 0.9(1,10), 0.85(2,10)✗, 0.8(1,11)✗, 0.5(3,11), 0.45(3,12)✗,
+  // 0.4(2,11)✗, 0.3(2,12).
+  EXPECT_EQ(sel[0].source, 1u);
+  EXPECT_EQ(sel[0].target, 10u);
+  std::set<schema::ElementId> sources, targets;
+  for (auto& c : sel) {
+    EXPECT_TRUE(sources.insert(c.source).second) << "source reused";
+    EXPECT_TRUE(targets.insert(c.target).second) << "target reused";
+  }
+}
+
+TEST(SelectGreedyTest, ThresholdLimitsAssignment) {
+  auto sel = SelectGreedyOneToOne(MakeMatrix(), 0.6);
+  ASSERT_EQ(sel.size(), 1u);  // Only (1,10)=0.9 — 0.8/0.85 conflict with it.
+}
+
+TEST(StableMarriageTest, ProducesOneToOneMatching) {
+  auto sel = SelectStableMarriage(MakeMatrix(), 0.0);
+  ASSERT_EQ(sel.size(), 3u);
+  std::set<schema::ElementId> sources, targets;
+  for (auto& c : sel) {
+    EXPECT_TRUE(sources.insert(c.source).second);
+    EXPECT_TRUE(targets.insert(c.target).second);
+  }
+}
+
+TEST(StableMarriageTest, NoBlockingPair) {
+  MatchMatrix m = MakeMatrix();
+  auto sel = SelectStableMarriage(m, 0.0);
+  // For every unmatched pair (s,t) scoring above both partners' current
+  // scores, stability is violated.
+  auto score_of = [&](schema::ElementId s, schema::ElementId t) {
+    return m.Get(s, t);
+  };
+  std::map<schema::ElementId, double> src_score, tgt_score;
+  std::set<std::pair<schema::ElementId, schema::ElementId>> matched;
+  for (auto& c : sel) {
+    src_score[c.source] = c.score;
+    tgt_score[c.target] = c.score;
+    matched.insert({c.source, c.target});
+  }
+  for (schema::ElementId s : {1u, 2u, 3u}) {
+    for (schema::ElementId t : {10u, 11u, 12u}) {
+      if (matched.count({s, t})) continue;
+      double v = score_of(s, t);
+      bool s_prefers = !src_score.count(s) || v > src_score[s];
+      bool t_prefers = !tgt_score.count(t) || v > tgt_score[t];
+      EXPECT_FALSE(s_prefers && t_prefers)
+          << "blocking pair (" << s << "," << t << ")";
+    }
+  }
+}
+
+TEST(StableMarriageTest, ThresholdExcludesWeakPairs) {
+  auto sel = SelectStableMarriage(MakeMatrix(), 0.6);
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0].source, 1u);
+  EXPECT_EQ(sel[0].target, 10u);
+}
+
+TEST(SelectionTest, EmptyMatrixYieldsNothing) {
+  MatchMatrix empty({}, {});
+  EXPECT_TRUE(SelectByThreshold(empty, 0.0).empty());
+  EXPECT_TRUE(SelectTopKPerSource(empty, 3, 0.0).empty());
+  EXPECT_TRUE(SelectGreedyOneToOne(empty, 0.0).empty());
+  EXPECT_TRUE(SelectStableMarriage(empty, 0.0).empty());
+}
+
+TEST(SelectionTest, GreedyAndStableAgreeOnUnambiguousMatrix) {
+  MatchMatrix m({1, 2}, {10, 11});
+  m.Set(1, 10, 0.9);
+  m.Set(2, 11, 0.8);
+  m.Set(1, 11, 0.1);
+  m.Set(2, 10, 0.1);
+  auto greedy = SelectGreedyOneToOne(m, 0.5);
+  auto stable = SelectStableMarriage(m, 0.5);
+  ASSERT_EQ(greedy.size(), 2u);
+  ASSERT_EQ(stable.size(), 2u);
+  EXPECT_EQ(greedy[0], stable[0]);
+  EXPECT_EQ(greedy[1], stable[1]);
+}
+
+}  // namespace
+}  // namespace harmony::core

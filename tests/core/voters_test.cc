@@ -1,0 +1,201 @@
+#include "core/voters.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+
+namespace harmony::core {
+namespace {
+
+using schema::DataType;
+
+// A pair with known interesting elements.
+struct Fixture {
+  schema::Schema source;
+  schema::Schema target;
+  ProfilePair profiles;
+
+  static Fixture Make() {
+    schema::RelationalBuilder a("SA");
+    auto person = a.Table("PERSON", "A person known to the system");
+    a.Column(person, "LAST_NAME", DataType::kString, "The surname of the person");
+    a.Column(person, "BIRTH_DT", DataType::kDate,
+             "The date on which the person was born");
+    a.Column(person, "POB", DataType::kString, "Place of birth");
+    auto veh = a.Table("VEH", "A vehicle");
+    a.Column(veh, "VIN", DataType::kString, "Vehicle identification number");
+    a.Column(veh, "LAST_NAME", DataType::kString, "Name of last driver");
+
+    schema::XmlBuilder b("SB");
+    auto p = b.ComplexType("Person", "An individual tracked by the system");
+    b.Element(p, "LastName", DataType::kString, "Family name of the person");
+    b.Element(p, "BirthDate", DataType::kDate, "Date the person was born");
+    b.Element(p, "PlaceOfBirth", DataType::kString, "Where the person was born");
+    return Fixture{std::move(a).Build(), std::move(b).Build()};
+  }
+
+  Fixture(schema::Schema s, schema::Schema t)
+      : source(std::move(s)),
+        target(std::move(t)),
+        profiles(source, target, PreprocessOptions{}) {}
+
+  schema::ElementId Src(const std::string& path) {
+    return *source.FindByPath(path);
+  }
+  schema::ElementId Tgt(const std::string& path) {
+    return *target.FindByPath(path);
+  }
+};
+
+TEST(NameStringVoterTest, IdenticalNormalizedNamesScoreOne) {
+  auto f = Fixture::Make();
+  NameStringVoter voter;
+  auto s = voter.Vote(f.profiles, f.Src("PERSON.LAST_NAME"), f.Tgt("Person.LastName"));
+  EXPECT_DOUBLE_EQ(s.ratio, 1.0);
+  EXPECT_GT(s.evidence, 0.0);
+}
+
+TEST(NameStringVoterTest, LongerAgreementIsMoreEvidence) {
+  auto f = Fixture::Make();
+  NameStringVoter voter;
+  auto long_name =
+      voter.Vote(f.profiles, f.Src("PERSON.LAST_NAME"), f.Tgt("Person.LastName"));
+  auto short_name = voter.Vote(f.profiles, f.Src("VEH.VIN"), f.Tgt("Person.LastName"));
+  EXPECT_GT(long_name.evidence, short_name.evidence);
+}
+
+TEST(NameTokenVoterTest, SynonymAgnosticButTokenAware) {
+  auto f = Fixture::Make();
+  NameTokenVoter voter;
+  auto same = voter.Vote(f.profiles, f.Src("PERSON.BIRTH_DT"), f.Tgt("Person.BirthDate"));
+  // birth_dt expands dt→date: tokens {birth, date} on both sides.
+  EXPECT_DOUBLE_EQ(same.ratio, 1.0);
+  auto diff = voter.Vote(f.profiles, f.Src("VEH.VIN"), f.Tgt("Person.BirthDate"));
+  EXPECT_LT(diff.ratio, 0.3);
+}
+
+TEST(DocumentationVoterTest, SharedWordsScoreHigh) {
+  auto f = Fixture::Make();
+  DocumentationVoter voter;
+  auto s = voter.Vote(f.profiles, f.Src("PERSON.BIRTH_DT"), f.Tgt("Person.BirthDate"));
+  EXPECT_GT(s.ratio, 0.5);
+  EXPECT_GT(s.evidence, 0.0);
+}
+
+TEST(DocumentationVoterTest, AbstainsWithoutDocs) {
+  schema::RelationalBuilder a("A");
+  auto t = a.Table("T");
+  a.Column(t, "X", DataType::kString);  // No documentation.
+  schema::Schema sa = std::move(a).Build();
+  schema::RelationalBuilder b("B");
+  auto t2 = b.Table("T");
+  b.Column(t2, "X", DataType::kString, "documented");
+  schema::Schema sb = std::move(b).Build();
+  ProfilePair profiles(sa, sb, PreprocessOptions{});
+  DocumentationVoter voter;
+  auto s = voter.Vote(profiles, *sa.FindByPath("T.X"), *sb.FindByPath("T.X"));
+  EXPECT_DOUBLE_EQ(s.evidence, 0.0);
+}
+
+TEST(DataTypeVoterTest, LeafTypesCompared) {
+  auto f = Fixture::Make();
+  DataTypeVoter voter;
+  auto same =
+      voter.Vote(f.profiles, f.Src("PERSON.BIRTH_DT"), f.Tgt("Person.BirthDate"));
+  EXPECT_DOUBLE_EQ(same.ratio, 1.0);
+  auto cross =
+      voter.Vote(f.profiles, f.Src("PERSON.BIRTH_DT"), f.Tgt("Person.LastName"));
+  EXPECT_LT(cross.ratio, 0.5);
+}
+
+TEST(DataTypeVoterTest, AbstainsForContainers) {
+  auto f = Fixture::Make();
+  DataTypeVoter voter;
+  auto s = voter.Vote(f.profiles, f.Src("PERSON"), f.Tgt("Person"));
+  EXPECT_DOUBLE_EQ(s.evidence, 0.0);
+}
+
+TEST(StructuralVoterTest, SameParentBoostsLeaves) {
+  auto f = Fixture::Make();
+  StructuralVoter voter;
+  // LAST_NAME appears under both PERSON and VEH in SA; the PERSON one should
+  // look structurally closer to Person.LastName.
+  auto in_person =
+      voter.Vote(f.profiles, f.Src("PERSON.LAST_NAME"), f.Tgt("Person.LastName"));
+  auto in_vehicle =
+      voter.Vote(f.profiles, f.Src("VEH.LAST_NAME"), f.Tgt("Person.LastName"));
+  EXPECT_GT(in_person.ratio, in_vehicle.ratio);
+}
+
+TEST(StructuralVoterTest, ContainersComparedByChildren) {
+  auto f = Fixture::Make();
+  StructuralVoter voter;
+  auto person_pair = voter.Vote(f.profiles, f.Src("PERSON"), f.Tgt("Person"));
+  auto cross_pair = voter.Vote(f.profiles, f.Src("VEH"), f.Tgt("Person"));
+  EXPECT_GT(person_pair.ratio, cross_pair.ratio);
+  EXPECT_GT(person_pair.evidence, 0.0);
+}
+
+TEST(AcronymVoterTest, DetectsInitialisms) {
+  auto f = Fixture::Make();
+  AcronymVoter voter;
+  auto hit =
+      voter.Vote(f.profiles, f.Src("PERSON.POB"), f.Tgt("Person.PlaceOfBirth"));
+  EXPECT_DOUBLE_EQ(hit.ratio, 1.0);
+  EXPECT_GT(hit.evidence, 0.0);
+}
+
+TEST(AcronymVoterTest, AbstainsOtherwise) {
+  auto f = Fixture::Make();
+  AcronymVoter voter;
+  auto miss =
+      voter.Vote(f.profiles, f.Src("PERSON.LAST_NAME"), f.Tgt("Person.LastName"));
+  EXPECT_DOUBLE_EQ(miss.evidence, 0.0);
+}
+
+TEST(CreateVotersTest, RespectsConfig) {
+  VoterConfig config;
+  EXPECT_EQ(CreateVoters(config).size(), 6u);
+  config.acronym_weight = 0.0;
+  config.documentation_weight = 0.0;
+  auto voters = CreateVoters(config);
+  EXPECT_EQ(voters.size(), 4u);
+  for (const auto& v : voters) {
+    EXPECT_STRNE(v->name(), "acronym");
+    EXPECT_STRNE(v->name(), "documentation");
+  }
+}
+
+TEST(CreateVotersTest, WeightsPropagate) {
+  VoterConfig config;
+  config.name_token_weight = 2.5;
+  auto voters = CreateVoters(config);
+  bool found = false;
+  for (const auto& v : voters) {
+    if (std::string(v->name()) == "name_token") {
+      EXPECT_DOUBLE_EQ(v->base_weight(), 2.5);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// Property: every voter returns ratio in [0,1] and evidence >= 0 on all
+// element pairs of the fixture.
+TEST(VoterPropertyTest, RatiosAndEvidenceInRange) {
+  auto f = Fixture::Make();
+  auto voters = CreateVoters(VoterConfig{});
+  for (const auto& voter : voters) {
+    for (auto s : f.source.AllElementIds()) {
+      for (auto t : f.target.AllElementIds()) {
+        VoterScore score = voter->Vote(f.profiles, s, t);
+        EXPECT_GE(score.ratio, 0.0) << voter->name();
+        EXPECT_LE(score.ratio, 1.0) << voter->name();
+        EXPECT_GE(score.evidence, 0.0) << voter->name();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace harmony::core

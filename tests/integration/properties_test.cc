@@ -1,0 +1,159 @@
+// Cross-module property sweeps over generated workloads: invariants that
+// must hold for any seed, exercised across a parameterized seed set.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/overlap.h"
+#include "core/match_engine.h"
+#include "core/selection.h"
+#include "nway/vocabulary_builder.h"
+#include "schema/schema_io.h"
+#include "synth/generator.h"
+
+namespace harmony {
+namespace {
+
+class SeedSweepTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  synth::GeneratedPair Gen() {
+    synth::PairSpec spec;
+    spec.seed = GetParam();
+    spec.source_concepts = 14;
+    spec.target_concepts = 10;
+    spec.shared_concepts = 5;
+    return synth::GeneratePair(spec);
+  }
+};
+
+TEST_P(SeedSweepTest, GeneratedSchemataAreValidAndSerializable) {
+  auto pair = Gen();
+  EXPECT_TRUE(pair.source.Validate().ok());
+  EXPECT_TRUE(pair.target.Validate().ok());
+  // Serialization round-trips for arbitrary generated content.
+  auto restored = schema::DeserializeSchema(schema::SerializeSchema(pair.source));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->element_count(), pair.source.element_count());
+}
+
+TEST_P(SeedSweepTest, MatrixScoresBounded) {
+  auto pair = Gen();
+  core::MatchEngine engine(pair.source, pair.target);
+  auto matrix = engine.ComputeMatrix();
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    for (size_t c = 0; c < matrix.cols(); ++c) {
+      double s = matrix.GetByIndex(r, c);
+      ASSERT_GT(s, -1.0);
+      ASSERT_LT(s, 1.0);
+    }
+  }
+}
+
+TEST_P(SeedSweepTest, SelectionStrategiesNest) {
+  auto pair = Gen();
+  core::MatchEngine engine(pair.source, pair.target);
+  auto matrix = engine.ComputeMatrix();
+  // Greedy 1:1 and stable marriage both select subsets of threshold
+  // selection, and higher thresholds select fewer pairs.
+  auto all = core::SelectByThreshold(matrix, 0.3);
+  auto greedy = core::SelectGreedyOneToOne(matrix, 0.3);
+  auto stable = core::SelectStableMarriage(matrix, 0.3);
+  std::set<std::pair<schema::ElementId, schema::ElementId>> all_set;
+  for (auto& c : all) all_set.insert({c.source, c.target});
+  for (auto& c : greedy) {
+    ASSERT_TRUE(all_set.count({c.source, c.target}));
+  }
+  for (auto& c : stable) {
+    ASSERT_TRUE(all_set.count({c.source, c.target}));
+  }
+  EXPECT_LE(core::SelectByThreshold(matrix, 0.5).size(), all.size());
+}
+
+TEST_P(SeedSweepTest, OverlapPartitionIsExhaustive) {
+  auto pair = Gen();
+  core::MatchEngine engine(pair.source, pair.target);
+  auto links = core::SelectGreedyOneToOne(engine.ComputeMatrix(), 0.4);
+  auto partition = analysis::ComputeOverlap(pair.source, pair.target, links);
+  EXPECT_EQ(partition.source_matched.size() + partition.source_only.size(),
+            pair.source.element_count());
+  EXPECT_EQ(partition.target_matched.size() + partition.target_only.size(),
+            pair.target.element_count());
+  // No element in both halves.
+  std::set<schema::ElementId> matched(partition.source_matched.begin(),
+                                      partition.source_matched.end());
+  for (auto id : partition.source_only) ASSERT_FALSE(matched.count(id));
+}
+
+TEST_P(SeedSweepTest, NwayTermsPartitionElements) {
+  synth::NWaySpec spec;
+  spec.seed = GetParam();
+  spec.schema_count = 3;
+  spec.universe_concepts = 10;
+  spec.concepts_per_schema = 5;
+  auto gen = synth::GenerateNWay(spec);
+  std::vector<const schema::Schema*> schemas;
+  size_t total = 0;
+  for (const auto& s : gen.schemas) {
+    schemas.push_back(&s);
+    total += s.element_count();
+  }
+  nway::ComprehensiveVocabulary vocab(schemas,
+                                      nway::MatchAllPairs(schemas, 0.45));
+  size_t members = 0;
+  for (const auto& t : vocab.terms()) members += t.members.size();
+  EXPECT_EQ(members, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+// The evidence-weighting property at system level: with skewed
+// documentation volume, the evidence-aware engine separates true from false
+// pairs at least as well as the ratio-only engine (checked as AUC-ish
+// pairwise ordering on a generated workload).
+TEST(EvidenceSystemTest, EvidenceWeightingHelpsOnThinDocs) {
+  synth::PairSpec spec;
+  spec.source_concepts = 14;
+  spec.target_concepts = 10;
+  spec.shared_concepts = 6;
+  auto pair = synth::GeneratePair(spec);
+
+  core::MatchOptions with;
+  core::MatchOptions without;
+  without.merger.evidence_weighting = false;
+
+  std::set<std::pair<std::string, std::string>> truth(
+      pair.truth.element_matches.begin(), pair.truth.element_matches.end());
+
+  auto auc = [&](const core::MatchOptions& options) {
+    core::MatchEngine engine(pair.source, pair.target, options);
+    auto matrix = engine.ComputeMatrix();
+    std::vector<double> pos, neg;
+    for (size_t r = 0; r < matrix.rows(); ++r) {
+      for (size_t c = 0; c < matrix.cols(); ++c) {
+        bool is_true = truth.count({pair.source.Path(matrix.SourceIdAt(r)),
+                                    pair.target.Path(matrix.TargetIdAt(c))}) > 0;
+        (is_true ? pos : neg).push_back(matrix.GetByIndex(r, c));
+      }
+    }
+    // Sampled pairwise ordering statistic.
+    size_t wins = 0, total = 0;
+    for (size_t i = 0; i < pos.size(); ++i) {
+      for (size_t j = i % 97; j < neg.size(); j += 97) {
+        ++total;
+        if (pos[i] > neg[j]) ++wins;
+      }
+    }
+    return total ? static_cast<double>(wins) / static_cast<double>(total) : 0.0;
+  };
+
+  double auc_with = auc(with);
+  double auc_without = auc(without);
+  EXPECT_GT(auc_with, 0.8);
+  EXPECT_GE(auc_with, auc_without - 0.02);  // At least comparable; bench E10
+                                            // quantifies the advantage.
+}
+
+}  // namespace
+}  // namespace harmony

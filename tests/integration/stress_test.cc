@@ -1,0 +1,187 @@
+// Stress and failure-injection tests: bigger-than-unit workloads, IO
+// failures, and umbrella-header compilation.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "harmony.h"
+
+namespace harmony {
+namespace {
+
+TEST(UmbrellaHeaderTest, EverythingIsReachable) {
+  // Touch one symbol per subsystem to prove the umbrella header exposes the
+  // whole public API.
+  schema::RelationalBuilder builder("U");
+  auto table = builder.Table("T");
+  builder.Column(table, "C");
+  schema::Schema s = std::move(builder).Build();
+  EXPECT_EQ(text::PorterStem("matching"), "match");
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_GT(analysis::ComputeSchemaStats(s).element_count, 0u);
+}
+
+TEST(StressTest, RepositoryWithManySchemataSavesAndReloads) {
+  repository::MetadataRepository repo;
+  synth::RepositorySpec spec;
+  spec.families = 5;
+  spec.schemas_per_family = 8;
+  spec.concepts_per_schema = 6;
+  spec.family_pool_concepts = 8;
+  auto population = synth::GenerateRepository(spec);
+  for (auto& rs : population) {
+    ASSERT_TRUE(repo.RegisterSchema(std::move(rs.schema)).ok());
+  }
+  ASSERT_EQ(repo.schema_count(), 40u);
+
+  // Store a few artifacts across the fleet.
+  repository::Provenance prov;
+  prov.author = "stress";
+  prov.tool = "harmony";
+  prov.created_at = "2026-07-06";
+  prov.context = "test";
+  for (repository::SchemaId i = 0; i + 1 < 10; i += 2) {
+    core::MatchEngine engine(repo.schema(i), repo.schema(i + 1));
+    auto links = core::SelectGreedyOneToOne(engine.ComputeMatrix(), 0.5);
+    ASSERT_TRUE(repo.StoreMatch(i, i + 1, std::move(links), prov).ok());
+  }
+
+  std::string dir = ::testing::TempDir() + "/harmony_stress_repo";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(repo.SaveTo(dir).ok());
+  auto loaded = repository::MetadataRepository::LoadFrom(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->schema_count(), 40u);
+  EXPECT_EQ(loaded->match_count(), repo.match_count());
+  // Spot-check deep equality of one schema.
+  EXPECT_EQ(schema::SerializeSchema(loaded->schema(7)),
+            schema::SerializeSchema(repo.schema(7)));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FailureInjectionTest, SaveToUnwritablePathFails) {
+  repository::MetadataRepository repo;
+  schema::Schema s("X");
+  ASSERT_TRUE(repo.RegisterSchema(std::move(s)).ok());
+  // /proc is not writable for directory creation.
+  Status st = repo.SaveTo("/proc/harmony_cannot_write_here/sub");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(FailureInjectionTest, CsvWriterToUnwritablePathFails) {
+  CsvWriter w;
+  ASSERT_TRUE(w.AppendRow({"a"}).ok());
+  EXPECT_TRUE(w.WriteToFile("/nonexistent_dir_xyz/file.csv").IsIOError());
+}
+
+TEST(FailureInjectionTest, CorruptRepositoryFilesSurfaceParseErrors) {
+  std::string dir = ::testing::TempDir() + "/harmony_corrupt_repo";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream f(dir + "/catalog.csv");
+    f << "schema_id,name,file\n0,X,schema_0.hsc\n";
+  }
+  {
+    std::ofstream f(dir + "/schema_0.hsc");
+    f << "GARBAGE HEADER\n";
+  }
+  auto loaded = repository::MetadataRepository::LoadFrom(dir);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsParseError()) << loaded.status();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FailureInjectionTest, TruncatedSchemaFileRejectedByValidation) {
+  // A catalog whose schema file references a parent that never appears.
+  std::string text =
+      "HSC1,S,generic,\n"
+      "1,0,table,composite,T,,1,,\n"
+      "2,1,column,string,C,,1,,\n";
+  auto ok = schema::DeserializeSchema(text);
+  ASSERT_TRUE(ok.ok());
+  // Now corrupt the parent linkage by reordering fields (kind in id slot).
+  std::string bad = "HSC1,S,generic,\ntable,0,1,composite,T,,1,,\n";
+  EXPECT_TRUE(schema::DeserializeSchema(bad).status().IsParseError());
+}
+
+TEST(StressTest, LargePairThroughFullPublicPipeline) {
+  // A mid-size end-to-end pass touching import-free generation, matching,
+  // refinement, selection, overlap, effort, and export — the whole pipeline
+  // a downstream user would run.
+  synth::PairSpec spec;
+  spec.source_concepts = 30;
+  spec.target_concepts = 20;
+  spec.shared_concepts = 10;
+  auto pair = synth::GeneratePair(spec);
+
+  core::MatchEngine engine(pair.source, pair.target);
+  auto matrix = engine.ComputeRefinedMatrix();
+  auto links = core::SelectStableMarriage(matrix, 0.35);
+  EXPECT_FALSE(links.empty());
+
+  auto partition = analysis::ComputeOverlap(pair.source, pair.target, links);
+  EXPECT_EQ(partition.target_matched.size() + partition.target_only.size(),
+            pair.target.element_count());
+
+  auto effort = analysis::EstimateIntegrationEffort(pair.source, pair.target,
+                                                    matrix);
+  EXPECT_GT(effort.total_person_days, 0.0);
+
+  // Export the source schema both ways and re-import.
+  auto ddl_round = sql::ImportDdl(sql::ExportDdl(pair.source), "SA");
+  ASSERT_TRUE(ddl_round.ok());
+  EXPECT_EQ(ddl_round->element_count(), pair.source.element_count());
+  auto xsd_round = xml::ImportXsd(xml::ExportXsd(pair.target), "SB");
+  ASSERT_TRUE(xsd_round.ok());
+  EXPECT_EQ(xsd_round->element_count(), pair.target.element_count());
+}
+
+TEST(StressTest, DeepSchemaOperationsStayLinear) {
+  // A pathological 200-deep chain: traversal, paths, filters must not blow
+  // the stack or quadratic-explode.
+  schema::Schema deep("DEEP");
+  schema::ElementId cur = schema::Schema::kRootId;
+  for (int i = 0; i < 200; ++i) {
+    cur = deep.AddElement(cur, "L" + std::to_string(i),
+                          schema::ElementKind::kGroup);
+  }
+  deep.AddElement(cur, "LEAF", schema::ElementKind::kColumn);
+  EXPECT_EQ(deep.MaxDepth(), 201u);
+  EXPECT_TRUE(deep.Validate().ok());
+  std::string path = deep.Path(201);
+  auto found = deep.FindByPath(path);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 201u);
+  core::NodeFilter filter;
+  filter.WithMaxDepth(5);
+  EXPECT_EQ(filter.Select(deep).size(), 5u);
+}
+
+TEST(StressTest, WideSchemaMatch) {
+  // One table with 600 columns against one with 400 — a degenerate shape
+  // real ERP exports produce.
+  schema::RelationalBuilder a("WIDE_A");
+  auto ta = a.Table("MEGA");
+  for (int i = 0; i < 600; ++i) {
+    a.Column(ta, "COL_" + std::to_string(i), schema::DataType::kString);
+  }
+  schema::RelationalBuilder b("WIDE_B");
+  auto tb = b.Table("MEGA");
+  for (int i = 0; i < 400; ++i) {
+    b.Column(tb, "COL_" + std::to_string(i), schema::DataType::kString);
+  }
+  schema::Schema sa = std::move(a).Build();
+  schema::Schema sb = std::move(b).Build();
+  core::MatchEngine engine(sa, sb);
+  auto matrix = engine.ComputeMatrix();
+  EXPECT_EQ(matrix.pair_count(), 601u * 401u);
+  // The shared column names should pair up under 1:1 selection.
+  auto links = core::SelectGreedyOneToOne(matrix, 0.3);
+  EXPECT_GT(links.size(), 300u);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,163 @@
+#include "nway/mediated_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+#include "synth/generator.h"
+
+namespace harmony::nway {
+namespace {
+
+// Three agencies with a shared "Person" concept, a pairwise-shared
+// "Vehicle" concept, and private extras.
+struct Beaker {
+  schema::Schema s1, s2, s3;
+
+  Beaker() : s1(Make("S1", true, true)), s2(Make("S2", true, true)),
+             s3(Make("S3", true, false)) {}
+
+  static schema::Schema Make(const std::string& name, bool person, bool vehicle) {
+    schema::RelationalBuilder b(name);
+    if (person) {
+      auto p = b.Table("PERSON", "A person");
+      b.Column(p, "NAME", schema::DataType::kString, "Name of the person");
+      b.Column(p, "BIRTH_DATE", schema::DataType::kDate, "Birth date");
+      if (name == "S1") b.Column(p, "SHOE_SIZE", schema::DataType::kDecimal);
+    }
+    if (vehicle) {
+      auto v = b.Table("VEHICLE", "A vehicle");
+      b.Column(v, "VIN", schema::DataType::kString, "Vehicle id number");
+    }
+    // A genuinely private concept per agency (distinct vocabulary).
+    if (name == "S1") {
+      auto x = b.Table("FISHERY", "Fish stocks");
+      b.Column(x, "TONNAGE", schema::DataType::kDecimal);
+    } else if (name == "S2") {
+      auto x = b.Table("PAYROLL", "Salary runs");
+      b.Column(x, "GROSS_AMOUNT", schema::DataType::kDecimal);
+    } else {
+      auto x = b.Table("ORCHARD", "Fruit trees");
+      b.Column(x, "ACREAGE", schema::DataType::kDecimal);
+    }
+    return std::move(b).Build();
+  }
+
+  ComprehensiveVocabulary Vocab() {
+    std::vector<const schema::Schema*> schemas{&s1, &s2, &s3};
+    return ComprehensiveVocabulary(schemas, MatchAllPairs(schemas, 0.4));
+  }
+};
+
+TEST(MediatedSchemaTest, DistillsSharedConcepts) {
+  Beaker beaker;
+  auto vocab = beaker.Vocab();
+  auto result = BuildMediatedSchema(vocab);
+  // PERSON is in all three, VEHICLE in two — both qualify at min_sources 2.
+  EXPECT_GE(result.containers_emitted, 2u);
+  EXPECT_GE(result.leaves_emitted, 3u);  // name, birth date, vin.
+  EXPECT_TRUE(result.schema.Validate().ok());
+  EXPECT_TRUE(result.schema.FindByPath("person.name").ok() ||
+              result.schema.FindByPath("person").ok());
+}
+
+TEST(MediatedSchemaTest, PrivateConceptsExcluded) {
+  Beaker beaker;
+  auto vocab = beaker.Vocab();
+  auto result = BuildMediatedSchema(vocab);
+  for (schema::ElementId id : result.schema.AllElementIds()) {
+    const std::string& name = result.schema.element(id).name;
+    EXPECT_EQ(name.find("fishery"), std::string::npos) << name;
+    EXPECT_EQ(name.find("payroll"), std::string::npos) << name;
+    EXPECT_EQ(name.find("orchard"), std::string::npos) << name;
+    EXPECT_EQ(name.find("shoe"), std::string::npos) << name;
+  }
+}
+
+TEST(MediatedSchemaTest, MinSourcesThree) {
+  Beaker beaker;
+  auto vocab = beaker.Vocab();
+  MediatedSchemaOptions opts;
+  opts.min_sources = 3;
+  auto result = BuildMediatedSchema(vocab, opts);
+  // Only the PERSON concept spans all three schemata.
+  EXPECT_EQ(result.containers_emitted, 1u);
+  for (schema::ElementId id : result.schema.AllElementIds()) {
+    EXPECT_EQ(result.schema.element(id).name.find("vehicle"), std::string::npos);
+  }
+}
+
+TEST(MediatedSchemaTest, ProvenanceCoversEveryEmittedElement) {
+  Beaker beaker;
+  auto vocab = beaker.Vocab();
+  auto result = BuildMediatedSchema(vocab);
+  for (schema::ElementId id : result.schema.AllElementIds()) {
+    std::string path = result.schema.Path(id);
+    if (result.schema.element(id).name == "SharedElements") continue;
+    ASSERT_TRUE(result.provenance.count(path)) << path;
+    const auto& members = result.provenance.at(path);
+    EXPECT_GE(members.size(), 2u) << path;
+    for (const auto& ref : members) {
+      EXPECT_TRUE(vocab.schema(ref.schema_index).Contains(ref.element));
+    }
+  }
+}
+
+TEST(MediatedSchemaTest, TypesAndDocsDistilled) {
+  Beaker beaker;
+  auto vocab = beaker.Vocab();
+  auto result = BuildMediatedSchema(vocab);
+  bool found_date = false;
+  for (schema::ElementId id : result.schema.LeafIds()) {
+    if (result.schema.element(id).type == schema::DataType::kDate) {
+      found_date = true;
+      EXPECT_FALSE(result.schema.element(id).documentation.empty());
+    }
+  }
+  EXPECT_TRUE(found_date);
+}
+
+TEST(MediatedSchemaTest, SourceAnnotationsRecorded) {
+  Beaker beaker;
+  auto vocab = beaker.Vocab();
+  auto result = BuildMediatedSchema(vocab);
+  for (schema::ElementId id : result.schema.AllElementIds()) {
+    const auto& e = result.schema.element(id);
+    if (e.name == "SharedElements") continue;
+    ASSERT_TRUE(e.annotations.count("sources")) << e.name;
+    EXPECT_EQ(e.annotations.at("sources").front(), '{');
+  }
+}
+
+TEST(MediatedCoverageTest, SharedHeavySchemaCoveredBetter) {
+  Beaker beaker;
+  auto vocab = beaker.Vocab();
+  auto result = BuildMediatedSchema(vocab);
+  // S2 (person + vehicle, no private column) should be covered better than
+  // S3 (person only + extras).
+  double c2 = MediatedCoverage(vocab, result, 1);
+  double c3 = MediatedCoverage(vocab, result, 2);
+  EXPECT_GT(c2, c3);
+  EXPECT_GT(c2, 0.5);
+}
+
+TEST(MediatedSchemaTest, ScalesToGeneratedCommunity) {
+  synth::NWaySpec spec;
+  spec.schema_count = 4;
+  spec.universe_concepts = 14;
+  spec.concepts_per_schema = 9;  // Forced overlap.
+  auto gen = synth::GenerateNWay(spec);
+  std::vector<const schema::Schema*> schemas;
+  for (const auto& s : gen.schemas) schemas.push_back(&s);
+  ComprehensiveVocabulary vocab(schemas, MatchAllPairs(schemas, 0.45));
+  auto result = BuildMediatedSchema(vocab);
+  EXPECT_GT(result.containers_emitted, 0u);
+  EXPECT_GT(result.leaves_emitted, 10u);
+  EXPECT_TRUE(result.schema.Validate().ok());
+  // Every member schema should be at least partially covered.
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    EXPECT_GT(MediatedCoverage(vocab, result, i), 0.1) << "schema " << i;
+  }
+}
+
+}  // namespace
+}  // namespace harmony::nway

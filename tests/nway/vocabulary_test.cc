@@ -1,0 +1,171 @@
+#include "nway/vocabulary_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+#include "synth/generator.h"
+
+namespace harmony::nway {
+namespace {
+
+// Three tiny schemata with hand-planted identities:
+//   term X in all three, term Y in S1 and S2, term Z only in S3.
+struct Fixture {
+  schema::Schema s1, s2, s3;
+
+  Fixture() : s1(Make("S1")), s2(Make("S2")), s3(Make("S3")) {}
+
+  static schema::Schema Make(const std::string& name) {
+    schema::RelationalBuilder b(name);
+    auto t = b.Table("T");
+    b.Column(t, "X");
+    if (name != "S3") b.Column(t, "Y");
+    if (name == "S3") b.Column(t, "Z");
+    return std::move(b).Build();
+  }
+
+  std::vector<PairwiseMatches> Matches() {
+    auto link = [](const schema::Schema& a, const schema::Schema& b,
+                   const std::string& pa, const std::string& pb) {
+      return core::Correspondence{*a.FindByPath(pa), *b.FindByPath(pb), 0.9};
+    };
+    std::vector<PairwiseMatches> out;
+    out.push_back({0, 1, {link(s1, s2, "T.X", "T.X"), link(s1, s2, "T.Y", "T.Y"),
+                          link(s1, s2, "T", "T")}});
+    out.push_back({0, 2, {link(s1, s3, "T.X", "T.X"), link(s1, s3, "T", "T")}});
+    out.push_back({1, 2, {link(s2, s3, "T.X", "T.X"), link(s2, s3, "T", "T")}});
+    return out;
+  }
+};
+
+TEST(VocabularyTest, RegionsPartitionTerms) {
+  Fixture f;
+  ComprehensiveVocabulary vocab({&f.s1, &f.s2, &f.s3}, f.Matches());
+  // Terms: {T×3}, {X×3}, {Y×2}, {Z}.
+  EXPECT_EQ(vocab.terms().size(), 4u);
+  EXPECT_EQ(vocab.RegionCount(0b111), 2u);  // T and X.
+  EXPECT_EQ(vocab.RegionCount(0b011), 1u);  // Y in S1,S2.
+  EXPECT_EQ(vocab.RegionCount(0b100), 1u);  // Z only in S3.
+  EXPECT_EQ(vocab.FullOverlapCount(), 2u);
+}
+
+TEST(VocabularyTest, TransitiveClosureMergesChains) {
+  Fixture f;
+  // Only chain links: S1.X↔S2.X and S2.X↔S3.X; S1↔S3 missing. The closure
+  // must still put all three X's into one term.
+  auto link = [](const schema::Schema& a, const schema::Schema& b) {
+    return core::Correspondence{*a.FindByPath("T.X"), *b.FindByPath("T.X"), 0.9};
+  };
+  std::vector<PairwiseMatches> matches;
+  matches.push_back({0, 1, {link(f.s1, f.s2)}});
+  matches.push_back({1, 2, {link(f.s2, f.s3)}});
+  ComprehensiveVocabulary vocab({&f.s1, &f.s2, &f.s3}, matches);
+  EXPECT_EQ(vocab.RegionCount(0b111), 1u);
+}
+
+TEST(VocabularyTest, EveryElementInExactlyOneTerm) {
+  Fixture f;
+  ComprehensiveVocabulary vocab({&f.s1, &f.s2, &f.s3}, f.Matches());
+  size_t total_members = 0;
+  for (const Term& t : vocab.terms()) total_members += t.members.size();
+  EXPECT_EQ(total_members, f.s1.element_count() + f.s2.element_count() +
+                               f.s3.element_count());
+}
+
+TEST(VocabularyTest, MasksMatchMembers) {
+  Fixture f;
+  ComprehensiveVocabulary vocab({&f.s1, &f.s2, &f.s3}, f.Matches());
+  for (const Term& t : vocab.terms()) {
+    uint32_t mask = 0;
+    for (const ElementRef& ref : t.members) mask |= (1u << ref.schema_index);
+    EXPECT_EQ(mask, t.schema_mask);
+  }
+}
+
+TEST(VocabularyTest, RegionHistogramSorted) {
+  Fixture f;
+  ComprehensiveVocabulary vocab({&f.s1, &f.s2, &f.s3}, f.Matches());
+  auto hist = vocab.RegionHistogram();
+  ASSERT_FALSE(hist.empty());
+  for (size_t i = 1; i < hist.size(); ++i) {
+    EXPECT_GE(hist[i - 1].second, hist[i].second);
+  }
+  size_t total = 0;
+  for (auto& [mask, n] : hist) {
+    (void)mask;
+    total += n;
+  }
+  EXPECT_EQ(total, vocab.terms().size());
+}
+
+TEST(VocabularyTest, RegionNames) {
+  Fixture f;
+  ComprehensiveVocabulary vocab({&f.s1, &f.s2, &f.s3}, f.Matches());
+  EXPECT_EQ(vocab.RegionName(0b101), "{S1,S3}");
+  EXPECT_EQ(vocab.RegionName(0b010), "{S2}");
+}
+
+TEST(VocabularyTest, DisplayNameIsMajorityName) {
+  Fixture f;
+  ComprehensiveVocabulary vocab({&f.s1, &f.s2, &f.s3}, f.Matches());
+  bool found_x = false;
+  for (const Term& t : vocab.terms()) {
+    if (t.schema_mask == 0b111 && t.members.size() == 3 && t.display_name == "x") {
+      found_x = true;
+    }
+  }
+  EXPECT_TRUE(found_x);
+}
+
+TEST(VocabularyTest, CsvExportContainsTermsAndRegions) {
+  Fixture f;
+  ComprehensiveVocabulary vocab({&f.s1, &f.s2, &f.s3}, f.Matches());
+  std::string csv = vocab.ToCsv();
+  EXPECT_NE(csv.find("term,region,member_count,members"), std::string::npos);
+  EXPECT_NE(csv.find("{S1,S2,S3}"), std::string::npos);
+  EXPECT_NE(csv.find("S3:T.Z"), std::string::npos);
+}
+
+TEST(VocabularyTest, NoMatchesMeansAllSingletons) {
+  Fixture f;
+  ComprehensiveVocabulary vocab({&f.s1, &f.s2, &f.s3}, {});
+  EXPECT_EQ(vocab.terms().size(), f.s1.element_count() + f.s2.element_count() +
+                                      f.s3.element_count());
+  EXPECT_EQ(vocab.FullOverlapCount(), 0u);
+}
+
+TEST(MatchAllPairsTest, CoversEveryUnorderedPair) {
+  synth::NWaySpec spec;
+  spec.schema_count = 3;
+  spec.universe_concepts = 8;
+  spec.concepts_per_schema = 4;
+  auto gen = synth::GenerateNWay(spec);
+  std::vector<const schema::Schema*> schemas;
+  for (const auto& s : gen.schemas) schemas.push_back(&s);
+  auto matches = MatchAllPairs(schemas, 0.4);
+  EXPECT_EQ(matches.size(), 3u);  // C(3,2).
+  for (const auto& pm : matches) {
+    EXPECT_LT(pm.source_index, pm.target_index);
+  }
+}
+
+TEST(VocabularyTest, PartitionLatticeBoundedByTwoToTheNMinusOne) {
+  synth::NWaySpec spec;
+  spec.schema_count = 4;
+  spec.universe_concepts = 12;
+  spec.concepts_per_schema = 6;
+  auto gen = synth::GenerateNWay(spec);
+  std::vector<const schema::Schema*> schemas;
+  for (const auto& s : gen.schemas) schemas.push_back(&s);
+  ComprehensiveVocabulary vocab(schemas, MatchAllPairs(schemas, 0.45));
+  auto hist = vocab.RegionHistogram();
+  EXPECT_LE(hist.size(), 15u);  // 2^4 − 1.
+  for (auto& [mask, n] : hist) {
+    (void)n;
+    EXPECT_GT(mask, 0u);
+    EXPECT_LT(mask, 16u);
+  }
+}
+
+}  // namespace
+}  // namespace harmony::nway

@@ -1,0 +1,117 @@
+#include "repository/match_reuse.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+
+namespace harmony::repository {
+namespace {
+
+schema::Schema MakeSchema(const std::string& name) {
+  schema::RelationalBuilder b(name);
+  auto t = b.Table("T");
+  b.Column(t, "C1");
+  b.Column(t, "C2");
+  b.Column(t, "C3");
+  return std::move(b).Build();
+}
+
+Provenance Prov(const std::string& context = "planning") {
+  Provenance p;
+  p.author = "eng";
+  p.tool = "harmony";
+  p.created_at = "2009-01-05";
+  p.context = context;
+  return p;
+}
+
+struct Fixture {
+  MetadataRepository repo;
+  SchemaId a, b, c;
+
+  Fixture() {
+    a = *repo.RegisterSchema(MakeSchema("A"));
+    b = *repo.RegisterSchema(MakeSchema("B"));
+    c = *repo.RegisterSchema(MakeSchema("C"));
+  }
+};
+
+TEST(MatchReuseTest, ComposesThroughIntermediate) {
+  Fixture f;
+  // A.C1(id 2) ↔ C.C1(2) and C.C1(2) ↔ B.C2(3).
+  ASSERT_TRUE(f.repo.StoreMatch(f.a, f.c, {{2, 2, 0.9}}, Prov()).ok());
+  ASSERT_TRUE(f.repo.StoreMatch(f.c, f.b, {{2, 3, 0.8}}, Prov()).ok());
+  auto composed = ComposePriorMatches(f.repo, f.a, f.b);
+  ASSERT_EQ(composed.size(), 1u);
+  EXPECT_EQ(composed[0].source, 2u);
+  EXPECT_EQ(composed[0].target, 3u);
+  EXPECT_NEAR(composed[0].score, 0.8 * 0.85, 1e-9);  // min(0.9,0.8)·decay.
+}
+
+TEST(MatchReuseTest, HandlesReversedArtifactDirection) {
+  Fixture f;
+  // Stored as C↔A and B↔C; composition A→B must still work.
+  ASSERT_TRUE(f.repo.StoreMatch(f.c, f.a, {{2, 2, 0.9}}, Prov()).ok());
+  ASSERT_TRUE(f.repo.StoreMatch(f.b, f.c, {{4, 2, 0.7}}, Prov()).ok());
+  auto composed = ComposePriorMatches(f.repo, f.a, f.b);
+  ASSERT_EQ(composed.size(), 1u);
+  EXPECT_EQ(composed[0].source, 2u);
+  EXPECT_EQ(composed[0].target, 4u);
+}
+
+TEST(MatchReuseTest, NoIntermediateMeansNoProposals) {
+  Fixture f;
+  ASSERT_TRUE(f.repo.StoreMatch(f.a, f.c, {{2, 2, 0.9}}, Prov()).ok());
+  EXPECT_TRUE(ComposePriorMatches(f.repo, f.a, f.b).empty());
+}
+
+TEST(MatchReuseTest, MinScoreFilters) {
+  Fixture f;
+  ASSERT_TRUE(f.repo.StoreMatch(f.a, f.c, {{2, 2, 0.3}}, Prov()).ok());
+  ASSERT_TRUE(f.repo.StoreMatch(f.c, f.b, {{2, 3, 0.3}}, Prov()).ok());
+  ReuseOptions strict;
+  strict.min_score = 0.5;
+  EXPECT_TRUE(ComposePriorMatches(f.repo, f.a, f.b, strict).empty());
+  ReuseOptions loose;
+  loose.min_score = 0.1;
+  EXPECT_EQ(ComposePriorMatches(f.repo, f.a, f.b, loose).size(), 1u);
+}
+
+TEST(MatchReuseTest, ContextFilterRespectsFitnessForPurpose) {
+  Fixture f;
+  ASSERT_TRUE(f.repo.StoreMatch(f.a, f.c, {{2, 2, 0.9}}, Prov("search")).ok());
+  ASSERT_TRUE(f.repo.StoreMatch(f.c, f.b, {{2, 3, 0.9}}, Prov("bi")).ok());
+  ReuseOptions bi_only;
+  bi_only.required_context = "bi";
+  // The A↔C hop is search-grade, so the BI-grade composition fails.
+  EXPECT_TRUE(ComposePriorMatches(f.repo, f.a, f.b, bi_only).empty());
+  ReuseOptions any;
+  EXPECT_EQ(ComposePriorMatches(f.repo, f.a, f.b, any).size(), 1u);
+}
+
+TEST(MatchReuseTest, DuplicateCompositionsKeepBestScore) {
+  Fixture f;
+  SchemaId d = *f.repo.RegisterSchema(MakeSchema("D"));
+  // Two intermediate routes A→C→B (weak) and A→D→B (strong) to the same pair.
+  ASSERT_TRUE(f.repo.StoreMatch(f.a, f.c, {{2, 2, 0.4}}, Prov()).ok());
+  ASSERT_TRUE(f.repo.StoreMatch(f.c, f.b, {{2, 3, 0.4}}, Prov()).ok());
+  ASSERT_TRUE(f.repo.StoreMatch(f.a, d, {{2, 2, 0.9}}, Prov()).ok());
+  ASSERT_TRUE(f.repo.StoreMatch(d, f.b, {{2, 3, 0.9}}, Prov()).ok());
+  auto composed = ComposePriorMatches(f.repo, f.a, f.b);
+  ASSERT_EQ(composed.size(), 1u);
+  EXPECT_NEAR(composed[0].score, 0.9 * 0.85, 1e-9);
+}
+
+TEST(MatchReuseTest, ResultsSortedByScore) {
+  Fixture f;
+  ASSERT_TRUE(
+      f.repo.StoreMatch(f.a, f.c, {{1, 1, 0.9}, {2, 2, 0.5}}, Prov()).ok());
+  ASSERT_TRUE(
+      f.repo.StoreMatch(f.c, f.b, {{1, 1, 0.9}, {2, 2, 0.5}}, Prov()).ok());
+  auto composed = ComposePriorMatches(f.repo, f.a, f.b);
+  ASSERT_EQ(composed.size(), 2u);
+  EXPECT_GT(composed[0].score, composed[1].score);
+}
+
+}  // namespace
+}  // namespace harmony::repository

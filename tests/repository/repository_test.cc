@@ -1,0 +1,146 @@
+#include "repository/metadata_repository.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "schema/builder.h"
+
+namespace harmony::repository {
+namespace {
+
+schema::Schema MakeSchema(const std::string& name) {
+  schema::RelationalBuilder b(name);
+  auto t = b.Table("T", "A table in " + name);
+  b.Column(t, "C1", schema::DataType::kString, "First column");
+  b.Column(t, "C2", schema::DataType::kInteger);
+  return std::move(b).Build();
+}
+
+Provenance MakeProv(const std::string& context) {
+  Provenance p;
+  p.author = "kps";
+  p.tool = "harmony/1.0";
+  p.created_at = "2009-01-04T09:00:00Z";
+  p.context = context;
+  p.threshold = 0.4;
+  return p;
+}
+
+TEST(RepositoryTest, RegisterAndLookup) {
+  MetadataRepository repo;
+  auto id = repo.RegisterSchema(MakeSchema("SA"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(repo.schema_count(), 1u);
+  EXPECT_EQ(repo.schema(*id).name(), "SA");
+  auto found = repo.FindSchema("SA");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *id);
+  EXPECT_TRUE(repo.FindSchema("SB").status().IsNotFound());
+}
+
+TEST(RepositoryTest, DuplicateNameRejected) {
+  MetadataRepository repo;
+  ASSERT_TRUE(repo.RegisterSchema(MakeSchema("SA")).ok());
+  EXPECT_TRUE(repo.RegisterSchema(MakeSchema("SA")).status().IsAlreadyExists());
+}
+
+TEST(RepositoryTest, StoreMatchValidatesEndpoints) {
+  MetadataRepository repo;
+  auto a = *repo.RegisterSchema(MakeSchema("SA"));
+  auto b = *repo.RegisterSchema(MakeSchema("SB"));
+
+  std::vector<core::Correspondence> good = {{1, 1, 0.8}};
+  EXPECT_TRUE(repo.StoreMatch(a, b, good, MakeProv("planning")).ok());
+
+  std::vector<core::Correspondence> bad_schema = {{1, 1, 0.8}};
+  EXPECT_TRUE(repo.StoreMatch(a, 99, bad_schema, MakeProv("planning"))
+                  .status()
+                  .IsInvalidArgument());
+
+  std::vector<core::Correspondence> bad_element = {{999, 1, 0.8}};
+  EXPECT_TRUE(repo.StoreMatch(a, b, bad_element, MakeProv("planning"))
+                  .status()
+                  .IsInvalidArgument());
+
+  std::vector<core::Correspondence> root_element = {{0, 1, 0.8}};
+  EXPECT_TRUE(repo.StoreMatch(a, b, root_element, MakeProv("planning"))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RepositoryTest, MatchQueries) {
+  MetadataRepository repo;
+  auto a = *repo.RegisterSchema(MakeSchema("SA"));
+  auto b = *repo.RegisterSchema(MakeSchema("SB"));
+  auto c = *repo.RegisterSchema(MakeSchema("SC"));
+  ASSERT_TRUE(repo.StoreMatch(a, b, {{1, 1, 0.8}}, MakeProv("search")).ok());
+  ASSERT_TRUE(repo.StoreMatch(b, c, {{2, 2, 0.7}}, MakeProv("bi")).ok());
+
+  EXPECT_EQ(repo.MatchesFor(a).size(), 1u);
+  EXPECT_EQ(repo.MatchesFor(b).size(), 2u);
+  EXPECT_EQ(repo.MatchesBetween(a, b).size(), 1u);
+  EXPECT_EQ(repo.MatchesBetween(b, a).size(), 1u);  // Either direction.
+  EXPECT_EQ(repo.MatchesBetween(a, c).size(), 0u);
+  // Context-dependence: search-grade matches are not BI-grade.
+  EXPECT_EQ(repo.MatchesInContext("search").size(), 1u);
+  EXPECT_EQ(repo.MatchesInContext("bi").size(), 1u);
+  EXPECT_EQ(repo.MatchesInContext("code_generation").size(), 0u);
+}
+
+TEST(RepositoryTest, SaveLoadRoundTrip) {
+  std::string dir = ::testing::TempDir() + "/harmony_repo_test";
+  std::filesystem::remove_all(dir);
+  {
+    MetadataRepository repo;
+    auto a = *repo.RegisterSchema(MakeSchema("SA"));
+    auto b = *repo.RegisterSchema(MakeSchema("SB"));
+    ASSERT_TRUE(
+        repo.StoreMatch(a, b, {{1, 1, 0.8}, {2, 3, 0.55}}, MakeProv("planning"))
+            .ok());
+    ASSERT_TRUE(repo.SaveTo(dir).ok());
+  }
+  auto loaded = MetadataRepository::LoadFrom(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->schema_count(), 2u);
+  EXPECT_EQ(loaded->match_count(), 1u);
+  const MatchArtifact& m = loaded->match(0);
+  EXPECT_EQ(m.links.size(), 2u);
+  EXPECT_EQ(m.provenance.author, "kps");
+  EXPECT_EQ(m.provenance.context, "planning");
+  EXPECT_NEAR(m.provenance.threshold, 0.4, 1e-9);
+  EXPECT_NEAR(m.links[1].score, 0.55, 1e-9);
+  EXPECT_EQ(loaded->schema(0).name(), "SA");
+  EXPECT_EQ(loaded->schema(0).element(1).documentation, "A table in SA");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RepositoryTest, LoadFromMissingDirIsIOError) {
+  EXPECT_TRUE(
+      MetadataRepository::LoadFrom("/nonexistent/nowhere").status().IsIOError());
+}
+
+TEST(RepositoryTest, BuildSearchIndexOverContents) {
+  MetadataRepository repo;
+  ASSERT_TRUE(repo.RegisterSchema(MakeSchema("SA")).ok());
+  ASSERT_TRUE(repo.RegisterSchema(MakeSchema("SB")).ok());
+  auto index = repo.BuildSearchIndex();
+  EXPECT_EQ(index.size(), 2u);
+  auto hits = index.SearchKeywords("first column", 5);
+  EXPECT_FALSE(hits.empty());
+}
+
+TEST(RepositoryTest, AllSchemasStablePointers) {
+  MetadataRepository repo;
+  ASSERT_TRUE(repo.RegisterSchema(MakeSchema("S1")).ok());
+  auto before = repo.AllSchemas();
+  for (int i = 2; i <= 20; ++i) {
+    ASSERT_TRUE(repo.RegisterSchema(MakeSchema("S" + std::to_string(i))).ok());
+  }
+  // The first schema's address must not have moved.
+  EXPECT_EQ(repo.AllSchemas()[0], before[0]);
+  EXPECT_EQ(repo.AllSchemas().size(), 20u);
+}
+
+}  // namespace
+}  // namespace harmony::repository

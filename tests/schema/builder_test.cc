@@ -1,0 +1,48 @@
+#include "schema/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::schema {
+namespace {
+
+TEST(RelationalBuilderTest, BuildsTablesAndColumns) {
+  RelationalBuilder b("HR");
+  ElementId person = b.Table("PERSON", "People we employ");
+  ElementId id = b.Column(person, "PERSON_ID", DataType::kInteger, "Primary key");
+  b.SetPrimaryKey(id);
+  b.Column(person, "LAST_NAME", DataType::kString);
+  ElementId view = b.View("ACTIVE_PERSON", "Currently active people");
+  b.Column(view, "PERSON_ID", DataType::kInteger);
+  Schema s = std::move(b).Build();
+
+  EXPECT_EQ(s.flavor(), SchemaFlavor::kRelational);
+  EXPECT_EQ(s.element_count(), 5u);
+  const SchemaElement& p = s.element(*s.FindByPath("PERSON"));
+  EXPECT_EQ(p.kind, ElementKind::kTable);
+  EXPECT_EQ(p.documentation, "People we employ");
+  const SchemaElement& pk = s.element(*s.FindByPath("PERSON.PERSON_ID"));
+  EXPECT_EQ(pk.annotations.at("primary_key"), "true");
+  EXPECT_FALSE(pk.nullable);
+  EXPECT_EQ(s.element(*s.FindByPath("ACTIVE_PERSON")).kind, ElementKind::kView);
+}
+
+TEST(XmlBuilderTest, BuildsTypesElementsAttributes) {
+  XmlBuilder b("mil");
+  ElementId person = b.ComplexType("PersonType", "A person");
+  ElementId name = b.Element(person, "Name", DataType::kString, "Full name");
+  b.Attribute(person, "id", DataType::kInteger, "Unique id");
+  ElementId nested = b.Element(person, "Birth");
+  b.Element(nested, "Date", DataType::kDate);
+  Schema s = std::move(b).Build();
+
+  EXPECT_EQ(s.flavor(), SchemaFlavor::kXml);
+  EXPECT_EQ(s.element_count(), 5u);
+  EXPECT_EQ(s.element(person).kind, ElementKind::kComplexType);
+  EXPECT_EQ(s.element(name).kind, ElementKind::kElement);
+  EXPECT_EQ(s.element(*s.FindByPath("PersonType.id")).kind, ElementKind::kAttribute);
+  EXPECT_EQ(s.element(*s.FindByPath("PersonType.Birth.Date")).type, DataType::kDate);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+}  // namespace
+}  // namespace harmony::schema

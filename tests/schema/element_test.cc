@@ -1,0 +1,68 @@
+#include "schema/element.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::schema {
+namespace {
+
+TEST(ElementKindTest, RoundTripsThroughStrings) {
+  for (ElementKind kind :
+       {ElementKind::kRoot, ElementKind::kTable, ElementKind::kView,
+        ElementKind::kColumn, ElementKind::kComplexType, ElementKind::kElement,
+        ElementKind::kAttribute, ElementKind::kGroup}) {
+    EXPECT_EQ(ElementKindFromString(ElementKindToString(kind)), kind);
+  }
+}
+
+TEST(ElementKindTest, UnknownStringMapsToGroup) {
+  EXPECT_EQ(ElementKindFromString("not-a-kind"), ElementKind::kGroup);
+}
+
+TEST(DataTypeTest, RoundTripsThroughStrings) {
+  for (DataType type :
+       {DataType::kUnknown, DataType::kString, DataType::kInteger,
+        DataType::kDecimal, DataType::kFloat, DataType::kBoolean, DataType::kDate,
+        DataType::kTime, DataType::kDateTime, DataType::kBinary,
+        DataType::kComposite}) {
+    EXPECT_EQ(DataTypeFromString(DataTypeToString(type)), type);
+  }
+}
+
+TEST(DataTypeCompatibilityTest, IdenticalTypesAreFullyCompatible) {
+  EXPECT_DOUBLE_EQ(DataTypeCompatibility(DataType::kDate, DataType::kDate), 1.0);
+  EXPECT_DOUBLE_EQ(DataTypeCompatibility(DataType::kString, DataType::kString), 1.0);
+}
+
+TEST(DataTypeCompatibilityTest, UnknownIsNeutral) {
+  EXPECT_DOUBLE_EQ(DataTypeCompatibility(DataType::kUnknown, DataType::kDate), 0.5);
+  EXPECT_DOUBLE_EQ(DataTypeCompatibility(DataType::kBinary, DataType::kUnknown), 0.5);
+}
+
+TEST(DataTypeCompatibilityTest, RelatedFamiliesPartiallyCompatible) {
+  EXPECT_DOUBLE_EQ(DataTypeCompatibility(DataType::kInteger, DataType::kDecimal), 0.8);
+  EXPECT_DOUBLE_EQ(DataTypeCompatibility(DataType::kDate, DataType::kDateTime), 0.8);
+}
+
+TEST(DataTypeCompatibilityTest, StringIsWeaklyCompatibleWithAnything) {
+  EXPECT_DOUBLE_EQ(DataTypeCompatibility(DataType::kString, DataType::kDate), 0.4);
+}
+
+TEST(DataTypeCompatibilityTest, UnrelatedTypesAreIncompatible) {
+  EXPECT_DOUBLE_EQ(DataTypeCompatibility(DataType::kDate, DataType::kBinary), 0.0);
+  EXPECT_DOUBLE_EQ(DataTypeCompatibility(DataType::kBoolean, DataType::kFloat), 0.0);
+}
+
+TEST(DataTypeCompatibilityTest, IsSymmetric) {
+  DataType all[] = {DataType::kUnknown, DataType::kString, DataType::kInteger,
+                    DataType::kDecimal, DataType::kFloat, DataType::kBoolean,
+                    DataType::kDate, DataType::kTime, DataType::kDateTime,
+                    DataType::kBinary};
+  for (DataType a : all) {
+    for (DataType b : all) {
+      EXPECT_DOUBLE_EQ(DataTypeCompatibility(a, b), DataTypeCompatibility(b, a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace harmony::schema

@@ -1,0 +1,108 @@
+#include "schema/schema_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "schema/builder.h"
+
+namespace harmony::schema {
+namespace {
+
+Schema MakeRich() {
+  RelationalBuilder b("RICH");
+  ElementId t = b.Table("EVENT", "Operationally significant occurrences");
+  ElementId c = b.Column(t, "BEGIN_DATE", DataType::kDateTime,
+                         "When the event, uh, \"began\"");
+  b.SetPrimaryKey(c);
+  Schema s = std::move(b).Build();
+  s.set_documentation("The rich test schema, with\nnewlines and, commas");
+  SchemaElement& e = s.mutable_element(c);
+  e.declared_type = "TIMESTAMP(6)";
+  e.annotations["foreign_key"] = "OTHER.COL;with=escapes\\here";
+  e.annotations["note"] = "multi word value";
+  return s;
+}
+
+TEST(SchemaIoTest, RoundTripPreservesEverything) {
+  Schema original = MakeRich();
+  auto restored = DeserializeSchema(SerializeSchema(original));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const Schema& r = *restored;
+
+  EXPECT_EQ(r.name(), original.name());
+  EXPECT_EQ(r.flavor(), original.flavor());
+  EXPECT_EQ(r.documentation(), original.documentation());
+  ASSERT_EQ(r.node_count(), original.node_count());
+  for (ElementId id : original.AllElementIds()) {
+    const SchemaElement& a = original.element(id);
+    const SchemaElement& b = r.element(id);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.declared_type, b.declared_type);
+    EXPECT_EQ(a.nullable, b.nullable);
+    EXPECT_EQ(a.documentation, b.documentation);
+    EXPECT_EQ(a.annotations, b.annotations);
+  }
+  EXPECT_TRUE(r.Validate().ok());
+}
+
+TEST(SchemaIoTest, FileRoundTrip) {
+  Schema original = MakeRich();
+  std::string path = ::testing::TempDir() + "/schema_io_test.hsc";
+  ASSERT_TRUE(WriteSchemaFile(original, path).ok());
+  auto restored = ReadSchemaFile(path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->name(), "RICH");
+  EXPECT_EQ(restored->element_count(), original.element_count());
+  std::remove(path.c_str());
+}
+
+TEST(SchemaIoTest, MissingHeaderIsParseError) {
+  EXPECT_TRUE(DeserializeSchema("not,a,schema\n").status().IsParseError());
+  EXPECT_TRUE(DeserializeSchema("").status().IsParseError());
+}
+
+TEST(SchemaIoTest, WrongFieldCountIsParseError) {
+  std::string text = "HSC1,S,generic,\n1,0,table\n";
+  EXPECT_TRUE(DeserializeSchema(text).status().IsParseError());
+}
+
+TEST(SchemaIoTest, ForwardParentReferenceIsParseError) {
+  // Element 1 claims parent 5, which is not yet defined.
+  std::string text =
+      "HSC1,S,generic,\n"
+      "1,5,table,composite,T,,1,,\n";
+  EXPECT_TRUE(DeserializeSchema(text).status().IsParseError());
+}
+
+TEST(SchemaIoTest, NonDenseIdsAreParseError) {
+  std::string text =
+      "HSC1,S,generic,\n"
+      "2,0,table,composite,T,,1,,\n";
+  EXPECT_TRUE(DeserializeSchema(text).status().IsParseError());
+}
+
+TEST(SchemaIoTest, BadIdIsParseError) {
+  std::string text =
+      "HSC1,S,generic,\n"
+      "abc,0,table,composite,T,,1,,\n";
+  EXPECT_TRUE(DeserializeSchema(text).status().IsParseError());
+}
+
+TEST(SchemaIoTest, ReadMissingFileIsIOError) {
+  EXPECT_TRUE(ReadSchemaFile("/nonexistent/nowhere.hsc").status().IsIOError());
+}
+
+TEST(SchemaIoTest, EmptySchemaRoundTrips) {
+  Schema s("BARE", SchemaFlavor::kXml);
+  auto restored = DeserializeSchema(SerializeSchema(s));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->element_count(), 0u);
+  EXPECT_EQ(restored->flavor(), SchemaFlavor::kXml);
+}
+
+}  // namespace
+}  // namespace harmony::schema

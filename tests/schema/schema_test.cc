@@ -1,0 +1,166 @@
+#include "schema/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::schema {
+namespace {
+
+Schema MakeSample() {
+  // root ── PERSON ── {NAME, BIRTH ── {DATE, PLACE}}
+  //      └─ VEHICLE ── {VIN}
+  Schema s("SAMPLE", SchemaFlavor::kRelational);
+  ElementId person = s.AddElement(Schema::kRootId, "PERSON", ElementKind::kTable);
+  s.AddElement(person, "NAME", ElementKind::kColumn, DataType::kString);
+  ElementId birth = s.AddElement(person, "BIRTH", ElementKind::kGroup);
+  s.AddElement(birth, "DATE", ElementKind::kColumn, DataType::kDate);
+  s.AddElement(birth, "PLACE", ElementKind::kColumn, DataType::kString);
+  ElementId vehicle = s.AddElement(Schema::kRootId, "VEHICLE", ElementKind::kTable);
+  s.AddElement(vehicle, "VIN", ElementKind::kColumn, DataType::kString);
+  return s;
+}
+
+TEST(SchemaTest, EmptySchemaHasRootOnly) {
+  Schema s("EMPTY");
+  EXPECT_EQ(s.element_count(), 0u);
+  EXPECT_EQ(s.node_count(), 1u);
+  EXPECT_EQ(s.name(), "EMPTY");
+  EXPECT_EQ(s.root().kind, ElementKind::kRoot);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ElementCountExcludesRoot) {
+  Schema s = MakeSample();
+  EXPECT_EQ(s.element_count(), 7u);
+  EXPECT_EQ(s.node_count(), 8u);
+}
+
+TEST(SchemaTest, DepthsAssigned) {
+  Schema s = MakeSample();
+  EXPECT_EQ(s.element(1).depth, 1u);  // PERSON
+  EXPECT_EQ(s.element(2).depth, 2u);  // NAME
+  EXPECT_EQ(s.element(4).depth, 3u);  // BIRTH.DATE
+  EXPECT_EQ(s.MaxDepth(), 3u);
+}
+
+TEST(SchemaTest, PreOrderVisitsAllInOrder) {
+  Schema s = MakeSample();
+  auto order = s.PreOrder();
+  ASSERT_EQ(order.size(), 8u);
+  EXPECT_EQ(order[0], Schema::kRootId);
+  // Pre-order: root, PERSON, NAME, BIRTH, DATE, PLACE, VEHICLE, VIN.
+  EXPECT_EQ(s.element(order[1]).name, "PERSON");
+  EXPECT_EQ(s.element(order[3]).name, "BIRTH");
+  EXPECT_EQ(s.element(order[6]).name, "VEHICLE");
+}
+
+TEST(SchemaTest, AllElementIdsExcludesRoot) {
+  Schema s = MakeSample();
+  auto ids = s.AllElementIds();
+  EXPECT_EQ(ids.size(), 7u);
+  for (ElementId id : ids) EXPECT_NE(id, Schema::kRootId);
+}
+
+TEST(SchemaTest, SubtreeIds) {
+  Schema s = MakeSample();
+  ElementId person = *s.FindByPath("PERSON");
+  auto sub = s.SubtreeIds(person);
+  EXPECT_EQ(sub.size(), 5u);  // PERSON, NAME, BIRTH, DATE, PLACE.
+  EXPECT_EQ(sub[0], person);
+  EXPECT_EQ(s.DescendantCount(person), 4u);
+}
+
+TEST(SchemaTest, LeafIds) {
+  Schema s = MakeSample();
+  auto leaves = s.LeafIds();
+  EXPECT_EQ(leaves.size(), 4u);  // NAME, DATE, PLACE, VIN.
+}
+
+TEST(SchemaTest, PathAndFindByPathRoundTrip) {
+  Schema s = MakeSample();
+  for (ElementId id : s.AllElementIds()) {
+    auto found = s.FindByPath(s.Path(id));
+    ASSERT_TRUE(found.ok()) << s.Path(id);
+    EXPECT_EQ(*found, id);
+  }
+  EXPECT_EQ(s.Path(Schema::kRootId), "");
+  EXPECT_EQ(*s.FindByPath(""), Schema::kRootId);
+}
+
+TEST(SchemaTest, NestedPathUsesDots) {
+  Schema s = MakeSample();
+  ElementId date = *s.FindByPath("PERSON.BIRTH.DATE");
+  EXPECT_EQ(s.element(date).name, "DATE");
+  EXPECT_EQ(s.Path(date), "PERSON.BIRTH.DATE");
+}
+
+TEST(SchemaTest, FindByPathReportsNotFound) {
+  Schema s = MakeSample();
+  EXPECT_TRUE(s.FindByPath("PERSON.MISSING").status().IsNotFound());
+  EXPECT_TRUE(s.FindByPath("NOPE").status().IsNotFound());
+}
+
+TEST(SchemaTest, FindByNameIsCaseInsensitive) {
+  Schema s = MakeSample();
+  auto hits = s.FindByName("person");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(s.element(hits[0]).name, "PERSON");
+  EXPECT_TRUE(s.FindByName("nothing").empty());
+}
+
+TEST(SchemaTest, IdsAtDepth) {
+  Schema s = MakeSample();
+  EXPECT_EQ(s.IdsAtDepth(1).size(), 2u);  // PERSON, VEHICLE.
+  EXPECT_EQ(s.IdsAtDepth(2).size(), 3u);  // NAME, BIRTH, VIN.
+  EXPECT_EQ(s.IdsAtDepth(3).size(), 2u);  // DATE, PLACE.
+  EXPECT_TRUE(s.IdsAtDepth(9).empty());
+}
+
+TEST(SchemaTest, IsAncestorOrSelf) {
+  Schema s = MakeSample();
+  ElementId person = *s.FindByPath("PERSON");
+  ElementId date = *s.FindByPath("PERSON.BIRTH.DATE");
+  ElementId vin = *s.FindByPath("VEHICLE.VIN");
+  EXPECT_TRUE(s.IsAncestorOrSelf(person, date));
+  EXPECT_TRUE(s.IsAncestorOrSelf(date, date));
+  EXPECT_TRUE(s.IsAncestorOrSelf(Schema::kRootId, vin));
+  EXPECT_FALSE(s.IsAncestorOrSelf(person, vin));
+  EXPECT_FALSE(s.IsAncestorOrSelf(date, person));
+}
+
+TEST(SchemaTest, VisitSeesEveryNode) {
+  Schema s = MakeSample();
+  size_t count = 0;
+  s.Visit([&](const SchemaElement&) { ++count; });
+  EXPECT_EQ(count, s.node_count());
+}
+
+TEST(SchemaTest, MutableElementEditsStick) {
+  Schema s = MakeSample();
+  ElementId vin = *s.FindByPath("VEHICLE.VIN");
+  s.mutable_element(vin).documentation = "Vehicle identification number.";
+  s.mutable_element(vin).annotations["primary_key"] = "true";
+  EXPECT_EQ(s.element(vin).documentation, "Vehicle identification number.");
+  EXPECT_EQ(s.element(vin).annotations.at("primary_key"), "true");
+}
+
+TEST(SchemaTest, ValidatePassesOnBuiltSchema) {
+  Schema s = MakeSample();
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(SchemaTest, FlavorIsRecorded) {
+  Schema s("X", SchemaFlavor::kXml);
+  EXPECT_EQ(s.flavor(), SchemaFlavor::kXml);
+  s.set_flavor(SchemaFlavor::kRelational);
+  EXPECT_EQ(s.flavor(), SchemaFlavor::kRelational);
+}
+
+TEST(SchemaFlavorTest, RoundTripsThroughStrings) {
+  for (SchemaFlavor f : {SchemaFlavor::kGeneric, SchemaFlavor::kRelational,
+                         SchemaFlavor::kXml}) {
+    EXPECT_EQ(SchemaFlavorFromString(SchemaFlavorToString(f)), f);
+  }
+}
+
+}  // namespace
+}  // namespace harmony::schema

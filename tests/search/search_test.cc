@@ -1,0 +1,123 @@
+#include "search/schema_search.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+
+namespace harmony::search {
+namespace {
+
+schema::Schema MakeMedical(const std::string& name) {
+  schema::RelationalBuilder b(name);
+  auto t = b.Table("PATIENT_RECORD", "Patient health history");
+  b.Column(t, "BLOOD_TEST_RESULT", schema::DataType::kString,
+           "Result of a blood test performed on the patient");
+  b.Column(t, "DIAGNOSIS_CODE", schema::DataType::kString, "Coded diagnosis");
+  return std::move(b).Build();
+}
+
+schema::Schema MakeLogistics(const std::string& name) {
+  schema::RelationalBuilder b(name);
+  auto t = b.Table("SUPPLY_ITEM", "Provisions managed by logistics");
+  b.Column(t, "QUANTITY_ON_HAND", schema::DataType::kInteger, "Stock level");
+  b.Column(t, "REORDER_POINT", schema::DataType::kInteger, "Reorder threshold");
+  return std::move(b).Build();
+}
+
+class SearchTest : public ::testing::Test {
+ protected:
+  SearchTest()
+      : med1_(MakeMedical("MED1")),
+        med2_(MakeMedical("MED2")),
+        log1_(MakeLogistics("LOG1")) {
+    index_.Add(med1_);
+    index_.Add(med2_);
+    index_.Add(log1_);
+    index_.Finalize();
+  }
+
+  schema::Schema med1_, med2_, log1_;
+  SchemaSearchIndex index_;
+};
+
+TEST_F(SearchTest, SchemaAsQueryRanksRelativesFirst) {
+  schema::Schema query = MakeMedical("QUERY");
+  auto hits = index_.Search(query, 3);
+  ASSERT_GE(hits.size(), 2u);
+  EXPECT_TRUE(hits[0].schema_index == 0 || hits[0].schema_index == 1);
+  EXPECT_TRUE(hits[1].schema_index == 0 || hits[1].schema_index == 1);
+  EXPECT_GT(hits[0].score, 0.8);
+}
+
+TEST_F(SearchTest, KeywordQueryFindsTheCio2Question) {
+  // "which data sources contain the concept of blood test?" (§2).
+  auto hits = index_.SearchKeywords("blood test", 3);
+  ASSERT_GE(hits.size(), 2u);
+  EXPECT_TRUE(hits[0].schema_index == 0 || hits[0].schema_index == 1);
+  for (const auto& h : hits) {
+    if (h.schema_index == 2) {
+      EXPECT_LT(h.score, hits[0].score);
+    }
+  }
+}
+
+TEST_F(SearchTest, KRespected) {
+  schema::Schema query = MakeMedical("QUERY");
+  EXPECT_LE(index_.Search(query, 1).size(), 1u);
+}
+
+TEST_F(SearchTest, FlavorFilterApplies) {
+  schema::Schema query = MakeMedical("QUERY");
+  SearchFilter filter;
+  filter.flavor = schema::SchemaFlavor::kXml;
+  EXPECT_TRUE(index_.Search(query, 5, filter).empty());
+  filter.flavor = schema::SchemaFlavor::kRelational;
+  EXPECT_FALSE(index_.Search(query, 5, filter).empty());
+}
+
+TEST_F(SearchTest, SizeFilterApplies) {
+  schema::Schema query = MakeMedical("QUERY");
+  SearchFilter filter;
+  filter.min_elements = 100;
+  EXPECT_TRUE(index_.Search(query, 5, filter).empty());
+}
+
+TEST_F(SearchTest, FragmentSearchPinpointsElements) {
+  auto hits = index_.SearchFragments("blood test result", 5);
+  ASSERT_FALSE(hits.empty());
+  const auto& top = hits[0];
+  EXPECT_TRUE(top.schema_index == 0 || top.schema_index == 1);
+  const schema::Schema& s = index_.schema(top.schema_index);
+  EXPECT_EQ(s.element(top.element).name, "BLOOD_TEST_RESULT");
+}
+
+TEST_F(SearchTest, FragmentSearchByQueryElement) {
+  schema::Schema query = MakeMedical("QUERY");
+  auto q_el = *query.FindByPath("PATIENT_RECORD.BLOOD_TEST_RESULT");
+  auto hits = index_.SearchFragments(query, q_el, 3);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(index_.schema(hits[0].schema_index).element(hits[0].element).name,
+            "BLOOD_TEST_RESULT");
+}
+
+TEST_F(SearchTest, UnknownKeywordsYieldNothing) {
+  EXPECT_TRUE(index_.SearchKeywords("zzzz qqqq", 5).empty());
+}
+
+TEST_F(SearchTest, ScoresSortedDescending) {
+  auto hits = index_.SearchKeywords("patient blood diagnosis supply", 10);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+}
+
+TEST(SearchIndexTest, EmptyIndexSearches) {
+  SchemaSearchIndex index;
+  index.Finalize();
+  schema::Schema query = MakeMedical("Q");
+  EXPECT_TRUE(index.Search(query, 5).empty());
+  EXPECT_TRUE(index.SearchKeywords("anything", 5).empty());
+}
+
+}  // namespace
+}  // namespace harmony::search

@@ -1,0 +1,94 @@
+#include "sql/ddl_exporter.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+#include "sql/ddl_parser.h"
+#include "synth/generator.h"
+
+namespace harmony::sql {
+namespace {
+
+using schema::DataType;
+
+schema::Schema MakeSchema() {
+  schema::RelationalBuilder b("SA");
+  auto t = b.Table("PERSON", "People we track");
+  auto id = b.Column(t, "PERSON_ID", DataType::kInteger, "Primary key");
+  b.SetPrimaryKey(id);
+  b.Column(t, "LAST_NAME", DataType::kString, "The person's surname");
+  b.Column(t, "BIRTH_DT", DataType::kDate);
+  return std::move(b).Build();
+}
+
+TEST(DdlExporterTest, EmitsTableWithTypesAndConstraints) {
+  std::string ddl = ExportDdl(MakeSchema());
+  EXPECT_NE(ddl.find("CREATE TABLE PERSON ("), std::string::npos);
+  EXPECT_NE(ddl.find("PERSON_ID INTEGER NOT NULL"), std::string::npos);
+  EXPECT_NE(ddl.find("LAST_NAME VARCHAR(255)"), std::string::npos);
+  EXPECT_NE(ddl.find("BIRTH_DT DATE"), std::string::npos);
+  EXPECT_NE(ddl.find("PRIMARY KEY (PERSON_ID)"), std::string::npos);
+}
+
+TEST(DdlExporterTest, EmitsComments) {
+  std::string ddl = ExportDdl(MakeSchema());
+  EXPECT_NE(ddl.find("COMMENT ON TABLE PERSON IS 'People we track';"),
+            std::string::npos);
+  EXPECT_NE(
+      ddl.find("COMMENT ON COLUMN PERSON.LAST_NAME IS 'The person''s surname';"),
+      std::string::npos);
+}
+
+TEST(DdlExporterTest, CommentsCanBeDisabled) {
+  DdlExportOptions opts;
+  opts.emit_comments = false;
+  std::string ddl = ExportDdl(MakeSchema(), opts);
+  EXPECT_EQ(ddl.find("COMMENT ON"), std::string::npos);
+}
+
+TEST(DdlExporterTest, NestedGroupsFlattened) {
+  schema::Schema s("S");
+  auto t = s.AddElement(schema::Schema::kRootId, "PERSON",
+                        schema::ElementKind::kTable);
+  auto birth = s.AddElement(t, "BIRTH", schema::ElementKind::kGroup);
+  s.AddElement(birth, "DATE", schema::ElementKind::kColumn, DataType::kDate);
+  std::string ddl = ExportDdl(s);
+  EXPECT_NE(ddl.find("BIRTH_DATE DATE"), std::string::npos);
+}
+
+TEST(DdlExporterTest, RoundTripThroughImporter) {
+  schema::Schema original = MakeSchema();
+  auto reimported = ImportDdl(ExportDdl(original), "SA");
+  ASSERT_TRUE(reimported.ok()) << reimported.status();
+  EXPECT_EQ(reimported->element_count(), original.element_count());
+  for (schema::ElementId id : original.AllElementIds()) {
+    std::string path = original.Path(id);
+    auto found = reimported->FindByPath(path);
+    ASSERT_TRUE(found.ok()) << path;
+    EXPECT_EQ(reimported->element(*found).type, original.element(id).type) << path;
+    EXPECT_EQ(reimported->element(*found).nullable, original.element(id).nullable)
+        << path;
+    EXPECT_EQ(reimported->element(*found).documentation,
+              original.element(id).documentation)
+        << path;
+  }
+}
+
+TEST(DdlExporterTest, GeneratedSchemaRoundTrips) {
+  synth::SchemaSpec spec;
+  spec.concepts = 12;
+  spec.style.doc_probability = 1.0;
+  schema::Schema original = synth::GenerateSchema(spec);
+  auto reimported = ImportDdl(ExportDdl(original), original.name());
+  ASSERT_TRUE(reimported.ok()) << reimported.status();
+  EXPECT_EQ(reimported->element_count(), original.element_count());
+  EXPECT_EQ(reimported->IdsAtDepth(1).size(), original.IdsAtDepth(1).size());
+}
+
+TEST(DdlExporterTest, EmptySchemaYieldsEmptyScript) {
+  schema::Schema empty("E");
+  EXPECT_EQ(ExportDdl(empty), "");
+}
+
+}  // namespace
+}  // namespace harmony::sql

@@ -1,0 +1,85 @@
+#include "sql/ddl_lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::sql {
+namespace {
+
+TEST(DdlLexerTest, IdentifiersNumbersSymbols) {
+  auto tokens = LexDdl("CREATE TABLE t1 (c NUMBER(10,2));");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 12u);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("CREATE"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("table"));  // Case-insensitive.
+  EXPECT_EQ((*tokens)[2].text, "t1");
+  EXPECT_TRUE((*tokens)[3].IsSymbol('('));
+  EXPECT_EQ((*tokens)[7].type, TokenType::kNumber);
+  EXPECT_EQ((*tokens)[7].text, "10");
+  EXPECT_EQ((*tokens).back().type, TokenType::kEnd);
+}
+
+TEST(DdlLexerTest, LineCommentsBecomeTokens) {
+  auto tokens = LexDdl("a -- the remark text\nb");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // a, comment, b, end.
+  EXPECT_EQ((*tokens)[1].type, TokenType::kComment);
+  EXPECT_EQ((*tokens)[1].text, "the remark text");
+}
+
+TEST(DdlLexerTest, BlockCommentsDropped) {
+  auto tokens = LexDdl("a /* gone\nacross lines */ b");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[0].text, "a");
+  EXPECT_EQ((*tokens)[1].text, "b");
+  EXPECT_EQ((*tokens)[1].line, 2);  // Line counting continues inside blocks.
+}
+
+TEST(DdlLexerTest, StringLiteralsWithEscapedQuotes) {
+  auto tokens = LexDdl("'it''s quoted'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's quoted");
+}
+
+TEST(DdlLexerTest, QuotedIdentifiers) {
+  auto tokens = LexDdl("\"My Table\" `other` [bracketed]");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "My Table");
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "other");
+  EXPECT_EQ((*tokens)[2].text, "bracketed");
+}
+
+TEST(DdlLexerTest, UnterminatedStringIsParseError) {
+  EXPECT_TRUE(LexDdl("'open").status().IsParseError());
+}
+
+TEST(DdlLexerTest, UnterminatedBlockCommentIsParseError) {
+  EXPECT_TRUE(LexDdl("/* open").status().IsParseError());
+}
+
+TEST(DdlLexerTest, LineNumbersTracked) {
+  auto tokens = LexDdl("a\nb\n\nc");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[2].line, 4);
+}
+
+TEST(DdlLexerTest, DollarAndHashInIdentifiers) {
+  auto tokens = LexDdl("col$x col#y");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "col$x");
+  EXPECT_EQ((*tokens)[1].text, "col#y");
+}
+
+TEST(DdlLexerTest, EmptyInputYieldsOnlyEnd) {
+  auto tokens = LexDdl("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kEnd);
+}
+
+}  // namespace
+}  // namespace harmony::sql

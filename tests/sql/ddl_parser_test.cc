@@ -1,0 +1,183 @@
+#include "sql/ddl_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::sql {
+namespace {
+
+using schema::DataType;
+using schema::ElementKind;
+
+constexpr const char* kSampleDdl = R"SQL(
+-- Schema A, version 3.
+CREATE TABLE ALL_EVENT_VITALS (
+  EVENT_ID NUMBER(10) NOT NULL PRIMARY KEY,  -- Unique event identifier
+  DATE_BEGIN_156 TIMESTAMP,                  -- When the event began
+  SEVERITY_CD VARCHAR2(8),
+  CASUALTY_CNT INTEGER DEFAULT 0,
+  NARRATIVE CLOB
+);
+
+CREATE TABLE PERSON (
+  PERSON_ID NUMBER(10),
+  LAST_NAME VARCHAR2(64) NOT NULL,
+  BIRTH_DT DATE,
+  HEIGHT_QTY NUMBER(5,2),
+  EVENT_ID NUMBER(10) REFERENCES ALL_EVENT_VITALS (EVENT_ID),
+  PRIMARY KEY (PERSON_ID),
+  CONSTRAINT fk_evt FOREIGN KEY (EVENT_ID) REFERENCES ALL_EVENT_VITALS (EVENT_ID)
+);
+
+COMMENT ON TABLE PERSON IS 'A person known to the system';
+COMMENT ON COLUMN PERSON.BIRTH_DT IS 'The date on which the person was born';
+
+CREATE OR REPLACE VIEW ACTIVE_EVENTS (EVENT_ID, SEVERITY_CD) AS
+  SELECT EVENT_ID, SEVERITY_CD FROM ALL_EVENT_VITALS WHERE 1 = 1;
+
+CREATE INDEX idx_person_name ON PERSON (LAST_NAME);
+GRANT SELECT ON PERSON TO analysts;
+)SQL";
+
+TEST(DdlParserTest, ImportsTablesAndColumns) {
+  auto s = ImportDdl(kSampleDdl, "SA");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->name(), "SA");
+  EXPECT_EQ(s->flavor(), schema::SchemaFlavor::kRelational);
+  ASSERT_TRUE(s->FindByPath("ALL_EVENT_VITALS").ok());
+  EXPECT_EQ(s->element(*s->FindByPath("ALL_EVENT_VITALS")).kind,
+            ElementKind::kTable);
+  EXPECT_EQ(s->element(*s->FindByPath("ALL_EVENT_VITALS")).children.size(), 5u);
+}
+
+TEST(DdlParserTest, TypesMappedWithPrecision) {
+  auto s = ImportDdl(kSampleDdl);
+  ASSERT_TRUE(s.ok());
+  // NUMBER(10) → integer, NUMBER(5,2) → decimal.
+  EXPECT_EQ(s->element(*s->FindByPath("PERSON.PERSON_ID")).type,
+            DataType::kInteger);
+  EXPECT_EQ(s->element(*s->FindByPath("PERSON.HEIGHT_QTY")).type,
+            DataType::kDecimal);
+  EXPECT_EQ(s->element(*s->FindByPath("PERSON.BIRTH_DT")).type, DataType::kDate);
+  EXPECT_EQ(s->element(*s->FindByPath("ALL_EVENT_VITALS.DATE_BEGIN_156")).type,
+            DataType::kDateTime);
+  EXPECT_EQ(s->element(*s->FindByPath("ALL_EVENT_VITALS.NARRATIVE")).type,
+            DataType::kString);
+  EXPECT_EQ(s->element(*s->FindByPath("PERSON.LAST_NAME")).declared_type,
+            "VARCHAR2(64)");
+}
+
+TEST(DdlParserTest, InlineConstraintsCaptured) {
+  auto s = ImportDdl(kSampleDdl);
+  ASSERT_TRUE(s.ok());
+  const auto& event_id = s->element(*s->FindByPath("ALL_EVENT_VITALS.EVENT_ID"));
+  EXPECT_EQ(event_id.annotations.at("primary_key"), "true");
+  EXPECT_FALSE(event_id.nullable);
+  const auto& last_name = s->element(*s->FindByPath("PERSON.LAST_NAME"));
+  EXPECT_FALSE(last_name.nullable);
+}
+
+TEST(DdlParserTest, TableLevelPrimaryAndForeignKeys) {
+  auto s = ImportDdl(kSampleDdl);
+  ASSERT_TRUE(s.ok());
+  const auto& pk = s->element(*s->FindByPath("PERSON.PERSON_ID"));
+  EXPECT_EQ(pk.annotations.at("primary_key"), "true");
+  const auto& fk = s->element(*s->FindByPath("PERSON.EVENT_ID"));
+  EXPECT_EQ(fk.annotations.at("foreign_key"), "ALL_EVENT_VITALS.EVENT_ID");
+}
+
+TEST(DdlParserTest, TrailingCommentsBecomeDocumentation) {
+  auto s = ImportDdl(kSampleDdl);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->element(*s->FindByPath("ALL_EVENT_VITALS.EVENT_ID")).documentation,
+            "Unique event identifier");
+  EXPECT_EQ(
+      s->element(*s->FindByPath("ALL_EVENT_VITALS.DATE_BEGIN_156")).documentation,
+      "When the event began");
+}
+
+TEST(DdlParserTest, TrailingCommentOnLastColumnBeforeCloseParen) {
+  auto s = ImportDdl(
+      "CREATE TABLE T (\n"
+      "  A INT,    -- first\n"
+      "  B DATE    -- last, no comma after\n"
+      ");");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->element(*s->FindByPath("T.A")).documentation, "first");
+  EXPECT_EQ(s->element(*s->FindByPath("T.B")).documentation,
+            "last, no comma after");
+}
+
+TEST(DdlParserTest, CommentOnStatements) {
+  auto s = ImportDdl(kSampleDdl);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->element(*s->FindByPath("PERSON")).documentation,
+            "A person known to the system");
+  EXPECT_NE(s->element(*s->FindByPath("PERSON.BIRTH_DT"))
+                .documentation.find("date on which the person was born"),
+            std::string::npos);
+}
+
+TEST(DdlParserTest, ViewsWithColumnLists) {
+  auto s = ImportDdl(kSampleDdl);
+  ASSERT_TRUE(s.ok());
+  auto view = s->FindByPath("ACTIVE_EVENTS");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(s->element(*view).kind, ElementKind::kView);
+  EXPECT_EQ(s->element(*view).children.size(), 2u);
+}
+
+TEST(DdlParserTest, UnknownStatementsSkipped) {
+  auto s = ImportDdl(kSampleDdl);
+  ASSERT_TRUE(s.ok());
+  // INDEX and GRANT contribute no elements: 2 tables + 1 view at depth 1.
+  EXPECT_EQ(s->IdsAtDepth(1).size(), 3u);
+}
+
+TEST(DdlParserTest, SchemaQualifiedNamesKeepLastComponent) {
+  auto s = ImportDdl("CREATE TABLE ops.mil.TRACK (ID INT);");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->FindByPath("TRACK.ID").ok());
+}
+
+TEST(DdlParserTest, IfNotExists) {
+  auto s = ImportDdl("CREATE TABLE IF NOT EXISTS T (C INT);");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->FindByPath("T.C").ok());
+}
+
+TEST(DdlParserTest, MalformedColumnIsParseError) {
+  EXPECT_TRUE(ImportDdl("CREATE TABLE T (123 INT);").status().IsParseError());
+}
+
+TEST(DdlParserTest, MissingParenIsParseError) {
+  EXPECT_TRUE(ImportDdl("CREATE TABLE T C INT;").status().IsParseError());
+}
+
+TEST(DdlParserTest, ErrorsNameTheLine) {
+  Status s = ImportDdl("CREATE TABLE T (\n  C1 INT,\n  123 BAD\n);").status();
+  ASSERT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.message();
+}
+
+TEST(DdlParserTest, EmptyInputYieldsEmptySchema) {
+  auto s = ImportDdl("");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->element_count(), 0u);
+}
+
+TEST(SqlTypeMappingTest, CoversFamilies) {
+  EXPECT_EQ(SqlTypeToDataType("VARCHAR2", 1), DataType::kString);
+  EXPECT_EQ(SqlTypeToDataType("varchar", 1), DataType::kString);
+  EXPECT_EQ(SqlTypeToDataType("NUMBER", 1), DataType::kInteger);
+  EXPECT_EQ(SqlTypeToDataType("NUMBER", 2), DataType::kDecimal);
+  EXPECT_EQ(SqlTypeToDataType("BIGINT", 0), DataType::kInteger);
+  EXPECT_EQ(SqlTypeToDataType("REAL", 0), DataType::kFloat);
+  EXPECT_EQ(SqlTypeToDataType("BOOLEAN", 0), DataType::kBoolean);
+  EXPECT_EQ(SqlTypeToDataType("DATE", 0), DataType::kDate);
+  EXPECT_EQ(SqlTypeToDataType("TIMESTAMP", 0), DataType::kDateTime);
+  EXPECT_EQ(SqlTypeToDataType("BLOB", 0), DataType::kBinary);
+  EXPECT_EQ(SqlTypeToDataType("GEOMETRY", 0), DataType::kUnknown);
+}
+
+}  // namespace
+}  // namespace harmony::sql

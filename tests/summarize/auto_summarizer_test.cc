@@ -1,0 +1,112 @@
+#include "summarize/auto_summarizer.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+#include "synth/generator.h"
+
+namespace harmony::summarize {
+namespace {
+
+schema::Schema MakeSchema() {
+  schema::RelationalBuilder b("S");
+  auto big = b.Table("EVENT", "Everything about events, richly documented here");
+  for (int i = 0; i < 10; ++i) {
+    b.Column(big, "E" + std::to_string(i));
+  }
+  auto small = b.Table("LOOKUP");
+  b.Column(small, "CODE");
+  auto mid = b.Table("PERSON", "People");
+  for (int i = 0; i < 5; ++i) {
+    b.Column(mid, "P" + std::to_string(i));
+  }
+  return std::move(b).Build();
+}
+
+TEST(ElementImportanceTest, BiggerSubtreesScoreHigher) {
+  schema::Schema s = MakeSchema();
+  AutoSummarizeOptions opts;
+  double big = ElementImportance(s, *s.FindByPath("EVENT"), opts);
+  double mid = ElementImportance(s, *s.FindByPath("PERSON"), opts);
+  double small = ElementImportance(s, *s.FindByPath("LOOKUP"), opts);
+  EXPECT_GT(big, mid);
+  EXPECT_GT(mid, small);
+}
+
+TEST(ElementImportanceTest, DocumentationAddsImportance) {
+  schema::RelationalBuilder b("S");
+  auto documented = b.Table("A", "A long and meaningful description of this table");
+  b.Column(documented, "X");
+  auto bare = b.Table("B");
+  b.Column(bare, "X");
+  schema::Schema s = std::move(b).Build();
+  AutoSummarizeOptions opts;
+  EXPECT_GT(ElementImportance(s, *s.FindByPath("A"), opts),
+            ElementImportance(s, *s.FindByPath("B"), opts));
+}
+
+TEST(AutoSummarizeTest, PicksTopContainers) {
+  schema::Schema s = MakeSchema();
+  AutoSummarizeOptions opts;
+  opts.max_concepts = 2;
+  Summary summary = AutoSummarize(s, opts);
+  EXPECT_EQ(summary.concept_count(), 2u);
+  // EVENT and PERSON outrank LOOKUP.
+  EXPECT_TRUE(summary.FindConcept("EVENT").has_value());
+  EXPECT_TRUE(summary.FindConcept("PERSON").has_value());
+  EXPECT_FALSE(summary.FindConcept("LOOKUP").has_value());
+}
+
+TEST(AutoSummarizeTest, MembersInheritConcepts) {
+  schema::Schema s = MakeSchema();
+  Summary summary = AutoSummarize(s, AutoSummarizeOptions{});
+  auto c = summary.ConceptOf(*s.FindByPath("EVENT.E3"));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(summary.concept_at(*c).label, "EVENT");
+}
+
+TEST(AutoSummarizeTest, RespectsDepthLimit) {
+  schema::Schema s("DEEP");
+  auto l1 = s.AddElement(schema::Schema::kRootId, "L1", schema::ElementKind::kGroup);
+  auto l2 = s.AddElement(l1, "L2", schema::ElementKind::kGroup);
+  auto l3 = s.AddElement(l2, "L3", schema::ElementKind::kGroup);
+  s.AddElement(l3, "LEAF", schema::ElementKind::kColumn);
+  AutoSummarizeOptions opts;
+  opts.max_anchor_depth = 2;
+  opts.max_concepts = 10;
+  Summary summary = AutoSummarize(s, opts);
+  EXPECT_FALSE(summary.FindConcept("L3").has_value());
+  EXPECT_TRUE(summary.FindConcept("L1").has_value());
+}
+
+TEST(AutoSummarizeTest, LeavesAreNeverConcepts) {
+  schema::Schema s = MakeSchema();
+  AutoSummarizeOptions opts;
+  opts.max_concepts = 100;
+  Summary summary = AutoSummarize(s, opts);
+  EXPECT_EQ(summary.concept_count(), 3u);  // Only the three tables.
+}
+
+TEST(AutoSummarizeTest, RecoverPlantedConceptsOnSyntheticSchema) {
+  synth::PairSpec spec;
+  spec.source_concepts = 30;
+  spec.target_concepts = 10;
+  spec.shared_concepts = 5;
+  auto pair = synth::GeneratePair(spec);
+  AutoSummarizeOptions opts;
+  opts.max_concepts = 30;
+  Summary summary = AutoSummarize(pair.source, opts);
+  // The generator's concepts are the depth-1 containers, which the
+  // summarizer should recover nearly perfectly.
+  double agreement = SummaryAgreement(summary, pair.truth.source_concept_labels);
+  EXPECT_GT(agreement, 0.95);
+}
+
+TEST(SummaryAgreementTest, EmptyReferenceYieldsZero) {
+  schema::Schema s = MakeSchema();
+  Summary summary = AutoSummarize(s, AutoSummarizeOptions{});
+  EXPECT_DOUBLE_EQ(SummaryAgreement(summary, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace harmony::summarize

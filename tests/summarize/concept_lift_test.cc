@@ -1,0 +1,130 @@
+#include "summarize/concept_lift.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+
+namespace harmony::summarize {
+namespace {
+
+struct Fixture {
+  schema::Schema sa;
+  schema::Schema sb;
+  Summary sum_a;
+  Summary sum_b;
+
+  Fixture() : sa(MakeA()), sb(MakeB()), sum_a(sa), sum_b(sb) {
+    EXPECT_TRUE(sum_a.AnchorNew("Event", *sa.FindByPath("EVENT")).ok());
+    EXPECT_TRUE(sum_a.AnchorNew("Person", *sa.FindByPath("PERSON")).ok());
+    EXPECT_TRUE(sum_b.AnchorNew("Event", *sb.FindByPath("Incident")).ok());
+    EXPECT_TRUE(sum_b.AnchorNew("Person", *sb.FindByPath("Individual")).ok());
+  }
+
+  static schema::Schema MakeA() {
+    schema::RelationalBuilder b("SA");
+    auto e = b.Table("EVENT");
+    b.Column(e, "E1");
+    b.Column(e, "E2");
+    b.Column(e, "E3");
+    auto p = b.Table("PERSON");
+    b.Column(p, "P1");
+    b.Column(p, "P2");
+    return std::move(b).Build();
+  }
+
+  static schema::Schema MakeB() {
+    schema::XmlBuilder b("SB");
+    auto e = b.ComplexType("Incident");
+    b.Element(e, "I1");
+    b.Element(e, "I2");
+    auto p = b.ComplexType("Individual");
+    b.Element(p, "J1");
+    return std::move(b).Build();
+  }
+
+  core::Correspondence Link(const std::string& a, const std::string& b,
+                            double score = 0.8) {
+    return {*sa.FindByPath(a), *sb.FindByPath(b), score};
+  }
+};
+
+TEST(ConceptLiftTest, LiftsWellSupportedPairs) {
+  Fixture f;
+  std::vector<core::Correspondence> links = {
+      f.Link("EVENT.E1", "Incident.I1"),
+      f.Link("EVENT.E2", "Incident.I2"),
+      f.Link("PERSON.P1", "Individual.J1"),
+  };
+  ConceptLiftOptions opts;
+  opts.min_supporting_links = 2;
+  auto matches = LiftToConcepts(f.sum_a, f.sum_b, links, opts);
+  ASSERT_EQ(matches.size(), 1u);  // Person pair has only 1 supporting link.
+  EXPECT_EQ(f.sum_a.concept_at(matches[0].source_concept).label, "Event");
+  EXPECT_EQ(matches[0].supporting_links, 2u);
+  EXPECT_GT(matches[0].coverage, 0.5);
+}
+
+TEST(ConceptLiftTest, MinSupportingLinksOfOneLiftsEverything) {
+  Fixture f;
+  std::vector<core::Correspondence> links = {
+      f.Link("EVENT.E1", "Incident.I1"),
+      f.Link("PERSON.P1", "Individual.J1"),
+  };
+  ConceptLiftOptions opts;
+  opts.min_supporting_links = 1;
+  opts.min_coverage = 0.0;
+  auto matches = LiftToConcepts(f.sum_a, f.sum_b, links, opts);
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(ConceptLiftTest, CoverageThresholdFilters) {
+  Fixture f;
+  std::vector<core::Correspondence> links = {
+      f.Link("EVENT.E1", "Incident.I1"),
+      f.Link("EVENT.E2", "Incident.I2"),
+  };
+  ConceptLiftOptions opts;
+  opts.min_supporting_links = 1;
+  opts.min_coverage = 0.95;  // 2 links / 3 members of smaller concept < 0.95.
+  auto matches = LiftToConcepts(f.sum_a, f.sum_b, links, opts);
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST(ConceptLiftTest, LinksOutsideConceptsIgnored) {
+  Fixture f;
+  // A link from an unanchored element (none here — all anchored), so instead
+  // check cross-concept links accumulate separately.
+  std::vector<core::Correspondence> links = {
+      f.Link("EVENT.E1", "Individual.J1"),
+      f.Link("EVENT.E2", "Individual.J1"),
+  };
+  ConceptLiftOptions opts;
+  opts.min_supporting_links = 2;
+  opts.min_coverage = 0.0;
+  auto matches = LiftToConcepts(f.sum_a, f.sum_b, links, opts);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(f.sum_a.concept_at(matches[0].source_concept).label, "Event");
+  EXPECT_EQ(f.sum_b.concept_at(matches[0].target_concept).label, "Person");
+}
+
+TEST(ReduceToOneToOneTest, KeepsStrongestPerConcept) {
+  std::vector<ConceptMatch> matches = {
+      {0, 0, 5, 0.8},
+      {0, 1, 3, 0.5},  // Same source concept — dropped.
+      {1, 0, 2, 0.4},  // Same target concept — dropped.
+      {1, 1, 2, 0.4},
+  };
+  auto reduced = ReduceToOneToOne(matches);
+  ASSERT_EQ(reduced.size(), 2u);
+  EXPECT_EQ(reduced[0].source_concept, 0u);
+  EXPECT_EQ(reduced[0].target_concept, 0u);
+  EXPECT_EQ(reduced[1].source_concept, 1u);
+  EXPECT_EQ(reduced[1].target_concept, 1u);
+}
+
+TEST(ReduceToOneToOneTest, EmptyInput) {
+  EXPECT_TRUE(ReduceToOneToOne({}).empty());
+}
+
+}  // namespace
+}  // namespace harmony::summarize

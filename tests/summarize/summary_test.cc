@@ -1,0 +1,106 @@
+#include "summarize/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+
+namespace harmony::summarize {
+namespace {
+
+schema::Schema MakeSchema() {
+  schema::RelationalBuilder b("S");
+  auto event = b.Table("ALL_EVENT_VITALS");
+  b.Column(event, "BEGIN_DATE");
+  b.Column(event, "SEVERITY");
+  auto person = b.Table("PERSON");
+  b.Column(person, "NAME");
+  auto orphan = b.Table("MISC");
+  b.Column(orphan, "X");
+  return std::move(b).Build();
+}
+
+TEST(SummaryTest, AddConceptIsIdempotentByLabel) {
+  schema::Schema s = MakeSchema();
+  Summary summary(s);
+  ConceptId a = summary.AddConcept("Event");
+  ConceptId b = summary.AddConcept("Event");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(summary.concept_count(), 1u);
+  EXPECT_EQ(summary.concept_at(a).label, "Event");
+}
+
+TEST(SummaryTest, AnchorCoversSubtree) {
+  schema::Schema s = MakeSchema();
+  Summary summary(s);
+  ASSERT_TRUE(summary.AnchorNew("Event", *s.FindByPath("ALL_EVENT_VITALS")).ok());
+  auto concept_id = summary.ConceptOf(*s.FindByPath("ALL_EVENT_VITALS.BEGIN_DATE"));
+  ASSERT_TRUE(concept_id.has_value());
+  EXPECT_EQ(summary.concept_at(*concept_id).label, "Event");
+  EXPECT_FALSE(summary.ConceptOf(*s.FindByPath("PERSON.NAME")).has_value());
+}
+
+TEST(SummaryTest, DoubleAnchorToDifferentConceptFails) {
+  schema::Schema s = MakeSchema();
+  Summary summary(s);
+  auto table = *s.FindByPath("ALL_EVENT_VITALS");
+  ASSERT_TRUE(summary.AnchorNew("Event", table).ok());
+  Status again = summary.AnchorNew("Occurrence", table);
+  EXPECT_TRUE(again.IsAlreadyExists());
+  // Same concept is idempotent.
+  EXPECT_TRUE(summary.AnchorNew("Event", table).ok());
+}
+
+TEST(SummaryTest, AnchorRejectsBadInputs) {
+  schema::Schema s = MakeSchema();
+  Summary summary(s);
+  EXPECT_TRUE(summary.Anchor(42, *s.FindByPath("PERSON")).IsNotFound());
+  ConceptId c = summary.AddConcept("X");
+  EXPECT_TRUE(summary.Anchor(c, schema::Schema::kRootId).IsInvalidArgument());
+  EXPECT_TRUE(summary.Anchor(c, 100000).IsInvalidArgument());
+}
+
+TEST(SummaryTest, NestedAnchorShadowsOuter) {
+  schema::Schema s = MakeSchema();
+  Summary summary(s);
+  auto event = *s.FindByPath("ALL_EVENT_VITALS");
+  auto severity = *s.FindByPath("ALL_EVENT_VITALS.SEVERITY");
+  ASSERT_TRUE(summary.AnchorNew("Event", event).ok());
+  ASSERT_TRUE(summary.AnchorNew("Severity", severity).ok());
+  EXPECT_EQ(summary.concept_at(*summary.ConceptOf(severity)).label, "Severity");
+  EXPECT_EQ(
+      summary.concept_at(*summary.ConceptOf(*s.FindByPath("ALL_EVENT_VITALS.BEGIN_DATE")))
+          .label,
+      "Event");
+  // Members of Event exclude the shadowed SEVERITY.
+  auto members = summary.Members(*summary.FindConcept("Event"));
+  EXPECT_EQ(members.size(), 2u);  // Table + BEGIN_DATE.
+}
+
+TEST(SummaryTest, CoverageAndUnassigned) {
+  schema::Schema s = MakeSchema();
+  Summary summary(s);
+  ASSERT_TRUE(summary.AnchorNew("Event", *s.FindByPath("ALL_EVENT_VITALS")).ok());
+  ASSERT_TRUE(summary.AnchorNew("Person", *s.FindByPath("PERSON")).ok());
+  // 5 of 7 elements covered (MISC and X are not).
+  EXPECT_NEAR(summary.Coverage(), 5.0 / 7.0, 1e-9);
+  auto unassigned = summary.Unassigned();
+  EXPECT_EQ(unassigned.size(), 2u);
+}
+
+TEST(SummaryTest, FindConcept) {
+  schema::Schema s = MakeSchema();
+  Summary summary(s);
+  summary.AddConcept("Event");
+  EXPECT_TRUE(summary.FindConcept("Event").has_value());
+  EXPECT_FALSE(summary.FindConcept("Nope").has_value());
+}
+
+TEST(SummaryTest, EmptySummaryHasZeroCoverage) {
+  schema::Schema s = MakeSchema();
+  Summary summary(s);
+  EXPECT_DOUBLE_EQ(summary.Coverage(), 0.0);
+  EXPECT_EQ(summary.Unassigned().size(), s.element_count());
+}
+
+}  // namespace
+}  // namespace harmony::summarize

@@ -1,0 +1,184 @@
+#include "synth/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "schema/schema_io.h"
+#include "synth/vocabulary.h"
+
+namespace harmony::synth {
+namespace {
+
+TEST(VocabularyTest, MilitaryVocabularyIsSubstantial) {
+  const DomainVocabulary& v = DomainVocabulary::Military();
+  EXPECT_GE(v.concepts.size(), 20u);
+  EXPECT_GE(v.aspects.size(), 8u);
+  EXPECT_GE(v.common_fields.size(), 6u);
+  EXPECT_GE(v.CombinationCount(), 200u);
+  for (const auto& c : v.concepts) {
+    EXPECT_FALSE(c.name_alts.empty());
+    EXPECT_GE(c.fields.size(), 5u) << c.name_alts[0];
+    for (const auto& f : c.fields) {
+      EXPECT_FALSE(f.words.empty());
+      EXPECT_FALSE(f.doc_variants.empty());
+    }
+  }
+}
+
+TEST(GeneratePairTest, DeterministicInSeed) {
+  PairSpec spec;
+  spec.source_concepts = 20;
+  spec.target_concepts = 12;
+  spec.shared_concepts = 6;
+  auto a = GeneratePair(spec);
+  auto b = GeneratePair(spec);
+  EXPECT_EQ(schema::SerializeSchema(a.source), schema::SerializeSchema(b.source));
+  EXPECT_EQ(schema::SerializeSchema(a.target), schema::SerializeSchema(b.target));
+  EXPECT_EQ(a.truth.element_matches, b.truth.element_matches);
+
+  spec.seed = 999;
+  auto c = GeneratePair(spec);
+  EXPECT_NE(schema::SerializeSchema(a.source), schema::SerializeSchema(c.source));
+}
+
+TEST(GeneratePairTest, ShapesMatchSpec) {
+  PairSpec spec;
+  spec.source_concepts = 30;
+  spec.target_concepts = 15;
+  spec.shared_concepts = 8;
+  auto pair = GeneratePair(spec);
+  EXPECT_EQ(pair.source.IdsAtDepth(1).size(), 30u);
+  EXPECT_EQ(pair.target.IdsAtDepth(1).size(), 15u);
+  EXPECT_EQ(pair.truth.concept_matches.size(), 8u);
+  EXPECT_EQ(pair.source.flavor(), schema::SchemaFlavor::kRelational);
+  EXPECT_EQ(pair.target.flavor(), schema::SchemaFlavor::kXml);
+  EXPECT_EQ(pair.truth.source_concept_labels.size(), 30u);
+  EXPECT_EQ(pair.truth.target_concept_labels.size(), 15u);
+  EXPECT_TRUE(pair.source.Validate().ok());
+  EXPECT_TRUE(pair.target.Validate().ok());
+}
+
+TEST(GeneratePairTest, PaperScaleSpecProducesPaperShapes) {
+  PairSpec spec;  // Defaults: 140/51/24.
+  auto pair = GeneratePair(spec);
+  EXPECT_EQ(pair.source.IdsAtDepth(1).size(), 140u);
+  EXPECT_EQ(pair.target.IdsAtDepth(1).size(), 51u);
+  EXPECT_EQ(pair.truth.concept_matches.size(), 24u);
+  // Paper scale: on the order of 10^3 elements per schema.
+  EXPECT_GT(pair.source.element_count(), 800u);
+  EXPECT_GT(pair.target.element_count(), 300u);
+}
+
+TEST(GeneratePairTest, TruthPathsResolve) {
+  PairSpec spec;
+  spec.source_concepts = 20;
+  spec.target_concepts = 12;
+  spec.shared_concepts = 6;
+  auto pair = GeneratePair(spec);
+  ASSERT_FALSE(pair.truth.element_matches.empty());
+  for (const auto& [sp, tp] : pair.truth.element_matches) {
+    EXPECT_TRUE(pair.source.FindByPath(sp).ok()) << sp;
+    EXPECT_TRUE(pair.target.FindByPath(tp).ok()) << tp;
+  }
+  for (const auto& [sp, tp] : pair.truth.concept_matches) {
+    auto s = pair.source.FindByPath(sp);
+    auto t = pair.target.FindByPath(tp);
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(pair.source.element(*s).depth, 1u);
+    EXPECT_EQ(pair.target.element(*t).depth, 1u);
+  }
+}
+
+TEST(GeneratePairTest, ConceptLabelsSharedAcrossMatchedConcepts) {
+  PairSpec spec;
+  spec.source_concepts = 20;
+  spec.target_concepts = 12;
+  spec.shared_concepts = 6;
+  auto pair = GeneratePair(spec);
+  for (const auto& [sp, tp] : pair.truth.concept_matches) {
+    EXPECT_EQ(pair.truth.source_concept_labels.at(sp),
+              pair.truth.target_concept_labels.at(tp));
+  }
+}
+
+TEST(GeneratePairTest, SiblingNamesUniquePerParent) {
+  PairSpec spec;
+  auto pair = GeneratePair(spec);
+  for (const schema::Schema* s : {&pair.source, &pair.target}) {
+    for (schema::ElementId id : s->PreOrder()) {
+      std::set<std::string> names;
+      for (schema::ElementId child : s->element(id).children) {
+        EXPECT_TRUE(names.insert(s->element(child).name).second)
+            << "duplicate sibling name " << s->element(child).name;
+      }
+    }
+  }
+}
+
+TEST(GenerateSchemaTest, SizeAndDeterminism) {
+  SchemaSpec spec;
+  spec.concepts = 25;
+  auto a = GenerateSchema(spec);
+  auto b = GenerateSchema(spec);
+  EXPECT_EQ(a.IdsAtDepth(1).size(), 25u);
+  EXPECT_EQ(schema::SerializeSchema(a), schema::SerializeSchema(b));
+  EXPECT_TRUE(a.Validate().ok());
+}
+
+TEST(GenerateNWayTest, ShapesAndSemantics) {
+  NWaySpec spec;
+  spec.schema_count = 4;
+  spec.universe_concepts = 20;
+  spec.concepts_per_schema = 8;
+  spec.names = {"SA", "SC", "SD"};
+  auto result = GenerateNWay(spec);
+  ASSERT_EQ(result.schemas.size(), 4u);
+  ASSERT_EQ(result.semantics.size(), 4u);
+  EXPECT_EQ(result.schemas[0].name(), "SA");
+  EXPECT_EQ(result.schemas[3].name(), "S4");  // Default naming.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(result.schemas[i].IdsAtDepth(1).size(), 8u);
+    // Every element path appears in the semantics map.
+    for (schema::ElementId id : result.schemas[i].AllElementIds()) {
+      EXPECT_TRUE(result.semantics[i].count(result.schemas[i].Path(id)))
+          << result.schemas[i].Path(id);
+    }
+  }
+}
+
+TEST(GenerateNWayTest, SharedConceptsProduceSharedSemantics) {
+  NWaySpec spec;
+  spec.schema_count = 3;
+  spec.universe_concepts = 10;
+  spec.concepts_per_schema = 8;  // Heavy overlap forced by pigeonhole.
+  auto result = GenerateNWay(spec);
+  std::set<std::string> sems0, sems1;
+  for (const auto& [path, sem] : result.semantics[0]) sems0.insert(sem);
+  for (const auto& [path, sem] : result.semantics[1]) sems1.insert(sem);
+  size_t shared = 0;
+  for (const auto& s : sems0) {
+    if (sems1.count(s)) ++shared;
+  }
+  EXPECT_GT(shared, 0u);
+}
+
+TEST(GenerateRepositoryTest, FamiliesAndSizes) {
+  RepositorySpec spec;
+  spec.families = 3;
+  spec.schemas_per_family = 4;
+  spec.concepts_per_schema = 6;
+  spec.family_pool_concepts = 10;
+  auto repo = GenerateRepository(spec);
+  ASSERT_EQ(repo.size(), 12u);
+  std::set<std::string> names;
+  for (const auto& rs : repo) {
+    EXPECT_LT(rs.family, 3u);
+    EXPECT_EQ(rs.schema.IdsAtDepth(1).size(), 6u);
+    EXPECT_TRUE(names.insert(rs.schema.name()).second) << "duplicate name";
+  }
+}
+
+}  // namespace
+}  // namespace harmony::synth

@@ -1,0 +1,76 @@
+#include "text/abbreviations.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::text {
+namespace {
+
+TEST(AbbreviationsTest, BuiltinCoversEnterpriseStaples) {
+  auto dict = AbbreviationDictionary::Builtin();
+  EXPECT_EQ(dict.Lookup("dt"), "date");
+  EXPECT_EQ(dict.Lookup("qty"), "quantity");
+  EXPECT_EQ(dict.Lookup("org"), "organization");
+  EXPECT_EQ(dict.Lookup("veh"), "vehicle");
+  EXPECT_EQ(dict.Lookup("nbr"), "number");
+  EXPECT_GT(dict.size(), 50u);
+}
+
+TEST(AbbreviationsTest, LookupIsCaseInsensitive) {
+  auto dict = AbbreviationDictionary::Builtin();
+  EXPECT_EQ(dict.Lookup("DT"), "date");
+  EXPECT_EQ(dict.Lookup("Qty"), "quantity");
+}
+
+TEST(AbbreviationsTest, UnknownReturnsEmpty) {
+  auto dict = AbbreviationDictionary::Builtin();
+  EXPECT_EQ(dict.Lookup("zzz"), "");
+}
+
+TEST(AbbreviationsTest, ExpandAllMultiWord) {
+  auto dict = AbbreviationDictionary::Builtin();
+  auto out = dict.ExpandAll({"dob", "x"});
+  EXPECT_EQ(out, (std::vector<std::string>{"date", "of", "birth", "x"}));
+}
+
+TEST(AbbreviationsTest, ExpandAllPassesUnknownThrough) {
+  auto dict = AbbreviationDictionary::Builtin();
+  auto out = dict.ExpandAll({"veh", "chassis"});
+  EXPECT_EQ(out, (std::vector<std::string>{"vehicle", "chassis"}));
+}
+
+TEST(AbbreviationsTest, AddOverrides) {
+  AbbreviationDictionary dict;
+  dict.Add("dt", "downtime");
+  EXPECT_EQ(dict.Lookup("dt"), "downtime");
+  dict.Add("DT", "date");  // Keys normalize to lower case.
+  EXPECT_EQ(dict.Lookup("dt"), "date");
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(AbbreviationsTest, LoadFromString) {
+  AbbreviationDictionary dict;
+  ASSERT_TRUE(dict.LoadFromString("# comment\n"
+                                  "poc = point of contact\n"
+                                  "\n"
+                                  "fob=forward operating base\n")
+                  .ok());
+  EXPECT_EQ(dict.Lookup("poc"), "point of contact");
+  EXPECT_EQ(dict.Lookup("fob"), "forward operating base");
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(AbbreviationsTest, LoadRejectsMalformedLine) {
+  AbbreviationDictionary dict;
+  Status s = dict.LoadFromString("poc point of contact\n");
+  EXPECT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("line 1"), std::string::npos);
+}
+
+TEST(AbbreviationsTest, LoadRejectsEmptyKey) {
+  AbbreviationDictionary dict;
+  EXPECT_TRUE(dict.LoadFromString("=value\n").IsParseError());
+  EXPECT_TRUE(dict.LoadFromString("key=\n").IsParseError());
+}
+
+}  // namespace
+}  // namespace harmony::text

@@ -1,0 +1,90 @@
+#include "text/stemmer.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::text {
+namespace {
+
+// Known input→output pairs from the canonical Porter vocabulary.
+struct StemCase {
+  const char* word;
+  const char* stem;
+};
+
+class PorterStemTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemTest, MatchesReference) {
+  EXPECT_EQ(PorterStem(GetParam().word), GetParam().stem)
+      << "word: " << GetParam().word;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ReferencePairs, PorterStemTest,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"hesitanci", "hesit"},
+        StemCase{"digitizer", "digit"}, StemCase{"conformabli", "conform"},
+        StemCase{"radicalli", "radic"}, StemCase{"differentli", "differ"},
+        StemCase{"vileli", "vile"}, StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"}, StemCase{"predication", "predic"},
+        StemCase{"operator", "oper"}, StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"}, StemCase{"hopefulness", "hope"},
+        StemCase{"callousness", "callous"}, StemCase{"formaliti", "formal"},
+        StemCase{"sensitiviti", "sensit"}, StemCase{"sensibiliti", "sensibl"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electriciti", "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"gyroscopic", "gyroscop"},
+        StemCase{"adjustable", "adjust"}, StemCase{"defensible", "defens"},
+        StemCase{"irritant", "irrit"}, StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"}, StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"}, StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"homologous", "homolog"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize", "bowdler"},
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST(PorterStemTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("at"), "at");
+  EXPECT_EQ(PorterStem("by"), "by");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(PorterStemTest, NonAlphaPassThrough) {
+  EXPECT_EQ(PorterStem("abc123"), "abc123");
+  EXPECT_EQ(PorterStem("Mixed"), "Mixed");  // Upper case is not stemmed.
+}
+
+TEST(PorterStemTest, InflectionsShareStem) {
+  EXPECT_EQ(PorterStem("locations"), PorterStem("location"));
+  EXPECT_EQ(PorterStem("organizing"), PorterStem("organized"));
+  EXPECT_EQ(PorterStem("vehicles"), PorterStem("vehicle"));
+}
+
+TEST(StemAllTest, StemsEveryToken) {
+  auto out = StemAll({"vehicles", "locations", "born"});
+  EXPECT_EQ(out, (std::vector<std::string>{"vehicl", "locat", "born"}));
+}
+
+TEST(StemAllTest, EmptyVector) {
+  EXPECT_TRUE(StemAll({}).empty());
+}
+
+}  // namespace
+}  // namespace harmony::text

@@ -1,0 +1,37 @@
+#include "text/stopwords.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::text {
+namespace {
+
+TEST(StopWordsTest, CommonFunctionWords) {
+  EXPECT_TRUE(IsStopWord("the"));
+  EXPECT_TRUE(IsStopWord("of"));
+  EXPECT_TRUE(IsStopWord("which"));
+  EXPECT_TRUE(IsStopWord("a"));
+}
+
+TEST(StopWordsTest, ContentWordsAreNotStopWords) {
+  EXPECT_FALSE(IsStopWord("vehicle"));
+  EXPECT_FALSE(IsStopWord("date"));
+  // Weak but real schema evidence stays in (TF-IDF down-weights it instead).
+  EXPECT_FALSE(IsStopWord("code"));
+  EXPECT_FALSE(IsStopWord("identifier"));
+}
+
+TEST(StopWordsTest, RemoveStopWordsFiltersOnlyStopWords) {
+  auto out = RemoveStopWords({"the", "date", "of", "the", "event"});
+  EXPECT_EQ(out, (std::vector<std::string>{"date", "event"}));
+}
+
+TEST(StopWordsTest, RemoveFromEmpty) {
+  EXPECT_TRUE(RemoveStopWords({}).empty());
+}
+
+TEST(StopWordsTest, AllStopWordsYieldsEmpty) {
+  EXPECT_TRUE(RemoveStopWords({"the", "of", "a"}).empty());
+}
+
+}  // namespace
+}  // namespace harmony::text

@@ -1,0 +1,134 @@
+#include "text/string_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::text {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+}
+
+TEST(LevenshteinTest, SimilarityNormalization) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(LevenshteinSimilarity("abcd", "abce"), 0.75, 1e-9);
+}
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.9444, 1e-3);
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.7667, 1e-3);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  double jaro = JaroSimilarity("prefixed", "prefixes");
+  double jw = JaroWinklerSimilarity("prefixed", "prefixes");
+  EXPECT_GT(jw, jaro);
+  EXPECT_NEAR(JaroWinklerSimilarity("martha", "marhta"), 0.9611, 1e-3);
+}
+
+TEST(LcsTest, KnownValues) {
+  EXPECT_EQ(LongestCommonSubsequence("abcde", "ace"), 3u);
+  EXPECT_EQ(LongestCommonSubsequence("abc", "def"), 0u);
+  EXPECT_EQ(LongestCommonSubsequence("", "x"), 0u);
+  EXPECT_DOUBLE_EQ(LcsSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LcsSimilarity("", ""), 1.0);
+}
+
+TEST(QGramTest, BigramsAndTrigrams) {
+  EXPECT_DOUBLE_EQ(QGramSimilarity("night", "night"), 1.0);
+  EXPECT_GT(QGramSimilarity("night", "nacht"), 0.0);
+  EXPECT_DOUBLE_EQ(QGramSimilarity("ab", "cd"), 0.0);
+  // Too short for trigrams unless equal.
+  EXPECT_DOUBLE_EQ(QGramSimilarity("ab", "ab", 3), 1.0);
+  EXPECT_DOUBLE_EQ(QGramSimilarity("ab", "ax", 3), 0.0);
+}
+
+TEST(TokenSetTest, JaccardAndDice) {
+  std::vector<std::string> a{"date", "begin"};
+  std::vector<std::string> b{"date", "start"};
+  EXPECT_NEAR(TokenJaccard(a, b), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(TokenDice(a, b), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(TokenJaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(TokenDice({}, {"x"}), 0.0);
+}
+
+TEST(TokenSetTest, DuplicatesIgnored) {
+  EXPECT_DOUBLE_EQ(TokenJaccard({"a", "a", "b"}, {"a", "b", "b"}), 1.0);
+}
+
+TEST(SoftTokenTest, ExactAndFuzzy) {
+  EXPECT_DOUBLE_EQ(SoftTokenSimilarity({"date", "begin"}, {"date", "begin"}), 1.0);
+  // "vehicles" vs "vehicle" should clear the 0.85 Jaro-Winkler bar.
+  EXPECT_GT(SoftTokenSimilarity({"vehicle"}, {"vehicles"}), 0.9);
+  EXPECT_DOUBLE_EQ(SoftTokenSimilarity({"alpha"}, {"omega"}), 0.0);
+}
+
+TEST(SoftSortedTest, AgreesWithSoftTokenOnSortedInput) {
+  std::vector<std::string> a{"begin", "date"};
+  std::vector<std::string> b{"date", "start"};
+  EXPECT_NEAR(SoftSortedSimilarity(a, b), SoftTokenSimilarity(a, b), 1e-9);
+}
+
+TEST(SoftSortedTest, LargeInputsFallBackToJaccard) {
+  std::vector<std::string> big_a, big_b;
+  for (int i = 0; i < 40; ++i) {
+    big_a.push_back("tok" + std::to_string(i));
+    big_b.push_back("tok" + std::to_string(i + 20));
+  }
+  std::sort(big_a.begin(), big_a.end());
+  std::sort(big_b.begin(), big_b.end());
+  double sim = SoftSortedSimilarity(big_a, big_b);
+  // 20 shared of 60 union.
+  EXPECT_NEAR(sim, 20.0 / 60.0, 1e-9);
+}
+
+// Metric properties every similarity must satisfy.
+struct MetricCase {
+  const char* name;
+  double (*fn)(std::string_view, std::string_view);
+};
+
+double QGram2(std::string_view a, std::string_view b) {
+  return QGramSimilarity(a, b, 2);
+}
+
+class StringMetricPropertyTest : public ::testing::TestWithParam<MetricCase> {};
+
+TEST_P(StringMetricPropertyTest, RangeSymmetryIdentity) {
+  auto fn = GetParam().fn;
+  const char* samples[] = {"",          "a",          "date",  "DATE_BEGIN",
+                           "datebegin", "vehicleidn", "x1y2z", "aaaaaaaa"};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      double ab = fn(a, b);
+      double ba = fn(b, a);
+      EXPECT_NEAR(ab, ba, 1e-12) << GetParam().name << "(" << a << "," << b << ")";
+      EXPECT_GE(ab, 0.0) << GetParam().name;
+      EXPECT_LE(ab, 1.0) << GetParam().name;
+    }
+    EXPECT_DOUBLE_EQ(fn(a, a), 1.0) << GetParam().name << " identity on " << a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, StringMetricPropertyTest,
+    ::testing::Values(MetricCase{"levenshtein", &LevenshteinSimilarity},
+                      MetricCase{"jaro", &JaroSimilarity},
+                      MetricCase{"jaro_winkler", &JaroWinklerSimilarity},
+                      MetricCase{"lcs", &LcsSimilarity},
+                      MetricCase{"qgram2", &QGram2}),
+    [](const ::testing::TestParamInfo<MetricCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace harmony::text

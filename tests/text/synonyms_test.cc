@@ -1,0 +1,67 @@
+#include "text/synonyms.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::text {
+namespace {
+
+TEST(SynonymsTest, BuiltinCanonicalizesDomainPairs) {
+  auto dict = SynonymDictionary::Builtin();
+  EXPECT_EQ(dict.Canonicalize("individual"), "person");
+  EXPECT_EQ(dict.Canonicalize("conveyance"), "vehicle");
+  EXPECT_EQ(dict.Canonicalize("incident"), "event");
+  EXPECT_EQ(dict.Canonicalize("start"), "begin");
+  EXPECT_EQ(dict.Canonicalize("velocity"), "speed");
+}
+
+TEST(SynonymsTest, CanonicalMapsToItselfAndUnknownPassesThrough) {
+  auto dict = SynonymDictionary::Builtin();
+  EXPECT_EQ(dict.Canonicalize("person"), "person");
+  EXPECT_EQ(dict.Canonicalize("flux_capacitor"), "flux_capacitor");
+}
+
+TEST(SynonymsTest, LookupIsCaseInsensitive) {
+  auto dict = SynonymDictionary::Builtin();
+  EXPECT_EQ(dict.Canonicalize("Individual"), "person");
+  EXPECT_EQ(dict.Canonicalize("INCIDENT"), "event");
+}
+
+TEST(SynonymsTest, StemFallbackResolvesInflections) {
+  auto dict = SynonymDictionary::Builtin();
+  EXPECT_EQ(dict.Canonicalize("incidents"), "event");
+  EXPECT_EQ(dict.Canonicalize("individuals"), "person");
+}
+
+TEST(SynonymsTest, MultiWordCanonicalsSplit) {
+  auto dict = SynonymDictionary::Builtin();
+  auto out = dict.CanonicalizeAll({"surname", "of", "individual"});
+  EXPECT_EQ(out, (std::vector<std::string>{"last", "name", "of", "person"}));
+}
+
+TEST(SynonymsTest, AddSynsetAndSize) {
+  SynonymDictionary dict;
+  EXPECT_EQ(dict.size(), 0u);
+  dict.AddSynset({"canonical", "alias", "alternate"});
+  EXPECT_EQ(dict.Canonicalize("alias"), "canonical");
+  EXPECT_EQ(dict.Canonicalize("alternate"), "canonical");
+  EXPECT_GE(dict.size(), 2u);
+}
+
+TEST(SynonymsTest, LoadFromString) {
+  SynonymDictionary dict;
+  ASSERT_TRUE(dict.LoadFromString("# comment\n"
+                                  "grid = mgrs, lattice\n")
+                  .ok());
+  EXPECT_EQ(dict.Canonicalize("mgrs"), "grid");
+  EXPECT_EQ(dict.Canonicalize("lattice"), "grid");
+}
+
+TEST(SynonymsTest, LoadRejectsMalformed) {
+  SynonymDictionary dict;
+  EXPECT_TRUE(dict.LoadFromString("no equals sign\n").IsParseError());
+  EXPECT_TRUE(dict.LoadFromString("= orphan\n").IsParseError());
+  EXPECT_TRUE(dict.LoadFromString("lonely =\n").IsParseError());
+}
+
+}  // namespace
+}  // namespace harmony::text

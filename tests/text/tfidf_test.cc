@@ -1,0 +1,99 @@
+#include "text/tfidf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace harmony::text {
+namespace {
+
+TEST(TfIdfTest, EmptyCorpusFinalizes) {
+  TfIdfCorpus corpus;
+  corpus.Finalize();
+  EXPECT_TRUE(corpus.finalized());
+  EXPECT_EQ(corpus.document_count(), 0u);
+  EXPECT_EQ(corpus.vocabulary_size(), 0u);
+}
+
+TEST(TfIdfTest, IdenticalDocumentsHaveCosineOne) {
+  TfIdfCorpus corpus;
+  size_t a = corpus.AddDocument({"blood", "test", "result"});
+  size_t b = corpus.AddDocument({"blood", "test", "result"});
+  corpus.AddDocument({"unrelated", "words"});
+  corpus.Finalize();
+  EXPECT_NEAR(corpus.Similarity(a, b), 1.0, 1e-9);
+}
+
+TEST(TfIdfTest, DisjointDocumentsHaveCosineZero) {
+  TfIdfCorpus corpus;
+  size_t a = corpus.AddDocument({"alpha", "beta"});
+  size_t b = corpus.AddDocument({"gamma", "delta"});
+  corpus.Finalize();
+  EXPECT_DOUBLE_EQ(corpus.Similarity(a, b), 0.0);
+}
+
+TEST(TfIdfTest, RareSharedWordOutweighsCommonSharedWord) {
+  TfIdfCorpus corpus;
+  // "code" appears everywhere; "hemoglobin" appears twice.
+  size_t a = corpus.AddDocument({"hemoglobin", "code"});
+  size_t b = corpus.AddDocument({"hemoglobin", "code"});
+  size_t c = corpus.AddDocument({"status", "code"});
+  for (int i = 0; i < 10; ++i) corpus.AddDocument({"code", "filler" + std::to_string(i)});
+  corpus.Finalize();
+  EXPECT_GT(corpus.Similarity(a, b), corpus.Similarity(a, c));
+}
+
+TEST(TfIdfTest, DocumentVectorsAreL2Normalized) {
+  TfIdfCorpus corpus;
+  size_t a = corpus.AddDocument({"x", "y", "z", "x"});
+  corpus.AddDocument({"y", "w"});
+  corpus.Finalize();
+  double norm_sq = 0.0;
+  for (const auto& [term, w] : corpus.DocumentVector(a)) {
+    (void)term;
+    norm_sq += w * w;
+  }
+  EXPECT_NEAR(norm_sq, 1.0, 1e-9);
+}
+
+TEST(TfIdfTest, VectorizeIgnoresOutOfVocabulary) {
+  TfIdfCorpus corpus;
+  size_t a = corpus.AddDocument({"known", "words"});
+  corpus.Finalize();
+  auto v = corpus.Vectorize({"known", "never_seen_before"});
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_GT(TfIdfCorpus::Cosine(v, corpus.DocumentVector(a)), 0.0);
+}
+
+TEST(TfIdfTest, VectorizeOfUnknownOnlyIsEmpty) {
+  TfIdfCorpus corpus;
+  corpus.AddDocument({"known"});
+  corpus.Finalize();
+  EXPECT_TRUE(corpus.Vectorize({"unknown"}).empty());
+}
+
+TEST(TfIdfTest, IdfOrdersRareAboveCommon) {
+  TfIdfCorpus corpus;
+  corpus.AddDocument({"common", "rare"});
+  corpus.AddDocument({"common"});
+  corpus.AddDocument({"common"});
+  corpus.Finalize();
+  EXPECT_GT(corpus.Idf("rare"), corpus.Idf("common"));
+  EXPECT_DOUBLE_EQ(corpus.Idf("absent"), 0.0);
+}
+
+TEST(TfIdfTest, CosineHandlesEmptyVectors) {
+  SparseVector empty;
+  SparseVector v{{1, 0.5}};
+  EXPECT_DOUBLE_EQ(TfIdfCorpus::Cosine(empty, v), 0.0);
+  EXPECT_DOUBLE_EQ(TfIdfCorpus::Cosine(empty, empty), 0.0);
+}
+
+TEST(TfIdfTest, CosineIsSymmetric) {
+  SparseVector a{{1, 0.3}, {2, 0.7}, {5, 0.1}};
+  SparseVector b{{2, 0.9}, {5, 0.4}, {9, 0.2}};
+  EXPECT_NEAR(TfIdfCorpus::Cosine(a, b), TfIdfCorpus::Cosine(b, a), 1e-12);
+}
+
+}  // namespace
+}  // namespace harmony::text

@@ -1,0 +1,83 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::text {
+namespace {
+
+using Tokens = std::vector<std::string>;
+
+TEST(TokenizerTest, UnderscoreSeparated) {
+  EXPECT_EQ(TokenizeIdentifier("DATE_BEGIN"), (Tokens{"date", "begin"}));
+}
+
+TEST(TokenizerTest, NumericSuffixKeptByDefault) {
+  EXPECT_EQ(TokenizeIdentifier("DATE_BEGIN_156"), (Tokens{"date", "begin", "156"}));
+}
+
+TEST(TokenizerTest, DropPureNumbers) {
+  TokenizerOptions opts;
+  opts.drop_pure_numbers = true;
+  EXPECT_EQ(TokenizeIdentifier("DATE_BEGIN_156", opts), (Tokens{"date", "begin"}));
+}
+
+TEST(TokenizerTest, CamelCase) {
+  EXPECT_EQ(TokenizeIdentifier("dateTimeFirstInfo"),
+            (Tokens{"date", "time", "first", "info"}));
+}
+
+TEST(TokenizerTest, PascalCase) {
+  EXPECT_EQ(TokenizeIdentifier("AllEventVitals"), (Tokens{"all", "event", "vitals"}));
+}
+
+TEST(TokenizerTest, AcronymThenWord) {
+  EXPECT_EQ(TokenizeIdentifier("XMLParser"), (Tokens{"xml", "parser"}));
+  EXPECT_EQ(TokenizeIdentifier("parseXML"), (Tokens{"parse", "xml"}));
+}
+
+TEST(TokenizerTest, LetterDigitBoundary) {
+  EXPECT_EQ(TokenizeIdentifier("DATE156X"), (Tokens{"date", "156", "x"}));
+}
+
+TEST(TokenizerTest, MixedSeparators) {
+  EXPECT_EQ(TokenizeIdentifier("person-birth.date/code"),
+            (Tokens{"person", "birth", "date", "code"}));
+}
+
+TEST(TokenizerTest, EmptyAndSeparatorOnly) {
+  EXPECT_TRUE(TokenizeIdentifier("").empty());
+  EXPECT_TRUE(TokenizeIdentifier("___").empty());
+}
+
+TEST(TokenizerTest, CaseCanBePreserved) {
+  TokenizerOptions opts;
+  opts.lowercase = false;
+  EXPECT_EQ(TokenizeIdentifier("DateBegin", opts), (Tokens{"Date", "Begin"}));
+}
+
+TEST(TokenizerTest, CamelSplittingCanBeDisabled) {
+  TokenizerOptions opts;
+  opts.split_camel_case = false;
+  EXPECT_EQ(TokenizeIdentifier("dateBegin", opts), (Tokens{"datebegin"}));
+}
+
+TEST(TokenizeTextTest, WordsAndPunctuation) {
+  EXPECT_EQ(TokenizeText("The date on which the event began."),
+            (Tokens{"the", "date", "on", "which", "the", "event", "began"}));
+}
+
+TEST(TokenizeTextTest, ApostrophesFold) {
+  EXPECT_EQ(TokenizeText("person's record"), (Tokens{"persons", "record"}));
+}
+
+TEST(TokenizeTextTest, NumbersKept) {
+  EXPECT_EQ(TokenizeText("within 30 days"), (Tokens{"within", "30", "days"}));
+}
+
+TEST(TokenizeTextTest, Empty) {
+  EXPECT_TRUE(TokenizeText("").empty());
+  EXPECT_TRUE(TokenizeText("...!?").empty());
+}
+
+}  // namespace
+}  // namespace harmony::text

@@ -1,0 +1,153 @@
+#include "workflow/concept_workflow.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "summarize/auto_summarizer.h"
+#include "synth/generator.h"
+
+namespace harmony::workflow {
+namespace {
+
+struct Fixture {
+  synth::GeneratedPair pair;
+  core::MatchEngine engine;
+  summarize::Summary sum_a;
+  summarize::Summary sum_b;
+
+  static synth::GeneratedPair Gen() {
+    synth::PairSpec spec;
+    spec.source_concepts = 12;
+    spec.target_concepts = 8;
+    spec.shared_concepts = 5;
+    return synth::GeneratePair(spec);
+  }
+
+  Fixture()
+      : pair(Gen()),
+        engine(pair.source, pair.target),
+        sum_a(MakeSummary(pair.source, pair.truth.source_concept_labels)),
+        sum_b(MakeSummary(pair.target, pair.truth.target_concept_labels)) {}
+
+  // "Manual" summarization from the generator's truth labels.
+  static summarize::Summary MakeSummary(
+      const schema::Schema& s,
+      const std::map<std::string, std::string>& labels) {
+    summarize::Summary summary(s);
+    for (const auto& [path, label] : labels) {
+      EXPECT_TRUE(summary.AnchorNew(label + "@" + path, *s.FindByPath(path)).ok());
+    }
+    return summary;
+  }
+};
+
+TEST(ConceptWorkflowTest, RunsOneIncrementPerConcept) {
+  Fixture f;
+  MatchWorkspace ws(f.pair.source, f.pair.target);
+  auto report = RunConceptWorkflow(f.engine, f.sum_a, f.sum_b,
+                                   ConceptWorkflowOptions{}, &ws);
+  EXPECT_EQ(report.increments.size(), f.sum_a.concept_count());
+  EXPECT_GT(report.total_pairs_considered, 0u);
+}
+
+TEST(ConceptWorkflowTest, IncrementSizesAreMembersTimesTarget) {
+  Fixture f;
+  MatchWorkspace ws(f.pair.source, f.pair.target);
+  auto report = RunConceptWorkflow(f.engine, f.sum_a, f.sum_b,
+                                   ConceptWorkflowOptions{}, &ws);
+  size_t total = 0;
+  for (const auto& inc : report.increments) {
+    size_t members = f.sum_a.Members(inc.concept_id).size();
+    EXPECT_EQ(inc.pairs_considered, members * f.pair.target.element_count());
+    total += inc.pairs_considered;
+  }
+  EXPECT_EQ(total, report.total_pairs_considered);
+}
+
+TEST(ConceptWorkflowTest, AcceptedRecordsLandInWorkspace) {
+  Fixture f;
+  MatchWorkspace ws(f.pair.source, f.pair.target);
+  auto report = RunConceptWorkflow(f.engine, f.sum_a, f.sum_b,
+                                   ConceptWorkflowOptions{}, &ws);
+  EXPECT_EQ(ws.CountWithStatus(ValidationStatus::kAccepted), report.total_accepted);
+  EXPECT_EQ(ws.CountWithStatus(ValidationStatus::kDeferred), report.total_deferred);
+  EXPECT_GT(report.total_accepted, 0u);
+}
+
+TEST(ConceptWorkflowTest, ConceptMatchesAreOneToOne) {
+  Fixture f;
+  MatchWorkspace ws(f.pair.source, f.pair.target);
+  auto report = RunConceptWorkflow(f.engine, f.sum_a, f.sum_b,
+                                   ConceptWorkflowOptions{}, &ws);
+  std::set<summarize::ConceptId> src, tgt;
+  for (const auto& m : report.concept_matches) {
+    EXPECT_TRUE(src.insert(m.source_concept).second);
+    EXPECT_TRUE(tgt.insert(m.target_concept).second);
+  }
+  EXPECT_LE(report.concept_matches.size(),
+            std::min(f.sum_a.concept_count(), f.sum_b.concept_count()));
+}
+
+TEST(ConceptWorkflowTest, RecoversMostPlantedConceptMatches) {
+  Fixture f;
+  MatchWorkspace ws(f.pair.source, f.pair.target);
+  auto report = RunConceptWorkflow(f.engine, f.sum_a, f.sum_b,
+                                   ConceptWorkflowOptions{}, &ws);
+  // 5 concepts are planted as shared; the workflow should lift at least 3.
+  EXPECT_GE(report.concept_matches.size(), 3u);
+}
+
+TEST(ConceptWorkflowTest, HigherAcceptThresholdAcceptsFewer) {
+  Fixture f;
+  ConceptWorkflowOptions loose;
+  loose.auto_accept_threshold = 0.35;
+  ConceptWorkflowOptions strict;
+  strict.auto_accept_threshold = 0.65;
+  MatchWorkspace ws1(f.pair.source, f.pair.target);
+  MatchWorkspace ws2(f.pair.source, f.pair.target);
+  auto r1 = RunConceptWorkflow(f.engine, f.sum_a, f.sum_b, loose, &ws1);
+  auto r2 = RunConceptWorkflow(f.engine, f.sum_a, f.sum_b, strict, &ws2);
+  EXPECT_GE(r1.total_accepted, r2.total_accepted);
+}
+
+TEST(ConceptWorkflowTest, OracleReviewerAcceptsExactlyWhatItApproves) {
+  Fixture f;
+  ConceptWorkflowOptions opts;
+  // An oracle built from the generator's ground truth — the scripted human.
+  std::set<std::pair<std::string, std::string>> truth(
+      f.pair.truth.element_matches.begin(), f.pair.truth.element_matches.end());
+  opts.oracle = [&](const core::Correspondence& link) {
+    return truth.count({f.pair.source.Path(link.source),
+                        f.pair.target.Path(link.target)}) > 0;
+  };
+  MatchWorkspace ws(f.pair.source, f.pair.target);
+  auto report = RunConceptWorkflow(f.engine, f.sum_a, f.sum_b, opts, &ws);
+  EXPECT_EQ(report.total_deferred, 0u);  // The oracle always decides.
+  EXPECT_GT(report.total_accepted, 0u);
+  EXPECT_GT(ws.CountWithStatus(ValidationStatus::kRejected), 0u);
+  for (const auto& r : ws.records()) {
+    bool is_true = truth.count({f.pair.source.Path(r.link.source),
+                                f.pair.target.Path(r.link.target)}) > 0;
+    EXPECT_EQ(r.status == ValidationStatus::kAccepted, is_true);
+  }
+}
+
+TEST(ConceptWorkflowTest, ReviewerNameRecorded) {
+  Fixture f;
+  ConceptWorkflowOptions opts;
+  opts.reviewer = "sgt-data";
+  MatchWorkspace ws(f.pair.source, f.pair.target);
+  RunConceptWorkflow(f.engine, f.sum_a, f.sum_b, opts, &ws);
+  bool saw_review = false;
+  for (const auto& r : ws.records()) {
+    if (r.status != ValidationStatus::kCandidate) {
+      EXPECT_EQ(r.reviewer, "sgt-data");
+      saw_review = true;
+    }
+  }
+  EXPECT_TRUE(saw_review);
+}
+
+}  // namespace
+}  // namespace harmony::workflow

@@ -1,0 +1,112 @@
+#include "workflow/match_record.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+
+namespace harmony::workflow {
+namespace {
+
+struct Fixture {
+  schema::Schema sa;
+  schema::Schema sb;
+  MatchWorkspace ws;
+
+  Fixture() : sa(Make("SA")), sb(Make("SB")), ws(sa, sb) {}
+
+  static schema::Schema Make(const std::string& name) {
+    schema::RelationalBuilder b(name);
+    auto t = b.Table("T");
+    b.Column(t, "A");
+    b.Column(t, "B");
+    return std::move(b).Build();
+  }
+};
+
+TEST(MatchWorkspaceTest, ImportDedupsAndKeepsMaxScore) {
+  Fixture f;
+  EXPECT_EQ(f.ws.ImportCandidates({{1, 1, 0.5}, {2, 2, 0.6}}), 2u);
+  EXPECT_EQ(f.ws.ImportCandidates({{1, 1, 0.7}, {3, 3, 0.4}}), 1u);
+  EXPECT_EQ(f.ws.record_count(), 3u);
+  EXPECT_DOUBLE_EQ(f.ws.record(0).link.score, 0.7);  // Raised to the max.
+}
+
+TEST(MatchWorkspaceTest, ImportKeepsHigherExistingScore) {
+  Fixture f;
+  f.ws.ImportCandidates({{1, 1, 0.9}});
+  f.ws.ImportCandidates({{1, 1, 0.2}});
+  EXPECT_DOUBLE_EQ(f.ws.record(0).link.score, 0.9);
+}
+
+TEST(MatchWorkspaceTest, ReviewLifecycle) {
+  Fixture f;
+  f.ws.ImportCandidates({{1, 1, 0.8}, {2, 2, 0.5}, {3, 3, 0.3}});
+  ASSERT_TRUE(f.ws.Accept(0, "alice", SemanticAnnotation::kEquivalent).ok());
+  ASSERT_TRUE(f.ws.Reject(1, "bob", "different concepts").ok());
+  ASSERT_TRUE(f.ws.Defer(2, "alice").ok());
+
+  EXPECT_EQ(f.ws.CountWithStatus(ValidationStatus::kAccepted), 1u);
+  EXPECT_EQ(f.ws.CountWithStatus(ValidationStatus::kRejected), 1u);
+  EXPECT_EQ(f.ws.CountWithStatus(ValidationStatus::kDeferred), 1u);
+  EXPECT_EQ(f.ws.CountWithStatus(ValidationStatus::kCandidate), 0u);
+
+  EXPECT_EQ(f.ws.record(0).reviewer, "alice");
+  EXPECT_EQ(f.ws.record(1).note, "different concepts");
+}
+
+TEST(MatchWorkspaceTest, ReReviewAllowed) {
+  Fixture f;
+  f.ws.ImportCandidates({{1, 1, 0.8}});
+  ASSERT_TRUE(f.ws.Accept(0, "alice").ok());
+  ASSERT_TRUE(f.ws.Reject(0, "bob", "on second thought").ok());
+  EXPECT_EQ(f.ws.record(0).status, ValidationStatus::kRejected);
+}
+
+TEST(MatchWorkspaceTest, OutOfRangeIndexRejected) {
+  Fixture f;
+  EXPECT_TRUE(f.ws.Accept(0, "alice").IsOutOfRange());
+  f.ws.ImportCandidates({{1, 1, 0.8}});
+  EXPECT_TRUE(f.ws.Reject(5, "alice").IsOutOfRange());
+}
+
+TEST(MatchWorkspaceTest, AcceptedLinksExtracted) {
+  Fixture f;
+  f.ws.ImportCandidates({{1, 1, 0.8}, {2, 2, 0.6}});
+  ASSERT_TRUE(f.ws.Accept(1, "alice", SemanticAnnotation::kIsA).ok());
+  auto accepted = f.ws.AcceptedLinks();
+  ASSERT_EQ(accepted.size(), 1u);
+  EXPECT_EQ(accepted[0].source, 2u);
+}
+
+TEST(MatchWorkspaceTest, MatchCentricSorting) {
+  Fixture f;
+  f.ws.ImportCandidates({{1, 1, 0.3}, {2, 2, 0.9}, {3, 3, 0.6}});
+  ASSERT_TRUE(f.ws.Accept(0, "zed").ok());
+  ASSERT_TRUE(f.ws.Defer(2, "amy").ok());
+
+  auto by_score = f.ws.Sorted(RecordOrder::kByScoreDesc);
+  EXPECT_DOUBLE_EQ(by_score[0].link.score, 0.9);
+  EXPECT_DOUBLE_EQ(by_score[2].link.score, 0.3);
+
+  auto by_status = f.ws.Sorted(RecordOrder::kByStatus);
+  EXPECT_EQ(by_status[0].status, ValidationStatus::kCandidate);
+
+  auto by_reviewer = f.ws.Sorted(RecordOrder::kByReviewer);
+  EXPECT_EQ(by_reviewer[0].reviewer, "");  // Unreviewed first.
+  EXPECT_EQ(by_reviewer[1].reviewer, "amy");
+  EXPECT_EQ(by_reviewer[2].reviewer, "zed");
+
+  auto by_path = f.ws.Sorted(RecordOrder::kBySourcePath);
+  EXPECT_EQ(f.sa.Path(by_path[0].link.source), "T");
+}
+
+TEST(StatusStringsTest, Coverage) {
+  EXPECT_STREQ(ValidationStatusToString(ValidationStatus::kAccepted), "accepted");
+  EXPECT_STREQ(ValidationStatusToString(ValidationStatus::kCandidate), "candidate");
+  EXPECT_STREQ(SemanticAnnotationToString(SemanticAnnotation::kIsA), "is-a");
+  EXPECT_STREQ(SemanticAnnotationToString(SemanticAnnotation::kPartOf), "part-of");
+  EXPECT_STREQ(SemanticAnnotationToString(SemanticAnnotation::kUnspecified), "");
+}
+
+}  // namespace
+}  // namespace harmony::workflow

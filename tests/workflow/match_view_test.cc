@@ -1,0 +1,113 @@
+#include "workflow/match_view.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+
+namespace harmony::workflow {
+namespace {
+
+struct Fixture {
+  schema::Schema sa;
+  schema::Schema sb;
+  MatchWorkspace ws;
+
+  Fixture() : sa(Make("SA")), sb(Make("SB")), ws(sa, sb) {
+    ws.ImportCandidates({{1, 1, 0.9}, {2, 2, 0.6}, {3, 3, 0.4}, {4, 4, 0.2}});
+    EXPECT_TRUE(ws.Accept(0, "alice").ok());
+    EXPECT_TRUE(ws.Accept(1, "bob", SemanticAnnotation::kIsA).ok());
+    EXPECT_TRUE(ws.Reject(2, "alice").ok());
+  }
+
+  static schema::Schema Make(const std::string& name) {
+    schema::RelationalBuilder b(name);
+    auto t = b.Table("T");
+    b.Column(t, "C1");
+    b.Column(t, "C2");
+    b.Column(t, "C3");
+    return std::move(b).Build();
+  }
+};
+
+TEST(MatchViewTest, RendersAllRowsWithHeader) {
+  Fixture f;
+  std::string view = RenderMatchView(f.ws);
+  EXPECT_NE(view.find("score"), std::string::npos);
+  EXPECT_NE(view.find("T.C1"), std::string::npos);
+  EXPECT_NE(view.find("0.900"), std::string::npos);
+  EXPECT_NE(view.find("4 matches shown"), std::string::npos);
+}
+
+TEST(MatchViewTest, SortedByScoreDescByDefault) {
+  Fixture f;
+  std::string view = RenderMatchView(f.ws);
+  EXPECT_LT(view.find("0.900"), view.find("0.600"));
+  EXPECT_LT(view.find("0.600"), view.find("0.400"));
+}
+
+TEST(MatchViewTest, StatusFilter) {
+  Fixture f;
+  MatchViewOptions opts;
+  opts.filter.status = ValidationStatus::kAccepted;
+  std::string view = RenderMatchView(f.ws, opts);
+  EXPECT_NE(view.find("2 matches shown"), std::string::npos);
+  EXPECT_EQ(view.find("rejected"), std::string::npos);
+}
+
+TEST(MatchViewTest, ReviewerFilterAndMinScore) {
+  Fixture f;
+  MatchViewOptions opts;
+  opts.filter.reviewer = "alice";
+  std::string view = RenderMatchView(f.ws, opts);
+  EXPECT_NE(view.find("2 matches shown"), std::string::npos);
+  EXPECT_EQ(view.find("bob"), std::string::npos);
+
+  MatchViewOptions score_opts;
+  score_opts.filter.min_score = 0.5;
+  std::string high = RenderMatchView(f.ws, score_opts);
+  EXPECT_NE(high.find("2 matches shown"), std::string::npos);
+}
+
+TEST(MatchViewTest, GroupByStatusSectionsWithCounts) {
+  Fixture f;
+  MatchViewOptions opts;
+  opts.group_by = MatchViewGroupBy::kStatus;
+  std::string view = RenderMatchView(f.ws, opts);
+  EXPECT_NE(view.find("== accepted (2) =="), std::string::npos);
+  EXPECT_NE(view.find("== rejected (1) =="), std::string::npos);
+  EXPECT_NE(view.find("== candidate (1) =="), std::string::npos);
+}
+
+TEST(MatchViewTest, GroupByReviewerHandlesUnreviewed) {
+  Fixture f;
+  MatchViewOptions opts;
+  opts.group_by = MatchViewGroupBy::kReviewer;
+  std::string view = RenderMatchView(f.ws, opts);
+  EXPECT_NE(view.find("== alice (2) =="), std::string::npos);
+  EXPECT_NE(view.find("== (unreviewed) (1) =="), std::string::npos);
+}
+
+TEST(MatchViewTest, MaxRowsTruncatesWithEllipsis) {
+  Fixture f;
+  MatchViewOptions opts;
+  opts.max_rows = 2;
+  std::string view = RenderMatchView(f.ws, opts);
+  EXPECT_NE(view.find("... 2 more rows"), std::string::npos);
+}
+
+TEST(MatchViewTest, EmptyWorkspace) {
+  Fixture f;
+  MatchWorkspace empty(f.sa, f.sb);
+  std::string view = RenderMatchView(empty);
+  EXPECT_NE(view.find("0 matches shown"), std::string::npos);
+}
+
+TEST(StatusSummaryTest, CountsAllStatuses) {
+  Fixture f;
+  std::string summary = RenderStatusSummary(f.ws);
+  EXPECT_EQ(summary,
+            "candidate 1 | accepted 2 | rejected 1 | deferred 0");
+}
+
+}  // namespace
+}  // namespace harmony::workflow

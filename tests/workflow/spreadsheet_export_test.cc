@@ -1,0 +1,138 @@
+#include "workflow/spreadsheet_export.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/csv.h"
+#include "schema/builder.h"
+
+namespace harmony::workflow {
+namespace {
+
+struct Fixture {
+  schema::Schema sa;
+  schema::Schema sb;
+  summarize::Summary sum_a;
+  summarize::Summary sum_b;
+  MatchWorkspace ws;
+  std::vector<summarize::ConceptMatch> concept_matches;
+
+  Fixture() : sa(MakeA()), sb(MakeB()), sum_a(sa), sum_b(sb), ws(sa, sb) {
+    EXPECT_TRUE(sum_a.AnchorNew("Event", *sa.FindByPath("EVENT")).ok());
+    EXPECT_TRUE(sum_a.AnchorNew("Person", *sa.FindByPath("PERSON")).ok());
+    EXPECT_TRUE(sum_b.AnchorNew("Event", *sb.FindByPath("Incident")).ok());
+    EXPECT_TRUE(sum_b.AnchorNew("Weather", *sb.FindByPath("Weather")).ok());
+
+    ws.ImportCandidates({{*sa.FindByPath("EVENT.E1"), *sb.FindByPath("Incident.I1"),
+                          0.8},
+                         {*sa.FindByPath("EVENT.E2"), *sb.FindByPath("Incident.I2"),
+                          0.6},
+                         {*sa.FindByPath("PERSON.P1"), *sb.FindByPath("Weather.W1"),
+                          0.4}});
+    EXPECT_TRUE(ws.Accept(0, "alice").ok());
+    EXPECT_TRUE(ws.Accept(1, "bob", SemanticAnnotation::kIsA).ok());
+    EXPECT_TRUE(ws.Reject(2, "alice").ok());
+
+    // One concept-level match: Event ↔ Event.
+    concept_matches.push_back(
+        {*sum_a.FindConcept("Event"), *sum_b.FindConcept("Event"), 2, 0.5});
+  }
+
+  static schema::Schema MakeA() {
+    schema::RelationalBuilder b("SA");
+    auto e = b.Table("EVENT");
+    b.Column(e, "E1");
+    b.Column(e, "E2");
+    auto p = b.Table("PERSON");
+    b.Column(p, "P1");
+    return std::move(b).Build();
+  }
+
+  static schema::Schema MakeB() {
+    schema::XmlBuilder b("SB");
+    auto e = b.ComplexType("Incident");
+    b.Element(e, "I1");
+    b.Element(e, "I2");
+    auto w = b.ComplexType("Weather");
+    b.Element(w, "W1");
+    return std::move(b).Build();
+  }
+};
+
+TEST(ConceptSheetTest, OuterJoinRowCount) {
+  Fixture f;
+  std::string csv = ConceptSheetCsv(f.sum_a, f.sum_b, f.concept_matches);
+  auto rows = harmony::ParseCsv(csv);
+  ASSERT_TRUE(rows.ok());
+  // Header + (2 + 2 − 1) rows: the paper's |A| + |B| − |matches| formula.
+  EXPECT_EQ(rows->size(), 1u + 3u);
+}
+
+TEST(ConceptSheetTest, RowTypesAndContent) {
+  Fixture f;
+  std::string csv = ConceptSheetCsv(f.sum_a, f.sum_b, f.concept_matches);
+  auto rows = *harmony::ParseCsv(csv);
+  EXPECT_EQ(rows[1][0], "matched");
+  EXPECT_EQ(rows[1][1], "Event");
+  EXPECT_EQ(rows[1][2], "Event");
+  EXPECT_EQ(rows[1][3], "2");
+  // One source_only (Person) and one target_only (Weather).
+  int source_only = 0, target_only = 0;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i][0] == "source_only") ++source_only;
+    if (rows[i][0] == "target_only") ++target_only;
+  }
+  EXPECT_EQ(source_only, 1);
+  EXPECT_EQ(target_only, 1);
+}
+
+TEST(ElementSheetTest, ThreeRowTypesPartitionElements) {
+  Fixture f;
+  std::string csv = ElementSheetCsv(f.sum_a, f.sum_b, f.ws);
+  auto rows = *harmony::ParseCsv(csv);
+  size_t matched = 0, source_only = 0, target_only = 0;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i][0] == "matched") ++matched;
+    if (rows[i][0] == "source_only") ++source_only;
+    if (rows[i][0] == "target_only") ++target_only;
+  }
+  EXPECT_EQ(matched, 2u);  // Two accepted records (the rejected one is not).
+  // SA: 5 elements, 2 matched → 3 source_only. SB: 5 elements, 2 matched → 3.
+  EXPECT_EQ(source_only, 3u);
+  EXPECT_EQ(target_only, 3u);
+  EXPECT_EQ(rows.size(), 1u + 2u + 3u + 3u);
+}
+
+TEST(ElementSheetTest, MatchedRowsCarryConceptsAndAnnotations) {
+  Fixture f;
+  std::string csv = ElementSheetCsv(f.sum_a, f.sum_b, f.ws);
+  auto rows = *harmony::ParseCsv(csv);
+  bool saw_isa = false;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i][0] != "matched") continue;
+    EXPECT_EQ(rows[i][1], "Event");
+    EXPECT_EQ(rows[i][3], "Event");
+    if (rows[i][7] == "is-a") saw_isa = true;
+  }
+  EXPECT_TRUE(saw_isa);
+}
+
+TEST(ExportSpreadsheetTest, WritesBothSheets) {
+  Fixture f;
+  std::string dir = ::testing::TempDir() + "/harmony_export_test";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(
+      ExportSpreadsheet(f.sum_a, f.sum_b, f.concept_matches, f.ws, dir).ok());
+  EXPECT_TRUE(std::filesystem::exists(dir + "/concepts.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/elements.csv"));
+  std::ifstream in(dir + "/concepts.csv");
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("row_type"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace harmony::workflow

@@ -1,0 +1,111 @@
+#include "workflow/team.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+#include "summarize/summary.h"
+
+namespace harmony::workflow {
+namespace {
+
+struct Fixture {
+  schema::Schema source;
+  schema::Schema target;
+  summarize::Summary summary;
+
+  Fixture() : source(MakeSource()), target(MakeTarget()), summary(source) {
+    EXPECT_TRUE(summary.AnchorNew("Event", *source.FindByPath("EVENT")).ok());
+    EXPECT_TRUE(summary.AnchorNew("Person", *source.FindByPath("PERSON")).ok());
+    EXPECT_TRUE(summary.AnchorNew("Medical", *source.FindByPath("MEDICAL")).ok());
+    EXPECT_TRUE(summary.AnchorNew("Vehicle", *source.FindByPath("VEHICLE")).ok());
+  }
+
+  static schema::Schema MakeSource() {
+    schema::RelationalBuilder b("SA");
+    auto e = b.Table("EVENT");
+    for (int i = 0; i < 12; ++i) b.Column(e, "E" + std::to_string(i));
+    auto p = b.Table("PERSON");
+    for (int i = 0; i < 6; ++i) b.Column(p, "P" + std::to_string(i));
+    auto m = b.Table("MEDICAL");
+    for (int i = 0; i < 4; ++i) b.Column(m, "M" + std::to_string(i));
+    auto v = b.Table("VEHICLE");
+    for (int i = 0; i < 2; ++i) b.Column(v, "V" + std::to_string(i));
+    return std::move(b).Build();
+  }
+
+  static schema::Schema MakeTarget() {
+    schema::RelationalBuilder b("SB");
+    auto t = b.Table("T");
+    for (int i = 0; i < 10; ++i) b.Column(t, "C" + std::to_string(i));
+    return std::move(b).Build();
+  }
+};
+
+TEST(TeamPlannerTest, EveryConceptAssigned) {
+  Fixture f;
+  std::vector<TeamMember> team{{"alice", ""}, {"bob", ""}};
+  TeamPlan plan = PlanTeamTasks(f.summary, f.target, team);
+  EXPECT_EQ(plan.tasks.size(), 4u);
+  for (const auto& t : plan.tasks) {
+    EXPECT_TRUE(t.assignee == "alice" || t.assignee == "bob");
+    EXPECT_GT(t.estimated_pairs, 0u);
+    EXPECT_FALSE(t.completed);
+  }
+}
+
+TEST(TeamPlannerTest, WorkloadEstimateIsMembersTimesTarget) {
+  Fixture f;
+  std::vector<TeamMember> team{{"alice", ""}};
+  TeamPlan plan = PlanTeamTasks(f.summary, f.target, team);
+  for (const auto& t : plan.tasks) {
+    size_t members = f.summary.Members(t.concept_id).size();
+    EXPECT_EQ(t.estimated_pairs, members * f.target.element_count());
+  }
+}
+
+TEST(TeamPlannerTest, LoadRoughlyBalanced) {
+  Fixture f;
+  std::vector<TeamMember> team{{"alice", ""}, {"bob", ""}};
+  TeamPlan plan = PlanTeamTasks(f.summary, f.target, team);
+  // LPT on {13,7,5,3}×10 over two members: max load / mean <= 1.5.
+  EXPECT_LE(plan.LoadImbalance(team), 1.5);
+  EXPECT_GT(plan.LoadOf("alice"), 0u);
+  EXPECT_GT(plan.LoadOf("bob"), 0u);
+}
+
+TEST(TeamPlannerTest, ExpertiseRoutesMatchingConcepts) {
+  Fixture f;
+  std::vector<TeamMember> team{{"doc", "medical health"}, {"generalist", ""}};
+  TeamPlan plan = PlanTeamTasks(f.summary, f.target, team, /*tolerance=*/5.0);
+  // With a huge tolerance, the medical concept must land on the expert.
+  bool found = false;
+  for (const auto& t : plan.tasks) {
+    if (t.concept_label == "Medical") {
+      EXPECT_EQ(t.assignee, "doc");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TeamPlannerTest, QueueForSortsHeaviestFirst) {
+  Fixture f;
+  std::vector<TeamMember> team{{"solo", ""}};
+  TeamPlan plan = PlanTeamTasks(f.summary, f.target, team);
+  auto queue = plan.QueueFor("solo");
+  ASSERT_EQ(queue.size(), 4u);
+  for (size_t i = 1; i < queue.size(); ++i) {
+    EXPECT_GE(queue[i - 1]->estimated_pairs, queue[i]->estimated_pairs);
+  }
+  EXPECT_TRUE(plan.QueueFor("nobody").empty());
+}
+
+TEST(TeamPlannerTest, SingleMemberTakesEverything) {
+  Fixture f;
+  std::vector<TeamMember> team{{"solo", ""}};
+  TeamPlan plan = PlanTeamTasks(f.summary, f.target, team);
+  EXPECT_DOUBLE_EQ(plan.LoadImbalance(team), 1.0);
+}
+
+}  // namespace
+}  // namespace harmony::workflow

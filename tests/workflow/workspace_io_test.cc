@@ -1,0 +1,113 @@
+#include "workflow/workspace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "schema/builder.h"
+
+namespace harmony::workflow {
+namespace {
+
+struct Fixture {
+  schema::Schema sa;
+  schema::Schema sb;
+  MatchWorkspace ws;
+
+  Fixture() : sa(Make("SA")), sb(Make("SB")), ws(sa, sb) {
+    ws.ImportCandidates({{1, 1, 0.9}, {2, 2, 0.55}, {3, 3, 0.3}});
+    EXPECT_TRUE(
+        ws.Accept(0, "alice", SemanticAnnotation::kEquivalent, "clean match").ok());
+    EXPECT_TRUE(ws.Reject(1, "bob", "different, concepts").ok());
+    // Record 2 stays a candidate.
+  }
+
+  static schema::Schema Make(const std::string& name) {
+    schema::RelationalBuilder b(name);
+    auto t = b.Table("T");
+    b.Column(t, "A");
+    b.Column(t, "B");
+    return std::move(b).Build();
+  }
+};
+
+TEST(WorkspaceIoTest, RoundTripPreservesEverything) {
+  Fixture f;
+  size_t dropped = 99;
+  auto restored = DeserializeWorkspace(f.sa, f.sb, SerializeWorkspace(f.ws),
+                                       &dropped);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(dropped, 0u);
+  ASSERT_EQ(restored->record_count(), 3u);
+  const MatchRecord& r0 = restored->record(0);
+  EXPECT_EQ(r0.status, ValidationStatus::kAccepted);
+  EXPECT_EQ(r0.annotation, SemanticAnnotation::kEquivalent);
+  EXPECT_EQ(r0.reviewer, "alice");
+  EXPECT_EQ(r0.note, "clean match");
+  EXPECT_NEAR(r0.link.score, 0.9, 1e-9);
+  const MatchRecord& r1 = restored->record(1);
+  EXPECT_EQ(r1.status, ValidationStatus::kRejected);
+  EXPECT_EQ(r1.note, "different, concepts");  // Comma survives CSV quoting.
+  EXPECT_EQ(restored->record(2).status, ValidationStatus::kCandidate);
+}
+
+TEST(WorkspaceIoTest, FileRoundTrip) {
+  Fixture f;
+  std::string path = ::testing::TempDir() + "/harmony_ws.csv";
+  ASSERT_TRUE(SaveWorkspace(f.ws, path).ok());
+  auto restored = LoadWorkspace(f.sa, f.sb, path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->record_count(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(WorkspaceIoTest, SchemaDriftDropsRowsInsteadOfFailing) {
+  Fixture f;
+  std::string text = SerializeWorkspace(f.ws);
+  // Load against a schema missing element B (paths T.B resolve no more).
+  schema::RelationalBuilder b("SA");
+  auto t = b.Table("T");
+  b.Column(t, "A");
+  schema::Schema shrunken = std::move(b).Build();
+  size_t dropped = 0;
+  auto restored = DeserializeWorkspace(shrunken, f.sb, text, &dropped);
+  ASSERT_TRUE(restored.ok());
+  // Records referencing SA ids 2,3 (T.A exists = id 2? paths: records used
+  // ids 1..3 = T, T.A, T.B) — exactly the rows whose path vanished drop.
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(restored->record_count() + dropped, 3u);
+}
+
+TEST(WorkspaceIoTest, MalformedInputIsParseError) {
+  Fixture f;
+  EXPECT_TRUE(
+      DeserializeWorkspace(f.sa, f.sb, "not,a,workspace\n").status().IsParseError());
+  EXPECT_TRUE(DeserializeWorkspace(
+                  f.sa, f.sb,
+                  "source_path,target_path,score,status,annotation,reviewer,note\n"
+                  "only,three,fields\n")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(WorkspaceIoTest, DuplicateRowsFirstOneWins) {
+  Fixture f;
+  std::string text =
+      "source_path,target_path,score,status,annotation,reviewer,note\n"
+      "T.A,T.A,0.8,accepted,equivalent,alice,\n"
+      "T.A,T.A,0.2,rejected,,bob,\n";
+  size_t dropped = 0;
+  auto restored = DeserializeWorkspace(f.sa, f.sb, text, &dropped);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->record_count(), 1u);
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(restored->record(0).status, ValidationStatus::kAccepted);
+}
+
+TEST(WorkspaceIoTest, LoadMissingFileIsIOError) {
+  Fixture f;
+  EXPECT_TRUE(LoadWorkspace(f.sa, f.sb, "/no/such/file.csv").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace harmony::workflow

@@ -1,0 +1,100 @@
+#include "xml/xml_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::xml {
+namespace {
+
+TEST(XmlParserTest, MinimalDocument) {
+  auto doc = ParseXml("<root/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->name, "root");
+  EXPECT_TRUE(doc->root->children.empty());
+}
+
+TEST(XmlParserTest, AttributesBothQuoteStyles) {
+  auto doc = ParseXml("<e a=\"1\" b='two' c = \"three\" />");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->Attr("a"), "1");
+  EXPECT_EQ(doc->root->Attr("b"), "two");
+  EXPECT_EQ(doc->root->Attr("c"), "three");
+  EXPECT_TRUE(doc->root->HasAttr("a"));
+  EXPECT_FALSE(doc->root->HasAttr("zz"));
+  EXPECT_EQ(doc->root->Attr("zz"), "");
+}
+
+TEST(XmlParserTest, NestedElementsAndText) {
+  auto doc = ParseXml("<a><b>hello</b><b>world</b><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->root->children.size(), 3u);
+  auto bs = doc->root->Children("b");
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[0]->text, "hello");
+  EXPECT_EQ(bs[1]->text, "world");
+  EXPECT_NE(doc->root->FirstChild("c"), nullptr);
+  EXPECT_EQ(doc->root->FirstChild("missing"), nullptr);
+}
+
+TEST(XmlParserTest, PrologCommentsPiDoctypeSkipped) {
+  auto doc = ParseXml(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<!-- a comment -->\n"
+      "<!DOCTYPE whatever>\n"
+      "<root><!-- inner --><child/><?pi data?></root>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->name, "root");
+  EXPECT_EQ(doc->root->children.size(), 1u);
+}
+
+TEST(XmlParserTest, EntityDecoding) {
+  auto doc = ParseXml("<e a=\"&lt;&amp;&gt;\">&quot;x&apos; &#65;&#x42;</e>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->Attr("a"), "<&>");
+  EXPECT_EQ(doc->root->text, "\"x' AB");
+}
+
+TEST(XmlParserTest, CdataPreserved) {
+  auto doc = ParseXml("<e><![CDATA[raw <tags> & stuff]]></e>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->text, "raw <tags> & stuff");
+}
+
+TEST(XmlParserTest, NamespacePrefixHandling) {
+  auto doc = ParseXml("<xs:schema><xs:element name=\"x\"/></xs:schema>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->name, "xs:schema");
+  EXPECT_EQ(doc->root->LocalName(), "schema");
+  EXPECT_NE(doc->root->FirstChild("element"), nullptr);
+  EXPECT_EQ(StripPrefix("xs:element"), "element");
+  EXPECT_EQ(StripPrefix("plain"), "plain");
+}
+
+TEST(XmlParserTest, MismatchedTagIsParseError) {
+  auto doc = ParseXml("<a><b></a></b>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_TRUE(doc.status().IsParseError());
+}
+
+TEST(XmlParserTest, UnterminatedTagIsParseError) {
+  EXPECT_TRUE(ParseXml("<a><b>").status().IsParseError());
+  EXPECT_TRUE(ParseXml("<a attr=\"x").status().IsParseError());
+}
+
+TEST(XmlParserTest, TrailingContentIsParseError) {
+  EXPECT_TRUE(ParseXml("<a/><b/>").status().IsParseError());
+}
+
+TEST(XmlParserTest, ErrorsCarryLineNumbers) {
+  Status s = ParseXml("<a>\n<b>\n</c>\n</a>").status();
+  ASSERT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.message();
+}
+
+TEST(XmlParserTest, MixedContentAccumulatesText) {
+  auto doc = ParseXml("<e>one<child/>two</e>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->text, "onetwo");
+}
+
+}  // namespace
+}  // namespace harmony::xml

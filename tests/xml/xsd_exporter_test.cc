@@ -1,0 +1,97 @@
+#include "xml/xsd_exporter.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/builder.h"
+#include "synth/generator.h"
+#include "xml/xsd_importer.h"
+
+namespace harmony::xml {
+namespace {
+
+using schema::DataType;
+
+schema::Schema MakeSchema() {
+  schema::XmlBuilder b("SB");
+  auto person = b.ComplexType("Person", "A person & their details");
+  b.Element(person, "LastName", DataType::kString, "Family <name>");
+  auto birth = b.Element(person, "Birth");
+  b.Element(birth, "Date", DataType::kDate, "Birth date");
+  b.Attribute(person, "id", DataType::kInteger, "Unique id");
+  schema::Schema s = std::move(b).Build();
+  s.mutable_element(*s.FindByPath("Person.id")).nullable = false;
+  return s;
+}
+
+TEST(XsdExporterTest, EmitsComplexTypesElementsAttributes) {
+  std::string xsd = ExportXsd(MakeSchema());
+  EXPECT_NE(xsd.find("<xs:complexType name=\"Person\">"), std::string::npos);
+  EXPECT_NE(xsd.find("<xs:element name=\"LastName\" type=\"xs:string\""),
+            std::string::npos);
+  EXPECT_NE(xsd.find("<xs:attribute name=\"id\" type=\"xs:int\" use=\"required\""),
+            std::string::npos);
+}
+
+TEST(XsdExporterTest, EscapesDocumentation) {
+  std::string xsd = ExportXsd(MakeSchema());
+  EXPECT_NE(xsd.find("A person &amp; their details"), std::string::npos);
+  EXPECT_NE(xsd.find("Family &lt;name&gt;"), std::string::npos);
+}
+
+TEST(XsdExporterTest, TargetNamespaceEmittedWhenSet) {
+  XsdExportOptions opts;
+  opts.target_namespace = "urn:mil:sb";
+  std::string xsd = ExportXsd(MakeSchema(), opts);
+  EXPECT_NE(xsd.find("targetNamespace=\"urn:mil:sb\""), std::string::npos);
+  EXPECT_EQ(ExportXsd(MakeSchema()).find("targetNamespace"), std::string::npos);
+}
+
+TEST(XsdExporterTest, RoundTripThroughImporter) {
+  schema::Schema original = MakeSchema();
+  auto reimported = ImportXsd(ExportXsd(original), "SB");
+  ASSERT_TRUE(reimported.ok()) << reimported.status();
+  EXPECT_EQ(reimported->element_count(), original.element_count());
+  for (schema::ElementId id : original.AllElementIds()) {
+    std::string path = original.Path(id);
+    auto found = reimported->FindByPath(path);
+    ASSERT_TRUE(found.ok()) << path;
+    const auto& orig = original.element(id);
+    const auto& back = reimported->element(*found);
+    if (orig.is_leaf()) {
+      EXPECT_EQ(back.type, orig.type) << path;
+    }
+    EXPECT_EQ(back.kind == schema::ElementKind::kAttribute,
+              orig.kind == schema::ElementKind::kAttribute)
+        << path;
+  }
+}
+
+TEST(XsdExporterTest, GeneratedXmlSchemaRoundTrips) {
+  synth::SchemaSpec spec;
+  spec.concepts = 10;
+  spec.style.flavor = schema::SchemaFlavor::kXml;
+  spec.style.name_style = synth::NameStyle::kCamelCase;
+  spec.style.doc_probability = 1.0;
+  schema::Schema original = synth::GenerateSchema(spec);
+  auto reimported = ImportXsd(ExportXsd(original), original.name());
+  ASSERT_TRUE(reimported.ok()) << reimported.status();
+  EXPECT_EQ(reimported->element_count(), original.element_count());
+  EXPECT_EQ(reimported->IdsAtDepth(1).size(), original.IdsAtDepth(1).size());
+}
+
+TEST(XsdExporterTest, EmptySchemaIsValidXsd) {
+  schema::Schema empty("E");
+  auto reimported = ImportXsd(ExportXsd(empty), "E");
+  ASSERT_TRUE(reimported.ok());
+  EXPECT_EQ(reimported->element_count(), 0u);
+}
+
+TEST(XsdExporterTest, NullableBecomesMinOccursZero) {
+  std::string xsd = ExportXsd(MakeSchema());
+  // LastName was created with default nullable=true in the XML builder...
+  // check at least one minOccurs="0" appears and required attribute has none.
+  EXPECT_NE(xsd.find("minOccurs=\"0\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harmony::xml

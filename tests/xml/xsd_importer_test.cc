@@ -1,0 +1,173 @@
+#include "xml/xsd_importer.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony::xml {
+namespace {
+
+using schema::DataType;
+using schema::ElementKind;
+
+constexpr const char* kSampleXsd = R"(<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema" targetNamespace="mil:sb">
+  <xs:complexType name="PersonType">
+    <xs:annotation><xs:documentation>A person of interest.</xs:documentation></xs:annotation>
+    <xs:sequence>
+      <xs:element name="LastName" type="xs:string">
+        <xs:annotation><xs:documentation>Family name.</xs:documentation></xs:annotation>
+      </xs:element>
+      <xs:element name="BirthDate" type="xs:date" minOccurs="0"/>
+      <xs:choice>
+        <xs:element name="ServiceNumber" type="xs:string"/>
+        <xs:element name="Passport" type="xs:string"/>
+      </xs:choice>
+    </xs:sequence>
+    <xs:attribute name="id" type="xs:int" use="required"/>
+  </xs:complexType>
+  <xs:element name="Person" type="PersonType"/>
+  <xs:element name="Remarks" type="xs:string"/>
+  <xs:element name="Inline">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="Depth" type="xs:decimal"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>)";
+
+TEST(XsdImporterTest, ImportsTopLevelStructure) {
+  auto s = ImportXsd(kSampleXsd);
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->name(), "mil:sb");
+  EXPECT_EQ(s->flavor(), schema::SchemaFlavor::kXml);
+
+  // Named type + 3 top-level elements.
+  auto person_type = s->FindByPath("PersonType");
+  ASSERT_TRUE(person_type.ok());
+  EXPECT_EQ(s->element(*person_type).kind, ElementKind::kComplexType);
+  EXPECT_EQ(s->element(*person_type).documentation, "A person of interest.");
+}
+
+TEST(XsdImporterTest, SequenceChoiceAndAttributesFlattened) {
+  auto s = ImportXsd(kSampleXsd);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->FindByPath("PersonType.LastName").ok());
+  EXPECT_TRUE(s->FindByPath("PersonType.ServiceNumber").ok());
+  EXPECT_TRUE(s->FindByPath("PersonType.Passport").ok());
+  auto id_attr = s->FindByPath("PersonType.id");
+  ASSERT_TRUE(id_attr.ok());
+  EXPECT_EQ(s->element(*id_attr).kind, ElementKind::kAttribute);
+  EXPECT_FALSE(s->element(*id_attr).nullable);  // use="required".
+}
+
+TEST(XsdImporterTest, BuiltinTypesMapped) {
+  auto s = ImportXsd(kSampleXsd);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->element(*s->FindByPath("PersonType.LastName")).type,
+            DataType::kString);
+  EXPECT_EQ(s->element(*s->FindByPath("PersonType.BirthDate")).type,
+            DataType::kDate);
+  EXPECT_EQ(s->element(*s->FindByPath("PersonType.id")).type, DataType::kInteger);
+  EXPECT_EQ(s->element(*s->FindByPath("Remarks")).type, DataType::kString);
+  EXPECT_EQ(s->element(*s->FindByPath("Inline.Depth")).type, DataType::kDecimal);
+}
+
+TEST(XsdImporterTest, MinOccursZeroMeansNullable) {
+  auto s = ImportXsd(kSampleXsd);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->element(*s->FindByPath("PersonType.BirthDate")).nullable);
+  EXPECT_FALSE(s->element(*s->FindByPath("PersonType.LastName")).nullable);
+}
+
+TEST(XsdImporterTest, NamedTypeReferenceExpanded) {
+  auto s = ImportXsd(kSampleXsd);
+  ASSERT_TRUE(s.ok());
+  // <xs:element name="Person" type="PersonType"/> expands the type's content.
+  EXPECT_TRUE(s->FindByPath("Person.LastName").ok());
+  EXPECT_TRUE(s->FindByPath("Person.id").ok());
+  EXPECT_EQ(s->element(*s->FindByPath("Person")).type, DataType::kComposite);
+}
+
+TEST(XsdImporterTest, ExpansionCanBeDisabled) {
+  XsdImportOptions opts;
+  opts.expand_top_level_refs = false;
+  auto s = ImportXsd(kSampleXsd, "SB", opts);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->name(), "SB");
+  EXPECT_TRUE(s->FindByPath("Person.LastName").status().IsNotFound());
+}
+
+TEST(XsdImporterTest, RecursiveTypeIsTruncatedNotFatal) {
+  constexpr const char* kRecursive = R"(<xs:schema>
+    <xs:complexType name="Node">
+      <xs:sequence>
+        <xs:element name="Value" type="xs:string"/>
+        <xs:element name="Child" type="Node"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:schema>)";
+  XsdImportOptions opts;
+  opts.max_expansion_depth = 3;
+  auto s = ImportXsd(kRecursive, "R", opts);
+  ASSERT_TRUE(s.ok()) << s.status();
+  // Bounded: far fewer elements than an infinite expansion.
+  EXPECT_LT(s->element_count(), 20u);
+  EXPECT_TRUE(s->FindByPath("Node.Child.Child").ok());
+}
+
+TEST(XsdImporterTest, SimpleTypeRestrictionResolved) {
+  constexpr const char* kSimple = R"(<xs:schema>
+    <xs:simpleType name="CodeType">
+      <xs:restriction base="xs:string"/>
+    </xs:simpleType>
+    <xs:element name="Status" type="CodeType"/>
+  </xs:schema>)";
+  auto s = ImportXsd(kSimple, "S");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->element(*s->FindByPath("Status")).type, DataType::kString);
+}
+
+TEST(XsdImporterTest, ExtensionPullsBaseContent) {
+  constexpr const char* kExt = R"(<xs:schema>
+    <xs:complexType name="Base">
+      <xs:sequence><xs:element name="Core" type="xs:string"/></xs:sequence>
+    </xs:complexType>
+    <xs:complexType name="Derived">
+      <xs:complexContent>
+        <xs:extension base="Base">
+          <xs:sequence><xs:element name="Extra" type="xs:int"/></xs:sequence>
+        </xs:extension>
+      </xs:complexContent>
+    </xs:complexType>
+  </xs:schema>)";
+  auto s = ImportXsd(kExt, "E");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_TRUE(s->FindByPath("Derived.Core").ok());
+  EXPECT_TRUE(s->FindByPath("Derived.Extra").ok());
+}
+
+TEST(XsdImporterTest, NonSchemaRootIsParseError) {
+  EXPECT_TRUE(ImportXsd("<html></html>").status().IsParseError());
+}
+
+TEST(XsdImporterTest, MalformedXmlIsParseError) {
+  EXPECT_TRUE(ImportXsd("<xs:schema><oops").status().IsParseError());
+}
+
+TEST(XsdTypeMappingTest, CoversBuiltinFamilies) {
+  EXPECT_EQ(XsdTypeToDataType("xs:string"), DataType::kString);
+  EXPECT_EQ(XsdTypeToDataType("xs:token"), DataType::kString);
+  EXPECT_EQ(XsdTypeToDataType("xs:int"), DataType::kInteger);
+  EXPECT_EQ(XsdTypeToDataType("nonNegativeInteger"), DataType::kInteger);
+  EXPECT_EQ(XsdTypeToDataType("xs:decimal"), DataType::kDecimal);
+  EXPECT_EQ(XsdTypeToDataType("xs:double"), DataType::kFloat);
+  EXPECT_EQ(XsdTypeToDataType("xs:boolean"), DataType::kBoolean);
+  EXPECT_EQ(XsdTypeToDataType("xs:date"), DataType::kDate);
+  EXPECT_EQ(XsdTypeToDataType("xs:time"), DataType::kTime);
+  EXPECT_EQ(XsdTypeToDataType("xs:dateTime"), DataType::kDateTime);
+  EXPECT_EQ(XsdTypeToDataType("xs:base64Binary"), DataType::kBinary);
+  EXPECT_EQ(XsdTypeToDataType("CustomType"), DataType::kUnknown);
+}
+
+}  // namespace
+}  // namespace harmony::xml
