@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e01_full_match.dir/bench_e01_full_match.cc.o"
+  "CMakeFiles/bench_e01_full_match.dir/bench_e01_full_match.cc.o.d"
+  "bench_e01_full_match"
+  "bench_e01_full_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e01_full_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

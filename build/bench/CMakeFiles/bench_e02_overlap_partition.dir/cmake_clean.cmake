@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e02_overlap_partition.dir/bench_e02_overlap_partition.cc.o"
+  "CMakeFiles/bench_e02_overlap_partition.dir/bench_e02_overlap_partition.cc.o.d"
+  "bench_e02_overlap_partition"
+  "bench_e02_overlap_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e02_overlap_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

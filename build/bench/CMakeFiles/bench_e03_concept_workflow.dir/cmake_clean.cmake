@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e03_concept_workflow.dir/bench_e03_concept_workflow.cc.o"
+  "CMakeFiles/bench_e03_concept_workflow.dir/bench_e03_concept_workflow.cc.o.d"
+  "bench_e03_concept_workflow"
+  "bench_e03_concept_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e03_concept_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

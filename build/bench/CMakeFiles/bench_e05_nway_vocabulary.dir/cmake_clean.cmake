@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e05_nway_vocabulary.dir/bench_e05_nway_vocabulary.cc.o"
+  "CMakeFiles/bench_e05_nway_vocabulary.dir/bench_e05_nway_vocabulary.cc.o.d"
+  "bench_e05_nway_vocabulary"
+  "bench_e05_nway_vocabulary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e05_nway_vocabulary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

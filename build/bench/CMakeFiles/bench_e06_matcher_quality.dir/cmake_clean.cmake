@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e06_matcher_quality.dir/bench_e06_matcher_quality.cc.o"
+  "CMakeFiles/bench_e06_matcher_quality.dir/bench_e06_matcher_quality.cc.o.d"
+  "bench_e06_matcher_quality"
+  "bench_e06_matcher_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e06_matcher_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

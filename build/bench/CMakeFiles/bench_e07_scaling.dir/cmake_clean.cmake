@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e07_scaling.dir/bench_e07_scaling.cc.o"
+  "CMakeFiles/bench_e07_scaling.dir/bench_e07_scaling.cc.o.d"
+  "bench_e07_scaling"
+  "bench_e07_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e07_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

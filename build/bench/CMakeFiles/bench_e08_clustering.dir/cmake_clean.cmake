@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e08_clustering.dir/bench_e08_clustering.cc.o"
+  "CMakeFiles/bench_e08_clustering.dir/bench_e08_clustering.cc.o.d"
+  "bench_e08_clustering"
+  "bench_e08_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e08_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

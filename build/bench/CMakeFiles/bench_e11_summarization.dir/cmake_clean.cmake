@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_summarization.dir/bench_e11_summarization.cc.o"
+  "CMakeFiles/bench_e11_summarization.dir/bench_e11_summarization.cc.o.d"
+  "bench_e11_summarization"
+  "bench_e11_summarization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_summarization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

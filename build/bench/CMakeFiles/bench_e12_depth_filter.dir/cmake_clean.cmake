@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_depth_filter.dir/bench_e12_depth_filter.cc.o"
+  "CMakeFiles/bench_e12_depth_filter.dir/bench_e12_depth_filter.cc.o.d"
+  "bench_e12_depth_filter"
+  "bench_e12_depth_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_depth_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_mediated_schema.dir/bench_e13_mediated_schema.cc.o"
+  "CMakeFiles/bench_e13_mediated_schema.dir/bench_e13_mediated_schema.cc.o.d"
+  "bench_e13_mediated_schema"
+  "bench_e13_mediated_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_mediated_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_match_reuse.dir/bench_e14_match_reuse.cc.o"
+  "CMakeFiles/bench_e14_match_reuse.dir/bench_e14_match_reuse.cc.o.d"
+  "bench_e14_match_reuse"
+  "bench_e14_match_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_match_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

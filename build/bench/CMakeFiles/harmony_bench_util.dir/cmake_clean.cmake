@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/harmony_bench_util.dir/bench_util.cc.o.d"
+  "libharmony_bench_util.a"
+  "libharmony_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coi_discovery.dir/coi_discovery.cpp.o"
+  "CMakeFiles/coi_discovery.dir/coi_discovery.cpp.o.d"
+  "coi_discovery"
+  "coi_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coi_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

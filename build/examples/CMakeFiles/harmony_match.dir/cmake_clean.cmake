@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_match.dir/harmony_match.cpp.o"
+  "CMakeFiles/harmony_match.dir/harmony_match.cpp.o.d"
+  "harmony_match"
+  "harmony_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

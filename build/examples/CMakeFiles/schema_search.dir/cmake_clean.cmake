@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_search.dir/schema_search.cpp.o"
+  "CMakeFiles/schema_search.dir/schema_search.cpp.o.d"
+  "schema_search"
+  "schema_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

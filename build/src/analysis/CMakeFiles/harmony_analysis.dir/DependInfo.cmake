@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/clustering.cc" "src/analysis/CMakeFiles/harmony_analysis.dir/clustering.cc.o" "gcc" "src/analysis/CMakeFiles/harmony_analysis.dir/clustering.cc.o.d"
+  "/root/repo/src/analysis/distance.cc" "src/analysis/CMakeFiles/harmony_analysis.dir/distance.cc.o" "gcc" "src/analysis/CMakeFiles/harmony_analysis.dir/distance.cc.o.d"
+  "/root/repo/src/analysis/effort.cc" "src/analysis/CMakeFiles/harmony_analysis.dir/effort.cc.o" "gcc" "src/analysis/CMakeFiles/harmony_analysis.dir/effort.cc.o.d"
+  "/root/repo/src/analysis/overlap.cc" "src/analysis/CMakeFiles/harmony_analysis.dir/overlap.cc.o" "gcc" "src/analysis/CMakeFiles/harmony_analysis.dir/overlap.cc.o.d"
+  "/root/repo/src/analysis/schema_stats.cc" "src/analysis/CMakeFiles/harmony_analysis.dir/schema_stats.cc.o" "gcc" "src/analysis/CMakeFiles/harmony_analysis.dir/schema_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/harmony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/harmony_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/harmony_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

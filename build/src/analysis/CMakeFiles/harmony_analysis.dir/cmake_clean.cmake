@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_analysis.dir/clustering.cc.o"
+  "CMakeFiles/harmony_analysis.dir/clustering.cc.o.d"
+  "CMakeFiles/harmony_analysis.dir/distance.cc.o"
+  "CMakeFiles/harmony_analysis.dir/distance.cc.o.d"
+  "CMakeFiles/harmony_analysis.dir/effort.cc.o"
+  "CMakeFiles/harmony_analysis.dir/effort.cc.o.d"
+  "CMakeFiles/harmony_analysis.dir/overlap.cc.o"
+  "CMakeFiles/harmony_analysis.dir/overlap.cc.o.d"
+  "CMakeFiles/harmony_analysis.dir/schema_stats.cc.o"
+  "CMakeFiles/harmony_analysis.dir/schema_stats.cc.o.d"
+  "libharmony_analysis.a"
+  "libharmony_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

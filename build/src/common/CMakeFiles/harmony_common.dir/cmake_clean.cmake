@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_common.dir/csv.cc.o"
+  "CMakeFiles/harmony_common.dir/csv.cc.o.d"
+  "CMakeFiles/harmony_common.dir/logging.cc.o"
+  "CMakeFiles/harmony_common.dir/logging.cc.o.d"
+  "CMakeFiles/harmony_common.dir/rng.cc.o"
+  "CMakeFiles/harmony_common.dir/rng.cc.o.d"
+  "CMakeFiles/harmony_common.dir/status.cc.o"
+  "CMakeFiles/harmony_common.dir/status.cc.o.d"
+  "CMakeFiles/harmony_common.dir/string_util.cc.o"
+  "CMakeFiles/harmony_common.dir/string_util.cc.o.d"
+  "libharmony_common.a"
+  "libharmony_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

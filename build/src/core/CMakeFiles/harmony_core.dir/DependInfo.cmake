@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/evidence.cc" "src/core/CMakeFiles/harmony_core.dir/evidence.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/evidence.cc.o.d"
+  "/root/repo/src/core/filters.cc" "src/core/CMakeFiles/harmony_core.dir/filters.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/filters.cc.o.d"
+  "/root/repo/src/core/match_engine.cc" "src/core/CMakeFiles/harmony_core.dir/match_engine.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/match_engine.cc.o.d"
+  "/root/repo/src/core/match_matrix.cc" "src/core/CMakeFiles/harmony_core.dir/match_matrix.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/match_matrix.cc.o.d"
+  "/root/repo/src/core/merger.cc" "src/core/CMakeFiles/harmony_core.dir/merger.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/merger.cc.o.d"
+  "/root/repo/src/core/preprocess.cc" "src/core/CMakeFiles/harmony_core.dir/preprocess.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/preprocess.cc.o.d"
+  "/root/repo/src/core/propagation.cc" "src/core/CMakeFiles/harmony_core.dir/propagation.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/propagation.cc.o.d"
+  "/root/repo/src/core/selection.cc" "src/core/CMakeFiles/harmony_core.dir/selection.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/selection.cc.o.d"
+  "/root/repo/src/core/voters.cc" "src/core/CMakeFiles/harmony_core.dir/voters.cc.o" "gcc" "src/core/CMakeFiles/harmony_core.dir/voters.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/harmony_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/harmony_schema.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_core.dir/evidence.cc.o"
+  "CMakeFiles/harmony_core.dir/evidence.cc.o.d"
+  "CMakeFiles/harmony_core.dir/filters.cc.o"
+  "CMakeFiles/harmony_core.dir/filters.cc.o.d"
+  "CMakeFiles/harmony_core.dir/match_engine.cc.o"
+  "CMakeFiles/harmony_core.dir/match_engine.cc.o.d"
+  "CMakeFiles/harmony_core.dir/match_matrix.cc.o"
+  "CMakeFiles/harmony_core.dir/match_matrix.cc.o.d"
+  "CMakeFiles/harmony_core.dir/merger.cc.o"
+  "CMakeFiles/harmony_core.dir/merger.cc.o.d"
+  "CMakeFiles/harmony_core.dir/preprocess.cc.o"
+  "CMakeFiles/harmony_core.dir/preprocess.cc.o.d"
+  "CMakeFiles/harmony_core.dir/propagation.cc.o"
+  "CMakeFiles/harmony_core.dir/propagation.cc.o.d"
+  "CMakeFiles/harmony_core.dir/selection.cc.o"
+  "CMakeFiles/harmony_core.dir/selection.cc.o.d"
+  "CMakeFiles/harmony_core.dir/voters.cc.o"
+  "CMakeFiles/harmony_core.dir/voters.cc.o.d"
+  "libharmony_core.a"
+  "libharmony_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

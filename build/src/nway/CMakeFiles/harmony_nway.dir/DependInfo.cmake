@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nway/mediated_schema.cc" "src/nway/CMakeFiles/harmony_nway.dir/mediated_schema.cc.o" "gcc" "src/nway/CMakeFiles/harmony_nway.dir/mediated_schema.cc.o.d"
+  "/root/repo/src/nway/vocabulary_builder.cc" "src/nway/CMakeFiles/harmony_nway.dir/vocabulary_builder.cc.o" "gcc" "src/nway/CMakeFiles/harmony_nway.dir/vocabulary_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/harmony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/harmony_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/harmony_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

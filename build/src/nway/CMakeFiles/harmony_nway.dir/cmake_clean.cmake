@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_nway.dir/mediated_schema.cc.o"
+  "CMakeFiles/harmony_nway.dir/mediated_schema.cc.o.d"
+  "CMakeFiles/harmony_nway.dir/vocabulary_builder.cc.o"
+  "CMakeFiles/harmony_nway.dir/vocabulary_builder.cc.o.d"
+  "libharmony_nway.a"
+  "libharmony_nway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_nway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repository/match_reuse.cc" "src/repository/CMakeFiles/harmony_repository.dir/match_reuse.cc.o" "gcc" "src/repository/CMakeFiles/harmony_repository.dir/match_reuse.cc.o.d"
+  "/root/repo/src/repository/metadata_repository.cc" "src/repository/CMakeFiles/harmony_repository.dir/metadata_repository.cc.o" "gcc" "src/repository/CMakeFiles/harmony_repository.dir/metadata_repository.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/search/CMakeFiles/harmony_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/harmony_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/harmony_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/harmony_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/harmony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/harmony_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/harmony_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

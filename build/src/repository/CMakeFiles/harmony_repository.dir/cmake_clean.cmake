@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_repository.dir/match_reuse.cc.o"
+  "CMakeFiles/harmony_repository.dir/match_reuse.cc.o.d"
+  "CMakeFiles/harmony_repository.dir/metadata_repository.cc.o"
+  "CMakeFiles/harmony_repository.dir/metadata_repository.cc.o.d"
+  "libharmony_repository.a"
+  "libharmony_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

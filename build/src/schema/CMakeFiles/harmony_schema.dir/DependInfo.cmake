@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/builder.cc" "src/schema/CMakeFiles/harmony_schema.dir/builder.cc.o" "gcc" "src/schema/CMakeFiles/harmony_schema.dir/builder.cc.o.d"
+  "/root/repo/src/schema/element.cc" "src/schema/CMakeFiles/harmony_schema.dir/element.cc.o" "gcc" "src/schema/CMakeFiles/harmony_schema.dir/element.cc.o.d"
+  "/root/repo/src/schema/schema.cc" "src/schema/CMakeFiles/harmony_schema.dir/schema.cc.o" "gcc" "src/schema/CMakeFiles/harmony_schema.dir/schema.cc.o.d"
+  "/root/repo/src/schema/schema_io.cc" "src/schema/CMakeFiles/harmony_schema.dir/schema_io.cc.o" "gcc" "src/schema/CMakeFiles/harmony_schema.dir/schema_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

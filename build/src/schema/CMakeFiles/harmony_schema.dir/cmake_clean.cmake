@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_schema.dir/builder.cc.o"
+  "CMakeFiles/harmony_schema.dir/builder.cc.o.d"
+  "CMakeFiles/harmony_schema.dir/element.cc.o"
+  "CMakeFiles/harmony_schema.dir/element.cc.o.d"
+  "CMakeFiles/harmony_schema.dir/schema.cc.o"
+  "CMakeFiles/harmony_schema.dir/schema.cc.o.d"
+  "CMakeFiles/harmony_schema.dir/schema_io.cc.o"
+  "CMakeFiles/harmony_schema.dir/schema_io.cc.o.d"
+  "libharmony_schema.a"
+  "libharmony_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

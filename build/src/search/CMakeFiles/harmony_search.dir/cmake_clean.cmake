@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_search.dir/schema_search.cc.o"
+  "CMakeFiles/harmony_search.dir/schema_search.cc.o.d"
+  "libharmony_search.a"
+  "libharmony_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

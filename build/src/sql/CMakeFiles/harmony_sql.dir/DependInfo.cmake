@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/ddl_exporter.cc" "src/sql/CMakeFiles/harmony_sql.dir/ddl_exporter.cc.o" "gcc" "src/sql/CMakeFiles/harmony_sql.dir/ddl_exporter.cc.o.d"
+  "/root/repo/src/sql/ddl_lexer.cc" "src/sql/CMakeFiles/harmony_sql.dir/ddl_lexer.cc.o" "gcc" "src/sql/CMakeFiles/harmony_sql.dir/ddl_lexer.cc.o.d"
+  "/root/repo/src/sql/ddl_parser.cc" "src/sql/CMakeFiles/harmony_sql.dir/ddl_parser.cc.o" "gcc" "src/sql/CMakeFiles/harmony_sql.dir/ddl_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/harmony_schema.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

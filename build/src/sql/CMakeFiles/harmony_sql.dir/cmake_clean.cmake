@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_sql.dir/ddl_exporter.cc.o"
+  "CMakeFiles/harmony_sql.dir/ddl_exporter.cc.o.d"
+  "CMakeFiles/harmony_sql.dir/ddl_lexer.cc.o"
+  "CMakeFiles/harmony_sql.dir/ddl_lexer.cc.o.d"
+  "CMakeFiles/harmony_sql.dir/ddl_parser.cc.o"
+  "CMakeFiles/harmony_sql.dir/ddl_parser.cc.o.d"
+  "libharmony_sql.a"
+  "libharmony_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_summarize.dir/auto_summarizer.cc.o"
+  "CMakeFiles/harmony_summarize.dir/auto_summarizer.cc.o.d"
+  "CMakeFiles/harmony_summarize.dir/concept_lift.cc.o"
+  "CMakeFiles/harmony_summarize.dir/concept_lift.cc.o.d"
+  "CMakeFiles/harmony_summarize.dir/summary.cc.o"
+  "CMakeFiles/harmony_summarize.dir/summary.cc.o.d"
+  "libharmony_summarize.a"
+  "libharmony_summarize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_summarize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_synth.dir/generator.cc.o"
+  "CMakeFiles/harmony_synth.dir/generator.cc.o.d"
+  "CMakeFiles/harmony_synth.dir/vocabulary.cc.o"
+  "CMakeFiles/harmony_synth.dir/vocabulary.cc.o.d"
+  "libharmony_synth.a"
+  "libharmony_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

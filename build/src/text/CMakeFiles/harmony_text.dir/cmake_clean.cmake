@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_text.dir/abbreviations.cc.o"
+  "CMakeFiles/harmony_text.dir/abbreviations.cc.o.d"
+  "CMakeFiles/harmony_text.dir/stemmer.cc.o"
+  "CMakeFiles/harmony_text.dir/stemmer.cc.o.d"
+  "CMakeFiles/harmony_text.dir/stopwords.cc.o"
+  "CMakeFiles/harmony_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/harmony_text.dir/string_metrics.cc.o"
+  "CMakeFiles/harmony_text.dir/string_metrics.cc.o.d"
+  "CMakeFiles/harmony_text.dir/synonyms.cc.o"
+  "CMakeFiles/harmony_text.dir/synonyms.cc.o.d"
+  "CMakeFiles/harmony_text.dir/tfidf.cc.o"
+  "CMakeFiles/harmony_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/harmony_text.dir/tokenizer.cc.o"
+  "CMakeFiles/harmony_text.dir/tokenizer.cc.o.d"
+  "libharmony_text.a"
+  "libharmony_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

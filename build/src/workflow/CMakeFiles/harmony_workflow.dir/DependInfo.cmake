@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/concept_workflow.cc" "src/workflow/CMakeFiles/harmony_workflow.dir/concept_workflow.cc.o" "gcc" "src/workflow/CMakeFiles/harmony_workflow.dir/concept_workflow.cc.o.d"
+  "/root/repo/src/workflow/match_record.cc" "src/workflow/CMakeFiles/harmony_workflow.dir/match_record.cc.o" "gcc" "src/workflow/CMakeFiles/harmony_workflow.dir/match_record.cc.o.d"
+  "/root/repo/src/workflow/match_view.cc" "src/workflow/CMakeFiles/harmony_workflow.dir/match_view.cc.o" "gcc" "src/workflow/CMakeFiles/harmony_workflow.dir/match_view.cc.o.d"
+  "/root/repo/src/workflow/spreadsheet_export.cc" "src/workflow/CMakeFiles/harmony_workflow.dir/spreadsheet_export.cc.o" "gcc" "src/workflow/CMakeFiles/harmony_workflow.dir/spreadsheet_export.cc.o.d"
+  "/root/repo/src/workflow/team.cc" "src/workflow/CMakeFiles/harmony_workflow.dir/team.cc.o" "gcc" "src/workflow/CMakeFiles/harmony_workflow.dir/team.cc.o.d"
+  "/root/repo/src/workflow/workspace_io.cc" "src/workflow/CMakeFiles/harmony_workflow.dir/workspace_io.cc.o" "gcc" "src/workflow/CMakeFiles/harmony_workflow.dir/workspace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/harmony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/summarize/CMakeFiles/harmony_summarize.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/harmony_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/harmony_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_workflow.dir/concept_workflow.cc.o"
+  "CMakeFiles/harmony_workflow.dir/concept_workflow.cc.o.d"
+  "CMakeFiles/harmony_workflow.dir/match_record.cc.o"
+  "CMakeFiles/harmony_workflow.dir/match_record.cc.o.d"
+  "CMakeFiles/harmony_workflow.dir/match_view.cc.o"
+  "CMakeFiles/harmony_workflow.dir/match_view.cc.o.d"
+  "CMakeFiles/harmony_workflow.dir/spreadsheet_export.cc.o"
+  "CMakeFiles/harmony_workflow.dir/spreadsheet_export.cc.o.d"
+  "CMakeFiles/harmony_workflow.dir/team.cc.o"
+  "CMakeFiles/harmony_workflow.dir/team.cc.o.d"
+  "CMakeFiles/harmony_workflow.dir/workspace_io.cc.o"
+  "CMakeFiles/harmony_workflow.dir/workspace_io.cc.o.d"
+  "libharmony_workflow.a"
+  "libharmony_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/xml_parser.cc" "src/xml/CMakeFiles/harmony_xml.dir/xml_parser.cc.o" "gcc" "src/xml/CMakeFiles/harmony_xml.dir/xml_parser.cc.o.d"
+  "/root/repo/src/xml/xsd_exporter.cc" "src/xml/CMakeFiles/harmony_xml.dir/xsd_exporter.cc.o" "gcc" "src/xml/CMakeFiles/harmony_xml.dir/xsd_exporter.cc.o.d"
+  "/root/repo/src/xml/xsd_importer.cc" "src/xml/CMakeFiles/harmony_xml.dir/xsd_importer.cc.o" "gcc" "src/xml/CMakeFiles/harmony_xml.dir/xsd_importer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/harmony_schema.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_xml.dir/xml_parser.cc.o"
+  "CMakeFiles/harmony_xml.dir/xml_parser.cc.o.d"
+  "CMakeFiles/harmony_xml.dir/xsd_exporter.cc.o"
+  "CMakeFiles/harmony_xml.dir/xsd_exporter.cc.o.d"
+  "CMakeFiles/harmony_xml.dir/xsd_importer.cc.o"
+  "CMakeFiles/harmony_xml.dir/xsd_importer.cc.o.d"
+  "libharmony_xml.a"
+  "libharmony_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

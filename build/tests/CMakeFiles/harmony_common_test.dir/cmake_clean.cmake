@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_common_test.dir/common/csv_test.cc.o"
+  "CMakeFiles/harmony_common_test.dir/common/csv_test.cc.o.d"
+  "CMakeFiles/harmony_common_test.dir/common/rng_test.cc.o"
+  "CMakeFiles/harmony_common_test.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/harmony_common_test.dir/common/status_test.cc.o"
+  "CMakeFiles/harmony_common_test.dir/common/status_test.cc.o.d"
+  "CMakeFiles/harmony_common_test.dir/common/string_util_test.cc.o"
+  "CMakeFiles/harmony_common_test.dir/common/string_util_test.cc.o.d"
+  "harmony_common_test"
+  "harmony_common_test.pdb"
+  "harmony_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

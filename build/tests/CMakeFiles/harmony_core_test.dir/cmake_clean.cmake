@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_core_test.dir/core/evidence_test.cc.o"
+  "CMakeFiles/harmony_core_test.dir/core/evidence_test.cc.o.d"
+  "CMakeFiles/harmony_core_test.dir/core/filters_test.cc.o"
+  "CMakeFiles/harmony_core_test.dir/core/filters_test.cc.o.d"
+  "CMakeFiles/harmony_core_test.dir/core/match_engine_test.cc.o"
+  "CMakeFiles/harmony_core_test.dir/core/match_engine_test.cc.o.d"
+  "CMakeFiles/harmony_core_test.dir/core/match_matrix_test.cc.o"
+  "CMakeFiles/harmony_core_test.dir/core/match_matrix_test.cc.o.d"
+  "CMakeFiles/harmony_core_test.dir/core/merger_test.cc.o"
+  "CMakeFiles/harmony_core_test.dir/core/merger_test.cc.o.d"
+  "CMakeFiles/harmony_core_test.dir/core/preprocess_test.cc.o"
+  "CMakeFiles/harmony_core_test.dir/core/preprocess_test.cc.o.d"
+  "CMakeFiles/harmony_core_test.dir/core/propagation_test.cc.o"
+  "CMakeFiles/harmony_core_test.dir/core/propagation_test.cc.o.d"
+  "CMakeFiles/harmony_core_test.dir/core/selection_test.cc.o"
+  "CMakeFiles/harmony_core_test.dir/core/selection_test.cc.o.d"
+  "CMakeFiles/harmony_core_test.dir/core/voters_test.cc.o"
+  "CMakeFiles/harmony_core_test.dir/core/voters_test.cc.o.d"
+  "harmony_core_test"
+  "harmony_core_test.pdb"
+  "harmony_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

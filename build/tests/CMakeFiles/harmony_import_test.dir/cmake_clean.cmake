@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_import_test.dir/sql/ddl_exporter_test.cc.o"
+  "CMakeFiles/harmony_import_test.dir/sql/ddl_exporter_test.cc.o.d"
+  "CMakeFiles/harmony_import_test.dir/sql/ddl_lexer_test.cc.o"
+  "CMakeFiles/harmony_import_test.dir/sql/ddl_lexer_test.cc.o.d"
+  "CMakeFiles/harmony_import_test.dir/sql/ddl_parser_test.cc.o"
+  "CMakeFiles/harmony_import_test.dir/sql/ddl_parser_test.cc.o.d"
+  "CMakeFiles/harmony_import_test.dir/xml/xml_parser_test.cc.o"
+  "CMakeFiles/harmony_import_test.dir/xml/xml_parser_test.cc.o.d"
+  "CMakeFiles/harmony_import_test.dir/xml/xsd_exporter_test.cc.o"
+  "CMakeFiles/harmony_import_test.dir/xml/xsd_exporter_test.cc.o.d"
+  "CMakeFiles/harmony_import_test.dir/xml/xsd_importer_test.cc.o"
+  "CMakeFiles/harmony_import_test.dir/xml/xsd_importer_test.cc.o.d"
+  "harmony_import_test"
+  "harmony_import_test.pdb"
+  "harmony_import_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_import_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

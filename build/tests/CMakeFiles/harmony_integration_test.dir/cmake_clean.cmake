@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_integration_test.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/harmony_integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/harmony_integration_test.dir/integration/properties_test.cc.o"
+  "CMakeFiles/harmony_integration_test.dir/integration/properties_test.cc.o.d"
+  "CMakeFiles/harmony_integration_test.dir/integration/stress_test.cc.o"
+  "CMakeFiles/harmony_integration_test.dir/integration/stress_test.cc.o.d"
+  "CMakeFiles/harmony_integration_test.dir/integration/use_cases_test.cc.o"
+  "CMakeFiles/harmony_integration_test.dir/integration/use_cases_test.cc.o.d"
+  "harmony_integration_test"
+  "harmony_integration_test.pdb"
+  "harmony_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

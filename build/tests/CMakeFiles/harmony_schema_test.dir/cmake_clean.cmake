@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_schema_test.dir/schema/builder_test.cc.o"
+  "CMakeFiles/harmony_schema_test.dir/schema/builder_test.cc.o.d"
+  "CMakeFiles/harmony_schema_test.dir/schema/element_test.cc.o"
+  "CMakeFiles/harmony_schema_test.dir/schema/element_test.cc.o.d"
+  "CMakeFiles/harmony_schema_test.dir/schema/schema_io_test.cc.o"
+  "CMakeFiles/harmony_schema_test.dir/schema/schema_io_test.cc.o.d"
+  "CMakeFiles/harmony_schema_test.dir/schema/schema_test.cc.o"
+  "CMakeFiles/harmony_schema_test.dir/schema/schema_test.cc.o.d"
+  "harmony_schema_test"
+  "harmony_schema_test.pdb"
+  "harmony_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_synth_test.dir/synth/generator_test.cc.o"
+  "CMakeFiles/harmony_synth_test.dir/synth/generator_test.cc.o.d"
+  "harmony_synth_test"
+  "harmony_synth_test.pdb"
+  "harmony_synth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_synth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

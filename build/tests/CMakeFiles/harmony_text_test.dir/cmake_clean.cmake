@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_text_test.dir/text/abbreviations_test.cc.o"
+  "CMakeFiles/harmony_text_test.dir/text/abbreviations_test.cc.o.d"
+  "CMakeFiles/harmony_text_test.dir/text/stemmer_test.cc.o"
+  "CMakeFiles/harmony_text_test.dir/text/stemmer_test.cc.o.d"
+  "CMakeFiles/harmony_text_test.dir/text/stopwords_test.cc.o"
+  "CMakeFiles/harmony_text_test.dir/text/stopwords_test.cc.o.d"
+  "CMakeFiles/harmony_text_test.dir/text/string_metrics_test.cc.o"
+  "CMakeFiles/harmony_text_test.dir/text/string_metrics_test.cc.o.d"
+  "CMakeFiles/harmony_text_test.dir/text/synonyms_test.cc.o"
+  "CMakeFiles/harmony_text_test.dir/text/synonyms_test.cc.o.d"
+  "CMakeFiles/harmony_text_test.dir/text/tfidf_test.cc.o"
+  "CMakeFiles/harmony_text_test.dir/text/tfidf_test.cc.o.d"
+  "CMakeFiles/harmony_text_test.dir/text/tokenizer_test.cc.o"
+  "CMakeFiles/harmony_text_test.dir/text/tokenizer_test.cc.o.d"
+  "harmony_text_test"
+  "harmony_text_test.pdb"
+  "harmony_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

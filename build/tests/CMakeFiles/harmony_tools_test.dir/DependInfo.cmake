@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/clustering_test.cc" "tests/CMakeFiles/harmony_tools_test.dir/analysis/clustering_test.cc.o" "gcc" "tests/CMakeFiles/harmony_tools_test.dir/analysis/clustering_test.cc.o.d"
+  "/root/repo/tests/analysis/distance_test.cc" "tests/CMakeFiles/harmony_tools_test.dir/analysis/distance_test.cc.o" "gcc" "tests/CMakeFiles/harmony_tools_test.dir/analysis/distance_test.cc.o.d"
+  "/root/repo/tests/analysis/effort_test.cc" "tests/CMakeFiles/harmony_tools_test.dir/analysis/effort_test.cc.o" "gcc" "tests/CMakeFiles/harmony_tools_test.dir/analysis/effort_test.cc.o.d"
+  "/root/repo/tests/analysis/overlap_test.cc" "tests/CMakeFiles/harmony_tools_test.dir/analysis/overlap_test.cc.o" "gcc" "tests/CMakeFiles/harmony_tools_test.dir/analysis/overlap_test.cc.o.d"
+  "/root/repo/tests/analysis/schema_stats_test.cc" "tests/CMakeFiles/harmony_tools_test.dir/analysis/schema_stats_test.cc.o" "gcc" "tests/CMakeFiles/harmony_tools_test.dir/analysis/schema_stats_test.cc.o.d"
+  "/root/repo/tests/baseline/baseline_test.cc" "tests/CMakeFiles/harmony_tools_test.dir/baseline/baseline_test.cc.o" "gcc" "tests/CMakeFiles/harmony_tools_test.dir/baseline/baseline_test.cc.o.d"
+  "/root/repo/tests/nway/mediated_schema_test.cc" "tests/CMakeFiles/harmony_tools_test.dir/nway/mediated_schema_test.cc.o" "gcc" "tests/CMakeFiles/harmony_tools_test.dir/nway/mediated_schema_test.cc.o.d"
+  "/root/repo/tests/nway/vocabulary_test.cc" "tests/CMakeFiles/harmony_tools_test.dir/nway/vocabulary_test.cc.o" "gcc" "tests/CMakeFiles/harmony_tools_test.dir/nway/vocabulary_test.cc.o.d"
+  "/root/repo/tests/search/search_test.cc" "tests/CMakeFiles/harmony_tools_test.dir/search/search_test.cc.o" "gcc" "tests/CMakeFiles/harmony_tools_test.dir/search/search_test.cc.o.d"
+  "/root/repo/tests/summarize/auto_summarizer_test.cc" "tests/CMakeFiles/harmony_tools_test.dir/summarize/auto_summarizer_test.cc.o" "gcc" "tests/CMakeFiles/harmony_tools_test.dir/summarize/auto_summarizer_test.cc.o.d"
+  "/root/repo/tests/summarize/concept_lift_test.cc" "tests/CMakeFiles/harmony_tools_test.dir/summarize/concept_lift_test.cc.o" "gcc" "tests/CMakeFiles/harmony_tools_test.dir/summarize/concept_lift_test.cc.o.d"
+  "/root/repo/tests/summarize/summary_test.cc" "tests/CMakeFiles/harmony_tools_test.dir/summarize/summary_test.cc.o" "gcc" "tests/CMakeFiles/harmony_tools_test.dir/summarize/summary_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workflow/CMakeFiles/harmony_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/repository/CMakeFiles/harmony_repository.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/harmony_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/nway/CMakeFiles/harmony_nway.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/harmony_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/summarize/CMakeFiles/harmony_summarize.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/harmony_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/harmony_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/harmony_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/harmony_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/harmony_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/harmony_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/harmony_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harmony_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

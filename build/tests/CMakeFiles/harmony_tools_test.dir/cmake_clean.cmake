@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_tools_test.dir/analysis/clustering_test.cc.o"
+  "CMakeFiles/harmony_tools_test.dir/analysis/clustering_test.cc.o.d"
+  "CMakeFiles/harmony_tools_test.dir/analysis/distance_test.cc.o"
+  "CMakeFiles/harmony_tools_test.dir/analysis/distance_test.cc.o.d"
+  "CMakeFiles/harmony_tools_test.dir/analysis/effort_test.cc.o"
+  "CMakeFiles/harmony_tools_test.dir/analysis/effort_test.cc.o.d"
+  "CMakeFiles/harmony_tools_test.dir/analysis/overlap_test.cc.o"
+  "CMakeFiles/harmony_tools_test.dir/analysis/overlap_test.cc.o.d"
+  "CMakeFiles/harmony_tools_test.dir/analysis/schema_stats_test.cc.o"
+  "CMakeFiles/harmony_tools_test.dir/analysis/schema_stats_test.cc.o.d"
+  "CMakeFiles/harmony_tools_test.dir/baseline/baseline_test.cc.o"
+  "CMakeFiles/harmony_tools_test.dir/baseline/baseline_test.cc.o.d"
+  "CMakeFiles/harmony_tools_test.dir/nway/mediated_schema_test.cc.o"
+  "CMakeFiles/harmony_tools_test.dir/nway/mediated_schema_test.cc.o.d"
+  "CMakeFiles/harmony_tools_test.dir/nway/vocabulary_test.cc.o"
+  "CMakeFiles/harmony_tools_test.dir/nway/vocabulary_test.cc.o.d"
+  "CMakeFiles/harmony_tools_test.dir/search/search_test.cc.o"
+  "CMakeFiles/harmony_tools_test.dir/search/search_test.cc.o.d"
+  "CMakeFiles/harmony_tools_test.dir/summarize/auto_summarizer_test.cc.o"
+  "CMakeFiles/harmony_tools_test.dir/summarize/auto_summarizer_test.cc.o.d"
+  "CMakeFiles/harmony_tools_test.dir/summarize/concept_lift_test.cc.o"
+  "CMakeFiles/harmony_tools_test.dir/summarize/concept_lift_test.cc.o.d"
+  "CMakeFiles/harmony_tools_test.dir/summarize/summary_test.cc.o"
+  "CMakeFiles/harmony_tools_test.dir/summarize/summary_test.cc.o.d"
+  "harmony_tools_test"
+  "harmony_tools_test.pdb"
+  "harmony_tools_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_tools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmony_workflow_test.dir/repository/match_reuse_test.cc.o"
+  "CMakeFiles/harmony_workflow_test.dir/repository/match_reuse_test.cc.o.d"
+  "CMakeFiles/harmony_workflow_test.dir/repository/repository_test.cc.o"
+  "CMakeFiles/harmony_workflow_test.dir/repository/repository_test.cc.o.d"
+  "CMakeFiles/harmony_workflow_test.dir/workflow/concept_workflow_test.cc.o"
+  "CMakeFiles/harmony_workflow_test.dir/workflow/concept_workflow_test.cc.o.d"
+  "CMakeFiles/harmony_workflow_test.dir/workflow/match_record_test.cc.o"
+  "CMakeFiles/harmony_workflow_test.dir/workflow/match_record_test.cc.o.d"
+  "CMakeFiles/harmony_workflow_test.dir/workflow/match_view_test.cc.o"
+  "CMakeFiles/harmony_workflow_test.dir/workflow/match_view_test.cc.o.d"
+  "CMakeFiles/harmony_workflow_test.dir/workflow/spreadsheet_export_test.cc.o"
+  "CMakeFiles/harmony_workflow_test.dir/workflow/spreadsheet_export_test.cc.o.d"
+  "CMakeFiles/harmony_workflow_test.dir/workflow/team_test.cc.o"
+  "CMakeFiles/harmony_workflow_test.dir/workflow/team_test.cc.o.d"
+  "CMakeFiles/harmony_workflow_test.dir/workflow/workspace_io_test.cc.o"
+  "CMakeFiles/harmony_workflow_test.dir/workflow/workspace_io_test.cc.o.d"
+  "harmony_workflow_test"
+  "harmony_workflow_test.pdb"
+  "harmony_workflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmony_workflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

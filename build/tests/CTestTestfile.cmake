@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/harmony_common_test[1]_include.cmake")
+include("/root/repo/build/tests/harmony_text_test[1]_include.cmake")
+include("/root/repo/build/tests/harmony_schema_test[1]_include.cmake")
+include("/root/repo/build/tests/harmony_import_test[1]_include.cmake")
+include("/root/repo/build/tests/harmony_core_test[1]_include.cmake")
+include("/root/repo/build/tests/harmony_synth_test[1]_include.cmake")
+include("/root/repo/build/tests/harmony_tools_test[1]_include.cmake")
+include("/root/repo/build/tests/harmony_workflow_test[1]_include.cmake")
+include("/root/repo/build/tests/harmony_integration_test[1]_include.cmake")
