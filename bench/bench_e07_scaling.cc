@@ -3,13 +3,16 @@
 // quantitative claim is that a ~10^6-pair match is interactive-scale
 // (seconds). This bench measures match time as schema size grows and
 // verifies the expected quadratic pair growth with roughly constant
-// per-pair cost.
+// per-pair cost. The threads dimension (BM_MatchByThreads) tracks the
+// row-sharded parallel kernel: identical output at any thread count, wall
+// clock dropping toward pairs/(cores · per-pair cost) on multi-core hosts.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <thread>
 
 #include "core/match_engine.h"
 #include "synth/generator.h"
@@ -66,6 +69,35 @@ BENCHMARK(BM_MatchBySize)
     ->Arg(128)
     ->Arg(150)
     ->Unit(benchmark::kMillisecond);
+
+// The threads dimension on the full-size match (150 concepts per side,
+// ~10^6 candidate pairs — the paper's scale). num_threads=1 is the exact
+// serial path; speedup_vs_1t lands in the bench JSON trajectory so the
+// scaling curve is tracked across PRs and hosts.
+void BM_MatchByThreads(benchmark::State& state) {
+  const auto& pair = PairOfSize(150);
+  core::MatchOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  core::MatchEngine engine(pair.source, pair.target, options);
+  size_t pairs = pair.source.element_count() * pair.target.element_count();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.ComputeMatrix().MaxScore());
+  }
+  state.counters["threads"] = static_cast<double>(options.num_threads);
+  state.counters["hardware_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["pairs_per_s"] =
+      benchmark::Counter(static_cast<double>(pairs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MatchByThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 // Preprocessing should scale linearly in total elements.
 void BM_PreprocessBySize(benchmark::State& state) {

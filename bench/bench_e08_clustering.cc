@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 
 #include "analysis/clustering.h"
@@ -99,6 +100,26 @@ void BM_ExactPairOverlapSimilarity(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExactPairOverlapSimilarity)->Unit(benchmark::kMillisecond);
+
+// The full exact distance matrix over a subset of the repository: O(n²)
+// engine runs fanned out over the thread pool (serial vs. hardware
+// concurrency), the input a matcher-backed clustering would use when token
+// profiles are too coarse.
+void BM_ExactDistanceMatrix(benchmark::State& state) {
+  const Study& s = GetStudy();
+  size_t n = std::min<size_t>(s.schemas.size(), 6);
+  std::vector<const schema::Schema*> subset(s.schemas.begin(),
+                                            s.schemas.begin() + n);
+  core::MatchOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto m = analysis::MatchOverlapDistanceMatrix(subset, 0.4, options);
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.counters["schemas"] = static_cast<double>(n);
+  state.counters["threads"] = static_cast<double>(options.num_threads);
+}
+BENCHMARK(BM_ExactDistanceMatrix)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

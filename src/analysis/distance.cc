@@ -2,6 +2,7 @@
 
 #include "analysis/overlap.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "core/selection.h"
 #include "text/stemmer.h"
 #include "text/stopwords.h"
@@ -68,6 +69,33 @@ double MatchOverlapSimilarity(const schema::Schema& a, const schema::Schema& b,
   auto links = core::SelectGreedyOneToOne(engine.ComputeMatrix(), threshold);
   OverlapPartition partition = ComputeOverlap(a, b, links);
   return OverlapSimilarity(partition, a.element_count(), b.element_count());
+}
+
+std::vector<double> MatchOverlapDistanceMatrix(
+    const std::vector<const schema::Schema*>& schemas, double threshold,
+    const core::MatchOptions& options) {
+  size_t n = schemas.size();
+  for (const schema::Schema* s : schemas) HARMONY_CHECK(s != nullptr);
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(n * (n + 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+  }
+  std::vector<double> m(n * n, 0.0);
+  // Every unordered pair is one full engine run writing two mirror cells
+  // no other pair touches — the classic embarrassingly parallel fan-out.
+  auto fill_range = [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      auto [i, j] = pairs[k];
+      double d =
+          1.0 - MatchOverlapSimilarity(*schemas[i], *schemas[j], threshold, options);
+      m[i * n + j] = d;
+      m[j * n + i] = d;
+    }
+  };
+  common::ParallelFor(0, pairs.size(), /*grain=*/1, fill_range,
+                      options.num_threads);
+  return m;
 }
 
 }  // namespace harmony::analysis

@@ -58,4 +58,14 @@ double MatchOverlapSimilarity(const schema::Schema& a, const schema::Schema& b,
                               double threshold = 0.4,
                               const core::MatchOptions& options = {});
 
+/// \brief Exact all-pairs distance matrix (1 − MatchOverlapSimilarity),
+/// the matcher-backed counterpart of TokenProfileIndex::DistanceMatrix()
+/// for clustering inputs where the approximate token profile is too coarse.
+/// The O(n²) engine runs fan out over the shared thread pool per
+/// `options.num_threads` (0 = hardware concurrency, 1 = serial); output is
+/// identical at any thread count. Row-major, size n*n, zero diagonal.
+std::vector<double> MatchOverlapDistanceMatrix(
+    const std::vector<const schema::Schema*>& schemas, double threshold = 0.4,
+    const core::MatchOptions& options = {});
+
 }  // namespace harmony::analysis

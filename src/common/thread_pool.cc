@@ -1,0 +1,161 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace harmony::common {
+
+namespace {
+
+// Set for the duration of a task on pool worker threads.
+thread_local bool t_on_worker_thread = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = EffectiveThreadCount(num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+size_t EffectiveThreadCount(size_t requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+namespace {
+
+// Shared between the caller and its helper tasks. Heap-allocated and
+// reference-counted: helper tasks that only get scheduled after all shards
+// are claimed must still find live state when they wake up and bail.
+struct ParallelForState {
+  ParallelForState(size_t begin_, size_t end_, size_t grain_,
+                   std::function<void(size_t, size_t)> body_)
+      : next(begin_), end(end_), grain(grain_), body(std::move(body_)) {}
+
+  std::atomic<size_t> next;
+  const size_t end;
+  const size_t grain;
+  const std::function<void(size_t, size_t)> body;
+  std::atomic<bool> abort{false};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t in_flight = 0;  // shards currently executing (guarded by mu)
+  std::exception_ptr first_exception;  // guarded by mu
+};
+
+// Claims shards until the range is exhausted (or a shard failed). Run by
+// the calling thread and by every helper task.
+void RunShards(ParallelForState& state) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      ++state.in_flight;
+    }
+    size_t lo = state.end;
+    if (!state.abort.load(std::memory_order_relaxed)) {
+      lo = state.next.fetch_add(state.grain, std::memory_order_relaxed);
+    }
+    if (lo >= state.end) {
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (--state.in_flight == 0) state.cv.notify_all();
+      return;
+    }
+    size_t hi = std::min(state.end, lo + state.grain);
+    bool failed = false;
+    std::exception_ptr error;
+    try {
+      state.body(lo, hi);
+    } catch (...) {
+      failed = true;
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (failed && !state.first_exception) state.first_exception = error;
+      if (--state.in_flight == 0) state.cv.notify_all();
+    }
+    if (failed) state.abort.store(true, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body,
+                 size_t num_threads, ThreadPool* pool) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  size_t threads = EffectiveThreadCount(num_threads);
+  size_t shards = (end - begin + grain - 1) / grain;
+  // Serial fallback: explicit num_threads=1, nothing to split, or we are
+  // already inside a pool task (nested fan-out would risk deadlock and
+  // gains nothing — the outer level owns the parallelism).
+  if (threads <= 1 || shards <= 1 || ThreadPool::OnWorkerThread()) {
+    body(begin, end);
+    return;
+  }
+
+  if (pool == nullptr) pool = &ThreadPool::Shared();
+  size_t helpers = std::min(threads - 1, shards - 1);
+
+  auto state = std::make_shared<ParallelForState>(begin, end, grain, body);
+  for (size_t i = 0; i < helpers; ++i) {
+    pool->Submit([state] { RunShards(*state); });
+  }
+  // The caller is an executor too — it works instead of blocking, so a
+  // pool of N workers plus the caller yields N+1-way parallelism.
+  RunShards(*state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->in_flight == 0; });
+  if (state->first_exception) std::rethrow_exception(state->first_exception);
+}
+
+}  // namespace harmony::common

@@ -1,0 +1,90 @@
+// A reusable fixed-size worker pool plus ParallelFor, the concurrency
+// primitive behind the parallel match kernel. Design goals, in order:
+//
+//   1. Determinism. ParallelFor partitions [begin, end) into disjoint
+//      shards; each shard runs exactly once, so a body that only writes
+//      state owned by its shard produces output identical to the serial
+//      run — bit for bit — regardless of scheduling.
+//   2. Reusability. One process-wide pool (ThreadPool::Shared()) serves
+//      every ParallelFor; no per-call thread spawn/join churn on the hot
+//      path that MATCH(S1, S2) sits on.
+//   3. Composability. ParallelFor called from inside a pool worker runs
+//      the whole range inline (no nested fan-out, no deadlock), so outer
+//      pair-level parallelism (nway/analysis) nests over the inner
+//      row-level kernel for free.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace harmony::common {
+
+/// \brief Fixed-size worker pool with a FIFO task queue.
+///
+/// Thread-safe: Submit may be called from any thread, including pool
+/// workers. The destructor drains already-queued tasks, then joins.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means hardware concurrency (min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues a task for execution on some worker. Tasks must not block
+  /// waiting for later-queued tasks (workers are a finite resource).
+  void Submit(std::function<void()> task);
+
+  /// The process-wide pool (hardware-concurrency workers), created on
+  /// first use and reused by every ParallelFor that doesn't pass its own.
+  static ThreadPool& Shared();
+
+  /// True on threads currently executing a pool task — the reentrancy
+  /// signal ParallelFor uses to fall back to inline execution.
+  static bool OnWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Resolves a user-facing thread count: 0 → hardware concurrency (min 1),
+/// anything else passes through.
+size_t EffectiveThreadCount(size_t requested);
+
+/// \brief Runs `body(lo, hi)` over disjoint shards covering [begin, end),
+/// each shard at most `grain` long, using up to `num_threads` executors
+/// (the calling thread plus pool workers).
+///
+/// `num_threads` follows the engine-wide convention: 0 = hardware
+/// concurrency, 1 = run `body(begin, end)` inline on the calling thread
+/// (the exact serial fallback). `pool` defaults to ThreadPool::Shared().
+///
+/// Guarantees:
+///   - every index in [begin, end) is covered by exactly one invocation;
+///   - invocations never overlap in range, so bodies writing only their
+///     shard need no synchronization and the result is deterministic;
+///   - the first exception thrown by any shard is rethrown on the calling
+///     thread after all in-flight shards finish (remaining shards are
+///     abandoned);
+///   - calls from inside a pool worker run inline (serial) — reentrant,
+///     never deadlocks.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body,
+                 size_t num_threads = 0, ThreadPool* pool = nullptr);
+
+}  // namespace harmony::common

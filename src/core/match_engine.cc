@@ -1,5 +1,7 @@
 #include "core/match_engine.h"
 
+#include "common/thread_pool.h"
+
 namespace harmony::core {
 
 MatchEngine::MatchEngine(const schema::Schema& source, const schema::Schema& target,
@@ -14,7 +16,9 @@ MatchMatrix MatchEngine::ComputeMatrix() const {
 }
 
 MatchMatrix MatchEngine::ComputeRefinedMatrix() const {
-  return PropagateScores(source(), target(), ComputeMatrix(), options_.propagation);
+  PropagationOptions propagation = options_.propagation;
+  if (propagation.num_threads == 0) propagation.num_threads = options_.num_threads;
+  return PropagateScores(source(), target(), ComputeMatrix(), propagation);
 }
 
 MatchMatrix MatchEngine::ComputeMatrix(const NodeFilter& source_filter,
@@ -26,17 +30,24 @@ MatchMatrix MatchEngine::ComputeMatrix(
     const std::vector<schema::ElementId>& source_ids,
     const std::vector<schema::ElementId>& target_ids) const {
   MatchMatrix matrix(source_ids, target_ids);
-  std::vector<VoterScore> scores(voters_.size());
-  for (size_t r = 0; r < matrix.rows(); ++r) {
-    schema::ElementId s = matrix.SourceIdAt(r);
-    for (size_t c = 0; c < matrix.cols(); ++c) {
-      schema::ElementId t = matrix.TargetIdAt(c);
-      for (size_t v = 0; v < voters_.size(); ++v) {
-        scores[v] = voters_[v]->Vote(profiles_, s, t);
+  // Row-sharded: each executor owns disjoint matrix rows and a private
+  // voter scratch vector, so the parallel result is bitwise-identical to
+  // the serial one (same cells, same operations, no shared writes).
+  auto score_rows = [&](size_t row_begin, size_t row_end) {
+    std::vector<VoterScore> scores(voters_.size());
+    for (size_t r = row_begin; r < row_end; ++r) {
+      schema::ElementId s = matrix.SourceIdAt(r);
+      for (size_t c = 0; c < matrix.cols(); ++c) {
+        schema::ElementId t = matrix.TargetIdAt(c);
+        for (size_t v = 0; v < voters_.size(); ++v) {
+          scores[v] = voters_[v]->Vote(profiles_, s, t);
+        }
+        matrix.SetByIndex(r, c, merger_.Merge(voters_, scores));
       }
-      matrix.SetByIndex(r, c, merger_.Merge(voters_, scores));
     }
-  }
+  };
+  common::ParallelFor(0, matrix.rows(), /*grain=*/1, score_rows,
+                      options_.num_threads);
   return matrix;
 }
 

@@ -28,6 +28,12 @@ struct MatchOptions {
   /// Default link-selection threshold (scores live in (−1,+1); 0 means
   /// "uncertain", so useful thresholds are positive).
   double threshold = 0.35;
+  /// Worker count for ComputeMatrix and the fan-out helpers built on it
+  /// (nway::MatchAllPairs, analysis::MatchOverlapDistanceMatrix):
+  /// 0 = hardware concurrency, 1 = exact serial execution on the calling
+  /// thread. The parallel kernel is row-sharded and bitwise-identical to
+  /// the serial path at any thread count.
+  size_t num_threads = 0;
 };
 
 /// \brief Per-pair diagnostic: the raw voter scores behind one cell of the

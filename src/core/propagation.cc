@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace harmony::core {
 
@@ -16,50 +17,58 @@ MatchMatrix PropagateScores(const schema::Schema& source,
   MatchMatrix current = matrix;
   for (size_t iter = 0; iter < options.iterations; ++iter) {
     MatchMatrix next = current;
-    for (size_t r = 0; r < current.rows(); ++r) {
-      schema::ElementId s = current.SourceIdAt(r);
-      const schema::SchemaElement& se = source.element(s);
-      for (size_t c = 0; c < current.cols(); ++c) {
-        schema::ElementId t = current.TargetIdAt(c);
-        const schema::SchemaElement& te = target.element(t);
+    // Each sweep reads `current` (frozen for the sweep) and writes disjoint
+    // rows of `next`, so the row loop shards across the pool race-free and
+    // deterministically.
+    auto sweep_rows = [&](size_t row_begin, size_t row_end) {
+      for (size_t r = row_begin; r < row_end; ++r) {
+        schema::ElementId s = current.SourceIdAt(r);
+        const schema::SchemaElement& se = source.element(s);
+        for (size_t c = 0; c < current.cols(); ++c) {
+          schema::ElementId t = current.TargetIdAt(c);
+          const schema::SchemaElement& te = target.element(t);
 
-        double neighbourhood = 0.0;
-        double weight = 0.0;
+          double neighbourhood = 0.0;
+          double weight = 0.0;
 
-        // Parent contribution: both parents non-root.
-        if (se.parent != schema::Schema::kRootId &&
-            se.parent != schema::kInvalidElementId &&
-            te.parent != schema::Schema::kRootId &&
-            te.parent != schema::kInvalidElementId) {
-          neighbourhood += options.parent_weight * current.Get(se.parent, te.parent);
-          weight += options.parent_weight;
-        }
-
-        // Children contribution: for each source child, its best-matching
-        // target child, averaged (and symmetrically bounded by the smaller
-        // child set, like the structural voter).
-        if (!se.children.empty() && !te.children.empty()) {
-          double sum = 0.0;
-          for (schema::ElementId sc : se.children) {
-            double best = -1.0;
-            for (schema::ElementId tc : te.children) {
-              best = std::max(best, current.Get(sc, tc));
-            }
-            sum += best;
+          // Parent contribution: both parents non-root.
+          if (se.parent != schema::Schema::kRootId &&
+              se.parent != schema::kInvalidElementId &&
+              te.parent != schema::Schema::kRootId &&
+              te.parent != schema::kInvalidElementId) {
+            neighbourhood +=
+                options.parent_weight * current.Get(se.parent, te.parent);
+            weight += options.parent_weight;
           }
-          double child_score = sum / static_cast<double>(se.children.size());
-          double child_weight = 1.0 - options.parent_weight;
-          neighbourhood += child_weight * child_score;
-          weight += child_weight;
-        }
 
-        if (weight > 0.0) {
-          double blended = (1.0 - options.alpha) * current.GetByIndex(r, c) +
-                           options.alpha * (neighbourhood / weight);
-          next.SetByIndex(r, c, std::clamp(blended, -0.999999, 0.999999));
+          // Children contribution: for each source child, its best-matching
+          // target child, averaged (and symmetrically bounded by the smaller
+          // child set, like the structural voter).
+          if (!se.children.empty() && !te.children.empty()) {
+            double sum = 0.0;
+            for (schema::ElementId sc : se.children) {
+              double best = -1.0;
+              for (schema::ElementId tc : te.children) {
+                best = std::max(best, current.Get(sc, tc));
+              }
+              sum += best;
+            }
+            double child_score = sum / static_cast<double>(se.children.size());
+            double child_weight = 1.0 - options.parent_weight;
+            neighbourhood += child_weight * child_score;
+            weight += child_weight;
+          }
+
+          if (weight > 0.0) {
+            double blended = (1.0 - options.alpha) * current.GetByIndex(r, c) +
+                             options.alpha * (neighbourhood / weight);
+            next.SetByIndex(r, c, std::clamp(blended, -0.999999, 0.999999));
+          }
         }
       }
-    }
+    };
+    common::ParallelFor(0, current.rows(), /*grain=*/1, sweep_rows,
+                        options.num_threads);
     current = std::move(next);
   }
   return current;

@@ -24,6 +24,12 @@ struct PropagationOptions {
   /// Relative weight of the parent-pair score within the neighbourhood
   /// contribution (the rest comes from children agreement).
   double parent_weight = 0.5;
+  /// Worker count for the per-sweep row shards (0 = hardware concurrency,
+  /// 1 = serial). Each sweep reads the previous matrix and writes disjoint
+  /// rows of the next one, so any thread count yields identical output.
+  /// MatchEngine::ComputeRefinedMatrix() fills this in from
+  /// MatchOptions::num_threads when left at 0.
+  size_t num_threads = 0;
 };
 
 /// \brief Runs propagation over a full-schema matrix.

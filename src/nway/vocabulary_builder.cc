@@ -7,6 +7,7 @@
 #include "common/csv.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/selection.h"
 #include "text/tokenizer.h"
 
@@ -147,7 +148,10 @@ std::string ComprehensiveVocabulary::RegionName(uint32_t mask) const {
   for (size_t i = 0; i < schemas_.size(); ++i) {
     if (mask & (1u << i)) names.push_back(schemas_[i]->name());
   }
-  return "{" + Join(names, ",") + "}";
+  std::string out = "{";
+  out += Join(names, ",");
+  out += "}";
+  return out;
 }
 
 size_t ComprehensiveVocabulary::FullOverlapCount() const {
@@ -176,19 +180,35 @@ std::string ComprehensiveVocabulary::ToCsv() const {
 std::vector<PairwiseMatches> MatchAllPairs(
     const std::vector<const schema::Schema*>& schemas, double threshold,
     bool one_to_one, const core::MatchOptions& options) {
-  std::vector<PairwiseMatches> out;
+  // Enumerate the unordered pairs up front so the fan-out writes into a
+  // pre-sized vector: slot k belongs to exactly one worker, and the output
+  // order matches the historical serial (i, j) iteration.
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(schemas.size() * (schemas.size() + 1) / 2);
   for (size_t i = 0; i < schemas.size(); ++i) {
     for (size_t j = i + 1; j < schemas.size(); ++j) {
+      pairs.emplace_back(i, j);
+    }
+  }
+  std::vector<PairwiseMatches> out(pairs.size());
+  // Each pairwise match is an independent MatchEngine run (its own
+  // preprocessing and matrix); parallelizing here is the N-way vocabulary
+  // builder's biggest lever. Nested row-level parallelism inside
+  // ComputeMatrix degrades to inline execution on pool workers.
+  auto match_range = [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      auto [i, j] = pairs[k];
       core::MatchEngine engine(*schemas[i], *schemas[j], options);
       core::MatchMatrix matrix = engine.ComputeMatrix();
-      PairwiseMatches pm;
+      PairwiseMatches& pm = out[k];
       pm.source_index = i;
       pm.target_index = j;
       pm.links = one_to_one ? core::SelectGreedyOneToOne(matrix, threshold)
                             : core::SelectByThreshold(matrix, threshold);
-      out.push_back(std::move(pm));
     }
-  }
+  };
+  common::ParallelFor(0, pairs.size(), /*grain=*/1, match_range,
+                      options.num_threads);
   return out;
 }
 

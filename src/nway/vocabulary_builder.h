@@ -95,7 +95,9 @@ class ComprehensiveVocabulary {
 
 /// \brief Convenience driver: runs the Harmony engine over every unordered
 /// schema pair and selects links (greedy 1:1 when `one_to_one`, else all
-/// pairs above threshold).
+/// pairs above threshold). Pairs fan out over the shared thread pool per
+/// `options.num_threads`; results are ordered and valued exactly as the
+/// serial (i, j) loop.
 std::vector<PairwiseMatches> MatchAllPairs(
     const std::vector<const schema::Schema*>& schemas, double threshold,
     bool one_to_one = true, const core::MatchOptions& options = {});

@@ -41,7 +41,10 @@ const char* DataTypeToSqlType(DataType type) {
 namespace {
 
 std::string SqlStringLiteral(const std::string& s) {
-  return "'" + ReplaceAll(s, "'", "''") + "'";
+  std::string out = "'";
+  out += ReplaceAll(s, "'", "''");
+  out += "'";
+  return out;
 }
 
 struct Column {

@@ -53,11 +53,14 @@ AbstractConcept BuildAbstractConcept(const DomainVocabulary& vocab, size_t combo
   c.base = &vocab.concepts[base_idx];
   size_t aspect_idx = combo % n_aspects;
   c.aspect = (aspect_idx == 0) ? nullptr : &vocab.aspects[aspect_idx - 1];
-  c.semantic = "c" + std::to_string(combo);
+  c.semantic = StringFormat("c%zu", combo);
   c.label = c.base->name_alts[0];
-  if (c.aspect != nullptr) c.label += "/" + c.aspect->name_alts[0];
+  if (c.aspect != nullptr) {
+    c.label += "/";
+    c.label += c.aspect->name_alts[0];
+  }
 
-  std::string base_tag = ".b" + std::to_string(base_idx);
+  std::string base_tag = StringFormat(".b%zu", base_idx);
   // 2-4 common boilerplate fields, drawn once so both sides agree on which
   // boilerplate the concept carries.
   std::vector<size_t> common_order(vocab.common_fields.size());
@@ -67,17 +70,17 @@ AbstractConcept BuildAbstractConcept(const DomainVocabulary& vocab, size_t combo
   std::sort(common_order.begin(), common_order.begin() + n_common);
   for (size_t i = 0; i < n_common; ++i) {
     c.fields.push_back({&vocab.common_fields[common_order[i]],
-                        "g" + std::to_string(common_order[i]) + base_tag});
+                        StringFormat("g%zu", common_order[i]) + base_tag});
   }
   for (size_t k = 0; k < c.base->fields.size(); ++k) {
-    c.fields.push_back({&c.base->fields[k],
-                        "b" + std::to_string(base_idx) + ".f" + std::to_string(k)});
+    c.fields.push_back(
+        {&c.base->fields[k], StringFormat("b%zu.f%zu", base_idx, k)});
   }
   if (c.aspect != nullptr) {
     for (size_t k = 0; k < c.aspect->fields.size(); ++k) {
-      c.fields.push_back({&c.aspect->fields[k],
-                          "a" + std::to_string(aspect_idx - 1) + ".f" +
-                              std::to_string(k) + base_tag});
+      c.fields.push_back(
+          {&c.aspect->fields[k],
+           StringFormat("a%zu.f%zu", aspect_idx - 1, k) + base_tag});
     }
   }
   return c;
@@ -90,8 +93,11 @@ AbstractConcept BuildAbstractConcept(const DomainVocabulary& vocab, size_t combo
 const std::unordered_map<std::string, std::vector<std::string>>& ReverseAbbrevs() {
   static const auto* kMap = [] {
     auto* m = new std::unordered_map<std::string, std::vector<std::string>>();
-    for (const auto& [abbrev, expansion] :
-         text::AbbreviationDictionary::Builtin().entries()) {
+    // Builtin() returns by value; in C++20 a temporary in the range-init
+    // expression is destroyed before the loop body runs, so it must be
+    // named to outlive the iteration.
+    const text::AbbreviationDictionary dict = text::AbbreviationDictionary::Builtin();
+    for (const auto& [abbrev, expansion] : dict.entries()) {
       if (expansion.find(' ') == std::string::npos) {
         (*m)[expansion].push_back(abbrev);
       }
@@ -158,7 +164,8 @@ class Renderer {
         // field and its entity in canonical vocabulary; this is the shared
         // signal that makes documentation genuinely useful for matching.
         if (rng_->Bernoulli(0.75)) {
-          e.documentation += " " + CanonicalGloss(field.tmpl->words, *c.base);
+          e.documentation += " ";
+          e.documentation += CanonicalGloss(field.tmpl->words, *c.base);
         }
       }
       if (semantics != nullptr) {
@@ -467,7 +474,7 @@ NWayResult GenerateNWay(const NWaySpec& spec) {
   NWayResult out;
   for (size_t s = 0; s < spec.schema_count; ++s) {
     std::string name = (s < spec.names.size()) ? spec.names[s]
-                                               : "S" + std::to_string(s + 1);
+                                               : StringFormat("S%zu", s + 1);
     Schema schema(name, spec.style.flavor);
     Renderer renderer(&schema, spec.style, &rng);
 
@@ -506,7 +513,7 @@ std::vector<RepositorySchema> GenerateRepository(const RepositorySpec& spec) {
                                &rng));
     }
     for (size_t m = 0; m < spec.schemas_per_family; ++m) {
-      std::string name = "F" + std::to_string(f) + "_S" + std::to_string(m);
+      std::string name = StringFormat("F%zu_S%zu", f, m);
       Schema schema(name, spec.style.flavor);
       Renderer renderer(&schema, spec.style, &rng);
       std::vector<size_t> pick(pool.size());

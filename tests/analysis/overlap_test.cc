@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/string_util.h"
 #include "schema/builder.h"
 
 namespace harmony::analysis {
@@ -10,9 +11,9 @@ namespace {
 schema::Schema MakeSchema(const std::string& name, int tables, int cols) {
   schema::RelationalBuilder b(name);
   for (int t = 0; t < tables; ++t) {
-    auto table = b.Table(name + "_T" + std::to_string(t));
+    auto table = b.Table(name + StringFormat("_T%d", t));
     for (int c = 0; c < cols; ++c) {
-      b.Column(table, "C" + std::to_string(c));
+      b.Column(table, StringFormat("C%d", c));
     }
   }
   return std::move(b).Build();

@@ -1,0 +1,212 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace harmony::common {
+namespace {
+
+// A tiny countdown latch (std::latch-free so the test reads like the
+// production call sites, which wait on condition variables too).
+class Countdown {
+ public:
+  explicit Countdown(size_t n) : remaining_(n) {}
+
+  void Hit() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t remaining_;
+};
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  constexpr size_t kTasks = 200;
+  std::atomic<size_t> ran{0};
+  Countdown done(kTasks);
+  for (size_t i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      ran.fetch_add(1);
+      done.Hit();
+    });
+  }
+  done.Wait();
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.worker_count(), 1u);
+  EXPECT_EQ(pool.worker_count(), EffectiveThreadCount(0));
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<size_t> ran{0};
+  {
+    ThreadPool pool(2);
+    for (size_t i = 0; i < 50; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 50u);
+}
+
+TEST(ThreadPoolTest, SubmitFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<size_t> ran{0};
+  Countdown done(2);
+  pool.Submit([&] {
+    ran.fetch_add(1);
+    done.Hit();
+    pool.Submit([&] {
+      ran.fetch_add(1);
+      done.Hit();
+    });
+  });
+  done.Wait();
+  EXPECT_EQ(ran.load(), 2u);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadOnlyInsideTasks) {
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+  ThreadPool pool(1);
+  bool inside = false;
+  Countdown done(1);
+  pool.Submit([&] {
+    inside = ThreadPool::OnWorkerThread();
+    done.Hit();
+  });
+  done.Wait();
+  EXPECT_TRUE(inside);
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(
+      0, kN, /*grain=*/7,
+      [&](size_t lo, size_t hi) {
+        ASSERT_LE(lo, hi);
+        ASSERT_LE(hi - lo, 7u);
+        for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      },
+      /*num_threads=*/5, &pool);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesBody) {
+  size_t calls = 0;
+  ParallelFor(5, 5, 1, [&](size_t, size_t) { ++calls; });
+  ParallelFor(9, 3, 1, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+}
+
+TEST(ParallelForTest, SingleThreadRunsWholeRangeInline) {
+  std::vector<std::pair<size_t, size_t>> calls;
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id body_thread;
+  ParallelFor(
+      3, 42, /*grain=*/4,
+      [&](size_t lo, size_t hi) {
+        calls.emplace_back(lo, hi);
+        body_thread = std::this_thread::get_id();
+      },
+      /*num_threads=*/1);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0], (std::pair<size_t, size_t>{3, 42}));
+  EXPECT_EQ(body_thread, caller);
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      ParallelFor(
+          0, 100, /*grain=*/1,
+          [&](size_t lo, size_t) {
+            if (lo == 37) throw std::runtime_error("shard 37 failed");
+          },
+          /*num_threads=*/4, &pool),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, PoolSurvivesBodyException) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(ParallelFor(
+                     0, 20, 1, [](size_t, size_t) { throw std::logic_error("boom"); },
+                     3, &pool),
+                 std::logic_error);
+  }
+  // The same pool still runs clean work to completion.
+  std::atomic<size_t> total{0};
+  ParallelFor(
+      0, 64, 4, [&](size_t lo, size_t hi) { total.fetch_add(hi - lo); }, 3, &pool);
+  EXPECT_EQ(total.load(), 64u);
+}
+
+TEST(ParallelForTest, ReentrantCallsRunInlineAndComplete) {
+  ThreadPool pool(3);
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 16;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(
+      0, kOuter, 1,
+      [&](size_t olo, size_t ohi) {
+        for (size_t o = olo; o < ohi; ++o) {
+          // Nested fan-out: inside a pool worker this must degrade to an
+          // inline serial run instead of deadlocking on the pool.
+          ParallelFor(
+              0, kInner, 1,
+              [&](size_t ilo, size_t ihi) {
+                for (size_t i = ilo; i < ihi; ++i) {
+                  hits[o * kInner + i].fetch_add(1);
+                }
+              },
+              /*num_threads=*/4, &pool);
+        }
+      },
+      /*num_threads=*/4, &pool);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "cell " << i;
+  }
+}
+
+TEST(ParallelForTest, ManyConcurrentShardsStressSharedCounter) {
+  ThreadPool pool(8);
+  std::atomic<size_t> sum{0};
+  constexpr size_t kN = 10000;
+  ParallelFor(
+      0, kN, 3, [&](size_t lo, size_t hi) { sum.fetch_add(hi - lo); }, 9, &pool);
+  EXPECT_EQ(sum.load(), kN);
+}
+
+TEST(EffectiveThreadCountTest, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(EffectiveThreadCount(0), 1u);
+  EXPECT_EQ(EffectiveThreadCount(1), 1u);
+  EXPECT_EQ(EffectiveThreadCount(6), 6u);
+}
+
+}  // namespace
+}  // namespace harmony::common

@@ -1,0 +1,120 @@
+// The parallel kernel's contract: row-sharded ComputeMatrix (and everything
+// layered on it — propagation sweeps, the nway pair fan-out, the analysis
+// distance fan-out) must produce output identical to the serial
+// num_threads=1 path, cell for cell, at any thread count.
+
+#include <gtest/gtest.h>
+
+#include "analysis/distance.h"
+#include "core/match_engine.h"
+#include "nway/vocabulary_builder.h"
+#include "synth/generator.h"
+
+namespace harmony {
+namespace {
+
+synth::GeneratedPair MakePair(uint64_t seed) {
+  synth::PairSpec spec;
+  spec.seed = seed;
+  spec.source_concepts = 12;
+  spec.target_concepts = 9;
+  spec.shared_concepts = 5;
+  return synth::GeneratePair(spec);
+}
+
+core::MatchOptions WithThreads(size_t n) {
+  core::MatchOptions options;
+  options.num_threads = n;
+  return options;
+}
+
+void ExpectIdentical(const core::MatchMatrix& serial,
+                     const core::MatchMatrix& parallel) {
+  ASSERT_EQ(serial.rows(), parallel.rows());
+  ASSERT_EQ(serial.cols(), parallel.cols());
+  for (size_t r = 0; r < serial.rows(); ++r) {
+    for (size_t c = 0; c < serial.cols(); ++c) {
+      // EXPECT_EQ, not NEAR: the parallel path runs the same operations on
+      // disjoint rows, so equality is exact.
+      EXPECT_EQ(serial.GetByIndex(r, c), parallel.GetByIndex(r, c))
+          << "cell (" << r << ", " << c << ")";
+    }
+  }
+}
+
+TEST(ParallelMatchTest, ComputeMatrixMatchesSerialCellForCell) {
+  auto pair = MakePair(7001);
+  core::MatchEngine serial(pair.source, pair.target, WithThreads(1));
+  core::MatchEngine parallel(pair.source, pair.target, WithThreads(4));
+  ExpectIdentical(serial.ComputeMatrix(), parallel.ComputeMatrix());
+}
+
+TEST(ParallelMatchTest, HardwareThreadCountMatchesSerial) {
+  auto pair = MakePair(7002);
+  core::MatchEngine serial(pair.source, pair.target, WithThreads(1));
+  core::MatchEngine parallel(pair.source, pair.target, WithThreads(0));
+  ExpectIdentical(serial.ComputeMatrix(), parallel.ComputeMatrix());
+}
+
+TEST(ParallelMatchTest, RefinedMatrixMatchesSerialCellForCell) {
+  auto pair = MakePair(7003);
+  core::MatchOptions serial_options = WithThreads(1);
+  serial_options.propagation.iterations = 2;
+  core::MatchOptions parallel_options = WithThreads(4);
+  parallel_options.propagation.iterations = 2;
+  core::MatchEngine serial(pair.source, pair.target, serial_options);
+  core::MatchEngine parallel(pair.source, pair.target, parallel_options);
+  ExpectIdentical(serial.ComputeRefinedMatrix(), parallel.ComputeRefinedMatrix());
+}
+
+TEST(ParallelMatchTest, MatchAllPairsMatchesSerial) {
+  synth::NWaySpec spec;
+  spec.seed = 7004;
+  spec.schema_count = 4;
+  auto gen = synth::GenerateNWay(spec);
+  std::vector<const schema::Schema*> schemas;
+  for (const auto& s : gen.schemas) schemas.push_back(&s);
+
+  auto serial = nway::MatchAllPairs(schemas, 0.45, true, WithThreads(1));
+  auto parallel = nway::MatchAllPairs(schemas, 0.45, true, WithThreads(4));
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t k = 0; k < serial.size(); ++k) {
+    EXPECT_EQ(serial[k].source_index, parallel[k].source_index);
+    EXPECT_EQ(serial[k].target_index, parallel[k].target_index);
+    ASSERT_EQ(serial[k].links.size(), parallel[k].links.size()) << "pair " << k;
+    for (size_t l = 0; l < serial[k].links.size(); ++l) {
+      EXPECT_EQ(serial[k].links[l].source, parallel[k].links[l].source);
+      EXPECT_EQ(serial[k].links[l].target, parallel[k].links[l].target);
+      EXPECT_EQ(serial[k].links[l].score, parallel[k].links[l].score);
+    }
+  }
+}
+
+TEST(ParallelMatchTest, OverlapDistanceMatrixMatchesSerial) {
+  synth::NWaySpec spec;
+  spec.seed = 7005;
+  spec.schema_count = 4;
+  auto gen = synth::GenerateNWay(spec);
+  std::vector<const schema::Schema*> schemas;
+  for (const auto& s : gen.schemas) schemas.push_back(&s);
+
+  auto serial = analysis::MatchOverlapDistanceMatrix(schemas, 0.4, WithThreads(1));
+  auto parallel = analysis::MatchOverlapDistanceMatrix(schemas, 0.4, WithThreads(4));
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "index " << i;
+  }
+  // Sanity on shape: symmetric, zero diagonal, distances in [0, 1].
+  size_t n = schemas.size();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(parallel[i * n + i], 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(parallel[i * n + j], parallel[j * n + i]);
+      EXPECT_GE(parallel[i * n + j], 0.0);
+      EXPECT_LE(parallel[i * n + j], 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace harmony

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/string_util.h"
 #include "harmony.h"
 
 namespace harmony {
@@ -145,7 +146,7 @@ TEST(StressTest, DeepSchemaOperationsStayLinear) {
   schema::Schema deep("DEEP");
   schema::ElementId cur = schema::Schema::kRootId;
   for (int i = 0; i < 200; ++i) {
-    cur = deep.AddElement(cur, "L" + std::to_string(i),
+    cur = deep.AddElement(cur, StringFormat("L%d", i),
                           schema::ElementKind::kGroup);
   }
   deep.AddElement(cur, "LEAF", schema::ElementKind::kColumn);

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 
+#include "common/string_util.h"
 #include "schema/builder.h"
 
 namespace harmony::repository {
@@ -135,7 +136,7 @@ TEST(RepositoryTest, AllSchemasStablePointers) {
   ASSERT_TRUE(repo.RegisterSchema(MakeSchema("S1")).ok());
   auto before = repo.AllSchemas();
   for (int i = 2; i <= 20; ++i) {
-    ASSERT_TRUE(repo.RegisterSchema(MakeSchema("S" + std::to_string(i))).ok());
+    ASSERT_TRUE(repo.RegisterSchema(MakeSchema(StringFormat("S%d", i))).ok());
   }
   // The first schema's address must not have moved.
   EXPECT_EQ(repo.AllSchemas()[0], before[0]);

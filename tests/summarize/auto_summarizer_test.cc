@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/string_util.h"
 #include "schema/builder.h"
 #include "synth/generator.h"
 
@@ -12,13 +13,13 @@ schema::Schema MakeSchema() {
   schema::RelationalBuilder b("S");
   auto big = b.Table("EVENT", "Everything about events, richly documented here");
   for (int i = 0; i < 10; ++i) {
-    b.Column(big, "E" + std::to_string(i));
+    b.Column(big, StringFormat("E%d", i));
   }
   auto small = b.Table("LOOKUP");
   b.Column(small, "CODE");
   auto mid = b.Table("PERSON", "People");
   for (int i = 0; i < 5; ++i) {
-    b.Column(mid, "P" + std::to_string(i));
+    b.Column(mid, StringFormat("P%d", i));
   }
   return std::move(b).Build();
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/string_util.h"
 #include "schema/builder.h"
 #include "summarize/summary.h"
 
@@ -23,20 +24,20 @@ struct Fixture {
   static schema::Schema MakeSource() {
     schema::RelationalBuilder b("SA");
     auto e = b.Table("EVENT");
-    for (int i = 0; i < 12; ++i) b.Column(e, "E" + std::to_string(i));
+    for (int i = 0; i < 12; ++i) b.Column(e, StringFormat("E%d", i));
     auto p = b.Table("PERSON");
-    for (int i = 0; i < 6; ++i) b.Column(p, "P" + std::to_string(i));
+    for (int i = 0; i < 6; ++i) b.Column(p, StringFormat("P%d", i));
     auto m = b.Table("MEDICAL");
-    for (int i = 0; i < 4; ++i) b.Column(m, "M" + std::to_string(i));
+    for (int i = 0; i < 4; ++i) b.Column(m, StringFormat("M%d", i));
     auto v = b.Table("VEHICLE");
-    for (int i = 0; i < 2; ++i) b.Column(v, "V" + std::to_string(i));
+    for (int i = 0; i < 2; ++i) b.Column(v, StringFormat("V%d", i));
     return std::move(b).Build();
   }
 
   static schema::Schema MakeTarget() {
     schema::RelationalBuilder b("SB");
     auto t = b.Table("T");
-    for (int i = 0; i < 10; ++i) b.Column(t, "C" + std::to_string(i));
+    for (int i = 0; i < 10; ++i) b.Column(t, StringFormat("C%d", i));
     return std::move(b).Build();
   }
 };
