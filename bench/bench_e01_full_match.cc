@@ -31,7 +31,11 @@ void PrintReport() {
                      "1378x784 elements, ~10^6 candidate pairs, 10.2 s");
 
   auto t0 = std::chrono::steady_clock::now();
-  core::MatchEngine engine(pair.source, pair.target);
+  // The report run collects per-voter timing (the benchmarked runs below do
+  // not, so BM_FullMatch stays comparable across revisions).
+  core::MatchOptions options;
+  options.collect_stats = true;
+  core::MatchEngine engine(pair.source, pair.target, options);
   auto t1 = std::chrono::steady_clock::now();
   core::MatchMatrix matrix = engine.ComputeMatrix();
   auto t2 = std::chrono::steady_clock::now();
@@ -51,6 +55,8 @@ void PrintReport() {
   std::printf("%-28s %12s %12.2f\n", "  scoring (s)", "-", match_s);
   std::printf("%-28s %12s %12.0f\n", "pairs / second", "~10^5",
               matrix.pair_count() / match_s);
+  std::printf("\nwhere the scoring time went (per voter):\n");
+  bench::PrintEngineStats(engine);
   std::printf("\n");
 }
 

@@ -92,4 +92,8 @@ void PrintBanner(const char* experiment_id, const char* title,
   std::printf("================================================================\n");
 }
 
+void PrintEngineStats(const core::MatchEngine& engine) {
+  std::fputs(core::RenderStatsText(engine.StatsReport()).c_str(), stdout);
+}
+
 }  // namespace harmony::bench

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/match_engine.h"
 #include "core/match_matrix.h"
 #include "schema/schema.h"
 #include "synth/generator.h"
@@ -69,5 +70,9 @@ std::function<bool(const core::Correspondence&)> NoisyOracle(
 /// Prints the standard experiment banner.
 void PrintBanner(const char* experiment_id, const char* title,
                  const char* paper_claim);
+
+/// Prints MatchEngine::StatsReport() (preprocess/kernel cost, and the
+/// per-voter breakdown when the engine ran with collect_stats).
+void PrintEngineStats(const core::MatchEngine& engine);
 
 }  // namespace harmony::bench

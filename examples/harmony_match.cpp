@@ -3,14 +3,20 @@
 //
 //   harmony_match match <source> <target> [--threshold=0.35] [--one-to-one]
 //                 [--refined] [--csv] [--save-workspace=FILE]
+//                 [--stats] [--trace=out.json] [--threads=N]
 //   harmony_match profile <schema>...
 //   harmony_match export <schema> (--ddl | --xsd)
+//
+// --stats prints the engine's effort breakdown (per-voter timing) and the
+// process metrics registry to stderr; --trace writes a Chrome trace-event
+// JSON of the whole run (open in chrome://tracing or ui.perfetto.dev).
 //
 // Schema files are auto-detected by content: SQL DDL, XSD, or the HSC1
 // serialization format. Running without arguments demonstrates on built-in
 // sample schemata.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -62,6 +68,44 @@ std::string FlagValue(const std::vector<std::string>& args, const char* prefix,
   return fallback;
 }
 
+// Shared by match and demo: start tracing if requested, and on scope exit
+// write the trace file / print the stats report.
+class ObsSession {
+ public:
+  ObsSession(bool stats, std::string trace_path)
+      : stats_(stats), trace_path_(std::move(trace_path)) {
+    if (!trace_path_.empty()) {
+      obs::Tracer::Global().SetThreadName("main");
+      obs::Tracer::Global().Start();
+    }
+  }
+
+  ~ObsSession() {
+    if (!trace_path_.empty()) {
+      obs::Tracer& tracer = obs::Tracer::Global();
+      tracer.Stop();
+      if (tracer.WriteChromeTrace(trace_path_)) {
+        std::fprintf(stderr,
+                     "trace: %zu events -> %s (open in chrome://tracing)\n",
+                     tracer.event_count(), trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "trace: cannot write %s\n", trace_path_.c_str());
+      }
+    }
+    if (stats_) {
+      std::fputs("\n-- process metrics --\n", stderr);
+      std::fputs(obs::MetricsRegistry::Global().Snapshot().ToText().c_str(),
+                 stderr);
+    }
+  }
+
+  bool stats() const { return stats_; }
+
+ private:
+  bool stats_;
+  std::string trace_path_;
+};
+
 int RunMatch(const std::vector<std::string>& args) {
   if (args.size() < 2) {
     std::fprintf(stderr, "usage: harmony_match match <source> <target> [flags]\n");
@@ -80,7 +124,14 @@ int RunMatch(const std::vector<std::string>& args) {
   double threshold =
       std::atof(FlagValue(args, "--threshold=", "0.35").c_str());
 
-  core::MatchEngine engine(*source, *target);
+  ObsSession obs_session(FlagSet(args, "--stats"),
+                         FlagValue(args, "--trace=", ""));
+
+  core::MatchOptions options;
+  options.collect_stats = obs_session.stats();
+  options.num_threads = static_cast<size_t>(
+      std::atoi(FlagValue(args, "--threads=", "0").c_str()));
+  core::MatchEngine engine(*source, *target, options);
   core::MatchMatrix matrix = FlagSet(args, "--refined")
                                  ? engine.ComputeRefinedMatrix()
                                  : engine.ComputeMatrix();
@@ -111,6 +162,9 @@ int RunMatch(const std::vector<std::string>& args) {
       return 1;
     }
     std::fprintf(stderr, "workspace saved to %s\n", ws_path.c_str());
+  }
+  if (obs_session.stats()) {
+    std::fputs(core::RenderStatsText(engine.StatsReport()).c_str(), stderr);
   }
   return 0;
 }
@@ -155,15 +209,20 @@ int RunExport(const std::vector<std::string>& args) {
   return 0;
 }
 
-int RunDemo() {
-  std::printf("harmony_match demo (no arguments given): matching two built-in "
-              "sample schemata\n\n");
+int RunDemo(const std::vector<std::string>& args) {
+  std::printf("harmony_match demo: matching two built-in sample schemata\n\n");
+  ObsSession obs_session(FlagSet(args, "--stats"),
+                         FlagValue(args, "--trace=", ""));
   synth::PairSpec spec;
   spec.source_concepts = 6;
   spec.target_concepts = 5;
   spec.shared_concepts = 3;
   auto pair = synth::GeneratePair(spec);
-  core::MatchEngine engine(pair.source, pair.target);
+  core::MatchOptions options;
+  options.collect_stats = obs_session.stats();
+  options.num_threads = static_cast<size_t>(
+      std::atoi(FlagValue(args, "--threads=", "0").c_str()));
+  core::MatchEngine engine(pair.source, pair.target, options);
   auto links =
       core::SelectGreedyOneToOne(engine.ComputeRefinedMatrix(), 0.35);
   workflow::MatchWorkspace ws(pair.source, pair.target);
@@ -172,6 +231,9 @@ int RunDemo() {
   view.max_rows = 15;
   std::fputs(workflow::RenderMatchView(ws, view).c_str(), stdout);
   std::printf("\nTry: harmony_match match <a.sql> <b.xsd> --one-to-one --refined\n");
+  if (obs_session.stats()) {
+    std::fputs(core::RenderStatsText(engine.StatsReport()).c_str(), stderr);
+  }
   return 0;
 }
 
@@ -179,7 +241,8 @@ int RunDemo() {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  if (args.empty()) return RunDemo();
+  // No command (just flags, or nothing) runs the demo.
+  if (args.empty() || StartsWith(args[0], "--")) return RunDemo(args);
   std::string command = args[0];
   args.erase(args.begin());
   if (command == "match") return RunMatch(args);

@@ -33,6 +33,14 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Swallows a streamed LogMessage so a conditional log can be a single
+/// void-valued expression (the glog idiom): `&` binds looser than `<<`, so
+/// the whole stream chain runs first and the ternary stays well-typed.
+class LogMessageVoidify {
+ public:
+  void operator&(const LogMessage&) {}
+};
+
 }  // namespace internal
 
 /// Sets the minimum level that will be emitted (default kWarning so tests and
@@ -42,15 +50,39 @@ LogLevel SetLogThreshold(LogLevel level);
 /// Current threshold.
 LogLevel GetLogThreshold();
 
+/// True when a message at `level` would be emitted. Fatal is always on (the
+/// first operand folds to a constant), so for every other level a disabled
+/// log site costs exactly one atomic threshold load.
+#define HARMONY_LOG_ENABLED(level)                                     \
+  (::harmony::LogLevel::k##level >= ::harmony::LogLevel::kFatal ||     \
+   ::harmony::LogLevel::k##level >= ::harmony::GetLogThreshold())
+
+/// Stream-style logging. Expands to a single void expression, so it nests
+/// anywhere a statement does (no dangling-else hazard), and the LogMessage —
+/// ostringstream and all — is only constructed when the level clears the
+/// threshold. Streamed operands are not evaluated on disabled levels.
 #define HARMONY_LOG(level)                                             \
-  ::harmony::internal::LogMessage(::harmony::LogLevel::k##level,       \
-                                  __FILE__, __LINE__)
+  !HARMONY_LOG_ENABLED(level)                                          \
+      ? (void)0                                                        \
+      : ::harmony::internal::LogMessageVoidify() &                     \
+            ::harmony::internal::LogMessage(::harmony::LogLevel::k##level, \
+                                            __FILE__, __LINE__)
 
 /// Fatal if `cond` is false. Use for invariants that indicate programmer
 /// error rather than bad input (bad input gets a Status).
+///
+/// The `switch (0) case 0: default:` wrapper plus a complete if/else makes
+/// the macro a single statement: `if (x) HARMONY_CHECK(y); else f();` binds
+/// the else to the *outer* if, instead of silently attaching it to the
+/// macro's internals (the dangling-else hazard of the naive `if (!(cond))
+/// LOG(...)` form). See tests/common/logging_test.cc for the compile test.
 #define HARMONY_CHECK(cond)                                        \
-  if (!(cond))                                                     \
-  HARMONY_LOG(Fatal) << "Check failed: " #cond " "
+  switch (0)                                                       \
+  case 0:                                                          \
+  default:                                                         \
+    if (cond) {                                                    \
+    } else                                                         \
+      HARMONY_LOG(Fatal) << "Check failed: " #cond " "
 
 #define HARMONY_CHECK_EQ(a, b) HARMONY_CHECK((a) == (b))
 #define HARMONY_CHECK_NE(a, b) HARMONY_CHECK((a) != (b))

@@ -4,7 +4,11 @@
 #include <atomic>
 #include <exception>
 #include <memory>
+#include <string>
 #include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace harmony::common {
 
@@ -13,10 +17,32 @@ namespace {
 // Set for the duration of a task on pool worker threads.
 thread_local bool t_on_worker_thread = false;
 
+// Pool telemetry: busy/idle split per worker-loop iteration plus the
+// ParallelFor shard-balance view. Counters are process totals over every
+// pool; clock reads happen once per task (tasks are coarse — a task drains
+// many shards), not per shard.
+struct PoolMetrics {
+  obs::Counter tasks{"pool.tasks_executed"};
+  obs::Counter busy_ns{"pool.busy_ns"};
+  obs::Counter idle_ns{"pool.idle_ns"};
+  obs::Gauge workers{"pool.workers"};
+  obs::Counter parallel_for_calls{"parallel_for.calls"};
+  obs::Histogram shards_per_executor{"parallel_for.shards_per_executor"};
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
+
+// Worker threads get sequential track names across all pools.
+std::atomic<uint64_t> g_worker_serial{0};
+
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   size_t n = EffectiveThreadCount(num_threads);
+  Metrics().workers.Add(static_cast<int64_t>(n));
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -49,16 +75,27 @@ bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
 
 void ThreadPool::WorkerLoop() {
   t_on_worker_thread = true;
+  obs::Tracer::Global().SetThreadName(
+      "pool-worker-" +
+      std::to_string(g_worker_serial.fetch_add(1, std::memory_order_relaxed)));
   for (;;) {
     std::function<void()> task;
+    uint64_t wait_start = obs::MonotonicNanos();
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
+      if (queue_.empty()) {  // stopping_ and drained
+        Metrics().idle_ns.Add(obs::MonotonicNanos() - wait_start);
+        return;
+      }
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    uint64_t run_start = obs::MonotonicNanos();
+    Metrics().idle_ns.Add(run_start - wait_start);
     task();
+    Metrics().busy_ns.Add(obs::MonotonicNanos() - run_start);
+    Metrics().tasks.Add();
   }
 }
 
@@ -93,6 +130,11 @@ struct ParallelForState {
 // Claims shards until the range is exhausted (or a shard failed). Run by
 // the calling thread and by every helper task.
 void RunShards(ParallelForState& state) {
+  HARMONY_TRACE_SPAN("parallel_for/executor");
+  // Shards this executor claimed — the per-executor rows of the
+  // shard-imbalance histogram (a wide spread across executors of one call
+  // means the work-stealing loop was starved or the grain too coarse).
+  size_t shards_claimed = 0;
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(state.mu);
@@ -103,10 +145,12 @@ void RunShards(ParallelForState& state) {
       lo = state.next.fetch_add(state.grain, std::memory_order_relaxed);
     }
     if (lo >= state.end) {
+      Metrics().shards_per_executor.Record(shards_claimed);
       std::lock_guard<std::mutex> lock(state.mu);
       if (--state.in_flight == 0) state.cv.notify_all();
       return;
     }
+    ++shards_claimed;
     size_t hi = std::min(state.end, lo + state.grain);
     bool failed = false;
     std::exception_ptr error;
@@ -132,6 +176,7 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
                  size_t num_threads, ThreadPool* pool) {
   if (begin >= end) return;
   if (grain == 0) grain = 1;
+  Metrics().parallel_for_calls.Add();
   size_t threads = EffectiveThreadCount(num_threads);
   size_t shards = (end - begin + grain - 1) / grain;
   // Serial fallback: explicit num_threads=1, nothing to split, or we are

@@ -1,0 +1,83 @@
+#include "core/engine_stats.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace harmony::core {
+
+namespace {
+
+double Ms(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+void AppendF(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+std::string RenderStatsText(const EngineStats& stats) {
+  std::string out;
+  AppendF(out, "engine stats\n");
+  AppendF(out, "  %-24s %12.1f ms\n", "preprocessing",
+          stats.preprocess_seconds * 1e3);
+  AppendF(out, "  %-24s %12llu\n", "matrices computed",
+          static_cast<unsigned long long>(stats.matrices_computed));
+  AppendF(out, "  %-24s %12llu\n", "cells scored",
+          static_cast<unsigned long long>(stats.cells_scored));
+  AppendF(out, "  %-24s %12.1f ms (summed over executors)\n", "scoring kernel",
+          Ms(stats.score_ns));
+  if (!stats.voter_timing) {
+    AppendF(out,
+            "  per-voter timing off (set MatchOptions::collect_stats)\n");
+    return out;
+  }
+  uint64_t total_ns = 0;
+  for (const VoterStat& v : stats.voters) total_ns += v.total_ns;
+  AppendF(out, "  %-16s %12s %12s %8s %10s\n", "voter", "calls", "total ms",
+          "share", "ns/call");
+  for (const VoterStat& v : stats.voters) {
+    double share =
+        total_ns == 0 ? 0.0
+                      : 100.0 * static_cast<double>(v.total_ns) /
+                            static_cast<double>(total_ns);
+    double per_call = v.calls == 0 ? 0.0
+                                   : static_cast<double>(v.total_ns) /
+                                         static_cast<double>(v.calls);
+    AppendF(out, "  %-16s %12llu %12.1f %7.1f%% %10.0f\n", v.name.c_str(),
+            static_cast<unsigned long long>(v.calls), Ms(v.total_ns), share,
+            per_call);
+  }
+  return out;
+}
+
+std::string RenderStatsJson(const EngineStats& stats) {
+  std::string out;
+  AppendF(out,
+          "{\"preprocess_seconds\":%.6f,\"matrices_computed\":%llu,"
+          "\"cells_scored\":%llu,\"score_ns\":%llu,\"voter_timing\":%s,"
+          "\"voters\":[",
+          stats.preprocess_seconds,
+          static_cast<unsigned long long>(stats.matrices_computed),
+          static_cast<unsigned long long>(stats.cells_scored),
+          static_cast<unsigned long long>(stats.score_ns),
+          stats.voter_timing ? "true" : "false");
+  for (size_t i = 0; i < stats.voters.size(); ++i) {
+    const VoterStat& v = stats.voters[i];
+    AppendF(out, "%s{\"name\":\"%s\",\"calls\":%llu,\"total_ns\":%llu}",
+            i == 0 ? "" : ",", v.name.c_str(),
+            static_cast<unsigned long long>(v.calls),
+            static_cast<unsigned long long>(v.total_ns));
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace harmony::core

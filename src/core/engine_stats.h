@@ -1,0 +1,49 @@
+// The MatchEngine's observability surface: where did match effort go?
+// The paper's workflow (§3.3) was steered by wall-clock per stage; this
+// struct is the per-engine rollup — preprocessing cost, kernel cost, and the
+// per-voter breakdown — rendered as text for reports and JSON for tooling.
+// bench_util, the harmony_match CLI (--stats), and workflow drivers consume
+// it; the obs registry/tracer carry the cross-engine and per-thread views.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace harmony::core {
+
+/// \brief Cumulative cost of one voter across every cell this engine scored.
+struct VoterStat {
+  std::string name;
+  /// Vote() invocations (== cells scored while timing was on).
+  uint64_t calls = 0;
+  /// Wall nanoseconds inside Vote(), summed across executors.
+  uint64_t total_ns = 0;
+};
+
+/// \brief Everything MatchEngine::StatsReport() knows.
+struct EngineStats {
+  /// ProfilePair construction (tokenization, abbreviation expansion,
+  /// stemming, joint TF-IDF) — paid once per engine.
+  double preprocess_seconds = 0.0;
+  /// ComputeMatrix invocations (full, filtered, and sub-tree).
+  uint64_t matrices_computed = 0;
+  /// Matrix cells scored across all invocations.
+  uint64_t cells_scored = 0;
+  /// Wall nanoseconds in the scoring kernel, summed over shard executions
+  /// (CPU-seconds across executors, not elapsed time).
+  uint64_t score_ns = 0;
+  /// True when MatchOptions::collect_stats was set: the per-voter rows below
+  /// are populated (timing adds two clock reads per Vote(), so it is opt-in).
+  bool voter_timing = false;
+  std::vector<VoterStat> voters;
+};
+
+/// Fixed-width table, one line per voter, suitable for report output.
+std::string RenderStatsText(const EngineStats& stats);
+
+/// Single JSON object (stable keys; voters as an array in engine order).
+std::string RenderStatsJson(const EngineStats& stats);
+
+}  // namespace harmony::core

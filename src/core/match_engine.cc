@@ -1,15 +1,43 @@
 #include "core/match_engine.h"
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace harmony::core {
+
+namespace {
+
+// Engine-wide counters (process totals across all engines; the per-engine
+// view lives in StatsReport). Function-local statics resolve the registry
+// ids once, thread-safely.
+struct EngineMetrics {
+  obs::Counter matrices{"engine.matrices_computed"};
+  obs::Counter cells{"engine.cells_scored"};
+  obs::Counter engines{"engine.constructed"};
+  obs::Histogram preprocess_ns{"engine.preprocess_ns"};
+  obs::Histogram matrix_ns{"engine.compute_matrix_ns"};
+};
+
+EngineMetrics& Metrics() {
+  static EngineMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 MatchEngine::MatchEngine(const schema::Schema& source, const schema::Schema& target,
                          MatchOptions options)
     : options_(std::move(options)),
       profiles_(source, target, options_.preprocess),
       voters_(CreateVoters(options_.voters)),
-      merger_(options_.merger) {}
+      merger_(options_.merger) {
+  stats_.voter_calls = std::vector<std::atomic<uint64_t>>(voters_.size());
+  stats_.voter_ns = std::vector<std::atomic<uint64_t>>(voters_.size());
+  Metrics().engines.Add();
+  Metrics().preprocess_ns.Record(
+      static_cast<uint64_t>(profiles_.build_seconds() * 1e9));
+}
 
 MatchMatrix MatchEngine::ComputeMatrix() const {
   return ComputeMatrix(source().AllElementIds(), target().AllElementIds());
@@ -29,25 +57,56 @@ MatchMatrix MatchEngine::ComputeMatrix(const NodeFilter& source_filter,
 MatchMatrix MatchEngine::ComputeMatrix(
     const std::vector<schema::ElementId>& source_ids,
     const std::vector<schema::ElementId>& target_ids) const {
+  HARMONY_TRACE_SPAN("engine/compute_matrix");
+  uint64_t t0 = obs::MonotonicNanos();
   MatchMatrix matrix(source_ids, target_ids);
+  const bool timed = options_.collect_stats;
   // Row-sharded: each executor owns disjoint matrix rows and a private
   // voter scratch vector, so the parallel result is bitwise-identical to
-  // the serial one (same cells, same operations, no shared writes).
+  // the serial one (same cells, same operations, no shared writes). The
+  // timed variant runs the same arithmetic — it only adds clock reads —
+  // so scores are unchanged with stats collection on.
   auto score_rows = [&](size_t row_begin, size_t row_end) {
+    HARMONY_TRACE_SPAN("engine/score_rows");
     std::vector<VoterScore> scores(voters_.size());
+    std::vector<uint64_t> shard_voter_ns(timed ? voters_.size() : 0, 0);
     for (size_t r = row_begin; r < row_end; ++r) {
       schema::ElementId s = matrix.SourceIdAt(r);
       for (size_t c = 0; c < matrix.cols(); ++c) {
         schema::ElementId t = matrix.TargetIdAt(c);
-        for (size_t v = 0; v < voters_.size(); ++v) {
-          scores[v] = voters_[v]->Vote(profiles_, s, t);
+        if (timed) {
+          for (size_t v = 0; v < voters_.size(); ++v) {
+            uint64_t start = obs::MonotonicNanos();
+            scores[v] = voters_[v]->Vote(profiles_, s, t);
+            shard_voter_ns[v] += obs::MonotonicNanos() - start;
+          }
+        } else {
+          for (size_t v = 0; v < voters_.size(); ++v) {
+            scores[v] = voters_[v]->Vote(profiles_, s, t);
+          }
         }
         matrix.SetByIndex(r, c, merger_.Merge(voters_, scores));
+      }
+    }
+    size_t shard_cells = (row_end - row_begin) * matrix.cols();
+    stats_.cells.fetch_add(shard_cells, std::memory_order_relaxed);
+    Metrics().cells.Add(shard_cells);
+    if (timed) {
+      uint64_t shard_calls = shard_cells;
+      for (size_t v = 0; v < voters_.size(); ++v) {
+        stats_.voter_calls[v].fetch_add(shard_calls, std::memory_order_relaxed);
+        stats_.voter_ns[v].fetch_add(shard_voter_ns[v],
+                                     std::memory_order_relaxed);
       }
     }
   };
   common::ParallelFor(0, matrix.rows(), /*grain=*/1, score_rows,
                       options_.num_threads);
+  stats_.matrices.fetch_add(1, std::memory_order_relaxed);
+  uint64_t elapsed = obs::MonotonicNanos() - t0;
+  stats_.score_ns.fetch_add(elapsed, std::memory_order_relaxed);
+  Metrics().matrices.Add();
+  Metrics().matrix_ns.Record(elapsed);
   return matrix;
 }
 
@@ -81,6 +140,22 @@ double MatchEngine::ScorePair(schema::ElementId source_id,
     scores[v] = voters_[v]->Vote(profiles_, source_id, target_id);
   }
   return merger_.Merge(voters_, scores);
+}
+
+EngineStats MatchEngine::StatsReport() const {
+  EngineStats out;
+  out.preprocess_seconds = profiles_.build_seconds();
+  out.matrices_computed = stats_.matrices.load(std::memory_order_relaxed);
+  out.cells_scored = stats_.cells.load(std::memory_order_relaxed);
+  out.score_ns = stats_.score_ns.load(std::memory_order_relaxed);
+  out.voter_timing = options_.collect_stats;
+  out.voters.resize(voters_.size());
+  for (size_t v = 0; v < voters_.size(); ++v) {
+    out.voters[v].name = voters_[v]->name();
+    out.voters[v].calls = stats_.voter_calls[v].load(std::memory_order_relaxed);
+    out.voters[v].total_ns = stats_.voter_ns[v].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 }  // namespace harmony::core

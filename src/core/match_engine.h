@@ -4,9 +4,11 @@
 
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
+#include "core/engine_stats.h"
 #include "core/filters.h"
 #include "core/match_matrix.h"
 #include "core/merger.h"
@@ -34,6 +36,11 @@ struct MatchOptions {
   /// thread. The parallel kernel is row-sharded and bitwise-identical to
   /// the serial path at any thread count.
   size_t num_threads = 0;
+  /// Collect per-voter cumulative timing in StatsReport(). Adds two steady-
+  /// clock reads per Vote() on the scoring path, so it is opt-in; cheap
+  /// aggregates (cells scored, matrices computed, kernel time) are always
+  /// collected. Scores are identical either way.
+  bool collect_stats = false;
 };
 
 /// \brief Per-pair diagnostic: the raw voter scores behind one cell of the
@@ -98,11 +105,27 @@ class MatchEngine {
   /// Scores one pair (merged score only).
   double ScorePair(schema::ElementId source_id, schema::ElementId target_id) const;
 
+  /// Where this engine's effort went: preprocessing cost, kernel time, cells
+  /// scored, and (with MatchOptions::collect_stats) the per-voter breakdown.
+  /// Cumulative since construction; safe to call concurrently with matching.
+  EngineStats StatsReport() const;
+
  private:
+  // Atomic so concurrent ComputeMatrix calls (the engine is otherwise
+  // immutable) can account shard results without synchronization.
+  struct StatsAccumulator {
+    std::atomic<uint64_t> matrices{0};
+    std::atomic<uint64_t> cells{0};
+    std::atomic<uint64_t> score_ns{0};
+    std::vector<std::atomic<uint64_t>> voter_calls;  // sized to voters_
+    std::vector<std::atomic<uint64_t>> voter_ns;
+  };
+
   MatchOptions options_;
   ProfilePair profiles_;
   std::vector<std::unique_ptr<MatchVoter>> voters_;
   VoteMerger merger_;
+  mutable StatsAccumulator stats_;
 };
 
 }  // namespace harmony::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/stemmer.h"
 #include "text/stopwords.h"
 
@@ -73,6 +75,8 @@ ElementProfile BuildProfile(const schema::SchemaElement& element,
 ProfilePair::ProfilePair(const schema::Schema& source, const schema::Schema& target,
                          const PreprocessOptions& options)
     : source_(&source), target_(&target) {
+  HARMONY_TRACE_SPAN("engine/preprocess");
+  uint64_t t0 = obs::MonotonicNanos();
   source_profiles_.resize(source.node_count());
   target_profiles_.resize(target.node_count());
 
@@ -110,13 +114,20 @@ ProfilePair::ProfilePair(const schema::Schema& source, const schema::Schema& tar
       out[id].children_tokens = std::move(child_union);
     }
   };
-  build_side(source, source_profiles_);
-  build_side(target, target_profiles_);
-
-  corpus_.Finalize();
-  for (auto& [profile, doc_id] : pending) {
-    profile->doc_vector = corpus_.DocumentVector(doc_id);
+  {
+    HARMONY_TRACE_SPAN("preprocess/profiles");
+    build_side(source, source_profiles_);
+    build_side(target, target_profiles_);
   }
+
+  {
+    HARMONY_TRACE_SPAN("preprocess/tfidf");
+    corpus_.Finalize();
+    for (auto& [profile, doc_id] : pending) {
+      profile->doc_vector = corpus_.DocumentVector(doc_id);
+    }
+  }
+  build_seconds_ = static_cast<double>(obs::MonotonicNanos() - t0) / 1e9;
 }
 
 }  // namespace harmony::core

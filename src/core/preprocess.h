@@ -96,9 +96,14 @@ class ProfilePair {
 
   const text::TfIdfCorpus& corpus() const { return corpus_; }
 
+  /// Wall seconds the constructor spent building both sides' profiles and
+  /// the joint TF-IDF corpus — the engine's "preprocessing" stage cost.
+  double build_seconds() const { return build_seconds_; }
+
  private:
   const schema::Schema* source_;
   const schema::Schema* target_;
+  double build_seconds_ = 0.0;
   text::TfIdfCorpus corpus_;
   std::vector<ElementProfile> source_profiles_;  // Indexed by ElementId.
   std::vector<ElementProfile> target_profiles_;

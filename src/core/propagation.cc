@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace harmony::core {
 
@@ -14,8 +16,13 @@ MatchMatrix PropagateScores(const schema::Schema& source,
       << "propagation requires the full-schema matrix";
   HARMONY_CHECK_EQ(matrix.cols(), target.element_count());
 
+  HARMONY_TRACE_SPAN("engine/propagate");
+  static obs::Counter sweeps("propagation.sweeps");
+
   MatchMatrix current = matrix;
   for (size_t iter = 0; iter < options.iterations; ++iter) {
+    HARMONY_TRACE_SPAN("propagate/sweep");
+    sweeps.Add();
     MatchMatrix next = current;
     // Each sweep reads `current` (frozen for the sweep) and writes disjoint
     // rows of `next`, so the row loop shards across the pool race-free and

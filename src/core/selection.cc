@@ -5,15 +5,19 @@
 #include <deque>
 #include <unordered_map>
 
+#include "obs/trace.h"
+
 namespace harmony::core {
 
 std::vector<Correspondence> SelectByThreshold(const MatchMatrix& matrix,
                                               double threshold) {
+  HARMONY_TRACE_SPAN("select/threshold");
   return matrix.PairsAbove(threshold);
 }
 
 std::vector<Correspondence> SelectTopKPerSource(const MatchMatrix& matrix, size_t k,
                                                 double threshold) {
+  HARMONY_TRACE_SPAN("select/top_k");
   std::vector<Correspondence> out;
   for (size_t r = 0; r < matrix.rows(); ++r) {
     std::vector<std::pair<double, size_t>> scored;
@@ -41,6 +45,7 @@ std::vector<Correspondence> SelectTopKPerSource(const MatchMatrix& matrix, size_
 
 std::vector<Correspondence> SelectGreedyOneToOne(const MatchMatrix& matrix,
                                                  double threshold) {
+  HARMONY_TRACE_SPAN("select/greedy_1to1");
   std::vector<Correspondence> candidates = matrix.PairsAbove(threshold);
   std::vector<bool> source_used(matrix.rows(), false);
   std::vector<bool> target_used(matrix.cols(), false);
@@ -62,6 +67,7 @@ std::vector<Correspondence> SelectGreedyOneToOne(const MatchMatrix& matrix,
 
 std::vector<Correspondence> SelectStableMarriage(const MatchMatrix& matrix,
                                                  double threshold) {
+  HARMONY_TRACE_SPAN("select/stable_marriage");
   const size_t n_src = matrix.rows();
   const size_t n_tgt = matrix.cols();
   if (n_src == 0 || n_tgt == 0) return {};

@@ -18,6 +18,8 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "schema/builder.h"
 #include "schema/element.h"
 #include "schema/schema.h"
@@ -36,6 +38,7 @@
 #include "xml/xsd_importer.h"
 
 // The match engine (the paper's contribution).
+#include "core/engine_stats.h"
 #include "core/evidence.h"
 #include "core/filters.h"
 #include "core/match_engine.h"

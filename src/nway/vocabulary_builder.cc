@@ -9,6 +9,8 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/selection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/tokenizer.h"
 
 namespace harmony::nway {
@@ -56,6 +58,7 @@ ComprehensiveVocabulary::ComprehensiveVocabulary(
     std::vector<const schema::Schema*> schemas,
     const std::vector<PairwiseMatches>& matches)
     : schemas_(std::move(schemas)) {
+  HARMONY_TRACE_SPAN("nway/build_vocabulary");
   HARMONY_CHECK_LE(schemas_.size(), kMaxSchemas);
   for (const auto* s : schemas_) HARMONY_CHECK(s != nullptr);
 
@@ -191,12 +194,15 @@ std::vector<PairwiseMatches> MatchAllPairs(
     }
   }
   std::vector<PairwiseMatches> out(pairs.size());
+  HARMONY_TRACE_SPAN("nway/match_all_pairs");
+  static obs::Counter pairs_matched("nway.pairs_matched");
   // Each pairwise match is an independent MatchEngine run (its own
   // preprocessing and matrix); parallelizing here is the N-way vocabulary
   // builder's biggest lever. Nested row-level parallelism inside
   // ComputeMatrix degrades to inline execution on pool workers.
   auto match_range = [&](size_t begin, size_t end) {
     for (size_t k = begin; k < end; ++k) {
+      HARMONY_TRACE_SPAN("nway/match_pair");
       auto [i, j] = pairs[k];
       core::MatchEngine engine(*schemas[i], *schemas[j], options);
       core::MatchMatrix matrix = engine.ComputeMatrix();
@@ -205,6 +211,7 @@ std::vector<PairwiseMatches> MatchAllPairs(
       pm.target_index = j;
       pm.links = one_to_one ? core::SelectGreedyOneToOne(matrix, threshold)
                             : core::SelectByThreshold(matrix, threshold);
+      pairs_matched.Add();
     }
   };
   common::ParallelFor(0, pairs.size(), /*grain=*/1, match_range,

@@ -1,0 +1,325 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace harmony::obs {
+
+namespace {
+
+// Standalone fatal: obs cannot use HARMONY_CHECK (logging may itself be
+// instrumented one day), and these fire only on programmer error.
+[[noreturn]] void FatalF(const char* message) {
+  std::fprintf(stderr, "[FATAL obs] %s\n", message);
+  std::abort();
+}
+
+// Registry generations are globally unique and never reused, so a stale TLS
+// cache entry for a destroyed registry can never alias a new one.
+std::atomic<uint64_t> g_next_generation{1};
+
+// Bucket i holds values whose bit_width is i: 0 → bucket 0, 1 → 1,
+// [2,3] → 2, [4,7] → 3, ... Upper bound of bucket i (i>0) is 2^i - 1.
+size_t BucketOf(uint64_t value) { return std::bit_width(value); }
+
+uint64_t BucketUpperBound(size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return UINT64_MAX;
+  return (uint64_t{1} << bucket) - 1;
+}
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+double HistogramSnapshot::Mean() const {
+  return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+uint64_t HistogramSnapshot::PercentileUpperBound(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return BucketUpperBound(b);
+  }
+  return BucketUpperBound(buckets.size() - 1);
+}
+
+const CounterSnapshot* MetricsSnapshot::FindCounter(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSnapshot* MetricsSnapshot::FindGauge(std::string_view name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char line[256];
+  for (const auto& c : counters) {
+    std::snprintf(line, sizeof(line), "counter    %-40s %20llu\n", c.name.c_str(),
+                  static_cast<unsigned long long>(c.value));
+    out += line;
+  }
+  for (const auto& g : gauges) {
+    std::snprintf(line, sizeof(line), "gauge      %-40s %20lld\n", g.name.c_str(),
+                  static_cast<long long>(g.value));
+    out += line;
+  }
+  for (const auto& h : histograms) {
+    std::snprintf(line, sizeof(line),
+                  "histogram  %-40s count=%llu mean=%.0f p50<=%llu p99<=%llu\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.Mean(),
+                  static_cast<unsigned long long>(h.PercentileUpperBound(0.50)),
+                  static_cast<unsigned long long>(h.PercentileUpperBound(0.99)));
+    out += line;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  char buf[128];
+  for (const auto& c : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(out, c.name);
+    std::snprintf(buf, sizeof(buf), "\":%llu",
+                  static_cast<unsigned long long>(c.value));
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(out, g.name);
+    std::snprintf(buf, sizeof(buf), "\":%lld", static_cast<long long>(g.value));
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(out, h.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\":{\"count\":%llu,\"sum\":%llu,\"mean\":%.1f,"
+                  "\"p50\":%llu,\"p99\":%llu}",
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum), h.Mean(),
+                  static_cast<unsigned long long>(h.PercentileUpperBound(0.50)),
+                  static_cast<unsigned long long>(h.PercentileUpperBound(0.99)));
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+// One thread's storage: plain atomics so snapshots may read while the owner
+// increments (relaxed everywhere — counters need no ordering, only totals).
+struct MetricsRegistry::ThreadShard {
+  std::array<std::atomic<uint64_t>, kMaxCounters> counters{};
+  struct HistShard {
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+  };
+  std::array<HistShard, kMaxHistograms> histograms{};
+};
+
+namespace {
+
+// Per-thread cache mapping registry generation → shard pointer. Linear scan
+// over a few slots; the common case (one global registry) hits slot 0.
+struct ShardCache {
+  static constexpr size_t kSlots = 8;
+  uint64_t generation[kSlots] = {};
+  void* shard[kSlots] = {};
+  size_t next_victim = 0;
+};
+
+thread_local ShardCache t_shard_cache;
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : generation_(g_next_generation.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked: instrumented threads may outlive static destruction order.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+uint32_t MetricsRegistry::CounterId(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < counter_names_.size(); ++i) {
+    if (counter_names_[i] == name) return static_cast<uint32_t>(i);
+  }
+  if (counter_names_.size() >= kMaxCounters) FatalF("counter capacity exceeded");
+  counter_names_.push_back(name);
+  return static_cast<uint32_t>(counter_names_.size() - 1);
+}
+
+uint32_t MetricsRegistry::GaugeId(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < gauge_names_.size(); ++i) {
+    if (gauge_names_[i] == name) return static_cast<uint32_t>(i);
+  }
+  if (gauge_names_.size() >= kMaxGauges) FatalF("gauge capacity exceeded");
+  gauge_names_.push_back(name);
+  return static_cast<uint32_t>(gauge_names_.size() - 1);
+}
+
+uint32_t MetricsRegistry::HistogramId(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < histogram_names_.size(); ++i) {
+    if (histogram_names_[i] == name) return static_cast<uint32_t>(i);
+  }
+  if (histogram_names_.size() >= kMaxHistograms) {
+    FatalF("histogram capacity exceeded");
+  }
+  histogram_names_.push_back(name);
+  return static_cast<uint32_t>(histogram_names_.size() - 1);
+}
+
+MetricsRegistry::ThreadShard& MetricsRegistry::LocalShard() {
+  ShardCache& cache = t_shard_cache;
+  for (size_t i = 0; i < ShardCache::kSlots; ++i) {
+    if (cache.generation[i] == generation_) {
+      return *static_cast<ThreadShard*>(cache.shard[i]);
+    }
+  }
+  // Slow path: first touch of this registry from this thread.
+  auto shard = std::make_unique<ThreadShard>();
+  ThreadShard* raw = shard.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::move(shard));
+  }
+  size_t slot = cache.next_victim++ % ShardCache::kSlots;
+  cache.generation[slot] = generation_;
+  cache.shard[slot] = raw;
+  return *raw;
+}
+
+void MetricsRegistry::Add(uint32_t counter_id, uint64_t delta) {
+  if (counter_id >= kMaxCounters) FatalF("counter id out of range");
+  LocalShard().counters[counter_id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Record(uint32_t histogram_id, uint64_t value) {
+  if (histogram_id >= kMaxHistograms) FatalF("histogram id out of range");
+  ThreadShard::HistShard& h = LocalShard().histograms[histogram_id];
+  h.buckets[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  h.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::GaugeSet(uint32_t gauge_id, int64_t value) {
+  if (gauge_id >= kMaxGauges) FatalF("gauge id out of range");
+  gauges_[gauge_id].store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::GaugeAdd(uint32_t gauge_id, int64_t delta) {
+  if (gauge_id >= kMaxGauges) FatalF("gauge id out of range");
+  gauges_[gauge_id].fetch_add(delta, std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.counters.resize(counter_names_.size());
+  for (size_t i = 0; i < counter_names_.size(); ++i) {
+    out.counters[i].name = counter_names_[i];
+  }
+  out.gauges.resize(gauge_names_.size());
+  for (size_t i = 0; i < gauge_names_.size(); ++i) {
+    out.gauges[i].name = gauge_names_[i];
+    out.gauges[i].value = gauges_[i].load(std::memory_order_relaxed);
+  }
+  out.histograms.resize(histogram_names_.size());
+  for (size_t i = 0; i < histogram_names_.size(); ++i) {
+    out.histograms[i].name = histogram_names_[i];
+  }
+  for (const auto& shard : shards_) {
+    for (size_t i = 0; i < out.counters.size(); ++i) {
+      out.counters[i].value +=
+          shard->counters[i].load(std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i < out.histograms.size(); ++i) {
+      const ThreadShard::HistShard& h = shard->histograms[i];
+      HistogramSnapshot& s = out.histograms[i];
+      s.sum += h.sum.load(std::memory_order_relaxed);
+      for (size_t b = 0; b < kHistogramBuckets; ++b) {
+        uint64_t n = h.buckets[b].load(std::memory_order_relaxed);
+        s.buckets[b] += n;
+        s.count += n;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& shard : shards_) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& h : shard->histograms) {
+      for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+      h.sum.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+}
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace harmony::obs

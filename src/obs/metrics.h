@@ -1,0 +1,208 @@
+// harmony::obs metrics — named counters, gauges, and log-scale latency
+// histograms with per-thread sharded storage. Hot-path increments are a
+// relaxed atomic add on a thread-owned cache line (a few nanoseconds);
+// Snapshot() merges the shards under the registration lock. Compiling with
+// HARMONY_OBS_DISABLED (cmake -DHARMONY_OBS=OFF) turns every instrumentation
+// site into nothing.
+//
+// The library is deliberately standalone (no dependency on harmony_common)
+// so the thread pool and logging layer can themselves be instrumented
+// without a link cycle.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#if defined(HARMONY_OBS_DISABLED)
+#define HARMONY_OBS_ENABLED 0
+#else
+#define HARMONY_OBS_ENABLED 1
+#endif
+
+namespace harmony::obs {
+
+/// Fixed shard capacities. Fixed arrays keep per-thread storage stable under
+/// concurrent snapshots (no resize races); registration past capacity aborts,
+/// which is a programmer error, not a runtime condition.
+inline constexpr size_t kMaxCounters = 256;
+inline constexpr size_t kMaxGauges = 64;
+inline constexpr size_t kMaxHistograms = 64;
+/// Power-of-two buckets: bucket i counts values with bit_width == i, so the
+/// full uint64 range maps to 65 buckets (0 has its own).
+inline constexpr size_t kHistogramBuckets = 65;
+
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  int64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  double Mean() const;
+  /// Upper bound of the bucket containing the p-quantile (p in [0,1]).
+  /// Log-scale buckets bound the estimate within 2x of the true value.
+  uint64_t PercentileUpperBound(double p) const;
+};
+
+/// \brief A merged, point-in-time view of a registry.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  const CounterSnapshot* FindCounter(std::string_view name) const;
+  const GaugeSnapshot* FindGauge(std::string_view name) const;
+  const HistogramSnapshot* FindHistogram(std::string_view name) const;
+
+  /// Human-readable table (one metric per line).
+  std::string ToText() const;
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,...}}}
+  std::string ToJson() const;
+};
+
+/// \brief Registry of named metrics with per-thread sharded storage.
+///
+/// Thread-safe throughout: registration takes a mutex (do it once, at
+/// instrumentation-site setup); Add/Record/Set are lock-free on a
+/// thread-local shard; Snapshot() may run concurrently with writers and
+/// observes each counter at-or-after its value at call time.
+///
+/// The registry must outlive every thread that writes to it. The global
+/// instance is never destroyed, so instrumented code needs no shutdown
+/// ordering.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry (created on first use, intentionally leaked).
+  static MetricsRegistry& Global();
+
+  /// Registers (or looks up) a metric by name; ids are stable for the
+  /// registry's lifetime. Aborts past capacity.
+  uint32_t CounterId(const std::string& name);
+  uint32_t GaugeId(const std::string& name);
+  uint32_t HistogramId(const std::string& name);
+
+  /// Lock-free increment of this thread's shard.
+  void Add(uint32_t counter_id, uint64_t delta = 1);
+  /// Lock-free record into the log-scale histogram shard.
+  void Record(uint32_t histogram_id, uint64_t value);
+  /// Gauges are registry-level last-write-wins (not sharded).
+  void GaugeSet(uint32_t gauge_id, int64_t value);
+  void GaugeAdd(uint32_t gauge_id, int64_t delta);
+
+  /// Merges all shards. Safe while writers are incrementing.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every shard and gauge; keeps registered names and ids.
+  void Reset();
+
+ private:
+  struct ThreadShard;
+
+  ThreadShard& LocalShard();
+
+  mutable std::mutex mu_;  // guards names + shard list
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::vector<std::unique_ptr<ThreadShard>> shards_;
+  std::array<std::atomic<int64_t>, kMaxGauges> gauges_{};
+  const uint64_t generation_;  // distinguishes registries in the TLS cache
+};
+
+/// \brief Cheap named-counter handle: resolves its id once (typically as a
+/// function-local static at the instrumentation site).
+class Counter {
+ public:
+#if HARMONY_OBS_ENABLED
+  explicit Counter(const char* name)
+      : registry_(&MetricsRegistry::Global()), id_(registry_->CounterId(name)) {}
+  void Add(uint64_t delta = 1) { registry_->Add(id_, delta); }
+
+ private:
+  MetricsRegistry* registry_;
+  uint32_t id_;
+#else
+  explicit Counter(const char* /*name*/) {}
+  void Add(uint64_t /*delta*/ = 1) {}
+#endif
+};
+
+class Gauge {
+ public:
+#if HARMONY_OBS_ENABLED
+  explicit Gauge(const char* name)
+      : registry_(&MetricsRegistry::Global()), id_(registry_->GaugeId(name)) {}
+  void Set(int64_t value) { registry_->GaugeSet(id_, value); }
+  void Add(int64_t delta) { registry_->GaugeAdd(id_, delta); }
+
+ private:
+  MetricsRegistry* registry_;
+  uint32_t id_;
+#else
+  explicit Gauge(const char* /*name*/) {}
+  void Set(int64_t /*value*/) {}
+  void Add(int64_t /*delta*/) {}
+#endif
+};
+
+class Histogram {
+ public:
+#if HARMONY_OBS_ENABLED
+  explicit Histogram(const char* name)
+      : registry_(&MetricsRegistry::Global()), id_(registry_->HistogramId(name)) {}
+  void Record(uint64_t value) { registry_->Record(id_, value); }
+
+ private:
+  MetricsRegistry* registry_;
+  uint32_t id_;
+#else
+  explicit Histogram(const char* /*name*/) {}
+  void Record(uint64_t /*value*/) {}
+#endif
+};
+
+/// Monotonic nanoseconds since an arbitrary process epoch (steady clock).
+uint64_t MonotonicNanos();
+
+/// \brief RAII latency sample: records elapsed nanoseconds into a histogram.
+class ScopedLatency {
+ public:
+#if HARMONY_OBS_ENABLED
+  explicit ScopedLatency(Histogram& histogram)
+      : histogram_(&histogram), start_ns_(MonotonicNanos()) {}
+  ~ScopedLatency() { histogram_->Record(MonotonicNanos() - start_ns_); }
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_ns_;
+#else
+  explicit ScopedLatency(Histogram& /*histogram*/) {}
+#endif
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+};
+
+}  // namespace harmony::obs

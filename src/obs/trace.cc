@@ -1,0 +1,179 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace harmony::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  uint64_t start_ns;
+  uint64_t dur_ns;
+};
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+struct Tracer::ThreadBuffer {
+  std::mutex mu;
+  uint32_t tid = 0;
+  std::string thread_name;
+  std::vector<TraceEvent> events;
+};
+
+Tracer::Tracer() : epoch_ns_(MonotonicNanos()) {}
+
+Tracer& Tracer::Global() {
+  // Leaked: spans may fire during static destruction of other objects.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::LocalBuffer() {
+  // Per-thread buffer pointer; valid because there is exactly one Tracer
+  // (Global(), leaked) and it owns every buffer it hands out.
+  thread_local ThreadBuffer* t_buffer = nullptr;
+  if (t_buffer != nullptr) return *t_buffer;
+  auto buffer = std::make_unique<ThreadBuffer>();
+  ThreadBuffer* raw = buffer.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    raw->tid = next_tid_++;
+    buffers_.push_back(std::move(buffer));
+  }
+  t_buffer = raw;
+  return *raw;
+}
+
+void Tracer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_ns_ = MonotonicNanos();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::SetThreadName(const std::string& name) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.thread_name = name;
+}
+
+void Tracer::Emit(const char* name, uint64_t start_ns, uint64_t end_ns) {
+  if (!enabled()) return;  // stopped while the span was open
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() >= max_events_per_thread_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.events.push_back(
+      {name, start_ns, end_ns >= start_ns ? end_ns - start_ns : 0});
+}
+
+size_t Tracer::event_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+std::string Tracer::ExportChromeTrace() {
+  struct Row {
+    TraceEvent event;
+    uint32_t tid;
+  };
+  std::vector<Row> rows;
+  std::vector<std::pair<uint32_t, std::string>> thread_names;
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = epoch_ns_;
+    for (auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      std::string name = buffer->thread_name.empty()
+                             ? "thread-" + std::to_string(buffer->tid)
+                             : buffer->thread_name;
+      thread_names.emplace_back(buffer->tid, std::move(name));
+      for (const TraceEvent& e : buffer->events) {
+        rows.push_back({e, buffer->tid});
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.event.start_ns != b.event.start_ns) {
+      return a.event.start_ns < b.event.start_ns;
+    }
+    return a.tid < b.tid;
+  });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out +=
+      "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,"
+      "\"args\":{\"name\":\"harmony\"}}";
+  char buf[192];
+  for (const auto& [tid, name] : thread_names) {
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"name\":\"",
+                  tid);
+    out += buf;
+    AppendEscaped(out, name);
+    out += "\"}}";
+  }
+  for (const Row& row : rows) {
+    // Chrome's ts/dur are microseconds; keep ns resolution as a fraction.
+    // A span opened before a concurrent Start() reset clamps to the epoch.
+    double ts_us =
+        row.event.start_ns >= epoch
+            ? static_cast<double>(row.event.start_ns - epoch) / 1000.0
+            : 0.0;
+    double dur_us = static_cast<double>(row.event.dur_ns) / 1000.0;
+    out += ",{\"ph\":\"X\",\"name\":\"";
+    AppendEscaped(out, row.event.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}", row.tid,
+                  ts_us, dur_us);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << ExportChromeTrace();
+  return static_cast<bool>(f);
+}
+
+}  // namespace harmony::obs

@@ -1,0 +1,111 @@
+// harmony::obs tracing — RAII spans feeding per-thread event buffers,
+// exported as Chrome trace-event JSON (open chrome://tracing or
+// https://ui.perfetto.dev and load the file). Tracing is off by default:
+// a disabled HARMONY_TRACE_SPAN costs one relaxed atomic load. When enabled,
+// each completed span appends one event to a buffer owned by its thread
+// (per-buffer mutex, uncontended), so instrumented code stays race-free and
+// bitwise-deterministic.
+//
+// Span names must be string literals (or otherwise outlive the tracer
+// session): buffers store the pointer, not a copy.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"  // HARMONY_OBS_ENABLED
+
+namespace harmony::obs {
+
+/// \brief The process-wide trace collector.
+class Tracer {
+ public:
+  /// Singleton (created on first use, intentionally leaked).
+  static Tracer& Global();
+
+  /// Discards previously buffered events and starts recording.
+  void Start();
+  /// Stops recording; buffered events remain available for export.
+  void Stop();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Names the calling thread's track in the exported trace (e.g.
+  /// "pool-worker-3"). Cheap; callable whether or not tracing is enabled.
+  void SetThreadName(const std::string& name);
+
+  /// Records one complete span on the calling thread's buffer.
+  void Emit(const char* name, uint64_t start_ns, uint64_t end_ns);
+
+  /// Total buffered events across all threads.
+  size_t event_count();
+  /// Events dropped because a thread buffer hit its cap.
+  uint64_t dropped_count() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Serializes all buffered events as Chrome trace-event JSON with one
+  /// track per thread ("X" complete events plus "M" thread_name metadata).
+  std::string ExportChromeTrace();
+
+  /// ExportChromeTrace() to a file; false on I/O failure.
+  bool WriteChromeTrace(const std::string& path);
+
+ private:
+  Tracer();
+
+  struct ThreadBuffer;
+  ThreadBuffer& LocalBuffer();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+  std::mutex mu_;  // guards buffers_ and next_tid_
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  uint32_t next_tid_ = 1;
+  uint64_t epoch_ns_ = 0;
+  size_t max_events_per_thread_ = size_t{1} << 20;
+};
+
+/// \brief RAII span: captures [construction, destruction) when tracing is
+/// enabled at construction time.
+class TraceSpan {
+ public:
+#if HARMONY_OBS_ENABLED
+  explicit TraceSpan(const char* name) {
+    if (Tracer::Global().enabled()) {
+      name_ = name;
+      start_ns_ = MonotonicNanos();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      Tracer::Global().Emit(name_, start_ns_, MonotonicNanos());
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+#else
+  explicit TraceSpan(const char* /*name*/) {}
+#endif
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+#define HARMONY_OBS_CONCAT_INNER(a, b) a##b
+#define HARMONY_OBS_CONCAT(a, b) HARMONY_OBS_CONCAT_INNER(a, b)
+
+#if HARMONY_OBS_ENABLED
+/// Scoped trace span covering the rest of the enclosing block.
+#define HARMONY_TRACE_SPAN(name) \
+  ::harmony::obs::TraceSpan HARMONY_OBS_CONCAT(harmony_trace_span_, __LINE__)(name)
+#else
+#define HARMONY_TRACE_SPAN(name) \
+  do {                           \
+  } while (false)
+#endif
+
+}  // namespace harmony::obs

@@ -2,6 +2,8 @@
 
 #include "common/logging.h"
 #include "core/selection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace harmony::workflow {
 
@@ -11,11 +13,16 @@ ConceptWorkflowReport RunConceptWorkflow(const core::MatchEngine& engine,
                                          const ConceptWorkflowOptions& options,
                                          MatchWorkspace* workspace) {
   HARMONY_CHECK(workspace != nullptr);
+  HARMONY_TRACE_SPAN("workflow/concept_workflow");
+  static obs::Counter increments_run("workflow.concept_increments");
+  static obs::Histogram increment_ns("workflow.concept_increment_ns");
   ConceptWorkflowReport report;
 
   std::vector<schema::ElementId> target_ids = engine.target().AllElementIds();
 
   for (const summarize::Concept& concept_info : source_summary.concepts()) {
+    HARMONY_TRACE_SPAN("workflow/concept_increment");
+    uint64_t t0 = obs::MonotonicNanos();
     ConceptIncrement increment;
     increment.concept_id = concept_info.id;
 
@@ -27,6 +34,8 @@ ConceptWorkflowReport RunConceptWorkflow(const core::MatchEngine& engine,
     }
     core::MatchMatrix matrix = engine.ComputeMatrix(rows, target_ids);
     increment.pairs_considered = matrix.pair_count();
+    uint64_t t_matched = obs::MonotonicNanos();
+    increment.match_seconds = static_cast<double>(t_matched - t0) / 1e9;
 
     // Confidence filter, then the scripted reviewer.
     std::vector<core::Correspondence> candidates =
@@ -57,9 +66,26 @@ ConceptWorkflowReport RunConceptWorkflow(const core::MatchEngine& engine,
       }
     }
 
+    uint64_t t_reviewed = obs::MonotonicNanos();
+    increment.review_seconds =
+        static_cast<double>(t_reviewed - t_matched) / 1e9;
+    increments_run.Add();
+    increment_ns.Record(t_reviewed - t0);
+    // The per-increment stage budget — §3.3's loop was steered by exactly
+    // this number ("these match operations were rapid").
+    HARMONY_LOG(Debug) << "concept " << concept_info.id << " (\""
+                       << concept_info.label << "\"): "
+                       << increment.pairs_considered << " pairs in "
+                       << increment.match_seconds * 1e3 << " ms match + "
+                       << increment.review_seconds * 1e3 << " ms review, "
+                       << increment.accepted << " accepted, "
+                       << increment.deferred << " deferred";
+
     report.total_pairs_considered += increment.pairs_considered;
     report.total_accepted += increment.accepted;
     report.total_deferred += increment.deferred;
+    report.total_match_seconds += increment.match_seconds;
+    report.total_review_seconds += increment.review_seconds;
     report.increments.push_back(increment);
   }
 

@@ -57,6 +57,10 @@ struct ConceptIncrement {
   size_t candidates_reviewed = 0;
   size_t accepted = 0;
   size_t deferred = 0;
+  /// Stage budget for this increment (the paper steered the loop by exactly
+  /// this wall-clock): time in MATCH(sub-tree, SB) vs. selection + review.
+  double match_seconds = 0.0;
+  double review_seconds = 0.0;
 };
 
 /// \brief Everything the workflow produced.
@@ -65,6 +69,9 @@ struct ConceptWorkflowReport {
   size_t total_pairs_considered = 0;
   size_t total_accepted = 0;
   size_t total_deferred = 0;
+  /// Summed stage budgets across increments.
+  double total_match_seconds = 0.0;
+  double total_review_seconds = 0.0;
   /// Lifted one-to-one concept-level matches (the paper recorded 24).
   std::vector<summarize::ConceptMatch> concept_matches;
 };

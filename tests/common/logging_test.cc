@@ -1,0 +1,100 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace harmony {
+namespace {
+
+// Restores the log threshold on scope exit so tests stay independent.
+class ThresholdGuard {
+ public:
+  explicit ThresholdGuard(LogLevel level) : previous_(SetLogThreshold(level)) {}
+  ~ThresholdGuard() { SetLogThreshold(previous_); }
+
+ private:
+  LogLevel previous_;
+};
+
+// The compile test for the dangling-else hazard: with the naive
+// `if (!(cond)) LOG(Fatal)` expansion, the `else` below would bind to the
+// macro's internal if — so a *passing* check would execute the else branch.
+// With the guard idiom the else binds to the outer if, as written.
+TEST(LoggingTest, CheckInUnbracedIfDoesNotStealElse) {
+  bool else_ran = false;
+  if (true)
+    HARMONY_CHECK(true);
+  else
+    else_ran = true;  // must belong to `if (true)`, i.e. never run
+  EXPECT_FALSE(else_ran);
+
+  bool then_ran = false;
+  if (false)
+    HARMONY_CHECK(true);
+  else
+    then_ran = true;  // must run: the outer condition is false
+  EXPECT_TRUE(then_ran);
+}
+
+TEST(LoggingTest, CheckStreamsExtraContext) {
+  // Streaming onto a passing check must compile and not evaluate loudly.
+  HARMONY_CHECK(1 + 1 == 2) << "math still works " << 42;
+  HARMONY_CHECK_EQ(2, 2) << "streamed";
+  HARMONY_CHECK_LE(1, 2);
+}
+
+TEST(LoggingTest, CheckEvaluatesConditionExactlyOnce) {
+  int calls = 0;
+  HARMONY_CHECK([&] {
+    ++calls;
+    return true;
+  }());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(LoggingDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH(HARMONY_CHECK(false) << "boom", "Check failed: false");
+  EXPECT_DEATH(HARMONY_CHECK_EQ(1, 2), "Check failed:");
+}
+
+// The short-circuit: a below-threshold HARMONY_LOG must not construct the
+// LogMessage (no ostringstream) nor evaluate its streamed operands.
+TEST(LoggingTest, DisabledLevelsDoNotEvaluateOperands) {
+  ThresholdGuard guard(LogLevel::kError);
+  int evaluations = 0;
+  HARMONY_LOG(Debug) << ++evaluations;
+  HARMONY_LOG(Info) << ++evaluations;
+  HARMONY_LOG(Warning) << ++evaluations;
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(LoggingTest, EnabledLevelsEvaluateOperands) {
+  ThresholdGuard guard(LogLevel::kError);
+  int evaluations = 0;
+  testing::internal::CaptureStderr();
+  HARMONY_LOG(Error) << "count=" << ++evaluations;
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(err.find("count=1"), std::string::npos);
+  EXPECT_NE(err.find("ERROR"), std::string::npos);
+}
+
+TEST(LoggingTest, LogNestsInUnbracedIf) {
+  ThresholdGuard guard(LogLevel::kFatal);  // silence everything non-fatal
+  bool else_ran = false;
+  if (true)
+    HARMONY_LOG(Warning) << "quiet";
+  else
+    else_ran = true;
+  EXPECT_FALSE(else_ran);
+}
+
+TEST(LoggingTest, SetThresholdReturnsPrevious) {
+  LogLevel before = GetLogThreshold();
+  LogLevel prev = SetLogThreshold(LogLevel::kDebug);
+  EXPECT_EQ(prev, before);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kDebug);
+  SetLogThreshold(before);
+}
+
+}  // namespace
+}  // namespace harmony

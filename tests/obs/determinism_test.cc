@@ -1,0 +1,157 @@
+// Instrumentation must be a pure observer: tracing and stats collection may
+// read clocks and bump counters, but the scores coming out of the engine have
+// to be bitwise identical with observability on, off, or mid-flight.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/match_engine.h"
+#include "core/selection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "schema/builder.h"
+
+namespace harmony::obs {
+namespace {
+
+schema::Schema MakeSource() {
+  schema::RelationalBuilder b("SA");
+  auto person = b.Table("PERSON", "A person known to the system");
+  b.Column(person, "LAST_NAME", schema::DataType::kString,
+           "The surname of the person");
+  b.Column(person, "FIRST_NAME", schema::DataType::kString,
+           "The given name of the person");
+  b.Column(person, "BIRTH_DT", schema::DataType::kDate,
+           "The date on which the person was born");
+  auto vehicle = b.Table("VEHICLE", "A ground vehicle");
+  b.Column(vehicle, "VIN", schema::DataType::kString,
+           "Vehicle identification number assigned by the maker");
+  b.Column(vehicle, "FUEL_CD", schema::DataType::kString,
+           "Coded fuel category");
+  return std::move(b).Build();
+}
+
+schema::Schema MakeTarget() {
+  schema::XmlBuilder b("SB");
+  auto person = b.ComplexType("Person", "An individual tracked by the system");
+  b.Element(person, "LastName", schema::DataType::kString,
+            "Family name of the person");
+  b.Element(person, "GivenName", schema::DataType::kString,
+            "First name of the person");
+  b.Element(person, "BirthDate", schema::DataType::kDate,
+            "Date the person was born");
+  auto veh = b.ComplexType("Conveyance", "A conveyance used for transport");
+  b.Element(veh, "VehicleIdentificationNumber", schema::DataType::kString,
+            "Identification number of the vehicle from the manufacturer");
+  return std::move(b).Build();
+}
+
+std::vector<double> Flatten(const core::MatchMatrix& m) {
+  std::vector<double> out;
+  out.reserve(m.rows() * m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      out.push_back(m.GetByIndex(r, c));
+    }
+  }
+  return out;
+}
+
+TEST(ObsDeterminismTest, TracingDoesNotChangeScores) {
+  schema::Schema sa = MakeSource();
+  schema::Schema sb = MakeTarget();
+
+  Tracer& tracer = Tracer::Global();
+  tracer.Stop();
+  core::MatchEngine plain(sa, sb);
+  std::vector<double> baseline = Flatten(plain.ComputeMatrix());
+  std::vector<double> refined_baseline = Flatten(plain.ComputeRefinedMatrix());
+
+  tracer.Start();
+  core::MatchEngine traced(sa, sb);
+  std::vector<double> traced_scores = Flatten(traced.ComputeMatrix());
+  std::vector<double> traced_refined = Flatten(traced.ComputeRefinedMatrix());
+  tracer.Stop();
+
+  // Bitwise equality, not near-equality: the instrumented kernel must run
+  // the exact same arithmetic.
+  EXPECT_EQ(baseline, traced_scores);
+  EXPECT_EQ(refined_baseline, traced_refined);
+}
+
+TEST(ObsDeterminismTest, CollectStatsDoesNotChangeScores) {
+  schema::Schema sa = MakeSource();
+  schema::Schema sb = MakeTarget();
+
+  core::MatchEngine plain(sa, sb);
+  core::MatchOptions timed_options;
+  timed_options.collect_stats = true;
+  core::MatchEngine timed(sa, sb, timed_options);
+
+  EXPECT_EQ(Flatten(plain.ComputeMatrix()), Flatten(timed.ComputeMatrix()));
+
+  // And the selected links agree too.
+  auto plain_links = core::SelectGreedyOneToOne(plain.ComputeMatrix(), 0.3);
+  auto timed_links = core::SelectGreedyOneToOne(timed.ComputeMatrix(), 0.3);
+  ASSERT_EQ(plain_links.size(), timed_links.size());
+  for (size_t i = 0; i < plain_links.size(); ++i) {
+    EXPECT_EQ(plain_links[i].source, timed_links[i].source);
+    EXPECT_EQ(plain_links[i].target, timed_links[i].target);
+    EXPECT_EQ(plain_links[i].score, timed_links[i].score);
+  }
+}
+
+TEST(ObsDeterminismTest, StatsReportCountsCells) {
+  schema::Schema sa = MakeSource();
+  schema::Schema sb = MakeTarget();
+
+  core::MatchOptions options;
+  options.collect_stats = true;
+  core::MatchEngine engine(sa, sb, options);
+
+  core::MatchMatrix m = engine.ComputeMatrix();
+  core::EngineStats stats = engine.StatsReport();
+
+  EXPECT_EQ(stats.matrices_computed, 1u);
+  EXPECT_EQ(stats.cells_scored, m.rows() * m.cols());
+  EXPECT_GT(stats.preprocess_seconds, 0.0);
+  EXPECT_TRUE(stats.voter_timing);
+  ASSERT_FALSE(stats.voters.empty());
+  for (const core::VoterStat& v : stats.voters) {
+    // Every voter sees every cell exactly once per matrix.
+    EXPECT_EQ(v.calls, stats.cells_scored) << v.name;
+  }
+
+  engine.ComputeMatrix();
+  core::EngineStats again = engine.StatsReport();
+  EXPECT_EQ(again.matrices_computed, 2u);
+  EXPECT_EQ(again.cells_scored, 2 * m.rows() * m.cols());
+}
+
+TEST(ObsDeterminismTest, StatsWithoutTimingStillCountsAggregates) {
+  schema::Schema sa = MakeSource();
+  schema::Schema sb = MakeTarget();
+
+  core::MatchEngine engine(sa, sb);  // collect_stats defaults off
+  core::MatchMatrix m = engine.ComputeMatrix();
+  core::EngineStats stats = engine.StatsReport();
+
+  EXPECT_FALSE(stats.voter_timing);
+  EXPECT_EQ(stats.matrices_computed, 1u);
+  EXPECT_EQ(stats.cells_scored, m.rows() * m.cols());
+  for (const core::VoterStat& v : stats.voters) {
+    EXPECT_EQ(v.total_ns, 0u) << v.name;
+  }
+
+  // The renderers must cope with both modes.
+  EXPECT_FALSE(core::RenderStatsText(stats).empty());
+  EXPECT_FALSE(core::RenderStatsJson(stats).empty());
+  core::EngineStats timed_stats;
+  timed_stats.voter_timing = true;
+  timed_stats.voters.push_back({"name_string", 10, 1000});
+  EXPECT_FALSE(core::RenderStatsText(timed_stats).empty());
+}
+
+}  // namespace
+}  // namespace harmony::obs

@@ -1,0 +1,238 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace harmony::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterAddAndSnapshot) {
+  MetricsRegistry registry;
+  uint32_t hits = registry.CounterId("hits");
+  registry.Add(hits);
+  registry.Add(hits, 41);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  const CounterSnapshot* c = snap.FindCounter("hits");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, 42u);
+  EXPECT_EQ(snap.FindCounter("misses"), nullptr);
+}
+
+TEST(MetricsRegistryTest, IdsAreIdempotentPerName) {
+  MetricsRegistry registry;
+  uint32_t a = registry.CounterId("same");
+  uint32_t b = registry.CounterId("same");
+  uint32_t other = registry.CounterId("other");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+
+  EXPECT_EQ(registry.HistogramId("h"), registry.HistogramId("h"));
+  EXPECT_EQ(registry.GaugeId("g"), registry.GaugeId("g"));
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  uint32_t g = registry.GaugeId("pool.workers");
+  registry.GaugeSet(g, 8);
+  registry.GaugeAdd(g, -3);
+
+  const GaugeSnapshot* gs = registry.Snapshot().FindGauge("pool.workers");
+  ASSERT_NE(gs, nullptr);
+  EXPECT_EQ(gs->value, 5);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsByBitWidth) {
+  MetricsRegistry registry;
+  uint32_t h = registry.HistogramId("latency");
+  registry.Record(h, 0);   // bucket 0
+  registry.Record(h, 1);   // bucket 1
+  registry.Record(h, 2);   // bucket 2
+  registry.Record(h, 3);   // bucket 2
+  registry.Record(h, 1000);  // bucket 10 (bit_width(1000) == 10)
+
+  const HistogramSnapshot* hs = registry.Snapshot().FindHistogram("latency");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 5u);
+  EXPECT_EQ(hs->sum, 1006u);
+  EXPECT_EQ(hs->buckets[0], 1u);
+  EXPECT_EQ(hs->buckets[1], 1u);
+  EXPECT_EQ(hs->buckets[2], 2u);
+  EXPECT_EQ(hs->buckets[10], 1u);
+  EXPECT_DOUBLE_EQ(hs->Mean(), 1006.0 / 5.0);
+  // The median falls in bucket 2, whose upper bound is 3.
+  EXPECT_EQ(hs->PercentileUpperBound(0.5), 3u);
+  // p100 lands in the bucket holding 1000: values up to 1023.
+  EXPECT_EQ(hs->PercentileUpperBound(1.0), 1023u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsNames) {
+  MetricsRegistry registry;
+  uint32_t c = registry.CounterId("c");
+  uint32_t g = registry.GaugeId("g");
+  uint32_t h = registry.HistogramId("h");
+  registry.Add(c, 7);
+  registry.GaugeSet(g, 9);
+  registry.Record(h, 100);
+
+  registry.Reset();
+
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_NE(snap.FindCounter("c"), nullptr);
+  EXPECT_EQ(snap.FindCounter("c")->value, 0u);
+  ASSERT_NE(snap.FindGauge("g"), nullptr);
+  EXPECT_EQ(snap.FindGauge("g")->value, 0);
+  ASSERT_NE(snap.FindHistogram("h"), nullptr);
+  EXPECT_EQ(snap.FindHistogram("h")->count, 0u);
+  // Ids survive a reset.
+  EXPECT_EQ(registry.CounterId("c"), c);
+  registry.Add(c, 3);
+  EXPECT_EQ(registry.Snapshot().FindCounter("c")->value, 3u);
+}
+
+TEST(MetricsRegistryTest, RendersTextAndJson) {
+  MetricsRegistry registry;
+  registry.Add(registry.CounterId("engine.cells"), 12);
+  registry.GaugeSet(registry.GaugeId("pool.workers"), 4);
+  registry.Record(registry.HistogramId("ns"), 64);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  std::string text = snap.ToText();
+  EXPECT_NE(text.find("engine.cells"), std::string::npos);
+  EXPECT_NE(text.find("12"), std::string::npos);
+
+  std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.cells\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"pool.workers\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// Handle classes are inert stubs under -DHARMONY_OBS=OFF; the registry
+// itself (tested above) is always live.
+#if HARMONY_OBS_ENABLED
+
+TEST(MetricsRegistryTest, GlobalHandlesAccumulate) {
+  // Handles against the global registry — the instrumentation-site idiom.
+  static Counter counter("metrics_test.global_counter");
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  const CounterSnapshot* b = before.FindCounter("metrics_test.global_counter");
+  uint64_t base = b == nullptr ? 0 : b->value;
+
+  counter.Add(5);
+
+  const CounterSnapshot* a = MetricsRegistry::Global().Snapshot().FindCounter(
+      "metrics_test.global_counter");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->value, base + 5);
+}
+
+TEST(MetricsRegistryTest, ScopedLatencyRecordsOneSample) {
+  static Histogram hist("metrics_test.scoped_latency_ns");
+  const HistogramSnapshot* before =
+      MetricsRegistry::Global().Snapshot().FindHistogram(
+          "metrics_test.scoped_latency_ns");
+  uint64_t base = before == nullptr ? 0 : before->count;
+  { ScopedLatency timer(hist); }
+  const HistogramSnapshot* after =
+      MetricsRegistry::Global().Snapshot().FindHistogram(
+          "metrics_test.scoped_latency_ns");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->count, base + 1);
+}
+
+#endif  // HARMONY_OBS_ENABLED
+
+// The TSan target: N threads hammer M counters and one histogram while the
+// main thread snapshots mid-flight. Snapshots must be internally sane and
+// the final merged totals exact.
+TEST(MetricsRegistryTest, ConcurrentAddsAndSnapshots) {
+  constexpr int kThreads = 8;
+  constexpr int kCounters = 16;
+  constexpr uint64_t kIncrementsEach = 20000;
+
+  MetricsRegistry registry;
+  std::vector<uint32_t> ids;
+  for (int m = 0; m < kCounters; ++m) {
+    ids.push_back(registry.CounterId("c" + std::to_string(m)));
+  }
+  uint32_t hist = registry.HistogramId("concurrent.values");
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (uint64_t i = 0; i < kIncrementsEach; ++i) {
+        registry.Add(ids[i % kCounters]);
+        registry.Record(hist, i);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+
+  // Snapshot while writers are running: totals may lag but never exceed the
+  // final value, and the histogram invariant count == sum(buckets) holds.
+  for (int i = 0; i < 50; ++i) {
+    MetricsSnapshot snap = registry.Snapshot();
+    for (int m = 0; m < kCounters; ++m) {
+      const CounterSnapshot* c = snap.FindCounter("c" + std::to_string(m));
+      ASSERT_NE(c, nullptr);
+      EXPECT_LE(c->value, kThreads * kIncrementsEach / kCounters);
+    }
+    const HistogramSnapshot* h = snap.FindHistogram("concurrent.values");
+    ASSERT_NE(h, nullptr);
+    uint64_t bucket_total = 0;
+    for (uint64_t b : h->buckets) bucket_total += b;
+    EXPECT_EQ(h->count, bucket_total);
+  }
+
+  for (std::thread& t : threads) t.join();
+
+  MetricsSnapshot final_snap = registry.Snapshot();
+  for (int m = 0; m < kCounters; ++m) {
+    const CounterSnapshot* c = final_snap.FindCounter("c" + std::to_string(m));
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value, kThreads * kIncrementsEach / kCounters);
+  }
+  const HistogramSnapshot* h = final_snap.FindHistogram("concurrent.values");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, kThreads * kIncrementsEach);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<uint32_t> first_id(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Everyone races to register the same names; ids must agree.
+      first_id[t] = registry.CounterId("shared.counter");
+      for (int i = 0; i < 100; ++i) {
+        registry.Add(registry.CounterId("shared.counter"));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(first_id[t], first_id[0]);
+  EXPECT_EQ(registry.Snapshot().FindCounter("shared.counter")->value,
+            kThreads * 100u);
+}
+
+TEST(MonotonicNanosTest, IsMonotonic) {
+  uint64_t a = MonotonicNanos();
+  uint64_t b = MonotonicNanos();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace harmony::obs

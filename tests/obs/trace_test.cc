@@ -1,0 +1,301 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "core/match_engine.h"
+#include "schema/builder.h"
+
+namespace harmony::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON syntax checker (values, objects, arrays, strings, numbers,
+// literals) — enough to prove the export is well-formed without a JSON
+// dependency. Returns true iff `s` is exactly one valid JSON value.
+// ---------------------------------------------------------------------------
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool String() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Value() {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+size_t CountOccurrences(const std::string& haystack, const std::string& needle) {
+  size_t n = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// Distinct values of a numeric field like "tid": across the export.
+std::set<std::string> DistinctFieldValues(const std::string& json,
+                                          const std::string& field) {
+  std::set<std::string> values;
+  std::string key = "\"" + field + "\":";
+  for (size_t pos = json.find(key); pos != std::string::npos;
+       pos = json.find(key, pos + key.size())) {
+    size_t start = pos + key.size();
+    size_t end = start;
+    while (end < json.size() && json[end] != ',' && json[end] != '}') ++end;
+    values.insert(json.substr(start, end - start));
+  }
+  return values;
+}
+
+schema::Schema SmallRelational(const std::string& name) {
+  schema::RelationalBuilder b(name);
+  auto person = b.Table("PERSON", "A person known to the system");
+  b.Column(person, "LAST_NAME", schema::DataType::kString, "Surname");
+  b.Column(person, "BIRTH_DT", schema::DataType::kDate, "Date of birth");
+  auto vehicle = b.Table("VEHICLE", "A ground vehicle");
+  b.Column(vehicle, "VIN", schema::DataType::kString, "Vehicle id number");
+  return std::move(b).Build();
+}
+
+TEST(TracerTest, DisabledTracingEmitsNothing) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start();
+  tracer.Stop();  // clears, then disables: buffers empty from here
+  size_t before = tracer.event_count();
+  {
+    HARMONY_TRACE_SPAN("trace_test/should_not_appear");
+  }
+  EXPECT_EQ(tracer.event_count(), before);
+#if HARMONY_OBS_ENABLED
+  EXPECT_FALSE(tracer.enabled());
+#endif
+}
+
+#if HARMONY_OBS_ENABLED
+
+TEST(TracerTest, ExportIsValidChromeTraceJson) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start();
+  tracer.SetThreadName("trace-test-main");
+  {
+    HARMONY_TRACE_SPAN("trace_test/outer");
+    {
+      HARMONY_TRACE_SPAN("trace_test/inner");
+    }
+  }
+  std::thread worker([&] {
+    tracer.SetThreadName("trace-test-worker");
+    HARMONY_TRACE_SPAN("trace_test/worker_span");
+  });
+  worker.join();
+  tracer.Stop();
+
+  ASSERT_GE(tracer.event_count(), 3u);
+  std::string json = tracer.ExportChromeTrace();
+
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  // Chrome trace-event envelope and required per-event keys.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_GE(CountOccurrences(json, "\"ph\":\"X\""), 3u);
+  EXPECT_GE(CountOccurrences(json, "\"ts\":"), 3u);
+  EXPECT_GE(CountOccurrences(json, "\"dur\":"), 3u);
+  EXPECT_GE(CountOccurrences(json, "\"tid\":"), 3u);
+  // Two threads → two distinct tracks with their names attached.
+  EXPECT_GE(DistinctFieldValues(json, "tid").size(), 2u);
+  EXPECT_GE(CountOccurrences(json, "\"thread_name\""), 2u);
+  EXPECT_NE(json.find("trace-test-main"), std::string::npos);
+  EXPECT_NE(json.find("trace-test-worker"), std::string::npos);
+  EXPECT_NE(json.find("trace_test/inner"), std::string::npos);
+}
+
+TEST(TracerTest, StartDiscardsEarlierEvents) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start();
+  {
+    HARMONY_TRACE_SPAN("trace_test/stale");
+  }
+  EXPECT_GE(tracer.event_count(), 1u);
+  tracer.Start();  // restart clears the buffers
+  tracer.Stop();
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.ExportChromeTrace().find("trace_test/stale"),
+            std::string::npos);
+}
+
+TEST(TracerTest, EnginePipelineProducesNamedSpans) {
+  schema::Schema sa = SmallRelational("SA");
+  schema::Schema sb = SmallRelational("SB");
+
+  Tracer& tracer = Tracer::Global();
+  tracer.Start();
+  core::MatchEngine engine(sa, sb);
+  core::MatchMatrix refined = engine.ComputeRefinedMatrix();
+  core::SelectGreedyOneToOne(refined, 0.3);
+  tracer.Stop();
+
+  std::string json = tracer.ExportChromeTrace();
+  EXPECT_TRUE(JsonChecker(json).Valid());
+  // The acceptance bar: at least four distinct pipeline span names.
+  EXPECT_NE(json.find("engine/preprocess"), std::string::npos);
+  EXPECT_NE(json.find("engine/compute_matrix"), std::string::npos);
+  EXPECT_NE(json.find("engine/score_rows"), std::string::npos);
+  EXPECT_NE(json.find("engine/propagate"), std::string::npos);
+  EXPECT_NE(json.find("select/greedy_1to1"), std::string::npos);
+}
+
+TEST(TracerTest, WriteChromeTraceCreatesReadableFile) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start();
+  {
+    HARMONY_TRACE_SPAN("trace_test/file_span");
+  }
+  tracer.Stop();
+
+  std::string path = ::testing::TempDir() + "/harmony_trace_test.json";
+  ASSERT_TRUE(tracer.WriteChromeTrace(path));
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(contents, tracer.ExportChromeTrace());
+  EXPECT_TRUE(JsonChecker(contents).Valid());
+}
+
+TEST(TracerTest, EmptyTraceIsStillValidJson) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start();
+  tracer.Stop();
+  std::string json = tracer.ExportChromeTrace();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+#endif  // HARMONY_OBS_ENABLED
+
+}  // namespace
+}  // namespace harmony::obs
