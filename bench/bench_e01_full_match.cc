@@ -84,6 +84,27 @@ void BM_FullMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_FullMatch)->Unit(benchmark::kMillisecond)->MinTime(2.0);
 
+// Same match with the batched row kernel disabled (legacy per-cell voter
+// dispatch). The delta against BM_FullMatch is the headline for the
+// cache-aware batching work; both variants must produce bitwise-identical
+// matrices (asserted in tests/obs/determinism_test.cc).
+void BM_FullMatchPerCell(benchmark::State& state) {
+  const auto& pair = PaperPair();
+  core::MatchOptions options;
+  options.batch_rows = false;
+  core::MatchEngine engine(pair.source, pair.target, options);
+  size_t pairs = 0;
+  for (auto _ : state) {
+    core::MatchMatrix matrix = engine.ComputeMatrix();
+    pairs = matrix.pair_count();
+    benchmark::DoNotOptimize(matrix.MaxScore());
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["pairs_per_s"] =
+      benchmark::Counter(static_cast<double>(pairs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullMatchPerCell)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -99,6 +99,30 @@ BENCHMARK(BM_MatchByThreads)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+// Batched-vs-per-cell comparison across sizes: the batched kernel's edge
+// should hold (or grow) as rows get longer, since its wins come from
+// per-row feature hoisting and reused metric scratch. Per-cell dispatch is
+// kept behind MatchOptions::batch_rows purely for this A/B and for the
+// bitwise-identity tests.
+void BM_MatchBySizePerCell(benchmark::State& state) {
+  const auto& pair = PairOfSize(static_cast<size_t>(state.range(0)));
+  core::MatchOptions options;
+  options.batch_rows = false;
+  core::MatchEngine engine(pair.source, pair.target, options);
+  size_t pairs = pair.source.element_count() * pair.target.element_count();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.ComputeMatrix().MaxScore());
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["pairs_per_s"] =
+      benchmark::Counter(static_cast<double>(pairs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MatchBySizePerCell)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(150)
+    ->Unit(benchmark::kMillisecond);
+
 // Preprocessing should scale linearly in total elements.
 void BM_PreprocessBySize(benchmark::State& state) {
   const auto& pair = PairOfSize(static_cast<size_t>(state.range(0)));

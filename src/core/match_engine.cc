@@ -1,5 +1,7 @@
 #include "core/match_engine.h"
 
+#include <span>
+
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -61,39 +63,74 @@ MatchMatrix MatchEngine::ComputeMatrix(
   uint64_t t0 = obs::MonotonicNanos();
   MatchMatrix matrix(source_ids, target_ids);
   const bool timed = options_.collect_stats;
-  // Row-sharded: each executor owns disjoint matrix rows and a private
-  // voter scratch vector, so the parallel result is bitwise-identical to
-  // the serial one (same cells, same operations, no shared writes). The
-  // timed variant runs the same arithmetic — it only adds clock reads —
-  // so scores are unchanged with stats collection on.
+  const bool batched = options_.batch_rows;
+  const size_t cols = matrix.cols();
+  const size_t num_voters = voters_.size();
+  // Row-sharded: each executor owns disjoint matrix rows and private
+  // scratch, so the parallel result is bitwise-identical to the serial one
+  // (same cells, same operations, no shared writes). The timed variant runs
+  // the same arithmetic — it only adds clock reads — so scores are
+  // unchanged with stats collection on. The batched path drives each voter
+  // across a whole row (MatchVoter::VoteRow) before merging; the per-cell
+  // path dispatches every voter per cell. Both orders score every (voter,
+  // cell) pair with the same inputs, so the matrices are bitwise-identical
+  // (tests/obs/determinism_test.cc asserts it per voter config).
   auto score_rows = [&](size_t row_begin, size_t row_end) {
     HARMONY_TRACE_SPAN("engine/score_rows");
-    std::vector<VoterScore> scores(voters_.size());
-    std::vector<uint64_t> shard_voter_ns(timed ? voters_.size() : 0, 0);
-    for (size_t r = row_begin; r < row_end; ++r) {
-      schema::ElementId s = matrix.SourceIdAt(r);
-      for (size_t c = 0; c < matrix.cols(); ++c) {
-        schema::ElementId t = matrix.TargetIdAt(c);
-        if (timed) {
-          for (size_t v = 0; v < voters_.size(); ++v) {
+    std::vector<VoterScore> scores(num_voters);
+    std::vector<uint64_t> shard_voter_ns(timed ? num_voters : 0, 0);
+    if (batched) {
+      VoterScratch scratch;
+      // Voter-major row buffer: row_scores[v * cols + c].
+      std::vector<VoterScore> row_scores(num_voters * cols);
+      std::span<const schema::ElementId> targets = matrix.target_ids();
+      for (size_t r = row_begin; r < row_end; ++r) {
+        schema::ElementId s = matrix.SourceIdAt(r);
+        for (size_t v = 0; v < num_voters; ++v) {
+          std::span<VoterScore> out(row_scores.data() + v * cols, cols);
+          if (timed) {
             uint64_t start = obs::MonotonicNanos();
-            scores[v] = voters_[v]->Vote(profiles_, s, t);
+            voters_[v]->VoteRow(profiles_, s, targets, out, scratch);
             shard_voter_ns[v] += obs::MonotonicNanos() - start;
-          }
-        } else {
-          for (size_t v = 0; v < voters_.size(); ++v) {
-            scores[v] = voters_[v]->Vote(profiles_, s, t);
+          } else {
+            voters_[v]->VoteRow(profiles_, s, targets, out, scratch);
           }
         }
-        matrix.SetByIndex(r, c, merger_.Merge(voters_, scores));
+        for (size_t c = 0; c < cols; ++c) {
+          for (size_t v = 0; v < num_voters; ++v) {
+            scores[v] = row_scores[v * cols + c];
+          }
+          matrix.SetByIndex(r, c, merger_.Merge(voters_, scores));
+        }
+      }
+    } else {
+      for (size_t r = row_begin; r < row_end; ++r) {
+        schema::ElementId s = matrix.SourceIdAt(r);
+        for (size_t c = 0; c < cols; ++c) {
+          schema::ElementId t = matrix.TargetIdAt(c);
+          if (timed) {
+            for (size_t v = 0; v < num_voters; ++v) {
+              uint64_t start = obs::MonotonicNanos();
+              scores[v] = voters_[v]->Vote(profiles_, s, t);
+              shard_voter_ns[v] += obs::MonotonicNanos() - start;
+            }
+          } else {
+            for (size_t v = 0; v < num_voters; ++v) {
+              scores[v] = voters_[v]->Vote(profiles_, s, t);
+            }
+          }
+          matrix.SetByIndex(r, c, merger_.Merge(voters_, scores));
+        }
       }
     }
-    size_t shard_cells = (row_end - row_begin) * matrix.cols();
+    size_t shard_cells = (row_end - row_begin) * cols;
     stats_.cells.fetch_add(shard_cells, std::memory_order_relaxed);
     Metrics().cells.Add(shard_cells);
     if (timed) {
+      // voter_calls counts cells scored per voter on both paths, so the
+      // per-call averages in StatsReport stay comparable across kernels.
       uint64_t shard_calls = shard_cells;
-      for (size_t v = 0; v < voters_.size(); ++v) {
+      for (size_t v = 0; v < num_voters; ++v) {
         stats_.voter_calls[v].fetch_add(shard_calls, std::memory_order_relaxed);
         stats_.voter_ns[v].fetch_add(shard_voter_ns[v],
                                      std::memory_order_relaxed);

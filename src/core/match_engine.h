@@ -36,11 +36,19 @@ struct MatchOptions {
   /// thread. The parallel kernel is row-sharded and bitwise-identical to
   /// the serial path at any thread count.
   size_t num_threads = 0;
-  /// Collect per-voter cumulative timing in StatsReport(). Adds two steady-
-  /// clock reads per Vote() on the scoring path, so it is opt-in; cheap
+  /// Collect per-voter cumulative timing in StatsReport(). On the batched
+  /// path this costs two steady-clock reads per VoteRow() (one row per
+  /// voter); on the per-cell path, two per Vote(). Opt-in either way; cheap
   /// aggregates (cells scored, matrices computed, kernel time) are always
   /// collected. Scores are identical either way.
   bool collect_stats = false;
+  /// Drive the kernel one row per voter (MatchVoter::VoteRow): each voter's
+  /// tables and the source element's features stay hot across a whole row,
+  /// and string-metric scratch buffers are reused instead of allocated per
+  /// cell. false falls back to per-cell voter dispatch — kept for A/B
+  /// benchmarking and the determinism tests; both paths produce
+  /// bitwise-identical matrices.
+  bool batch_rows = true;
 };
 
 /// \brief Per-pair diagnostic: the raw voter scores behind one cell of the

@@ -72,6 +72,60 @@ ElementProfile BuildProfile(const schema::SchemaElement& element,
   return p;
 }
 
+void ProfileView::Build(const std::vector<ElementProfile>& profiles,
+                        const schema::Schema& schema) {
+  const size_t n = profiles.size();
+  chars_.clear();
+  tokens_.clear();
+  name_.assign(n, {});
+  initials_.assign(n, {});
+  name_tokens_.assign(n, {});
+  sorted_name_tokens_.assign(n, {});
+  parent_tokens_.assign(n, {});
+  children_tokens_.assign(n, {});
+  doc_token_counts_.assign(n, 0);
+  doc_vectors_.assign(n, nullptr);
+  types_.assign(n, schema::DataType::kUnknown);
+
+  // Pre-size the arenas so appends never reallocate mid-build.
+  size_t char_total = 0, token_total = 0;
+  for (const ElementProfile& p : profiles) {
+    char_total += p.normalized_name.size() + p.initials.size();
+    token_total += p.name_tokens.size() + p.sorted_name_tokens.size() +
+                   p.parent_tokens.size() + p.children_tokens.size();
+  }
+  chars_.reserve(char_total);
+  tokens_.reserve(token_total);
+
+  auto append_chars = [&](const std::string& s) {
+    CharRange r{static_cast<uint32_t>(chars_.size()),
+                static_cast<uint32_t>(s.size())};
+    chars_.append(s);
+    return r;
+  };
+  auto append_tokens = [&](const std::vector<std::string>& v) {
+    TokenRange r{static_cast<uint32_t>(tokens_.size()),
+                 static_cast<uint32_t>(tokens_.size() + v.size())};
+    tokens_.insert(tokens_.end(), v.begin(), v.end());
+    return r;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const ElementProfile& p = profiles[i];
+    name_[i] = append_chars(p.normalized_name);
+    initials_[i] = append_chars(p.initials);
+    name_tokens_[i] = append_tokens(p.name_tokens);
+    sorted_name_tokens_[i] = append_tokens(p.sorted_name_tokens);
+    parent_tokens_[i] = append_tokens(p.parent_tokens);
+    children_tokens_[i] = append_tokens(p.children_tokens);
+    doc_token_counts_[i] = static_cast<uint32_t>(p.doc_tokens.size());
+    doc_vectors_[i] = &p.doc_vector;
+  }
+  for (schema::ElementId id : schema.AllElementIds()) {
+    types_[id] = schema.element(id).type;
+  }
+}
+
 ProfilePair::ProfilePair(const schema::Schema& source, const schema::Schema& target,
                          const PreprocessOptions& options)
     : source_(&source), target_(&target) {
@@ -126,6 +180,14 @@ ProfilePair::ProfilePair(const schema::Schema& source, const schema::Schema& tar
     for (auto& [profile, doc_id] : pending) {
       profile->doc_vector = corpus_.DocumentVector(doc_id);
     }
+  }
+
+  // Pack the SoA views last: they hold pointers into the (now immutable)
+  // profile vectors, so all fields — doc vectors included — must be final.
+  {
+    HARMONY_TRACE_SPAN("preprocess/views");
+    source_view_.Build(source_profiles_, source);
+    target_view_.Build(target_profiles_, target);
   }
   build_seconds_ = static_cast<double>(obs::MonotonicNanos() - t0) / 1e9;
 }

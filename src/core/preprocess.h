@@ -5,9 +5,13 @@
 
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/logging.h"
 #include "schema/schema.h"
 #include "text/abbreviations.h"
 #include "text/synonyms.h"
@@ -76,6 +80,95 @@ struct PreprocessOptions {
   PreprocessOptions() { tokenizer.drop_pure_numbers = true; }
 };
 
+/// \brief Structure-of-arrays view over one side's element profiles.
+///
+/// The batched match kernel walks one source element against a whole row of
+/// targets per voter, so the per-element features are laid out as contiguous
+/// arenas indexed by ElementId: all normalized names (and initials) share
+/// one character buffer, all token lists share one std::string arena, and
+/// the per-element accessors return views/spans into those arenas. Nothing
+/// is recomputed — the arenas are packed copies of the ElementProfile
+/// fields, so a view accessor returns exactly the bytes the corresponding
+/// profile field holds (the batched and per-cell kernels therefore see
+/// identical inputs). Doc vectors stay in their ElementProfile (they are
+/// hash maps either way); the view indexes them with a flat pointer array
+/// so row loops skip the profile-struct stride.
+class ProfileView {
+ public:
+  size_t size() const { return name_.size(); }
+
+  std::string_view normalized_name(schema::ElementId id) const {
+    return Chars(name_[Index(id)]);
+  }
+  std::string_view initials(schema::ElementId id) const {
+    return Chars(initials_[Index(id)]);
+  }
+  /// Raw (possibly duplicated) name tokens — evidence counts use these.
+  std::span<const std::string> name_tokens(schema::ElementId id) const {
+    return Tokens(name_tokens_[Index(id)]);
+  }
+  /// Sorted unique name tokens — soft token similarity uses these.
+  std::span<const std::string> sorted_name_tokens(schema::ElementId id) const {
+    return Tokens(sorted_name_tokens_[Index(id)]);
+  }
+  std::span<const std::string> parent_tokens(schema::ElementId id) const {
+    return Tokens(parent_tokens_[Index(id)]);
+  }
+  std::span<const std::string> children_tokens(schema::ElementId id) const {
+    return Tokens(children_tokens_[Index(id)]);
+  }
+  uint32_t doc_token_count(schema::ElementId id) const {
+    return doc_token_counts_[Index(id)];
+  }
+  /// The element's TF-IDF doc vector (the same object the profile holds, so
+  /// cosine accumulation order — and thus rounding — matches the per-cell
+  /// path bit for bit). Only valid when doc_token_count(id) > 0.
+  const text::SparseVector& doc_vector(schema::ElementId id) const {
+    return *doc_vectors_[Index(id)];
+  }
+  schema::DataType data_type(schema::ElementId id) const {
+    return types_[Index(id)];
+  }
+
+ private:
+  friend class ProfilePair;
+
+  struct CharRange {
+    uint32_t begin = 0;
+    uint32_t len = 0;
+  };
+  struct TokenRange {
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+
+  size_t Index(schema::ElementId id) const {
+    HARMONY_CHECK_LT(static_cast<size_t>(id), name_.size())
+        << "ElementId out of range for this schema side";
+    return static_cast<size_t>(id);
+  }
+  std::string_view Chars(CharRange r) const {
+    return std::string_view(chars_.data() + r.begin, r.len);
+  }
+  std::span<const std::string> Tokens(TokenRange r) const {
+    return std::span<const std::string>(tokens_.data() + r.begin,
+                                        r.end - r.begin);
+  }
+
+  /// Packs the arenas from finished profiles (doc vectors included).
+  void Build(const std::vector<ElementProfile>& profiles,
+             const schema::Schema& schema);
+
+  std::string chars_;                // All names + initials, back to back.
+  std::vector<std::string> tokens_;  // All token lists, back to back.
+  std::vector<CharRange> name_, initials_;
+  std::vector<TokenRange> name_tokens_, sorted_name_tokens_, parent_tokens_,
+      children_tokens_;
+  std::vector<uint32_t> doc_token_counts_;
+  std::vector<const text::SparseVector*> doc_vectors_;
+  std::vector<schema::DataType> types_;
+};
+
 /// \brief Profiles for every element of a pair of schemata, with a joint
 /// TF-IDF corpus so IDF reflects both sides.
 class ProfilePair {
@@ -85,11 +178,19 @@ class ProfilePair {
               const PreprocessOptions& options);
 
   const ElementProfile& source_profile(schema::ElementId id) const {
+    HARMONY_CHECK_LT(static_cast<size_t>(id), source_profiles_.size())
+        << "source ElementId out of range (id from the target schema?)";
     return source_profiles_[id];
   }
   const ElementProfile& target_profile(schema::ElementId id) const {
+    HARMONY_CHECK_LT(static_cast<size_t>(id), target_profiles_.size())
+        << "target ElementId out of range (id from the source schema?)";
     return target_profiles_[id];
   }
+
+  /// SoA views for the batched kernel's row loops.
+  const ProfileView& source_view() const { return source_view_; }
+  const ProfileView& target_view() const { return target_view_; }
 
   const schema::Schema& source() const { return *source_; }
   const schema::Schema& target() const { return *target_; }
@@ -107,6 +208,8 @@ class ProfilePair {
   text::TfIdfCorpus corpus_;
   std::vector<ElementProfile> source_profiles_;  // Indexed by ElementId.
   std::vector<ElementProfile> target_profiles_;
+  ProfileView source_view_;  // Arenas over the finished profile vectors.
+  ProfileView target_view_;
 };
 
 /// Builds the profile of a single element (without the TF-IDF vector, which

@@ -7,6 +7,18 @@
 
 namespace harmony::core {
 
+void MatchVoter::VoteRow(const ProfilePair& profiles, schema::ElementId source,
+                         std::span<const schema::ElementId> targets,
+                         std::span<VoterScore> out,
+                         VoterScratch& /*scratch*/) const {
+  // Generic fallback: per-cell dispatch. Voters that can do better override
+  // this with a row loop that hoists the source-side feature loads and
+  // reuses the scratch buffers.
+  for (size_t k = 0; k < targets.size(); ++k) {
+    out[k] = Vote(profiles, source, targets[k]);
+  }
+}
+
 VoterScore NameStringVoter::Vote(const ProfilePair& profiles,
                                  schema::ElementId source,
                                  schema::ElementId target) const {
@@ -19,6 +31,31 @@ VoterScore NameStringVoter::Vote(const ProfilePair& profiles,
   return {sim, evidence};
 }
 
+void NameStringVoter::VoteRow(const ProfilePair& profiles,
+                              schema::ElementId source,
+                              std::span<const schema::ElementId> targets,
+                              std::span<VoterScore> out,
+                              VoterScratch& scratch) const {
+  const ProfileView& sv = profiles.source_view();
+  const ProfileView& tv = profiles.target_view();
+  std::string_view a = sv.normalized_name(source);
+  if (a.empty()) {
+    std::fill(out.begin(), out.end(), VoterScore{0.0, 0.0});
+    return;
+  }
+  for (size_t k = 0; k < targets.size(); ++k) {
+    std::string_view b = tv.normalized_name(targets[k]);
+    if (b.empty()) {
+      out[k] = {0.0, 0.0};
+      continue;
+    }
+    double sim = std::max(text::JaroWinklerSimilarity(a, b, scratch.metrics),
+                          text::LevenshteinSimilarity(a, b, scratch.metrics));
+    double evidence = static_cast<double>(std::min(a.size(), b.size()));
+    out[k] = {sim, evidence};
+  }
+}
+
 VoterScore NameTokenVoter::Vote(const ProfilePair& profiles, schema::ElementId source,
                                 schema::ElementId target) const {
   const auto& a = profiles.source_profile(source).name_tokens;
@@ -27,6 +64,36 @@ VoterScore NameTokenVoter::Vote(const ProfilePair& profiles, schema::ElementId s
   double sim = text::SoftTokenSimilarity(a, b);
   double evidence = (static_cast<double>(a.size()) + static_cast<double>(b.size())) / 2.0;
   return {sim, evidence};
+}
+
+void NameTokenVoter::VoteRow(const ProfilePair& profiles,
+                             schema::ElementId source,
+                             std::span<const schema::ElementId> targets,
+                             std::span<VoterScore> out,
+                             VoterScratch& scratch) const {
+  const ProfileView& sv = profiles.source_view();
+  const ProfileView& tv = profiles.target_view();
+  // Raw token counts gate abstention and set the evidence; the similarity
+  // runs on the precomputed sorted unique tokens, which is exactly what
+  // SoftTokenSimilarity's internal sort+unique dedup would produce.
+  std::span<const std::string> a_raw = sv.name_tokens(source);
+  if (a_raw.empty()) {
+    std::fill(out.begin(), out.end(), VoterScore{0.0, 0.0});
+    return;
+  }
+  std::span<const std::string> a_sorted = sv.sorted_name_tokens(source);
+  for (size_t k = 0; k < targets.size(); ++k) {
+    std::span<const std::string> b_raw = tv.name_tokens(targets[k]);
+    if (b_raw.empty()) {
+      out[k] = {0.0, 0.0};
+      continue;
+    }
+    double sim = text::SoftTokenSimilaritySorted(
+        a_sorted, tv.sorted_name_tokens(targets[k]), 0.85, scratch.metrics);
+    double evidence =
+        (static_cast<double>(a_raw.size()) + static_cast<double>(b_raw.size())) / 2.0;
+    out[k] = {sim, evidence};
+  }
 }
 
 VoterScore DocumentationVoter::Vote(const ProfilePair& profiles,
@@ -43,6 +110,31 @@ VoterScore DocumentationVoter::Vote(const ProfilePair& profiles,
   return {sim, evidence};
 }
 
+void DocumentationVoter::VoteRow(const ProfilePair& profiles,
+                                 schema::ElementId source,
+                                 std::span<const schema::ElementId> targets,
+                                 std::span<VoterScore> out,
+                                 VoterScratch& /*scratch*/) const {
+  const ProfileView& sv = profiles.source_view();
+  const ProfileView& tv = profiles.target_view();
+  uint32_t a_count = sv.doc_token_count(source);
+  if (a_count == 0) {
+    std::fill(out.begin(), out.end(), VoterScore{0.0, 0.0});
+    return;
+  }
+  const text::SparseVector& a_vec = sv.doc_vector(source);
+  for (size_t k = 0; k < targets.size(); ++k) {
+    uint32_t b_count = tv.doc_token_count(targets[k]);
+    if (b_count == 0) {
+      out[k] = {0.0, 0.0};
+      continue;
+    }
+    double sim = text::TfIdfCorpus::Cosine(a_vec, tv.doc_vector(targets[k]));
+    double evidence = static_cast<double>(std::min(a_count, b_count));
+    out[k] = {sim, evidence};
+  }
+}
+
 VoterScore DataTypeVoter::Vote(const ProfilePair& profiles, schema::ElementId source,
                                schema::ElementId target) const {
   const auto& ea = profiles.source().element(source);
@@ -55,11 +147,37 @@ VoterScore DataTypeVoter::Vote(const ProfilePair& profiles, schema::ElementId so
   return {schema::DataTypeCompatibility(ea.type, eb.type), 1.0};
 }
 
-VoterScore StructuralVoter::Vote(const ProfilePair& profiles, schema::ElementId source,
-                                 schema::ElementId target) const {
-  const auto& pa = profiles.source_profile(source);
-  const auto& pb = profiles.target_profile(target);
+void DataTypeVoter::VoteRow(const ProfilePair& profiles,
+                            schema::ElementId source,
+                            std::span<const schema::ElementId> targets,
+                            std::span<VoterScore> out,
+                            VoterScratch& /*scratch*/) const {
+  const ProfileView& sv = profiles.source_view();
+  const ProfileView& tv = profiles.target_view();
+  schema::DataType a = sv.data_type(source);
+  if (a == schema::DataType::kUnknown || a == schema::DataType::kComposite) {
+    std::fill(out.begin(), out.end(), VoterScore{0.0, 0.0});
+    return;
+  }
+  for (size_t k = 0; k < targets.size(); ++k) {
+    schema::DataType b = tv.data_type(targets[k]);
+    if (b == schema::DataType::kUnknown || b == schema::DataType::kComposite) {
+      out[k] = {0.0, 0.0};
+      continue;
+    }
+    out[k] = {schema::DataTypeCompatibility(a, b), 1.0};
+  }
+}
 
+namespace {
+
+// Shared by the per-cell and batched structural paths so both run the same
+// arithmetic on the same token spans.
+VoterScore StructuralScore(std::span<const std::string> a_parent,
+                           std::span<const std::string> b_parent,
+                           std::span<const std::string> a_children,
+                           std::span<const std::string> b_children,
+                           text::MetricScratch& scratch) {
   double ratio_sum = 0.0;
   double evidence = 0.0;
 
@@ -68,22 +186,21 @@ VoterScore StructuralVoter::Vote(const ProfilePair& profiles, schema::ElementId 
   // (IDENTIFIER, NAME) in *different* containers get pushed apart. Only
   // comparable when both sides have a non-root parent. Soft matching
   // tolerates synonym/abbreviation noise in the container names.
-  if (!pa.parent_tokens.empty() && !pb.parent_tokens.empty()) {
+  if (!a_parent.empty() && !b_parent.empty()) {
     constexpr double kParentEvidence = 2.0;
-    ratio_sum +=
-        kParentEvidence * text::SoftSortedSimilarity(pa.parent_tokens,
-                                                     pb.parent_tokens);
+    ratio_sum += kParentEvidence *
+                 text::SoftSortedSimilarity(a_parent, b_parent, 0.85, scratch);
     evidence += kParentEvidence;
   }
 
   // Child vocabulary overlap: containers sharing member names support each
   // other. Weighted by the smaller child set (comparing a 2-column table to
   // a 40-column one is thin evidence either way).
-  if (!pa.children_tokens.empty() && !pb.children_tokens.empty()) {
+  if (!a_children.empty() && !b_children.empty()) {
     double overlap =
-        text::SoftSortedSimilarity(pa.children_tokens, pb.children_tokens);
-    double child_evidence = static_cast<double>(
-        std::min(pa.children_tokens.size(), pb.children_tokens.size()));
+        text::SoftSortedSimilarity(a_children, b_children, 0.85, scratch);
+    double child_evidence =
+        static_cast<double>(std::min(a_children.size(), b_children.size()));
     child_evidence = std::min(child_evidence, 6.0);
     ratio_sum += overlap * child_evidence;
     evidence += child_evidence;
@@ -91,6 +208,36 @@ VoterScore StructuralVoter::Vote(const ProfilePair& profiles, schema::ElementId 
 
   if (evidence == 0.0) return {0.0, 0.0};
   return {ratio_sum / evidence, evidence};
+}
+
+}  // namespace
+
+VoterScore StructuralVoter::Vote(const ProfilePair& profiles, schema::ElementId source,
+                                 schema::ElementId target) const {
+  const auto& pa = profiles.source_profile(source);
+  const auto& pb = profiles.target_profile(target);
+  text::MetricScratch scratch;
+  return StructuralScore(pa.parent_tokens, pb.parent_tokens, pa.children_tokens,
+                         pb.children_tokens, scratch);
+}
+
+void StructuralVoter::VoteRow(const ProfilePair& profiles,
+                              schema::ElementId source,
+                              std::span<const schema::ElementId> targets,
+                              std::span<VoterScore> out,
+                              VoterScratch& scratch) const {
+  const ProfileView& sv = profiles.source_view();
+  const ProfileView& tv = profiles.target_view();
+  std::span<const std::string> a_parent = sv.parent_tokens(source);
+  std::span<const std::string> a_children = sv.children_tokens(source);
+  if (a_parent.empty() && a_children.empty()) {
+    std::fill(out.begin(), out.end(), VoterScore{0.0, 0.0});
+    return;
+  }
+  for (size_t k = 0; k < targets.size(); ++k) {
+    out[k] = StructuralScore(a_parent, tv.parent_tokens(targets[k]), a_children,
+                             tv.children_tokens(targets[k]), scratch.metrics);
+  }
 }
 
 VoterScore AcronymVoter::Vote(const ProfilePair& profiles, schema::ElementId source,
@@ -107,6 +254,30 @@ VoterScore AcronymVoter::Vote(const ProfilePair& profiles, schema::ElementId sou
   double len = static_cast<double>(
       a_is_acronym_of_b ? pb.initials.size() : pa.initials.size());
   return {1.0, len};
+}
+
+void AcronymVoter::VoteRow(const ProfilePair& profiles,
+                           schema::ElementId source,
+                           std::span<const schema::ElementId> targets,
+                           std::span<VoterScore> out,
+                           VoterScratch& /*scratch*/) const {
+  const ProfileView& sv = profiles.source_view();
+  const ProfileView& tv = profiles.target_view();
+  std::string_view a_name = sv.normalized_name(source);
+  std::string_view a_initials = sv.initials(source);
+  for (size_t k = 0; k < targets.size(); ++k) {
+    std::string_view b_name = tv.normalized_name(targets[k]);
+    std::string_view b_initials = tv.initials(targets[k]);
+    bool a_is_acronym_of_b = b_initials.size() >= 2 && a_name == b_initials;
+    bool b_is_acronym_of_a = a_initials.size() >= 2 && b_name == a_initials;
+    if (!a_is_acronym_of_b && !b_is_acronym_of_a) {
+      out[k] = {0.0, 0.0};
+      continue;
+    }
+    double len = static_cast<double>(a_is_acronym_of_b ? b_initials.size()
+                                                       : a_initials.size());
+    out[k] = {1.0, len};
+  }
 }
 
 std::vector<std::unique_ptr<MatchVoter>> CreateVoters(const VoterConfig& config) {

@@ -6,14 +6,23 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/evidence.h"
 #include "core/preprocess.h"
 #include "schema/schema.h"
+#include "text/string_metrics.h"
 
 namespace harmony::core {
+
+/// \brief Reusable per-shard scratch for the batched voting path. One
+/// instance per worker; passed to every VoteRow call so the string metrics
+/// run allocation-free after warm-up.
+struct VoterScratch {
+  text::MetricScratch metrics;
+};
 
 /// \brief Strategy interface for one line of matching evidence.
 class MatchVoter {
@@ -34,6 +43,17 @@ class MatchVoter {
   virtual VoterScore Vote(const ProfilePair& profiles, schema::ElementId source,
                           schema::ElementId target) const = 0;
 
+  /// Scores one source element against a whole row of targets into `out`
+  /// (`out.size() == targets.size()`). This is the batched kernel's entry
+  /// point: driving a full row per voter keeps the voter's tables and the
+  /// source element's features hot, and `scratch` lets the string metrics
+  /// reuse buffers instead of allocating per cell. The base implementation
+  /// falls back to per-cell Vote(); overrides MUST produce bitwise-identical
+  /// scores to that fallback (tests/obs/determinism_test.cc asserts it).
+  virtual void VoteRow(const ProfilePair& profiles, schema::ElementId source,
+                       std::span<const schema::ElementId> targets,
+                       std::span<VoterScore> out, VoterScratch& scratch) const;
+
  protected:
   explicit MatchVoter(double base_weight) : base_weight_(base_weight) {}
 
@@ -52,6 +72,9 @@ class NameStringVoter : public MatchVoter {
   double half_evidence() const override { return 4.0; }
   VoterScore Vote(const ProfilePair& profiles, schema::ElementId source,
                   schema::ElementId target) const override;
+  void VoteRow(const ProfilePair& profiles, schema::ElementId source,
+               std::span<const schema::ElementId> targets,
+               std::span<VoterScore> out, VoterScratch& scratch) const override;
 };
 
 /// \brief Word-level similarity of the tokenized, abbreviation-expanded,
@@ -64,6 +87,9 @@ class NameTokenVoter : public MatchVoter {
   double half_evidence() const override { return 2.0; }
   VoterScore Vote(const ProfilePair& profiles, schema::ElementId source,
                   schema::ElementId target) const override;
+  void VoteRow(const ProfilePair& profiles, schema::ElementId source,
+               std::span<const schema::ElementId> targets,
+               std::span<VoterScore> out, VoterScratch& scratch) const override;
 };
 
 /// \brief TF-IDF cosine similarity of the elements' documentation — the
@@ -77,6 +103,9 @@ class DocumentationVoter : public MatchVoter {
   double half_evidence() const override { return 5.0; }
   VoterScore Vote(const ProfilePair& profiles, schema::ElementId source,
                   schema::ElementId target) const override;
+  void VoteRow(const ProfilePair& profiles, schema::ElementId source,
+               std::span<const schema::ElementId> targets,
+               std::span<VoterScore> out, VoterScratch& scratch) const override;
 };
 
 /// \brief Compatibility of declared data types. A weak voter: it can veto
@@ -89,6 +118,9 @@ class DataTypeVoter : public MatchVoter {
   double half_evidence() const override { return 1.0; }
   VoterScore Vote(const ProfilePair& profiles, schema::ElementId source,
                   schema::ElementId target) const override;
+  void VoteRow(const ProfilePair& profiles, schema::ElementId source,
+               std::span<const schema::ElementId> targets,
+               std::span<VoterScore> out, VoterScratch& scratch) const override;
 };
 
 /// \brief Structural neighbourhood similarity: parent-name agreement plus
@@ -101,6 +133,9 @@ class StructuralVoter : public MatchVoter {
   double half_evidence() const override { return 3.0; }
   VoterScore Vote(const ProfilePair& profiles, schema::ElementId source,
                   schema::ElementId target) const override;
+  void VoteRow(const ProfilePair& profiles, schema::ElementId source,
+               std::span<const schema::ElementId> targets,
+               std::span<VoterScore> out, VoterScratch& scratch) const override;
 };
 
 /// \brief Acronym detection: fires when one element's flattened name equals
@@ -113,6 +148,9 @@ class AcronymVoter : public MatchVoter {
   double half_evidence() const override { return 2.0; }
   VoterScore Vote(const ProfilePair& profiles, schema::ElementId source,
                   schema::ElementId target) const override;
+  void VoteRow(const ProfilePair& profiles, schema::ElementId source,
+               std::span<const schema::ElementId> targets,
+               std::span<VoterScore> out, VoterScratch& scratch) const override;
 };
 
 /// \brief Which voters participate, and with what influence. A weight of 0

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
 
 namespace harmony::text {
 
-size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+size_t LevenshteinDistance(std::string_view a, std::string_view b,
+                           MetricScratch& scratch) {
   if (a.size() < b.size()) std::swap(a, b);  // Ensure b is the shorter.
-  std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+  std::vector<size_t>& prev = scratch.lev_prev;
+  std::vector<size_t>& cur = scratch.lev_cur;
+  prev.resize(b.size() + 1);
+  cur.resize(b.size() + 1);
   for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
   for (size_t i = 1; i <= a.size(); ++i) {
     cur[0] = i;
@@ -21,26 +24,42 @@ size_t LevenshteinDistance(std::string_view a, std::string_view b) {
   return prev[b.size()];
 }
 
-double LevenshteinSimilarity(std::string_view a, std::string_view b) {
-  size_t m = std::max(a.size(), b.size());
-  if (m == 0) return 1.0;
-  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) / static_cast<double>(m);
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  MetricScratch scratch;
+  return LevenshteinDistance(a, b, scratch);
 }
 
-double JaroSimilarity(std::string_view a, std::string_view b) {
+double LevenshteinSimilarity(std::string_view a, std::string_view b,
+                             MetricScratch& scratch) {
+  size_t m = std::max(a.size(), b.size());
+  if (m == 0) return 1.0;
+  return 1.0 -
+         static_cast<double>(LevenshteinDistance(a, b, scratch)) / static_cast<double>(m);
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  MetricScratch scratch;
+  return LevenshteinSimilarity(a, b, scratch);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b,
+                      MetricScratch& scratch) {
   if (a.empty() && b.empty()) return 1.0;
   if (a.empty() || b.empty()) return 0.0;
   size_t window = std::max(a.size(), b.size()) / 2;
   if (window > 0) --window;
 
-  std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
+  std::vector<char>& a_matched = scratch.jaro_a;
+  std::vector<char>& b_matched = scratch.jaro_b;
+  a_matched.assign(a.size(), 0);
+  b_matched.assign(b.size(), 0);
   size_t matches = 0;
   for (size_t i = 0; i < a.size(); ++i) {
     size_t lo = (i > window) ? i - window : 0;
     size_t hi = std::min(b.size(), i + window + 1);
     for (size_t j = lo; j < hi; ++j) {
       if (b_matched[j] || a[i] != b[j]) continue;
-      a_matched[i] = b_matched[j] = true;
+      a_matched[i] = b_matched[j] = 1;
       ++matches;
       break;
     }
@@ -59,12 +78,23 @@ double JaroSimilarity(std::string_view a, std::string_view b) {
   return (m / a.size() + m / b.size() + (m - transpositions / 2.0) / m) / 3.0;
 }
 
-double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
-  double jaro = JaroSimilarity(a, b);
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  MetricScratch scratch;
+  return JaroSimilarity(a, b, scratch);
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             MetricScratch& scratch) {
+  double jaro = JaroSimilarity(a, b, scratch);
   size_t prefix = 0;
   size_t limit = std::min({a.size(), b.size(), static_cast<size_t>(4)});
   while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
   return jaro + 0.1 * static_cast<double>(prefix) * (1.0 - jaro);
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  MetricScratch scratch;
+  return JaroWinklerSimilarity(a, b, scratch);
 }
 
 size_t LongestCommonSubsequence(std::string_view a, std::string_view b) {
@@ -108,20 +138,34 @@ double QGramSimilarity(std::string_view a, std::string_view b, size_t q) {
 
 namespace {
 
-std::unordered_set<std::string> ToSet(const std::vector<std::string>& v) {
-  return std::unordered_set<std::string>(v.begin(), v.end());
+// Deterministic de-duplication: sorted order, not hash-set iteration order.
+void SortedUniqueInto(const std::vector<std::string>& v,
+                      std::vector<std::string>& out) {
+  out.assign(v.begin(), v.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
 }  // namespace
 
 double TokenJaccard(const std::vector<std::string>& a,
                     const std::vector<std::string>& b) {
-  auto sa = ToSet(a);
-  auto sb = ToSet(b);
+  std::vector<std::string> sa, sb;
+  SortedUniqueInto(a, sa);
+  SortedUniqueInto(b, sb);
   if (sa.empty() && sb.empty()) return 1.0;
-  size_t inter = 0;
-  for (const auto& t : sa) {
-    if (sb.count(t)) ++inter;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < sa.size() && j < sb.size()) {
+    int cmp = sa[i].compare(sb[j]);
+    if (cmp == 0) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
   }
   size_t uni = sa.size() + sb.size() - inter;
   return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
@@ -129,57 +173,94 @@ double TokenJaccard(const std::vector<std::string>& a,
 
 double TokenDice(const std::vector<std::string>& a,
                  const std::vector<std::string>& b) {
-  auto sa = ToSet(a);
-  auto sb = ToSet(b);
+  std::vector<std::string> sa, sb;
+  SortedUniqueInto(a, sa);
+  SortedUniqueInto(b, sb);
   if (sa.empty() && sb.empty()) return 1.0;
   if (sa.empty() || sb.empty()) return 0.0;
-  size_t inter = 0;
-  for (const auto& t : sa) {
-    if (sb.count(t)) ++inter;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < sa.size() && j < sb.size()) {
+    int cmp = sa[i].compare(sb[j]);
+    if (cmp == 0) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
   }
   return 2.0 * static_cast<double>(inter) / static_cast<double>(sa.size() + sb.size());
+}
+
+double SoftTokenSimilaritySorted(std::span<const std::string> a_unique,
+                                 std::span<const std::string> b_unique,
+                                 double token_threshold,
+                                 MetricScratch& scratch) {
+  if (a_unique.empty() && b_unique.empty()) return 1.0;
+  if (a_unique.empty() || b_unique.empty()) return 0.0;
+
+  // Greedy maximum-weight matching: repeatedly take the best remaining pair.
+  // Candidates are enumerated in (i, j) order over the *sorted unique*
+  // tokens and tie-broken explicitly, so equal similarities pair off
+  // identically on every platform and standard library.
+  std::vector<MetricScratch::ScoredPair>& pairs = scratch.pairs;
+  pairs.clear();
+  for (size_t i = 0; i < a_unique.size(); ++i) {
+    for (size_t j = 0; j < b_unique.size(); ++j) {
+      double s = JaroWinklerSimilarity(a_unique[i], b_unique[j], scratch);
+      if (s >= token_threshold) {
+        pairs.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(j), s});
+      }
+    }
+  }
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const MetricScratch::ScoredPair& x,
+                      const MetricScratch::ScoredPair& y) {
+                     if (x.sim != y.sim) return x.sim > y.sim;
+                     if (x.i != y.i) return x.i < y.i;
+                     return x.j < y.j;
+                   });
+  std::vector<char>& used_a = scratch.used_a;
+  std::vector<char>& used_b = scratch.used_b;
+  used_a.assign(a_unique.size(), 0);
+  used_b.assign(b_unique.size(), 0);
+  double total = 0.0;
+  for (const auto& p : pairs) {
+    if (used_a[p.i] || used_b[p.j]) continue;
+    used_a[p.i] = used_b[p.j] = 1;
+    total += p.sim;
+  }
+  return 2.0 * total / static_cast<double>(a_unique.size() + b_unique.size());
+}
+
+double SoftTokenSimilarity(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b,
+                           double token_threshold, MetricScratch& scratch) {
+  SortedUniqueInto(a, scratch.unique_a);
+  SortedUniqueInto(b, scratch.unique_b);
+  return SoftTokenSimilaritySorted(scratch.unique_a, scratch.unique_b,
+                                   token_threshold, scratch);
 }
 
 double SoftTokenSimilarity(const std::vector<std::string>& a,
                            const std::vector<std::string>& b,
                            double token_threshold) {
-  auto sa = std::vector<std::string>(ToSet(a).begin(), ToSet(a).end());
-  auto sb = std::vector<std::string>(ToSet(b).begin(), ToSet(b).end());
-  if (sa.empty() && sb.empty()) return 1.0;
-  if (sa.empty() || sb.empty()) return 0.0;
-
-  // Greedy maximum-weight matching: repeatedly take the best remaining pair.
-  struct Pair {
-    size_t i, j;
-    double sim;
-  };
-  std::vector<Pair> pairs;
-  for (size_t i = 0; i < sa.size(); ++i) {
-    for (size_t j = 0; j < sb.size(); ++j) {
-      double s = JaroWinklerSimilarity(sa[i], sb[j]);
-      if (s >= token_threshold) pairs.push_back({i, j, s});
-    }
-  }
-  std::sort(pairs.begin(), pairs.end(),
-            [](const Pair& x, const Pair& y) { return x.sim > y.sim; });
-  std::vector<bool> used_a(sa.size(), false), used_b(sb.size(), false);
-  double total = 0.0;
-  for (const auto& p : pairs) {
-    if (used_a[p.i] || used_b[p.j]) continue;
-    used_a[p.i] = used_b[p.j] = true;
-    total += p.sim;
-  }
-  return 2.0 * total / static_cast<double>(sa.size() + sb.size());
+  MetricScratch scratch;
+  return SoftTokenSimilarity(a, b, token_threshold, scratch);
 }
 
-double SoftSortedSimilarity(const std::vector<std::string>& a_unique,
-                            const std::vector<std::string>& b_unique,
-                            double token_threshold) {
+double SoftSortedSimilarity(std::span<const std::string> a_unique,
+                            std::span<const std::string> b_unique,
+                            double token_threshold, MetricScratch& scratch) {
   if (a_unique.empty() && b_unique.empty()) return 1.0;
   if (a_unique.empty() || b_unique.empty()) return 0.0;
   constexpr size_t kMaxSoft = 32;
   if (a_unique.size() > kMaxSoft || b_unique.size() > kMaxSoft) {
-    // Large sets: exact-match Jaccard via merge (inputs are sorted).
+    // Large sets: exact-match intersection via merge (inputs are sorted),
+    // normalized with the same Dice denominator as the soft path below so
+    // the score is continuous when a token set crosses the cutoff.
     size_t i = 0, j = 0, inter = 0;
     while (i < a_unique.size() && j < b_unique.size()) {
       int cmp = a_unique[i].compare(b_unique[j]);
@@ -193,8 +274,8 @@ double SoftSortedSimilarity(const std::vector<std::string>& a_unique,
         ++j;
       }
     }
-    size_t uni = a_unique.size() + b_unique.size() - inter;
-    return static_cast<double>(inter) / static_cast<double>(uni);
+    return 2.0 * static_cast<double>(inter) /
+           static_cast<double>(a_unique.size() + b_unique.size());
   }
 
   bool used_b[kMaxSoft] = {false};
@@ -204,7 +285,7 @@ double SoftSortedSimilarity(const std::vector<std::string>& a_unique,
     size_t best_j = kMaxSoft;
     for (size_t j = 0; j < b_unique.size(); ++j) {
       if (used_b[j]) continue;
-      double s = JaroWinklerSimilarity(ta, b_unique[j]);
+      double s = JaroWinklerSimilarity(ta, b_unique[j], scratch);
       if (s > best) {
         best = s;
         best_j = j;
@@ -216,6 +297,13 @@ double SoftSortedSimilarity(const std::vector<std::string>& a_unique,
     }
   }
   return 2.0 * total / static_cast<double>(a_unique.size() + b_unique.size());
+}
+
+double SoftSortedSimilarity(std::span<const std::string> a_unique,
+                            std::span<const std::string> b_unique,
+                            double token_threshold) {
+  MetricScratch scratch;
+  return SoftSortedSimilarity(a_unique, b_unique, token_threshold, scratch);
 }
 
 }  // namespace harmony::text

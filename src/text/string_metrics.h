@@ -1,27 +1,65 @@
 // String and token-set similarity metrics used by the match voters.
 // All similarities are normalized to [0, 1], where 1 means identical.
+//
+// Every metric has two entry points: a convenience form that owns its
+// temporary buffers, and a scratch-taking form that reuses caller-owned
+// buffers (MetricScratch) so hot loops — the batched match kernel scores
+// ~10^6 pairs per schema pair — run without per-call heap allocation. Both
+// forms execute identical arithmetic and return bitwise-identical results.
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace harmony::text {
 
+/// \brief Reusable buffers for the allocation-free metric overloads.
+///
+/// One instance per thread/shard; pass it to every metric call in the loop.
+/// The buffers grow to the high-water mark of the inputs seen and are then
+/// reused, so steady-state calls never touch the allocator. Contents are
+/// scratch only — no state carries between calls.
+struct MetricScratch {
+  // Levenshtein DP rows.
+  std::vector<size_t> lev_prev, lev_cur;
+  // Jaro match flags (char, not vector<bool>, so assign() is a memset).
+  std::vector<char> jaro_a, jaro_b;
+  // Soft token matching: candidate pairs and greedy used-flags.
+  struct ScoredPair {
+    uint32_t i, j;
+    double sim;
+  };
+  std::vector<ScoredPair> pairs;
+  std::vector<char> used_a, used_b;
+  // Dedup buffers for the raw-token SoftTokenSimilarity entry point.
+  std::vector<std::string> unique_a, unique_b;
+};
+
 /// Levenshtein edit distance (insert/delete/substitute, unit costs).
 size_t LevenshteinDistance(std::string_view a, std::string_view b);
+size_t LevenshteinDistance(std::string_view a, std::string_view b,
+                           MetricScratch& scratch);
 
 /// Edit similarity: 1 - distance / max(|a|,|b|). Two empty strings → 1.
 double LevenshteinSimilarity(std::string_view a, std::string_view b);
+double LevenshteinSimilarity(std::string_view a, std::string_view b,
+                             MetricScratch& scratch);
 
 /// Jaro similarity in [0,1].
 double JaroSimilarity(std::string_view a, std::string_view b);
+double JaroSimilarity(std::string_view a, std::string_view b,
+                      MetricScratch& scratch);
 
 /// Jaro-Winkler similarity: Jaro boosted for a shared prefix (standard
 /// scaling factor 0.1, prefix capped at 4).
 double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             MetricScratch& scratch);
 
 /// Length of the longest common subsequence of `a` and `b`.
 size_t LongestCommonSubsequence(std::string_view a, std::string_view b);
@@ -43,20 +81,43 @@ double TokenJaccard(const std::vector<std::string>& a,
 double TokenDice(const std::vector<std::string>& a,
                  const std::vector<std::string>& b);
 
-/// Soft token-set similarity: greedy best-pair matching where two tokens
-/// count as matched with weight JaroWinkler(t1,t2) if it exceeds
-/// `token_threshold`. Normalized like Dice. Robust to small spelling
-/// variations between token sets.
+/// Soft token-set similarity: greedy maximum-weight matching where two
+/// tokens count as matched with weight JaroWinkler(t1,t2) if it exceeds
+/// `token_threshold`. Normalized like Dice over the de-duplicated sets.
+/// Robust to small spelling variations between token sets.
+///
+/// Deterministic across platforms and standard libraries: duplicates are
+/// removed by sort+unique (not hash-set iteration order) and tied
+/// similarities are broken by the explicit (sim desc, i asc, j asc) order
+/// over the sorted unique tokens.
 double SoftTokenSimilarity(const std::vector<std::string>& a,
                            const std::vector<std::string>& b,
                            double token_threshold = 0.85);
+double SoftTokenSimilarity(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b,
+                           double token_threshold, MetricScratch& scratch);
 
-/// Allocation-light variant of SoftTokenSimilarity for pre-deduplicated
-/// token vectors of at most 32 entries each (larger inputs fall back to
-/// exact-match Jaccard). Intended for hot per-pair loops such as the
-/// structural voter.
-double SoftSortedSimilarity(const std::vector<std::string>& a_unique,
-                            const std::vector<std::string>& b_unique,
+/// The core of SoftTokenSimilarity for inputs that are already sorted and
+/// de-duplicated (e.g. ElementProfile::sorted_name_tokens). Produces exactly
+/// the value SoftTokenSimilarity would after de-duplicating — the batched
+/// kernel uses this to skip the per-call sort.
+double SoftTokenSimilaritySorted(std::span<const std::string> a_unique,
+                                 std::span<const std::string> b_unique,
+                                 double token_threshold,
+                                 MetricScratch& scratch);
+
+/// Allocation-light soft similarity for pre-deduplicated token vectors of at
+/// most 32 entries each; larger inputs fall back to exact-match intersection
+/// with the same Dice normalization 2·|A∩B|/(|A|+|B|), so the score is
+/// continuous across the size cutoff. Greedy a-major matching (each a-token
+/// claims its best unused b-token), so it is order-dependent: f(a,b) and
+/// f(b,a) may differ on asymmetric near-matches. Intended for hot per-pair
+/// loops such as the structural voter.
+double SoftSortedSimilarity(std::span<const std::string> a_unique,
+                            std::span<const std::string> b_unique,
                             double token_threshold = 0.85);
+double SoftSortedSimilarity(std::span<const std::string> a_unique,
+                            std::span<const std::string> b_unique,
+                            double token_threshold, MetricScratch& scratch);
 
 }  // namespace harmony::text

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+
 #include "schema/builder.h"
 
 namespace harmony::core {
@@ -105,6 +108,69 @@ TEST(ProfilePairTest, StructuralContextPopulated) {
   EXPECT_NE(std::find(kids.begin(), kids.end(), "date"), kids.end());
   // Depth-1 containers have no parent tokens (parent is the root).
   EXPECT_TRUE(profiles.source_profile(table).parent_tokens.empty());
+}
+
+// The SoA view must return byte-identical features to the profile structs —
+// the batched kernel reads the view, the per-cell path reads the profiles,
+// and the two kernels are asserted bitwise-equal on top of this.
+TEST(ProfileViewTest, ViewsMirrorProfiles) {
+  schema::Schema a = SourceSchema();
+  schema::Schema b = TargetSchema();
+  ProfilePair profiles(a, b, PreprocessOptions{});
+  auto check_side = [](const ProfileView& view,
+                       const std::vector<schema::ElementId>& ids,
+                       auto&& profile_of, const schema::Schema& s) {
+    for (schema::ElementId id : ids) {
+      const ElementProfile& p = profile_of(id);
+      EXPECT_EQ(view.normalized_name(id), p.normalized_name);
+      EXPECT_EQ(view.initials(id), p.initials);
+      auto eq = [](std::span<const std::string> span,
+                   const std::vector<std::string>& vec) {
+        return std::equal(span.begin(), span.end(), vec.begin(), vec.end());
+      };
+      EXPECT_TRUE(eq(view.name_tokens(id), p.name_tokens));
+      EXPECT_TRUE(eq(view.sorted_name_tokens(id), p.sorted_name_tokens));
+      EXPECT_TRUE(eq(view.parent_tokens(id), p.parent_tokens));
+      EXPECT_TRUE(eq(view.children_tokens(id), p.children_tokens));
+      EXPECT_EQ(view.doc_token_count(id), p.doc_tokens.size());
+      if (!p.doc_tokens.empty()) {
+        // Same object, not a copy: cosine accumulation order must match.
+        EXPECT_EQ(&view.doc_vector(id), &p.doc_vector);
+      }
+      EXPECT_EQ(view.data_type(id), s.element(id).type);
+    }
+  };
+  check_side(
+      profiles.source_view(), a.AllElementIds(),
+      [&](schema::ElementId id) -> const ElementProfile& {
+        return profiles.source_profile(id);
+      },
+      a);
+  check_side(
+      profiles.target_view(), b.AllElementIds(),
+      [&](schema::ElementId id) -> const ElementProfile& {
+        return profiles.target_profile(id);
+      },
+      b);
+}
+
+// An ElementId from the wrong schema (or stale) must trip the bounds check
+// instead of silently reading another element's profile — or walking off
+// the vector entirely.
+TEST(ProfilePairDeathTest, OutOfRangeIdTripsCheck) {
+  schema::Schema a = SourceSchema();
+  schema::Schema b = TargetSchema();
+  ProfilePair profiles(a, b, PreprocessOptions{});
+  schema::ElementId beyond_source =
+      static_cast<schema::ElementId>(a.node_count() + 17);
+  schema::ElementId beyond_target =
+      static_cast<schema::ElementId>(b.node_count() + 17);
+  EXPECT_DEATH(profiles.source_profile(beyond_source), "out of range");
+  EXPECT_DEATH(profiles.target_profile(beyond_target), "out of range");
+  EXPECT_DEATH(profiles.source_view().normalized_name(beyond_source),
+               "out of range");
+  EXPECT_DEATH(profiles.target_view().name_tokens(beyond_target),
+               "out of range");
 }
 
 TEST(SortedJaccardTest, Basics) {

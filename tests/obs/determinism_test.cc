@@ -102,6 +102,67 @@ TEST(ObsDeterminismTest, CollectStatsDoesNotChangeScores) {
   }
 }
 
+// The batched kernel (one row per voter, SoA views, reused metric scratch)
+// must reproduce the per-cell dispatch path bit for bit — for every voter
+// configuration, with and without timing, serial and refined.
+TEST(ObsDeterminismTest, BatchedKernelMatchesPerCellForAllVoterConfigs) {
+  schema::Schema sa = MakeSource();
+  schema::Schema sb = MakeTarget();
+
+  auto solo = [](double core::VoterConfig::* field) {
+    core::VoterConfig config;
+    config.name_string_weight = 0.0;
+    config.name_token_weight = 0.0;
+    config.documentation_weight = 0.0;
+    config.data_type_weight = 0.0;
+    config.structural_weight = 0.0;
+    config.acronym_weight = 0.0;
+    config.*field = 1.0;
+    return config;
+  };
+  std::vector<std::pair<const char*, core::VoterConfig>> configs;
+  configs.emplace_back("all_voters", core::VoterConfig{});
+  configs.emplace_back("name_string", solo(&core::VoterConfig::name_string_weight));
+  configs.emplace_back("name_token", solo(&core::VoterConfig::name_token_weight));
+  configs.emplace_back("documentation",
+                       solo(&core::VoterConfig::documentation_weight));
+  configs.emplace_back("data_type", solo(&core::VoterConfig::data_type_weight));
+  configs.emplace_back("structural", solo(&core::VoterConfig::structural_weight));
+  configs.emplace_back("acronym", solo(&core::VoterConfig::acronym_weight));
+  core::VoterConfig names_only;
+  names_only.documentation_weight = 0.0;
+  names_only.data_type_weight = 0.0;
+  configs.emplace_back("names_and_structure", names_only);
+
+  for (const auto& [name, config] : configs) {
+    core::MatchOptions batched;
+    batched.voters = config;
+    batched.batch_rows = true;
+    core::MatchOptions per_cell = batched;
+    per_cell.batch_rows = false;
+
+    core::MatchEngine batched_engine(sa, sb, batched);
+    core::MatchEngine per_cell_engine(sa, sb, per_cell);
+    // Bitwise equality, not near-equality: VoteRow overrides must run the
+    // exact arithmetic of their per-cell Vote on the same feature bytes.
+    EXPECT_EQ(Flatten(batched_engine.ComputeMatrix()),
+              Flatten(per_cell_engine.ComputeMatrix()))
+        << "voter config: " << name;
+    EXPECT_EQ(Flatten(batched_engine.ComputeRefinedMatrix()),
+              Flatten(per_cell_engine.ComputeRefinedMatrix()))
+        << "voter config: " << name;
+  }
+
+  // Per-voter timing must not perturb the batched path either.
+  core::MatchOptions timed;
+  timed.collect_stats = true;
+  core::MatchEngine timed_batched(sa, sb, timed);
+  timed.batch_rows = false;
+  core::MatchEngine timed_per_cell(sa, sb, timed);
+  EXPECT_EQ(Flatten(timed_batched.ComputeMatrix()),
+            Flatten(timed_per_cell.ComputeMatrix()));
+}
+
 TEST(ObsDeterminismTest, StatsReportCountsCells) {
   schema::Schema sa = MakeSource();
   schema::Schema sb = MakeTarget();

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace harmony::text {
 namespace {
 
@@ -78,7 +80,7 @@ TEST(SoftSortedTest, AgreesWithSoftTokenOnSortedInput) {
   EXPECT_NEAR(SoftSortedSimilarity(a, b), SoftTokenSimilarity(a, b), 1e-9);
 }
 
-TEST(SoftSortedTest, LargeInputsFallBackToJaccard) {
+TEST(SoftSortedTest, LargeInputsFallBackToDice) {
   std::vector<std::string> big_a, big_b;
   for (int i = 0; i < 40; ++i) {
     big_a.push_back("tok" + std::to_string(i));
@@ -87,8 +89,114 @@ TEST(SoftSortedTest, LargeInputsFallBackToJaccard) {
   std::sort(big_a.begin(), big_a.end());
   std::sort(big_b.begin(), big_b.end());
   double sim = SoftSortedSimilarity(big_a, big_b);
-  // 20 shared of 60 union.
-  EXPECT_NEAR(sim, 20.0 / 60.0, 1e-9);
+  // 20 shared tokens, Dice-normalized like the small-set soft path:
+  // 2·20/(40+40) — NOT Jaccard's 20/60, which would make a container's
+  // structural score jump as its child set crosses the 32-token cutoff.
+  EXPECT_NEAR(sim, 2.0 * 20.0 / 80.0, 1e-9);
+}
+
+// The small-set path matches soft (Jaro-Winkler ≥ threshold) pairs and the
+// large-set path intersects exactly, but both must normalize identically:
+// with pairwise-dissimilar vocabularies (only exact tokens match) the score
+// must follow the same Dice curve 2k/(|A|+|B|) on either side of the
+// 32-token cutoff.
+TEST(SoftSortedTest, ContinuousAcrossSizeCutoff) {
+  // "qNN" tokens: any two distinct ones stay below the 0.85 Jaro-Winkler
+  // bar (best case shares "qN" prefix: Jaro 7/9 → JW ≈ 0.82), so the soft
+  // path can only match exact duplicates — like the large-set fallback.
+  auto token = [](int i) {
+    std::string t = std::to_string(i);
+    if (t.size() < 2) t.insert(t.begin(), '0');
+    t.insert(t.begin(), 'q');
+    return t;
+  };
+  constexpr int kShared = 12;
+  for (int n = 30; n <= 35; ++n) {
+    std::vector<std::string> a, b;
+    for (int i = 0; i < n; ++i) a.push_back(token(i));                // q00..
+    for (int i = n - kShared; i < 2 * n - kShared; ++i) b.push_back(token(i));
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_DOUBLE_EQ(SoftSortedSimilarity(a, b),
+                     2.0 * kShared / static_cast<double>(2 * n))
+        << "discontinuity at n=" << n;
+  }
+}
+
+// Tied token similarities must pair off identically everywhere: dedup is
+// sort+unique (not hash-set order) and ties break by (sim desc, i, j) over
+// the sorted tokens. These inputs are engineered so several candidate pairs
+// tie exactly.
+TEST(SoftTokenTest, TiedSimilaritiesAreDeterministic) {
+  // The cross pairs ax↔ay and bx↔by tie exactly (JW ≈ 0.7: Jaro 2/3 plus
+  // one shared prefix char); the mixed pairs ax↔by, bx↔ay share no letters
+  // and score 0. With threshold 0.5 the greedy matching must take (ax,ay)
+  // and (bx,by) — both tied pairs, never the zero pairs.
+  double s = JaroWinklerSimilarity("ax", "ay");
+  ASSERT_DOUBLE_EQ(s, JaroWinklerSimilarity("bx", "by"));  // The tie is real.
+  std::vector<std::string> a{"ax", "bx"};
+  std::vector<std::string> b{"ay", "by"};
+  EXPECT_DOUBLE_EQ(SoftTokenSimilarity(a, b, 0.5), 2.0 * (s + s) / 4.0);
+  // Input order must not matter: dedup sorts first.
+  std::vector<std::string> a_rev{"bx", "ax"};
+  std::vector<std::string> b_rev{"by", "ay"};
+  EXPECT_DOUBLE_EQ(SoftTokenSimilarity(a_rev, b_rev, 0.5),
+                   SoftTokenSimilarity(a, b, 0.5));
+
+  // One source token, two equally-similar targets: the tie breaks to the
+  // lower j (sorted order), and only one of the two pairs can match —
+  // total s over 3 unique tokens.
+  ASSERT_DOUBLE_EQ(s, JaroWinklerSimilarity("ax", "az"));
+  EXPECT_DOUBLE_EQ(SoftTokenSimilarity({"ax"}, {"ay", "az"}, 0.5),
+                   2.0 * s / 3.0);
+
+  // Duplicates within a side are removed before normalization.
+  EXPECT_DOUBLE_EQ(SoftTokenSimilarity({"ax", "ax"}, {"ay", "az"}, 0.5),
+                   2.0 * s / 3.0);
+}
+
+// The scratch-taking overloads exist so the batched kernel can score ~10^6
+// pairs without per-call allocation; they must return bitwise-identical
+// values to the convenience forms, including when one scratch instance is
+// reused across calls with different-sized inputs.
+TEST(MetricScratchTest, ScratchOverloadsMatchConvenienceForms) {
+  MetricScratch scratch;
+  const char* samples[] = {"",       "a",         "date",       "DATE_BEGIN",
+                           "kitten", "sitting",   "datebegin",  "vehicleidn",
+                           "martha", "marhta",    "dixon",      "dicksonx"};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      EXPECT_EQ(LevenshteinDistance(a, b), LevenshteinDistance(a, b, scratch));
+      EXPECT_DOUBLE_EQ(LevenshteinSimilarity(a, b),
+                       LevenshteinSimilarity(a, b, scratch));
+      EXPECT_DOUBLE_EQ(JaroSimilarity(a, b), JaroSimilarity(a, b, scratch));
+      EXPECT_DOUBLE_EQ(JaroWinklerSimilarity(a, b),
+                       JaroWinklerSimilarity(a, b, scratch));
+    }
+  }
+  std::vector<std::vector<std::string>> token_sets{
+      {},
+      {"date"},
+      {"date", "begin"},
+      {"vehicle", "identification", "number"},
+      {"begin", "date", "date", "vehicles"},
+  };
+  for (const auto& a : token_sets) {
+    for (const auto& b : token_sets) {
+      EXPECT_DOUBLE_EQ(SoftTokenSimilarity(a, b),
+                       SoftTokenSimilarity(a, b, 0.85, scratch));
+      std::vector<std::string> sa = a, sb = b;
+      std::sort(sa.begin(), sa.end());
+      sa.erase(std::unique(sa.begin(), sa.end()), sa.end());
+      std::sort(sb.begin(), sb.end());
+      sb.erase(std::unique(sb.begin(), sb.end()), sb.end());
+      EXPECT_DOUBLE_EQ(SoftSortedSimilarity(sa, sb),
+                       SoftSortedSimilarity(sa, sb, 0.85, scratch));
+      // The pre-deduplicated fast path equals the raw entry point.
+      EXPECT_DOUBLE_EQ(SoftTokenSimilaritySorted(sa, sb, 0.85, scratch),
+                       SoftTokenSimilarity(a, b));
+    }
+  }
 }
 
 // Metric properties every similarity must satisfy.
