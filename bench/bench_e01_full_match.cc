@@ -10,7 +10,10 @@
 #include <memory>
 
 #include "bench_util.h"
+#include "core/engine_context.h"
 #include "core/match_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "synth/generator.h"
 
 namespace {
@@ -105,10 +108,72 @@ void BM_FullMatchPerCell(benchmark::State& state) {
 }
 BENCHMARK(BM_FullMatchPerCell)->Unit(benchmark::kMillisecond)->MinTime(2.0);
 
+// Same match, but the engine runs on its own child registry and tracer via
+// an explicit EngineContext instead of the process globals. The delta
+// against BM_FullMatch is the cost of context-scoped observability —
+// expected to vanish, since handles resolve once at engine construction
+// either way and a child registry is the same data structure as the root.
+void BM_FullMatchScopedContext(benchmark::State& state) {
+  const auto& pair = PaperPair();
+  obs::MetricsRegistry registry(&obs::MetricsRegistry::Global());
+  obs::Tracer tracer;  // present but not started, like the global default
+  core::EngineContext context(&registry, &tracer);
+  core::MatchEngine engine(pair.source, pair.target, {}, context);
+  size_t pairs = 0;
+  for (auto _ : state) {
+    core::MatchMatrix matrix = engine.ComputeMatrix();
+    pairs = matrix.pair_count();
+    benchmark::DoNotOptimize(matrix.MaxScore());
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["pairs_per_s"] =
+      benchmark::Counter(static_cast<double>(pairs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullMatchScopedContext)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+// Shard-balance report for the ParallelFor grain heuristic: run the row
+// fan-out with the legacy fixed grain of 1 and with the auto grain
+// (items / (threads · 8)), and print the shards-per-executor histogram a
+// context-scoped registry captured. Fewer, fatter shards mean less queue
+// traffic; the histogram spread shows how evenly they landed.
+void PrintGrainReport() {
+#if HARMONY_OBS_ENABLED
+  const auto& pair = PaperPair();
+  std::printf("ParallelFor shard balance, row fan-out at 4 threads:\n");
+  std::printf("%-22s %10s %10s %10s %10s\n", "grain", "pf.calls", "shards/exec",
+              "p50", "p99");
+  for (size_t grain : {size_t{1}, size_t{0}}) {
+    obs::MetricsRegistry registry;
+    obs::Tracer tracer;
+    core::EngineContext context(&registry, &tracer);
+    core::MatchOptions options;
+    options.num_threads = 4;
+    options.grain = grain;
+    core::MatchEngine engine(pair.source, pair.target, options, context);
+    benchmark::DoNotOptimize(engine.ComputeMatrix().MaxScore());
+    obs::MetricsSnapshot snap = registry.Snapshot();
+    const obs::HistogramSnapshot* h =
+        snap.FindHistogram("parallel_for.shards_per_executor");
+    const obs::CounterSnapshot* calls = snap.FindCounter("parallel_for.calls");
+    if (h == nullptr || calls == nullptr) {
+      std::printf("  (no ParallelFor dispatch on this machine)\n");
+      break;
+    }
+    std::printf("%-22s %10llu %10.1f %10llu %10llu\n",
+                grain == 0 ? "auto (rows/(4*8))" : "fixed 1",
+                static_cast<unsigned long long>(calls->value), h->Mean(),
+                static_cast<unsigned long long>(h->PercentileUpperBound(0.5)),
+                static_cast<unsigned long long>(h->PercentileUpperBound(0.99)));
+  }
+  std::printf("\n");
+#endif
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintReport();
+  PrintGrainReport();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

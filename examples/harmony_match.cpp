@@ -3,24 +3,37 @@
 //
 //   harmony_match match <source> <target> [--threshold=0.35] [--one-to-one]
 //                 [--refined] [--csv] [--save-workspace=FILE]
-//                 [--stats] [--trace=out.json] [--threads=N]
+//                 [--stats] [--stats-interval=MS] [--trace=out.json]
+//                 [--threads=N] [--grain=N]
 //   harmony_match profile <schema>...
 //   harmony_match export <schema> (--ddl | --xsd)
 //
 // --stats prints the engine's effort breakdown (per-voter timing) and the
-// process metrics registry to stderr; --trace writes a Chrome trace-event
-// JSON of the whole run (open in chrome://tracing or ui.perfetto.dev).
+// run's metrics registry to stderr; --stats-interval=MS additionally emits
+// one "stats-delta {json}" line to stderr every MS milliseconds containing
+// only what changed since the previous emission (the statsd/OTLP-style
+// periodic-export pattern); --trace writes a Chrome trace-event JSON of the
+// whole run (open in chrome://tracing or ui.perfetto.dev).
+//
+// Observability is scoped: the run owns a child MetricsRegistry (under the
+// process root) and its own Tracer, bundled into a core::EngineContext that
+// is threaded through the engine. At exit the child's totals are flushed
+// into the root, so nothing is lost.
 //
 // Schema files are auto-detected by content: SQL DDL, XSD, or the HSC1
 // serialization format. Running without arguments demonstrates on built-in
 // sample schemata.
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harmony.h"
@@ -68,42 +81,99 @@ std::string FlagValue(const std::vector<std::string>& args, const char* prefix,
   return fallback;
 }
 
-// Shared by match and demo: start tracing if requested, and on scope exit
-// write the trace file / print the stats report.
+// Shared by match and demo: owns the run's observability scope — a child
+// MetricsRegistry under the process root plus a dedicated Tracer — and
+// exposes them as an EngineContext for the pipeline. On scope exit it
+// writes the trace file, prints the stats report, and flushes the child's
+// totals into the root registry. With a positive stats interval a
+// background thread emits "stats-delta {json}" lines to stderr: each line
+// carries only the change since the previous line (periodic delta export,
+// as a statsd or OTLP exporter would ship).
 class ObsSession {
  public:
-  ObsSession(bool stats, std::string trace_path)
-      : stats_(stats), trace_path_(std::move(trace_path)) {
+  ObsSession(bool stats, std::string trace_path, long stats_interval_ms)
+      : stats_(stats),
+        trace_path_(std::move(trace_path)),
+        registry_(root_.metrics),
+        context_(&registry_, &tracer_) {
     if (!trace_path_.empty()) {
-      obs::Tracer::Global().SetThreadName("main");
-      obs::Tracer::Global().Start();
+      tracer_.SetThreadName("main");
+      tracer_.Start();
+    }
+    if (stats_interval_ms > 0) {
+      exporter_ = std::thread([this, stats_interval_ms] {
+        ExportLoop(stats_interval_ms);
+      });
     }
   }
 
   ~ObsSession() {
+    if (exporter_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+      }
+      cv_.notify_all();
+      exporter_.join();
+      EmitDelta();  // the tail of the run since the last periodic emission
+    }
     if (!trace_path_.empty()) {
-      obs::Tracer& tracer = obs::Tracer::Global();
-      tracer.Stop();
-      if (tracer.WriteChromeTrace(trace_path_)) {
+      tracer_.Stop();
+      if (tracer_.WriteChromeTrace(trace_path_)) {
         std::fprintf(stderr,
                      "trace: %zu events -> %s (open in chrome://tracing)\n",
-                     tracer.event_count(), trace_path_.c_str());
+                     tracer_.event_count(), trace_path_.c_str());
       } else {
         std::fprintf(stderr, "trace: cannot write %s\n", trace_path_.c_str());
       }
     }
     if (stats_) {
-      std::fputs("\n-- process metrics --\n", stderr);
-      std::fputs(obs::MetricsRegistry::Global().Snapshot().ToText().c_str(),
-                 stderr);
+      std::fputs("\n-- run metrics --\n", stderr);
+      std::fputs(registry_.Snapshot().ToText().c_str(), stderr);
     }
+    // The run is over: make its totals visible at the process root.
+    registry_.FlushToParent();
   }
 
   bool stats() const { return stats_; }
+  const core::EngineContext& context() const { return context_; }
 
  private:
+  void ExportLoop(long interval_ms) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                       [this] { return stop_; })) {
+        return;
+      }
+      lock.unlock();
+      EmitDelta();
+      lock.lock();
+    }
+  }
+
+  // Only ever called from one thread at a time: the exporter thread while it
+  // runs, the destructor after joining it.
+  void EmitDelta() {
+    // Snapshot once and diff against it, so increments landing between two
+    // snapshots can never fall through the crack between deltas.
+    obs::MetricsSnapshot current = registry_.Snapshot();
+    obs::MetricsSnapshot delta = current.DeltaFrom(baseline_);
+    baseline_ = std::move(current);
+    std::fprintf(stderr, "stats-delta %s\n", delta.ToJson().c_str());
+  }
+
   bool stats_;
   std::string trace_path_;
+  core::EngineContext root_;  // sanctioned gateway to the process globals
+  obs::MetricsRegistry registry_;
+  obs::Tracer tracer_;
+  core::EngineContext context_;
+  obs::MetricsSnapshot baseline_;
+  std::thread exporter_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
 };
 
 int RunMatch(const std::vector<std::string>& args) {
@@ -124,20 +194,24 @@ int RunMatch(const std::vector<std::string>& args) {
   double threshold =
       std::atof(FlagValue(args, "--threshold=", "0.35").c_str());
 
-  ObsSession obs_session(FlagSet(args, "--stats"),
-                         FlagValue(args, "--trace=", ""));
+  ObsSession obs_session(
+      FlagSet(args, "--stats"), FlagValue(args, "--trace=", ""),
+      std::atol(FlagValue(args, "--stats-interval=", "0").c_str()));
 
   core::MatchOptions options;
   options.collect_stats = obs_session.stats();
   options.num_threads = static_cast<size_t>(
       std::atoi(FlagValue(args, "--threads=", "0").c_str()));
-  core::MatchEngine engine(*source, *target, options);
+  options.grain = static_cast<size_t>(
+      std::atoi(FlagValue(args, "--grain=", "0").c_str()));
+  core::MatchEngine engine(*source, *target, options, obs_session.context());
   core::MatchMatrix matrix = FlagSet(args, "--refined")
                                  ? engine.ComputeRefinedMatrix()
                                  : engine.ComputeMatrix();
-  auto links = FlagSet(args, "--one-to-one")
-                   ? core::SelectGreedyOneToOne(matrix, threshold)
-                   : core::SelectByThreshold(matrix, threshold);
+  auto links =
+      FlagSet(args, "--one-to-one")
+          ? core::SelectGreedyOneToOne(matrix, threshold, engine.context())
+          : core::SelectByThreshold(matrix, threshold, engine.context());
 
   workflow::MatchWorkspace workspace(*source, *target);
   workspace.ImportCandidates(links);
@@ -211,8 +285,9 @@ int RunExport(const std::vector<std::string>& args) {
 
 int RunDemo(const std::vector<std::string>& args) {
   std::printf("harmony_match demo: matching two built-in sample schemata\n\n");
-  ObsSession obs_session(FlagSet(args, "--stats"),
-                         FlagValue(args, "--trace=", ""));
+  ObsSession obs_session(
+      FlagSet(args, "--stats"), FlagValue(args, "--trace=", ""),
+      std::atol(FlagValue(args, "--stats-interval=", "0").c_str()));
   synth::PairSpec spec;
   spec.source_concepts = 6;
   spec.target_concepts = 5;
@@ -222,9 +297,10 @@ int RunDemo(const std::vector<std::string>& args) {
   options.collect_stats = obs_session.stats();
   options.num_threads = static_cast<size_t>(
       std::atoi(FlagValue(args, "--threads=", "0").c_str()));
-  core::MatchEngine engine(pair.source, pair.target, options);
-  auto links =
-      core::SelectGreedyOneToOne(engine.ComputeRefinedMatrix(), 0.35);
+  core::MatchEngine engine(pair.source, pair.target, options,
+                           obs_session.context());
+  auto links = core::SelectGreedyOneToOne(engine.ComputeRefinedMatrix(), 0.35,
+                                          engine.context());
   workflow::MatchWorkspace ws(pair.source, pair.target);
   ws.ImportCandidates(links);
   workflow::MatchViewOptions view;

@@ -64,16 +64,18 @@ text::SparseVector TokenProfileIndex::Profile(const schema::Schema& schema) cons
 }
 
 double MatchOverlapSimilarity(const schema::Schema& a, const schema::Schema& b,
-                              double threshold, const core::MatchOptions& options) {
-  core::MatchEngine engine(a, b, options);
-  auto links = core::SelectGreedyOneToOne(engine.ComputeMatrix(), threshold);
+                              double threshold, const core::MatchOptions& options,
+                              const core::EngineContext& context) {
+  core::MatchEngine engine(a, b, options, context);
+  auto links =
+      core::SelectGreedyOneToOne(engine.ComputeMatrix(), threshold, context);
   OverlapPartition partition = ComputeOverlap(a, b, links);
   return OverlapSimilarity(partition, a.element_count(), b.element_count());
 }
 
 std::vector<double> MatchOverlapDistanceMatrix(
     const std::vector<const schema::Schema*>& schemas, double threshold,
-    const core::MatchOptions& options) {
+    const core::MatchOptions& options, const core::EngineContext& context) {
   size_t n = schemas.size();
   for (const schema::Schema* s : schemas) HARMONY_CHECK(s != nullptr);
   std::vector<std::pair<size_t, size_t>> pairs;
@@ -87,14 +89,15 @@ std::vector<double> MatchOverlapDistanceMatrix(
   auto fill_range = [&](size_t begin, size_t end) {
     for (size_t k = begin; k < end; ++k) {
       auto [i, j] = pairs[k];
-      double d =
-          1.0 - MatchOverlapSimilarity(*schemas[i], *schemas[j], threshold, options);
+      double d = 1.0 - MatchOverlapSimilarity(*schemas[i], *schemas[j],
+                                              threshold, options, context);
       m[i * n + j] = d;
       m[j * n + i] = d;
     }
   };
+  // Explicit grain of 1: each unit is a whole engine run (see nway).
   common::ParallelFor(0, pairs.size(), /*grain=*/1, fill_range,
-                      options.num_threads);
+                      options.num_threads, context);
   return m;
 }
 

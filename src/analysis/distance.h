@@ -53,19 +53,23 @@ std::vector<std::string> SchemaTokenBag(const schema::Schema& schema);
 
 /// \brief Exact overlap similarity: runs the Harmony engine with `options`,
 /// selects greedy 1:1 links above `threshold`, and returns the matched
-/// fraction of elements ((|M1|+|M2|) / (|S1|+|S2|)).
+/// fraction of elements ((|M1|+|M2|) / (|S1|+|S2|)). The inner engine
+/// inherits `context` (metrics/tracer scope and pool).
 double MatchOverlapSimilarity(const schema::Schema& a, const schema::Schema& b,
                               double threshold = 0.4,
-                              const core::MatchOptions& options = {});
+                              const core::MatchOptions& options = {},
+                              const core::EngineContext& context = {});
 
 /// \brief Exact all-pairs distance matrix (1 − MatchOverlapSimilarity),
 /// the matcher-backed counterpart of TokenProfileIndex::DistanceMatrix()
 /// for clustering inputs where the approximate token profile is too coarse.
-/// The O(n²) engine runs fan out over the shared thread pool per
-/// `options.num_threads` (0 = hardware concurrency, 1 = serial); output is
-/// identical at any thread count. Row-major, size n*n, zero diagonal.
+/// The O(n²) engine runs fan out over `context`'s pool (shared pool by
+/// default) per `options.num_threads` (0 = hardware concurrency,
+/// 1 = serial); output is identical at any thread count. Row-major, size
+/// n*n, zero diagonal.
 std::vector<double> MatchOverlapDistanceMatrix(
     const std::vector<const schema::Schema*>& schemas, double threshold = 0.4,
-    const core::MatchOptions& options = {});
+    const core::MatchOptions& options = {},
+    const core::EngineContext& context = {});
 
 }  // namespace harmony::analysis

@@ -1,0 +1,29 @@
+#include "common/engine_context.h"
+
+#include "common/thread_pool.h"
+
+namespace harmony::common {
+
+// The default context is the sole production gateway to the obs globals;
+// every other component takes an EngineContext.
+
+EngineContext::EngineContext()
+    : metrics(&obs::MetricsRegistry::Global()),
+      tracer(&obs::Tracer::Global()),
+      pool(nullptr) {}
+
+EngineContext::EngineContext(obs::MetricsRegistry* metrics_in,
+                             obs::Tracer* tracer_in, ThreadPool* pool_in)
+    : metrics(metrics_in != nullptr ? metrics_in
+                                    : &obs::MetricsRegistry::Global()),
+      tracer(tracer_in != nullptr ? tracer_in : &obs::Tracer::Global()),
+      pool(pool_in) {}
+
+EngineContext::EngineContext(ThreadPool* pool_in)
+    : EngineContext(nullptr, nullptr, pool_in) {}
+
+ThreadPool& EngineContext::pool_or_shared() const {
+  return pool != nullptr ? *pool : ThreadPool::Shared();
+}
+
+}  // namespace harmony::common

@@ -1,0 +1,57 @@
+// EngineContext — the explicitly threaded bundle of runtime services
+// (metrics registry, tracer, thread pool) that every layer above obs takes
+// instead of reaching for process-wide singletons.
+//
+// The contract that keeps call-site migration free of breakage: a
+// default-constructed EngineContext binds obs::MetricsRegistry::Global(),
+// obs::Tracer::Global(), and the shared thread pool — exactly the ambient
+// services the code used before contexts existed. Passing nothing changes
+// nothing. The default constructor is the ONE sanctioned place production
+// code touches those globals; everything downstream receives the context.
+//
+// To isolate a run (the paper's concurrent-analyst workload: many matching
+// sessions against one repository), build a child registry and a private
+// tracer, bundle them here, and hand the context to MatchEngine — the run's
+// metrics stay disjoint from every other run until FlushToParent() merges
+// them into the root, and its spans land on their own tracer.
+//
+// The context is three raw pointers: trivially copyable, passed by const
+// reference, never owning. All three services must outlive every component
+// holding the context.
+
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace harmony::common {
+
+class ThreadPool;
+
+struct EngineContext {
+  /// Today's global behaviour: Global() registry + Global() tracer + the
+  /// shared pool (bound lazily — see `pool`).
+  EngineContext();
+
+  /// Scoped services. A nullptr `metrics` or `tracer` falls back to the
+  /// corresponding global; `pool` may stay nullptr (= shared pool).
+  EngineContext(obs::MetricsRegistry* metrics, obs::Tracer* tracer,
+                ThreadPool* pool = nullptr);
+
+  /// Global observability but a caller-owned pool (common in tests).
+  explicit EngineContext(ThreadPool* pool);
+
+  /// Never null.
+  obs::MetricsRegistry* metrics;
+  /// Never null.
+  obs::Tracer* tracer;
+  /// May be null: "use ThreadPool::Shared(), created on first dispatch".
+  /// Kept lazy so merely default-constructing a context (every call site
+  /// with default arguments does) never spawns worker threads.
+  ThreadPool* pool;
+
+  /// `pool`, or the shared pool if unset (creating it on first use).
+  ThreadPool& pool_or_shared() const;
+};
+
+}  // namespace harmony::common

@@ -17,35 +17,22 @@ namespace {
 // Set for the duration of a task on pool worker threads.
 thread_local bool t_on_worker_thread = false;
 
-// Pool telemetry: busy/idle split per worker-loop iteration plus the
-// ParallelFor shard-balance view. Counters are process totals over every
-// pool; clock reads happen once per task (tasks are coarse — a task drains
-// many shards), not per shard.
-struct PoolMetrics {
-  obs::Counter tasks{"pool.tasks_executed"};
-  obs::Counter busy_ns{"pool.busy_ns"};
-  obs::Counter idle_ns{"pool.idle_ns"};
-  obs::Gauge workers{"pool.workers"};
-  obs::Counter parallel_for_calls{"parallel_for.calls"};
-  obs::Histogram shards_per_executor{"parallel_for.shards_per_executor"};
-};
-
-PoolMetrics& Metrics() {
-  static PoolMetrics metrics;
-  return metrics;
-}
-
 // Worker threads get sequential track names across all pools.
 std::atomic<uint64_t> g_worker_serial{0};
 
 }  // namespace
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, const EngineContext& context)
+    : tasks_(*context.metrics, "pool.tasks_executed"),
+      busy_ns_(*context.metrics, "pool.busy_ns"),
+      idle_ns_(*context.metrics, "pool.idle_ns"),
+      workers_(*context.metrics, "pool.workers"),
+      tracer_(context.tracer) {
   size_t n = EffectiveThreadCount(num_threads);
-  Metrics().workers.Add(static_cast<int64_t>(n));
-  workers_.reserve(n);
+  workers_.Add(static_cast<int64_t>(n));
+  threads_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
@@ -55,7 +42,8 @@ ThreadPool::~ThreadPool() {
     stopping_ = true;
   }
   cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  for (std::thread& w : threads_) w.join();
+  workers_.Add(-static_cast<int64_t>(threads_.size()));
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -75,7 +63,7 @@ bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
 
 void ThreadPool::WorkerLoop() {
   t_on_worker_thread = true;
-  obs::Tracer::Global().SetThreadName(
+  tracer_->SetThreadName(
       "pool-worker-" +
       std::to_string(g_worker_serial.fetch_add(1, std::memory_order_relaxed)));
   for (;;) {
@@ -85,17 +73,17 @@ void ThreadPool::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) {  // stopping_ and drained
-        Metrics().idle_ns.Add(obs::MonotonicNanos() - wait_start);
+        idle_ns_.Add(obs::MonotonicNanos() - wait_start);
         return;
       }
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     uint64_t run_start = obs::MonotonicNanos();
-    Metrics().idle_ns.Add(run_start - wait_start);
+    idle_ns_.Add(run_start - wait_start);
     task();
-    Metrics().busy_ns.Add(obs::MonotonicNanos() - run_start);
-    Metrics().tasks.Add();
+    busy_ns_.Add(obs::MonotonicNanos() - run_start);
+    tasks_.Add();
   }
 }
 
@@ -105,6 +93,12 @@ size_t EffectiveThreadCount(size_t requested) {
   return hw == 0 ? 1 : static_cast<size_t>(hw);
 }
 
+size_t ResolveGrain(size_t requested, size_t items, size_t num_threads) {
+  if (requested != 0) return requested;
+  size_t executors = EffectiveThreadCount(num_threads);
+  return std::max<size_t>(1, items / (executors * 8));
+}
+
 namespace {
 
 // Shared between the caller and its helper tasks. Heap-allocated and
@@ -112,13 +106,22 @@ namespace {
 // are claimed must still find live state when they wake up and bail.
 struct ParallelForState {
   ParallelForState(size_t begin_, size_t end_, size_t grain_,
-                   std::function<void(size_t, size_t)> body_)
-      : next(begin_), end(end_), grain(grain_), body(std::move(body_)) {}
+                   std::function<void(size_t, size_t)> body_,
+                   const EngineContext& context)
+      : next(begin_),
+        end(end_),
+        grain(grain_),
+        body(std::move(body_)),
+        shards_per_executor(*context.metrics,
+                            "parallel_for.shards_per_executor"),
+        tracer(context.tracer) {}
 
   std::atomic<size_t> next;
   const size_t end;
   const size_t grain;
   const std::function<void(size_t, size_t)> body;
+  obs::Histogram shards_per_executor;
+  obs::Tracer* const tracer;
   std::atomic<bool> abort{false};
 
   std::mutex mu;
@@ -130,7 +133,7 @@ struct ParallelForState {
 // Claims shards until the range is exhausted (or a shard failed). Run by
 // the calling thread and by every helper task.
 void RunShards(ParallelForState& state) {
-  HARMONY_TRACE_SPAN("parallel_for/executor");
+  HARMONY_TRACE_SPAN(state.tracer, "parallel_for/executor");
   // Shards this executor claimed — the per-executor rows of the
   // shard-imbalance histogram (a wide spread across executors of one call
   // means the work-stealing loop was starved or the grain too coarse).
@@ -145,7 +148,7 @@ void RunShards(ParallelForState& state) {
       lo = state.next.fetch_add(state.grain, std::memory_order_relaxed);
     }
     if (lo >= state.end) {
-      Metrics().shards_per_executor.Record(shards_claimed);
+      state.shards_per_executor.Record(shards_claimed);
       std::lock_guard<std::mutex> lock(state.mu);
       if (--state.in_flight == 0) state.cv.notify_all();
       return;
@@ -173,10 +176,13 @@ void RunShards(ParallelForState& state) {
 
 void ParallelFor(size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t, size_t)>& body,
-                 size_t num_threads, ThreadPool* pool) {
+                 size_t num_threads, const EngineContext& context) {
   if (begin >= end) return;
-  if (grain == 0) grain = 1;
-  Metrics().parallel_for_calls.Add();
+  grain = ResolveGrain(grain, end - begin, num_threads);
+  // Per-call name lookup instead of a cached handle: ParallelFor calls are
+  // coarse (one per matrix / pair fan-out), and the registry varies with
+  // the caller's context.
+  obs::Counter(*context.metrics, "parallel_for.calls").Add();
   size_t threads = EffectiveThreadCount(num_threads);
   size_t shards = (end - begin + grain - 1) / grain;
   // Serial fallback: explicit num_threads=1, nothing to split, or we are
@@ -187,12 +193,13 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
     return;
   }
 
-  if (pool == nullptr) pool = &ThreadPool::Shared();
+  ThreadPool& pool = context.pool_or_shared();
   size_t helpers = std::min(threads - 1, shards - 1);
 
-  auto state = std::make_shared<ParallelForState>(begin, end, grain, body);
+  auto state = std::make_shared<ParallelForState>(begin, end, grain, body,
+                                                  context);
   for (size_t i = 0; i < helpers; ++i) {
-    pool->Submit([state] { RunShards(*state); });
+    pool.Submit([state] { RunShards(*state); });
   }
   // The caller is an executor too — it works instead of blocking, so a
   // pool of N workers plus the caller yields N+1-way parallelism.

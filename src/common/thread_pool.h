@@ -4,7 +4,8 @@
 //   1. Determinism. ParallelFor partitions [begin, end) into disjoint
 //      shards; each shard runs exactly once, so a body that only writes
 //      state owned by its shard produces output identical to the serial
-//      run — bit for bit — regardless of scheduling.
+//      run — bit for bit — regardless of scheduling, thread count, or
+//      grain.
 //   2. Reusability. One process-wide pool (ThreadPool::Shared()) serves
 //      every ParallelFor; no per-call thread spawn/join churn on the hot
 //      path that MATCH(S1, S2) sits on.
@@ -12,6 +13,10 @@
 //      the whole range inline (no nested fan-out, no deadlock), so outer
 //      pair-level parallelism (nway/analysis) nests over the inner
 //      row-level kernel for free.
+//
+// Both primitives are context-aware: a pool reports its telemetry to the
+// EngineContext it was built with, and ParallelFor draws its pool, metrics,
+// and tracer from the context argument (default = globals + shared pool).
 
 #pragma once
 
@@ -23,6 +28,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/engine_context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace harmony::common {
 
 /// \brief Fixed-size worker pool with a FIFO task queue.
@@ -32,20 +41,25 @@ namespace harmony::common {
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers; 0 means hardware concurrency (min 1).
-  explicit ThreadPool(size_t num_threads = 0);
+  /// Telemetry (task counts, busy/idle ns, worker gauge, worker thread
+  /// names) goes to `context`'s registry and tracer. The context's `pool`
+  /// member is ignored — a pool does not dispatch onto another pool.
+  explicit ThreadPool(size_t num_threads = 0,
+                      const EngineContext& context = EngineContext());
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  size_t worker_count() const { return workers_.size(); }
+  size_t worker_count() const { return threads_.size(); }
 
   /// Enqueues a task for execution on some worker. Tasks must not block
   /// waiting for later-queued tasks (workers are a finite resource).
   void Submit(std::function<void()> task);
 
-  /// The process-wide pool (hardware-concurrency workers), created on
-  /// first use and reused by every ParallelFor that doesn't pass its own.
+  /// The process-wide pool (hardware-concurrency workers, global
+  /// observability), created on first use and reused by every ParallelFor
+  /// whose context doesn't carry its own pool.
   static ThreadPool& Shared();
 
   /// True on threads currently executing a pool task — the reentrancy
@@ -55,24 +69,42 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  // Pool telemetry, bound once to the construction context's registry:
+  // busy/idle split per worker-loop iteration, task count, live-worker
+  // gauge. Clock reads happen once per task (tasks are coarse — a task
+  // drains many shards), not per shard.
+  obs::Counter tasks_;
+  obs::Counter busy_ns_;
+  obs::Counter idle_ns_;
+  obs::Gauge workers_;
+  obs::Tracer* tracer_;
+
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> threads_;
 };
 
 /// Resolves a user-facing thread count: 0 → hardware concurrency (min 1),
 /// anything else passes through.
 size_t EffectiveThreadCount(size_t requested);
 
+/// Resolves a user-facing shard grain for `items` work units split across
+/// `num_threads` (engine convention: 0 = hardware concurrency). 0 = auto:
+/// aim for ~8 shards per executor — coarse enough to amortize claim
+/// overhead, fine enough that the work-stealing loop evens out skewed
+/// shard costs. Any other value passes through.
+size_t ResolveGrain(size_t requested, size_t items, size_t num_threads);
+
 /// \brief Runs `body(lo, hi)` over disjoint shards covering [begin, end),
-/// each shard at most `grain` long, using up to `num_threads` executors
-/// (the calling thread plus pool workers).
+/// each shard at most `grain` long (0 = auto via ResolveGrain), using up
+/// to `num_threads` executors (the calling thread plus pool workers).
 ///
 /// `num_threads` follows the engine-wide convention: 0 = hardware
 /// concurrency, 1 = run `body(begin, end)` inline on the calling thread
-/// (the exact serial fallback). `pool` defaults to ThreadPool::Shared().
+/// (the exact serial fallback). `context` supplies the pool (shared pool
+/// if unset) and the registry/tracer that receive the call's telemetry.
 ///
 /// Guarantees:
 ///   - every index in [begin, end) is covered by exactly one invocation;
@@ -85,6 +117,7 @@ size_t EffectiveThreadCount(size_t requested);
 ///     never deadlocks.
 void ParallelFor(size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t, size_t)>& body,
-                 size_t num_threads = 0, ThreadPool* pool = nullptr);
+                 size_t num_threads = 0,
+                 const EngineContext& context = EngineContext());
 
 }  // namespace harmony::common

@@ -1,0 +1,16 @@
+// core::EngineContext — alias of common::EngineContext, the bundle of
+// runtime services (metrics registry, tracer, thread pool) threaded through
+// every engine entry point. It lives in harmony::common so that
+// common::ParallelFor and common::ThreadPool can accept it without a layer
+// cycle; core re-exports the name because the engine API is where most
+// callers meet it.
+
+#pragma once
+
+#include "common/engine_context.h"
+
+namespace harmony::core {
+
+using common::EngineContext;
+
+}  // namespace harmony::core

@@ -8,36 +8,25 @@
 
 namespace harmony::core {
 
-namespace {
-
-// Engine-wide counters (process totals across all engines; the per-engine
-// view lives in StatsReport). Function-local statics resolve the registry
-// ids once, thread-safely.
-struct EngineMetrics {
-  obs::Counter matrices{"engine.matrices_computed"};
-  obs::Counter cells{"engine.cells_scored"};
-  obs::Counter engines{"engine.constructed"};
-  obs::Histogram preprocess_ns{"engine.preprocess_ns"};
-  obs::Histogram matrix_ns{"engine.compute_matrix_ns"};
-};
-
-EngineMetrics& Metrics() {
-  static EngineMetrics metrics;
-  return metrics;
-}
-
-}  // namespace
+MatchEngine::EngineMetrics::EngineMetrics(obs::MetricsRegistry& registry)
+    : matrices(registry, "engine.matrices_computed"),
+      cells(registry, "engine.cells_scored"),
+      engines(registry, "engine.constructed"),
+      preprocess_ns(registry, "engine.preprocess_ns"),
+      matrix_ns(registry, "engine.compute_matrix_ns") {}
 
 MatchEngine::MatchEngine(const schema::Schema& source, const schema::Schema& target,
-                         MatchOptions options)
+                         MatchOptions options, const EngineContext& context)
     : options_(std::move(options)),
-      profiles_(source, target, options_.preprocess),
+      context_(context),
+      metrics_(*context_.metrics),
+      profiles_(source, target, options_.preprocess, context_),
       voters_(CreateVoters(options_.voters)),
       merger_(options_.merger) {
   stats_.voter_calls = std::vector<std::atomic<uint64_t>>(voters_.size());
   stats_.voter_ns = std::vector<std::atomic<uint64_t>>(voters_.size());
-  Metrics().engines.Add();
-  Metrics().preprocess_ns.Record(
+  metrics_.engines.Add();
+  metrics_.preprocess_ns.Record(
       static_cast<uint64_t>(profiles_.build_seconds() * 1e9));
 }
 
@@ -48,7 +37,9 @@ MatchMatrix MatchEngine::ComputeMatrix() const {
 MatchMatrix MatchEngine::ComputeRefinedMatrix() const {
   PropagationOptions propagation = options_.propagation;
   if (propagation.num_threads == 0) propagation.num_threads = options_.num_threads;
-  return PropagateScores(source(), target(), ComputeMatrix(), propagation);
+  if (propagation.grain == 0) propagation.grain = options_.grain;
+  return PropagateScores(source(), target(), ComputeMatrix(), propagation,
+                         context_);
 }
 
 MatchMatrix MatchEngine::ComputeMatrix(const NodeFilter& source_filter,
@@ -59,7 +50,7 @@ MatchMatrix MatchEngine::ComputeMatrix(const NodeFilter& source_filter,
 MatchMatrix MatchEngine::ComputeMatrix(
     const std::vector<schema::ElementId>& source_ids,
     const std::vector<schema::ElementId>& target_ids) const {
-  HARMONY_TRACE_SPAN("engine/compute_matrix");
+  HARMONY_TRACE_SPAN(context_.tracer, "engine/compute_matrix");
   uint64_t t0 = obs::MonotonicNanos();
   MatchMatrix matrix(source_ids, target_ids);
   const bool timed = options_.collect_stats;
@@ -76,7 +67,7 @@ MatchMatrix MatchEngine::ComputeMatrix(
   // cell) pair with the same inputs, so the matrices are bitwise-identical
   // (tests/obs/determinism_test.cc asserts it per voter config).
   auto score_rows = [&](size_t row_begin, size_t row_end) {
-    HARMONY_TRACE_SPAN("engine/score_rows");
+    HARMONY_TRACE_SPAN(context_.tracer, "engine/score_rows");
     std::vector<VoterScore> scores(num_voters);
     std::vector<uint64_t> shard_voter_ns(timed ? num_voters : 0, 0);
     if (batched) {
@@ -125,7 +116,7 @@ MatchMatrix MatchEngine::ComputeMatrix(
     }
     size_t shard_cells = (row_end - row_begin) * cols;
     stats_.cells.fetch_add(shard_cells, std::memory_order_relaxed);
-    Metrics().cells.Add(shard_cells);
+    metrics_.cells.Add(shard_cells);
     if (timed) {
       // voter_calls counts cells scored per voter on both paths, so the
       // per-call averages in StatsReport stay comparable across kernels.
@@ -137,13 +128,13 @@ MatchMatrix MatchEngine::ComputeMatrix(
       }
     }
   };
-  common::ParallelFor(0, matrix.rows(), /*grain=*/1, score_rows,
-                      options_.num_threads);
+  common::ParallelFor(0, matrix.rows(), options_.grain, score_rows,
+                      options_.num_threads, context_);
   stats_.matrices.fetch_add(1, std::memory_order_relaxed);
   uint64_t elapsed = obs::MonotonicNanos() - t0;
   stats_.score_ns.fetch_add(elapsed, std::memory_order_relaxed);
-  Metrics().matrices.Add();
-  Metrics().matrix_ns.Record(elapsed);
+  metrics_.matrices.Add();
+  metrics_.matrix_ns.Record(elapsed);
   return matrix;
 }
 
@@ -154,7 +145,7 @@ MatchMatrix MatchEngine::MatchSubtree(schema::ElementId source_root) const {
 }
 
 std::vector<Correspondence> MatchEngine::Match() const {
-  return SelectByThreshold(ComputeMatrix(), options_.threshold);
+  return SelectByThreshold(ComputeMatrix(), options_.threshold, context_);
 }
 
 VoteBreakdown MatchEngine::Explain(schema::ElementId source_id,

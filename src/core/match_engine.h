@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/engine_context.h"
 #include "core/engine_stats.h"
 #include "core/filters.h"
 #include "core/match_matrix.h"
@@ -36,6 +37,13 @@ struct MatchOptions {
   /// thread. The parallel kernel is row-sharded and bitwise-identical to
   /// the serial path at any thread count.
   size_t num_threads = 0;
+  /// Rows per ParallelFor shard in ComputeMatrix (and, via
+  /// ComputeRefinedMatrix, the propagation sweeps). 0 = auto: derived from
+  /// the matrix shape by common::ResolveGrain (~8 shards per executor),
+  /// which amortizes shard-claim overhead on wide fan-outs where the old
+  /// fixed grain of 1 paid one claim per row. The kernel is row-sharded
+  /// with disjoint writes, so every grain yields bitwise-identical scores.
+  size_t grain = 0;
   /// Collect per-voter cumulative timing in StatsReport(). On the batched
   /// path this costs two steady-clock reads per VoteRow() (one row per
   /// voter); on the per-cell path, two per Vote(). Opt-in either way; cheap
@@ -67,13 +75,22 @@ class MatchEngine {
  public:
   /// Preprocesses both schemata (tokenization, abbreviation expansion,
   /// stemming, joint TF-IDF). The referenced schemata must outlive the
-  /// engine.
+  /// engine, as must every service in `context` — the engine's metrics,
+  /// spans, and parallel dispatch all go through it. The default context
+  /// binds the process globals (today's behaviour); pass a context with a
+  /// child registry and private tracer to isolate this run's observability
+  /// from concurrent engines.
   MatchEngine(const schema::Schema& source, const schema::Schema& target,
-              MatchOptions options = {});
+              MatchOptions options = {},
+              const EngineContext& context = EngineContext());
 
   const schema::Schema& source() const { return profiles_.source(); }
   const schema::Schema& target() const { return profiles_.target(); }
   const MatchOptions& options() const { return options_; }
+  /// The runtime services this engine was built with — workflow stages
+  /// running on the engine's behalf (selection, propagation, review) should
+  /// pass this on so their telemetry lands in the same scope.
+  const EngineContext& context() const { return context_; }
   const ProfilePair& profiles() const { return profiles_; }
 
   /// Scores every source element against every target element — the
@@ -129,7 +146,20 @@ class MatchEngine {
     std::vector<std::atomic<uint64_t>> voter_ns;
   };
 
+  // Engine-lifecycle metrics, bound once to context_'s registry (ids
+  // resolve at construction; increments are lock-free from any shard).
+  struct EngineMetrics {
+    explicit EngineMetrics(obs::MetricsRegistry& registry);
+    obs::Counter matrices;
+    obs::Counter cells;
+    obs::Counter engines;
+    obs::Histogram preprocess_ns;
+    obs::Histogram matrix_ns;
+  };
+
   MatchOptions options_;
+  EngineContext context_;  // by value: three pointers, copied at ctor
+  EngineMetrics metrics_;
   ProfilePair profiles_;
   std::vector<std::unique_ptr<MatchVoter>> voters_;
   VoteMerger merger_;

@@ -127,9 +127,10 @@ void ProfileView::Build(const std::vector<ElementProfile>& profiles,
 }
 
 ProfilePair::ProfilePair(const schema::Schema& source, const schema::Schema& target,
-                         const PreprocessOptions& options)
+                         const PreprocessOptions& options,
+                         const EngineContext& context)
     : source_(&source), target_(&target) {
-  HARMONY_TRACE_SPAN("engine/preprocess");
+  HARMONY_TRACE_SPAN(context.tracer, "engine/preprocess");
   uint64_t t0 = obs::MonotonicNanos();
   source_profiles_.resize(source.node_count());
   target_profiles_.resize(target.node_count());
@@ -169,13 +170,13 @@ ProfilePair::ProfilePair(const schema::Schema& source, const schema::Schema& tar
     }
   };
   {
-    HARMONY_TRACE_SPAN("preprocess/profiles");
+    HARMONY_TRACE_SPAN(context.tracer, "preprocess/profiles");
     build_side(source, source_profiles_);
     build_side(target, target_profiles_);
   }
 
   {
-    HARMONY_TRACE_SPAN("preprocess/tfidf");
+    HARMONY_TRACE_SPAN(context.tracer, "preprocess/tfidf");
     corpus_.Finalize();
     for (auto& [profile, doc_id] : pending) {
       profile->doc_vector = corpus_.DocumentVector(doc_id);
@@ -185,7 +186,7 @@ ProfilePair::ProfilePair(const schema::Schema& source, const schema::Schema& tar
   // Pack the SoA views last: they hold pointers into the (now immutable)
   // profile vectors, so all fields — doc vectors included — must be final.
   {
-    HARMONY_TRACE_SPAN("preprocess/views");
+    HARMONY_TRACE_SPAN(context.tracer, "preprocess/views");
     source_view_.Build(source_profiles_, source);
     target_view_.Build(target_profiles_, target);
   }

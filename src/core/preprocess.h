@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "core/engine_context.h"
 #include "schema/schema.h"
 #include "text/abbreviations.h"
 #include "text/synonyms.h"
@@ -173,9 +174,12 @@ class ProfileView {
 /// TF-IDF corpus so IDF reflects both sides.
 class ProfilePair {
  public:
-  /// Builds profiles for all non-root elements of both schemata.
+  /// Builds profiles for all non-root elements of both schemata. `context`
+  /// attributes the build's trace spans (preprocessing is deterministic —
+  /// the context is observability only).
   ProfilePair(const schema::Schema& source, const schema::Schema& target,
-              const PreprocessOptions& options);
+              const PreprocessOptions& options,
+              const EngineContext& context = EngineContext());
 
   const ElementProfile& source_profile(schema::ElementId id) const {
     HARMONY_CHECK_LT(static_cast<size_t>(id), source_profiles_.size())

@@ -11,17 +11,20 @@ namespace harmony::core {
 
 MatchMatrix PropagateScores(const schema::Schema& source,
                             const schema::Schema& target, const MatchMatrix& matrix,
-                            const PropagationOptions& options) {
+                            const PropagationOptions& options,
+                            const EngineContext& context) {
   HARMONY_CHECK_EQ(matrix.rows(), source.element_count())
       << "propagation requires the full-schema matrix";
   HARMONY_CHECK_EQ(matrix.cols(), target.element_count());
 
-  HARMONY_TRACE_SPAN("engine/propagate");
-  static obs::Counter sweeps("propagation.sweeps");
+  HARMONY_TRACE_SPAN(context.tracer, "engine/propagate");
+  // Resolved per call, not a function-local static: the registry is the
+  // caller's, and propagation runs once per refined matrix — cold.
+  obs::Counter sweeps(*context.metrics, "propagation.sweeps");
 
   MatchMatrix current = matrix;
   for (size_t iter = 0; iter < options.iterations; ++iter) {
-    HARMONY_TRACE_SPAN("propagate/sweep");
+    HARMONY_TRACE_SPAN(context.tracer, "propagate/sweep");
     sweeps.Add();
     MatchMatrix next = current;
     // Each sweep reads `current` (frozen for the sweep) and writes disjoint
@@ -74,8 +77,8 @@ MatchMatrix PropagateScores(const schema::Schema& source,
         }
       }
     };
-    common::ParallelFor(0, current.rows(), /*grain=*/1, sweep_rows,
-                        options.num_threads);
+    common::ParallelFor(0, current.rows(), options.grain, sweep_rows,
+                        options.num_threads, context);
     current = std::move(next);
   }
   return current;

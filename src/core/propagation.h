@@ -10,6 +10,7 @@
 
 #include <cstddef>
 
+#include "core/engine_context.h"
 #include "core/match_matrix.h"
 #include "schema/schema.h"
 
@@ -30,6 +31,10 @@ struct PropagationOptions {
   /// MatchEngine::ComputeRefinedMatrix() fills this in from
   /// MatchOptions::num_threads when left at 0.
   size_t num_threads = 0;
+  /// Rows per shard for the per-sweep ParallelFor. 0 = auto from matrix
+  /// shape (common::ResolveGrain); any value yields identical output.
+  /// ComputeRefinedMatrix() fills this in from MatchOptions::grain.
+  size_t grain = 0;
 };
 
 /// \brief Runs propagation over a full-schema matrix.
@@ -40,6 +45,7 @@ struct PropagationOptions {
 /// a CHECK. Scores stay within (−1, 1).
 MatchMatrix PropagateScores(const schema::Schema& source,
                             const schema::Schema& target, const MatchMatrix& matrix,
-                            const PropagationOptions& options = {});
+                            const PropagationOptions& options = {},
+                            const EngineContext& context = EngineContext());
 
 }  // namespace harmony::core

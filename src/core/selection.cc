@@ -10,14 +10,16 @@
 namespace harmony::core {
 
 std::vector<Correspondence> SelectByThreshold(const MatchMatrix& matrix,
-                                              double threshold) {
-  HARMONY_TRACE_SPAN("select/threshold");
+                                              double threshold,
+                                              const EngineContext& context) {
+  HARMONY_TRACE_SPAN(context.tracer, "select/threshold");
   return matrix.PairsAbove(threshold);
 }
 
 std::vector<Correspondence> SelectTopKPerSource(const MatchMatrix& matrix, size_t k,
-                                                double threshold) {
-  HARMONY_TRACE_SPAN("select/top_k");
+                                                double threshold,
+                                                const EngineContext& context) {
+  HARMONY_TRACE_SPAN(context.tracer, "select/top_k");
   std::vector<Correspondence> out;
   for (size_t r = 0; r < matrix.rows(); ++r) {
     std::vector<std::pair<double, size_t>> scored;
@@ -44,8 +46,9 @@ std::vector<Correspondence> SelectTopKPerSource(const MatchMatrix& matrix, size_
 }
 
 std::vector<Correspondence> SelectGreedyOneToOne(const MatchMatrix& matrix,
-                                                 double threshold) {
-  HARMONY_TRACE_SPAN("select/greedy_1to1");
+                                                 double threshold,
+                                                 const EngineContext& context) {
+  HARMONY_TRACE_SPAN(context.tracer, "select/greedy_1to1");
   std::vector<Correspondence> candidates = matrix.PairsAbove(threshold);
   std::vector<bool> source_used(matrix.rows(), false);
   std::vector<bool> target_used(matrix.cols(), false);
@@ -66,8 +69,9 @@ std::vector<Correspondence> SelectGreedyOneToOne(const MatchMatrix& matrix,
 }
 
 std::vector<Correspondence> SelectStableMarriage(const MatchMatrix& matrix,
-                                                 double threshold) {
-  HARMONY_TRACE_SPAN("select/stable_marriage");
+                                                 double threshold,
+                                                 const EngineContext& context) {
+  HARMONY_TRACE_SPAN(context.tracer, "select/stable_marriage");
   const size_t n_src = matrix.rows();
   const size_t n_tgt = matrix.cols();
   if (n_src == 0 || n_tgt == 0) return {};

@@ -8,29 +8,38 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/engine_context.h"
 #include "core/match_matrix.h"
 
 namespace harmony::core {
 
+// Every strategy takes the caller's EngineContext for span attribution
+// (selection is pure — the context is observability only); the default
+// context keeps unmigrated call sites on the global tracer.
+
 /// All pairs scoring >= threshold, sorted by descending score (the review
 /// queue the paper's engineers worked through).
-std::vector<Correspondence> SelectByThreshold(const MatchMatrix& matrix,
-                                              double threshold);
+std::vector<Correspondence> SelectByThreshold(
+    const MatchMatrix& matrix, double threshold,
+    const EngineContext& context = EngineContext());
 
 /// For each source row, its best `k` targets that also clear `threshold`.
-std::vector<Correspondence> SelectTopKPerSource(const MatchMatrix& matrix, size_t k,
-                                                double threshold);
+std::vector<Correspondence> SelectTopKPerSource(
+    const MatchMatrix& matrix, size_t k, double threshold,
+    const EngineContext& context = EngineContext());
 
 /// Greedy 1:1 assignment: repeatedly accept the best remaining pair whose
 /// endpoints are both unused, stopping below `threshold`. Fast and usually
 /// near-optimal for peaked score matrices.
-std::vector<Correspondence> SelectGreedyOneToOne(const MatchMatrix& matrix,
-                                                 double threshold);
+std::vector<Correspondence> SelectGreedyOneToOne(
+    const MatchMatrix& matrix, double threshold,
+    const EngineContext& context = EngineContext());
 
 /// Stable-marriage 1:1 assignment (Gale-Shapley, sources proposing), with
 /// pairs scoring below `threshold` treated as unacceptable to both sides.
 /// Guarantees no blocking pair among the accepted matches.
-std::vector<Correspondence> SelectStableMarriage(const MatchMatrix& matrix,
-                                                 double threshold);
+std::vector<Correspondence> SelectStableMarriage(
+    const MatchMatrix& matrix, double threshold,
+    const EngineContext& context = EngineContext());
 
 }  // namespace harmony::core

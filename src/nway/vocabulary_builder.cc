@@ -56,9 +56,10 @@ std::string NormalizedName(const schema::Schema& s, schema::ElementId id) {
 
 ComprehensiveVocabulary::ComprehensiveVocabulary(
     std::vector<const schema::Schema*> schemas,
-    const std::vector<PairwiseMatches>& matches)
+    const std::vector<PairwiseMatches>& matches,
+    const core::EngineContext& context)
     : schemas_(std::move(schemas)) {
-  HARMONY_TRACE_SPAN("nway/build_vocabulary");
+  HARMONY_TRACE_SPAN(context.tracer, "nway/build_vocabulary");
   HARMONY_CHECK_LE(schemas_.size(), kMaxSchemas);
   for (const auto* s : schemas_) HARMONY_CHECK(s != nullptr);
 
@@ -182,7 +183,8 @@ std::string ComprehensiveVocabulary::ToCsv() const {
 
 std::vector<PairwiseMatches> MatchAllPairs(
     const std::vector<const schema::Schema*>& schemas, double threshold,
-    bool one_to_one, const core::MatchOptions& options) {
+    bool one_to_one, const core::MatchOptions& options,
+    const core::EngineContext& context) {
   // Enumerate the unordered pairs up front so the fan-out writes into a
   // pre-sized vector: slot k belongs to exactly one worker, and the output
   // order matches the historical serial (i, j) iteration.
@@ -194,28 +196,32 @@ std::vector<PairwiseMatches> MatchAllPairs(
     }
   }
   std::vector<PairwiseMatches> out(pairs.size());
-  HARMONY_TRACE_SPAN("nway/match_all_pairs");
-  static obs::Counter pairs_matched("nway.pairs_matched");
+  HARMONY_TRACE_SPAN(context.tracer, "nway/match_all_pairs");
+  obs::Counter pairs_matched(*context.metrics, "nway.pairs_matched");
   // Each pairwise match is an independent MatchEngine run (its own
   // preprocessing and matrix); parallelizing here is the N-way vocabulary
   // builder's biggest lever. Nested row-level parallelism inside
   // ComputeMatrix degrades to inline execution on pool workers.
   auto match_range = [&](size_t begin, size_t end) {
     for (size_t k = begin; k < end; ++k) {
-      HARMONY_TRACE_SPAN("nway/match_pair");
+      HARMONY_TRACE_SPAN(context.tracer, "nway/match_pair");
       auto [i, j] = pairs[k];
-      core::MatchEngine engine(*schemas[i], *schemas[j], options);
+      core::MatchEngine engine(*schemas[i], *schemas[j], options, context);
       core::MatchMatrix matrix = engine.ComputeMatrix();
       PairwiseMatches& pm = out[k];
       pm.source_index = i;
       pm.target_index = j;
-      pm.links = one_to_one ? core::SelectGreedyOneToOne(matrix, threshold)
-                            : core::SelectByThreshold(matrix, threshold);
+      pm.links = one_to_one
+                     ? core::SelectGreedyOneToOne(matrix, threshold, context)
+                     : core::SelectByThreshold(matrix, threshold, context);
       pairs_matched.Add();
     }
   };
+  // Explicit grain of 1: each unit is a whole pairwise engine run, already
+  // coarse — one pair per shard keeps the work-stealing loop free to even
+  // out schemata of very different sizes.
   common::ParallelFor(0, pairs.size(), /*grain=*/1, match_range,
-                      options.num_threads);
+                      options.num_threads, context);
   return out;
 }
 

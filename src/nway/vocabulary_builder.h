@@ -59,8 +59,10 @@ class ComprehensiveVocabulary {
 
   /// Builds the vocabulary from pairwise matches. Indices inside `matches`
   /// must reference `schemas`; the schemata must outlive the vocabulary.
+  /// `context` attributes the build's trace span.
   ComprehensiveVocabulary(std::vector<const schema::Schema*> schemas,
-                          const std::vector<PairwiseMatches>& matches);
+                          const std::vector<PairwiseMatches>& matches,
+                          const core::EngineContext& context = {});
 
   size_t schema_count() const { return schemas_.size(); }
   const schema::Schema& schema(size_t i) const { return *schemas_[i]; }
@@ -95,11 +97,13 @@ class ComprehensiveVocabulary {
 
 /// \brief Convenience driver: runs the Harmony engine over every unordered
 /// schema pair and selects links (greedy 1:1 when `one_to_one`, else all
-/// pairs above threshold). Pairs fan out over the shared thread pool per
-/// `options.num_threads`; results are ordered and valued exactly as the
-/// serial (i, j) loop.
+/// pairs above threshold). Pairs fan out over `context`'s pool (shared pool
+/// by default) per `options.num_threads`; every per-pair engine inherits
+/// `context`, so a scoped registry captures the whole N-way run. Results
+/// are ordered and valued exactly as the serial (i, j) loop.
 std::vector<PairwiseMatches> MatchAllPairs(
     const std::vector<const schema::Schema*>& schemas, double threshold,
-    bool one_to_one = true, const core::MatchOptions& options = {});
+    bool one_to_one = true, const core::MatchOptions& options = {},
+    const core::EngineContext& context = {});
 
 }  // namespace harmony::nway

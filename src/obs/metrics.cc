@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cstdio>
@@ -87,6 +88,27 @@ const HistogramSnapshot* MetricsSnapshot::FindHistogram(std::string_view name) c
     if (h.name == name) return &h;
   }
   return nullptr;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaFrom(const MetricsSnapshot& baseline) const {
+  MetricsSnapshot out = *this;
+  for (auto& c : out.counters) {
+    if (const CounterSnapshot* b = baseline.FindCounter(c.name)) {
+      c.value -= std::min(c.value, b->value);
+    }
+  }
+  // Gauges are levels: the "delta" report carries the current value.
+  for (auto& h : out.histograms) {
+    const HistogramSnapshot* b = baseline.FindHistogram(h.name);
+    if (b == nullptr) continue;
+    h.sum -= std::min(h.sum, b->sum);
+    h.count = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      h.buckets[i] -= std::min(h.buckets[i], b->buckets[i]);
+      h.count += h.buckets[i];
+    }
+  }
+  return out;
 }
 
 std::string MetricsSnapshot::ToText() const {
@@ -185,6 +207,10 @@ thread_local ShardCache t_shard_cache;
 
 MetricsRegistry::MetricsRegistry()
     : generation_(g_next_generation.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::MetricsRegistry(MetricsRegistry* parent)
+    : parent_(parent),
+      generation_(g_next_generation.fetch_add(1, std::memory_order_relaxed)) {}
 
 MetricsRegistry::~MetricsRegistry() = default;
 
@@ -301,6 +327,73 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     }
   }
   return out;
+}
+
+MetricsSnapshot MetricsRegistry::Drain() {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.counters.resize(counter_names_.size());
+  for (size_t i = 0; i < counter_names_.size(); ++i) {
+    out.counters[i].name = counter_names_[i];
+  }
+  out.gauges.resize(gauge_names_.size());
+  for (size_t i = 0; i < gauge_names_.size(); ++i) {
+    out.gauges[i].name = gauge_names_[i];
+    out.gauges[i].value = gauges_[i].exchange(0, std::memory_order_relaxed);
+  }
+  out.histograms.resize(histogram_names_.size());
+  for (size_t i = 0; i < histogram_names_.size(); ++i) {
+    out.histograms[i].name = histogram_names_[i];
+  }
+  for (const auto& shard : shards_) {
+    for (size_t i = 0; i < out.counters.size(); ++i) {
+      out.counters[i].value +=
+          shard->counters[i].exchange(0, std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i < out.histograms.size(); ++i) {
+      ThreadShard::HistShard& h = shard->histograms[i];
+      HistogramSnapshot& s = out.histograms[i];
+      s.sum += h.sum.exchange(0, std::memory_order_relaxed);
+      for (size_t b = 0; b < kHistogramBuckets; ++b) {
+        uint64_t n = h.buckets[b].exchange(0, std::memory_order_relaxed);
+        s.buckets[b] += n;
+        s.count += n;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::MergeSnapshot(const MetricsSnapshot& snapshot) {
+  for (const auto& c : snapshot.counters) {
+    if (c.value != 0) Add(CounterId(c.name), c.value);
+  }
+  for (const auto& g : snapshot.gauges) {
+    if (g.value != 0) GaugeAdd(GaugeId(g.name), g.value);
+  }
+  for (const auto& h : snapshot.histograms) {
+    if (h.count == 0 && h.sum == 0) continue;
+    uint32_t id = HistogramId(h.name);
+    ThreadShard::HistShard& local = LocalShard().histograms[id];
+    local.sum.fetch_add(h.sum, std::memory_order_relaxed);
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] != 0) {
+        local.buckets[b].fetch_add(h.buckets[b], std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+MetricsSnapshot MetricsRegistry::FlushToParent() {
+  if (parent_ == nullptr) FatalF("FlushToParent on a root registry");
+  MetricsSnapshot delta = Drain();
+  parent_->MergeSnapshot(delta);
+  return delta;
+}
+
+MetricsSnapshot MetricsRegistry::DeltaSince(
+    const MetricsSnapshot& baseline) const {
+  return Snapshot().DeltaFrom(baseline);
 }
 
 void MetricsRegistry::Reset() {

@@ -1,7 +1,10 @@
 // harmony::obs metrics — named counters, gauges, and log-scale latency
 // histograms with per-thread sharded storage. Hot-path increments are a
 // relaxed atomic add on a thread-owned cache line (a few nanoseconds);
-// Snapshot() merges the shards under the registration lock. Compiling with
+// Snapshot() merges the shards under the registration lock. Registries form
+// a tree: per-engine child registries keep concurrent runs disjoint and
+// FlushToParent() merges them losslessly into the root, while DeltaSince()
+// supports periodic statsd/OTLP-style delta export. Compiling with
 // HARMONY_OBS_DISABLED (cmake -DHARMONY_OBS=OFF) turns every instrumentation
 // site into nothing.
 //
@@ -71,6 +74,14 @@ struct MetricsSnapshot {
   const GaugeSnapshot* FindGauge(std::string_view name) const;
   const HistogramSnapshot* FindHistogram(std::string_view name) const;
 
+  /// This snapshot minus `baseline`, matched by metric name — the unit of
+  /// periodic statsd/OTLP-style export: snapshot every N seconds and ship
+  /// the delta. Counters and histogram buckets subtract (clamped at zero, so
+  /// a baseline from a different registry can't underflow); gauges are
+  /// levels, not rates, and keep their current value. Metrics absent from
+  /// the baseline pass through whole.
+  MetricsSnapshot DeltaFrom(const MetricsSnapshot& baseline) const;
+
   /// Human-readable table (one metric per line).
   std::string ToText() const;
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,...}}}
@@ -87,16 +98,29 @@ struct MetricsSnapshot {
 /// The registry must outlive every thread that writes to it. The global
 /// instance is never destroyed, so instrumented code needs no shutdown
 /// ordering.
+///
+/// Registries form a tree: a registry constructed with a parent is a
+/// *child* whose writes stay private until FlushToParent() drains them into
+/// the parent. The Global() instance is just the default root — a
+/// per-engine (or per-request) child gives each run an isolated, mergeable
+/// view with zero contention against concurrent runs.
 class MetricsRegistry {
  public:
   MetricsRegistry();
+  /// A child registry. `parent` may be nullptr (detached root) and must
+  /// otherwise outlive this registry.
+  explicit MetricsRegistry(MetricsRegistry* parent);
   ~MetricsRegistry();
 
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// The process-wide registry (created on first use, intentionally leaked).
+  /// Production code reaches it only through a default-constructed
+  /// EngineContext; everything else takes an explicit registry.
   static MetricsRegistry& Global();
+
+  MetricsRegistry* parent() const { return parent_; }
 
   /// Registers (or looks up) a metric by name; ids are stable for the
   /// registry's lifetime. Aborts past capacity.
@@ -115,6 +139,25 @@ class MetricsRegistry {
   /// Merges all shards. Safe while writers are incrementing.
   MetricsSnapshot Snapshot() const;
 
+  /// Snapshot-and-zero in one pass: every cell is atomically exchanged for
+  /// zero, so with concurrent writers each increment lands in exactly one
+  /// drain — repeated drains are lossless in total. (A histogram record
+  /// split across the drain boundary may surface its bucket and its sum in
+  /// different drains; totals still reconcile once writers quiesce.)
+  MetricsSnapshot Drain();
+
+  /// Adds a snapshot's values into this registry (names are registered on
+  /// first sight). Counters and histogram buckets add; gauges add as deltas.
+  void MergeSnapshot(const MetricsSnapshot& snapshot);
+
+  /// Drain() into parent(): the child's accumulated values move losslessly
+  /// into the parent and the child restarts from zero. Returns the flushed
+  /// delta (handy for simultaneous export). Aborts if this is a root.
+  MetricsSnapshot FlushToParent();
+
+  /// Snapshot() minus `baseline` — see MetricsSnapshot::DeltaFrom.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& baseline) const;
+
   /// Zeroes every shard and gauge; keeps registered names and ids.
   void Reset();
 
@@ -129,58 +172,60 @@ class MetricsRegistry {
   std::vector<std::string> histogram_names_;
   std::vector<std::unique_ptr<ThreadShard>> shards_;
   std::array<std::atomic<int64_t>, kMaxGauges> gauges_{};
+  MetricsRegistry* const parent_ = nullptr;
   const uint64_t generation_;  // distinguishes registries in the TLS cache
 };
 
-/// \brief Cheap named-counter handle: resolves its id once (typically as a
-/// function-local static at the instrumentation site).
+/// \brief Cheap named-counter handle bound to one registry: resolves its id
+/// once at the instrumentation site (per engine, per pool, per call — the
+/// registry comes from the caller's EngineContext, never from a global).
 class Counter {
  public:
 #if HARMONY_OBS_ENABLED
-  explicit Counter(const char* name)
-      : registry_(&MetricsRegistry::Global()), id_(registry_->CounterId(name)) {}
-  void Add(uint64_t delta = 1) { registry_->Add(id_, delta); }
+  Counter(MetricsRegistry& registry, const char* name)
+      : registry_(&registry), id_(registry_->CounterId(name)) {}
+  void Add(uint64_t delta = 1) const { registry_->Add(id_, delta); }
 
  private:
   MetricsRegistry* registry_;
   uint32_t id_;
 #else
-  explicit Counter(const char* /*name*/) {}
-  void Add(uint64_t /*delta*/ = 1) {}
+  Counter(MetricsRegistry& /*registry*/, const char* /*name*/) {}
+  void Add(uint64_t /*delta*/ = 1) const {}
 #endif
 };
 
 class Gauge {
  public:
 #if HARMONY_OBS_ENABLED
-  explicit Gauge(const char* name)
-      : registry_(&MetricsRegistry::Global()), id_(registry_->GaugeId(name)) {}
-  void Set(int64_t value) { registry_->GaugeSet(id_, value); }
-  void Add(int64_t delta) { registry_->GaugeAdd(id_, delta); }
+  Gauge(MetricsRegistry& registry, const char* name)
+      : registry_(&registry), id_(registry_->GaugeId(name)) {}
+  void Set(int64_t value) const { registry_->GaugeSet(id_, value); }
+  void Add(int64_t delta) const { registry_->GaugeAdd(id_, delta); }
 
  private:
   MetricsRegistry* registry_;
   uint32_t id_;
 #else
-  explicit Gauge(const char* /*name*/) {}
-  void Set(int64_t /*value*/) {}
-  void Add(int64_t /*delta*/) {}
+  Gauge(MetricsRegistry& /*registry*/, const char* /*name*/) {}
+  void Set(int64_t /*value*/) const {}
+  void Add(int64_t /*delta*/) const {}
 #endif
 };
 
 class Histogram {
  public:
 #if HARMONY_OBS_ENABLED
-  explicit Histogram(const char* name)
-      : registry_(&MetricsRegistry::Global()), id_(registry_->HistogramId(name)) {}
-  void Record(uint64_t value) { registry_->Record(id_, value); }
+  Histogram(MetricsRegistry& registry, const char* name)
+      : registry_(&registry), id_(registry_->HistogramId(name)) {}
+  void Record(uint64_t value) const { registry_->Record(id_, value); }
 
  private:
   MetricsRegistry* registry_;
   uint32_t id_;
 #else
-  explicit Histogram(const char* /*name*/) {}
-  void Record(uint64_t /*value*/) {}
+  Histogram(MetricsRegistry& /*registry*/, const char* /*name*/) {}
+  void Record(uint64_t /*value*/) const {}
 #endif
 };
 

@@ -9,6 +9,10 @@ namespace harmony::obs {
 
 namespace {
 
+// Tracer generations are process-unique and never reused, so a cached
+// (generation, buffer) pair can only ever match the tracer that created it.
+std::atomic<uint64_t> g_next_tracer_generation{1};
+
 struct TraceEvent {
   const char* name;
   uint64_t start_ns;
@@ -42,7 +46,13 @@ struct Tracer::ThreadBuffer {
   std::vector<TraceEvent> events;
 };
 
-Tracer::Tracer() : epoch_ns_(MonotonicNanos()) {}
+Tracer::Tracer()
+    : epoch_ns_(MonotonicNanos()),
+      generation_(
+          g_next_tracer_generation.fetch_add(1, std::memory_order_relaxed)) {}
+
+// Out of line: ThreadBuffer is incomplete where unique_ptr needs it inline.
+Tracer::~Tracer() = default;
 
 Tracer& Tracer::Global() {
   // Leaked: spans may fire during static destruction of other objects.
@@ -51,10 +61,21 @@ Tracer& Tracer::Global() {
 }
 
 Tracer::ThreadBuffer& Tracer::LocalBuffer() {
-  // Per-thread buffer pointer; valid because there is exactly one Tracer
-  // (Global(), leaked) and it owns every buffer it hands out.
-  thread_local ThreadBuffer* t_buffer = nullptr;
-  if (t_buffer != nullptr) return *t_buffer;
+  // Small per-thread cache of buffers keyed by tracer generation, so spans
+  // on up to kSlots concurrently live tracers stay lock-free after the first
+  // touch. A cache hit is safe even if other tracers died: generations are
+  // never reused, so a matching generation proves the buffer is ours, and we
+  // (the owning tracer) are self-evidently still alive. Slot collisions just
+  // re-register a buffer with this tracer — the old buffer stays owned (and
+  // exported) by its tracer; only the fast path is lost.
+  struct CacheEntry {
+    uint64_t generation = 0;
+    ThreadBuffer* buffer = nullptr;
+  };
+  constexpr size_t kSlots = 8;
+  thread_local CacheEntry t_cache[kSlots];
+  CacheEntry& entry = t_cache[generation_ % kSlots];
+  if (entry.generation == generation_) return *entry.buffer;
   auto buffer = std::make_unique<ThreadBuffer>();
   ThreadBuffer* raw = buffer.get();
   {
@@ -62,7 +83,7 @@ Tracer::ThreadBuffer& Tracer::LocalBuffer() {
     raw->tid = next_tid_++;
     buffers_.push_back(std::move(buffer));
   }
-  t_buffer = raw;
+  entry = {generation_, raw};
   return *raw;
 }
 

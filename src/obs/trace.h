@@ -6,23 +6,41 @@
 // (per-buffer mutex, uncontended), so instrumented code stays race-free and
 // bitwise-deterministic.
 //
+// Tracers are injectable: every span site receives its Tracer through the
+// caller's EngineContext, so concurrent engine runs can record onto separate
+// tracers (with independent thread-track naming) or share one. Global() is
+// just the default instance that a default-constructed EngineContext binds.
+//
 // Span names must be string literals (or otherwise outlive the tracer
-// session): buffers store the pointer, not a copy.
+// session): buffers store the pointer, not a copy. A tracer must outlive
+// every span and SetThreadName call against it.
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
-#include "obs/metrics.h"  // HARMONY_OBS_ENABLED
+#include "obs/metrics.h"  // HARMONY_OBS_ENABLED, MonotonicNanos
 
 namespace harmony::obs {
 
-/// \brief The process-wide trace collector.
+/// \brief A trace collector: one logical recording session at a time.
 class Tracer {
  public:
-  /// Singleton (created on first use, intentionally leaked).
+  Tracer();
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide default tracer (created on first use, intentionally
+  /// leaked). Production code reaches it only through a default-constructed
+  /// EngineContext.
   static Tracer& Global();
 
   /// Discards previously buffered events and starts recording.
@@ -32,7 +50,7 @@ class Tracer {
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Names the calling thread's track in the exported trace (e.g.
+  /// Names the calling thread's track in this tracer's exported trace (e.g.
   /// "pool-worker-3"). Cheap; callable whether or not tracing is enabled.
   void SetThreadName(const std::string& name);
 
@@ -54,8 +72,6 @@ class Tracer {
   bool WriteChromeTrace(const std::string& path);
 
  private:
-  Tracer();
-
   struct ThreadBuffer;
   ThreadBuffer& LocalBuffer();
 
@@ -66,30 +82,33 @@ class Tracer {
   uint32_t next_tid_ = 1;
   uint64_t epoch_ns_ = 0;
   size_t max_events_per_thread_ = size_t{1} << 20;
+  const uint64_t generation_;  // distinguishes tracers in the TLS cache
 };
 
-/// \brief RAII span: captures [construction, destruction) when tracing is
-/// enabled at construction time.
+/// \brief RAII span: captures [construction, destruction) on `tracer` when
+/// tracing is enabled at construction time.
 class TraceSpan {
  public:
 #if HARMONY_OBS_ENABLED
-  explicit TraceSpan(const char* name) {
-    if (Tracer::Global().enabled()) {
+  TraceSpan(Tracer* tracer, const char* name) {
+    if (tracer != nullptr && tracer->enabled()) {
+      tracer_ = tracer;
       name_ = name;
       start_ns_ = MonotonicNanos();
     }
   }
   ~TraceSpan() {
     if (name_ != nullptr) {
-      Tracer::Global().Emit(name_, start_ns_, MonotonicNanos());
+      tracer_->Emit(name_, start_ns_, MonotonicNanos());
     }
   }
 
  private:
+  Tracer* tracer_ = nullptr;
   const char* name_ = nullptr;
   uint64_t start_ns_ = 0;
 #else
-  explicit TraceSpan(const char* /*name*/) {}
+  TraceSpan(Tracer* /*tracer*/, const char* /*name*/) {}
 #endif
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -99,12 +118,17 @@ class TraceSpan {
 #define HARMONY_OBS_CONCAT(a, b) HARMONY_OBS_CONCAT_INNER(a, b)
 
 #if HARMONY_OBS_ENABLED
-/// Scoped trace span covering the rest of the enclosing block.
-#define HARMONY_TRACE_SPAN(name) \
-  ::harmony::obs::TraceSpan HARMONY_OBS_CONCAT(harmony_trace_span_, __LINE__)(name)
+/// Scoped trace span on `tracer` (an obs::Tracer*, typically
+/// `context.tracer`) covering the rest of the enclosing block.
+#define HARMONY_TRACE_SPAN(tracer, name)                                 \
+  ::harmony::obs::TraceSpan HARMONY_OBS_CONCAT(harmony_trace_span_,      \
+                                               __LINE__)((tracer), (name))
 #else
-#define HARMONY_TRACE_SPAN(name) \
-  do {                           \
+// `tracer` stays an unevaluated operand so context-only-used-for-tracing
+// parameters don't trip -Wunused under -DHARMONY_OBS=OFF.
+#define HARMONY_TRACE_SPAN(tracer, name) \
+  do {                                   \
+    (void)sizeof(tracer);                \
   } while (false)
 #endif
 

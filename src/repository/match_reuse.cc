@@ -4,6 +4,9 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace harmony::repository {
 
 namespace {
@@ -34,7 +37,11 @@ void CollectHops(const MetadataRepository& repo, SchemaId from, SchemaId to,
 
 std::vector<core::Correspondence> ComposePriorMatches(
     const MetadataRepository& repository, SchemaId a, SchemaId b,
-    const ReuseOptions& options) {
+    const ReuseOptions& options, const core::EngineContext& context) {
+  HARMONY_TRACE_SPAN(context.tracer, "repository/compose_prior_matches");
+  obs::Counter compositions(*context.metrics, "repository.compositions");
+  obs::Counter composed(*context.metrics, "repository.composed_candidates");
+  compositions.Add();
   std::map<std::pair<schema::ElementId, schema::ElementId>, double> best;
 
   for (SchemaId c : repository.AllSchemaIds()) {
@@ -66,6 +73,7 @@ std::vector<core::Correspondence> ComposePriorMatches(
   for (const auto& [key, score] : best) {
     out.push_back({key.first, key.second, score});
   }
+  composed.Add(out.size());
   std::sort(out.begin(), out.end(), [](const core::Correspondence& x,
                                        const core::Correspondence& y) {
     if (x.score != y.score) return x.score > y.score;

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "core/engine_context.h"
 #include "core/match_matrix.h"
 #include "repository/metadata_repository.h"
 
@@ -31,8 +32,11 @@ struct ReuseOptions {
 /// Duplicate compositions keep the best score. Direct A↔B artifacts are
 /// NOT returned (use MatchesBetween for those); this is purely the
 /// transitive knowledge. Results are sorted by descending score.
+/// `context` scopes the composition's span and reuse counters
+/// (repository.compositions / repository.composed_candidates).
 std::vector<core::Correspondence> ComposePriorMatches(
     const MetadataRepository& repository, SchemaId a, SchemaId b,
-    const ReuseOptions& options = {});
+    const ReuseOptions& options = {},
+    const core::EngineContext& context = {});
 
 }  // namespace harmony::repository

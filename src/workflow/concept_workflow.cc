@@ -13,15 +13,20 @@ ConceptWorkflowReport RunConceptWorkflow(const core::MatchEngine& engine,
                                          const ConceptWorkflowOptions& options,
                                          MatchWorkspace* workspace) {
   HARMONY_CHECK(workspace != nullptr);
-  HARMONY_TRACE_SPAN("workflow/concept_workflow");
-  static obs::Counter increments_run("workflow.concept_increments");
-  static obs::Histogram increment_ns("workflow.concept_increment_ns");
+  // The workflow runs on the engine's behalf, so its telemetry rides the
+  // engine's context: spans and counters land in whatever scope the engine
+  // was built with.
+  const core::EngineContext& context = engine.context();
+  HARMONY_TRACE_SPAN(context.tracer, "workflow/concept_workflow");
+  obs::Counter increments_run(*context.metrics, "workflow.concept_increments");
+  obs::Histogram increment_ns(*context.metrics,
+                              "workflow.concept_increment_ns");
   ConceptWorkflowReport report;
 
   std::vector<schema::ElementId> target_ids = engine.target().AllElementIds();
 
   for (const summarize::Concept& concept_info : source_summary.concepts()) {
-    HARMONY_TRACE_SPAN("workflow/concept_increment");
+    HARMONY_TRACE_SPAN(context.tracer, "workflow/concept_increment");
     uint64_t t0 = obs::MonotonicNanos();
     ConceptIncrement increment;
     increment.concept_id = concept_info.id;
@@ -40,8 +45,10 @@ ConceptWorkflowReport RunConceptWorkflow(const core::MatchEngine& engine,
     // Confidence filter, then the scripted reviewer.
     std::vector<core::Correspondence> candidates =
         options.one_to_one
-            ? core::SelectGreedyOneToOne(matrix, options.review_threshold)
-            : core::SelectByThreshold(matrix, options.review_threshold);
+            ? core::SelectGreedyOneToOne(matrix, options.review_threshold,
+                                         context)
+            : core::SelectByThreshold(matrix, options.review_threshold,
+                                      context);
     increment.candidates_reviewed = candidates.size();
 
     size_t base = workspace->record_count();

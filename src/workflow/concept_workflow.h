@@ -81,7 +81,9 @@ struct ConceptWorkflowReport {
 /// `engine` must be built over the same schemata the summaries describe.
 /// Accepted/deferred records accumulate in `workspace`. Elements of the
 /// source schema outside any concept are skipped (they are S′'s blind spot;
-/// Summary::Unassigned reports them).
+/// Summary::Unassigned reports them). Observability follows the engine:
+/// spans and workflow counters go to `engine.context()`, so a run on a
+/// scoped context stays fully isolated from concurrent workflows.
 ConceptWorkflowReport RunConceptWorkflow(const core::MatchEngine& engine,
                                          const summarize::Summary& source_summary,
                                          const summarize::Summary& target_summary,

@@ -109,7 +109,7 @@ TEST(ParallelForTest, CoversRangeExactlyOnce) {
         ASSERT_LE(hi - lo, 7u);
         for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
       },
-      /*num_threads=*/5, &pool);
+      /*num_threads=*/5, EngineContext(&pool));
   for (size_t i = 0; i < kN; ++i) {
     EXPECT_EQ(hits[i].load(), 1) << "index " << i;
   }
@@ -146,7 +146,7 @@ TEST(ParallelForTest, PropagatesFirstException) {
           [&](size_t lo, size_t) {
             if (lo == 37) throw std::runtime_error("shard 37 failed");
           },
-          /*num_threads=*/4, &pool),
+          /*num_threads=*/4, EngineContext(&pool)),
       std::runtime_error);
 }
 
@@ -155,13 +155,14 @@ TEST(ParallelForTest, PoolSurvivesBodyException) {
   for (int round = 0; round < 3; ++round) {
     EXPECT_THROW(ParallelFor(
                      0, 20, 1, [](size_t, size_t) { throw std::logic_error("boom"); },
-                     3, &pool),
+                     3, EngineContext(&pool)),
                  std::logic_error);
   }
   // The same pool still runs clean work to completion.
   std::atomic<size_t> total{0};
   ParallelFor(
-      0, 64, 4, [&](size_t lo, size_t hi) { total.fetch_add(hi - lo); }, 3, &pool);
+      0, 64, 4, [&](size_t lo, size_t hi) { total.fetch_add(hi - lo); }, 3,
+      EngineContext(&pool));
   EXPECT_EQ(total.load(), 64u);
 }
 
@@ -184,10 +185,10 @@ TEST(ParallelForTest, ReentrantCallsRunInlineAndComplete) {
                   hits[o * kInner + i].fetch_add(1);
                 }
               },
-              /*num_threads=*/4, &pool);
+              /*num_threads=*/4, EngineContext(&pool));
         }
       },
-      /*num_threads=*/4, &pool);
+      /*num_threads=*/4, EngineContext(&pool));
   for (size_t i = 0; i < hits.size(); ++i) {
     EXPECT_EQ(hits[i].load(), 1) << "cell " << i;
   }
@@ -198,7 +199,8 @@ TEST(ParallelForTest, ManyConcurrentShardsStressSharedCounter) {
   std::atomic<size_t> sum{0};
   constexpr size_t kN = 10000;
   ParallelFor(
-      0, kN, 3, [&](size_t lo, size_t hi) { sum.fetch_add(hi - lo); }, 9, &pool);
+      0, kN, 3, [&](size_t lo, size_t hi) { sum.fetch_add(hi - lo); }, 9,
+      EngineContext(&pool));
   EXPECT_EQ(sum.load(), kN);
 }
 
@@ -206,6 +208,35 @@ TEST(EffectiveThreadCountTest, ZeroMeansHardwareConcurrency) {
   EXPECT_GE(EffectiveThreadCount(0), 1u);
   EXPECT_EQ(EffectiveThreadCount(1), 1u);
   EXPECT_EQ(EffectiveThreadCount(6), 6u);
+}
+
+TEST(ResolveGrainTest, ExplicitRequestPassesThrough) {
+  EXPECT_EQ(ResolveGrain(1, 10000, 4), 1u);
+  EXPECT_EQ(ResolveGrain(64, 10000, 4), 64u);
+  EXPECT_EQ(ResolveGrain(7, 3, 4), 7u);  // even when larger than the range
+}
+
+TEST(ResolveGrainTest, AutoTargetsRoughlyEightShardsPerExecutor) {
+  // 10000 items / (4 threads * 8 shards) = 312.
+  EXPECT_EQ(ResolveGrain(0, 10000, 4), 312u);
+  // 64 items across 4 executors → 2 per shard.
+  EXPECT_EQ(ResolveGrain(0, 64, 4), 2u);
+}
+
+TEST(ResolveGrainTest, AutoNeverReturnsZero) {
+  EXPECT_EQ(ResolveGrain(0, 0, 4), 1u);
+  EXPECT_EQ(ResolveGrain(0, 1, 16), 1u);
+  EXPECT_EQ(ResolveGrain(0, 5, 64), 1u);
+}
+
+TEST(ResolveGrainTest, AutoGrainKeepsParallelForExact) {
+  ThreadPool pool(4);
+  std::atomic<size_t> sum{0};
+  constexpr size_t kN = 4321;
+  ParallelFor(
+      0, kN, /*grain=*/0, [&](size_t lo, size_t hi) { sum.fetch_add(hi - lo); },
+      4, EngineContext(&pool));
+  EXPECT_EQ(sum.load(), kN);
 }
 
 }  // namespace

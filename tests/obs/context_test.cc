@@ -1,0 +1,214 @@
+// EngineContext is the explicit seam between the match pipeline and its
+// observability: two engines on separate contexts must never share a metric
+// cell or a trace buffer, even when they run concurrently on the same
+// thread pool — and the scores they produce must be bitwise identical to a
+// serial single-engine run. These tests are TSan targets: the CI sanitizer
+// matrix runs them under ThreadSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/engine_context.h"
+#include "core/match_engine.h"
+#include "core/selection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "schema/builder.h"
+
+namespace harmony::obs {
+namespace {
+
+#if HARMONY_OBS_ENABLED
+
+schema::Schema MakeSource() {
+  schema::RelationalBuilder b("SA");
+  auto person = b.Table("PERSON", "A person known to the system");
+  b.Column(person, "LAST_NAME", schema::DataType::kString,
+           "The surname of the person");
+  b.Column(person, "FIRST_NAME", schema::DataType::kString,
+           "The given name of the person");
+  b.Column(person, "BIRTH_DT", schema::DataType::kDate,
+           "The date on which the person was born");
+  auto vehicle = b.Table("VEHICLE", "A ground vehicle");
+  b.Column(vehicle, "VIN", schema::DataType::kString,
+           "Vehicle identification number assigned by the maker");
+  b.Column(vehicle, "FUEL_CD", schema::DataType::kString,
+           "Coded fuel category");
+  return std::move(b).Build();
+}
+
+schema::Schema MakeTarget() {
+  schema::XmlBuilder b("SB");
+  auto person = b.ComplexType("Person", "An individual tracked by the system");
+  b.Element(person, "LastName", schema::DataType::kString,
+            "Family name of the person");
+  b.Element(person, "GivenName", schema::DataType::kString,
+            "First name of the person");
+  b.Element(person, "BirthDate", schema::DataType::kDate,
+            "Date the person was born");
+  auto veh = b.ComplexType("Conveyance", "A conveyance used for transport");
+  b.Element(veh, "VehicleIdentificationNumber", schema::DataType::kString,
+            "Identification number of the vehicle from the manufacturer");
+  return std::move(b).Build();
+}
+
+std::vector<double> Flatten(const core::MatchMatrix& m) {
+  std::vector<double> out;
+  out.reserve(m.rows() * m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      out.push_back(m.GetByIndex(r, c));
+    }
+  }
+  return out;
+}
+
+uint64_t CounterOf(const MetricsSnapshot& snapshot, const std::string& name) {
+  for (const auto& c : snapshot.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+#endif  // HARMONY_OBS_ENABLED
+
+TEST(EngineContextTest, DefaultContextBindsProcessGlobals) {
+  core::EngineContext context;
+  EXPECT_EQ(context.metrics, &MetricsRegistry::Global());
+  EXPECT_EQ(context.tracer, &Tracer::Global());
+  EXPECT_EQ(context.pool, nullptr);  // lazily resolved to ThreadPool::Shared()
+}
+
+TEST(EngineContextTest, NullMembersFallBackToGlobals) {
+  common::ThreadPool pool(2);
+  core::EngineContext context(nullptr, nullptr, &pool);
+  EXPECT_EQ(context.metrics, &MetricsRegistry::Global());
+  EXPECT_EQ(context.tracer, &Tracer::Global());
+  EXPECT_EQ(&context.pool_or_shared(), &pool);
+
+  core::EngineContext pool_only(&pool);
+  EXPECT_EQ(pool_only.metrics, &MetricsRegistry::Global());
+  EXPECT_EQ(pool_only.pool, &pool);
+}
+
+#if HARMONY_OBS_ENABLED
+
+// The PR's acceptance bar: two engines on distinct contexts, run
+// concurrently on a shared pool, must (a) produce bitwise-identical scores
+// to a serial single-engine run, (b) keep their metric snapshots fully
+// disjoint, and (c) merge losslessly into the shared root registry.
+TEST(EngineContextTest, ConcurrentEnginesKeepRegistriesDisjoint) {
+  schema::Schema sa = MakeSource();
+  schema::Schema sb = MakeTarget();
+
+  // Serial ground truth on its own quiet registry, single-threaded.
+  MetricsRegistry baseline_registry;
+  Tracer baseline_tracer;
+  core::MatchOptions serial_options;
+  serial_options.num_threads = 1;
+  core::MatchEngine serial(
+      sa, sb, serial_options,
+      core::EngineContext(&baseline_registry, &baseline_tracer));
+  std::vector<double> expected = Flatten(serial.ComputeMatrix());
+  std::vector<double> expected_refined = Flatten(serial.ComputeRefinedMatrix());
+
+  MetricsRegistry root;
+  MetricsRegistry child_a(&root);
+  MetricsRegistry child_b(&root);
+  Tracer tracer_a;
+  Tracer tracer_b;
+  common::ThreadPool pool(4);
+  core::EngineContext context_a(&child_a, &tracer_a, &pool);
+  core::EngineContext context_b(&child_b, &tracer_b, &pool);
+
+  tracer_a.Start();
+  tracer_b.Start();
+
+  core::MatchOptions options;
+  options.num_threads = 4;
+  std::vector<double> scores_a, scores_b;
+  std::vector<double> refined_a, refined_b;
+  std::thread run_a([&] {
+    core::MatchEngine engine(sa, sb, options, context_a);
+    scores_a = Flatten(engine.ComputeMatrix());
+    refined_a = Flatten(engine.ComputeRefinedMatrix());
+  });
+  std::thread run_b([&] {
+    core::MatchEngine engine(sa, sb, options, context_b);
+    scores_b = Flatten(engine.ComputeMatrix());
+    refined_b = Flatten(engine.ComputeRefinedMatrix());
+  });
+  run_a.join();
+  run_b.join();
+  tracer_a.Stop();
+  tracer_b.Stop();
+
+  // (a) Determinism: bitwise equality with the serial run.
+  EXPECT_EQ(scores_a, expected);
+  EXPECT_EQ(scores_b, expected);
+  EXPECT_EQ(refined_a, expected_refined);
+  EXPECT_EQ(refined_b, expected_refined);
+
+  // (b) Disjoint snapshots: each child saw exactly one engine's work —
+  // identical workloads, so identical (not doubled) counts.
+  MetricsSnapshot snap_a = child_a.Snapshot();
+  MetricsSnapshot snap_b = child_b.Snapshot();
+  size_t cells = expected.size();
+  // ComputeMatrix + ComputeRefinedMatrix = 2 matrices, 2·cells scored.
+  EXPECT_EQ(CounterOf(snap_a, "engine.constructed"), 1u);
+  EXPECT_EQ(CounterOf(snap_b, "engine.constructed"), 1u);
+  EXPECT_EQ(CounterOf(snap_a, "engine.matrices_computed"), 2u);
+  EXPECT_EQ(CounterOf(snap_b, "engine.matrices_computed"), 2u);
+  EXPECT_EQ(CounterOf(snap_a, "engine.cells_scored"), 2 * cells);
+  EXPECT_EQ(CounterOf(snap_b, "engine.cells_scored"), 2 * cells);
+  // Nothing reached the root while the children held their counts.
+  EXPECT_EQ(CounterOf(root.Snapshot(), "engine.cells_scored"), 0u);
+
+  // Traces are per context too: each tracer holds its own spans.
+  EXPECT_GT(tracer_a.event_count(), 0u);
+  EXPECT_GT(tracer_b.event_count(), 0u);
+
+  // (c) Lossless merge: flushing both children gives the root the sum.
+  child_a.FlushToParent();
+  child_b.FlushToParent();
+  MetricsSnapshot merged = root.Snapshot();
+  EXPECT_EQ(CounterOf(merged, "engine.constructed"), 2u);
+  EXPECT_EQ(CounterOf(merged, "engine.matrices_computed"), 4u);
+  EXPECT_EQ(CounterOf(merged, "engine.cells_scored"), 4 * cells);
+  // And the children are drained: a second flush adds nothing.
+  MetricsSnapshot second = child_a.FlushToParent();
+  EXPECT_EQ(CounterOf(second, "engine.cells_scored"), 0u);
+}
+
+// Selection and the full pipeline honor the engine's context: no counter
+// from a context-scoped run leaks into an unrelated registry.
+TEST(EngineContextTest, PipelineWritesOnlyToItsContextRegistry) {
+  schema::Schema sa = MakeSource();
+  schema::Schema sb = MakeTarget();
+
+  MetricsRegistry mine;
+  MetricsRegistry other;
+  Tracer tracer;
+  core::EngineContext context(&mine, &tracer);
+
+  core::MatchEngine engine(sa, sb, {}, context);
+  auto links = core::SelectGreedyOneToOne(engine.ComputeRefinedMatrix(), 0.3,
+                                          engine.context());
+  (void)links;
+
+  MetricsSnapshot snap = mine.Snapshot();
+  EXPECT_GE(CounterOf(snap, "engine.matrices_computed"), 1u);
+  EXPECT_GT(CounterOf(snap, "engine.cells_scored"), 0u);
+  EXPECT_GE(CounterOf(snap, "propagation.sweeps"), 1u);
+
+  MetricsSnapshot other_snap = other.Snapshot();
+  EXPECT_EQ(other_snap.counters.size(), 0u);
+}
+
+#endif  // HARMONY_OBS_ENABLED
+
+}  // namespace
+}  // namespace harmony::obs

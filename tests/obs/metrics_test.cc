@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -42,7 +43,8 @@ TEST(MetricsRegistryTest, GaugeSetAndAdd) {
   registry.GaugeSet(g, 8);
   registry.GaugeAdd(g, -3);
 
-  const GaugeSnapshot* gs = registry.Snapshot().FindGauge("pool.workers");
+  MetricsSnapshot snap = registry.Snapshot();
+  const GaugeSnapshot* gs = snap.FindGauge("pool.workers");
   ASSERT_NE(gs, nullptr);
   EXPECT_EQ(gs->value, 5);
 }
@@ -56,7 +58,8 @@ TEST(MetricsRegistryTest, HistogramBucketsByBitWidth) {
   registry.Record(h, 3);   // bucket 2
   registry.Record(h, 1000);  // bucket 10 (bit_width(1000) == 10)
 
-  const HistogramSnapshot* hs = registry.Snapshot().FindHistogram("latency");
+  MetricsSnapshot snap = registry.Snapshot();
+  const HistogramSnapshot* hs = snap.FindHistogram("latency");
   ASSERT_NE(hs, nullptr);
   EXPECT_EQ(hs->count, 5u);
   EXPECT_EQ(hs->sum, 1006u);
@@ -117,33 +120,33 @@ TEST(MetricsRegistryTest, RendersTextAndJson) {
 // itself (tested above) is always live.
 #if HARMONY_OBS_ENABLED
 
-TEST(MetricsRegistryTest, GlobalHandlesAccumulate) {
-  // Handles against the global registry — the instrumentation-site idiom.
-  static Counter counter("metrics_test.global_counter");
-  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
-  const CounterSnapshot* b = before.FindCounter("metrics_test.global_counter");
-  uint64_t base = b == nullptr ? 0 : b->value;
+TEST(MetricsRegistryTest, RegistryBoundHandlesAccumulate) {
+  // Handles bound to an explicit registry — the instrumentation-site idiom
+  // (the registry arrives through the caller's EngineContext).
+  MetricsRegistry registry;
+  Counter counter(registry, "metrics_test.counter");
+  Gauge gauge(registry, "metrics_test.gauge");
 
   counter.Add(5);
+  gauge.Set(7);
+  gauge.Add(-2);
 
-  const CounterSnapshot* a = MetricsRegistry::Global().Snapshot().FindCounter(
-      "metrics_test.global_counter");
-  ASSERT_NE(a, nullptr);
-  EXPECT_EQ(a->value, base + 5);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_NE(snap.FindCounter("metrics_test.counter"), nullptr);
+  EXPECT_EQ(snap.FindCounter("metrics_test.counter")->value, 5u);
+  ASSERT_NE(snap.FindGauge("metrics_test.gauge"), nullptr);
+  EXPECT_EQ(snap.FindGauge("metrics_test.gauge")->value, 5);
 }
 
 TEST(MetricsRegistryTest, ScopedLatencyRecordsOneSample) {
-  static Histogram hist("metrics_test.scoped_latency_ns");
-  const HistogramSnapshot* before =
-      MetricsRegistry::Global().Snapshot().FindHistogram(
-          "metrics_test.scoped_latency_ns");
-  uint64_t base = before == nullptr ? 0 : before->count;
+  MetricsRegistry registry;
+  Histogram hist(registry, "metrics_test.scoped_latency_ns");
   { ScopedLatency timer(hist); }
+  MetricsSnapshot snap = registry.Snapshot();
   const HistogramSnapshot* after =
-      MetricsRegistry::Global().Snapshot().FindHistogram(
-          "metrics_test.scoped_latency_ns");
+      snap.FindHistogram("metrics_test.scoped_latency_ns");
   ASSERT_NE(after, nullptr);
-  EXPECT_EQ(after->count, base + 1);
+  EXPECT_EQ(after->count, 1u);
 }
 
 #endif  // HARMONY_OBS_ENABLED
@@ -151,6 +154,14 @@ TEST(MetricsRegistryTest, ScopedLatencyRecordsOneSample) {
 // The TSan target: N threads hammer M counters and one histogram while the
 // main thread snapshots mid-flight. Snapshots must be internally sane and
 // the final merged totals exact.
+// Builds "c<m>" without std::string::operator+, which trips a GCC 12
+// -Wrestrict false positive (PR105329) when inlined at -O3.
+std::string CounterName(int m) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "c%d", m);
+  return buf;
+}
+
 TEST(MetricsRegistryTest, ConcurrentAddsAndSnapshots) {
   constexpr int kThreads = 8;
   constexpr int kCounters = 16;
@@ -159,7 +170,7 @@ TEST(MetricsRegistryTest, ConcurrentAddsAndSnapshots) {
   MetricsRegistry registry;
   std::vector<uint32_t> ids;
   for (int m = 0; m < kCounters; ++m) {
-    ids.push_back(registry.CounterId("c" + std::to_string(m)));
+    ids.push_back(registry.CounterId(CounterName(m)));
   }
   uint32_t hist = registry.HistogramId("concurrent.values");
 
@@ -183,7 +194,7 @@ TEST(MetricsRegistryTest, ConcurrentAddsAndSnapshots) {
   for (int i = 0; i < 50; ++i) {
     MetricsSnapshot snap = registry.Snapshot();
     for (int m = 0; m < kCounters; ++m) {
-      const CounterSnapshot* c = snap.FindCounter("c" + std::to_string(m));
+      const CounterSnapshot* c = snap.FindCounter(CounterName(m));
       ASSERT_NE(c, nullptr);
       EXPECT_LE(c->value, kThreads * kIncrementsEach / kCounters);
     }
@@ -198,7 +209,7 @@ TEST(MetricsRegistryTest, ConcurrentAddsAndSnapshots) {
 
   MetricsSnapshot final_snap = registry.Snapshot();
   for (int m = 0; m < kCounters; ++m) {
-    const CounterSnapshot* c = final_snap.FindCounter("c" + std::to_string(m));
+    const CounterSnapshot* c = final_snap.FindCounter(CounterName(m));
     ASSERT_NE(c, nullptr);
     EXPECT_EQ(c->value, kThreads * kIncrementsEach / kCounters);
   }
@@ -226,6 +237,150 @@ TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
   for (int t = 1; t < kThreads; ++t) EXPECT_EQ(first_id[t], first_id[0]);
   EXPECT_EQ(registry.Snapshot().FindCounter("shared.counter")->value,
             kThreads * 100u);
+}
+
+TEST(MetricsRegistryTest, ChildFlushToParentMergesLosslessly) {
+  MetricsRegistry root;
+  MetricsRegistry child(&root);
+  EXPECT_EQ(child.parent(), &root);
+
+  // Pre-existing root activity the child must add to, not overwrite.
+  root.Add(root.CounterId("shared.counter"), 10);
+
+  child.Add(child.CounterId("shared.counter"), 3);
+  child.Add(child.CounterId("child.only"), 2);
+  child.GaugeAdd(child.GaugeId("g"), 4);
+  child.Record(child.HistogramId("h"), 100);
+  child.Record(child.HistogramId("h"), 1000);
+
+  // Child writes stay private until the flush.
+  EXPECT_EQ(root.Snapshot().FindCounter("shared.counter")->value, 10u);
+  EXPECT_EQ(root.Snapshot().FindCounter("child.only"), nullptr);
+
+  MetricsSnapshot delta = child.FlushToParent();
+  EXPECT_EQ(delta.FindCounter("shared.counter")->value, 3u);
+
+  MetricsSnapshot merged = root.Snapshot();
+  EXPECT_EQ(merged.FindCounter("shared.counter")->value, 13u);
+  EXPECT_EQ(merged.FindCounter("child.only")->value, 2u);
+  EXPECT_EQ(merged.FindGauge("g")->value, 4);
+  ASSERT_NE(merged.FindHistogram("h"), nullptr);
+  EXPECT_EQ(merged.FindHistogram("h")->count, 2u);
+  EXPECT_EQ(merged.FindHistogram("h")->sum, 1100u);
+
+  // The flush drained the child: a second flush moves nothing.
+  EXPECT_EQ(child.Snapshot().FindCounter("child.only")->value, 0u);
+  child.FlushToParent();
+  EXPECT_EQ(root.Snapshot().FindCounter("child.only")->value, 2u);
+
+  // And the child keeps working after a flush.
+  child.Add(child.CounterId("child.only"), 5);
+  child.FlushToParent();
+  EXPECT_EQ(root.Snapshot().FindCounter("child.only")->value, 7u);
+}
+
+// The registry-tree TSan target: writers hammer a child while another
+// thread repeatedly flushes it into the root. Every increment must land in
+// the root exactly once (drain is exchange-based, so nothing is lost or
+// double-counted).
+TEST(MetricsRegistryTest, ConcurrentFlushIsLossless) {
+  constexpr int kWriters = 4;
+  constexpr uint64_t kIncrementsEach = 20000;
+
+  MetricsRegistry root;
+  MetricsRegistry child(&root);
+  uint32_t id = child.CounterId("flush.counter");
+  uint32_t hist = child.HistogramId("flush.values");
+
+  std::atomic<bool> done{false};
+  std::thread flusher([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      child.FlushToParent();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&] {
+      for (uint64_t i = 0; i < kIncrementsEach; ++i) {
+        child.Add(id);
+        child.Record(hist, i);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  flusher.join();
+  child.FlushToParent();  // whatever the racing flusher missed
+
+  MetricsSnapshot final_snap = root.Snapshot();
+  ASSERT_NE(final_snap.FindCounter("flush.counter"), nullptr);
+  EXPECT_EQ(final_snap.FindCounter("flush.counter")->value,
+            kWriters * kIncrementsEach);
+  const HistogramSnapshot* h = final_snap.FindHistogram("flush.values");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, kWriters * kIncrementsEach);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : h->buckets) bucket_total += b;
+  EXPECT_EQ(h->count, bucket_total);
+}
+
+TEST(MetricsSnapshotTest, DeltaFromSubtractsByName) {
+  MetricsRegistry registry;
+  uint32_t c = registry.CounterId("c");
+  uint32_t g = registry.GaugeId("g");
+  uint32_t h = registry.HistogramId("h");
+
+  registry.Add(c, 10);
+  registry.GaugeSet(g, 3);
+  registry.Record(h, 4);
+  MetricsSnapshot baseline = registry.Snapshot();
+
+  registry.Add(c, 7);
+  registry.GaugeSet(g, 9);
+  registry.Record(h, 4);
+  registry.Record(h, 1000);
+  registry.Add(registry.CounterId("new.counter"), 2);
+
+  MetricsSnapshot delta = registry.DeltaSince(baseline);
+  EXPECT_EQ(delta.FindCounter("c")->value, 7u);
+  // Gauges are levels, not rates: the delta report carries the current value.
+  EXPECT_EQ(delta.FindGauge("g")->value, 9);
+  const HistogramSnapshot* hd = delta.FindHistogram("h");
+  ASSERT_NE(hd, nullptr);
+  EXPECT_EQ(hd->count, 2u);
+  EXPECT_EQ(hd->sum, 1004u);
+  // Metrics absent from the baseline pass through whole.
+  EXPECT_EQ(delta.FindCounter("new.counter")->value, 2u);
+
+  // A baseline from elsewhere (larger values) clamps at zero, never wraps.
+  MetricsSnapshot inflated = baseline;
+  inflated.counters[0].value = 1u << 30;
+  MetricsSnapshot clamped = registry.DeltaSince(inflated);
+  EXPECT_EQ(clamped.FindCounter("c")->value, 0u);
+}
+
+TEST(MetricsSnapshotTest, JsonAndTextEscapeAwkwardNames) {
+  MetricsRegistry registry;
+  // Names an exporter must not choke on: quotes, backslashes, newlines,
+  // control characters.
+  const std::string awkward = "weird\"name\\with\nnasties\x01";
+  registry.Add(registry.CounterId(awkward), 1);
+  registry.Record(registry.HistogramId("h\"ist"), 5);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  std::string json = snap.ToJson();
+  // The raw quote/newline must never appear unescaped inside the JSON.
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\nnasties\\u0001"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"h\\\"ist\""), std::string::npos) << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "raw newline leaked";
+
+  // ToText is line-oriented prose; it just needs to mention the name.
+  std::string text = snap.ToText();
+  EXPECT_NE(text.find("weird"), std::string::npos);
 }
 
 TEST(MonotonicNanosTest, IsMonotonic) {

@@ -142,6 +142,8 @@ class JsonChecker {
   size_t pos_ = 0;
 };
 
+#if HARMONY_OBS_ENABLED
+
 size_t CountOccurrences(const std::string& haystack, const std::string& needle) {
   size_t n = 0;
   for (size_t pos = haystack.find(needle); pos != std::string::npos;
@@ -176,13 +178,15 @@ schema::Schema SmallRelational(const std::string& name) {
   return std::move(b).Build();
 }
 
+#endif  // HARMONY_OBS_ENABLED
+
 TEST(TracerTest, DisabledTracingEmitsNothing) {
-  Tracer& tracer = Tracer::Global();
+  Tracer tracer;
   tracer.Start();
   tracer.Stop();  // clears, then disables: buffers empty from here
   size_t before = tracer.event_count();
   {
-    HARMONY_TRACE_SPAN("trace_test/should_not_appear");
+    HARMONY_TRACE_SPAN(&tracer, "trace_test/should_not_appear");
   }
   EXPECT_EQ(tracer.event_count(), before);
 #if HARMONY_OBS_ENABLED
@@ -193,18 +197,18 @@ TEST(TracerTest, DisabledTracingEmitsNothing) {
 #if HARMONY_OBS_ENABLED
 
 TEST(TracerTest, ExportIsValidChromeTraceJson) {
-  Tracer& tracer = Tracer::Global();
+  Tracer tracer;
   tracer.Start();
   tracer.SetThreadName("trace-test-main");
   {
-    HARMONY_TRACE_SPAN("trace_test/outer");
+    HARMONY_TRACE_SPAN(&tracer, "trace_test/outer");
     {
-      HARMONY_TRACE_SPAN("trace_test/inner");
+      HARMONY_TRACE_SPAN(&tracer, "trace_test/inner");
     }
   }
   std::thread worker([&] {
     tracer.SetThreadName("trace-test-worker");
-    HARMONY_TRACE_SPAN("trace_test/worker_span");
+    HARMONY_TRACE_SPAN(&tracer, "trace_test/worker_span");
   });
   worker.join();
   tracer.Stop();
@@ -228,10 +232,10 @@ TEST(TracerTest, ExportIsValidChromeTraceJson) {
 }
 
 TEST(TracerTest, StartDiscardsEarlierEvents) {
-  Tracer& tracer = Tracer::Global();
+  Tracer tracer;
   tracer.Start();
   {
-    HARMONY_TRACE_SPAN("trace_test/stale");
+    HARMONY_TRACE_SPAN(&tracer, "trace_test/stale");
   }
   EXPECT_GE(tracer.event_count(), 1u);
   tracer.Start();  // restart clears the buffers
@@ -245,11 +249,15 @@ TEST(TracerTest, EnginePipelineProducesNamedSpans) {
   schema::Schema sa = SmallRelational("SA");
   schema::Schema sb = SmallRelational("SB");
 
-  Tracer& tracer = Tracer::Global();
+  // An injected tracer: the whole pipeline's spans land here, not on the
+  // global tracer.
+  Tracer tracer;
+  MetricsRegistry registry;
+  core::EngineContext context(&registry, &tracer);
   tracer.Start();
-  core::MatchEngine engine(sa, sb);
+  core::MatchEngine engine(sa, sb, {}, context);
   core::MatchMatrix refined = engine.ComputeRefinedMatrix();
-  core::SelectGreedyOneToOne(refined, 0.3);
+  core::SelectGreedyOneToOne(refined, 0.3, engine.context());
   tracer.Stop();
 
   std::string json = tracer.ExportChromeTrace();
@@ -263,10 +271,10 @@ TEST(TracerTest, EnginePipelineProducesNamedSpans) {
 }
 
 TEST(TracerTest, WriteChromeTraceCreatesReadableFile) {
-  Tracer& tracer = Tracer::Global();
+  Tracer tracer;
   tracer.Start();
   {
-    HARMONY_TRACE_SPAN("trace_test/file_span");
+    HARMONY_TRACE_SPAN(&tracer, "trace_test/file_span");
   }
   tracer.Stop();
 
@@ -287,12 +295,51 @@ TEST(TracerTest, WriteChromeTraceCreatesReadableFile) {
 }
 
 TEST(TracerTest, EmptyTraceIsStillValidJson) {
-  Tracer& tracer = Tracer::Global();
+  Tracer tracer;
   tracer.Start();
   tracer.Stop();
   std::string json = tracer.ExportChromeTrace();
   EXPECT_TRUE(JsonChecker(json).Valid()) << json;
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+// Two live tracers on the same thread: spans go to the tracer they were
+// opened on, never the other (the per-thread buffer cache is keyed by
+// tracer generation).
+TEST(TracerTest, ConcurrentTracersKeepEventsDisjoint) {
+  Tracer a;
+  Tracer b;
+  a.Start();
+  b.Start();
+  {
+    HARMONY_TRACE_SPAN(&a, "trace_test/only_in_a");
+  }
+  {
+    HARMONY_TRACE_SPAN(&b, "trace_test/only_in_b");
+    HARMONY_TRACE_SPAN(&b, "trace_test/also_in_b");
+  }
+  a.Stop();
+  b.Stop();
+
+  EXPECT_EQ(a.event_count(), 1u);
+  EXPECT_EQ(b.event_count(), 2u);
+  std::string ja = a.ExportChromeTrace();
+  std::string jb = b.ExportChromeTrace();
+  EXPECT_NE(ja.find("trace_test/only_in_a"), std::string::npos);
+  EXPECT_EQ(ja.find("only_in_b"), std::string::npos);
+  EXPECT_NE(jb.find("trace_test/only_in_b"), std::string::npos);
+  EXPECT_EQ(jb.find("only_in_a"), std::string::npos);
+
+  // Thread names are per tracer too.
+  Tracer c;
+  c.SetThreadName("tracer-c-main");
+  c.Start();
+  {
+    HARMONY_TRACE_SPAN(&c, "trace_test/named_track");
+  }
+  c.Stop();
+  EXPECT_NE(c.ExportChromeTrace().find("tracer-c-main"), std::string::npos);
+  EXPECT_EQ(a.ExportChromeTrace().find("tracer-c-main"), std::string::npos);
 }
 
 #endif  // HARMONY_OBS_ENABLED
