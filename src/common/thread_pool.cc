@@ -101,9 +101,15 @@ size_t ResolveGrain(size_t requested, size_t items, size_t num_threads) {
 
 namespace {
 
-// Shared between the caller and its helper tasks. Heap-allocated and
-// reference-counted: helper tasks that only get scheduled after all shards
-// are claimed must still find live state when they wake up and bail.
+// Shared between the caller and its helper tasks. `in_flight` is
+// pre-counted — one slot per executor (caller + every helper), charged
+// before any helper is queued — and each executor releases its slot only
+// after ALL of its work, telemetry included. ParallelFor waits for the
+// count to hit zero, so by the time it returns no helper can touch this
+// state or the caller's context-scoped registry/tracer again, even when
+// helpers were queued on a shared pool and only get scheduled late. The
+// shared_ptr is belt-and-braces for the task objects the pool still holds
+// after their bodies return.
 struct ParallelForState {
   ParallelForState(size_t begin_, size_t end_, size_t grain_,
                    std::function<void(size_t, size_t)> body_,
@@ -126,50 +132,47 @@ struct ParallelForState {
 
   std::mutex mu;
   std::condition_variable cv;
-  size_t in_flight = 0;  // shards currently executing (guarded by mu)
+  size_t in_flight = 0;  // executors not yet fully finished (guarded by mu)
   std::exception_ptr first_exception;  // guarded by mu
 };
 
 // Claims shards until the range is exhausted (or a shard failed). Run by
-// the calling thread and by every helper task.
+// the calling thread and by every helper task. Everything — shard bodies,
+// the imbalance histogram, the executor span — happens strictly before the
+// single in_flight decrement at the bottom: that decrement is this
+// executor's promise that it will never touch the state or the caller's
+// context again.
 void RunShards(ParallelForState& state) {
-  HARMONY_TRACE_SPAN(state.tracer, "parallel_for/executor");
-  // Shards this executor claimed — the per-executor rows of the
-  // shard-imbalance histogram (a wide spread across executors of one call
-  // means the work-stealing loop was starved or the grain too coarse).
-  size_t shards_claimed = 0;
-  for (;;) {
-    {
-      std::lock_guard<std::mutex> lock(state.mu);
-      ++state.in_flight;
+  {
+    HARMONY_TRACE_SPAN(state.tracer, "parallel_for/executor");
+    // Shards this executor claimed — the per-executor rows of the
+    // shard-imbalance histogram (a wide spread across executors of one call
+    // means the work-stealing loop was starved or the grain too coarse).
+    size_t shards_claimed = 0;
+    for (;;) {
+      size_t lo = state.end;
+      if (!state.abort.load(std::memory_order_relaxed)) {
+        lo = state.next.fetch_add(state.grain, std::memory_order_relaxed);
+      }
+      if (lo >= state.end) break;
+      ++shards_claimed;
+      size_t hi = std::min(state.end, lo + state.grain);
+      try {
+        state.body(lo, hi);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(state.mu);
+          if (!state.first_exception) {
+            state.first_exception = std::current_exception();
+          }
+        }
+        state.abort.store(true, std::memory_order_relaxed);
+      }
     }
-    size_t lo = state.end;
-    if (!state.abort.load(std::memory_order_relaxed)) {
-      lo = state.next.fetch_add(state.grain, std::memory_order_relaxed);
-    }
-    if (lo >= state.end) {
-      state.shards_per_executor.Record(shards_claimed);
-      std::lock_guard<std::mutex> lock(state.mu);
-      if (--state.in_flight == 0) state.cv.notify_all();
-      return;
-    }
-    ++shards_claimed;
-    size_t hi = std::min(state.end, lo + state.grain);
-    bool failed = false;
-    std::exception_ptr error;
-    try {
-      state.body(lo, hi);
-    } catch (...) {
-      failed = true;
-      error = std::current_exception();
-    }
-    {
-      std::lock_guard<std::mutex> lock(state.mu);
-      if (failed && !state.first_exception) state.first_exception = error;
-      if (--state.in_flight == 0) state.cv.notify_all();
-    }
-    if (failed) state.abort.store(true, std::memory_order_relaxed);
-  }
+    state.shards_per_executor.Record(shards_claimed);
+  }  // executor span emitted here, before the slot is released
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (--state.in_flight == 0) state.cv.notify_all();
 }
 
 }  // namespace
@@ -198,6 +201,12 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
 
   auto state = std::make_shared<ParallelForState>(begin, end, grain, body,
                                                   context);
+  // Charge every executor's in_flight slot up front, before the first
+  // Submit: the wait below then only passes once each helper has fully
+  // finished — not merely once all shards are claimed — so the caller's
+  // (possibly scoped) registry and tracer are free to die the moment
+  // ParallelFor returns.
+  state->in_flight = helpers + 1;
   for (size_t i = 0; i < helpers; ++i) {
     pool.Submit([state] { RunShards(*state); });
   }

@@ -114,7 +114,11 @@ size_t ResolveGrain(size_t requested, size_t items, size_t num_threads);
 ///     thread after all in-flight shards finish (remaining shards are
 ///     abandoned);
 ///   - calls from inside a pool worker run inline (serial) — reentrant,
-///     never deadlocks.
+///     never deadlocks;
+///   - ParallelFor returns only after every helper task it queued has fully
+///     finished (telemetry included), so a context-scoped registry, tracer,
+///     or pool may be destroyed immediately after the call returns even
+///     when helpers ran on a longer-lived shared pool.
 void ParallelFor(size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t, size_t)>& body,
                  size_t num_threads = 0,

@@ -101,10 +101,24 @@ MetricsSnapshot MetricsSnapshot::DeltaFrom(const MetricsSnapshot& baseline) cons
   for (auto& h : out.histograms) {
     const HistogramSnapshot* b = baseline.FindHistogram(h.name);
     if (b == nullptr) continue;
-    h.sum -= std::min(h.sum, b->sum);
+    // A baseline from a different registry can exceed the current values.
+    // Clamping sum and buckets independently would leave sum and count
+    // disagreeing (skewing Mean()), so an inconsistent histogram delta is
+    // zeroed whole instead of exported half-clamped.
+    bool clamped = b->sum > h.sum;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (b->buckets[i] > h.buckets[i]) clamped = true;
+    }
+    if (clamped) {
+      h.sum = 0;
+      h.count = 0;
+      h.buckets.fill(0);
+      continue;
+    }
+    h.sum -= b->sum;
     h.count = 0;
     for (size_t i = 0; i < h.buckets.size(); ++i) {
-      h.buckets[i] -= std::min(h.buckets[i], b->buckets[i]);
+      h.buckets[i] -= b->buckets[i];
       h.count += h.buckets[i];
     }
   }
@@ -339,7 +353,11 @@ MetricsSnapshot MetricsRegistry::Drain() {
   out.gauges.resize(gauge_names_.size());
   for (size_t i = 0; i < gauge_names_.size(); ++i) {
     out.gauges[i].name = gauge_names_[i];
-    out.gauges[i].value = gauges_[i].exchange(0, std::memory_order_relaxed);
+    // Gauges are levels, not flows: a live writer (e.g. a ThreadPool whose
+    // workers gauge is bound here) still owns its level, so draining reports
+    // the current value and leaves it in place — zeroing would make the
+    // writer's eventual decrement drive the gauge negative.
+    out.gauges[i].value = gauges_[i].load(std::memory_order_relaxed);
   }
   out.histograms.resize(histogram_names_.size());
   for (size_t i = 0; i < histogram_names_.size(); ++i) {
@@ -387,7 +405,13 @@ void MetricsRegistry::MergeSnapshot(const MetricsSnapshot& snapshot) {
 MetricsSnapshot MetricsRegistry::FlushToParent() {
   if (parent_ == nullptr) FatalF("FlushToParent on a root registry");
   MetricsSnapshot delta = Drain();
-  parent_->MergeSnapshot(delta);
+  // Gauge levels stay with the registry their writer binds to: adding them
+  // into the parent would relocate (and, across repeated flushes,
+  // double-count) a level the writer still maintains here. The returned
+  // delta keeps them for export; the merge ships only the flows.
+  MetricsSnapshot flows = delta;
+  for (auto& g : flows.gauges) g.value = 0;
+  parent_->MergeSnapshot(flows);
   return delta;
 }
 

@@ -76,10 +76,11 @@ struct MetricsSnapshot {
 
   /// This snapshot minus `baseline`, matched by metric name — the unit of
   /// periodic statsd/OTLP-style export: snapshot every N seconds and ship
-  /// the delta. Counters and histogram buckets subtract (clamped at zero, so
-  /// a baseline from a different registry can't underflow); gauges are
-  /// levels, not rates, and keep their current value. Metrics absent from
-  /// the baseline pass through whole.
+  /// the delta. Counters subtract (clamped at zero, so a baseline from a
+  /// different registry can't underflow); a histogram whose baseline exceeds
+  /// it anywhere is zeroed whole, keeping sum/count/buckets mutually
+  /// consistent; gauges are levels, not rates, and keep their current value.
+  /// Metrics absent from the baseline pass through whole.
   MetricsSnapshot DeltaFrom(const MetricsSnapshot& baseline) const;
 
   /// Human-readable table (one metric per line).
@@ -139,20 +140,25 @@ class MetricsRegistry {
   /// Merges all shards. Safe while writers are incrementing.
   MetricsSnapshot Snapshot() const;
 
-  /// Snapshot-and-zero in one pass: every cell is atomically exchanged for
-  /// zero, so with concurrent writers each increment lands in exactly one
-  /// drain — repeated drains are lossless in total. (A histogram record
-  /// split across the drain boundary may surface its bucket and its sum in
-  /// different drains; totals still reconcile once writers quiesce.)
+  /// Snapshot-and-zero in one pass: every counter and histogram cell is
+  /// atomically exchanged for zero, so with concurrent writers each
+  /// increment lands in exactly one drain — repeated drains are lossless in
+  /// total. (A histogram record split across the drain boundary may surface
+  /// its bucket and its sum in different drains; totals still reconcile
+  /// once writers quiesce.) Gauges are levels, not flows: they are reported
+  /// at their current value and left in place, since a live writer (a pool's
+  /// workers gauge, say) still owns the level.
   MetricsSnapshot Drain();
 
   /// Adds a snapshot's values into this registry (names are registered on
   /// first sight). Counters and histogram buckets add; gauges add as deltas.
   void MergeSnapshot(const MetricsSnapshot& snapshot);
 
-  /// Drain() into parent(): the child's accumulated values move losslessly
-  /// into the parent and the child restarts from zero. Returns the flushed
-  /// delta (handy for simultaneous export). Aborts if this is a root.
+  /// Drain() into parent(): the child's accumulated counters and histograms
+  /// move losslessly into the parent and the child restarts from zero.
+  /// Gauge levels stay on the child (see Drain) but ride along in the
+  /// returned delta. Returns the flushed delta (handy for simultaneous
+  /// export). Aborts if this is a root.
   MetricsSnapshot FlushToParent();
 
   /// Snapshot() minus `baseline` — see MetricsSnapshot::DeltaFrom.

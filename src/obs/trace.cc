@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 #include <vector>
 
 namespace harmony::obs {
@@ -42,6 +43,7 @@ void AppendEscaped(std::string& out, std::string_view s) {
 struct Tracer::ThreadBuffer {
   std::mutex mu;
   uint32_t tid = 0;
+  std::thread::id owner;  // the one thread that writes events here
   std::string thread_name;
   std::vector<TraceEvent> events;
 };
@@ -65,9 +67,7 @@ Tracer::ThreadBuffer& Tracer::LocalBuffer() {
   // on up to kSlots concurrently live tracers stay lock-free after the first
   // touch. A cache hit is safe even if other tracers died: generations are
   // never reused, so a matching generation proves the buffer is ours, and we
-  // (the owning tracer) are self-evidently still alive. Slot collisions just
-  // re-register a buffer with this tracer — the old buffer stays owned (and
-  // exported) by its tracer; only the fast path is lost.
+  // (the owning tracer) are self-evidently still alive.
   struct CacheEntry {
     uint64_t generation = 0;
     ThreadBuffer* buffer = nullptr;
@@ -76,13 +76,25 @@ Tracer::ThreadBuffer& Tracer::LocalBuffer() {
   thread_local CacheEntry t_cache[kSlots];
   CacheEntry& entry = t_cache[generation_ % kSlots];
   if (entry.generation == generation_) return *entry.buffer;
+  // Slot miss: either this thread's first touch of this tracer, or a slot
+  // collision with another live tracer whose generation maps to the same
+  // slot. Re-find (never re-create) this thread's buffer under the lock —
+  // with >kSlots live tracers alternating on one thread, allocating on
+  // every miss would grow buffers_ one buffer per span and scatter the
+  // thread's events (and its name) across anonymous tracks.
+  std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& existing : buffers_) {
+    if (existing->owner == self) {
+      entry = {generation_, existing.get()};
+      return *existing;
+    }
+  }
   auto buffer = std::make_unique<ThreadBuffer>();
   ThreadBuffer* raw = buffer.get();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    raw->tid = next_tid_++;
-    buffers_.push_back(std::move(buffer));
-  }
+  raw->owner = self;
+  raw->tid = next_tid_++;
+  buffers_.push_back(std::move(buffer));
   entry = {generation_, raw};
   return *raw;
 }

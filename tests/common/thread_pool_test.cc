@@ -7,7 +7,11 @@
 #include <condition_variable>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace harmony::common {
 namespace {
@@ -192,6 +196,49 @@ TEST(ParallelForTest, ReentrantCallsRunInlineAndComplete) {
   for (size_t i = 0; i < hits.size(); ++i) {
     EXPECT_EQ(hits[i].load(), 1) << "cell " << i;
   }
+}
+
+// Regression: helper tasks queued on a longer-lived pool must not outlive
+// the ParallelFor call. The context-scoped registry and tracer here die as
+// soon as the scope closes, so a helper that only gets scheduled after the
+// caller drained every shard — both workers are pinned until the releaser
+// fires — must still have recorded its telemetry and fully finished before
+// ParallelFor returns (the ASan/TSan legs catch the old late-touch UAF).
+TEST(ParallelForTest, ReturnsOnlyAfterQueuedHelpersFinish) {
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&] {
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    release.store(true, std::memory_order_release);
+  });
+  {
+    obs::MetricsRegistry registry;
+    obs::Tracer tracer;
+    EngineContext context(&registry, &tracer, &pool);
+    std::atomic<size_t> sum{0};
+    ParallelFor(
+        0, 100, /*grain=*/1,
+        [&](size_t lo, size_t hi) { sum.fetch_add(hi - lo); },
+        /*num_threads=*/3, context);
+    EXPECT_EQ(sum.load(), 100u);
+#if HARMONY_OBS_ENABLED
+    // All three executors (caller + 2 helpers) finished before the call
+    // returned: each recorded its row of the shard-imbalance histogram.
+    obs::MetricsSnapshot snap = registry.Snapshot();
+    const obs::HistogramSnapshot* h =
+        snap.FindHistogram("parallel_for.shards_per_executor");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 3u);
+#endif
+  }  // registry and tracer destroyed; no helper may touch them from here
+  releaser.join();
 }
 
 TEST(ParallelForTest, ManyConcurrentShardsStressSharedCounter) {

@@ -259,11 +259,18 @@ TEST(MetricsRegistryTest, ChildFlushToParentMergesLosslessly) {
 
   MetricsSnapshot delta = child.FlushToParent();
   EXPECT_EQ(delta.FindCounter("shared.counter")->value, 3u);
+  // Gauge levels ride along in the returned delta for export...
+  EXPECT_EQ(delta.FindGauge("g")->value, 4);
 
   MetricsSnapshot merged = root.Snapshot();
   EXPECT_EQ(merged.FindCounter("shared.counter")->value, 13u);
   EXPECT_EQ(merged.FindCounter("child.only")->value, 2u);
-  EXPECT_EQ(merged.FindGauge("g")->value, 4);
+  // ...but stay with the child: a gauge is a level owned by its writer, so
+  // flushing must neither relocate it to the root nor zero it (repeated
+  // flushes would otherwise double-count, and the writer's eventual
+  // decrement would drive the child negative).
+  EXPECT_EQ(merged.FindGauge("g"), nullptr);
+  EXPECT_EQ(child.Snapshot().FindGauge("g")->value, 4);
   ASSERT_NE(merged.FindHistogram("h"), nullptr);
   EXPECT_EQ(merged.FindHistogram("h")->count, 2u);
   EXPECT_EQ(merged.FindHistogram("h")->sum, 1100u);
@@ -359,6 +366,20 @@ TEST(MetricsSnapshotTest, DeltaFromSubtractsByName) {
   inflated.counters[0].value = 1u << 30;
   MetricsSnapshot clamped = registry.DeltaSince(inflated);
   EXPECT_EQ(clamped.FindCounter("c")->value, 0u);
+
+  // An inflated histogram baseline zeroes the whole histogram delta — a
+  // half-clamped one would leave sum and count disagreeing and skew Mean().
+  MetricsSnapshot inflated_hist = registry.Snapshot();
+  for (auto& hist : inflated_hist.histograms) hist.sum += 5000;
+  MetricsSnapshot hist_clamped = registry.DeltaSince(inflated_hist);
+  const HistogramSnapshot* hc = hist_clamped.FindHistogram("h");
+  ASSERT_NE(hc, nullptr);
+  EXPECT_EQ(hc->sum, 0u);
+  EXPECT_EQ(hc->count, 0u);
+  EXPECT_EQ(hc->Mean(), 0.0);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : hc->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, 0u);
 }
 
 TEST(MetricsSnapshotTest, JsonAndTextEscapeAwkwardNames) {

@@ -4,9 +4,11 @@
 
 #include <cctype>
 #include <cstdio>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/match_engine.h"
 #include "schema/builder.h"
@@ -340,6 +342,49 @@ TEST(TracerTest, ConcurrentTracersKeepEventsDisjoint) {
   c.Stop();
   EXPECT_NE(c.ExportChromeTrace().find("tracer-c-main"), std::string::npos);
   EXPECT_EQ(a.ExportChromeTrace().find("tracer-c-main"), std::string::npos);
+}
+
+// More live tracers than the thread-local buffer cache has slots (the
+// concurrent-analyst scenario): two of them are guaranteed to collide on
+// one cache slot. Alternating spans between the colliding pair must reuse
+// each tracer's single per-thread buffer — not allocate a fresh one per
+// span — so the thread keeps one named track per tracer and memory stays
+// bounded.
+TEST(TracerTest, CacheSlotCollisionReusesThreadBuffer) {
+  // Generations are allocated sequentially, so with 9 live tracers the
+  // first and the ninth are 8 apart — the cache's slot count — and collide.
+  constexpr size_t kTracers = 9;
+  std::vector<std::unique_ptr<Tracer>> tracers;
+  for (size_t i = 0; i < kTracers; ++i) {
+    tracers.push_back(std::make_unique<Tracer>());
+  }
+  Tracer& first = *tracers.front();
+  Tracer& last = *tracers.back();
+  first.SetThreadName("collision-main");
+  first.Start();
+  last.Start();
+  constexpr size_t kAlternations = 50;
+  for (size_t i = 0; i < kAlternations; ++i) {
+    {
+      HARMONY_TRACE_SPAN(&first, "trace_test/collide_first");
+    }
+    {
+      HARMONY_TRACE_SPAN(&last, "trace_test/collide_last");
+    }
+  }
+  first.Stop();
+  last.Stop();
+
+  EXPECT_EQ(first.event_count(), kAlternations);
+  EXPECT_EQ(last.event_count(), kAlternations);
+  // One writer thread → exactly one track (one tid, one thread_name entry)
+  // per tracer, and the name set before the collisions survives them.
+  std::string json_first = first.ExportChromeTrace();
+  std::string json_last = last.ExportChromeTrace();
+  EXPECT_EQ(DistinctFieldValues(json_first, "tid").size(), 1u) << json_first;
+  EXPECT_EQ(DistinctFieldValues(json_last, "tid").size(), 1u) << json_last;
+  EXPECT_EQ(CountOccurrences(json_first, "\"thread_name\""), 1u);
+  EXPECT_NE(json_first.find("collision-main"), std::string::npos);
 }
 
 #endif  // HARMONY_OBS_ENABLED
