@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "core/match_engine.h"
+#include "nway/vocabulary_builder.h"
 #include "synth/generator.h"
 
 namespace {
@@ -134,6 +135,98 @@ void BM_PreprocessBySize(benchmark::State& state) {
       pair.source.element_count() + pair.target.element_count());
 }
 BENCHMARK(BM_PreprocessBySize)->Arg(16)->Arg(64)->Arg(150)->Unit(benchmark::kMillisecond);
+
+// An N-way community with heavy forced overlap, plus its pairwise matches,
+// cached by schema count so the merge benches below time only the merge.
+struct NwayFixture {
+  synth::NWayResult gen;
+  std::vector<const schema::Schema*> schemas;
+  std::vector<nway::PairwiseMatches> matches;
+  size_t links = 0;
+};
+
+const NwayFixture& CommunityOfSize(size_t schema_count) {
+  static std::map<size_t, std::unique_ptr<NwayFixture>> cache;
+  auto it = cache.find(schema_count);
+  if (it == cache.end()) {
+    auto fixture = std::make_unique<NwayFixture>();
+    synth::NWaySpec spec;
+    spec.seed = 4200 + schema_count;
+    spec.schema_count = schema_count;
+    spec.universe_concepts = 30;
+    spec.concepts_per_schema = 18;  // Forced overlap between most pairs.
+    fixture->gen = synth::GenerateNWay(spec);
+    for (const auto& s : fixture->gen.schemas) fixture->schemas.push_back(&s);
+    fixture->matches = nway::MatchAllPairs(fixture->schemas, 0.45);
+    for (const auto& pm : fixture->matches) fixture->links += pm.links.size();
+    it = cache.emplace(schema_count, std::move(fixture)).first;
+  }
+  return *it->second;
+}
+
+// The N-way merge alone (closure + term aggregation over precomputed
+// pairwise matches), by schema count and merge thread count. threads=0 is
+// the serial baseline (parallel_merge=false); both paths are
+// bitwise-identical, so the delta is pure merge cost.
+void BM_VocabularyBuild(benchmark::State& state) {
+  const auto& fixture = CommunityOfSize(static_cast<size_t>(state.range(0)));
+  nway::NwayOptions options;
+  options.parallel_merge = state.range(1) != 0;
+  options.num_threads = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    nway::ComprehensiveVocabulary vocab(fixture.schemas, fixture.matches, {},
+                                        options);
+    benchmark::DoNotOptimize(vocab.terms().size());
+  }
+  state.counters["schemas"] = static_cast<double>(fixture.schemas.size());
+  state.counters["links"] = static_cast<double>(fixture.links);
+  state.counters["links_per_s"] = benchmark::Counter(
+      static_cast<double>(fixture.links), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VocabularyBuild)
+    ->ArgNames({"schemas", "threads"})
+    ->Args({4, 0})   // serial baseline
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({8, 8})
+    ->Args({16, 0})
+    ->Args({16, 4})
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// The full streaming pipeline: match every pair AND build the vocabulary,
+// with finished pairs unioned into the closure while later pairs are still
+// matching (MatchAndBuildVocabulary). Compare against BM_VocabularyBuild +
+// the pairwise match cost to see what the overlap buys.
+void BM_NwayEndToEnd(benchmark::State& state) {
+  const auto& fixture = CommunityOfSize(8);
+  core::MatchOptions match_options;
+  match_options.num_threads = static_cast<size_t>(state.range(0));
+  nway::NwayOptions nway_options;
+  nway_options.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = nway::MatchAndBuildVocabulary(fixture.schemas, 0.45, true,
+                                                match_options, nway_options);
+    benchmark::DoNotOptimize(result.vocabulary.terms().size());
+  }
+  state.counters["threads"] = static_cast<double>(match_options.num_threads);
+  state.counters["schemas"] = static_cast<double>(fixture.schemas.size());
+  state.counters["hardware_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_NwayEndToEnd)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 

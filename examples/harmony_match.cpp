@@ -7,6 +7,16 @@
 //                 [--threads=N] [--grain=N]
 //   harmony_match profile <schema>...
 //   harmony_match export <schema> (--ddl | --xsd)
+//   harmony_match vocab <schema> <schema>... [--threshold=0.35] [--threads=N]
+//                 [--serial-merge] [--csv] [--stats] [--trace=out.json]
+//
+// vocab builds the comprehensive N-way vocabulary: every unordered schema
+// pair is matched, finished pairs stream into the sharded union-find merge
+// while other pairs are still matching, and the term list plus region
+// histogram are printed (--csv dumps the full term table instead).
+// --serial-merge selects the single-threaded baseline merge — output is
+// bitwise-identical, the flag exists for A/B timing. With fewer than two
+// schema paths, vocab runs on a built-in synthetic community.
 //
 // --stats prints the engine's effort breakdown (per-voter timing) and the
 // run's metrics registry to stderr; --stats-interval=MS additionally emits
@@ -283,6 +293,90 @@ int RunExport(const std::vector<std::string>& args) {
   return 0;
 }
 
+int RunVocab(const std::vector<std::string>& args) {
+  std::vector<std::string> paths;
+  for (const auto& a : args) {
+    if (!StartsWith(a, "--")) paths.push_back(a);
+  }
+
+  ObsSession obs_session(
+      FlagSet(args, "--stats"), FlagValue(args, "--trace=", ""),
+      std::atol(FlagValue(args, "--stats-interval=", "0").c_str()));
+
+  // Loaded (or generated) schemata must outlive the vocabulary.
+  std::vector<schema::Schema> owned;
+  if (paths.size() >= 2) {
+    for (const auto& path : paths) {
+      auto s = LoadSchema(path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     s.status().ToString().c_str());
+        return 1;
+      }
+      owned.push_back(*std::move(s));
+    }
+  } else {
+    std::printf("vocab demo: built-in synthetic community (pass two or more "
+                "schema files to use your own)\n\n");
+    synth::NWaySpec spec;
+    spec.schema_count = 4;
+    spec.universe_concepts = 14;
+    spec.concepts_per_schema = 9;
+    owned = synth::GenerateNWay(spec).schemas;
+  }
+  std::vector<const schema::Schema*> schemas;
+  for (const auto& s : owned) schemas.push_back(&s);
+  if (schemas.size() > nway::ComprehensiveVocabulary::kMaxSchemas) {
+    std::fprintf(stderr, "vocab: at most %zu schemata supported\n",
+                 nway::ComprehensiveVocabulary::kMaxSchemas);
+    return 2;
+  }
+
+  double threshold =
+      std::atof(FlagValue(args, "--threshold=", "0.35").c_str());
+  size_t threads = static_cast<size_t>(
+      std::atoi(FlagValue(args, "--threads=", "0").c_str()));
+  core::MatchOptions match_options;
+  match_options.num_threads = threads;
+  nway::NwayOptions nway_options;
+  nway_options.parallel_merge = !FlagSet(args, "--serial-merge");
+  nway_options.num_threads = threads;
+
+  auto result = nway::MatchAndBuildVocabulary(
+      schemas, threshold, /*one_to_one=*/true, match_options, nway_options,
+      obs_session.context());
+  const auto& vocab = result.vocabulary;
+
+  if (FlagSet(args, "--csv")) {
+    std::fputs(vocab.ToCsv().c_str(), stdout);
+    return 0;
+  }
+
+  size_t links = 0;
+  for (const auto& pm : result.matches) links += pm.links.size();
+  std::printf("comprehensive vocabulary over %zu schemata\n",
+              vocab.schema_count());
+  std::printf("  pairwise links : %zu (threshold %.2f)\n", links, threshold);
+  std::printf("  terms          : %zu\n", vocab.terms().size());
+  std::printf("  full-overlap terms (all %zu schemata): %zu\n",
+              vocab.schema_count(), vocab.FullOverlapCount());
+  std::printf("\nregion histogram (top 10):\n");
+  auto histogram = vocab.RegionHistogram();
+  size_t rows = 0;
+  for (const auto& [mask, count] : histogram) {
+    if (++rows > 10) break;
+    std::printf("  %-40s %zu\n", vocab.RegionName(mask).c_str(), count);
+  }
+  std::printf("\nlargest terms:\n");
+  for (size_t t = 0; t < vocab.terms().size() && t < 8; ++t) {
+    const auto& term = vocab.term(t);
+    std::printf("  %-24s %zu members in %s\n", term.display_name.c_str(),
+                term.members.size(),
+                vocab.RegionName(term.schema_mask).c_str());
+  }
+  return 0;
+}
+
 int RunDemo(const std::vector<std::string>& args) {
   std::printf("harmony_match demo: matching two built-in sample schemata\n\n");
   ObsSession obs_session(
@@ -324,8 +418,9 @@ int main(int argc, char** argv) {
   if (command == "match") return RunMatch(args);
   if (command == "profile") return RunProfile(args);
   if (command == "export") return RunExport(args);
+  if (command == "vocab") return RunVocab(args);
   std::fprintf(stderr,
-               "unknown command '%s' (expected match | profile | export)\n",
+               "unknown command '%s' (expected match | profile | export | vocab)\n",
                command.c_str());
   return 2;
 }

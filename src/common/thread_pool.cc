@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -97,6 +98,31 @@ size_t ResolveGrain(size_t requested, size_t items, size_t num_threads) {
   if (requested != 0) return requested;
   size_t executors = EffectiveThreadCount(num_threads);
   return std::max<size_t>(1, items / (executors * 8));
+}
+
+size_t ShardCount(size_t begin, size_t end, size_t grain) {
+  HARMONY_CHECK_GT(grain, 0u) << "resolve the grain first (ResolveGrain)";
+  return begin >= end ? 0 : (end - begin + grain - 1) / grain;
+}
+
+void ParallelForShards(size_t begin, size_t end, size_t grain,
+                       const std::function<void(size_t, size_t, size_t)>& body,
+                       size_t num_threads, const EngineContext& context) {
+  HARMONY_CHECK_GT(grain, 0u) << "resolve the grain first (ResolveGrain)";
+  // ParallelFor hands each executor either exactly one grain-aligned shard
+  // (the claim loop advances `next` by whole grains from `begin`) or, on the
+  // serial fallback, the entire range in one call. Re-carving here restores
+  // the canonical shard boundaries in both cases, so `shard` indexes the
+  // same slice either way.
+  ParallelFor(
+      begin, end, grain,
+      [&](size_t lo, size_t hi) {
+        size_t shard = (lo - begin) / grain;
+        for (size_t cur = lo; cur < hi; cur += grain, ++shard) {
+          body(shard, cur, std::min(hi, cur + grain));
+        }
+      },
+      num_threads, context);
 }
 
 namespace {

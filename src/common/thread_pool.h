@@ -97,6 +97,28 @@ size_t EffectiveThreadCount(size_t requested);
 /// shard costs. Any other value passes through.
 size_t ResolveGrain(size_t requested, size_t items, size_t num_threads);
 
+/// Number of shards ParallelFor carves [begin, end) into at `grain`.
+/// `grain` must already be resolved (nonzero) — pass it through ResolveGrain
+/// first so this count and the carve inside ParallelFor agree.
+size_t ShardCount(size_t begin, size_t end, size_t grain);
+
+/// \brief ParallelFor variant whose body also receives the zero-based shard
+/// index: `body(shard, lo, hi)`.
+///
+/// Shard boundaries are static — shard s always covers
+/// [begin + s·grain, min(end, begin + (s+1)·grain)) — no matter which
+/// executor claims which shard or whether the call degrades to the serial
+/// fallback. A body can therefore accumulate into a pre-sized per-shard slot
+/// (size it with ShardCount, index it with `shard`) without any
+/// synchronization, and a later merge in shard order is deterministic: the
+/// nway vocabulary merge aggregates its equivalence classes exactly this
+/// way. `grain` must be nonzero — resolve it with ResolveGrain first, so the
+/// caller sizing its accumulator and the carve here see the same shards.
+void ParallelForShards(size_t begin, size_t end, size_t grain,
+                       const std::function<void(size_t, size_t, size_t)>& body,
+                       size_t num_threads = 0,
+                       const EngineContext& context = EngineContext());
+
 /// \brief Runs `body(lo, hi)` over disjoint shards covering [begin, end),
 /// each shard at most `grain` long (0 = auto via ResolveGrain), using up
 /// to `num_threads` executors (the calling thread plus pool workers).

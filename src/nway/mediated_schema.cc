@@ -199,11 +199,19 @@ MediatedSchemaResult BuildMediatedSchema(const ComprehensiveVocabulary& vocabula
 
 double MediatedCoverage(const ComprehensiveVocabulary& vocabulary,
                         const MediatedSchemaResult& result, size_t schema_index) {
-  HARMONY_CHECK_LT(schema_index, vocabulary.schema_count());
+  HARMONY_CHECK_LT(schema_index, vocabulary.schema_count())
+      << "schema index out of range";
   std::unordered_set<ElementId> covered;
   for (const auto& [path, members] : result.provenance) {
     (void)path;
     for (const auto& ref : members) {
+      // A provenance ref from a different vocabulary (or a stale one) must
+      // trip here rather than silently skewing the coverage ratio.
+      HARMONY_CHECK_LT(ref.schema_index, vocabulary.schema_count())
+          << "provenance ref schema out of range";
+      HARMONY_CHECK_LT(ref.element,
+                       vocabulary.schema(ref.schema_index).node_count())
+          << "provenance ref element out of range";
       if (ref.schema_index == schema_index) covered.insert(ref.element);
     }
   }

@@ -1,8 +1,10 @@
 #include "nway/vocabulary_builder.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 #include <unordered_map>
+#include <utility>
 
 #include "common/csv.h"
 #include "common/logging.h"
@@ -17,7 +19,8 @@ namespace harmony::nway {
 
 namespace {
 
-// Disjoint-set over the global element index space.
+// Serial disjoint-set over the global element index space — the
+// parallel_merge=false baseline, kept verbatim for A/B comparison.
 class UnionFind {
  public:
   explicit UnionFind(size_t n) : parent_(n), rank_(n, 0) {
@@ -46,29 +49,287 @@ class UnionFind {
   std::vector<size_t> rank_;
 };
 
+// Lock-free disjoint-set: the closure side of the sharded merge. Union
+// links the larger root under the smaller (union by minimum index), so a
+// parent pointer only ever moves to a strictly smaller index — the forest
+// stays acyclic under ANY interleaving, because the one transition a CAS
+// can make is root → smaller root. Find applies path halving with benign
+// CASes: losing one means another thread already rewrote parent_[x], and
+// only ever to something closer to the root. The final partition equals
+// the connected components of the fed links — independent of feeding
+// order, thread count, or interleaving — which is the property the
+// canonical aggregation in VocabularyBuilder::Finish builds on.
+class AtomicUnionFind {
+ public:
+  explicit AtomicUnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) {
+      parent_[i].store(i, std::memory_order_relaxed);
+    }
+  }
+
+  size_t Find(size_t x) {
+    for (;;) {
+      size_t p = parent_[x].load(std::memory_order_relaxed);
+      if (p == x) return x;
+      size_t gp = parent_[p].load(std::memory_order_relaxed);
+      if (gp == p) return p;
+      parent_[x].compare_exchange_weak(p, gp, std::memory_order_relaxed);
+      x = gp;
+    }
+  }
+
+  void Union(size_t a, size_t b) {
+    for (;;) {
+      a = Find(a);
+      b = Find(b);
+      if (a == b) return;
+      if (a > b) std::swap(a, b);
+      // b was a root when Find returned; the CAS verifies it still is. On
+      // failure a concurrent union won the root — retry from the new roots.
+      size_t expected = b;
+      if (parent_[b].compare_exchange_strong(expected, a,
+                                             std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+ private:
+  std::vector<std::atomic<size_t>> parent_;
+};
+
 std::string NormalizedName(const schema::Schema& s, schema::ElementId id) {
   text::TokenizerOptions opts;
   opts.drop_pure_numbers = true;
   return Join(text::TokenizeIdentifier(s.element(id).name, opts), "_");
 }
 
+// The most common normalized member name; ties go to the lexicographically
+// smallest (std::map iteration order + strictly-greater vote count). Shared
+// by the serial and parallel paths so elections are identical by
+// construction.
+std::string ElectDisplayName(const std::vector<const schema::Schema*>& schemas,
+                             const Term& term) {
+  std::map<std::string, size_t> name_votes;
+  for (const ElementRef& ref : term.members) {
+    name_votes[NormalizedName(*schemas[ref.schema_index], ref.element)]++;
+  }
+  size_t best = 0;
+  std::string display_name;
+  for (const auto& [name, n] : name_votes) {
+    if (n > best) {
+      best = n;
+      display_name = name;
+    }
+  }
+  return display_name;
+}
+
+// Final canonical ordering (descending member count, then display name) and
+// the region index. Shared by both paths: given an identical pre-sort term
+// vector, std::sort in the same binary produces an identical permutation,
+// so the sorted output — and everything derived from it — is bitwise equal.
+void SortAndIndexTerms(std::vector<Term>& terms,
+                       std::map<uint32_t, std::vector<size_t>>& terms_by_mask) {
+  std::sort(terms.begin(), terms.end(), [](const Term& a, const Term& b) {
+    if (a.members.size() != b.members.size()) {
+      return a.members.size() > b.members.size();
+    }
+    return a.display_name < b.display_name;
+  });
+  for (size_t t = 0; t < terms.size(); ++t) {
+    terms_by_mask[terms[t].schema_mask].push_back(t);
+  }
+}
+
+// Global index arithmetic: offset[i] + element_id addresses schema i's node
+// arena (root slots stay unused — harmless).
+std::vector<size_t> ComputeOffsets(
+    const std::vector<const schema::Schema*>& schemas) {
+  std::vector<size_t> offset(schemas.size() + 1, 0);
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    HARMONY_CHECK(schemas[i] != nullptr);
+    offset[i + 1] = offset[i] + schemas[i]->node_count();
+  }
+  return offset;
+}
+
 }  // namespace
+
+struct VocabularyBuilder::Impl {
+  Impl(std::vector<const schema::Schema*> schemas_in, const NwayOptions& o,
+       const core::EngineContext& ctx)
+      : schemas(std::move(schemas_in)),
+        options(o),
+        context(ctx),
+        offset(ComputeOffsets(schemas)),
+        uf(offset.back()),
+        links_absorbed(*context.metrics, "nway.merge.links_absorbed") {
+    HARMONY_CHECK_LE(schemas.size(), ComprehensiveVocabulary::kMaxSchemas);
+    // The canonical scan order: schemata in index order, elements in
+    // pre-order within each — exactly the serial build's iteration. All
+    // aggregation walks this list, so shard boundaries carve the same
+    // sequence the serial code sees.
+    scan.reserve(offset.back());
+    scan_global.reserve(offset.back());
+    for (size_t i = 0; i < schemas.size(); ++i) {
+      for (schema::ElementId id : schemas[i]->AllElementIds()) {
+        scan.push_back(ElementRef{i, id});
+        scan_global.push_back(offset[i] + id);
+      }
+    }
+  }
+
+  std::vector<const schema::Schema*> schemas;
+  NwayOptions options;
+  core::EngineContext context;
+  std::vector<size_t> offset;
+  std::vector<ElementRef> scan;
+  std::vector<size_t> scan_global;  // global index of scan[pos]
+  AtomicUnionFind uf;
+  obs::Counter links_absorbed;
+  bool finished = false;
+};
+
+VocabularyBuilder::VocabularyBuilder(
+    std::vector<const schema::Schema*> schemas, const NwayOptions& options,
+    const core::EngineContext& context)
+    : impl_(std::make_unique<Impl>(std::move(schemas), options, context)) {}
+
+VocabularyBuilder::~VocabularyBuilder() = default;
+
+void VocabularyBuilder::AddMatches(const PairwiseMatches& pm) {
+  Impl& im = *impl_;
+  HARMONY_CHECK_LT(pm.source_index, im.schemas.size());
+  HARMONY_CHECK_LT(pm.target_index, im.schemas.size());
+  const size_t source_nodes = im.schemas[pm.source_index]->node_count();
+  const size_t target_nodes = im.schemas[pm.target_index]->node_count();
+  for (const auto& link : pm.links) {
+    HARMONY_CHECK_LT(link.source, source_nodes)
+        << "correspondence source out of range";
+    HARMONY_CHECK_LT(link.target, target_nodes)
+        << "correspondence target out of range";
+    im.uf.Union(im.offset[pm.source_index] + link.source,
+                im.offset[pm.target_index] + link.target);
+  }
+  im.links_absorbed.Add(pm.links.size());
+}
+
+ComprehensiveVocabulary VocabularyBuilder::Finish() {
+  Impl& im = *impl_;
+  HARMONY_CHECK(!im.finished) << "Finish may be called once";
+  im.finished = true;
+  HARMONY_TRACE_SPAN(im.context.tracer, "nway/merge_vocabulary");
+
+  ComprehensiveVocabulary vocab;
+  vocab.schemas_ = im.schemas;
+
+  const size_t total = im.scan.size();
+  const size_t grain =
+      common::ResolveGrain(im.options.grain, total, im.options.num_threads);
+  const size_t shards = common::ShardCount(0, total, grain);
+
+  // Per-shard accumulation: each shard walks its slice of the canonical
+  // scan, resolves every element's class root (Find is safe to run
+  // concurrently — path halving only shortens paths; no unions run during
+  // Finish, so roots are stable), and groups members into partial terms in
+  // first-seen order.
+  struct ShardClasses {
+    std::vector<size_t> roots;   // first-seen order within the shard
+    std::vector<Term> partials;  // parallel to roots: members + mask
+    std::unordered_map<size_t, size_t> index_of_root;
+  };
+  std::vector<ShardClasses> per_shard(shards);
+  obs::Histogram classes_per_shard(*im.context.metrics,
+                                   "nway.merge.classes_per_shard");
+  common::ParallelForShards(
+      0, total, grain,
+      [&](size_t shard, size_t lo, size_t hi) {
+        HARMONY_TRACE_SPAN(im.context.tracer, "nway/merge_shard");
+        ShardClasses& acc = per_shard[shard];
+        for (size_t pos = lo; pos < hi; ++pos) {
+          size_t root = im.uf.Find(im.scan_global[pos]);
+          auto [it, inserted] =
+              acc.index_of_root.emplace(root, acc.roots.size());
+          if (inserted) {
+            acc.roots.push_back(root);
+            acc.partials.push_back(Term{});
+          }
+          Term& partial = acc.partials[it->second];
+          const ElementRef& ref = im.scan[pos];
+          partial.members.push_back(ref);
+          partial.schema_mask |= (1u << ref.schema_index);
+        }
+        classes_per_shard.Record(acc.roots.size());
+      },
+      im.options.num_threads, im.context);
+
+  // Canonical merge, shard by shard in index order: a term's global index
+  // is its class's first appearance in the canonical scan — exactly the
+  // serial build's term order — and concatenating members shard-wise lands
+  // them in scan order too. Root identity may differ from the serial
+  // union-find's, but aggregation keys only on "same root ⇔ same class",
+  // which any correct closure satisfies identically.
+  std::unordered_map<size_t, size_t> term_of_root;
+  std::vector<Term>& terms = vocab.terms_;
+  for (ShardClasses& acc : per_shard) {
+    for (size_t c = 0; c < acc.roots.size(); ++c) {
+      auto [it, inserted] = term_of_root.emplace(acc.roots[c], terms.size());
+      if (inserted) {
+        terms.push_back(std::move(acc.partials[c]));
+      } else {
+        Term& term = terms[it->second];
+        Term& partial = acc.partials[c];
+        term.members.insert(term.members.end(), partial.members.begin(),
+                            partial.members.end());
+        term.schema_mask |= partial.schema_mask;
+      }
+    }
+  }
+
+  // Display-name election fans out over terms: each term is written by
+  // exactly one shard, and the election itself is a pure function of the
+  // (already canonical) member list.
+  common::ParallelFor(
+      0, terms.size(), /*grain=*/0,
+      [&](size_t lo, size_t hi) {
+        for (size_t t = lo; t < hi; ++t) {
+          terms[t].display_name = ElectDisplayName(vocab.schemas_, terms[t]);
+        }
+      },
+      im.options.num_threads, im.context);
+
+  obs::Counter(*im.context.metrics, "nway.merge.terms").Add(terms.size());
+  SortAndIndexTerms(terms, vocab.terms_by_mask_);
+  return vocab;
+}
 
 ComprehensiveVocabulary::ComprehensiveVocabulary(
     std::vector<const schema::Schema*> schemas,
     const std::vector<PairwiseMatches>& matches,
-    const core::EngineContext& context)
+    const core::EngineContext& context, const NwayOptions& options)
     : schemas_(std::move(schemas)) {
   HARMONY_TRACE_SPAN(context.tracer, "nway/build_vocabulary");
   HARMONY_CHECK_LE(schemas_.size(), kMaxSchemas);
   for (const auto* s : schemas_) HARMONY_CHECK(s != nullptr);
 
-  // Global index: offset[i] + element_id addresses schema i's node arena
-  // (root slots stay unused — harmless).
-  std::vector<size_t> offset(schemas_.size() + 1, 0);
-  for (size_t i = 0; i < schemas_.size(); ++i) {
-    offset[i + 1] = offset[i] + schemas_[i]->node_count();
+  if (options.parallel_merge) {
+    // Sharded build: fan the match lists into the concurrent closure, then
+    // aggregate. Grain 1 — each unit is a whole pairwise match list,
+    // already coarse.
+    VocabularyBuilder builder(schemas_, options, context);
+    common::ParallelFor(
+        0, matches.size(), /*grain=*/1,
+        [&](size_t lo, size_t hi) {
+          for (size_t k = lo; k < hi; ++k) builder.AddMatches(matches[k]);
+        },
+        options.num_threads, context);
+    *this = builder.Finish();
+    return;
   }
+
+  // The serial baseline: single-threaded union-find and aggregation.
+  std::vector<size_t> offset = ComputeOffsets(schemas_);
   UnionFind uf(offset.back());
 
   for (const auto& pm : matches) {
@@ -93,30 +354,11 @@ ComprehensiveVocabulary::ComprehensiveVocabulary(
     }
   }
 
-  // Display names: the most common normalized member name.
   for (Term& term : terms_) {
-    std::map<std::string, size_t> name_votes;
-    for (const ElementRef& ref : term.members) {
-      name_votes[NormalizedName(*schemas_[ref.schema_index], ref.element)]++;
-    }
-    size_t best = 0;
-    for (const auto& [name, n] : name_votes) {
-      if (n > best) {
-        best = n;
-        term.display_name = name;
-      }
-    }
+    term.display_name = ElectDisplayName(schemas_, term);
   }
 
-  std::sort(terms_.begin(), terms_.end(), [](const Term& a, const Term& b) {
-    if (a.members.size() != b.members.size()) {
-      return a.members.size() > b.members.size();
-    }
-    return a.display_name < b.display_name;
-  });
-  for (size_t t = 0; t < terms_.size(); ++t) {
-    terms_by_mask_[terms_[t].schema_mask].push_back(t);
-  }
+  SortAndIndexTerms(terms_, terms_by_mask_);
 }
 
 std::vector<const Term*> ComprehensiveVocabulary::TermsInRegion(uint32_t mask) const {
@@ -181,10 +423,16 @@ std::string ComprehensiveVocabulary::ToCsv() const {
   return w.ToString();
 }
 
-std::vector<PairwiseMatches> MatchAllPairs(
+namespace {
+
+// The shared pair fan-out behind MatchAllPairs and MatchAndBuildVocabulary:
+// when `closure` is non-null, each finished pair's links stream straight
+// into it from the worker that produced them (AddMatches is lock-free), so
+// the union-find build overlaps the matching instead of barriering on it.
+std::vector<PairwiseMatches> MatchPairsInto(
     const std::vector<const schema::Schema*>& schemas, double threshold,
     bool one_to_one, const core::MatchOptions& options,
-    const core::EngineContext& context) {
+    const core::EngineContext& context, VocabularyBuilder* closure) {
   // Enumerate the unordered pairs up front so the fan-out writes into a
   // pre-sized vector: slot k belongs to exactly one worker, and the output
   // order matches the historical serial (i, j) iteration.
@@ -215,6 +463,7 @@ std::vector<PairwiseMatches> MatchAllPairs(
                      ? core::SelectGreedyOneToOne(matrix, threshold, context)
                      : core::SelectByThreshold(matrix, threshold, context);
       pairs_matched.Add();
+      if (closure != nullptr) closure->AddMatches(pm);
     }
   };
   // Explicit grain of 1: each unit is a whole pairwise engine run, already
@@ -223,6 +472,34 @@ std::vector<PairwiseMatches> MatchAllPairs(
   common::ParallelFor(0, pairs.size(), /*grain=*/1, match_range,
                       options.num_threads, context);
   return out;
+}
+
+}  // namespace
+
+std::vector<PairwiseMatches> MatchAllPairs(
+    const std::vector<const schema::Schema*>& schemas, double threshold,
+    bool one_to_one, const core::MatchOptions& options,
+    const core::EngineContext& context) {
+  return MatchPairsInto(schemas, threshold, one_to_one, options, context,
+                        /*closure=*/nullptr);
+}
+
+NwayBuildResult MatchAndBuildVocabulary(
+    const std::vector<const schema::Schema*>& schemas, double threshold,
+    bool one_to_one, const core::MatchOptions& match_options,
+    const NwayOptions& nway_options, const core::EngineContext& context) {
+  if (!nway_options.parallel_merge) {
+    // Serial A/B baseline: barrier on all pairs, then the serial build.
+    std::vector<PairwiseMatches> matches =
+        MatchAllPairs(schemas, threshold, one_to_one, match_options, context);
+    ComprehensiveVocabulary vocabulary(schemas, matches, context,
+                                       nway_options);
+    return NwayBuildResult{std::move(matches), std::move(vocabulary)};
+  }
+  VocabularyBuilder builder(schemas, nway_options, context);
+  std::vector<PairwiseMatches> matches = MatchPairsInto(
+      schemas, threshold, one_to_one, match_options, context, &builder);
+  return NwayBuildResult{std::move(matches), builder.Finish()};
 }
 
 }  // namespace harmony::nway

@@ -10,14 +10,27 @@
 // transitive closure (union-find) of the supplied pairwise correspondences.
 // Every element belongs to exactly one term; a term's region is the set of
 // schemata contributing members, encoded as a bitmask.
+//
+// At repository scale (N in the tens, 10^3 elements per schema) the closure
+// and term aggregation dominate once the pairwise matches fan out over the
+// thread pool, so the merge itself is sharded: a lock-free union-find over
+// the global element index space absorbs correspondences concurrently
+// (including *while* pairs are still being matched — see
+// MatchAndBuildVocabulary), and term aggregation runs per shard before a
+// canonical in-order merge. The output is bitwise-identical to the serial
+// build regardless of thread count, grain, union order, or match arrival
+// order; `NwayOptions::parallel_merge = false` keeps the original serial
+// path selectable for A/B tests.
 
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "core/match_engine.h"
 #include "core/match_matrix.h"
 #include "schema/schema.h"
@@ -50,6 +63,22 @@ struct Term {
   std::string display_name;
 };
 
+/// \brief Knobs for the N-way merge itself (the closure + aggregation that
+/// turn pairwise matches into a vocabulary), as MatchOptions is to the
+/// pairwise engine.
+struct NwayOptions {
+  /// Sharded build: concurrent union-find plus per-shard term aggregation.
+  /// false = the original single-threaded build, kept as the A/B baseline;
+  /// both paths produce bitwise-identical vocabularies.
+  bool parallel_merge = true;
+  /// Worker count for the merge (engine convention: 0 = hardware
+  /// concurrency, 1 = exact serial execution on the calling thread).
+  size_t num_threads = 0;
+  /// Elements per aggregation shard (0 = auto via common::ResolveGrain).
+  /// Any grain yields identical output — shards merge in index order.
+  size_t grain = 0;
+};
+
 /// \brief The comprehensive vocabulary over N schemata.
 class ComprehensiveVocabulary {
  public:
@@ -59,16 +88,25 @@ class ComprehensiveVocabulary {
 
   /// Builds the vocabulary from pairwise matches. Indices inside `matches`
   /// must reference `schemas`; the schemata must outlive the vocabulary.
-  /// `context` attributes the build's trace span.
+  /// `context` supplies the build's trace span, merge metrics, and (when
+  /// `options.parallel_merge`) the pool the shards fan out over.
   ComprehensiveVocabulary(std::vector<const schema::Schema*> schemas,
                           const std::vector<PairwiseMatches>& matches,
-                          const core::EngineContext& context = {});
+                          const core::EngineContext& context = {},
+                          const NwayOptions& options = {});
 
   size_t schema_count() const { return schemas_.size(); }
-  const schema::Schema& schema(size_t i) const { return *schemas_[i]; }
+  const schema::Schema& schema(size_t i) const {
+    HARMONY_CHECK_LT(i, schemas_.size()) << "schema index out of range";
+    return *schemas_[i];
+  }
 
   /// All terms (singletons included), ordered by descending member count.
   const std::vector<Term>& terms() const { return terms_; }
+  const Term& term(size_t t) const {
+    HARMONY_CHECK_LT(t, terms_.size()) << "term index out of range";
+    return terms_[t];
+  }
 
   /// Terms whose region is exactly `mask`.
   std::vector<const Term*> TermsInRegion(uint32_t mask) const;
@@ -90,9 +128,49 @@ class ComprehensiveVocabulary {
   std::string ToCsv() const;
 
  private:
+  friend class VocabularyBuilder;
+  ComprehensiveVocabulary() = default;
+
   std::vector<const schema::Schema*> schemas_;
   std::vector<Term> terms_;
   std::map<uint32_t, std::vector<size_t>> terms_by_mask_;
+};
+
+/// \brief Incremental, thread-safe vocabulary construction: the closure side
+/// of the sharded merge.
+///
+/// Feed correspondences with AddMatches — from any number of threads
+/// concurrently — then call Finish once to aggregate equivalence classes
+/// into a ComprehensiveVocabulary. Unions land in a lock-free union-find
+/// (atomic parent array, path-halving Find, CAS union-by-minimum-index,
+/// which keeps parent pointers strictly decreasing and hence the forest
+/// acyclic under any interleaving), so match
+/// producers never serialize on the builder; because a union-find's final
+/// partition is independent of union order, and Finish aggregates it
+/// canonically, the result is identical no matter how the feeding
+/// interleaved. Finish itself shards term aggregation and display-name
+/// election over `options.num_threads`.
+class VocabularyBuilder {
+ public:
+  VocabularyBuilder(std::vector<const schema::Schema*> schemas,
+                    const NwayOptions& options = {},
+                    const core::EngineContext& context = {});
+  ~VocabularyBuilder();
+
+  VocabularyBuilder(const VocabularyBuilder&) = delete;
+  VocabularyBuilder& operator=(const VocabularyBuilder&) = delete;
+
+  /// Unions every link of `pm` into the closure. Thread-safe; callable
+  /// concurrently with other AddMatches calls (never with Finish).
+  void AddMatches(const PairwiseMatches& pm);
+
+  /// Aggregates the closure into a vocabulary. Call exactly once, after all
+  /// AddMatches calls have completed.
+  ComprehensiveVocabulary Finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// \brief Convenience driver: runs the Harmony engine over every unordered
@@ -104,6 +182,21 @@ class ComprehensiveVocabulary {
 std::vector<PairwiseMatches> MatchAllPairs(
     const std::vector<const schema::Schema*>& schemas, double threshold,
     bool one_to_one = true, const core::MatchOptions& options = {},
+    const core::EngineContext& context = {});
+
+/// \brief MatchAllPairs plus the vocabulary, with the closure overlapped:
+/// each finished pair streams its links straight into a VocabularyBuilder
+/// while other pairs are still matching, so the union-find build rides the
+/// match fan-out instead of barriering on it.
+struct NwayBuildResult {
+  std::vector<PairwiseMatches> matches;
+  ComprehensiveVocabulary vocabulary;
+};
+
+NwayBuildResult MatchAndBuildVocabulary(
+    const std::vector<const schema::Schema*>& schemas, double threshold,
+    bool one_to_one = true, const core::MatchOptions& match_options = {},
+    const NwayOptions& nway_options = {},
     const core::EngineContext& context = {});
 
 }  // namespace harmony::nway

@@ -140,6 +140,27 @@ TEST(MediatedCoverageTest, SharedHeavySchemaCoveredBetter) {
   EXPECT_GT(c2, 0.5);
 }
 
+// The coverage computation is fed by provenance refs that may come from a
+// stale or foreign result object; every index is bounds-checked against the
+// vocabulary instead of silently skewing (or corrupting) the ratio.
+TEST(MediatedCoverageDeathTest, OutOfRangeInputsTripCheck) {
+  Beaker beaker;
+  auto vocab = beaker.Vocab();
+  auto result = BuildMediatedSchema(vocab);
+  EXPECT_DEATH(MediatedCoverage(vocab, result, vocab.schema_count()),
+               "out of range");
+
+  MediatedSchemaResult foreign_schema;
+  foreign_schema.provenance["X"] = {
+      ElementRef{vocab.schema_count() + 4, 1}};
+  EXPECT_DEATH(MediatedCoverage(vocab, foreign_schema, 0), "out of range");
+
+  MediatedSchemaResult foreign_element;
+  foreign_element.provenance["X"] = {ElementRef{
+      0, static_cast<schema::ElementId>(beaker.s1.node_count() + 9)}};
+  EXPECT_DEATH(MediatedCoverage(vocab, foreign_element, 0), "out of range");
+}
+
 TEST(MediatedSchemaTest, ScalesToGeneratedCommunity) {
   synth::NWaySpec spec;
   spec.schema_count = 4;

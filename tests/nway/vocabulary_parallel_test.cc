@@ -1,0 +1,382 @@
+// The parallel N-way merge's contract is bitwise identity: the sharded
+// union-find build (NwayOptions::parallel_merge) must produce a vocabulary
+// indistinguishable from the serial baseline — same terms in the same
+// order, same members in the same order, same masks, same region histogram,
+// same CSV bytes — for ANY feeding order, pair direction, thread count, or
+// shard grain. These property tests pin that over randomized synthetic
+// instances, and the stress test pins context isolation the way
+// tests/obs/context_test.cc does for the pairwise engine: two concurrent
+// builds on separate EngineContexts stay metric-disjoint and byte-identical.
+// The CI sanitizer legs (ASan + TSan) run this suite in their priority
+// pass.
+
+#include "nway/vocabulary_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/engine_context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "schema/builder.h"
+#include "synth/generator.h"
+
+namespace harmony::nway {
+namespace {
+
+NwayOptions SerialMerge() {
+  NwayOptions options;
+  options.parallel_merge = false;
+  return options;
+}
+
+NwayOptions ParallelMerge(size_t num_threads, size_t grain = 0) {
+  NwayOptions options;
+  options.parallel_merge = true;
+  options.num_threads = num_threads;
+  options.grain = grain;
+  return options;
+}
+
+// One randomized instance: generated schemata, the pairwise matches the
+// engine finds over them, and the serial-merge baseline vocabulary every
+// parallel variant must reproduce byte for byte.
+struct Instance {
+  std::vector<schema::Schema> schemas;
+  std::vector<const schema::Schema*> ptrs;
+  double threshold = 0.0;
+  std::vector<PairwiseMatches> matches;
+  std::unique_ptr<ComprehensiveVocabulary> serial;
+  size_t total_links = 0;
+};
+
+std::unique_ptr<Instance> MakeInstance(uint64_t seed) {
+  auto inst = std::make_unique<Instance>();
+  synth::NWaySpec spec;
+  spec.seed = 1000 + seed * 31;
+  spec.schema_count = 3 + seed % 4;           // 3..6 schemata
+  spec.universe_concepts = 10 + (seed % 5) * 3;
+  spec.concepts_per_schema = 5 + seed % 5;
+  inst->schemas = synth::GenerateNWay(spec).schemas;
+  for (const auto& s : inst->schemas) inst->ptrs.push_back(&s);
+  inst->threshold = 0.35 + 0.05 * static_cast<double>(seed % 3);
+  inst->matches = MatchAllPairs(inst->ptrs, inst->threshold);
+  for (const auto& pm : inst->matches) inst->total_links += pm.links.size();
+  inst->serial = std::make_unique<ComprehensiveVocabulary>(
+      inst->ptrs, inst->matches, core::EngineContext(), SerialMerge());
+  return inst;
+}
+
+constexpr uint64_t kInstances = 20;
+
+// Built once, shared by every property test (MatchAllPairs over 20
+// instances is the expensive part; the builds under test are cheap).
+const std::vector<std::unique_ptr<Instance>>& Instances() {
+  static auto* instances = [] {
+    auto* v = new std::vector<std::unique_ptr<Instance>>();
+    for (uint64_t seed = 0; seed < kInstances; ++seed) {
+      v->push_back(MakeInstance(seed));
+    }
+    return v;
+  }();
+  return *instances;
+}
+
+// Bitwise identity: every observable surface, not just the parts a caller
+// happens to look at.
+void ExpectIdentical(const ComprehensiveVocabulary& actual,
+                     const ComprehensiveVocabulary& expected,
+                     const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(actual.terms().size(), expected.terms().size());
+  for (size_t t = 0; t < expected.terms().size(); ++t) {
+    const Term& a = actual.terms()[t];
+    const Term& e = expected.terms()[t];
+    EXPECT_EQ(a.schema_mask, e.schema_mask) << "term " << t;
+    EXPECT_EQ(a.display_name, e.display_name) << "term " << t;
+    ASSERT_EQ(a.members.size(), e.members.size()) << "term " << t;
+    for (size_t m = 0; m < e.members.size(); ++m) {
+      EXPECT_TRUE(a.members[m] == e.members[m])
+          << "term " << t << " member " << m;
+    }
+  }
+  EXPECT_EQ(actual.RegionHistogram(), expected.RegionHistogram());
+  EXPECT_EQ(actual.ToCsv(), expected.ToCsv());
+}
+
+// (a) The merge must not care what order correspondences arrive in: the
+// match lists are shuffled (and the links within each list too), which is
+// exactly the nondeterministic arrival order a streaming build sees.
+TEST(VocabularyParallelTest, InvariantUnderShuffledMatchOrder) {
+  for (uint64_t seed = 0; seed < kInstances; ++seed) {
+    const Instance& inst = *Instances()[seed];
+    std::mt19937 rng(static_cast<uint32_t>(7 + seed));
+    std::vector<PairwiseMatches> shuffled = inst.matches;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    for (auto& pm : shuffled) {
+      std::shuffle(pm.links.begin(), pm.links.end(), rng);
+    }
+    ComprehensiveVocabulary vocab(inst.ptrs, shuffled, core::EngineContext(),
+                                  ParallelMerge(4));
+    ExpectIdentical(vocab, *inst.serial,
+                    "shuffled, seed=" + std::to_string(seed));
+  }
+}
+
+// (b) A correspondence is symmetric: feeding every pair in the reversed
+// direction (and, for odd pairs only, a mixed orientation) must not move a
+// single byte of the output.
+TEST(VocabularyParallelTest, InvariantUnderReversedPairDirection) {
+  auto reverse = [](const PairwiseMatches& pm) {
+    PairwiseMatches out;
+    out.source_index = pm.target_index;
+    out.target_index = pm.source_index;
+    out.links.reserve(pm.links.size());
+    for (const auto& link : pm.links) {
+      out.links.push_back({link.target, link.source, link.score});
+    }
+    return out;
+  };
+  for (uint64_t seed = 0; seed < kInstances; ++seed) {
+    const Instance& inst = *Instances()[seed];
+    std::vector<PairwiseMatches> reversed;
+    std::vector<PairwiseMatches> mixed;
+    for (size_t k = 0; k < inst.matches.size(); ++k) {
+      reversed.push_back(reverse(inst.matches[k]));
+      mixed.push_back(k % 2 == 1 ? reverse(inst.matches[k])
+                                 : inst.matches[k]);
+    }
+    ComprehensiveVocabulary from_reversed(inst.ptrs, reversed,
+                                          core::EngineContext(),
+                                          ParallelMerge(4));
+    ExpectIdentical(from_reversed, *inst.serial,
+                    "reversed, seed=" + std::to_string(seed));
+    ComprehensiveVocabulary from_mixed(inst.ptrs, mixed,
+                                       core::EngineContext(),
+                                       ParallelMerge(3));
+    ExpectIdentical(from_mixed, *inst.serial,
+                    "mixed, seed=" + std::to_string(seed));
+  }
+}
+
+// (c) Thread count and shard grain select a schedule, never a result:
+// num_threads=1 (the exact inline path) through oversubscribed, and grains
+// from degenerate (1 element per shard) to "everything in one shard".
+TEST(VocabularyParallelTest, InvariantUnderThreadCountAndGrain) {
+  const std::pair<size_t, size_t> kConfigs[] = {
+      {1, 0}, {2, 0}, {4, 0}, {8, 0}, {2, 1}, {4, 3}, {4, 1 << 20},
+  };
+  for (uint64_t seed = 0; seed < kInstances; ++seed) {
+    const Instance& inst = *Instances()[seed];
+    for (const auto& [threads, grain] : kConfigs) {
+      ComprehensiveVocabulary vocab(inst.ptrs, inst.matches,
+                                    core::EngineContext(),
+                                    ParallelMerge(threads, grain));
+      ExpectIdentical(vocab, *inst.serial,
+                      "seed=" + std::to_string(seed) +
+                          " threads=" + std::to_string(threads) +
+                          " grain=" + std::to_string(grain));
+    }
+  }
+}
+
+// The streaming driver: matches flow into the closure from the pair
+// fan-out's own workers, with no barrier between matching and merging. The
+// matches it returns and the vocabulary it builds must both equal the
+// barriered two-step.
+TEST(VocabularyParallelTest, StreamingBuildMatchesBarrieredBuild) {
+  for (uint64_t seed = 0; seed < kInstances; seed += 4) {
+    const Instance& inst = *Instances()[seed];
+    NwayBuildResult result = MatchAndBuildVocabulary(
+        inst.ptrs, inst.threshold, /*one_to_one=*/true, {}, ParallelMerge(4));
+    ASSERT_EQ(result.matches.size(), inst.matches.size());
+    for (size_t k = 0; k < inst.matches.size(); ++k) {
+      const PairwiseMatches& got = result.matches[k];
+      const PairwiseMatches& want = inst.matches[k];
+      EXPECT_EQ(got.source_index, want.source_index);
+      EXPECT_EQ(got.target_index, want.target_index);
+      ASSERT_EQ(got.links.size(), want.links.size()) << "pair " << k;
+      for (size_t l = 0; l < want.links.size(); ++l) {
+        EXPECT_TRUE(got.links[l] == want.links[l]) << "pair " << k;
+        EXPECT_EQ(got.links[l].score, want.links[l].score) << "pair " << k;
+      }
+    }
+    ExpectIdentical(result.vocabulary, *inst.serial,
+                    "streaming, seed=" + std::to_string(seed));
+
+    // And the serial-merge A/B flag on the same driver.
+    NwayBuildResult serial_result = MatchAndBuildVocabulary(
+        inst.ptrs, inst.threshold, /*one_to_one=*/true, {}, SerialMerge());
+    ExpectIdentical(serial_result.vocabulary, *inst.serial,
+                    "streaming-serial, seed=" + std::to_string(seed));
+  }
+}
+
+// Degenerate inputs must agree too: no matches (all singletons) and no
+// schemata at all.
+TEST(VocabularyParallelTest, EmptyInputsAgreeWithSerial) {
+  const Instance& inst = *Instances()[0];
+  ComprehensiveVocabulary serial_empty(inst.ptrs, {}, core::EngineContext(),
+                                       SerialMerge());
+  ComprehensiveVocabulary parallel_empty(inst.ptrs, {}, core::EngineContext(),
+                                         ParallelMerge(4));
+  ExpectIdentical(parallel_empty, serial_empty, "no matches");
+
+  ComprehensiveVocabulary no_schemas({}, {}, core::EngineContext(),
+                                     ParallelMerge(4));
+  EXPECT_EQ(no_schemas.terms().size(), 0u);
+  EXPECT_EQ(no_schemas.ToCsv(),
+            ComprehensiveVocabulary({}, {}, core::EngineContext(),
+                                    SerialMerge())
+                .ToCsv());
+}
+
+// The incremental builder fed from many threads at once: AddMatches is the
+// lock-free surface match workers hit concurrently, so hammer it from
+// plain std::threads (not ParallelFor, which would serialize per shard)
+// and require the canonical result. TSan keeps this honest.
+TEST(VocabularyStressTest, ConcurrentAddMatchesFromManyThreads) {
+  const Instance& inst = *Instances()[1];
+  for (int round = 0; round < 3; ++round) {
+    VocabularyBuilder builder(inst.ptrs, ParallelMerge(4));
+    std::vector<std::thread> feeders;
+    constexpr size_t kFeeders = 4;
+    for (size_t f = 0; f < kFeeders; ++f) {
+      feeders.emplace_back([&, f] {
+        for (size_t k = f; k < inst.matches.size(); k += kFeeders) {
+          builder.AddMatches(inst.matches[k]);
+        }
+      });
+    }
+    for (auto& t : feeders) t.join();
+    ComprehensiveVocabulary vocab = builder.Finish();
+    ExpectIdentical(vocab, *inst.serial,
+                    "concurrent feed, round " + std::to_string(round));
+  }
+}
+
+#if HARMONY_OBS_ENABLED
+
+uint64_t CounterOf(const obs::MetricsSnapshot& snapshot,
+                   const std::string& name) {
+  for (const auto& c : snapshot.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+// Two whole vocabulary builds running concurrently on separate
+// EngineContexts over one shared pool: results byte-identical to the serial
+// baseline, metric snapshots fully disjoint, and the merge's own counters
+// land in the right child (nothing reaches the root until flush).
+TEST(VocabularyStressTest, ConcurrentBuildsAreDisjointAndIdentical) {
+  const Instance& inst = *Instances()[2];
+  ASSERT_GT(inst.total_links, 0u);
+
+  obs::MetricsRegistry root;
+  obs::MetricsRegistry child_a(&root);
+  obs::MetricsRegistry child_b(&root);
+  obs::Tracer tracer_a;
+  obs::Tracer tracer_b;
+  common::ThreadPool pool(4);
+  core::EngineContext context_a(&child_a, &tracer_a, &pool);
+  core::EngineContext context_b(&child_b, &tracer_b, &pool);
+
+  std::unique_ptr<ComprehensiveVocabulary> vocab_a, vocab_b;
+  std::thread run_a([&] {
+    vocab_a = std::make_unique<ComprehensiveVocabulary>(
+        inst.ptrs, inst.matches, context_a, ParallelMerge(4));
+  });
+  std::thread run_b([&] {
+    vocab_b = std::make_unique<ComprehensiveVocabulary>(
+        inst.ptrs, inst.matches, context_b, ParallelMerge(4));
+  });
+  run_a.join();
+  run_b.join();
+
+  ExpectIdentical(*vocab_a, *inst.serial, "concurrent A");
+  ExpectIdentical(*vocab_b, *inst.serial, "concurrent B");
+
+  // Disjoint: identical workloads, so identical (not doubled, not smeared)
+  // counts in each child, and nothing at the root before the flush.
+  obs::MetricsSnapshot snap_a = child_a.Snapshot();
+  obs::MetricsSnapshot snap_b = child_b.Snapshot();
+  EXPECT_EQ(CounterOf(snap_a, "nway.merge.links_absorbed"), inst.total_links);
+  EXPECT_EQ(CounterOf(snap_b, "nway.merge.links_absorbed"), inst.total_links);
+  EXPECT_EQ(CounterOf(snap_a, "nway.merge.terms"),
+            inst.serial->terms().size());
+  EXPECT_EQ(CounterOf(snap_b, "nway.merge.terms"),
+            inst.serial->terms().size());
+  EXPECT_EQ(CounterOf(root.Snapshot(), "nway.merge.links_absorbed"), 0u);
+
+  // Lossless merge into the root.
+  child_a.FlushToParent();
+  child_b.FlushToParent();
+  EXPECT_EQ(CounterOf(root.Snapshot(), "nway.merge.links_absorbed"),
+            2 * inst.total_links);
+  EXPECT_EQ(CounterOf(root.Snapshot(), "nway.merge.terms"),
+            2 * inst.serial->terms().size());
+}
+
+#endif  // HARMONY_OBS_ENABLED
+
+// The hardened accessors: an index from the wrong vocabulary (or a stale
+// one) must trip the bounds check, never hand back another schema's data.
+TEST(VocabularyDeathTest, OutOfRangeAccessorsTripCheck) {
+  schema::RelationalBuilder b("S1");
+  auto t = b.Table("T");
+  b.Column(t, "X");
+  schema::Schema s1 = std::move(b).Build();
+  ComprehensiveVocabulary vocab({&s1}, {}, core::EngineContext(),
+                                SerialMerge());
+  ASSERT_EQ(vocab.schema_count(), 1u);
+  ASSERT_GE(vocab.terms().size(), 1u);
+  EXPECT_DEATH(vocab.schema(1), "out of range");
+  EXPECT_DEATH(vocab.schema(vocab.schema_count() + 17), "out of range");
+  EXPECT_DEATH(vocab.term(vocab.terms().size()), "out of range");
+  EXPECT_DEATH(vocab.term(vocab.terms().size() + 17), "out of range");
+}
+
+// A correspondence referencing an element outside its schema's node arena
+// must die in AddMatches instead of corrupting the union-find.
+TEST(VocabularyDeathTest, OutOfRangeCorrespondenceTripsCheck) {
+  schema::RelationalBuilder ba("SA");
+  auto ta = ba.Table("T");
+  ba.Column(ta, "X");
+  schema::Schema sa = std::move(ba).Build();
+  schema::RelationalBuilder bb("SB");
+  auto tb = bb.Table("T");
+  bb.Column(tb, "X");
+  schema::Schema sb = std::move(bb).Build();
+
+  PairwiseMatches bad_schema;
+  bad_schema.source_index = 5;  // only 2 schemata
+  bad_schema.target_index = 1;
+  std::vector<PairwiseMatches> matches{bad_schema};
+  EXPECT_DEATH(ComprehensiveVocabulary({&sa, &sb}, matches,
+                                       core::EngineContext(),
+                                       ParallelMerge(1)),
+               "Check failed");
+
+  PairwiseMatches bad_element;
+  bad_element.source_index = 0;
+  bad_element.target_index = 1;
+  bad_element.links.push_back(
+      {static_cast<schema::ElementId>(sa.node_count() + 3), 1, 0.9});
+  std::vector<PairwiseMatches> element_matches{bad_element};
+  EXPECT_DEATH(ComprehensiveVocabulary({&sa, &sb}, element_matches,
+                                       core::EngineContext(),
+                                       ParallelMerge(1)),
+               "out of range");
+}
+
+}  // namespace
+}  // namespace harmony::nway
