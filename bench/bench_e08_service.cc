@@ -1,0 +1,259 @@
+// E8b — harmonyd service latency under concurrent clients. The paper's
+// enterprise setting (§5) makes schema matching a *continuous* service over
+// a shared metadata repository, not a batch run; what matters then is tail
+// latency while many integration engineers hit the daemon at once. This
+// bench starts a real in-process Server (loopback TCP, the production code
+// path: framing, admission queue, worker pool, per-request registries) and
+// measures per-request p50/p99 across a sweep of concurrent client counts.
+//
+// Expected shape: warm by-name matches stay in interactive territory
+// (milliseconds) well past the worker count, p99 growing roughly linearly
+// with clients-per-worker once the queue is the bottleneck; ping isolates
+// the pure framing + scheduling floor.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "repository/metadata_repository.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/state.h"
+#include "synth/generator.h"
+
+namespace {
+
+using namespace harmony;
+
+struct Study {
+  std::shared_ptr<service::ServiceState> state;
+  std::unique_ptr<service::Server> server;
+  std::string source_name;
+  std::string target_name;
+};
+
+Study* g_study = nullptr;
+
+const Study& GetStudy() {
+  if (g_study == nullptr) {
+    auto study = std::make_unique<Study>();
+    synth::NWaySpec spec;
+    spec.seed = 29;
+    spec.schema_count = 4;
+    spec.universe_concepts = 14;
+    spec.concepts_per_schema = 9;
+    auto generated = synth::GenerateNWay(spec);
+    repository::MetadataRepository repo;
+    for (auto& schema : generated.schemas) {
+      auto id = repo.RegisterSchema(std::move(schema));
+      HARMONY_CHECK(id.ok());
+    }
+    service::StateOptions options;
+    options.build_vocabulary = false;  // vocab build is E7's subject, not ours
+    auto state = service::ServiceState::Build(std::move(repo), options);
+    HARMONY_CHECK(state.ok()) << state.status().ToString();
+    study->state = std::shared_ptr<service::ServiceState>(std::move(*state));
+    study->source_name = study->state->repo().schema(0).name();
+    study->target_name = study->state->repo().schema(1).name();
+
+    service::ServerOptions server_options;
+    server_options.port = 0;
+    server_options.num_workers = 4;
+    server_options.queue_depth = 256;
+    auto server = service::Server::Start(study->state, server_options);
+    HARMONY_CHECK(server.ok()) << server.status().ToString();
+    study->server = std::move(*server);
+
+    // Warm the resident engine once so the sweep measures serving, not the
+    // first-touch preprocessing.
+    auto client = service::Client::Connect("127.0.0.1", study->server->port());
+    HARMONY_CHECK(client.ok());
+    service::MatchRequest warm;
+    warm.by_name = true;
+    warm.source_name = study->source_name;
+    warm.target_name = study->target_name;
+    HARMONY_CHECK(client->Match(warm).ok());
+    g_study = study.release();
+  }
+  return *g_study;
+}
+
+service::MatchRequest ByNameRequest(const Study& s) {
+  service::MatchRequest request;
+  request.by_name = true;
+  request.source_name = s.source_name;
+  request.target_name = s.target_name;
+  request.threshold = 0.35;
+  request.one_to_one = true;
+  return request;
+}
+
+struct LatencyRow {
+  size_t clients = 0;
+  size_t requests = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  double throughput_rps = 0.0;
+};
+
+double PercentileUs(std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(samples.size() - 1));
+  std::nth_element(samples.begin(), samples.begin() + idx, samples.end());
+  return samples[idx];
+}
+
+// Runs `clients` threads, each its own connection, each issuing
+// `requests_per_client` requests; returns the pooled latency distribution.
+template <typename RequestFn>
+LatencyRow MeasureConcurrent(size_t clients, size_t requests_per_client,
+                             RequestFn&& issue) {
+  const Study& s = GetStudy();
+  std::vector<std::vector<double>> per_thread(clients);
+  std::vector<std::thread> threads;
+  auto wall_start = std::chrono::steady_clock::now();
+  for (size_t t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = service::Client::Connect("127.0.0.1", s.server->port());
+      HARMONY_CHECK(client.ok());
+      per_thread[t].reserve(requests_per_client);
+      for (size_t i = 0; i < requests_per_client; ++i) {
+        auto start = std::chrono::steady_clock::now();
+        bool ok = issue(*client);
+        auto end = std::chrono::steady_clock::now();
+        HARMONY_CHECK(ok);
+        per_thread[t].push_back(
+            std::chrono::duration<double, std::micro>(end - start).count());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  std::vector<double> all;
+  for (auto& v : per_thread) all.insert(all.end(), v.begin(), v.end());
+  LatencyRow row;
+  row.clients = clients;
+  row.requests = all.size();
+  row.p50_us = PercentileUs(all, 0.50);
+  row.p99_us = PercentileUs(all, 0.99);
+  row.max_us = *std::max_element(all.begin(), all.end());
+  row.throughput_rps = static_cast<double>(all.size()) / wall_s;
+  return row;
+}
+
+void PrintReport() {
+  const Study& s = GetStudy();
+  std::printf("================================================================\n");
+  std::printf("E8b: resident match service latency vs concurrent clients\n");
+  std::printf("paper: matching as a continuous enterprise service (SS5)\n");
+  std::printf("================================================================\n");
+  std::printf("server: %zu resident schemata, 4 workers, queue depth 256\n\n",
+              s.state->repo().schema_count());
+
+  std::printf("warm by-name match (resident engine, 1:1 selection):\n");
+  std::printf("%8s %9s %10s %10s %10s %12s\n", "clients", "requests",
+              "p50(us)", "p99(us)", "max(us)", "rps");
+  for (size_t clients : {1, 2, 4, 8, 16}) {
+    LatencyRow row = MeasureConcurrent(
+        clients, 40, [&](service::Client& client) {
+          return client.Match(ByNameRequest(s)).ok();
+        });
+    std::printf("%8zu %9zu %10.0f %10.0f %10.0f %12.0f\n", row.clients,
+                row.requests, row.p50_us, row.p99_us, row.max_us,
+                row.throughput_rps);
+  }
+
+  std::printf("\nping (framing + queue + scheduling floor):\n");
+  std::printf("%8s %9s %10s %10s %10s %12s\n", "clients", "requests",
+              "p50(us)", "p99(us)", "max(us)", "rps");
+  for (size_t clients : {1, 8}) {
+    LatencyRow row = MeasureConcurrent(
+        clients, 200,
+        [](service::Client& client) { return client.Ping().ok(); });
+    std::printf("%8zu %9zu %10.0f %10.0f %10.0f %12.0f\n", row.clients,
+                row.requests, row.p50_us, row.p99_us, row.max_us,
+                row.throughput_rps);
+  }
+  std::printf("\n");
+}
+
+void BM_ServedPing(benchmark::State& state) {
+  const Study& s = GetStudy();
+  auto client = service::Client::Connect("127.0.0.1", s.server->port());
+  HARMONY_CHECK(client.ok());
+  for (auto _ : state) {
+    auto reply = client->Ping();
+    benchmark::DoNotOptimize(reply.ok());
+  }
+}
+BENCHMARK(BM_ServedPing)->Unit(benchmark::kMicrosecond);
+
+void BM_ServedMatchByName(benchmark::State& state) {
+  const Study& s = GetStudy();
+  auto client = service::Client::Connect("127.0.0.1", s.server->port());
+  HARMONY_CHECK(client.ok());
+  service::MatchRequest request = ByNameRequest(s);
+  for (auto _ : state) {
+    auto reply = client->Match(request);
+    benchmark::DoNotOptimize(reply.ok());
+  }
+}
+BENCHMARK(BM_ServedMatchByName)->Unit(benchmark::kMillisecond);
+
+void BM_ServedSearch(benchmark::State& state) {
+  const Study& s = GetStudy();
+  auto client = service::Client::Connect("127.0.0.1", s.server->port());
+  HARMONY_CHECK(client.ok());
+  const auto& schema = s.state->repo().schema(0);
+  auto leaves = schema.LeafIds();
+  service::SearchRequest request{schema.element(leaves[0]).name, 10, false};
+  for (auto _ : state) {
+    auto reply = client->Search(request);
+    benchmark::DoNotOptimize(reply.ok());
+  }
+}
+BENCHMARK(BM_ServedSearch)->Unit(benchmark::kMicrosecond);
+
+// Concurrent serving throughput: google-benchmark's own thread fan-out, one
+// connection per bench thread, all hammering warm matches. Thread counts
+// stay at or below the server's 4 session workers: a session holds its
+// worker for the connection's lifetime, and google-benchmark barriers all
+// bench threads at iteration boundaries — more bench threads than workers
+// would deadlock the barrier against the admission queue. (The report above
+// covers the oversubscribed regime, where queued *connections* are fine.)
+void BM_ServedMatchConcurrent(benchmark::State& state) {
+  const Study& s = GetStudy();
+  auto client = service::Client::Connect("127.0.0.1", s.server->port());
+  HARMONY_CHECK(client.ok());
+  service::MatchRequest request = ByNameRequest(s);
+  for (auto _ : state) {
+    auto reply = client->Match(request);
+    benchmark::DoNotOptimize(reply.ok());
+  }
+}
+BENCHMARK(BM_ServedMatchConcurrent)
+    ->Threads(2)
+    ->Threads(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  delete g_study;  // drain the server before static teardown
+  g_study = nullptr;
+  return 0;
+}

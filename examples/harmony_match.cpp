@@ -9,6 +9,19 @@
 //   harmony_match export <schema> (--ddl | --xsd)
 //   harmony_match vocab <schema> <schema>... [--threshold=0.35] [--threads=N]
 //                 [--serial-merge] [--csv] [--stats] [--trace=out.json]
+//   harmony_match serve [--port=N] [--repo=DIR] [--threads=N]
+//                 [--queue-depth=N] [--stats] [--stats-interval=MS]
+//   harmony_match query [--host=ADDR] [--port=N] <action> ...
+//     actions: ping | match <src> <tgt> [--by-name] [--threshold=]
+//              [--one-to-one] [--refined] [--csv]
+//              | search <keywords...> [--k=N] [--fragments]
+//              | vocab [term] [--k=N] | stats | shutdown | badframe
+//
+// serve runs the resident harmonyd daemon in-process (same code path as the
+// harmonyd binary); query is the matching client. A served `query match
+// --csv` is byte-identical to a local `match --csv` of the same files: the
+// daemon sniffs schema text with the same detector and ships scores as
+// IEEE-754 bits.
 //
 // vocab builds the comprehensive N-way vocabulary: every unordered schema
 // pair is matched, finished pairs stream into the sharded union-find merge
@@ -60,20 +73,18 @@ Result<std::string> ReadFile(const std::string& path) {
   return ss.str();
 }
 
-// Format auto-detection by content.
+// Derive the schema name from the file name.
+std::string SchemaNameFromPath(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return (slash == std::string::npos) ? path : path.substr(slash + 1);
+}
+
+// Format auto-detection by content — service::ParseSchemaAuto is the single
+// sniffing implementation, shared with the daemon so a schema shipped to
+// harmonyd as text parses to the same tree this CLI builds locally.
 Result<schema::Schema> LoadSchema(const std::string& path) {
   HARMONY_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
-  std::string head = Trim(text.substr(0, 256));
-  if (StartsWith(head, "HSC1,")) return schema::DeserializeSchema(text);
-  if (StartsWith(head, "<")) {
-    // Derive the schema name from the file name.
-    size_t slash = path.find_last_of('/');
-    std::string name = (slash == std::string::npos) ? path : path.substr(slash + 1);
-    return xml::ImportXsd(text, name);
-  }
-  size_t slash = path.find_last_of('/');
-  std::string name = (slash == std::string::npos) ? path : path.substr(slash + 1);
-  return sql::ImportDdl(text, name);
+  return service::ParseSchemaAuto(text, SchemaNameFromPath(path));
 }
 
 bool FlagSet(const std::vector<std::string>& args, const char* flag) {
@@ -89,6 +100,18 @@ std::string FlagValue(const std::vector<std::string>& args, const char* prefix,
     if (StartsWith(a, prefix)) return a.substr(std::strlen(prefix));
   }
   return fallback;
+}
+
+// One CSV renderer for both the local match path and served results, so the
+// service-smoke gate can diff the two outputs byte for byte.
+std::string LinksCsv(const std::vector<service::MatchLink>& links) {
+  CsvWriter w;
+  w.AppendRow({"source_path", "target_path", "score"});
+  for (const auto& link : links) {
+    w.AppendRow({link.source_path, link.target_path,
+                 StringFormat("%.4f", link.score)});
+  }
+  return w.ToString();
 }
 
 // Shared by match and demo: owns the run's observability scope — a child
@@ -227,15 +250,23 @@ int RunMatch(const std::vector<std::string>& args) {
   workspace.ImportCandidates(links);
 
   if (FlagSet(args, "--csv")) {
-    CsvWriter w;
-    w.AppendRow({"source_path", "target_path", "score"});
+    std::vector<service::MatchLink> rows;
+    rows.reserve(links.size());
     for (const auto& link : links) {
-      w.AppendRow({source->Path(link.source), target->Path(link.target),
-                   StringFormat("%.4f", link.score)});
+      rows.push_back({source->Path(link.source), target->Path(link.target),
+                      link.score});
     }
-    std::fputs(w.ToString().c_str(), stdout);
+    std::fputs(LinksCsv(rows).c_str(), stdout);
   } else {
     std::fputs(workflow::RenderMatchView(workspace).c_str(), stdout);
+  }
+
+  // The engine report is printed before any remaining fallible step, so an
+  // error exit below still ships a complete --stats picture; the child
+  // registry itself is flushed to the root by ObsSession's destructor on
+  // *every* return path (RAII — audited: no exit() calls bypass it).
+  if (obs_session.stats()) {
+    std::fputs(core::RenderStatsText(engine.StatsReport()).c_str(), stderr);
   }
 
   std::string ws_path = FlagValue(args, "--save-workspace=", "");
@@ -246,9 +277,6 @@ int RunMatch(const std::vector<std::string>& args) {
       return 1;
     }
     std::fprintf(stderr, "workspace saved to %s\n", ws_path.c_str());
-  }
-  if (obs_session.stats()) {
-    std::fputs(core::RenderStatsText(engine.StatsReport()).c_str(), stderr);
   }
   return 0;
 }
@@ -377,6 +405,206 @@ int RunVocab(const std::vector<std::string>& args) {
   return 0;
 }
 
+int RunServe(const std::vector<std::string>& args) {
+  service::ServeOptions options;
+  options.server.host = FlagValue(args, "--host=", "127.0.0.1");
+  options.server.port = static_cast<uint16_t>(
+      std::atoi(FlagValue(args, "--port=", "0").c_str()));
+  options.server.num_workers = static_cast<size_t>(
+      std::atoi(FlagValue(args, "--threads=", "0").c_str()));
+  options.server.queue_depth = static_cast<size_t>(
+      std::atoi(FlagValue(args, "--queue-depth=", "64").c_str()));
+  options.state.vocab_threshold =
+      std::atof(FlagValue(args, "--threshold=", "0.35").c_str());
+  options.repo_dir = FlagValue(args, "--repo=", "");
+  options.synth_schemas = static_cast<size_t>(
+      std::atoi(FlagValue(args, "--synth-schemas=", "4").c_str()));
+  options.stats = FlagSet(args, "--stats");
+  options.stats_interval_ms =
+      std::atol(FlagValue(args, "--stats-interval=", "0").c_str());
+  return service::ServeMain(options);
+}
+
+// Sends a deliberately hostile length prefix and expects the daemon to
+// answer with a framed error instead of allocating or dying — the CLI face
+// of the protocol robustness tests, used by the CI smoke session.
+int RunBadFrame(service::Client& client) {
+  service::WireWriter w;
+  w.PutU32(0xFFFFFFFFu);  // body "length": ~4 GiB
+  w.PutU8(0x02);
+  Status sent = client.SendRaw(w.bytes());
+  if (!sent.ok()) {
+    std::fprintf(stderr, "badframe send: %s\n", sent.ToString().c_str());
+    return 1;
+  }
+  auto reply = client.ReadReply();
+  if (!reply.ok()) {
+    std::fprintf(stderr, "badframe: no reply: %s\n",
+                 reply.status().ToString().c_str());
+    return 1;
+  }
+  if (static_cast<service::ResponseTag>(reply->tag) !=
+      service::ResponseTag::kError) {
+    std::fprintf(stderr, "badframe: unexpected reply tag 0x%02x\n",
+                 reply->tag);
+    return 1;
+  }
+  std::printf("badframe rejected: %s\n",
+              service::DecodeErrorPayload(reply->payload).ToString().c_str());
+  return 0;
+}
+
+int RunQuery(const std::vector<std::string>& args) {
+  std::vector<std::string> words;
+  for (const auto& a : args) {
+    if (!StartsWith(a, "--")) words.push_back(a);
+  }
+  if (words.empty()) {
+    std::fprintf(stderr,
+                 "usage: harmony_match query [--host=ADDR] [--port=N] "
+                 "(ping | match <src> <tgt> | search <kw...> | vocab [term] "
+                 "| stats | shutdown | badframe)\n");
+    return 2;
+  }
+  std::string host = FlagValue(args, "--host=", "127.0.0.1");
+  uint16_t port = static_cast<uint16_t>(
+      std::atoi(FlagValue(args, "--port=", "7411").c_str()));
+  auto client = service::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  const std::string& action = words[0];
+
+  if (action == "ping") {
+    auto reply = client->Ping();
+    if (!reply.ok()) {
+      std::fprintf(stderr, "ping: %s\n", reply.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", reply->c_str());
+    return 0;
+  }
+  if (action == "badframe") return RunBadFrame(*client);
+  if (action == "match") {
+    if (words.size() < 3) {
+      std::fprintf(stderr,
+                   "usage: harmony_match query match <source> <target> "
+                   "[--by-name] [--threshold=0.35] [--one-to-one] "
+                   "[--refined] [--csv]\n");
+      return 2;
+    }
+    service::MatchRequest request;
+    request.threshold =
+        std::atof(FlagValue(args, "--threshold=", "0.35").c_str());
+    request.one_to_one = FlagSet(args, "--one-to-one");
+    request.refined = FlagSet(args, "--refined");
+    request.by_name = FlagSet(args, "--by-name");
+    if (request.by_name) {
+      request.source_name = words[1];
+      request.target_name = words[2];
+    } else {
+      auto source = ReadFile(words[1]);
+      if (!source.ok()) {
+        std::fprintf(stderr, "source: %s\n",
+                     source.status().ToString().c_str());
+        return 1;
+      }
+      auto target = ReadFile(words[2]);
+      if (!target.ok()) {
+        std::fprintf(stderr, "target: %s\n",
+                     target.status().ToString().c_str());
+        return 1;
+      }
+      request.source_name = SchemaNameFromPath(words[1]);
+      request.source_text = *std::move(source);
+      request.target_name = SchemaNameFromPath(words[2]);
+      request.target_text = *std::move(target);
+    }
+    auto response = client->Match(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "match: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    if (FlagSet(args, "--csv")) {
+      std::fputs(LinksCsv(response->links).c_str(), stdout);
+    } else {
+      for (const auto& link : response->links) {
+        std::printf("%-40s %-40s %.4f\n", link.source_path.c_str(),
+                    link.target_path.c_str(), link.score);
+      }
+      std::printf("%zu links\n", response->links.size());
+    }
+    return 0;
+  }
+  if (action == "search") {
+    service::SearchRequest request;
+    for (size_t i = 1; i < words.size(); ++i) {
+      if (!request.query.empty()) request.query += ' ';
+      request.query += words[i];
+    }
+    if (request.query.empty()) {
+      std::fprintf(stderr, "usage: harmony_match query search <keywords...>\n");
+      return 2;
+    }
+    request.k = static_cast<uint32_t>(
+        std::atoi(FlagValue(args, "--k=", "10").c_str()));
+    request.fragments = FlagSet(args, "--fragments");
+    auto response = client->Search(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "search: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& hit : response->hits) {
+      if (hit.element_path.empty()) {
+        std::printf("%-32s %.4f\n", hit.schema_name.c_str(), hit.score);
+      } else {
+        std::printf("%-32s %-40s %.4f\n", hit.schema_name.c_str(),
+                    hit.element_path.c_str(), hit.score);
+      }
+    }
+    std::printf("%zu hits\n", response->hits.size());
+    return 0;
+  }
+  if (action == "vocab") {
+    service::VocabRequest request;
+    if (words.size() > 1) request.term = words[1];
+    request.k = static_cast<uint32_t>(
+        std::atoi(FlagValue(args, "--k=", "8").c_str()));
+    auto reply = client->Vocab(request);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "vocab: %s\n", reply.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(reply->c_str(), stdout);
+    return 0;
+  }
+  if (action == "stats") {
+    auto reply = client->Stats();
+    if (!reply.ok()) {
+      std::fprintf(stderr, "stats: %s\n", reply.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(reply->c_str(), stdout);
+    return 0;
+  }
+  if (action == "shutdown") {
+    auto reply = client->Shutdown();
+    if (!reply.ok()) {
+      std::fprintf(stderr, "shutdown: %s\n",
+                   reply.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", reply->c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown query action '%s'\n", action.c_str());
+  return 2;
+}
+
 int RunDemo(const std::vector<std::string>& args) {
   std::printf("harmony_match demo: matching two built-in sample schemata\n\n");
   ObsSession obs_session(
@@ -419,8 +647,11 @@ int main(int argc, char** argv) {
   if (command == "profile") return RunProfile(args);
   if (command == "export") return RunExport(args);
   if (command == "vocab") return RunVocab(args);
+  if (command == "serve") return RunServe(args);
+  if (command == "query") return RunQuery(args);
   std::fprintf(stderr,
-               "unknown command '%s' (expected match | profile | export | vocab)\n",
+               "unknown command '%s' (expected match | profile | export | "
+               "vocab | serve | query)\n",
                command.c_str());
   return 2;
 }

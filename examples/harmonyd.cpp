@@ -1,0 +1,69 @@
+// harmonyd — the resident schema-match daemon. Loads the metadata
+// repository once, keeps the preprocessed engine arenas, search index, and
+// N-way vocabulary warm, and serves match / schema-search / vocabulary
+// queries over a length-prefixed binary protocol on a loopback TCP port.
+//
+//   harmonyd [--port=N] [--host=ADDR] [--repo=DIR] [--threads=N]
+//            [--queue-depth=N] [--threshold=0.35] [--synth-schemas=N]
+//            [--stats] [--stats-interval=MS]
+//
+// With --repo, serves a repository previously written by
+// MetadataRepository::SaveTo; without it, a built-in synthetic community
+// (demo and CI-smoke mode). --port=0 binds an ephemeral port; the actual
+// port is printed on the startup line:
+//
+//   harmonyd: serving 4 schemata on 127.0.0.1:46817 (workers=2 queue=64)
+//
+// SIGTERM/SIGINT drain gracefully: admitted connections are served to their
+// last in-flight request, then the process exits 0. Talk to it with
+// `harmony_match query` or the service::Client library.
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "service/daemon.h"
+
+namespace {
+
+using namespace harmony;
+
+std::string FlagValue(const std::vector<std::string>& args, const char* prefix,
+                      const std::string& fallback) {
+  for (const auto& a : args) {
+    if (StartsWith(a, prefix)) return a.substr(std::strlen(prefix));
+  }
+  return fallback;
+}
+
+bool FlagSet(const std::vector<std::string>& args, const char* flag) {
+  for (const auto& a : args) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  service::ServeOptions options;
+  options.server.host = FlagValue(args, "--host=", "127.0.0.1");
+  options.server.port =
+      static_cast<uint16_t>(std::atoi(FlagValue(args, "--port=", "0").c_str()));
+  options.server.num_workers = static_cast<size_t>(
+      std::atoi(FlagValue(args, "--threads=", "0").c_str()));
+  options.server.queue_depth = static_cast<size_t>(
+      std::atoi(FlagValue(args, "--queue-depth=", "64").c_str()));
+  options.state.vocab_threshold =
+      std::atof(FlagValue(args, "--threshold=", "0.35").c_str());
+  options.repo_dir = FlagValue(args, "--repo=", "");
+  options.synth_schemas = static_cast<size_t>(
+      std::atoi(FlagValue(args, "--synth-schemas=", "4").c_str()));
+  options.stats = FlagSet(args, "--stats");
+  options.stats_interval_ms =
+      std::atol(FlagValue(args, "--stats-interval=", "0").c_str());
+  return service::ServeMain(options);
+}

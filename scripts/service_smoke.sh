@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the resident match service: boots a real harmonyd on
+# an ephemeral loopback port, drives a scripted session through every
+# request family (ping, match, search, vocab, stats) plus a deliberately
+# malformed frame, asserts the served match output is byte-identical to the
+# batch CLI on the same inputs, then sends SIGTERM and requires a graceful
+# drain with exit code 0.
+#
+# Usage: scripts/service_smoke.sh <build-dir>
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: service_smoke.sh <build-dir>}
+HARMONYD="$BUILD_DIR/examples/harmonyd"
+CLI="$BUILD_DIR/examples/harmony_match"
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "service_smoke: FAIL: $*" >&2; exit 1; }
+
+[ -x "$HARMONYD" ] || fail "missing binary $HARMONYD"
+[ -x "$CLI" ] || fail "missing binary $CLI"
+
+# Two small schemata with real overlap for the served-vs-batch diff.
+cat > "$WORK/a.sql" <<'EOF'
+CREATE TABLE customer (
+  customer_id INT PRIMARY KEY,
+  full_name VARCHAR(80),
+  email_addr VARCHAR(120),
+  phone_num VARCHAR(32)
+);
+CREATE TABLE cust_order (
+  order_id INT PRIMARY KEY,
+  customer_id INT,
+  order_date DATE,
+  total_amount DECIMAL(10,2)
+);
+EOF
+cat > "$WORK/b.sql" <<'EOF'
+CREATE TABLE client (
+  client_id INT PRIMARY KEY,
+  name VARCHAR(80),
+  email VARCHAR(120)
+);
+CREATE TABLE purchase (
+  purchase_id INT PRIMARY KEY,
+  client_id INT,
+  purchase_date DATE,
+  amount DECIMAL(10,2)
+);
+EOF
+
+# --- Boot ------------------------------------------------------------------
+"$HARMONYD" --port=0 --threads=2 > "$WORK/stdout" 2> "$WORK/stderr" &
+DAEMON_PID=$!
+
+# The startup line carries the ephemeral port:
+#   harmonyd: serving 4 schemata on 127.0.0.1:46817 (workers=2 queue=64)
+PORT=""
+for _ in $(seq 1 100); do
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+    cat "$WORK/stderr" >&2
+    fail "daemon died during startup"
+  fi
+  PORT=$(sed -n 's/.* on 127\.0\.0\.1:\([0-9]*\) .*/\1/p' "$WORK/stdout")
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "no startup line with a port within 10s"
+echo "service_smoke: daemon up on port $PORT (pid $DAEMON_PID)"
+
+QUERY=("$CLI" query "--port=$PORT")
+
+# --- Scripted session ------------------------------------------------------
+[ "$("${QUERY[@]}" ping)" = "pong" ] || fail "ping did not return pong"
+
+"${QUERY[@]}" search identifier name > "$WORK/search.out" \
+  || fail "search query failed"
+grep -q "hits" "$WORK/search.out" || fail "search returned no hit summary"
+
+"${QUERY[@]}" vocab > "$WORK/vocab.out" || fail "vocab query failed"
+grep -q "comprehensive vocabulary" "$WORK/vocab.out" \
+  || fail "vocab summary missing"
+
+# Served match must be byte-identical to the batch CLI on the same inputs.
+"$CLI" match "$WORK/a.sql" "$WORK/b.sql" --csv --threshold=0.05 \
+  > "$WORK/batch.csv" || fail "batch match failed"
+"${QUERY[@]}" match "$WORK/a.sql" "$WORK/b.sql" --csv --threshold=0.05 \
+  > "$WORK/served.csv" || fail "served match failed"
+cmp "$WORK/batch.csv" "$WORK/served.csv" \
+  || fail "served CSV differs from batch CSV"
+[ "$(wc -l < "$WORK/batch.csv")" -gt 1 ] || fail "match produced no links"
+echo "service_smoke: served match byte-identical to batch ($(($(wc -l < "$WORK/batch.csv") - 1)) links)"
+
+# A hostile length prefix must be answered with a framed error, not a crash.
+"${QUERY[@]}" badframe > "$WORK/badframe.out" || fail "badframe probe failed"
+grep -q "frame too large" "$WORK/badframe.out" \
+  || fail "oversized frame not rejected with the expected error"
+
+kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during the session"
+
+# --- Graceful drain --------------------------------------------------------
+kill -TERM "$DAEMON_PID"
+EXIT_CODE=0
+wait "$DAEMON_PID" || EXIT_CODE=$?
+[ "$EXIT_CODE" -eq 0 ] || { cat "$WORK/stderr" >&2; fail "daemon exited $EXIT_CODE after SIGTERM (want 0)"; }
+grep -q "harmonyd: drained" "$WORK/stderr" || fail "no drain summary on stderr"
+grep -q "protocol_errors=1" "$WORK/stderr" \
+  || fail "drain summary did not count the malformed frame"
+
+echo "service_smoke: PASS"

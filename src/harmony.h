@@ -65,6 +65,11 @@
 #include "repository/match_reuse.h"
 #include "repository/metadata_repository.h"
 #include "search/schema_search.h"
+#include "service/client.h"
+#include "service/daemon.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/state.h"
 #include "summarize/auto_summarizer.h"
 #include "summarize/concept_lift.h"
 #include "summarize/summary.h"

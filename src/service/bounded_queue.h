@@ -1,0 +1,100 @@
+// BoundedQueue<T>: the mutex+condvar MPMC queue between harmonyd's accept
+// loop and its worker pool. The bound *is* the admission-control policy: a
+// TryPush that fails means the server is saturated and the caller replies
+// kRejected immediately instead of letting latency pile up invisibly — the
+// fail-fast half of the producer/consumer idiom the resident engine loop
+// uses (producers enqueue, pinned workers drain).
+//
+// Deliberately small and reusable: the retrieve-then-rank pipeline will need
+// exactly this shape between its stages.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace harmony::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` must be positive — a zero-capacity queue admits nothing.
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    HARMONY_CHECK_GT(capacity, 0u) << "BoundedQueue needs a positive bound";
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking enqueue. False when the queue is at capacity or closed —
+  /// the admission-control signal.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue. Empty optional once the queue is closed *and*
+  /// drained — consumers process everything admitted before close, which is
+  /// what makes SIGTERM a drain instead of a drop.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stops admission; queued items remain poppable. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Closes and returns everything still queued (for a caller that must
+  /// dispose of unserved items itself, e.g. closing queued connections on a
+  /// hard stop).
+  std::deque<T> CloseAndDrain() {
+    std::deque<T> rest;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      rest.swap(items_);
+    }
+    cv_.notify_all();
+    return rest;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace harmony::service

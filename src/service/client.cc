@@ -1,0 +1,136 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace harmony::service {
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::IOError(StringFormat("connect %s:%u: %s", host.c_str(),
+                                             port, std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::IOError("client not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("write: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Frame> Client::ReadReply() {
+  if (fd_ < 0) return Status::IOError("client not connected");
+  return ReadFrame(fd_);
+}
+
+Result<Frame> Client::RoundTrip(uint8_t tag, std::string_view payload) {
+  if (fd_ < 0) return Status::IOError("client not connected");
+  HARMONY_RETURN_NOT_OK(WriteFrame(fd_, tag, payload));
+  return ReadFrame(fd_);
+}
+
+namespace {
+
+/// Unwraps a reply frame: kOk passes its payload through, kError becomes
+/// the carried Status, kRejected becomes the admission-control error every
+/// caller should treat as retryable.
+Result<std::string> ExpectOk(Result<Frame> reply) {
+  if (!reply.ok()) return reply.status();
+  switch (static_cast<ResponseTag>(reply->tag)) {
+    case ResponseTag::kOk:
+      return std::move(reply->payload);
+    case ResponseTag::kError:
+      return DecodeErrorPayload(reply->payload);
+    case ResponseTag::kRejected:
+      return Status::Internal(
+          "rejected: server at capacity (admission control), retry later");
+  }
+  return Status::ParseError("unknown response tag from server");
+}
+
+}  // namespace
+
+Result<std::string> Client::Ping() {
+  return ExpectOk(RoundTrip(static_cast<uint8_t>(RequestTag::kPing), ""));
+}
+
+Result<MatchResponse> Client::Match(const MatchRequest& request) {
+  HARMONY_ASSIGN_OR_RETURN(
+      std::string payload,
+      ExpectOk(RoundTrip(static_cast<uint8_t>(RequestTag::kMatch),
+                         EncodeMatchRequest(request))));
+  return DecodeMatchResponse(payload);
+}
+
+Result<SearchResponse> Client::Search(const SearchRequest& request) {
+  HARMONY_ASSIGN_OR_RETURN(
+      std::string payload,
+      ExpectOk(RoundTrip(static_cast<uint8_t>(RequestTag::kSearch),
+                         EncodeSearchRequest(request))));
+  return DecodeSearchResponse(payload);
+}
+
+Result<std::string> Client::Vocab(const VocabRequest& request) {
+  return ExpectOk(RoundTrip(static_cast<uint8_t>(RequestTag::kVocab),
+                            EncodeVocabRequest(request)));
+}
+
+Result<std::string> Client::Stats() {
+  return ExpectOk(RoundTrip(static_cast<uint8_t>(RequestTag::kStats), ""));
+}
+
+Result<std::string> Client::Shutdown() {
+  return ExpectOk(RoundTrip(static_cast<uint8_t>(RequestTag::kShutdown), ""));
+}
+
+}  // namespace harmony::service

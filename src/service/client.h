@@ -1,0 +1,70 @@
+// service::Client — the small blocking client for harmonyd. One instance
+// owns one connection; requests on it are strictly sequential
+// (send frame, read reply), which is all the CLI subcommands and the tests
+// need. Concurrency comes from many clients, not a multiplexed one.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "service/protocol.h"
+
+namespace harmony::service {
+
+class Client {
+ public:
+  /// Connects to a running daemon.
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Liveness probe; returns the server's reply text ("pong").
+  Result<std::string> Ping();
+
+  /// One match round trip. Scores come back as the engine's exact doubles
+  /// (IEEE bits over the wire), so rendering them client-side reproduces
+  /// the batch CLI byte for byte.
+  Result<MatchResponse> Match(const MatchRequest& request);
+
+  /// Keyword (or fragment) search over the daemon's resident index.
+  Result<SearchResponse> Search(const SearchRequest& request);
+
+  /// Vocabulary summary / term lookup; returns rendered text.
+  Result<std::string> Vocab(const VocabRequest& request);
+
+  /// Server metrics snapshot as text.
+  Result<std::string> Stats();
+
+  /// Asks the daemon to drain. The reply ("draining") arrives before the
+  /// daemon starts refusing new connections.
+  Result<std::string> Shutdown();
+
+  /// Sends one framed request and reads the reply — the building block the
+  /// typed calls use; exposed for tests that need odd tags.
+  Result<Frame> RoundTrip(uint8_t tag, std::string_view payload);
+
+  /// Writes raw bytes with no framing at all — for the malformed-frame
+  /// tests and the CLI's `query badframe` probe.
+  Status SendRaw(std::string_view bytes);
+
+  /// Reads one reply frame (after SendRaw).
+  Result<Frame> ReadReply();
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace harmony::service

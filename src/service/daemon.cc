@@ -1,0 +1,176 @@
+#include "service/daemon.h"
+
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "synth/generator.h"
+
+namespace harmony::service {
+
+namespace {
+
+// The one server the signal handlers may poke. Written before handlers are
+// installed, cleared after Wait() returns.
+std::atomic<Server*> g_signal_server{nullptr};
+
+void DrainSignalHandler(int /*signo*/) {
+  // Async-signal-safe: RequestDrain is an atomic store + one write().
+  Server* server = g_signal_server.load(std::memory_order_relaxed);
+  if (server != nullptr) server->RequestDrain();
+}
+
+Result<repository::MetadataRepository> BuildRepository(
+    const ServeOptions& options) {
+  if (!options.repo_dir.empty()) {
+    return repository::MetadataRepository::LoadFrom(options.repo_dir);
+  }
+  // Demo / smoke mode: a small synthetic community with real cross-schema
+  // overlap, so match, search, and vocab queries all return substance.
+  synth::NWaySpec spec;
+  spec.seed = options.synth_seed;
+  spec.schema_count = options.synth_schemas;
+  spec.universe_concepts = 14;
+  spec.concepts_per_schema = 9;
+  auto generated = synth::GenerateNWay(spec);
+  repository::MetadataRepository repo;
+  for (auto& schema : generated.schemas) {
+    HARMONY_ASSIGN_OR_RETURN(repository::SchemaId id,
+                             repo.RegisterSchema(std::move(schema)));
+    (void)id;
+  }
+  return repo;
+}
+
+// Periodic "stats-delta {json}" emitter over the daemon's registry scope —
+// the same delta-export loop the batch CLI runs, now fed continuously by
+// request registries flushing into this scope.
+class DeltaExporter {
+ public:
+  DeltaExporter(obs::MetricsRegistry& registry, long interval_ms)
+      : registry_(registry) {
+    if (interval_ms > 0) {
+      thread_ = std::thread([this, interval_ms] { Loop(interval_ms); });
+    }
+  }
+
+  ~DeltaExporter() {
+    if (thread_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+      }
+      cv_.notify_all();
+      thread_.join();
+      Emit();  // tail delta since the last periodic emission
+    }
+  }
+
+ private:
+  void Loop(long interval_ms) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                       [this] { return stop_; })) {
+        return;
+      }
+      lock.unlock();
+      Emit();
+      lock.lock();
+    }
+  }
+
+  void Emit() {
+    obs::MetricsSnapshot current = registry_.Snapshot();
+    obs::MetricsSnapshot delta = current.DeltaFrom(baseline_);
+    baseline_ = std::move(current);
+    std::fprintf(stderr, "stats-delta %s\n", delta.ToJson().c_str());
+  }
+
+  obs::MetricsRegistry& registry_;
+  obs::MetricsSnapshot baseline_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+int ServeMain(const ServeOptions& options) {
+  auto repo = BuildRepository(options);
+  if (!repo.ok()) {
+    std::fprintf(stderr, "harmonyd: repository: %s\n",
+                 repo.status().ToString().c_str());
+    return 1;
+  }
+
+  // The daemon's observability scope: a child of the process root, flushed
+  // at exit — the ObsSession pattern of the batch CLI, long-running.
+  core::EngineContext root;
+  obs::MetricsRegistry registry(root.metrics);
+  core::EngineContext context(&registry, root.tracer);
+
+  auto state = ServiceState::Build(std::move(*repo), options.state, context);
+  if (!state.ok()) {
+    std::fprintf(stderr, "harmonyd: state: %s\n",
+                 state.status().ToString().c_str());
+    return 1;
+  }
+
+  size_t schema_count = (*state)->repo().schema_count();
+  auto server = Server::Start(
+      std::shared_ptr<ServiceState>(std::move(*state)), options.server,
+      context);
+  if (!server.ok()) {
+    std::fprintf(stderr, "harmonyd: start: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "harmonyd: serving %zu schemata on %s:%u (workers=%zu queue=%zu)\n",
+      schema_count, (*server)->host().c_str(), (*server)->port(),
+      common::EffectiveThreadCount(options.server.num_workers),
+      options.server.queue_depth);
+  std::fflush(stdout);
+
+  g_signal_server.store(server->get(), std::memory_order_relaxed);
+  struct sigaction action {};
+  action.sa_handler = DrainSignalHandler;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  {
+    DeltaExporter exporter(registry, options.stats_interval_ms);
+    (*server)->Wait();
+  }
+  g_signal_server.store(nullptr, std::memory_order_relaxed);
+
+  Server::Counters counters = (*server)->CountersNow();
+  std::fprintf(stderr,
+               "harmonyd: drained (accepted=%llu requests=%llu rejected=%llu "
+               "protocol_errors=%llu)\n",
+               static_cast<unsigned long long>(counters.accepted),
+               static_cast<unsigned long long>(counters.served_requests),
+               static_cast<unsigned long long>(counters.rejected),
+               static_cast<unsigned long long>(counters.protocol_errors));
+  server->reset();  // join everything before tearing down the registry
+
+  if (options.stats) {
+    std::fputs("\n-- harmonyd metrics --\n", stderr);
+    std::fputs(registry.Snapshot().ToText().c_str(), stderr);
+  }
+  registry.FlushToParent();
+  return 0;
+}
+
+}  // namespace harmony::service

@@ -1,0 +1,44 @@
+// service::ServeMain — the harmonyd daemon body, shared verbatim by the
+// `harmonyd` example binary and `harmony_match serve` so the two entry
+// points cannot drift. Loads (or synthesizes) the repository, builds the
+// resident ServiceState, starts a Server, installs SIGTERM/SIGINT drain
+// handlers, optionally exports periodic stats deltas, and blocks until the
+// drain completes.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/server.h"
+#include "service/state.h"
+
+namespace harmony::service {
+
+struct ServeOptions {
+  ServerOptions server;
+  StateOptions state;
+  /// Directory previously written by MetadataRepository::SaveTo. Empty =
+  /// serve a built-in synthetic community (demo / CI smoke mode).
+  std::string repo_dir;
+  /// Synthetic community shape when repo_dir is empty.
+  size_t synth_schemas = 4;
+  uint64_t synth_seed = 11;
+  /// Print the run's metrics registry to stderr at exit.
+  bool stats = false;
+  /// >0: emit one "stats-delta {json}" line to stderr every interval — the
+  /// same statsd/OTLP-style periodic export the batch CLI speaks, fed by the
+  /// per-request child registries flushing into the server scope.
+  long stats_interval_ms = 0;
+};
+
+/// Runs the daemon until drained. Returns a process exit code: 0 after a
+/// clean drain (client misbehaviour is *not* an error exit — a daemon that
+/// dies on bad input is the bug), 1 when startup fails.
+///
+/// On successful startup prints exactly one line to stdout:
+///   harmonyd: serving <N> schemata on <host>:<port> (workers=W queue=Q)
+/// Scripts (CI's service-smoke gate) parse the port out of this line.
+int ServeMain(const ServeOptions& options);
+
+}  // namespace harmony::service

@@ -1,0 +1,406 @@
+#include "service/protocol.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace harmony::service {
+
+bool IsKnownRequestTag(uint8_t tag) {
+  switch (static_cast<RequestTag>(tag)) {
+    case RequestTag::kPing:
+    case RequestTag::kMatch:
+    case RequestTag::kSearch:
+    case RequestTag::kVocab:
+    case RequestTag::kStats:
+    case RequestTag::kShutdown:
+      return true;
+  }
+  return false;
+}
+
+bool IsKnownResponseTag(uint8_t tag) {
+  switch (static_cast<ResponseTag>(tag)) {
+    case ResponseTag::kOk:
+    case ResponseTag::kError:
+    case ResponseTag::kRejected:
+      return true;
+  }
+  return false;
+}
+
+const char* RequestTagName(RequestTag tag) {
+  switch (tag) {
+    case RequestTag::kPing: return "ping";
+    case RequestTag::kMatch: return "match";
+    case RequestTag::kSearch: return "search";
+    case RequestTag::kVocab: return "vocab";
+    case RequestTag::kStats: return "stats";
+    case RequestTag::kShutdown: return "shutdown";
+  }
+  HARMONY_CHECK(false) << "malformed request tag "
+                       << static_cast<int>(tag);
+  return "";
+}
+
+const char* ResponseTagName(ResponseTag tag) {
+  switch (tag) {
+    case ResponseTag::kOk: return "ok";
+    case ResponseTag::kError: return "error";
+    case ResponseTag::kRejected: return "rejected";
+  }
+  HARMONY_CHECK(false) << "malformed response tag "
+                       << static_cast<int>(tag);
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// WireWriter / WireReader
+
+void WireWriter::PutU8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+
+void WireWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void WireWriter::PutF64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void WireWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  bytes_.append(s.data(), s.size());
+}
+
+bool WireReader::GetU8(uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = static_cast<uint8_t>(bytes_[pos_++]);
+  return true;
+}
+
+bool WireReader::GetU32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return true;
+}
+
+bool WireReader::GetU64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return true;
+}
+
+bool WireReader::GetF64(double* v) {
+  uint64_t bits;
+  if (!GetU64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+bool WireReader::GetString(std::string* s) {
+  uint32_t len;
+  if (!GetU32(&len)) return false;
+  if (remaining() < len) return false;
+  s->assign(bytes_.data() + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+
+namespace {
+
+constexpr uint8_t kMatchFlagOneToOne = 1u << 0;
+constexpr uint8_t kMatchFlagRefined = 1u << 1;
+constexpr uint8_t kMatchFlagByName = 1u << 2;
+
+Status Malformed(const char* what) {
+  return Status::ParseError(std::string("malformed ") + what + " payload");
+}
+
+}  // namespace
+
+std::string EncodeMatchRequest(const MatchRequest& req) {
+  WireWriter w;
+  uint8_t flags = 0;
+  if (req.one_to_one) flags |= kMatchFlagOneToOne;
+  if (req.refined) flags |= kMatchFlagRefined;
+  if (req.by_name) flags |= kMatchFlagByName;
+  w.PutU8(flags);
+  w.PutF64(req.threshold);
+  w.PutString(req.source_name);
+  w.PutString(req.source_text);
+  w.PutString(req.target_name);
+  w.PutString(req.target_text);
+  return w.Take();
+}
+
+Result<MatchRequest> DecodeMatchRequest(std::string_view payload) {
+  WireReader r(payload);
+  MatchRequest req;
+  uint8_t flags;
+  if (!r.GetU8(&flags) || !r.GetF64(&req.threshold) ||
+      !r.GetString(&req.source_name) || !r.GetString(&req.source_text) ||
+      !r.GetString(&req.target_name) || !r.GetString(&req.target_text) ||
+      !r.Done()) {
+    return Malformed("match request");
+  }
+  req.one_to_one = (flags & kMatchFlagOneToOne) != 0;
+  req.refined = (flags & kMatchFlagRefined) != 0;
+  req.by_name = (flags & kMatchFlagByName) != 0;
+  return req;
+}
+
+std::string EncodeMatchResponse(const MatchResponse& resp) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(resp.links.size()));
+  for (const auto& link : resp.links) {
+    w.PutString(link.source_path);
+    w.PutString(link.target_path);
+    w.PutF64(link.score);
+  }
+  return w.Take();
+}
+
+Result<MatchResponse> DecodeMatchResponse(std::string_view payload) {
+  WireReader r(payload);
+  uint32_t count;
+  if (!r.GetU32(&count)) return Malformed("match response");
+  MatchResponse resp;
+  // Sized by what the payload can actually hold, not by the count field, so
+  // a lying count cannot force a large allocation.
+  resp.links.reserve(std::min<size_t>(count, r.remaining() / 16));
+  for (uint32_t i = 0; i < count; ++i) {
+    MatchLink link;
+    if (!r.GetString(&link.source_path) || !r.GetString(&link.target_path) ||
+        !r.GetF64(&link.score)) {
+      return Malformed("match response");
+    }
+    resp.links.push_back(std::move(link));
+  }
+  if (!r.Done()) return Malformed("match response");
+  return resp;
+}
+
+std::string EncodeSearchRequest(const SearchRequest& req) {
+  WireWriter w;
+  w.PutU8(req.fragments ? 1 : 0);
+  w.PutU32(req.k);
+  w.PutString(req.query);
+  return w.Take();
+}
+
+Result<SearchRequest> DecodeSearchRequest(std::string_view payload) {
+  WireReader r(payload);
+  SearchRequest req;
+  uint8_t fragments;
+  if (!r.GetU8(&fragments) || !r.GetU32(&req.k) || !r.GetString(&req.query) ||
+      !r.Done()) {
+    return Malformed("search request");
+  }
+  req.fragments = fragments != 0;
+  return req;
+}
+
+std::string EncodeSearchResponse(const SearchResponse& resp) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(resp.hits.size()));
+  for (const auto& hit : resp.hits) {
+    w.PutString(hit.schema_name);
+    w.PutString(hit.element_path);
+    w.PutF64(hit.score);
+  }
+  return w.Take();
+}
+
+Result<SearchResponse> DecodeSearchResponse(std::string_view payload) {
+  WireReader r(payload);
+  uint32_t count;
+  if (!r.GetU32(&count)) return Malformed("search response");
+  SearchResponse resp;
+  resp.hits.reserve(std::min<size_t>(count, r.remaining() / 16));
+  for (uint32_t i = 0; i < count; ++i) {
+    SearchResponseHit hit;
+    if (!r.GetString(&hit.schema_name) || !r.GetString(&hit.element_path) ||
+        !r.GetF64(&hit.score)) {
+      return Malformed("search response");
+    }
+    resp.hits.push_back(std::move(hit));
+  }
+  if (!r.Done()) return Malformed("search response");
+  return resp;
+}
+
+std::string EncodeVocabRequest(const VocabRequest& req) {
+  WireWriter w;
+  w.PutU32(req.k);
+  w.PutString(req.term);
+  return w.Take();
+}
+
+Result<VocabRequest> DecodeVocabRequest(std::string_view payload) {
+  WireReader r(payload);
+  VocabRequest req;
+  if (!r.GetU32(&req.k) || !r.GetString(&req.term) || !r.Done()) {
+    return Malformed("vocab request");
+  }
+  return req;
+}
+
+std::string EncodeErrorPayload(const Status& status) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(status.code()));
+  w.PutString(status.message());
+  return w.Take();
+}
+
+Status DecodeErrorPayload(std::string_view payload) {
+  WireReader r(payload);
+  uint8_t code;
+  std::string message;
+  if (!r.GetU8(&code) || !r.GetString(&message) || !r.Done()) {
+    return Status::ParseError("malformed error payload");
+  }
+  if (code == 0 || code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::Internal("remote error with unknown code: " + message);
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+
+namespace {
+
+// Full write, riding out EINTR and short writes.
+Status WriteFull(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("write: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// Reads exactly `len` bytes. `*got` reports progress on failure so the
+// caller can tell "clean close before anything" from "truncated mid-read".
+Status ReadFull(int fd, char* data, size_t len, size_t* got) {
+  *got = 0;
+  while (*got < len) {
+    ssize_t n = ::read(fd, data + *got, len - *got);
+    if (n == 0) return Status::NotFound("peer closed");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("read: ") + std::strerror(errno));
+    }
+    *got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// Blocks until `fd` is readable or `cancel` flips. True = readable. Data
+// already pending wins over a cancel raised concurrently: a request the peer
+// finished sending before the drain still deserves its answer.
+bool WaitReadable(int fd, const std::atomic<bool>* cancel) {
+  for (;;) {
+    struct pollfd p = {fd, POLLIN, 0};
+    if (cancel != nullptr) {
+      int rc = ::poll(&p, 1, 0);
+      if (rc > 0) return true;
+      if (cancel->load(std::memory_order_relaxed)) return false;
+    }
+    int rc = ::poll(&p, 1, cancel == nullptr ? -1 : 50);
+    if (rc > 0) return true;
+    if (rc < 0 && errno != EINTR) return true;  // let read() surface the error
+  }
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, uint8_t tag, std::string_view payload) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(payload.size() + 1));
+  w.PutU8(tag);
+  // One buffered write per frame: a frame is never interleaved with another
+  // writer's bytes as long as callers serialize per connection (they do —
+  // one worker owns a connection at a time).
+  std::string frame = w.Take();
+  frame.append(payload.data(), payload.size());
+  return WriteFull(fd, frame.data(), frame.size());
+}
+
+Result<Frame> ReadFrame(int fd, size_t max_body,
+                        const std::atomic<bool>* cancel) {
+  if (!WaitReadable(fd, cancel)) {
+    return Status::NotFound("cancelled before next frame");
+  }
+  char prefix[4];
+  size_t got = 0;
+  Status st = ReadFull(fd, prefix, sizeof(prefix), &got);
+  if (!st.ok()) {
+    if (st.IsNotFound() && got == 0) return st;  // clean close
+    if (st.IsNotFound()) return Status::ParseError("truncated frame header");
+    return st;
+  }
+  WireReader r(std::string_view(prefix, sizeof(prefix)));
+  uint32_t body_len = 0;
+  r.GetU32(&body_len);
+  if (body_len == 0) {
+    return Status::ParseError("zero-length frame body (no tag)");
+  }
+  // The admission decision for hostile lengths happens *here*, from the four
+  // prefix bytes alone — no buffer of body_len bytes ever exists.
+  if (body_len > max_body) {
+    return Status::ParseError(StringFormat(
+        "frame too large: %u bytes exceeds limit %zu", body_len, max_body));
+  }
+  Frame frame;
+  st = ReadFull(fd, reinterpret_cast<char*>(&frame.tag), 1, &got);
+  if (!st.ok()) {
+    return st.IsNotFound() ? Status::ParseError("truncated frame (tag)") : st;
+  }
+  frame.payload.resize(body_len - 1);
+  if (!frame.payload.empty()) {
+    st = ReadFull(fd, frame.payload.data(), frame.payload.size(), &got);
+    if (!st.ok()) {
+      return st.IsNotFound() ? Status::ParseError("truncated frame (payload)")
+                             : st;
+    }
+  }
+  return frame;
+}
+
+}  // namespace harmony::service

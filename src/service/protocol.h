@@ -1,0 +1,212 @@
+// harmonyd wire protocol: length-prefixed binary frames over a stream
+// socket. The batch CLI answers one question per process; the paper's
+// enterprise setting is a *repository-scale, continuous* activity, so the
+// daemon keeps the repository warm and answers many small questions over a
+// long-lived connection. The framing here is deliberately minimal and
+// reusable — the retrieve-then-rank pipeline planned in ROADMAP.md will
+// speak the same frames.
+//
+// Frame layout (all integers little-endian):
+//
+//   uint32  body_length        length of tag + payload, 1 .. max_body
+//   uint8   tag                RequestTag or ResponseTag
+//   byte[]  payload            body_length - 1 bytes, tag-specific
+//
+// Robustness contract, enforced by ReadFrame and exercised by the framing
+// tests: a zero body_length (no room for a tag) and a body_length above the
+// caller's max are protocol errors rejected *before* any payload allocation;
+// a peer that disappears mid-frame yields a "truncated frame" parse error,
+// never a blocking read of garbage; a clean close at a frame boundary is
+// NotFound, the quiet end of a session. Decoders never trust lengths inside
+// the payload either — every read is bounds-checked against the bytes
+// actually received.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace harmony::service {
+
+/// Frames a client may send. Values are part of the wire contract.
+enum class RequestTag : uint8_t {
+  kPing = 0x01,      ///< Liveness probe; empty payload.
+  kMatch = 0x02,     ///< MatchRequest → MatchResponse.
+  kSearch = 0x03,    ///< SearchRequest → SearchResponse.
+  kVocab = 0x04,     ///< VocabRequest → text report.
+  kStats = 0x05,     ///< Server metrics snapshot → text report.
+  kShutdown = 0x06,  ///< Ask the daemon to drain; empty payload.
+};
+
+/// Frames the server replies with.
+enum class ResponseTag : uint8_t {
+  kOk = 0x81,        ///< Request-specific payload follows.
+  kError = 0x82,     ///< uint8 StatusCode + message string.
+  kRejected = 0x83,  ///< Admission control: queue full, retry later.
+};
+
+/// True iff `tag` is a RequestTag a conforming client can send. The server
+/// answers unknown tags with a kError reply — wire garbage is bad input,
+/// never a crash.
+bool IsKnownRequestTag(uint8_t tag);
+bool IsKnownResponseTag(uint8_t tag);
+
+/// Human-readable tag names for logs and traces. Passing a tag that is not
+/// a member of the enum is a programmer error (the wire-facing path must
+/// filter through IsKnownRequestTag first) and fails a HARMONY_CHECK.
+const char* RequestTagName(RequestTag tag);
+const char* ResponseTagName(ResponseTag tag);
+
+/// Default ceiling on body_length. Schemata are text; the paper's largest
+/// (1378 elements) serializes well under 1 MiB, so 8 MiB leaves an order of
+/// magnitude of headroom while keeping a hostile length prefix from
+/// committing the server to a giant allocation.
+inline constexpr size_t kDefaultMaxBody = 8 * 1024 * 1024;
+
+/// \brief One decoded frame.
+struct Frame {
+  uint8_t tag = 0;
+  std::string payload;
+};
+
+// ---------------------------------------------------------------------------
+// Payload encoding primitives.
+
+/// \brief Append-only encoder for frame payloads.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Doubles travel as their IEEE-754 bit pattern, so a score decoded on the
+  /// other side is the *same double* — the served-vs-batch bitwise identity
+  /// the service smoke test asserts rests on this.
+  void PutF64(double v);
+  /// uint32 length + raw bytes.
+  void PutString(std::string_view s);
+
+  const std::string& bytes() const { return bytes_; }
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// \brief Bounds-checked decoder over a received payload. All Get* methods
+/// return false (and leave the output untouched) once the payload is
+/// exhausted or a nested length overruns it; decoders turn that into a
+/// ParseError instead of reading out of bounds.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetF64(double* v);
+  bool GetString(std::string* s);
+
+  bool Done() const { return pos_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Request / response payloads.
+
+/// \brief A match query: two schemata and the selection knobs of the batch
+/// CLI. Either inline schema text (auto-detected: DDL, XSD, or HSC1 — the
+/// same sniffing the CLI does) or, with `by_name`, names of schemata already
+/// resident in the daemon's repository, served from the warm engine cache.
+struct MatchRequest {
+  std::string source_name;
+  std::string source_text;
+  std::string target_name;
+  std::string target_text;
+  double threshold = 0.35;
+  bool one_to_one = false;
+  bool refined = false;
+  bool by_name = false;
+};
+
+struct MatchLink {
+  std::string source_path;
+  std::string target_path;
+  double score = 0.0;
+};
+
+struct MatchResponse {
+  std::vector<MatchLink> links;
+};
+
+/// \brief Keyword search over the resident repository index.
+struct SearchRequest {
+  std::string query;
+  uint32_t k = 10;
+  bool fragments = false;  ///< Element-level hits instead of whole schemata.
+};
+
+struct SearchResponseHit {
+  std::string schema_name;
+  std::string element_path;  ///< Empty for schema-level hits.
+  double score = 0.0;
+};
+
+struct SearchResponse {
+  std::vector<SearchResponseHit> hits;
+};
+
+/// \brief Vocabulary query: empty `term` renders the resident N-way
+/// vocabulary's summary; otherwise terms matching the keyword.
+struct VocabRequest {
+  std::string term;
+  uint32_t k = 8;
+};
+
+std::string EncodeMatchRequest(const MatchRequest& req);
+Result<MatchRequest> DecodeMatchRequest(std::string_view payload);
+
+std::string EncodeMatchResponse(const MatchResponse& resp);
+Result<MatchResponse> DecodeMatchResponse(std::string_view payload);
+
+std::string EncodeSearchRequest(const SearchRequest& req);
+Result<SearchRequest> DecodeSearchRequest(std::string_view payload);
+
+std::string EncodeSearchResponse(const SearchResponse& resp);
+Result<SearchResponse> DecodeSearchResponse(std::string_view payload);
+
+std::string EncodeVocabRequest(const VocabRequest& req);
+Result<VocabRequest> DecodeVocabRequest(std::string_view payload);
+
+std::string EncodeErrorPayload(const Status& status);
+/// Reconstructs the Status carried by a kError frame.
+Status DecodeErrorPayload(std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Frame I/O over a file descriptor (blocking, EINTR-safe).
+
+/// Writes one frame. IOError on a broken pipe or short write.
+Status WriteFrame(int fd, uint8_t tag, std::string_view payload);
+
+/// Reads one frame.
+///   - NotFound: the peer closed cleanly at a frame boundary (session end),
+///     or `cancel` became true before the first byte of a new frame arrived
+///     (the drain path — an in-progress frame is always read to completion
+///     so its request can still be answered).
+///   - ParseError: zero-length body, body_length > max_body (detected from
+///     the 4-byte prefix alone, before any payload buffer exists), or the
+///     peer vanished mid-frame.
+///   - IOError: socket-level failure.
+Result<Frame> ReadFrame(int fd, size_t max_body = kDefaultMaxBody,
+                        const std::atomic<bool>* cancel = nullptr);
+
+}  // namespace harmony::service

@@ -1,0 +1,363 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/selection.h"
+#include "obs/trace.h"
+
+namespace harmony::service {
+
+namespace {
+
+void CloseIfOpen(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+Server::Server(std::shared_ptr<ServiceState> state,
+               const ServerOptions& options,
+               const core::EngineContext& context)
+    : state_(std::move(state)),
+      options_(options),
+      context_(context),
+      accepted_(*context_.metrics, "service.accepted"),
+      requests_(*context_.metrics, "service.requests"),
+      rejected_(*context_.metrics, "service.rejected"),
+      protocol_errors_(*context_.metrics, "service.protocol_errors"),
+      request_ns_(*context_.metrics, "service.request_ns"),
+      queue_depth_gauge_(*context_.metrics, "service.queue_depth"),
+      sessions_(*context_.metrics, "service.sessions"),
+      queue_(options.queue_depth) {}
+
+Result<std::unique_ptr<Server>> Server::Start(
+    std::shared_ptr<ServiceState> state, const ServerOptions& options,
+    const core::EngineContext& context) {
+  if (state == nullptr) {
+    return Status::InvalidArgument("Server::Start needs a ServiceState");
+  }
+  if (options.queue_depth == 0) {
+    return Status::InvalidArgument("queue_depth must be positive");
+  }
+  std::unique_ptr<Server> server(new Server(std::move(state), options, context));
+  HARMONY_RETURN_NOT_OK(server->Listen());
+  size_t workers = common::EffectiveThreadCount(options.num_workers);
+  server->workers_ =
+      std::make_unique<common::ThreadPool>(workers, server->context_);
+  server->live_workers_.store(workers, std::memory_order_relaxed);
+  for (size_t i = 0; i < workers; ++i) {
+    Server* raw = server.get();
+    server->workers_->Submit([raw] { raw->WorkerLoop(); });
+  }
+  server->accept_thread_ = std::thread([raw = server.get()] {
+    raw->AcceptLoop();
+  });
+  return server;
+}
+
+Server::~Server() {
+  RequestDrain();
+  Wait();
+  CloseIfOpen(drain_pipe_[0]);
+  CloseIfOpen(drain_pipe_[1]);
+}
+
+Status Server::Listen() {
+  if (::pipe(drain_pipe_) != 0) {
+    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError(StringFormat("bind %s:%u: %s",
+                                        options_.host.c_str(), options_.port,
+                                        std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Status::IOError(std::string("getsockname: ") +
+                           std::strerror(errno));
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+void Server::RequestDrain() {
+  // Called from signal handlers: only async-signal-safe operations below
+  // (lock-free atomic store + write on a pre-opened pipe).
+  draining_.store(true, std::memory_order_relaxed);
+  if (drain_pipe_[1] >= 0) {
+    char byte = 'd';
+    [[maybe_unused]] ssize_t n = ::write(drain_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [this] { return accept_done_; });
+  }
+  {
+    // Join exactly once even when Wait races the destructor.
+    std::lock_guard<std::mutex> lock(done_mu_);
+    if (accept_thread_.joinable()) accept_thread_.join();
+  }
+  // The pool destructor drains the queued worker loops (they exit once the
+  // connection queue reports closed-and-empty) and joins the threads.
+  workers_.reset();
+}
+
+Server::Counters Server::CountersNow() const {
+  Counters c;
+  c.accepted = n_accepted_.load(std::memory_order_relaxed);
+  c.served_requests = n_requests_.load(std::memory_order_relaxed);
+  c.rejected = n_rejected_.load(std::memory_order_relaxed);
+  c.protocol_errors = n_protocol_errors_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    struct pollfd fds[2] = {{listen_fd_, POLLIN, 0},
+                            {drain_pipe_[0], POLLIN, 0}};
+    int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      HARMONY_LOG(Error) << "harmonyd accept poll: " << std::strerror(errno);
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // drain requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      HARMONY_LOG(Error) << "harmonyd accept: " << std::strerror(errno);
+      break;
+    }
+    n_accepted_.fetch_add(1, std::memory_order_relaxed);
+    accepted_.Add();
+    if (!queue_.TryPush(fd)) {
+      // Admission control: full queue means every worker is busy and the
+      // backlog is at its bound. Fail fast with a frame the client library
+      // understands instead of queueing invisible latency.
+      n_rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_.Add();
+      (void)WriteFrame(fd, static_cast<uint8_t>(ResponseTag::kRejected), "");
+      ::close(fd);
+      continue;
+    }
+    queue_depth_gauge_.Set(static_cast<int64_t>(queue_.size()));
+  }
+  draining_.store(true, std::memory_order_relaxed);
+  CloseIfOpen(listen_fd_);
+  queue_.Close();  // workers finish the backlog, then exit
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    accept_done_ = true;
+  }
+  done_cv_.notify_all();
+}
+
+void Server::WorkerLoop() {
+  while (auto fd = queue_.Pop()) {
+    queue_depth_gauge_.Set(static_cast<int64_t>(queue_.size()));
+    ServeConnection(*fd);
+  }
+  live_workers_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::ServeConnection(int fd) {
+  sessions_.Add(1);
+  for (;;) {
+    auto frame = ReadFrame(fd, options_.max_frame_bytes, &draining_);
+    if (!frame.ok()) {
+      if (frame.status().IsParseError()) {
+        // Malformed framing: answer with the reason (best effort — the peer
+        // may already be gone), then drop the connection. The stream is
+        // unsynchronized past a framing error, so continuing would read
+        // garbage as lengths.
+        n_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        protocol_errors_.Add();
+        (void)WriteFrame(fd, static_cast<uint8_t>(ResponseTag::kError),
+                         EncodeErrorPayload(frame.status()));
+      }
+      break;  // clean close, drain, or socket error
+    }
+    if (!HandleRequest(fd, *frame)) break;
+    if (draining()) break;  // in-flight request answered; close at boundary
+  }
+  sessions_.Add(-1);
+  ::close(fd);
+}
+
+bool Server::HandleRequest(int fd, const Frame& frame) {
+  uint64_t start_ns = obs::MonotonicNanos();
+  // Per-request observability scope: a child registry under the server's,
+  // flushed below. Engine/selection metrics for this request accumulate
+  // here, disjoint from every concurrent request, then merge losslessly —
+  // exactly the PR-4 tree contract, no service-specific plumbing.
+  obs::MetricsRegistry request_registry(context_.metrics);
+  core::EngineContext request_context(&request_registry, context_.tracer,
+                                      context_.pool);
+
+  uint8_t reply_tag = static_cast<uint8_t>(ResponseTag::kOk);
+  std::string reply;
+  bool keep_session = true;
+
+  if (!IsKnownRequestTag(frame.tag)) {
+    // A well-formed frame with an unknown tag is client error, not a
+    // protocol desync: answer kError and keep the session usable.
+    n_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    protocol_errors_.Add();
+    reply_tag = static_cast<uint8_t>(ResponseTag::kError);
+    reply = EncodeErrorPayload(Status::InvalidArgument(StringFormat(
+        "unknown request tag 0x%02x", frame.tag)));
+  } else {
+    switch (static_cast<RequestTag>(frame.tag)) {
+      case RequestTag::kPing:
+        reply = "pong";
+        break;
+      case RequestTag::kMatch: {
+        auto decoded = DecodeMatchRequest(frame.payload);
+        if (!decoded.ok()) {
+          reply_tag = static_cast<uint8_t>(ResponseTag::kError);
+          reply = EncodeErrorPayload(decoded.status());
+          break;
+        }
+        auto resp = HandleMatch(*decoded, request_context);
+        if (!resp.ok()) {
+          reply_tag = static_cast<uint8_t>(ResponseTag::kError);
+          reply = EncodeErrorPayload(resp.status());
+        } else {
+          reply = EncodeMatchResponse(*resp);
+        }
+        break;
+      }
+      case RequestTag::kSearch: {
+        auto decoded = DecodeSearchRequest(frame.payload);
+        if (!decoded.ok()) {
+          reply_tag = static_cast<uint8_t>(ResponseTag::kError);
+          reply = EncodeErrorPayload(decoded.status());
+          break;
+        }
+        SearchResponse resp;
+        if (decoded->fragments) {
+          for (const auto& hit :
+               state_->index().SearchFragments(decoded->query, decoded->k)) {
+            const auto& schema = state_->index().schema(hit.schema_index);
+            resp.hits.push_back(
+                {schema.name(), schema.Path(hit.element), hit.score});
+          }
+        } else {
+          for (const auto& hit :
+               state_->index().SearchKeywords(decoded->query, decoded->k)) {
+            resp.hits.push_back(
+                {state_->index().schema(hit.schema_index).name(), "",
+                 hit.score});
+          }
+        }
+        reply = EncodeSearchResponse(resp);
+        break;
+      }
+      case RequestTag::kVocab: {
+        auto decoded = DecodeVocabRequest(frame.payload);
+        if (!decoded.ok()) {
+          reply_tag = static_cast<uint8_t>(ResponseTag::kError);
+          reply = EncodeErrorPayload(decoded.status());
+          break;
+        }
+        reply = state_->RenderVocabReport(*decoded);
+        break;
+      }
+      case RequestTag::kStats:
+        reply = context_.metrics->Snapshot().ToText();
+        break;
+      case RequestTag::kShutdown:
+        reply = "draining";
+        keep_session = false;
+        RequestDrain();
+        break;
+    }
+  }
+
+  n_requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_.Add();
+  request_ns_.Record(obs::MonotonicNanos() - start_ns);
+  request_registry.FlushToParent();
+
+  Status write_st = WriteFrame(fd, reply_tag, reply);
+  if (!write_st.ok()) return false;
+  return keep_session;
+}
+
+Result<MatchResponse> Server::HandleMatch(
+    const MatchRequest& request, const core::EngineContext& context) {
+  const core::MatchEngine* engine = nullptr;
+  // Ad-hoc schemata must outlive the ad-hoc engine below.
+  std::unique_ptr<schema::Schema> source;
+  std::unique_ptr<schema::Schema> target;
+  std::unique_ptr<core::MatchEngine> owned_engine;
+  if (request.by_name) {
+    HARMONY_ASSIGN_OR_RETURN(
+        engine, state_->EngineFor(request.source_name, request.target_name));
+  } else {
+    HARMONY_ASSIGN_OR_RETURN(
+        schema::Schema parsed_source,
+        ParseSchemaAuto(request.source_text, request.source_name));
+    HARMONY_ASSIGN_OR_RETURN(
+        schema::Schema parsed_target,
+        ParseSchemaAuto(request.target_text, request.target_name));
+    source = std::make_unique<schema::Schema>(std::move(parsed_source));
+    target = std::make_unique<schema::Schema>(std::move(parsed_target));
+    owned_engine = std::make_unique<core::MatchEngine>(
+        *source, *target, state_->options().match_options, context);
+    engine = owned_engine.get();
+  }
+  core::MatchMatrix matrix = request.refined ? engine->ComputeRefinedMatrix()
+                                             : engine->ComputeMatrix();
+  auto links = request.one_to_one
+                   ? core::SelectGreedyOneToOne(matrix, request.threshold,
+                                                context)
+                   : core::SelectByThreshold(matrix, request.threshold,
+                                             context);
+  MatchResponse response;
+  response.links.reserve(links.size());
+  for (const auto& link : links) {
+    response.links.push_back({engine->source().Path(link.source),
+                              engine->target().Path(link.target),
+                              link.score});
+  }
+  return response;
+}
+
+}  // namespace harmony::service

@@ -1,0 +1,155 @@
+// service::Server — the resident match service (harmonyd's engine room).
+//
+// Thread architecture, the producer/consumer shape ROADMAP prescribes:
+//
+//   accept thread ──TryPush──▶ BoundedQueue<fd> ──Pop──▶ ThreadPool workers
+//        │  (admission: full queue ⇒ kRejected reply, close)    │
+//        └── poll()s listener + self-pipe; RequestDrain() is    │
+//            one async-signal-safe write() to the pipe          ▼
+//                                               per-connection session loop:
+//                                               read frame → child registry →
+//                                               handle → FlushToParent
+//
+// One worker owns a connection for its whole session (so responses on a
+// connection are never interleaved) and each *request* runs on a child
+// obs::MetricsRegistry flushed to the server's registry afterwards — the
+// per-request accounting that makes --stats-interval delta export work with
+// zero new plumbing (PR 4's registry tree does all the lifting).
+//
+// Drain semantics (SIGTERM or a kShutdown frame): admission stops, the
+// listener closes, queued connections are still served, in-flight requests
+// complete and get their responses, idle connections close at the next
+// frame boundary, then Wait() returns. No request that was admitted is
+// dropped.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/engine_context.h"
+#include "obs/metrics.h"
+#include "service/bounded_queue.h"
+#include "service/protocol.h"
+#include "service/state.h"
+
+namespace harmony::service {
+
+/// \brief Listener + capacity knobs.
+struct ServerOptions {
+  /// Loopback only by design: harmonyd is an in-enterprise sidecar, not an
+  /// internet-facing endpoint.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port back with port().
+  uint16_t port = 0;
+  /// Session workers (and hence concurrently served connections).
+  /// 0 = hardware concurrency (min 1).
+  size_t num_workers = 0;
+  /// Admission bound: connections waiting for a worker beyond this are
+  /// answered kRejected immediately. Bounds memory *and* tail latency —
+  /// a client would rather hear "busy" in microseconds than wait unbounded.
+  size_t queue_depth = 64;
+  /// Per-frame body ceiling (see protocol.h).
+  size_t max_frame_bytes = kDefaultMaxBody;
+};
+
+/// \brief The daemon. Start() binds, listens, and spawns the accept thread
+/// and worker pool; the destructor drains. Not copyable or movable (threads
+/// capture `this`).
+class Server {
+ public:
+  /// Binds and starts serving `state`. `context` scopes the server's
+  /// observability (request counters, latency histogram, queue gauge land in
+  /// its registry; per-request children hang off the same registry).
+  static Result<std::unique_ptr<Server>> Start(
+      std::shared_ptr<ServiceState> state, const ServerOptions& options = {},
+      const core::EngineContext& context = {});
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The port actually bound (resolves port 0).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  /// Initiates a graceful drain. Async-signal-safe (a single write() on a
+  /// pre-opened pipe) — this is the SIGTERM handler's entry point.
+  void RequestDrain();
+
+  /// Blocks until the drain completes: accept loop exited, every admitted
+  /// connection served to its last in-flight request, workers joined.
+  /// Returns the number of protocol errors observed (0 = clean run); the
+  /// daemon maps that to its exit code only for crashes, not bad clients.
+  void Wait();
+
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  /// Point-in-time service counters. Kept as plain atomics (in addition to
+  /// the obs registry metrics) so they exist even with HARMONY_OBS=OFF —
+  /// tests and the drain log read these.
+  struct Counters {
+    uint64_t accepted = 0;
+    uint64_t served_requests = 0;
+    uint64_t rejected = 0;
+    uint64_t protocol_errors = 0;
+  };
+  Counters CountersNow() const;
+
+ private:
+  Server(std::shared_ptr<ServiceState> state, const ServerOptions& options,
+         const core::EngineContext& context);
+
+  Status Listen();
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  /// Handles one decoded request frame; returns false when the session must
+  /// end (shutdown frame, write failure).
+  bool HandleRequest(int fd, const Frame& frame);
+  /// The match request body: resident engine for by-name pairs, fresh
+  /// engine (on the request's context) for inline schema text.
+  Result<MatchResponse> HandleMatch(const MatchRequest& request,
+                                    const core::EngineContext& context);
+
+  std::shared_ptr<ServiceState> state_;
+  ServerOptions options_;
+  core::EngineContext context_;
+
+  // Service-scope metrics, registered once on context_'s registry.
+  obs::Counter accepted_;
+  obs::Counter requests_;
+  obs::Counter rejected_;
+  obs::Counter protocol_errors_;
+  obs::Histogram request_ns_;
+  obs::Gauge queue_depth_gauge_;
+  obs::Gauge sessions_;
+
+  std::atomic<uint64_t> n_accepted_{0};
+  std::atomic<uint64_t> n_requests_{0};
+  std::atomic<uint64_t> n_rejected_{0};
+  std::atomic<uint64_t> n_protocol_errors_{0};
+
+  int listen_fd_ = -1;
+  int drain_pipe_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  std::atomic<bool> draining_{false};
+
+  BoundedQueue<int> queue_;
+  std::thread accept_thread_;
+  std::unique_ptr<common::ThreadPool> workers_;
+  std::atomic<size_t> live_workers_{0};
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  bool accept_done_ = false;
+};
+
+}  // namespace harmony::service

@@ -1,0 +1,127 @@
+#include "service/state.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "schema/schema_io.h"
+#include "sql/ddl_parser.h"
+#include "xml/xsd_importer.h"
+
+namespace harmony::service {
+
+Result<schema::Schema> ParseSchemaAuto(const std::string& text,
+                                       const std::string& name) {
+  std::string head = Trim(text.substr(0, 256));
+  if (StartsWith(head, "HSC1,")) return schema::DeserializeSchema(text);
+  if (StartsWith(head, "<")) return xml::ImportXsd(text, name);
+  return sql::ImportDdl(text, name);
+}
+
+Result<std::unique_ptr<ServiceState>> ServiceState::Build(
+    repository::MetadataRepository repo, const StateOptions& options,
+    const core::EngineContext& context) {
+  if (repo.schema_count() == 0) {
+    return Status::InvalidArgument(
+        "refusing to serve an empty repository: register schemata first");
+  }
+  // Not make_unique: the constructor is private.
+  std::unique_ptr<ServiceState> state(new ServiceState());
+  state->repo_ = std::move(repo);
+  state->options_ = options;
+  state->context_ = context;
+  state->index_ = state->repo_.BuildSearchIndex();
+  if (options.build_vocabulary && state->repo_.schema_count() >= 2 &&
+      state->repo_.schema_count() <=
+          nway::ComprehensiveVocabulary::kMaxSchemas) {
+    nway::NwayOptions nway_options;
+    nway_options.num_threads = options.match_options.num_threads;
+    auto built = nway::MatchAndBuildVocabulary(
+        state->repo_.AllSchemas(), options.vocab_threshold,
+        /*one_to_one=*/true, options.match_options, nway_options, context);
+    state->vocabulary_.emplace(std::move(built.vocabulary));
+  }
+  return state;
+}
+
+Result<const core::MatchEngine*> ServiceState::EngineFor(
+    const std::string& source_name, const std::string& target_name) {
+  HARMONY_ASSIGN_OR_RETURN(repository::SchemaId source,
+                           repo_.FindSchema(source_name));
+  HARMONY_ASSIGN_OR_RETURN(repository::SchemaId target,
+                           repo_.FindSchema(target_name));
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  auto key = std::make_pair(source, target);
+  auto it = engines_.find(key);
+  if (it == engines_.end()) {
+    // Built with the state-level context: the preprocessing cost and the
+    // engine's kernel counters belong to the server scope, since the arenas
+    // outlive any single request. Per-request registries still capture
+    // selection and service-level accounting.
+    it = engines_
+             .emplace(key, std::make_unique<core::MatchEngine>(
+                               repo_.schema(source), repo_.schema(target),
+                               options_.match_options, context_))
+             .first;
+  }
+  return const_cast<const core::MatchEngine*>(it->second.get());
+}
+
+namespace {
+
+std::string ToLowerCopy(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+std::string ServiceState::RenderVocabReport(const VocabRequest& request) const {
+  std::ostringstream out;
+  if (!vocabulary_.has_value()) {
+    out << "vocabulary: not resident (repository has "
+        << repo_.schema_count()
+        << " schemata; the daemon builds one for 2.."
+        << nway::ComprehensiveVocabulary::kMaxSchemas << ")\n";
+    return out.str();
+  }
+  const auto& vocab = *vocabulary_;
+  if (request.term.empty()) {
+    out << "comprehensive vocabulary over " << vocab.schema_count()
+        << " schemata\n";
+    out << "  terms          : " << vocab.terms().size() << "\n";
+    out << "  full-overlap terms (all " << vocab.schema_count()
+        << " schemata): " << vocab.FullOverlapCount() << "\n";
+    out << "region histogram (top " << request.k << "):\n";
+    size_t rows = 0;
+    for (const auto& [mask, count] : vocab.RegionHistogram()) {
+      if (++rows > request.k) break;
+      out << "  " << vocab.RegionName(mask) << " " << count << "\n";
+    }
+    return out.str();
+  }
+  std::string needle = ToLowerCopy(request.term);
+  size_t shown = 0;
+  for (size_t t = 0; t < vocab.terms().size(); ++t) {
+    const auto& term = vocab.term(t);
+    if (ToLowerCopy(term.display_name).find(needle) == std::string::npos) {
+      continue;
+    }
+    out << term.display_name << " [" << vocab.RegionName(term.schema_mask)
+        << "] " << term.members.size() << " members\n";
+    for (const auto& member : term.members) {
+      const auto& schema = vocab.schema(member.schema_index);
+      out << "  " << schema.name() << "." << schema.Path(member.element)
+          << "\n";
+    }
+    if (++shown >= request.k) break;
+  }
+  if (shown == 0) out << "no vocabulary term matches '" << request.term << "'\n";
+  return out.str();
+}
+
+}  // namespace harmony::service

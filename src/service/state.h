@@ -1,0 +1,102 @@
+// ServiceState: everything harmonyd loads once and keeps warm — the
+// metadata repository, the TF-IDF search index over it, the N-way
+// comprehensive vocabulary, and a cache of preprocessed match engines
+// (their core::ProfileView arenas are the expensive part) for
+// repository-resident schema pairs. The batch CLI pays repository load +
+// preprocessing on every invocation; the daemon pays it once and every
+// request after that starts from hot metadata, which is the whole point of
+// a *continuous* matching service (paper §5, ROADMAP "harmonyd").
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/engine_context.h"
+#include "core/match_engine.h"
+#include "nway/vocabulary_builder.h"
+#include "repository/metadata_repository.h"
+#include "schema/schema.h"
+#include "search/schema_search.h"
+#include "service/protocol.h"
+
+#include <mutex>
+#include <optional>
+
+namespace harmony::service {
+
+/// Parses schema text by content sniffing — HSC1 serialization, XSD
+/// (leading '<'), else SQL DDL — exactly the detection the harmony_match
+/// CLI applies to files, so a schema shipped to the daemon as text parses
+/// to the same tree the batch CLI would build. `name` becomes the schema
+/// name for non-HSC1 inputs (the CLI derives it from the file basename).
+Result<schema::Schema> ParseSchemaAuto(const std::string& text,
+                                       const std::string& name);
+
+/// \brief Knobs for building the resident state.
+struct StateOptions {
+  /// Selection threshold for the resident N-way vocabulary build.
+  double vocab_threshold = 0.35;
+  /// Engine options applied to vocabulary construction and to every match
+  /// request (per-request knobs — threshold, 1:1, refined — ride on the
+  /// request itself).
+  core::MatchOptions match_options;
+  /// Build the N-way vocabulary at startup. Requires at most
+  /// nway::ComprehensiveVocabulary::kMaxSchemas registered schemata; with
+  /// more, the vocabulary is skipped (vocab queries then report that).
+  bool build_vocabulary = true;
+};
+
+/// \brief The daemon's warm, immutable-after-build metadata. Request
+/// handlers share one instance across worker threads; everything here is
+/// either const after Build or guarded (the engine cache).
+class ServiceState {
+ public:
+  /// Builds the index (and vocabulary) over `repo`. The returned state owns
+  /// the repository; schema references inside index/vocabulary point into
+  /// it, so the state must not be moved after Build (hence unique_ptr).
+  static Result<std::unique_ptr<ServiceState>> Build(
+      repository::MetadataRepository repo, const StateOptions& options = {},
+      const core::EngineContext& context = {});
+
+  const repository::MetadataRepository& repo() const { return repo_; }
+  const search::SchemaSearchIndex& index() const { return index_; }
+  const StateOptions& options() const { return options_; }
+  bool has_vocabulary() const { return vocabulary_.has_value(); }
+  const nway::ComprehensiveVocabulary& vocabulary() const {
+    return *vocabulary_;
+  }
+
+  /// The preprocessed engine for a repository schema pair, built on first
+  /// use with the state-level context and kept resident — repeat matches of
+  /// the same pair skip tokenization, TF-IDF, and arena construction
+  /// entirely. Thread-safe; the returned engine is immutable and safe for
+  /// concurrent ComputeMatrix calls. NotFound if either name is not a
+  /// registered schema.
+  Result<const core::MatchEngine*> EngineFor(const std::string& source_name,
+                                             const std::string& target_name);
+
+  /// Renders the vocabulary summary / keyword lookup for a kVocab request.
+  /// Deterministic text: the smoke session asserts on it.
+  std::string RenderVocabReport(const VocabRequest& request) const;
+
+ private:
+  ServiceState() = default;
+
+  repository::MetadataRepository repo_;
+  search::SchemaSearchIndex index_;
+  std::optional<nway::ComprehensiveVocabulary> vocabulary_;
+  StateOptions options_;
+  core::EngineContext context_;
+
+  std::mutex engines_mu_;
+  std::map<std::pair<repository::SchemaId, repository::SchemaId>,
+           std::unique_ptr<core::MatchEngine>>
+      engines_;
+};
+
+}  // namespace harmony::service

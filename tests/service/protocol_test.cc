@@ -1,0 +1,349 @@
+// Wire-protocol robustness tests for the harmonyd framing layer: the
+// encode/decode codecs never trust embedded lengths, and ReadFrame rejects
+// hostile framing (zero-length body, oversized length prefix, truncation)
+// from the smallest possible evidence — the oversized case from the four
+// prefix bytes alone, before any payload buffer exists.
+
+#include "service/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace harmony::service {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primitives
+
+TEST(WireCodec, PrimitivesRoundTrip) {
+  WireWriter w;
+  w.PutU8(0x7F);
+  w.PutU32(0xDEADBEEFu);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutF64(0.1 + 0.2);  // a value with an inexact decimal expansion
+  w.PutString("customer_id");
+  w.PutString("");
+
+  WireReader r(w.bytes());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  double f64;
+  std::string s1, s2;
+  ASSERT_TRUE(r.GetU8(&u8));
+  ASSERT_TRUE(r.GetU32(&u32));
+  ASSERT_TRUE(r.GetU64(&u64));
+  ASSERT_TRUE(r.GetF64(&f64));
+  ASSERT_TRUE(r.GetString(&s1));
+  ASSERT_TRUE(r.GetString(&s2));
+  EXPECT_TRUE(r.Done());
+
+  EXPECT_EQ(u8, 0x7F);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  // Bitwise identity, not approximate: doubles travel as IEEE-754 bits.
+  uint64_t sent_bits, got_bits;
+  double sent = 0.1 + 0.2;
+  std::memcpy(&sent_bits, &sent, sizeof(sent_bits));
+  std::memcpy(&got_bits, &f64, sizeof(got_bits));
+  EXPECT_EQ(sent_bits, got_bits);
+  EXPECT_EQ(s1, "customer_id");
+  EXPECT_EQ(s2, "");
+}
+
+TEST(WireCodec, ReaderRefusesToOverrun) {
+  WireReader empty("");
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  double f64;
+  std::string s;
+  EXPECT_FALSE(empty.GetU8(&u8));
+  EXPECT_FALSE(empty.GetU32(&u32));
+  EXPECT_FALSE(empty.GetU64(&u64));
+  EXPECT_FALSE(empty.GetF64(&f64));
+  EXPECT_FALSE(empty.GetString(&s));
+
+  // A string header whose length claims more bytes than the buffer holds.
+  WireWriter w;
+  w.PutU32(1000);
+  w.PutU8('x');
+  WireReader lying(w.bytes());
+  EXPECT_FALSE(lying.GetString(&s));
+}
+
+TEST(WireCodec, SpecialDoublesSurviveTheWire) {
+  const double values[] = {0.0, -0.0, 1e-308,
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN()};
+  for (double v : values) {
+    WireWriter w;
+    w.PutF64(v);
+    WireReader r(w.bytes());
+    double out;
+    ASSERT_TRUE(r.GetF64(&out));
+    uint64_t vb, ob;
+    std::memcpy(&vb, &v, sizeof(vb));
+    std::memcpy(&ob, &out, sizeof(ob));
+    EXPECT_EQ(vb, ob);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request / response codecs
+
+TEST(WireCodec, MatchRequestRoundTrip) {
+  MatchRequest req;
+  req.source_name = "orders.sql";
+  req.source_text = "CREATE TABLE t (a INT);";
+  req.target_name = "S2";
+  req.threshold = 0.4375;
+  req.one_to_one = true;
+  req.refined = true;
+  req.by_name = true;
+
+  auto decoded = DecodeMatchRequest(EncodeMatchRequest(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->source_name, req.source_name);
+  EXPECT_EQ(decoded->source_text, req.source_text);
+  EXPECT_EQ(decoded->target_name, req.target_name);
+  EXPECT_EQ(decoded->target_text, "");
+  EXPECT_EQ(decoded->threshold, req.threshold);
+  EXPECT_TRUE(decoded->one_to_one);
+  EXPECT_TRUE(decoded->refined);
+  EXPECT_TRUE(decoded->by_name);
+}
+
+TEST(WireCodec, MatchResponseRoundTripPreservesScoreBits) {
+  MatchResponse resp;
+  resp.links.push_back({"CUSTOMER.NAME", "CLIENT.FULL_NAME", 0.1 + 0.2});
+  resp.links.push_back({"A.B", "C.D", 1.0 / 3.0});
+
+  auto decoded = DecodeMatchResponse(EncodeMatchResponse(resp));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->links.size(), 2u);
+  for (size_t i = 0; i < resp.links.size(); ++i) {
+    EXPECT_EQ(decoded->links[i].source_path, resp.links[i].source_path);
+    EXPECT_EQ(decoded->links[i].target_path, resp.links[i].target_path);
+    uint64_t a, b;
+    std::memcpy(&a, &resp.links[i].score, sizeof(a));
+    std::memcpy(&b, &decoded->links[i].score, sizeof(b));
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(WireCodec, SearchAndVocabRoundTrip) {
+  SearchRequest sreq{"customer address", 25, true};
+  auto sdec = DecodeSearchRequest(EncodeSearchRequest(sreq));
+  ASSERT_TRUE(sdec.ok());
+  EXPECT_EQ(sdec->query, sreq.query);
+  EXPECT_EQ(sdec->k, 25u);
+  EXPECT_TRUE(sdec->fragments);
+
+  SearchResponse sresp;
+  sresp.hits.push_back({"S1", "CUSTOMER.EMAIL", 0.75});
+  sresp.hits.push_back({"S2", "", 0.25});
+  auto rdec = DecodeSearchResponse(EncodeSearchResponse(sresp));
+  ASSERT_TRUE(rdec.ok());
+  ASSERT_EQ(rdec->hits.size(), 2u);
+  EXPECT_EQ(rdec->hits[0].element_path, "CUSTOMER.EMAIL");
+  EXPECT_EQ(rdec->hits[1].schema_name, "S2");
+
+  VocabRequest vreq{"phone", 3};
+  auto vdec = DecodeVocabRequest(EncodeVocabRequest(vreq));
+  ASSERT_TRUE(vdec.ok());
+  EXPECT_EQ(vdec->term, "phone");
+  EXPECT_EQ(vdec->k, 3u);
+}
+
+TEST(WireCodec, ErrorPayloadRoundTrip) {
+  Status original = Status::NotFound("no schema named 'X'");
+  Status decoded = DecodeErrorPayload(EncodeErrorPayload(original));
+  EXPECT_TRUE(decoded.IsNotFound());
+  EXPECT_EQ(decoded.message(), original.message());
+}
+
+TEST(WireCodec, DecodersRejectTruncationAndTrailingGarbage) {
+  std::string encoded = EncodeMatchRequest(MatchRequest{});
+  EXPECT_FALSE(DecodeMatchRequest(encoded.substr(0, 5)).ok());
+  EXPECT_FALSE(DecodeMatchRequest(encoded + "x").ok());
+
+  std::string sresp = EncodeSearchResponse(SearchResponse{});
+  EXPECT_FALSE(DecodeSearchResponse(sresp.substr(0, 2)).ok());
+  EXPECT_FALSE(DecodeSearchResponse(sresp + "junk").ok());
+}
+
+TEST(WireCodec, LyingElementCountFailsFastWithoutAllocating) {
+  // count claims a billion links but the payload holds four bytes total; the
+  // decoder sizes its reserve by what the payload can hold and errors on the
+  // first missing field instead of trusting the count.
+  WireWriter w;
+  w.PutU32(1000000000u);
+  auto decoded = DecodeMatchResponse(w.bytes());
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsParseError());
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O over a real socket pair
+
+class FramePipe : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    CloseWrite();
+    CloseRead();
+  }
+  void CloseWrite() {
+    if (fds_[1] >= 0) {
+      ::close(fds_[1]);
+      fds_[1] = -1;
+    }
+  }
+  void CloseRead() {
+    if (fds_[0] >= 0) {
+      ::close(fds_[0]);
+      fds_[0] = -1;
+    }
+  }
+  void SendRaw(std::string_view bytes) {
+    ASSERT_EQ(::write(fds_[1], bytes.data(), bytes.size()),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramePipe, WriteThenReadRoundTrips) {
+  std::string payload = EncodeVocabRequest({"customer", 5});
+  ASSERT_TRUE(
+      WriteFrame(fds_[1], static_cast<uint8_t>(RequestTag::kVocab), payload)
+          .ok());
+  auto frame = ReadFrame(fds_[0]);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->tag, static_cast<uint8_t>(RequestTag::kVocab));
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST_F(FramePipe, CleanCloseAtBoundaryIsNotFound) {
+  CloseWrite();
+  auto frame = ReadFrame(fds_[0]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsNotFound());
+}
+
+TEST_F(FramePipe, TruncatedHeaderIsParseError) {
+  SendRaw(std::string("\x09\x00", 2));  // half a length prefix, then gone
+  CloseWrite();
+  auto frame = ReadFrame(fds_[0]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsParseError());
+  EXPECT_NE(frame.status().message().find("truncated"), std::string::npos);
+}
+
+TEST_F(FramePipe, TruncatedPayloadIsParseError) {
+  WireWriter w;
+  w.PutU32(100);  // promises 99 payload bytes
+  w.PutU8(static_cast<uint8_t>(RequestTag::kMatch));
+  SendRaw(w.bytes());
+  SendRaw("only a few bytes");
+  CloseWrite();
+  auto frame = ReadFrame(fds_[0]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsParseError());
+  EXPECT_NE(frame.status().message().find("truncated"), std::string::npos);
+}
+
+TEST_F(FramePipe, ZeroLengthBodyIsParseError) {
+  SendRaw(std::string(4, '\0'));  // body_length = 0: no room for a tag
+  auto frame = ReadFrame(fds_[0]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsParseError());
+  EXPECT_NE(frame.status().message().find("zero-length"), std::string::npos);
+}
+
+TEST_F(FramePipe, OversizedPrefixRejectedBeforeAnyPayloadArrives) {
+  // Only the hostile 4-byte prefix is ever sent. ReadFrame must reject from
+  // the prefix alone — if it tried to allocate or read the claimed body it
+  // would block here forever (the writer sends nothing more).
+  WireWriter w;
+  w.PutU32(0xFFFFFFFFu);
+  SendRaw(w.bytes());
+  auto frame = ReadFrame(fds_[0]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsParseError());
+  EXPECT_NE(frame.status().message().find("frame too large"),
+            std::string::npos);
+}
+
+TEST_F(FramePipe, CustomMaxBodyIsEnforced) {
+  std::string payload(2048, 'x');
+  ASSERT_TRUE(WriteFrame(fds_[1], 0x01, payload).ok());
+  auto frame = ReadFrame(fds_[0], /*max_body=*/1024);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsParseError());
+}
+
+TEST_F(FramePipe, CancelBeforeNextFrameIsNotFound) {
+  std::atomic<bool> cancel{true};
+  auto frame = ReadFrame(fds_[0], kDefaultMaxBody, &cancel);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsNotFound());
+}
+
+TEST_F(FramePipe, InFlightFrameCompletesDespiteCancel) {
+  // Drain contract: a frame whose bytes are arriving is read to completion —
+  // cancel only refuses to *wait* for a new frame.
+  std::atomic<bool> cancel{false};
+  std::string payload = EncodeVocabRequest({"addr", 2});
+  ASSERT_TRUE(WriteFrame(fds_[1], static_cast<uint8_t>(RequestTag::kVocab),
+                         payload)
+                  .ok());
+  cancel.store(true);
+  auto frame = ReadFrame(fds_[0], kDefaultMaxBody, &cancel);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->payload, payload);
+}
+
+// ---------------------------------------------------------------------------
+// Tag handling
+
+TEST(Tags, KnownSetsAreExact) {
+  EXPECT_TRUE(IsKnownRequestTag(static_cast<uint8_t>(RequestTag::kPing)));
+  EXPECT_TRUE(IsKnownRequestTag(static_cast<uint8_t>(RequestTag::kShutdown)));
+  EXPECT_FALSE(IsKnownRequestTag(0x00));
+  EXPECT_FALSE(IsKnownRequestTag(0x07));
+  EXPECT_FALSE(IsKnownRequestTag(0x81));
+  EXPECT_TRUE(IsKnownResponseTag(static_cast<uint8_t>(ResponseTag::kOk)));
+  EXPECT_FALSE(IsKnownResponseTag(0x01));
+}
+
+TEST(Tags, NamesForEveryMember) {
+  EXPECT_STREQ(RequestTagName(RequestTag::kMatch), "match");
+  EXPECT_STREQ(ResponseTagName(ResponseTag::kRejected), "rejected");
+}
+
+using TagsDeathTest = ::testing::Test;
+
+TEST(TagsDeathTest, MalformedRequestTagFailsCheck) {
+  EXPECT_DEATH(RequestTagName(static_cast<RequestTag>(0x6B)),
+               "malformed request tag");
+}
+
+TEST(TagsDeathTest, MalformedResponseTagFailsCheck) {
+  EXPECT_DEATH(ResponseTagName(static_cast<ResponseTag>(0x00)),
+               "malformed response tag");
+}
+
+}  // namespace
+}  // namespace harmony::service

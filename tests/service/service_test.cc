@@ -1,0 +1,384 @@
+// End-to-end tests for the resident match service: a real Server on an
+// ephemeral loopback port, real Clients, and the acceptance property of the
+// service-smoke gate — a served match is *bitwise* identical to running the
+// engine locally on the same inputs.
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/match_engine.h"
+#include "core/selection.h"
+#include "gtest/gtest.h"
+#include "repository/metadata_repository.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "service/state.h"
+#include "synth/generator.h"
+
+namespace harmony::service {
+namespace {
+
+constexpr const char* kSourceDdl =
+    "CREATE TABLE customer (\n"
+    "  customer_id INT PRIMARY KEY,\n"
+    "  full_name VARCHAR(80),\n"
+    "  email_addr VARCHAR(120),\n"
+    "  phone_num VARCHAR(32)\n"
+    ");\n";
+
+constexpr const char* kTargetDdl =
+    "CREATE TABLE client (\n"
+    "  client_id INT PRIMARY KEY,\n"
+    "  name VARCHAR(80),\n"
+    "  email VARCHAR(120)\n"
+    ");\n";
+
+std::shared_ptr<ServiceState> BuildTestState() {
+  synth::NWaySpec spec;
+  spec.seed = 23;
+  spec.schema_count = 3;
+  spec.universe_concepts = 10;
+  spec.concepts_per_schema = 6;
+  auto generated = synth::GenerateNWay(spec);
+  repository::MetadataRepository repo;
+  for (auto& schema : generated.schemas) {
+    auto id = repo.RegisterSchema(std::move(schema));
+    HARMONY_CHECK(id.ok());
+  }
+  auto state = ServiceState::Build(std::move(repo));
+  HARMONY_CHECK(state.ok()) << state.status().ToString();
+  return std::shared_ptr<ServiceState>(std::move(*state));
+}
+
+// One warm state + server for the whole suite: vocabulary construction is
+// the expensive part and every test here only reads.
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    state_ = new std::shared_ptr<ServiceState>(BuildTestState());
+    ServerOptions options;
+    options.port = 0;
+    options.num_workers = 2;
+    auto server = Server::Start(*state_, options);
+    HARMONY_CHECK(server.ok()) << server.status().ToString();
+    server_ = server->release();
+  }
+
+  static void TearDownTestSuite() {
+    delete server_;  // destructor drains
+    server_ = nullptr;
+    delete state_;
+    state_ = nullptr;
+  }
+
+  static Client MustConnect() {
+    auto client = Client::Connect("127.0.0.1", server_->port());
+    HARMONY_CHECK(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+  static std::shared_ptr<ServiceState>* state_;
+  static Server* server_;
+};
+
+std::shared_ptr<ServiceState>* ServiceTest::state_ = nullptr;
+Server* ServiceTest::server_ = nullptr;
+
+TEST_F(ServiceTest, PingPong) {
+  Client client = MustConnect();
+  auto reply = client.Ping();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(*reply, "pong");
+}
+
+TEST_F(ServiceTest, ServedInlineMatchIsBitwiseIdenticalToLocalEngine) {
+  // Local half: parse and match in-process, exactly as the batch CLI does.
+  auto source = ParseSchemaAuto(kSourceDdl, "a.sql");
+  auto target = ParseSchemaAuto(kTargetDdl, "b.sql");
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE(target.ok());
+  // Two small single-table schemas score low in absolute terms (TF-IDF has
+  // little text to work with), so the threshold sits well under the CLI
+  // default — what matters here is identity, not magnitude.
+  core::MatchEngine local(*source, *target);
+  auto local_links = core::SelectGreedyOneToOne(local.ComputeRefinedMatrix(),
+                                                /*threshold=*/0.005);
+
+  // Served half: ship the same text to the daemon.
+  MatchRequest request;
+  request.source_name = "a.sql";
+  request.source_text = kSourceDdl;
+  request.target_name = "b.sql";
+  request.target_text = kTargetDdl;
+  request.threshold = 0.005;
+  request.one_to_one = true;
+  request.refined = true;
+  Client client = MustConnect();
+  auto served = client.Match(request);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  ASSERT_EQ(served->links.size(), local_links.size());
+  ASSERT_GT(served->links.size(), 0u);  // the inputs overlap by construction
+  for (size_t i = 0; i < local_links.size(); ++i) {
+    EXPECT_EQ(served->links[i].source_path,
+              local.source().Path(local_links[i].source));
+    EXPECT_EQ(served->links[i].target_path,
+              local.target().Path(local_links[i].target));
+    uint64_t local_bits, served_bits;
+    std::memcpy(&local_bits, &local_links[i].score, sizeof(local_bits));
+    std::memcpy(&served_bits, &served->links[i].score, sizeof(served_bits));
+    EXPECT_EQ(local_bits, served_bits) << "score differs at link " << i;
+  }
+}
+
+TEST_F(ServiceTest, ByNameMatchUsesResidentSchemas) {
+  const auto& repo = (*state_)->repo();
+  ASSERT_GE(repo.schema_count(), 2u);
+  const std::string source_name = repo.schema(0).name();
+  const std::string target_name = repo.schema(1).name();
+
+  core::MatchEngine local(repo.schema(0), repo.schema(1));
+  auto local_links = core::SelectByThreshold(local.ComputeMatrix(), 0.35);
+
+  MatchRequest request;
+  request.by_name = true;
+  request.source_name = source_name;
+  request.target_name = target_name;
+  request.threshold = 0.35;
+  Client client = MustConnect();
+  auto served = client.Match(request);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  ASSERT_EQ(served->links.size(), local_links.size());
+  for (size_t i = 0; i < local_links.size(); ++i) {
+    uint64_t local_bits, served_bits;
+    std::memcpy(&local_bits, &local_links[i].score, sizeof(local_bits));
+    std::memcpy(&served_bits, &served->links[i].score, sizeof(served_bits));
+    EXPECT_EQ(local_bits, served_bits);
+  }
+
+  // Unknown schema names surface as a typed remote error, not a dead session.
+  request.source_name = "no-such-schema";
+  auto missing = client.Match(request);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound()) << missing.status().ToString();
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServiceTest, SearchServesSchemaAndFragmentHits) {
+  // Query with words actually present in the resident schemata: the names of
+  // the first schema's first leaf elements.
+  const auto& schema = (*state_)->repo().schema(0);
+  auto leaves = schema.LeafIds();
+  ASSERT_GE(leaves.size(), 2u);
+  std::string query = schema.element(leaves[0]).name + " " +
+                      schema.element(leaves[1]).name;
+
+  Client client = MustConnect();
+  auto schema_hits = client.Search({query, 5, false});
+  ASSERT_TRUE(schema_hits.ok()) << schema_hits.status().ToString();
+  EXPECT_GT(schema_hits->hits.size(), 0u);
+  for (const auto& hit : schema_hits->hits) {
+    EXPECT_TRUE(hit.element_path.empty());
+  }
+
+  auto fragment_hits = client.Search({query, 5, true});
+  ASSERT_TRUE(fragment_hits.ok());
+  EXPECT_GT(fragment_hits->hits.size(), 0u);
+  for (const auto& hit : fragment_hits->hits) {
+    EXPECT_FALSE(hit.element_path.empty());
+  }
+}
+
+TEST_F(ServiceTest, VocabSummaryAndTermLookup) {
+  Client client = MustConnect();
+  auto summary = client.Vocab({"", 8});
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_NE(summary->find("comprehensive vocabulary"), std::string::npos);
+  EXPECT_NE(summary->find("full-overlap terms"), std::string::npos);
+
+  auto missing = client.Vocab({"zzz-no-such-term-zzz", 8});
+  ASSERT_TRUE(missing.ok());
+  EXPECT_NE(missing->find("no vocabulary term matches"), std::string::npos);
+}
+
+TEST_F(ServiceTest, StatsReportIncludesServiceCounters) {
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Ping().ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+#if HARMONY_OBS_ENABLED
+  EXPECT_NE(stats->find("service.requests"), std::string::npos);
+#endif
+}
+
+TEST_F(ServiceTest, UnknownTagGetsErrorAndSessionSurvives) {
+  Client client = MustConnect();
+  auto reply = client.RoundTrip(0x5A, "payload");
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->tag, static_cast<uint8_t>(ResponseTag::kError));
+  Status remote = DecodeErrorPayload(reply->payload);
+  EXPECT_NE(remote.message().find("unknown request tag"), std::string::npos);
+  // A well-formed frame with a bad tag is client error, not desync: the
+  // session keeps working.
+  auto ping = client.Ping();
+  EXPECT_TRUE(ping.ok()) << ping.status().ToString();
+}
+
+TEST_F(ServiceTest, MalformedPayloadGetsTypedError) {
+  Client client = MustConnect();
+  auto reply =
+      client.RoundTrip(static_cast<uint8_t>(RequestTag::kMatch), "garbage");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->tag, static_cast<uint8_t>(ResponseTag::kError));
+  EXPECT_TRUE(DecodeErrorPayload(reply->payload).IsParseError());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServiceTest, OversizedFramePrefixRejectedAndConnectionDropped) {
+  Client client = MustConnect();
+  WireWriter w;
+  w.PutU32(0xFFFFFFFFu);
+  w.PutU8(static_cast<uint8_t>(RequestTag::kMatch));
+  ASSERT_TRUE(client.SendRaw(w.bytes()).ok());
+  auto reply = client.ReadReply();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->tag, static_cast<uint8_t>(ResponseTag::kError));
+  Status remote = DecodeErrorPayload(reply->payload);
+  EXPECT_NE(remote.message().find("frame too large"), std::string::npos);
+  // Framing errors desynchronize the stream, so the server hangs up.
+  auto next = client.ReadReply();
+  EXPECT_FALSE(next.ok());
+}
+
+TEST_F(ServiceTest, ConcurrentClientsEachGetTheirOwnResponses) {
+  // Reference answer computed over one connection, serially.
+  Client reference = MustConnect();
+  auto expected = reference.Search({"customer", 5, false});
+  ASSERT_TRUE(expected.ok());
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsEach = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      auto client = Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kRequestsEach; ++i) {
+        auto ping = client->Ping();
+        if (!ping.ok() || *ping != "pong") {
+          failures.fetch_add(1);
+          return;
+        }
+        auto hits = client->Search({"customer", 5, false});
+        if (!hits.ok() || hits->hits.size() != expected->hits.size()) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (size_t h = 0; h < hits->hits.size(); ++h) {
+          uint64_t a, b;
+          std::memcpy(&a, &hits->hits[h].score, sizeof(a));
+          std::memcpy(&b, &expected->hits[h].score, sizeof(b));
+          if (hits->hits[h].schema_name != expected->hits[h].schema_name ||
+              a != b) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Admission control and drain need their own server (they change its state),
+// so they run outside the shared fixture.
+
+TEST(ServiceLifecycle, AdmissionControlRejectsBeyondQueueDepth) {
+  auto state = BuildTestState();
+  ServerOptions options;
+  options.port = 0;
+  options.num_workers = 1;
+  options.queue_depth = 1;
+  auto server = Server::Start(state, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  // Occupy the only worker: after this ping round-trips, the worker is
+  // parked in this session's ReadFrame and cannot pop the queue.
+  auto busy = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(busy.ok());
+  ASSERT_TRUE(busy->Ping().ok());
+
+  // Fills the depth-1 queue. No request sent — it just waits for a worker.
+  auto queued = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(queued.ok());
+
+  // Deterministically one past capacity → kRejected, surfaced by the client
+  // library as a retryable error. Accept order follows connect order, so
+  // this connection is the one that overflows.
+  auto rejected = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(rejected.ok());
+  auto reply = rejected->Ping();
+  ASSERT_FALSE(reply.ok());
+  EXPECT_NE(reply.status().message().find("rejected"), std::string::npos)
+      << reply.status().ToString();
+
+  busy->Close();  // frees the worker for the queued session
+  ASSERT_TRUE(queued->Ping().ok());
+
+  Server::Counters counters = (*server)->CountersNow();
+  EXPECT_EQ(counters.rejected, 1u);
+  EXPECT_EQ(counters.accepted, 3u);
+}
+
+TEST(ServiceLifecycle, ShutdownFrameDrainsTheServer) {
+  auto state = BuildTestState();
+  ServerOptions options;
+  options.port = 0;
+  options.num_workers = 2;
+  auto server = Server::Start(state, options);
+  ASSERT_TRUE(server.ok());
+
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping().ok());
+  auto reply = client->Shutdown();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(*reply, "draining");
+
+  (*server)->Wait();  // returns only when the drain completes
+  EXPECT_TRUE((*server)->draining());
+  Server::Counters counters = (*server)->CountersNow();
+  EXPECT_GE(counters.served_requests, 2u);
+  EXPECT_EQ(counters.protocol_errors, 0u);
+}
+
+TEST(ServiceLifecycle, RequestDrainUnblocksWait) {
+  auto state = BuildTestState();
+  ServerOptions options;
+  options.port = 0;
+  options.num_workers = 1;
+  auto server = Server::Start(state, options);
+  ASSERT_TRUE(server.ok());
+  std::thread waiter([&] { (*server)->Wait(); });
+  (*server)->RequestDrain();
+  waiter.join();  // deadlocks here if drain does not propagate
+  EXPECT_TRUE((*server)->draining());
+}
+
+TEST(ServiceState, RefusesEmptyRepository) {
+  auto state = ServiceState::Build(repository::MetadataRepository());
+  EXPECT_FALSE(state.ok());
+  EXPECT_TRUE(state.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace harmony::service
