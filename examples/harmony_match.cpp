@@ -462,6 +462,7 @@ int RunQuery(const std::vector<std::string>& args) {
   if (words.empty()) {
     std::fprintf(stderr,
                  "usage: harmony_match query [--host=ADDR] [--port=N] "
+                 "[--max-reply-mb=N] "
                  "(ping | match <src> <tgt> | search <kw...> | vocab [term] "
                  "| stats | shutdown | badframe)\n");
     return 2;
@@ -469,7 +470,13 @@ int RunQuery(const std::vector<std::string>& args) {
   std::string host = FlagValue(args, "--host=", "127.0.0.1");
   uint16_t port = static_cast<uint16_t>(
       std::atoi(FlagValue(args, "--port=", "7411").c_str()));
-  auto client = service::Client::Connect(host, port);
+  // A low-threshold match over large schemata can legitimately outgrow the
+  // client's default 8 MiB reply bound; this raises it without a rebuild.
+  size_t max_reply_mb = static_cast<size_t>(
+      std::atoi(FlagValue(args, "--max-reply-mb=", "8").c_str()));
+  if (max_reply_mb == 0) max_reply_mb = 8;
+  auto client = service::Client::Connect(host, port,
+                                         max_reply_mb * 1024 * 1024);
   if (!client.ok()) {
     std::fprintf(stderr, "connect: %s\n",
                  client.status().ToString().c_str());

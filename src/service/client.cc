@@ -13,7 +13,8 @@
 
 namespace harmony::service {
 
-Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               size_t max_reply_bytes) {
   int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
@@ -31,15 +32,19 @@ Result<Client> Client::Connect(const std::string& host, uint16_t port) {
     ::close(fd);
     return st;
   }
-  return Client(fd);
+  return Client(fd, max_reply_bytes);
 }
 
-Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), max_reply_bytes_(other.max_reply_bytes_) {
+  other.fd_ = -1;
+}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    max_reply_bytes_ = other.max_reply_bytes_;
     other.fd_ = -1;
   }
   return *this;
@@ -70,13 +75,13 @@ Status Client::SendRaw(std::string_view bytes) {
 
 Result<Frame> Client::ReadReply() {
   if (fd_ < 0) return Status::IOError("client not connected");
-  return ReadFrame(fd_);
+  return ReadFrame(fd_, max_reply_bytes_);
 }
 
 Result<Frame> Client::RoundTrip(uint8_t tag, std::string_view payload) {
   if (fd_ < 0) return Status::IOError("client not connected");
   HARMONY_RETURN_NOT_OK(WriteFrame(fd_, tag, payload));
-  return ReadFrame(fd_);
+  return ReadFrame(fd_, max_reply_bytes_);
 }
 
 namespace {

@@ -16,8 +16,13 @@ namespace harmony::service {
 
 class Client {
  public:
-  /// Connects to a running daemon.
-  static Result<Client> Connect(const std::string& host, uint16_t port);
+  /// Connects to a running daemon. `max_reply_bytes` bounds the body of any
+  /// reply frame this client will accept (the receive-side mirror of
+  /// ServerOptions::max_frame_bytes) — raise it when a low threshold over
+  /// large schemata can legitimately produce a match response beyond the
+  /// 8 MiB default; an over-limit reply surfaces as a ParseError.
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                size_t max_reply_bytes = kDefaultMaxBody);
 
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
@@ -61,10 +66,17 @@ class Client {
   bool connected() const { return fd_ >= 0; }
   void Close();
 
+  /// Reply-size bound; adjustable after Connect for callers that learn the
+  /// needed ceiling late (e.g. a retry after a "frame too large" error).
+  size_t max_reply_bytes() const { return max_reply_bytes_; }
+  void set_max_reply_bytes(size_t bytes) { max_reply_bytes_ = bytes; }
+
  private:
-  explicit Client(int fd) : fd_(fd) {}
+  Client(int fd, size_t max_reply_bytes)
+      : fd_(fd), max_reply_bytes_(max_reply_bytes) {}
 
   int fd_ = -1;
+  size_t max_reply_bytes_ = kDefaultMaxBody;
 };
 
 }  // namespace harmony::service

@@ -331,20 +331,38 @@ Status ReadFull(int fd, char* data, size_t len, size_t* got) {
   return Status::OK();
 }
 
-// Blocks until `fd` is readable or `cancel` flips. True = readable. Data
-// already pending wins over a cancel raised concurrently: a request the peer
+// Blocks until `fd` is readable or cancellation is signalled — `cancel`
+// flips, or `cancel_fd` becomes readable. True = readable. Data already
+// pending wins over a cancel raised concurrently: a request the peer
 // finished sending before the drain still deserves its answer.
-bool WaitReadable(int fd, const std::atomic<bool>* cancel) {
+//
+// With a cancel_fd the wait is event-driven: one poll over both fds with no
+// timeout, so idle connections cost zero steady-state wakeups. A bare
+// cancel flag has nothing to poll, so it degrades to a periodic re-check.
+bool WaitReadable(int fd, const std::atomic<bool>* cancel, int cancel_fd) {
+  const bool cancellable = cancel != nullptr || cancel_fd >= 0;
   for (;;) {
-    struct pollfd p = {fd, POLLIN, 0};
-    if (cancel != nullptr) {
-      int rc = ::poll(&p, 1, 0);
+    struct pollfd fds[2] = {{fd, POLLIN, 0}, {cancel_fd, POLLIN, 0}};
+    if (cancellable) {
+      int rc = ::poll(fds, 1, 0);
       if (rc > 0) return true;
-      if (cancel->load(std::memory_order_relaxed)) return false;
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        return false;
+      }
     }
-    int rc = ::poll(&p, 1, cancel == nullptr ? -1 : 50);
-    if (rc > 0) return true;
-    if (rc < 0 && errno != EINTR) return true;  // let read() surface the error
+    nfds_t nfds = cancel_fd >= 0 ? 2 : 1;
+    int timeout = cancellable && cancel_fd < 0 ? 50 : -1;
+    int rc = ::poll(fds, nfds, timeout);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return true;  // let read() surface the error
+    }
+    if (rc == 0) continue;  // flag-only timeout: re-check cancel above
+    if ((fds[0].revents & (POLLIN | POLLERR | POLLHUP)) != 0) return true;
+    if (cancel_fd >= 0 &&
+        (fds[1].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      return false;
+    }
   }
 }
 
@@ -363,8 +381,8 @@ Status WriteFrame(int fd, uint8_t tag, std::string_view payload) {
 }
 
 Result<Frame> ReadFrame(int fd, size_t max_body,
-                        const std::atomic<bool>* cancel) {
-  if (!WaitReadable(fd, cancel)) {
+                        const std::atomic<bool>* cancel, int cancel_fd) {
+  if (!WaitReadable(fd, cancel, cancel_fd)) {
     return Status::NotFound("cancelled before next frame");
   }
   char prefix[4];

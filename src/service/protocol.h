@@ -199,14 +199,19 @@ Status WriteFrame(int fd, uint8_t tag, std::string_view payload);
 
 /// Reads one frame.
 ///   - NotFound: the peer closed cleanly at a frame boundary (session end),
-///     or `cancel` became true before the first byte of a new frame arrived
-///     (the drain path — an in-progress frame is always read to completion
-///     so its request can still be answered).
+///     or cancellation arrived before the first byte of a new frame (the
+///     drain path — an in-progress frame is always read to completion so its
+///     request can still be answered). Cancellation is signalled by `cancel`
+///     being true and/or `cancel_fd` (e.g. the server's drain pipe read end)
+///     becoming readable.
 ///   - ParseError: zero-length body, body_length > max_body (detected from
 ///     the 4-byte prefix alone, before any payload buffer exists), or the
 ///     peer vanished mid-frame.
 ///   - IOError: socket-level failure.
+/// With a `cancel_fd`, waiting is fully event-driven (one poll on both fds,
+/// no timeout); a bare `cancel` flag falls back to a periodic re-check.
 Result<Frame> ReadFrame(int fd, size_t max_body = kDefaultMaxBody,
-                        const std::atomic<bool>* cancel = nullptr);
+                        const std::atomic<bool>* cancel = nullptr,
+                        int cancel_fd = -1);
 
 }  // namespace harmony::service

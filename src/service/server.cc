@@ -123,18 +123,24 @@ void Server::RequestDrain() {
 }
 
 void Server::Wait() {
-  {
-    std::unique_lock<std::mutex> lock(done_mu_);
-    done_cv_.wait(lock, [this] { return accept_done_; });
-  }
-  {
-    // Join exactly once even when Wait races the destructor.
-    std::lock_guard<std::mutex> lock(done_mu_);
-    if (accept_thread_.joinable()) accept_thread_.join();
-  }
-  // The pool destructor drains the queued worker loops (they exit once the
-  // connection queue reports closed-and-empty) and joins the threads.
-  workers_.reset();
+  // call_once makes concurrent Wait() callers safe (a user thread racing the
+  // destructor): one runs the join sequence, the others block until it is
+  // done, then every call returns with the drain complete.
+  std::call_once(wait_once_, [this] {
+    // If Start() failed before spawning the accept thread (Listen() error —
+    // EADDRINUSE is routine), there is nothing to wait for: accept_done_
+    // would never be set, so waiting on it would hang forever.
+    if (accept_thread_.joinable()) {
+      {
+        std::unique_lock<std::mutex> lock(done_mu_);
+        done_cv_.wait(lock, [this] { return accept_done_; });
+      }
+      accept_thread_.join();
+    }
+    // The pool destructor drains the queued worker loops (they exit once the
+    // connection queue reports closed-and-empty) and joins the threads.
+    workers_.reset();
+  });
 }
 
 Server::Counters Server::CountersNow() const {
@@ -161,6 +167,18 @@ void Server::AcceptLoop() {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM || errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Transient resource exhaustion — exactly what a client burst
+        // produces. Refusing this one connection beats shutting the daemon
+        // down; back off briefly so workers can release fds, but keep the
+        // backoff on the drain pipe so SIGTERM still interrupts it.
+        HARMONY_LOG(Warning)
+            << "harmonyd accept (transient): " << std::strerror(errno);
+        struct pollfd dp = {drain_pipe_[0], POLLIN, 0};
+        (void)::poll(&dp, 1, 100);
+        continue;
+      }
       HARMONY_LOG(Error) << "harmonyd accept: " << std::strerror(errno);
       break;
     }
@@ -178,7 +196,10 @@ void Server::AcceptLoop() {
     }
     queue_depth_gauge_.Set(static_cast<int64_t>(queue_.size()));
   }
-  draining_.store(true, std::memory_order_relaxed);
+  // RequestDrain (not a bare flag store) so the drain pipe becomes readable
+  // on *every* exit path — including an accept error — and wakes workers
+  // parked event-driven in ReadFrame on idle connections.
+  RequestDrain();
   CloseIfOpen(listen_fd_);
   queue_.Close();  // workers finish the backlog, then exit
   {
@@ -199,7 +220,11 @@ void Server::WorkerLoop() {
 void Server::ServeConnection(int fd) {
   sessions_.Add(1);
   for (;;) {
-    auto frame = ReadFrame(fd, options_.max_frame_bytes, &draining_);
+    // The drain pipe as cancel_fd makes the idle wait event-driven: no
+    // periodic wakeups per parked connection, yet a drain (signal, shutdown
+    // frame, accept failure) interrupts it immediately.
+    auto frame =
+        ReadFrame(fd, options_.max_frame_bytes, &draining_, drain_pipe_[0]);
     if (!frame.ok()) {
       if (frame.status().IsParseError()) {
         // Malformed framing: answer with the reason (best effort — the peer

@@ -87,8 +87,9 @@ class Server {
 
   /// Blocks until the drain completes: accept loop exited, every admitted
   /// connection served to its last in-flight request, workers joined.
-  /// Returns the number of protocol errors observed (0 = clean run); the
-  /// daemon maps that to its exit code only for crashes, not bad clients.
+  /// Safe to call from several threads concurrently (one performs the joins,
+  /// the rest block until it finishes), and a no-op when Start() failed
+  /// before serving began.
   void Wait();
 
   bool draining() const { return draining_.load(std::memory_order_relaxed); }
@@ -150,6 +151,7 @@ class Server {
   std::mutex done_mu_;
   std::condition_variable done_cv_;
   bool accept_done_ = false;
+  std::once_flag wait_once_;
 };
 
 }  // namespace harmony::service

@@ -315,6 +315,46 @@ TEST_F(FramePipe, InFlightFrameCompletesDespiteCancel) {
   EXPECT_EQ(frame->payload, payload);
 }
 
+TEST_F(FramePipe, CancelFdWakesBlockedReaderEventDriven) {
+  // With a cancel fd the reader blocks with no timeout — there is no 50 ms
+  // tick to lean on. The only things that can wake it are frame bytes or the
+  // cancel fd becoming readable; this test proves the latter suffices.
+  int cancel_pipe[2];
+  ASSERT_EQ(::pipe(cancel_pipe), 0);
+  std::atomic<bool> cancel{false};
+  Status observed = Status::OK();
+  std::thread reader([&] {
+    auto frame = ReadFrame(fds_[0], kDefaultMaxBody, &cancel, cancel_pipe[0]);
+    observed = frame.ok() ? Status::OK() : frame.status();
+  });
+  cancel.store(true);
+  char byte = 'd';
+  ASSERT_EQ(::write(cancel_pipe[1], &byte, 1), 1);
+  reader.join();
+  EXPECT_TRUE(observed.IsNotFound()) << observed.ToString();
+  ::close(cancel_pipe[0]);
+  ::close(cancel_pipe[1]);
+}
+
+TEST_F(FramePipe, PendingDataWinsOverCancelFd) {
+  // Same contract as the flag variant: a frame that already arrived is
+  // served even when cancellation is simultaneously signalled on the fd.
+  int cancel_pipe[2];
+  ASSERT_EQ(::pipe(cancel_pipe), 0);
+  std::string payload = EncodeVocabRequest({"addr", 2});
+  ASSERT_TRUE(WriteFrame(fds_[1], static_cast<uint8_t>(RequestTag::kVocab),
+                         payload)
+                  .ok());
+  char byte = 'd';
+  ASSERT_EQ(::write(cancel_pipe[1], &byte, 1), 1);
+  auto frame =
+      ReadFrame(fds_[0], kDefaultMaxBody, /*cancel=*/nullptr, cancel_pipe[0]);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->payload, payload);
+  ::close(cancel_pipe[0]);
+  ::close(cancel_pipe[1]);
+}
+
 // ---------------------------------------------------------------------------
 // Tag handling
 

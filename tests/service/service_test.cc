@@ -299,8 +299,63 @@ TEST_F(ServiceTest, ConcurrentClientsEachGetTheirOwnResponses) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+TEST_F(ServiceTest, ClientReplySizeBoundIsConfigurable) {
+  // A deliberately tiny bound: "pong" (5-byte body) fits, the vocabulary
+  // summary does not — the client reports the oversize instead of trusting
+  // the length prefix.
+  auto small =
+      Client::Connect("127.0.0.1", server_->port(), /*max_reply_bytes=*/8);
+  ASSERT_TRUE(small.ok()) << small.status().ToString();
+  ASSERT_TRUE(small->Ping().ok());
+  auto summary = small->Vocab({"", 8});
+  ASSERT_FALSE(summary.ok());
+  EXPECT_TRUE(summary.status().IsParseError());
+  EXPECT_NE(summary.status().message().find("frame too large"),
+            std::string::npos);
+  // The stream is desynchronized past the unread body, so callers reconnect
+  // with a roomier bound rather than reuse this connection.
+  auto roomy = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(roomy.ok());
+  EXPECT_EQ(roomy->max_reply_bytes(), kDefaultMaxBody);
+  roomy->set_max_reply_bytes(1u << 20);
+  EXPECT_TRUE(roomy->Vocab({"", 8}).ok());
+}
+
 // Admission control and drain need their own server (they change its state),
 // so they run outside the shared fixture.
+
+TEST(ServiceLifecycle, StartOnBusyPortFailsFastWithoutHanging) {
+  auto state = BuildTestState();
+  ServerOptions options;
+  options.port = 0;
+  options.num_workers = 1;
+  auto first = Server::Start(state, options);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  // Binding the port the first server holds must come back as the IOError
+  // from bind(), and destroying the half-constructed server must not hang
+  // waiting for an accept thread that was never spawned.
+  options.port = (*first)->port();
+  auto second = Server::Start(state, options);
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsIOError()) << second.status().ToString();
+  EXPECT_NE(second.status().message().find("bind"), std::string::npos);
+
+  // The survivor is unaffected.
+  auto client = Client::Connect("127.0.0.1", (*first)->port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client->Ping().ok());
+}
+
+TEST(ServiceLifecycle, StartWithBadHostFailsFastWithoutHanging) {
+  auto state = BuildTestState();
+  ServerOptions options;
+  options.host = "not-an-address";
+  auto server = Server::Start(state, options);
+  ASSERT_FALSE(server.ok());
+  EXPECT_TRUE(server.status().IsInvalidArgument())
+      << server.status().ToString();
+}
 
 TEST(ServiceLifecycle, AdmissionControlRejectsBeyondQueueDepth) {
   auto state = BuildTestState();
@@ -368,9 +423,14 @@ TEST(ServiceLifecycle, RequestDrainUnblocksWait) {
   options.num_workers = 1;
   auto server = Server::Start(state, options);
   ASSERT_TRUE(server.ok());
-  std::thread waiter([&] { (*server)->Wait(); });
+  // Two concurrent waiters plus the destructor's own Wait(): the join
+  // sequence must run exactly once, with the other callers blocking until
+  // it finishes rather than racing on the worker pool teardown.
+  std::thread waiter_a([&] { (*server)->Wait(); });
+  std::thread waiter_b([&] { (*server)->Wait(); });
   (*server)->RequestDrain();
-  waiter.join();  // deadlocks here if drain does not propagate
+  waiter_a.join();  // deadlocks here if drain does not propagate
+  waiter_b.join();
   EXPECT_TRUE((*server)->draining());
 }
 
