@@ -20,11 +20,21 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "repository/metadata_repository.h"
 #include "service/client.h"
 #include "service/server.h"
 #include "service/state.h"
 #include "synth/generator.h"
+
+// Benchmark names carry the observability build flavour, so the CI artifact
+// can hold both runs side by side (the smoke-perf job merges an
+// -DHARMONY_OBS=OFF pass into the same JSON to record the obs overhead).
+#if HARMONY_OBS_ENABLED
+#define OBS_TAG ""
+#else
+#define OBS_TAG "/obs:off"
+#endif
 
 namespace {
 
@@ -161,16 +171,45 @@ void PrintReport() {
               s.state->repo().schema_count());
 
   std::printf("warm by-name match (resident engine, 1:1 selection):\n");
-  std::printf("%8s %9s %10s %10s %10s %12s\n", "clients", "requests",
-              "p50(us)", "p99(us)", "max(us)", "rps");
+  std::printf("%8s %9s %10s %10s %10s %12s %12s %12s\n", "clients", "requests",
+              "p50(us)", "p99(us)", "max(us)", "rps", "qwait_p99", "handler_p99");
   for (size_t clients : {1, 2, 4, 8, 16}) {
+    // Bracket the row with server-side delta polls (transient connections,
+    // so no worker is pinned during the sweep): the interval's
+    // service.queue_wait_ns vs service.handler_ns.match histograms split
+    // client-observed latency into time-in-queue vs time-in-handler — past
+    // 4 clients the queue, not the engine, is where p99 grows.
+    {
+      auto open = service::Client::Connect("127.0.0.1", s.server->port());
+      HARMONY_CHECK(open.ok());
+      (void)open->StatsSnapshot(/*delta=*/true);
+    }
     LatencyRow row = MeasureConcurrent(
         clients, 40, [&](service::Client& client) {
           return client.Match(ByNameRequest(s)).ok();
         });
-    std::printf("%8zu %9zu %10.0f %10.0f %10.0f %12.0f\n", row.clients,
-                row.requests, row.p50_us, row.p99_us, row.max_us,
-                row.throughput_rps);
+    double qwait_p99_us = 0.0;
+    double handler_p99_us = 0.0;
+    auto close = service::Client::Connect("127.0.0.1", s.server->port());
+    HARMONY_CHECK(close.ok());
+    auto delta = close->StatsSnapshot(/*delta=*/true);
+    if (delta.ok()) {  // empty under -DHARMONY_OBS=OFF: columns stay 0
+      const obs::HistogramSnapshot* qw =
+          delta->snapshot.FindHistogram("service.queue_wait_ns");
+      if (qw != nullptr && qw->count > 0) {
+        qwait_p99_us =
+            static_cast<double>(qw->PercentileUpperBound(0.99)) / 1e3;
+      }
+      const obs::HistogramSnapshot* hm =
+          delta->snapshot.FindHistogram("service.handler_ns.match");
+      if (hm != nullptr && hm->count > 0) {
+        handler_p99_us =
+            static_cast<double>(hm->PercentileUpperBound(0.99)) / 1e3;
+      }
+    }
+    std::printf("%8zu %9zu %10.0f %10.0f %10.0f %12.0f %12.0f %12.0f\n",
+                row.clients, row.requests, row.p50_us, row.p99_us, row.max_us,
+                row.throughput_rps, qwait_p99_us, handler_p99_us);
   }
 
   std::printf("\nping (framing + queue + scheduling floor):\n");
@@ -196,7 +235,7 @@ void BM_ServedPing(benchmark::State& state) {
     benchmark::DoNotOptimize(reply.ok());
   }
 }
-BENCHMARK(BM_ServedPing)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ServedPing)->Name("BM_ServedPing" OBS_TAG)->Unit(benchmark::kMicrosecond);
 
 void BM_ServedMatchByName(benchmark::State& state) {
   const Study& s = GetStudy();
@@ -208,7 +247,9 @@ void BM_ServedMatchByName(benchmark::State& state) {
     benchmark::DoNotOptimize(reply.ok());
   }
 }
-BENCHMARK(BM_ServedMatchByName)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServedMatchByName)
+    ->Name("BM_ServedMatchByName" OBS_TAG)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ServedSearch(benchmark::State& state) {
   const Study& s = GetStudy();
@@ -222,7 +263,7 @@ void BM_ServedSearch(benchmark::State& state) {
     benchmark::DoNotOptimize(reply.ok());
   }
 }
-BENCHMARK(BM_ServedSearch)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ServedSearch)->Name("BM_ServedSearch" OBS_TAG)->Unit(benchmark::kMicrosecond);
 
 // Concurrent serving throughput: google-benchmark's own thread fan-out, one
 // connection per bench thread, all hammering warm matches. Thread counts
@@ -242,6 +283,7 @@ void BM_ServedMatchConcurrent(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServedMatchConcurrent)
+    ->Name("BM_ServedMatchConcurrent" OBS_TAG)
     ->Threads(2)
     ->Threads(4)
     ->Unit(benchmark::kMillisecond)

@@ -10,12 +10,24 @@
 //   harmony_match vocab <schema> <schema>... [--threshold=0.35] [--threads=N]
 //                 [--serial-merge] [--csv] [--stats] [--trace=out.json]
 //   harmony_match serve [--port=N] [--repo=DIR] [--threads=N]
-//                 [--queue-depth=N] [--stats] [--stats-interval=MS]
+//                 [--queue-depth=N] [--stats] [--metrics-text]
+//                 [--stats-interval=MS] [--trace=FILE] [--slow-ms=N]
 //   harmony_match query [--host=ADDR] [--port=N] <action> ...
 //     actions: ping | match <src> <tgt> [--by-name] [--threshold=]
 //              [--one-to-one] [--refined] [--csv]
 //              | search <keywords...> [--k=N] [--fragments]
-//              | vocab [term] [--k=N] | stats | shutdown | badframe
+//              | vocab [term] [--k=N]
+//              | stats [--metrics-text] [--delta] | shutdown | badframe
+//   harmony_match top [--host=ADDR] [--port=N] [--interval-ms=1000]
+//                 [--count=N] [--metrics-text]
+//
+// top is a live service dashboard: it polls the daemon's stats family with
+// interval-delta requests and renders per-family qps / errors / p50 / p99
+// alongside queue-wait and the sessions/queue-depth/engine-cache gauges.
+// serve --trace=FILE writes a Chrome trace at drain in which every request
+// carries a request-scoped span (id + family args) with the engine's spans
+// nested beneath it; serve --slow-ms=N logs a structured one-line record
+// for requests slower than N ms (0 = every request).
 //
 // serve runs the resident harmonyd daemon in-process (same code path as the
 // harmonyd binary); query is the matching client. A served `query match
@@ -47,19 +59,21 @@
 // serialization format. Running without arguments demonstrates on built-in
 // sample schemata.
 
+#include <unistd.h>
+
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "harmony.h"
+#include "obs/delta_export.h"
 
 namespace {
 
@@ -118,10 +132,11 @@ std::string LinksCsv(const std::vector<service::MatchLink>& links) {
 // MetricsRegistry under the process root plus a dedicated Tracer — and
 // exposes them as an EngineContext for the pipeline. On scope exit it
 // writes the trace file, prints the stats report, and flushes the child's
-// totals into the root registry. With a positive stats interval a
-// background thread emits "stats-delta {json}" lines to stderr: each line
-// carries only the change since the previous line (periodic delta export,
-// as a statsd or OTLP exporter would ship).
+// totals into the root registry. With a positive stats interval an
+// obs::PeriodicDeltaExporter emits "stats-delta {json}" lines to stderr:
+// each line carries only the change since the previous line, and the
+// exporter's Finish() contract guarantees one final line for the tail of
+// the run — a short run never loses its last partial interval.
 class ObsSession {
  public:
   ObsSession(bool stats, std::string trace_path, long stats_interval_ms)
@@ -133,23 +148,14 @@ class ObsSession {
       tracer_.SetThreadName("main");
       tracer_.Start();
     }
-    if (stats_interval_ms > 0) {
-      exporter_ = std::thread([this, stats_interval_ms] {
-        ExportLoop(stats_interval_ms);
-      });
-    }
+    exporter_.emplace(registry_, static_cast<int>(stats_interval_ms));
   }
 
   ~ObsSession() {
-    if (exporter_.joinable()) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        stop_ = true;
-      }
-      cv_.notify_all();
-      exporter_.join();
-      EmitDelta();  // the tail of the run since the last periodic emission
-    }
+    // This body runs before member destruction, so the exporter must finish
+    // here: its final tail delta has to read the registry *before*
+    // FlushToParent below drains it to zeros.
+    exporter_->Finish();
     if (!trace_path_.empty()) {
       tracer_.Stop();
       if (tracer_.WriteChromeTrace(trace_path_)) {
@@ -172,41 +178,13 @@ class ObsSession {
   const core::EngineContext& context() const { return context_; }
 
  private:
-  void ExportLoop(long interval_ms) {
-    std::unique_lock<std::mutex> lock(mu_);
-    for (;;) {
-      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
-                       [this] { return stop_; })) {
-        return;
-      }
-      lock.unlock();
-      EmitDelta();
-      lock.lock();
-    }
-  }
-
-  // Only ever called from one thread at a time: the exporter thread while it
-  // runs, the destructor after joining it.
-  void EmitDelta() {
-    // Snapshot once and diff against it, so increments landing between two
-    // snapshots can never fall through the crack between deltas.
-    obs::MetricsSnapshot current = registry_.Snapshot();
-    obs::MetricsSnapshot delta = current.DeltaFrom(baseline_);
-    baseline_ = std::move(current);
-    std::fprintf(stderr, "stats-delta %s\n", delta.ToJson().c_str());
-  }
-
   bool stats_;
   std::string trace_path_;
   core::EngineContext root_;  // sanctioned gateway to the process globals
   obs::MetricsRegistry registry_;
   obs::Tracer tracer_;
   core::EngineContext context_;
-  obs::MetricsSnapshot baseline_;
-  std::thread exporter_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::optional<obs::PeriodicDeltaExporter> exporter_;
 };
 
 int RunMatch(const std::vector<std::string>& args) {
@@ -420,8 +398,13 @@ int RunServe(const std::vector<std::string>& args) {
   options.synth_schemas = static_cast<size_t>(
       std::atoi(FlagValue(args, "--synth-schemas=", "4").c_str()));
   options.stats = FlagSet(args, "--stats");
+  options.metrics_text = FlagSet(args, "--metrics-text");
   options.stats_interval_ms =
       std::atol(FlagValue(args, "--stats-interval=", "0").c_str());
+  options.trace_path = FlagValue(args, "--trace=", "");
+  long slow_ms = std::atol(FlagValue(args, "--slow-ms=", "-1").c_str());
+  options.server.slow_request_ns =
+      slow_ms < 0 ? -1 : static_cast<int64_t>(slow_ms) * 1'000'000;
   return service::ServeMain(options);
 }
 
@@ -590,6 +573,19 @@ int RunQuery(const std::vector<std::string>& args) {
     return 0;
   }
   if (action == "stats") {
+    if (FlagSet(args, "--metrics-text") || FlagSet(args, "--delta")) {
+      auto response = client->StatsSnapshot(FlagSet(args, "--delta"));
+      if (!response.ok()) {
+        std::fprintf(stderr, "stats: %s\n",
+                     response.status().ToString().c_str());
+        return 1;
+      }
+      std::fputs(FlagSet(args, "--metrics-text")
+                     ? response->snapshot.ToMetricsText().c_str()
+                     : response->snapshot.ToText().c_str(),
+                 stdout);
+      return 0;
+    }
     auto reply = client->Stats();
     if (!reply.ok()) {
       std::fprintf(stderr, "stats: %s\n", reply.status().ToString().c_str());
@@ -610,6 +606,99 @@ int RunQuery(const std::vector<std::string>& args) {
   }
   std::fprintf(stderr, "unknown query action '%s'\n", action.c_str());
   return 2;
+}
+
+// One frame of the `top` dashboard. All reads tolerate missing metrics
+// (nullptr finds render as zero), so a daemon built with HARMONY_OBS=OFF
+// still shows the table, just dark.
+void RenderTopFrame(const service::StatsResponse& stats) {
+  const obs::MetricsSnapshot& s = stats.snapshot;
+  double interval_s = static_cast<double>(stats.interval_ns) / 1e9;
+  if (interval_s <= 0) interval_s = 1e-9;
+  auto counter = [&s](const std::string& name) -> uint64_t {
+    const obs::CounterSnapshot* c = s.FindCounter(name);
+    return c != nullptr ? c->value : 0;
+  };
+  auto gauge = [&s](const std::string& name) -> long long {
+    const obs::GaugeSnapshot* g = s.FindGauge(name);
+    return g != nullptr ? g->value : 0;
+  };
+  std::printf(
+      "interval=%.1fs  sessions=%lld  queue_depth=%lld  engine_cache=%lld  "
+      "rejected=%llu\n",
+      interval_s, gauge("service.sessions"), gauge("service.queue_depth"),
+      gauge("service.engine_cache.size"),
+      static_cast<unsigned long long>(counter("service.rejected")));
+  std::printf("%-10s %10s %10s %12s %12s\n", "family", "qps", "errors",
+              "p50(us)", "p99(us)");
+  for (size_t f = 0; f < service::kRequestFamilies; ++f) {
+    const char* name = service::RequestFamilyName(f);
+    uint64_t requests = counter(std::string("service.requests.") + name);
+    uint64_t errors = counter(std::string("service.errors.") + name);
+    const obs::HistogramSnapshot* h =
+        s.FindHistogram(std::string("service.handler_ns.") + name);
+    double p50_us =
+        h != nullptr ? static_cast<double>(h->PercentileUpperBound(0.50)) / 1e3
+                     : 0.0;
+    double p99_us =
+        h != nullptr ? static_cast<double>(h->PercentileUpperBound(0.99)) / 1e3
+                     : 0.0;
+    std::printf("%-10s %10.1f %10llu %12.0f %12.0f\n", name,
+                static_cast<double>(requests) / interval_s,
+                static_cast<unsigned long long>(errors), p50_us, p99_us);
+  }
+  const obs::HistogramSnapshot* qw = s.FindHistogram("service.queue_wait_ns");
+  if (qw != nullptr && qw->count > 0) {
+    std::printf("queue_wait: count=%llu p50<=%.0fus p99<=%.0fus\n",
+                static_cast<unsigned long long>(qw->count),
+                static_cast<double>(qw->PercentileUpperBound(0.50)) / 1e3,
+                static_cast<double>(qw->PercentileUpperBound(0.99)) / 1e3);
+  }
+}
+
+// Live dashboard over a running daemon: polls the stats family with delta
+// requests (the server keeps the baseline, so consecutive polls tile the
+// timeline) and renders rates + latency quantiles per request family.
+// Note the delta baseline is shared per server, so two concurrent delta
+// pollers split the traffic between their windows.
+int RunTop(const std::vector<std::string>& args) {
+  std::string host = FlagValue(args, "--host=", "127.0.0.1");
+  uint16_t port = static_cast<uint16_t>(
+      std::atoi(FlagValue(args, "--port=", "7411").c_str()));
+  long interval_ms =
+      std::atol(FlagValue(args, "--interval-ms=", "1000").c_str());
+  if (interval_ms <= 0) interval_ms = 1000;
+  // 0 = run until interrupted; a positive count makes top scriptable (the
+  // smoke gate uses --count=2).
+  long count = std::atol(FlagValue(args, "--count=", "0").c_str());
+  bool metrics_text = FlagSet(args, "--metrics-text");
+
+  auto client = service::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  bool tty = ::isatty(STDOUT_FILENO) != 0;
+  for (long frame = 0; count <= 0 || frame < count; ++frame) {
+    if (frame > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    auto stats = client->StatsSnapshot(/*delta=*/true);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "top: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    if (tty && frame > 0) std::fputs("\033[H\033[2J", stdout);
+    std::printf("harmonyd %s:%u — top frame %ld\n", host.c_str(), port,
+                frame + 1);
+    if (metrics_text) {
+      std::fputs(stats->snapshot.ToMetricsText().c_str(), stdout);
+    } else {
+      RenderTopFrame(*stats);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
 }
 
 int RunDemo(const std::vector<std::string>& args) {
@@ -656,9 +745,10 @@ int main(int argc, char** argv) {
   if (command == "vocab") return RunVocab(args);
   if (command == "serve") return RunServe(args);
   if (command == "query") return RunQuery(args);
+  if (command == "top") return RunTop(args);
   std::fprintf(stderr,
                "unknown command '%s' (expected match | profile | export | "
-               "vocab | serve | query)\n",
+               "vocab | serve | query | top)\n",
                command.c_str());
   return 2;
 }

@@ -5,7 +5,14 @@
 //
 //   harmonyd [--port=N] [--host=ADDR] [--repo=DIR] [--threads=N]
 //            [--queue-depth=N] [--threshold=0.35] [--synth-schemas=N]
-//            [--stats] [--stats-interval=MS]
+//            [--stats] [--metrics-text] [--stats-interval=MS]
+//            [--trace=FILE] [--slow-ms=N]
+//
+// Observability: --trace=FILE writes a Chrome trace (request spans with
+// id/family args, engine spans nested beneath) at exit; --slow-ms=N logs a
+// structured slow-request line for any request whose total latency exceeds
+// N ms (0 = log every request); --metrics-text renders the exit metrics
+// dump in Prometheus/statsd text form.
 //
 // With --repo, serves a repository previously written by
 // MetadataRepository::SaveTo; without it, a built-in synthetic community
@@ -63,7 +70,12 @@ int main(int argc, char** argv) {
   options.synth_schemas = static_cast<size_t>(
       std::atoi(FlagValue(args, "--synth-schemas=", "4").c_str()));
   options.stats = FlagSet(args, "--stats");
+  options.metrics_text = FlagSet(args, "--metrics-text");
   options.stats_interval_ms =
       std::atol(FlagValue(args, "--stats-interval=", "0").c_str());
+  options.trace_path = FlagValue(args, "--trace=", "");
+  long slow_ms = std::atol(FlagValue(args, "--slow-ms=", "-1").c_str());
+  options.server.slow_request_ns =
+      slow_ms < 0 ? -1 : static_cast<int64_t>(slow_ms) * 1'000'000;
   return service::ServeMain(options);
 }

@@ -73,6 +73,10 @@ QUERY=("$CLI" query "--port=$PORT")
 # --- Scripted session ------------------------------------------------------
 [ "$("${QUERY[@]}" ping)" = "pong" ] || fail "ping did not return pong"
 
+# RED metrics baseline before the match traffic below.
+"${QUERY[@]}" stats --metrics-text > "$WORK/stats_before.txt" \
+  || fail "stats --metrics-text failed"
+
 "${QUERY[@]}" search identifier name > "$WORK/search.out" \
   || fail "search query failed"
 grep -q "hits" "$WORK/search.out" || fail "search returned no hit summary"
@@ -91,6 +95,43 @@ cmp "$WORK/batch.csv" "$WORK/served.csv" \
 [ "$(wc -l < "$WORK/batch.csv")" -gt 1 ] || fail "match produced no links"
 echo "service_smoke: served match byte-identical to batch ($(($(wc -l < "$WORK/batch.csv") - 1)) links)"
 
+# --- RED metrics over the wire --------------------------------------------
+# The same counters again, after the match: per-family counters and latency
+# histograms must have moved, and every line must parse as Prometheus-style
+# text exposition.
+"${QUERY[@]}" stats --metrics-text > "$WORK/stats_after.txt" \
+  || fail "second stats --metrics-text failed"
+BAD_LINES=$(grep -Evc \
+  '^(# TYPE [A-Za-z_:][A-Za-z0-9_:]* (counter|gauge|histogram)|[A-Za-z_:][A-Za-z0-9_:]*(_bucket\{le="[^"]*"\})? -?[0-9]+)$' \
+  "$WORK/stats_after.txt" || true)
+[ "$BAD_LINES" -eq 0 ] || fail "$BAD_LINES unparseable --metrics-text lines"
+
+metric() { awk -v m="$2" '$1 == m {print $2; exit}' "$1"; }
+MATCH_BEFORE=$(metric "$WORK/stats_before.txt" service_requests_match)
+MATCH_AFTER=$(metric "$WORK/stats_after.txt" service_requests_match)
+[ "${MATCH_AFTER:-0}" -gt "${MATCH_BEFORE:-0}" ] \
+  || fail "service_requests_match did not increase ($MATCH_BEFORE -> $MATCH_AFTER)"
+HANDLER_COUNT=$(metric "$WORK/stats_after.txt" service_handler_ns_match_count)
+[ "${HANDLER_COUNT:-0}" -ge 1 ] \
+  || fail "service_handler_ns_match histogram recorded nothing"
+QWAIT_COUNT=$(metric "$WORK/stats_after.txt" service_queue_wait_ns_count)
+[ "${QWAIT_COUNT:-0}" -ge 1 ] \
+  || fail "service_queue_wait_ns histogram recorded nothing"
+echo "service_smoke: per-family RED metrics moved (match=$MATCH_AFTER handler_count=$HANDLER_COUNT qwait_count=$QWAIT_COUNT)"
+
+# --- Live dashboard --------------------------------------------------------
+# Two non-tty frames: the header plus one row per request family, with the
+# interval delta turning counters into rates.
+"$CLI" top "--port=$PORT" --count=2 --interval-ms=300 > "$WORK/top.out" \
+  || fail "top dashboard failed"
+grep -Eq "family +qps +errors +p50\(us\) +p99\(us\)" "$WORK/top.out" \
+  || fail "top is missing the family table header"
+grep -Eq "^match +[0-9.]+ +[0-9]+ +[0-9]+ +[0-9]+" "$WORK/top.out" \
+  || fail "top is missing the match family row"
+[ "$(grep -c "top frame" "$WORK/top.out")" -eq 2 ] \
+  || fail "top did not render exactly 2 frames"
+echo "service_smoke: top rendered per-family qps/p50/p99 frames"
+
 # A hostile length prefix must be answered with a framed error, not a crash.
 "${QUERY[@]}" badframe > "$WORK/badframe.out" || fail "badframe probe failed"
 grep -q "frame too large" "$WORK/badframe.out" \
@@ -106,5 +147,64 @@ wait "$DAEMON_PID" || EXIT_CODE=$?
 grep -q "harmonyd: drained" "$WORK/stderr" || fail "no drain summary on stderr"
 grep -q "protocol_errors=1" "$WORK/stderr" \
   || fail "drain summary did not count the malformed frame"
+grep -q "oversized_frames=1" "$WORK/stderr" \
+  || fail "drain summary did not attribute the bad frame to the oversized counter"
 
+# --- Traced session: spans, slow-request log, shutdown delta ---------------
+# A second short daemon with the full observability surface on: Chrome trace,
+# slow-request log at threshold 0 (log everything), metrics-text exit dump,
+# and an interval far beyond the run so exactly one (final) stats-delta line
+# can appear.
+"$HARMONYD" --port=0 --threads=2 --trace="$WORK/trace.json" --slow-ms=0 \
+  --metrics-text --stats-interval=60000 \
+  > "$WORK/stdout2" 2> "$WORK/stderr2" &
+DAEMON2_PID=$!
+PORT2=""
+for _ in $(seq 1 100); do
+  if ! kill -0 "$DAEMON2_PID" 2>/dev/null; then
+    cat "$WORK/stderr2" >&2
+    fail "traced daemon died during startup"
+  fi
+  PORT2=$(sed -n 's/.* on 127\.0\.0\.1:\([0-9]*\) .*/\1/p' "$WORK/stdout2")
+  [ -n "$PORT2" ] && break
+  sleep 0.1
+done
+[ -n "$PORT2" ] || fail "traced daemon printed no port within 10s"
+
+[ "$("$CLI" query "--port=$PORT2" ping)" = "pong" ] \
+  || fail "traced daemon ping failed"
+"$CLI" query "--port=$PORT2" match "$WORK/a.sql" "$WORK/b.sql" --csv \
+  --threshold=0.05 > /dev/null || fail "traced daemon match failed"
+
+kill -TERM "$DAEMON2_PID"
+EXIT2=0
+wait "$DAEMON2_PID" || EXIT2=$?
+[ "$EXIT2" -eq 0 ] || { cat "$WORK/stderr2" >&2; fail "traced daemon exited $EXIT2"; }
+
+# Request-scoped spans with id/family args, engine spans in the same trace.
+[ -s "$WORK/trace.json" ] || fail "trace file missing or empty"
+grep -q "service.request" "$WORK/trace.json" \
+  || fail "trace has no service.request span"
+grep -q '"args":{"id":' "$WORK/trace.json" \
+  || fail "request spans carry no id/family args"
+grep -q '"family":"match"' "$WORK/trace.json" \
+  || fail "trace has no span tagged with the match family"
+grep -Eq '"engine/(preprocess|compute_matrix)"' "$WORK/trace.json" \
+  || fail "engine spans did not nest into the request trace"
+
+# Slow-request log at threshold 0: one structured line per request, with the
+# match request identifiable by family.
+grep -Eq "slow-request id=[0-9]+ family=match outcome=ok .*queue_wait_ns=[0-9]+ handler_ns=[0-9]+" \
+  "$WORK/stderr2" || fail "no slow-request line for the match request"
+
+# Exactly one stats-delta line: the guaranteed final interval at drain.
+DELTA_LINES=$(grep -c "^stats-delta {" "$WORK/stderr2" || true)
+[ "$DELTA_LINES" -eq 1 ] \
+  || fail "expected exactly 1 final stats-delta line, saw $DELTA_LINES"
+
+# Prometheus-style exit dump.
+grep -q "^service_requests_match 1$" "$WORK/stderr2" \
+  || fail "metrics-text exit dump missing service_requests_match"
+
+echo "service_smoke: trace + slow-request log + final delta + metrics-text OK"
 echo "service_smoke: PASS"

@@ -1,0 +1,60 @@
+#include "obs/delta_export.h"
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+namespace harmony::obs {
+
+PeriodicDeltaExporter::PeriodicDeltaExporter(MetricsRegistry& registry,
+                                             int interval_ms, std::FILE* out)
+    : registry_(registry), interval_ms_(interval_ms), out_(out) {
+  if (interval_ms_ <= 0) {
+    finished_ = true;  // disabled: Finish() and the dtor are no-ops
+    return;
+  }
+  baseline_ = registry_.Snapshot();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+PeriodicDeltaExporter::~PeriodicDeltaExporter() { Finish(); }
+
+void PeriodicDeltaExporter::Finish() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finished_) return;
+    finished_ = true;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // The last partial interval: everything since the final periodic emission.
+  EmitDelta();
+}
+
+void PeriodicDeltaExporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                     [this] { return stop_; })) {
+      break;  // the tail delta is Finish()'s job, after the join
+    }
+    lock.unlock();
+    EmitDelta();
+    lock.lock();
+  }
+}
+
+void PeriodicDeltaExporter::EmitDelta() {
+  // Snapshot once and diff against the previous snapshot (rather than
+  // DeltaSince, which would snapshot a second time and let increments land
+  // between the two reads — those would vanish from every delta).
+  MetricsSnapshot current = registry_.Snapshot();
+  MetricsSnapshot delta = current.DeltaFrom(baseline_);
+  baseline_ = std::move(current);
+  std::string json = delta.ToJson();
+  std::fprintf(out_, "stats-delta %s\n", json.c_str());
+  std::fflush(out_);
+}
+
+}  // namespace harmony::obs

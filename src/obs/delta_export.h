@@ -1,0 +1,60 @@
+// harmony::obs periodic delta export — a background thread that snapshots a
+// MetricsRegistry every interval and prints the interval delta (the
+// statsd/OTLP "ship the diff" pattern) as one `stats-delta {json}` line on
+// stderr. Both harmony_match batch runs (--stats-interval) and harmonyd use
+// this; centralizing it here guarantees the shutdown contract in one place:
+// Finish() always emits one final tail delta, so the last partial interval
+// is never silently dropped.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace harmony::obs {
+
+/// \brief Periodic stats-delta emitter with a guaranteed final flush.
+///
+/// Construction with interval_ms > 0 starts the export thread; interval_ms
+/// <= 0 makes every method a no-op (callers need no conditionals).
+/// Finish() stops the thread and emits the tail delta exactly once; the
+/// destructor calls Finish() if the caller has not. Call Finish() *before*
+/// draining the registry (e.g. FlushToParent) or the tail delta reads zeros.
+///
+/// The registry must outlive this object. Deltas are computed with the
+/// snapshot-once-then-DeltaFrom pattern: each emission's baseline is the
+/// previous emission's snapshot, so consecutive deltas tile the timeline
+/// without gaps or double counting.
+class PeriodicDeltaExporter {
+ public:
+  PeriodicDeltaExporter(MetricsRegistry& registry, int interval_ms,
+                        std::FILE* out = stderr);
+  ~PeriodicDeltaExporter();
+
+  PeriodicDeltaExporter(const PeriodicDeltaExporter&) = delete;
+  PeriodicDeltaExporter& operator=(const PeriodicDeltaExporter&) = delete;
+
+  /// Joins the export thread and emits one final delta covering the time
+  /// since the last periodic emission. Idempotent.
+  void Finish();
+
+ private:
+  void Loop();
+  void EmitDelta();
+
+  MetricsRegistry& registry_;
+  const int interval_ms_;
+  std::FILE* const out_;
+  MetricsSnapshot baseline_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool finished_ = false;
+  std::thread thread_;
+};
+
+}  // namespace harmony::obs

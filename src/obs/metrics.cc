@@ -150,6 +150,64 @@ std::string MetricsSnapshot::ToText() const {
   return out;
 }
 
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; everything else (the '.'
+// separators in harmony's dotted names, mostly) maps to '_'.
+std::string PromName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToMetricsText() const {
+  std::string out;
+  char line[256];
+  for (const auto& c : counters) {
+    std::string name = PromName(c.name);
+    out += "# TYPE " + name + " counter\n";
+    std::snprintf(line, sizeof(line), "%s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c.value));
+    out += line;
+  }
+  for (const auto& g : gauges) {
+    std::string name = PromName(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    std::snprintf(line, sizeof(line), "%s %lld\n", name.c_str(),
+                  static_cast<long long>(g.value));
+    out += line;
+  }
+  for (const auto& h : histograms) {
+    std::string name = PromName(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      cumulative += h.buckets[b];
+      std::snprintf(line, sizeof(line), "%s_bucket{le=\"%llu\"} %llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(BucketUpperBound(b)),
+                    static_cast<unsigned long long>(cumulative));
+      out += line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "%s_bucket{le=\"+Inf\"} %llu\n%s_sum %llu\n%s_count %llu\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  name.c_str(), static_cast<unsigned long long>(h.sum),
+                  name.c_str(), static_cast<unsigned long long>(h.count));
+    out += line;
+  }
+  return out;
+}
+
 std::string MetricsSnapshot::ToJson() const {
   std::string out = "{\"counters\":{";
   bool first = true;

@@ -87,6 +87,10 @@ struct MetricsSnapshot {
   std::string ToText() const;
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,...}}}
   std::string ToJson() const;
+  /// Prometheus/statsd-style text exposition: names sanitized to
+  /// [A-Za-z0-9_:], `# TYPE` headers, histograms as cumulative
+  /// `name_bucket{le="..."}` series plus `_sum`/`_count`.
+  std::string ToMetricsText() const;
 };
 
 /// \brief Registry of named metrics with per-thread sharded storage.
@@ -188,7 +192,7 @@ class MetricsRegistry {
 class Counter {
  public:
 #if HARMONY_OBS_ENABLED
-  Counter(MetricsRegistry& registry, const char* name)
+  Counter(MetricsRegistry& registry, const std::string& name)
       : registry_(&registry), id_(registry_->CounterId(name)) {}
   void Add(uint64_t delta = 1) const { registry_->Add(id_, delta); }
 
@@ -196,7 +200,7 @@ class Counter {
   MetricsRegistry* registry_;
   uint32_t id_;
 #else
-  Counter(MetricsRegistry& /*registry*/, const char* /*name*/) {}
+  Counter(MetricsRegistry& /*registry*/, const std::string& /*name*/) {}
   void Add(uint64_t /*delta*/ = 1) const {}
 #endif
 };
@@ -204,7 +208,7 @@ class Counter {
 class Gauge {
  public:
 #if HARMONY_OBS_ENABLED
-  Gauge(MetricsRegistry& registry, const char* name)
+  Gauge(MetricsRegistry& registry, const std::string& name)
       : registry_(&registry), id_(registry_->GaugeId(name)) {}
   void Set(int64_t value) const { registry_->GaugeSet(id_, value); }
   void Add(int64_t delta) const { registry_->GaugeAdd(id_, delta); }
@@ -213,7 +217,7 @@ class Gauge {
   MetricsRegistry* registry_;
   uint32_t id_;
 #else
-  Gauge(MetricsRegistry& /*registry*/, const char* /*name*/) {}
+  Gauge(MetricsRegistry& /*registry*/, const std::string& /*name*/) {}
   void Set(int64_t /*value*/) const {}
   void Add(int64_t /*delta*/) const {}
 #endif
@@ -222,7 +226,7 @@ class Gauge {
 class Histogram {
  public:
 #if HARMONY_OBS_ENABLED
-  Histogram(MetricsRegistry& registry, const char* name)
+  Histogram(MetricsRegistry& registry, const std::string& name)
       : registry_(&registry), id_(registry_->HistogramId(name)) {}
   void Record(uint64_t value) const { registry_->Record(id_, value); }
 
@@ -230,7 +234,7 @@ class Histogram {
   MetricsRegistry* registry_;
   uint32_t id_;
 #else
-  Histogram(MetricsRegistry& /*registry*/, const char* /*name*/) {}
+  Histogram(MetricsRegistry& /*registry*/, const std::string& /*name*/) {}
   void Record(uint64_t /*value*/) const {}
 #endif
 };

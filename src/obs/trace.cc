@@ -18,6 +18,10 @@ struct TraceEvent {
   const char* name;
   uint64_t start_ns;
   uint64_t dur_ns;
+  // Optional span args: arg_family == nullptr means "no args". Like names,
+  // arg_family must outlive the tracer session (string literal in practice).
+  uint64_t arg_id = 0;
+  const char* arg_family = nullptr;
 };
 
 void AppendEscaped(std::string& out, std::string_view s) {
@@ -119,6 +123,11 @@ void Tracer::SetThreadName(const std::string& name) {
 }
 
 void Tracer::Emit(const char* name, uint64_t start_ns, uint64_t end_ns) {
+  Emit(name, start_ns, end_ns, 0, nullptr);
+}
+
+void Tracer::Emit(const char* name, uint64_t start_ns, uint64_t end_ns,
+                  uint64_t arg_id, const char* arg_family) {
   if (!enabled()) return;  // stopped while the span was open
   ThreadBuffer& buffer = LocalBuffer();
   std::lock_guard<std::mutex> lock(buffer.mu);
@@ -126,8 +135,9 @@ void Tracer::Emit(const char* name, uint64_t start_ns, uint64_t end_ns) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  buffer.events.push_back(
-      {name, start_ns, end_ns >= start_ns ? end_ns - start_ns : 0});
+  buffer.events.push_back({name, start_ns,
+                           end_ns >= start_ns ? end_ns - start_ns : 0, arg_id,
+                           arg_family});
 }
 
 size_t Tracer::event_count() {
@@ -194,9 +204,17 @@ std::string Tracer::ExportChromeTrace() {
     out += ",{\"ph\":\"X\",\"name\":\"";
     AppendEscaped(out, row.event.name);
     std::snprintf(buf, sizeof(buf),
-                  "\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}", row.tid,
+                  "\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f", row.tid,
                   ts_us, dur_us);
     out += buf;
+    if (row.event.arg_family != nullptr) {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"id\":%llu,\"family\":\"",
+                    static_cast<unsigned long long>(row.event.arg_id));
+      out += buf;
+      AppendEscaped(out, row.event.arg_family);
+      out += "\"}";
+    }
+    out += '}';
   }
   out += "]}";
   return out;

@@ -57,6 +57,13 @@ class Tracer {
   /// Records one complete span on the calling thread's buffer.
   void Emit(const char* name, uint64_t start_ns, uint64_t end_ns);
 
+  /// As above, with span args attached: an integer id and a family label
+  /// rendered as {"args":{"id":...,"family":"..."}} in the Chrome export.
+  /// `arg_family` must be a string literal (or outlive the tracer session),
+  /// like span names; nullptr means "no args".
+  void Emit(const char* name, uint64_t start_ns, uint64_t end_ns,
+            uint64_t arg_id, const char* arg_family);
+
   /// Total buffered events across all threads.
   size_t event_count();
   /// Events dropped because a thread buffer hit its cap.
@@ -97,9 +104,25 @@ class TraceSpan {
       start_ns_ = MonotonicNanos();
     }
   }
+  /// Span with args (see Tracer::Emit overload). `arg_family` must outlive
+  /// the tracer session.
+  TraceSpan(Tracer* tracer, const char* name, uint64_t arg_id,
+            const char* arg_family) {
+    if (tracer != nullptr && tracer->enabled()) {
+      tracer_ = tracer;
+      name_ = name;
+      start_ns_ = MonotonicNanos();
+      arg_id_ = arg_id;
+      arg_family_ = arg_family;
+    }
+  }
   ~TraceSpan() {
     if (name_ != nullptr) {
-      tracer_->Emit(name_, start_ns_, MonotonicNanos());
+      if (arg_family_ != nullptr) {
+        tracer_->Emit(name_, start_ns_, MonotonicNanos(), arg_id_, arg_family_);
+      } else {
+        tracer_->Emit(name_, start_ns_, MonotonicNanos());
+      }
     }
   }
 
@@ -107,8 +130,12 @@ class TraceSpan {
   Tracer* tracer_ = nullptr;
   const char* name_ = nullptr;
   uint64_t start_ns_ = 0;
+  uint64_t arg_id_ = 0;
+  const char* arg_family_ = nullptr;
 #else
   TraceSpan(Tracer* /*tracer*/, const char* /*name*/) {}
+  TraceSpan(Tracer* /*tracer*/, const char* /*name*/, uint64_t /*arg_id*/,
+            const char* /*arg_family*/) {}
 #endif
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -123,12 +150,23 @@ class TraceSpan {
 #define HARMONY_TRACE_SPAN(tracer, name)                                 \
   ::harmony::obs::TraceSpan HARMONY_OBS_CONCAT(harmony_trace_span_,      \
                                                __LINE__)((tracer), (name))
+/// Scoped trace span carrying an id and family label as span args.
+#define HARMONY_TRACE_SPAN_ARGS(tracer, name, id, family)           \
+  ::harmony::obs::TraceSpan HARMONY_OBS_CONCAT(harmony_trace_span_, \
+                                               __LINE__)((tracer), (name), \
+                                                         (id), (family))
 #else
 // `tracer` stays an unevaluated operand so context-only-used-for-tracing
 // parameters don't trip -Wunused under -DHARMONY_OBS=OFF.
 #define HARMONY_TRACE_SPAN(tracer, name) \
   do {                                   \
     (void)sizeof(tracer);                \
+  } while (false)
+#define HARMONY_TRACE_SPAN_ARGS(tracer, name, id, family) \
+  do {                                                    \
+    (void)sizeof(tracer);                                 \
+    (void)sizeof(id);                                     \
+    (void)sizeof(family);                                 \
   } while (false)
 #endif
 

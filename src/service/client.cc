@@ -134,6 +134,16 @@ Result<std::string> Client::Stats() {
   return ExpectOk(RoundTrip(static_cast<uint8_t>(RequestTag::kStats), ""));
 }
 
+Result<StatsResponse> Client::StatsSnapshot(bool delta) {
+  StatsRequest request;
+  request.delta = delta;
+  HARMONY_ASSIGN_OR_RETURN(
+      std::string payload,
+      ExpectOk(RoundTrip(static_cast<uint8_t>(RequestTag::kStats),
+                         EncodeStatsRequest(request))));
+  return DecodeStatsResponse(payload);
+}
+
 Result<std::string> Client::Shutdown() {
   return ExpectOk(RoundTrip(static_cast<uint8_t>(RequestTag::kShutdown), ""));
 }

@@ -45,8 +45,14 @@ class Client {
   /// Vocabulary summary / term lookup; returns rendered text.
   Result<std::string> Vocab(const VocabRequest& request);
 
-  /// Server metrics snapshot as text.
+  /// Server metrics snapshot as text (the legacy empty-payload form).
   Result<std::string> Stats();
+
+  /// Structured server metrics: the full snapshot, or with `delta` the
+  /// interval since the previous delta request (the server keeps the
+  /// baseline, so repeated delta polls tile the timeline — what `top` uses
+  /// to turn counters into rates).
+  Result<StatsResponse> StatsSnapshot(bool delta = false);
 
   /// Asks the daemon to drain. The reply ("draining") arrives before the
   /// daemon starts refusing new connections.

@@ -3,14 +3,12 @@
 #include <signal.h>
 
 #include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <cstdio>
-#include <mutex>
-#include <thread>
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/delta_export.h"
+#include "obs/trace.h"
 #include "synth/generator.h"
 
 namespace harmony::service {
@@ -49,59 +47,6 @@ Result<repository::MetadataRepository> BuildRepository(
   return repo;
 }
 
-// Periodic "stats-delta {json}" emitter over the daemon's registry scope —
-// the same delta-export loop the batch CLI runs, now fed continuously by
-// request registries flushing into this scope.
-class DeltaExporter {
- public:
-  DeltaExporter(obs::MetricsRegistry& registry, long interval_ms)
-      : registry_(registry) {
-    if (interval_ms > 0) {
-      thread_ = std::thread([this, interval_ms] { Loop(interval_ms); });
-    }
-  }
-
-  ~DeltaExporter() {
-    if (thread_.joinable()) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        stop_ = true;
-      }
-      cv_.notify_all();
-      thread_.join();
-      Emit();  // tail delta since the last periodic emission
-    }
-  }
-
- private:
-  void Loop(long interval_ms) {
-    std::unique_lock<std::mutex> lock(mu_);
-    for (;;) {
-      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
-                       [this] { return stop_; })) {
-        return;
-      }
-      lock.unlock();
-      Emit();
-      lock.lock();
-    }
-  }
-
-  void Emit() {
-    obs::MetricsSnapshot current = registry_.Snapshot();
-    obs::MetricsSnapshot delta = current.DeltaFrom(baseline_);
-    baseline_ = std::move(current);
-    std::fprintf(stderr, "stats-delta %s\n", delta.ToJson().c_str());
-  }
-
-  obs::MetricsRegistry& registry_;
-  obs::MetricsSnapshot baseline_;
-  std::thread thread_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-};
-
 }  // namespace
 
 int ServeMain(const ServeOptions& options) {
@@ -113,10 +58,15 @@ int ServeMain(const ServeOptions& options) {
   }
 
   // The daemon's observability scope: a child of the process root, flushed
-  // at exit — the ObsSession pattern of the batch CLI, long-running.
+  // at exit — the ObsSession pattern of the batch CLI, long-running. The
+  // tracer is daemon-owned (not the process-global one) so `--trace` records
+  // exactly this serve session: request spans and the engine spans nested
+  // under them, across all worker threads.
   core::EngineContext root;
   obs::MetricsRegistry registry(root.metrics);
-  core::EngineContext context(&registry, root.tracer);
+  obs::Tracer tracer;
+  core::EngineContext context(&registry, &tracer);
+  if (!options.trace_path.empty()) tracer.Start();
 
   auto state = ServiceState::Build(std::move(*repo), options.state, context);
   if (!state.ok()) {
@@ -150,24 +100,44 @@ int ServeMain(const ServeOptions& options) {
   ::sigaction(SIGINT, &action, nullptr);
 
   {
-    DeltaExporter exporter(registry, options.stats_interval_ms);
+    obs::PeriodicDeltaExporter exporter(
+        registry, static_cast<int>(options.stats_interval_ms));
     (*server)->Wait();
+    // Finish (join + final tail delta) runs here, before the drain summary —
+    // the exporter's contract guarantees the last partial interval is
+    // emitted, never dropped.
   }
   g_signal_server.store(nullptr, std::memory_order_relaxed);
 
   Server::Counters counters = (*server)->CountersNow();
   std::fprintf(stderr,
                "harmonyd: drained (accepted=%llu requests=%llu rejected=%llu "
-               "protocol_errors=%llu)\n",
+               "protocol_errors=%llu oversized_frames=%llu "
+               "malformed_frames=%llu)\n",
                static_cast<unsigned long long>(counters.accepted),
                static_cast<unsigned long long>(counters.served_requests),
                static_cast<unsigned long long>(counters.rejected),
-               static_cast<unsigned long long>(counters.protocol_errors));
+               static_cast<unsigned long long>(counters.protocol_errors),
+               static_cast<unsigned long long>(counters.oversized_frames),
+               static_cast<unsigned long long>(counters.malformed_frames));
   server->reset();  // join everything before tearing down the registry
 
-  if (options.stats) {
+  if (!options.trace_path.empty()) {
+    tracer.Stop();
+    if (tracer.WriteChromeTrace(options.trace_path)) {
+      std::fprintf(stderr, "harmonyd: trace written to %s (%zu events)\n",
+                   options.trace_path.c_str(), tracer.event_count());
+    } else {
+      std::fprintf(stderr, "harmonyd: failed to write trace to %s\n",
+                   options.trace_path.c_str());
+    }
+  }
+  if (options.stats || options.metrics_text) {
     std::fputs("\n-- harmonyd metrics --\n", stderr);
-    std::fputs(registry.Snapshot().ToText().c_str(), stderr);
+    obs::MetricsSnapshot snapshot = registry.Snapshot();
+    std::fputs(options.metrics_text ? snapshot.ToMetricsText().c_str()
+                                    : snapshot.ToText().c_str(),
+               stderr);
   }
   registry.FlushToParent();
   return 0;

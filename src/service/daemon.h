@@ -26,10 +26,17 @@ struct ServeOptions {
   uint64_t synth_seed = 11;
   /// Print the run's metrics registry to stderr at exit.
   bool stats = false;
+  /// Print the exit metrics in Prometheus/statsd text form instead of the
+  /// human table (implies an exit dump even when `stats` is false).
+  bool metrics_text = false;
   /// >0: emit one "stats-delta {json}" line to stderr every interval — the
   /// same statsd/OTLP-style periodic export the batch CLI speaks, fed by the
-  /// per-request child registries flushing into the server scope.
+  /// per-request child registries flushing into the server scope. One final
+  /// delta always flushes at drain, so the last partial interval is kept.
   long stats_interval_ms = 0;
+  /// Non-empty: record request-scoped traces for the daemon's lifetime and
+  /// write a Chrome trace-event JSON file here at exit.
+  std::string trace_path;
 };
 
 /// Runs the daemon until drained. Returns a process exit code: 0 after a

@@ -276,6 +276,123 @@ Result<VocabRequest> DecodeVocabRequest(std::string_view payload) {
   return req;
 }
 
+namespace {
+
+constexpr uint8_t kStatsFlagDelta = 1u << 0;
+
+}  // namespace
+
+std::string EncodeStatsRequest(const StatsRequest& req) {
+  WireWriter w;
+  uint8_t flags = 0;
+  if (req.delta) flags |= kStatsFlagDelta;
+  w.PutU8(flags);
+  return w.Take();
+}
+
+Result<StatsRequest> DecodeStatsRequest(std::string_view payload) {
+  WireReader r(payload);
+  StatsRequest req;
+  uint8_t flags;
+  if (!r.GetU8(&flags) || !r.Done()) return Malformed("stats request");
+  req.delta = (flags & kStatsFlagDelta) != 0;
+  return req;
+}
+
+std::string EncodeStatsResponse(const StatsResponse& resp) {
+  WireWriter w;
+  uint8_t flags = 0;
+  if (resp.delta) flags |= kStatsFlagDelta;
+  w.PutU8(flags);
+  w.PutU64(resp.interval_ns);
+  const obs::MetricsSnapshot& s = resp.snapshot;
+  w.PutU32(static_cast<uint32_t>(s.counters.size()));
+  for (const auto& c : s.counters) {
+    w.PutString(c.name);
+    w.PutU64(c.value);
+  }
+  w.PutU32(static_cast<uint32_t>(s.gauges.size()));
+  for (const auto& g : s.gauges) {
+    w.PutString(g.name);
+    w.PutU64(static_cast<uint64_t>(g.value));
+  }
+  w.PutU32(static_cast<uint32_t>(s.histograms.size()));
+  for (const auto& h : s.histograms) {
+    w.PutString(h.name);
+    w.PutU64(h.sum);
+    // Sparse bucket encoding: bit-width histograms of service latencies
+    // populate a handful of the 65 buckets, so (index, count) pairs beat a
+    // dense dump. `count` is derivable and travels implicitly.
+    uint32_t nonzero = 0;
+    for (uint64_t b : h.buckets) {
+      if (b != 0) ++nonzero;
+    }
+    w.PutU32(nonzero);
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      w.PutU8(static_cast<uint8_t>(i));
+      w.PutU64(h.buckets[i]);
+    }
+  }
+  return w.Take();
+}
+
+Result<StatsResponse> DecodeStatsResponse(std::string_view payload) {
+  WireReader r(payload);
+  StatsResponse resp;
+  uint8_t flags;
+  uint32_t n_counters;
+  if (!r.GetU8(&flags) || !r.GetU64(&resp.interval_ns) ||
+      !r.GetU32(&n_counters)) {
+    return Malformed("stats response");
+  }
+  resp.delta = (flags & kStatsFlagDelta) != 0;
+  obs::MetricsSnapshot& s = resp.snapshot;
+  // All reserves are clamped by what the payload can actually hold.
+  s.counters.reserve(std::min<size_t>(n_counters, r.remaining() / 12));
+  for (uint32_t i = 0; i < n_counters; ++i) {
+    obs::CounterSnapshot c;
+    if (!r.GetString(&c.name) || !r.GetU64(&c.value)) {
+      return Malformed("stats response");
+    }
+    s.counters.push_back(std::move(c));
+  }
+  uint32_t n_gauges;
+  if (!r.GetU32(&n_gauges)) return Malformed("stats response");
+  s.gauges.reserve(std::min<size_t>(n_gauges, r.remaining() / 12));
+  for (uint32_t i = 0; i < n_gauges; ++i) {
+    obs::GaugeSnapshot g;
+    uint64_t bits;
+    if (!r.GetString(&g.name) || !r.GetU64(&bits)) {
+      return Malformed("stats response");
+    }
+    g.value = static_cast<int64_t>(bits);
+    s.gauges.push_back(std::move(g));
+  }
+  uint32_t n_histograms;
+  if (!r.GetU32(&n_histograms)) return Malformed("stats response");
+  s.histograms.reserve(std::min<size_t>(n_histograms, r.remaining() / 16));
+  for (uint32_t i = 0; i < n_histograms; ++i) {
+    obs::HistogramSnapshot h;
+    uint32_t nonzero;
+    if (!r.GetString(&h.name) || !r.GetU64(&h.sum) || !r.GetU32(&nonzero)) {
+      return Malformed("stats response");
+    }
+    for (uint32_t b = 0; b < nonzero; ++b) {
+      uint8_t idx;
+      uint64_t count;
+      if (!r.GetU8(&idx) || !r.GetU64(&count) || idx >= h.buckets.size()) {
+        return Malformed("stats response");
+      }
+      h.buckets[idx] = count;
+      h.count += count;
+    }
+    s.histograms.push_back(std::move(h));
+  }
+  if (!r.Done()) return Malformed("stats response");
+  return resp;
+}
+
 std::string EncodeErrorPayload(const Status& status) {
   WireWriter w;
   w.PutU8(static_cast<uint8_t>(status.code()));
@@ -294,6 +411,11 @@ Status DecodeErrorPayload(std::string_view payload) {
     return Status::Internal("remote error with unknown code: " + message);
   }
   return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+bool IsOversizedFrameError(const Status& status) {
+  return status.IsParseError() &&
+         status.message().rfind("frame too large:", 0) == 0;
 }
 
 // ---------------------------------------------------------------------------

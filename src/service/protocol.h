@@ -31,6 +31,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace harmony::service {
 
@@ -172,6 +173,25 @@ struct VocabRequest {
   uint32_t k = 8;
 };
 
+/// \brief Structured stats query. A kStats frame with an *empty* payload
+/// keeps the original PR-6 behaviour (plain-text snapshot reply, what old
+/// clients sent); a frame carrying an encoded StatsRequest gets an encoded
+/// StatsResponse back. `delta = true` asks for the interval delta since the
+/// previous delta request (the server keeps the baseline), so a poller like
+/// `harmony_match top` sees per-interval rates, not lifetime totals.
+struct StatsRequest {
+  bool delta = false;
+};
+
+/// \brief Structured stats reply: a full metrics snapshot, or — when `delta`
+/// — the delta since the previous delta request, with `interval_ns` the
+/// wall-clock span the delta covers (since server start for the first one).
+struct StatsResponse {
+  bool delta = false;
+  uint64_t interval_ns = 0;
+  obs::MetricsSnapshot snapshot;
+};
+
 std::string EncodeMatchRequest(const MatchRequest& req);
 Result<MatchRequest> DecodeMatchRequest(std::string_view payload);
 
@@ -187,9 +207,20 @@ Result<SearchResponse> DecodeSearchResponse(std::string_view payload);
 std::string EncodeVocabRequest(const VocabRequest& req);
 Result<VocabRequest> DecodeVocabRequest(std::string_view payload);
 
+std::string EncodeStatsRequest(const StatsRequest& req);
+Result<StatsRequest> DecodeStatsRequest(std::string_view payload);
+
+std::string EncodeStatsResponse(const StatsResponse& resp);
+Result<StatsResponse> DecodeStatsResponse(std::string_view payload);
+
 std::string EncodeErrorPayload(const Status& status);
 /// Reconstructs the Status carried by a kError frame.
 Status DecodeErrorPayload(std::string_view payload);
+
+/// True iff `status` is ReadFrame's oversized-frame ParseError (a hostile or
+/// misconfigured length prefix), as opposed to a truncated/garbled frame.
+/// Lets the server account the two classes separately for operators.
+bool IsOversizedFrameError(const Status& status);
 
 // ---------------------------------------------------------------------------
 // Frame I/O over a file descriptor (blocking, EINTR-safe).

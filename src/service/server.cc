@@ -18,6 +18,21 @@
 
 namespace harmony::service {
 
+size_t RequestFamilyIndex(uint8_t tag) {
+  if (IsKnownRequestTag(tag)) {
+    // RequestTag values are dense from 0x01, so tag-1 is the family slot.
+    return static_cast<size_t>(tag) - 1;
+  }
+  return kRequestFamilies - 1;  // "unknown"
+}
+
+const char* RequestFamilyName(size_t family) {
+  static constexpr const char* kNames[kRequestFamilies] = {
+      "ping", "match", "search", "vocab", "stats", "shutdown", "unknown"};
+  HARMONY_CHECK(family < kRequestFamilies);
+  return kNames[family];
+}
+
 namespace {
 
 void CloseIfOpen(int& fd) {
@@ -26,6 +41,26 @@ void CloseIfOpen(int& fd) {
     fd = -1;
   }
 }
+
+// Builders for the per-family metric arrays: obs handles have no default
+// constructor (they bind a registry id at construction), so the arrays are
+// materialized in one pack expansion over the family slots.
+template <size_t... I>
+std::array<obs::Counter, sizeof...(I)> FamilyCounters(
+    obs::MetricsRegistry& registry, const char* prefix,
+    std::index_sequence<I...>) {
+  return {obs::Counter(registry, std::string(prefix) + RequestFamilyName(I))...};
+}
+
+template <size_t... I>
+std::array<obs::Histogram, sizeof...(I)> FamilyHistograms(
+    obs::MetricsRegistry& registry, const char* prefix,
+    std::index_sequence<I...>) {
+  return {
+      obs::Histogram(registry, std::string(prefix) + RequestFamilyName(I))...};
+}
+
+constexpr auto kFamilySeq = std::make_index_sequence<kRequestFamilies>{};
 
 }  // namespace
 
@@ -39,9 +74,20 @@ Server::Server(std::shared_ptr<ServiceState> state,
       requests_(*context_.metrics, "service.requests"),
       rejected_(*context_.metrics, "service.rejected"),
       protocol_errors_(*context_.metrics, "service.protocol_errors"),
+      oversized_frames_(*context_.metrics, "service.frames.oversized"),
+      malformed_frames_(*context_.metrics, "service.frames.malformed"),
       request_ns_(*context_.metrics, "service.request_ns"),
+      queue_wait_ns_(*context_.metrics, "service.queue_wait_ns"),
       queue_depth_gauge_(*context_.metrics, "service.queue_depth"),
       sessions_(*context_.metrics, "service.sessions"),
+      family_requests_(
+          FamilyCounters(*context_.metrics, "service.requests.", kFamilySeq)),
+      family_errors_(
+          FamilyCounters(*context_.metrics, "service.errors.", kFamilySeq)),
+      family_handler_ns_(FamilyHistograms(*context_.metrics,
+                                          "service.handler_ns.", kFamilySeq)),
+      start_ns_(obs::MonotonicNanos()),
+      stats_baseline_ns_(start_ns_),
       queue_(options.queue_depth) {}
 
 Result<std::unique_ptr<Server>> Server::Start(
@@ -149,7 +195,36 @@ Server::Counters Server::CountersNow() const {
   c.served_requests = n_requests_.load(std::memory_order_relaxed);
   c.rejected = n_rejected_.load(std::memory_order_relaxed);
   c.protocol_errors = n_protocol_errors_.load(std::memory_order_relaxed);
+  c.oversized_frames = n_oversized_frames_.load(std::memory_order_relaxed);
+  c.malformed_frames = n_malformed_frames_.load(std::memory_order_relaxed);
   return c;
+}
+
+std::vector<RequestSummary> Server::RecentRequests() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return {recent_.begin(), recent_.end()};
+}
+
+StatsResponse Server::BuildStatsResponse(bool delta) {
+  StatsResponse resp;
+  resp.delta = delta;
+  const uint64_t now = obs::MonotonicNanos();
+  if (!delta) {
+    resp.snapshot = context_.metrics->Snapshot();
+    resp.interval_ns = now - start_ns_;
+    return resp;
+  }
+  // Snapshot once and diff against the previous delta request's snapshot
+  // (not DeltaSince, whose second snapshot would let concurrent increments
+  // fall between the reads and vanish from every interval). Consecutive
+  // delta requests therefore tile the timeline exactly.
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  obs::MetricsSnapshot current = context_.metrics->Snapshot();
+  resp.snapshot = current.DeltaFrom(stats_baseline_);
+  resp.interval_ns = now - stats_baseline_ns_;
+  stats_baseline_ = std::move(current);
+  stats_baseline_ns_ = now;
+  return resp;
 }
 
 void Server::AcceptLoop() {
@@ -184,7 +259,7 @@ void Server::AcceptLoop() {
     }
     n_accepted_.fetch_add(1, std::memory_order_relaxed);
     accepted_.Add();
-    if (!queue_.TryPush(fd)) {
+    if (!queue_.TryPush(PendingConn{fd, obs::MonotonicNanos()})) {
       // Admission control: full queue means every worker is busy and the
       // backlog is at its bound. Fail fast with a frame the client library
       // understands instead of queueing invisible latency.
@@ -210,14 +285,23 @@ void Server::AcceptLoop() {
 }
 
 void Server::WorkerLoop() {
-  while (auto fd = queue_.Pop()) {
+  while (auto conn = queue_.Pop()) {
+    const uint64_t pop_ns = obs::MonotonicNanos();
+    const uint64_t wait_ns =
+        pop_ns > conn->enqueue_ns ? pop_ns - conn->enqueue_ns : 0;
     queue_depth_gauge_.Set(static_cast<int64_t>(queue_.size()));
-    ServeConnection(*fd);
+    queue_wait_ns_.Record(wait_ns);
+    if (context_.tracer != nullptr) {
+      // Retroactive span for the admission wait: emitted at pop time with
+      // the accept-time start, so the trace shows time-in-queue explicitly.
+      context_.tracer->Emit("service.queue_wait", conn->enqueue_ns, pop_ns);
+    }
+    ServeConnection(conn->fd, wait_ns);
   }
   live_workers_.fetch_sub(1, std::memory_order_relaxed);
 }
 
-void Server::ServeConnection(int fd) {
+void Server::ServeConnection(int fd, uint64_t queue_wait_ns) {
   sessions_.Add(1);
   for (;;) {
     // The drain pipe as cancel_fd makes the idle wait event-driven: no
@@ -230,117 +314,192 @@ void Server::ServeConnection(int fd) {
         // Malformed framing: answer with the reason (best effort — the peer
         // may already be gone), then drop the connection. The stream is
         // unsynchronized past a framing error, so continuing would read
-        // garbage as lengths.
+        // garbage as lengths. protocol_errors stays the umbrella count;
+        // oversized vs. malformed splits it by cause for operators.
         n_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
         protocol_errors_.Add();
+        if (IsOversizedFrameError(frame.status())) {
+          n_oversized_frames_.fetch_add(1, std::memory_order_relaxed);
+          oversized_frames_.Add();
+        } else {
+          n_malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+          malformed_frames_.Add();
+        }
         (void)WriteFrame(fd, static_cast<uint8_t>(ResponseTag::kError),
                          EncodeErrorPayload(frame.status()));
       }
       break;  // clean close, drain, or socket error
     }
-    if (!HandleRequest(fd, *frame)) break;
+    if (!HandleRequest(fd, *frame, queue_wait_ns)) break;
+    queue_wait_ns = 0;  // admission wait is attributed to the first request
     if (draining()) break;  // in-flight request answered; close at boundary
   }
   sessions_.Add(-1);
   ::close(fd);
 }
 
-bool Server::HandleRequest(int fd, const Frame& frame) {
-  uint64_t start_ns = obs::MonotonicNanos();
-  // Per-request observability scope: a child registry under the server's,
-  // flushed below. Engine/selection metrics for this request accumulate
-  // here, disjoint from every concurrent request, then merge losslessly —
-  // exactly the PR-4 tree contract, no service-specific plumbing.
-  obs::MetricsRegistry request_registry(context_.metrics);
-  core::EngineContext request_context(&request_registry, context_.tracer,
-                                      context_.pool);
+bool Server::HandleRequest(int fd, const Frame& frame,
+                           uint64_t queue_wait_ns) {
+  const uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  const size_t family = RequestFamilyIndex(frame.tag);
+  const char* family_name = RequestFamilyName(family);
+  const uint64_t start_ns = obs::MonotonicNanos();
 
   uint8_t reply_tag = static_cast<uint8_t>(ResponseTag::kOk);
   std::string reply;
   bool keep_session = true;
+  uint64_t handler_ns = 0;
+  Status write_st;
+  {
+    // The request span covers handling, flush, and the reply write; the
+    // admission wait precedes it as WorkerLoop's "service.queue_wait" span.
+    // Engine spans fire on the same context_.tracer from this thread, so
+    // they nest under this span in the Chrome export; the id/family args
+    // are the join key against the slow-request log and the summary ring.
+    HARMONY_TRACE_SPAN_ARGS(context_.tracer, "service.request", request_id,
+                            family_name);
+    // Per-request observability scope: a child registry under the server's,
+    // flushed below. Engine/selection metrics for this request accumulate
+    // here, disjoint from every concurrent request, then merge losslessly —
+    // exactly the PR-4 tree contract, no service-specific plumbing.
+    obs::MetricsRegistry request_registry(context_.metrics);
+    core::EngineContext request_context(&request_registry, context_.tracer,
+                                        context_.pool);
 
-  if (!IsKnownRequestTag(frame.tag)) {
-    // A well-formed frame with an unknown tag is client error, not a
-    // protocol desync: answer kError and keep the session usable.
-    n_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-    protocol_errors_.Add();
-    reply_tag = static_cast<uint8_t>(ResponseTag::kError);
-    reply = EncodeErrorPayload(Status::InvalidArgument(StringFormat(
-        "unknown request tag 0x%02x", frame.tag)));
-  } else {
-    switch (static_cast<RequestTag>(frame.tag)) {
-      case RequestTag::kPing:
-        reply = "pong";
-        break;
-      case RequestTag::kMatch: {
-        auto decoded = DecodeMatchRequest(frame.payload);
-        if (!decoded.ok()) {
-          reply_tag = static_cast<uint8_t>(ResponseTag::kError);
-          reply = EncodeErrorPayload(decoded.status());
+    if (!IsKnownRequestTag(frame.tag)) {
+      // A well-formed frame with an unknown tag is client error, not a
+      // protocol desync: answer kError and keep the session usable.
+      n_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      protocol_errors_.Add();
+      reply_tag = static_cast<uint8_t>(ResponseTag::kError);
+      reply = EncodeErrorPayload(Status::InvalidArgument(StringFormat(
+          "unknown request tag 0x%02x", frame.tag)));
+    } else {
+      switch (static_cast<RequestTag>(frame.tag)) {
+        case RequestTag::kPing:
+          reply = "pong";
           break;
-        }
-        auto resp = HandleMatch(*decoded, request_context);
-        if (!resp.ok()) {
-          reply_tag = static_cast<uint8_t>(ResponseTag::kError);
-          reply = EncodeErrorPayload(resp.status());
-        } else {
-          reply = EncodeMatchResponse(*resp);
-        }
-        break;
-      }
-      case RequestTag::kSearch: {
-        auto decoded = DecodeSearchRequest(frame.payload);
-        if (!decoded.ok()) {
-          reply_tag = static_cast<uint8_t>(ResponseTag::kError);
-          reply = EncodeErrorPayload(decoded.status());
-          break;
-        }
-        SearchResponse resp;
-        if (decoded->fragments) {
-          for (const auto& hit :
-               state_->index().SearchFragments(decoded->query, decoded->k)) {
-            const auto& schema = state_->index().schema(hit.schema_index);
-            resp.hits.push_back(
-                {schema.name(), schema.Path(hit.element), hit.score});
+        case RequestTag::kMatch: {
+          auto decoded = DecodeMatchRequest(frame.payload);
+          if (!decoded.ok()) {
+            reply_tag = static_cast<uint8_t>(ResponseTag::kError);
+            reply = EncodeErrorPayload(decoded.status());
+            break;
           }
-        } else {
-          for (const auto& hit :
-               state_->index().SearchKeywords(decoded->query, decoded->k)) {
-            resp.hits.push_back(
-                {state_->index().schema(hit.schema_index).name(), "",
-                 hit.score});
+          auto resp = HandleMatch(*decoded, request_context);
+          if (!resp.ok()) {
+            reply_tag = static_cast<uint8_t>(ResponseTag::kError);
+            reply = EncodeErrorPayload(resp.status());
+          } else {
+            reply = EncodeMatchResponse(*resp);
           }
-        }
-        reply = EncodeSearchResponse(resp);
-        break;
-      }
-      case RequestTag::kVocab: {
-        auto decoded = DecodeVocabRequest(frame.payload);
-        if (!decoded.ok()) {
-          reply_tag = static_cast<uint8_t>(ResponseTag::kError);
-          reply = EncodeErrorPayload(decoded.status());
           break;
         }
-        reply = state_->RenderVocabReport(*decoded);
-        break;
+        case RequestTag::kSearch: {
+          auto decoded = DecodeSearchRequest(frame.payload);
+          if (!decoded.ok()) {
+            reply_tag = static_cast<uint8_t>(ResponseTag::kError);
+            reply = EncodeErrorPayload(decoded.status());
+            break;
+          }
+          SearchResponse resp;
+          if (decoded->fragments) {
+            for (const auto& hit :
+                 state_->index().SearchFragments(decoded->query, decoded->k)) {
+              const auto& schema = state_->index().schema(hit.schema_index);
+              resp.hits.push_back(
+                  {schema.name(), schema.Path(hit.element), hit.score});
+            }
+          } else {
+            for (const auto& hit :
+                 state_->index().SearchKeywords(decoded->query, decoded->k)) {
+              resp.hits.push_back(
+                  {state_->index().schema(hit.schema_index).name(), "",
+                   hit.score});
+            }
+          }
+          reply = EncodeSearchResponse(resp);
+          break;
+        }
+        case RequestTag::kVocab: {
+          auto decoded = DecodeVocabRequest(frame.payload);
+          if (!decoded.ok()) {
+            reply_tag = static_cast<uint8_t>(ResponseTag::kError);
+            reply = EncodeErrorPayload(decoded.status());
+            break;
+          }
+          reply = state_->RenderVocabReport(*decoded);
+          break;
+        }
+        case RequestTag::kStats: {
+          if (frame.payload.empty()) {
+            // Legacy form (pre-structured clients): plain-text snapshot.
+            reply = context_.metrics->Snapshot().ToText();
+            break;
+          }
+          auto decoded = DecodeStatsRequest(frame.payload);
+          if (!decoded.ok()) {
+            reply_tag = static_cast<uint8_t>(ResponseTag::kError);
+            reply = EncodeErrorPayload(decoded.status());
+            break;
+          }
+          reply = EncodeStatsResponse(BuildStatsResponse(decoded->delta));
+          break;
+        }
+        case RequestTag::kShutdown:
+          reply = "draining";
+          keep_session = false;
+          RequestDrain();
+          break;
       }
-      case RequestTag::kStats:
-        reply = context_.metrics->Snapshot().ToText();
-        break;
-      case RequestTag::kShutdown:
-        reply = "draining";
-        keep_session = false;
-        RequestDrain();
-        break;
+    }
+    handler_ns = obs::MonotonicNanos() - start_ns;
+
+    n_requests_.fetch_add(1, std::memory_order_relaxed);
+    requests_.Add();
+    family_requests_[family].Add();
+    if (reply_tag == static_cast<uint8_t>(ResponseTag::kError)) {
+      family_errors_[family].Add();
+    }
+    request_ns_.Record(handler_ns);
+    family_handler_ns_[family].Record(handler_ns);
+    request_registry.FlushToParent();
+
+    write_st = WriteFrame(fd, reply_tag, reply);
+  }
+  const uint64_t total_ns = queue_wait_ns + (obs::MonotonicNanos() - start_ns);
+
+  RequestSummary summary;
+  summary.id = request_id;
+  summary.family = family_name;
+  summary.reply_tag = reply_tag;
+  summary.queue_wait_ns = queue_wait_ns;
+  summary.handler_ns = handler_ns;
+  summary.total_ns = total_ns;
+  summary.request_bytes = frame.payload.size();
+  summary.reply_bytes = reply.size();
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    recent_.push_back(summary);
+    while (recent_.size() > options_.request_log_capacity) {
+      recent_.pop_front();
     }
   }
+  if (options_.slow_request_ns >= 0 &&
+      total_ns >= static_cast<uint64_t>(options_.slow_request_ns)) {
+    // Structured one-liner, grep/awk-friendly: stable key=value fields.
+    HARMONY_LOG(Warning) << "slow-request id=" << request_id
+                         << " family=" << family_name << " outcome="
+                         << ResponseTagName(
+                                static_cast<ResponseTag>(reply_tag))
+                         << " total_ns=" << total_ns
+                         << " queue_wait_ns=" << queue_wait_ns
+                         << " handler_ns=" << handler_ns
+                         << " request_bytes=" << frame.payload.size()
+                         << " reply_bytes=" << reply.size();
+  }
 
-  n_requests_.fetch_add(1, std::memory_order_relaxed);
-  requests_.Add();
-  request_ns_.Record(obs::MonotonicNanos() - start_ns);
-  request_registry.FlushToParent();
-
-  Status write_st = WriteFrame(fd, reply_tag, reply);
   if (!write_st.ok()) return false;
   return keep_session;
 }

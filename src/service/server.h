@@ -24,13 +24,16 @@
 
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -41,6 +44,18 @@
 #include "service/state.h"
 
 namespace harmony::service {
+
+/// Request *families* — the unit of RED metric accounting. One slot per
+/// RequestTag plus a trailing "unknown" slot for well-formed frames carrying
+/// a tag we don't speak, so operator dashboards see wire garbage as its own
+/// series instead of polluting a real family.
+inline constexpr size_t kRequestFamilies = 7;
+
+/// Maps a wire tag to its family slot ("unknown" for unrecognized tags).
+size_t RequestFamilyIndex(uint8_t tag);
+/// Stable lowercase family name ("ping", "match", ..., "unknown"). The
+/// returned pointer is a string literal (safe as a trace-span arg).
+const char* RequestFamilyName(size_t family);
 
 /// \brief Listener + capacity knobs.
 struct ServerOptions {
@@ -58,6 +73,25 @@ struct ServerOptions {
   size_t queue_depth = 64;
   /// Per-frame body ceiling (see protocol.h).
   size_t max_frame_bytes = kDefaultMaxBody;
+  /// Slow-request log threshold on total latency (queue wait + handling +
+  /// reply write), in nanoseconds. Negative disables the log; 0 logs every
+  /// request (handy for smoke tests and short diagnostics sessions).
+  int64_t slow_request_ns = -1;
+  /// Capacity of the in-memory ring of recent request summaries.
+  size_t request_log_capacity = 128;
+};
+
+/// \brief One served request, as kept in the in-memory ring (and rendered by
+/// the slow-request log). Plain data, available with HARMONY_OBS=OFF too.
+struct RequestSummary {
+  uint64_t id = 0;
+  const char* family = "";  ///< RequestFamilyName — a string literal.
+  uint8_t reply_tag = 0;    ///< ResponseTag actually sent.
+  uint64_t queue_wait_ns = 0;  ///< Admission wait (first request only).
+  uint64_t handler_ns = 0;     ///< Decode + handle, excluding reply write.
+  uint64_t total_ns = 0;       ///< queue_wait + handle + reply write.
+  uint64_t request_bytes = 0;
+  uint64_t reply_bytes = 0;
 };
 
 /// \brief The daemon. Start() binds, listens, and spawns the accept thread
@@ -102,20 +136,40 @@ class Server {
     uint64_t served_requests = 0;
     uint64_t rejected = 0;
     uint64_t protocol_errors = 0;
+    /// Breakdown of protocol_errors by cause, so operators can tell a
+    /// hostile/misconfigured length prefix from a garbled or truncated
+    /// stream (the admission fast-REJECT path is `rejected` above).
+    uint64_t oversized_frames = 0;
+    uint64_t malformed_frames = 0;
   };
   Counters CountersNow() const;
+
+  /// The last N request summaries (oldest first), N bounded by
+  /// ServerOptions::request_log_capacity. Available under HARMONY_OBS=OFF.
+  std::vector<RequestSummary> RecentRequests() const;
 
  private:
   Server(std::shared_ptr<ServiceState> state, const ServerOptions& options,
          const core::EngineContext& context);
 
+  /// A connection parked in the admission queue, stamped at accept time so
+  /// the popping worker can account queue wait.
+  struct PendingConn {
+    int fd = -1;
+    uint64_t enqueue_ns = 0;
+  };
+
   Status Listen();
   void AcceptLoop();
   void WorkerLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(int fd, uint64_t queue_wait_ns);
   /// Handles one decoded request frame; returns false when the session must
-  /// end (shutdown frame, write failure).
-  bool HandleRequest(int fd, const Frame& frame);
+  /// end (shutdown frame, write failure). `queue_wait_ns` is the admission
+  /// wait attributed to this request (the connection's first; 0 after).
+  bool HandleRequest(int fd, const Frame& frame, uint64_t queue_wait_ns);
+  /// The structured kStats reply: full snapshot, or the delta since the
+  /// previous delta request (server-kept baseline under stats_mu_).
+  StatsResponse BuildStatsResponse(bool delta);
   /// The match request body: resident engine for by-name pairs, fresh
   /// engine (on the request's context) for inline schema text.
   Result<MatchResponse> HandleMatch(const MatchRequest& request,
@@ -130,21 +184,43 @@ class Server {
   obs::Counter requests_;
   obs::Counter rejected_;
   obs::Counter protocol_errors_;
+  obs::Counter oversized_frames_;
+  obs::Counter malformed_frames_;
   obs::Histogram request_ns_;
+  obs::Histogram queue_wait_ns_;
   obs::Gauge queue_depth_gauge_;
   obs::Gauge sessions_;
+  // RED series, one slot per request family ("service.requests.match", ...).
+  std::array<obs::Counter, kRequestFamilies> family_requests_;
+  std::array<obs::Counter, kRequestFamilies> family_errors_;
+  std::array<obs::Histogram, kRequestFamilies> family_handler_ns_;
 
   std::atomic<uint64_t> n_accepted_{0};
   std::atomic<uint64_t> n_requests_{0};
   std::atomic<uint64_t> n_rejected_{0};
   std::atomic<uint64_t> n_protocol_errors_{0};
+  std::atomic<uint64_t> n_oversized_frames_{0};
+  std::atomic<uint64_t> n_malformed_frames_{0};
+
+  /// Request ids are dense per server instance, assigned at admission into
+  /// the handler — the correlation key across trace spans, the slow-request
+  /// log, and the recent-request ring.
+  std::atomic<uint64_t> next_request_id_{1};
+
+  const uint64_t start_ns_;  ///< Server construction, for interval_ns.
+  std::mutex stats_mu_;      ///< Guards the delta-stats baseline.
+  obs::MetricsSnapshot stats_baseline_;
+  uint64_t stats_baseline_ns_;
+
+  mutable std::mutex log_mu_;  ///< Guards recent_.
+  std::deque<RequestSummary> recent_;
 
   int listen_fd_ = -1;
   int drain_pipe_[2] = {-1, -1};
   uint16_t port_ = 0;
   std::atomic<bool> draining_{false};
 
-  BoundedQueue<int> queue_;
+  BoundedQueue<PendingConn> queue_;
   std::thread accept_thread_;
   std::unique_ptr<common::ThreadPool> workers_;
   std::atomic<size_t> live_workers_{0};

@@ -31,6 +31,10 @@ Result<std::unique_ptr<ServiceState>> ServiceState::Build(
   state->repo_ = std::move(repo);
   state->options_ = options;
   state->context_ = context;
+  if (state->context_.metrics != nullptr) {
+    state->engine_cache_size_.emplace(*state->context_.metrics,
+                                      "service.engine_cache.size");
+  }
   state->index_ = state->repo_.BuildSearchIndex();
   if (options.build_vocabulary && state->repo_.schema_count() >= 2 &&
       state->repo_.schema_count() <=
@@ -64,6 +68,9 @@ Result<const core::MatchEngine*> ServiceState::EngineFor(
                                repo_.schema(source), repo_.schema(target),
                                options_.match_options, context_))
              .first;
+    if (engine_cache_size_.has_value()) {
+      engine_cache_size_->Set(static_cast<int64_t>(engines_.size()));
+    }
   }
   return const_cast<const core::MatchEngine*>(it->second.get());
 }

@@ -18,6 +18,7 @@
 #include "common/result.h"
 #include "core/engine_context.h"
 #include "core/match_engine.h"
+#include "obs/metrics.h"
 #include "nway/vocabulary_builder.h"
 #include "repository/metadata_repository.h"
 #include "schema/schema.h"
@@ -97,6 +98,11 @@ class ServiceState {
   std::map<std::pair<repository::SchemaId, repository::SchemaId>,
            std::unique_ptr<core::MatchEngine>>
       engines_;
+  /// Resident-cache occupancy ("service.engine_cache.size"): each cached
+  /// engine pins preprocessed arenas, so this level is the daemon's main
+  /// steady-state memory driver. Optional: bound in Build (the registry
+  /// isn't known at construction time).
+  std::optional<obs::Gauge> engine_cache_size_;
 };
 
 }  // namespace harmony::service

@@ -404,6 +404,127 @@ TEST(MetricsSnapshotTest, JsonAndTextEscapeAwkwardNames) {
   EXPECT_NE(text.find("weird"), std::string::npos);
 }
 
+TEST(MetricsSnapshotTest, ToMetricsTextRendersPrometheusExposition) {
+  MetricsRegistry registry;
+  registry.Add(registry.CounterId("service.requests.ping"), 3);
+  registry.GaugeSet(registry.GaugeId("service.sessions"), -2);
+  uint32_t h = registry.HistogramId("service.handler_ns.match");
+  registry.Record(h, 0);    // bucket 0, le="0"
+  registry.Record(h, 5);    // bit_width 3, le="7"
+  registry.Record(h, 900);  // bit_width 10, le="1023"
+
+  std::string text = registry.Snapshot().ToMetricsText();
+  // Dots sanitize to underscores; every sample line has a # TYPE header.
+  EXPECT_NE(text.find("# TYPE service_requests_ping counter\n"
+                      "service_requests_ping 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE service_sessions gauge\nservice_sessions -2\n"),
+            std::string::npos)
+      << text;
+  // Histogram buckets render cumulatively with the bit-width upper bounds,
+  // closed by the canonical +Inf / _sum / _count triple.
+  EXPECT_NE(text.find("# TYPE service_handler_ns_match histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("service_handler_ns_match_bucket{le=\"0\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("service_handler_ns_match_bucket{le=\"7\"} 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("service_handler_ns_match_bucket{le=\"1023\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("service_handler_ns_match_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("service_handler_ns_match_sum 905\n"), std::string::npos);
+  EXPECT_NE(text.find("service_handler_ns_match_count 3\n"),
+            std::string::npos);
+
+  // A name that starts with a digit gets a guard prefix rather than
+  // producing an invalid exposition identifier.
+  registry.Add(registry.CounterId("9lives"), 1);
+  EXPECT_NE(registry.Snapshot().ToMetricsText().find("_9lives 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DeltaSinceStaysConsistentUnderConcurrentChildFlush) {
+  // The service pattern: every request opens a child registry and flushes it
+  // whole at completion, while an interval exporter tiles the timeline with
+  // snapshot deltas. Each interval must be internally consistent (histogram
+  // count equals its bucket mass) and the tiled intervals must sum to the
+  // exact total — FlushToParent is atomic per metric, not per registry, so
+  // this is the property that would break if Snapshot tore a flush apart.
+  constexpr int kWriters = 3;
+  constexpr int kRoundsEach = 200;
+  constexpr uint64_t kSample = 6;  // constant, so sum == count * kSample
+
+  MetricsRegistry root;
+  std::atomic<bool> done{false};
+
+  MetricsSnapshot baseline;  // empty: the first interval is everything so far
+  uint64_t tiled_count = 0;
+  uint64_t tiled_hist_count = 0;
+  uint64_t tiled_hist_sum = 0;
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      // DeltaSince races the flushes directly; its interval must never show
+      // a histogram whose count disagrees with its bucket mass (sum may
+      // legitimately straddle an interval boundary by one in-flight sample,
+      // so only the final telescoped totals pin it down).
+      MetricsSnapshot ds = root.DeltaSince(baseline);
+      if (const HistogramSnapshot* hd = ds.FindHistogram("req.ns")) {
+        uint64_t bucket_total = 0;
+        for (uint64_t b : hd->buckets) bucket_total += b;
+        EXPECT_EQ(hd->count, bucket_total);
+      }
+      // Tile: snapshot once, delta against the previous snapshot, advance.
+      MetricsSnapshot cur = root.Snapshot();
+      MetricsSnapshot delta = cur.DeltaFrom(baseline);
+      if (const CounterSnapshot* c = delta.FindCounter("req.count")) {
+        tiled_count += c->value;
+      }
+      if (const HistogramSnapshot* hd = delta.FindHistogram("req.ns")) {
+        tiled_hist_count += hd->count;
+        tiled_hist_sum += hd->sum;
+      }
+      baseline = std::move(cur);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kRoundsEach; ++i) {
+        MetricsRegistry child(&root);
+        child.Add(child.CounterId("req.count"));
+        child.Record(child.HistogramId("req.ns"), kSample);
+        child.FlushToParent();
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  // The closing interval picks up whatever the reader had not seen yet.
+  MetricsSnapshot tail = root.DeltaSince(baseline);
+  if (const CounterSnapshot* c = tail.FindCounter("req.count")) {
+    tiled_count += c->value;
+  }
+  if (const HistogramSnapshot* hd = tail.FindHistogram("req.ns")) {
+    tiled_hist_count += hd->count;
+    tiled_hist_sum += hd->sum;
+  }
+
+  constexpr uint64_t kTotal = uint64_t(kWriters) * kRoundsEach;
+  EXPECT_EQ(tiled_count, kTotal);
+  EXPECT_EQ(tiled_hist_count, kTotal);
+  EXPECT_EQ(tiled_hist_sum, kTotal * kSample);
+}
+
 TEST(MonotonicNanosTest, IsMonotonic) {
   uint64_t a = MonotonicNanos();
   uint64_t b = MonotonicNanos();

@@ -233,6 +233,35 @@ TEST(TracerTest, ExportIsValidChromeTraceJson) {
   EXPECT_NE(json.find("trace_test/inner"), std::string::npos);
 }
 
+TEST(TracerTest, SpanArgsExportAsChromeTraceArgs) {
+  Tracer tracer;
+  tracer.Start();
+  {
+    // The service request span shape: id + family ride along as args, and
+    // a plain span nested inside stays arg-free.
+    HARMONY_TRACE_SPAN_ARGS(&tracer, "trace_test/request", 42, "match");
+    {
+      HARMONY_TRACE_SPAN(&tracer, "trace_test/nested");
+    }
+  }
+  tracer.Emit("trace_test/retro", 1000, 2000, /*arg_id=*/7,
+              /*arg_family=*/"ping");
+  tracer.Stop();
+
+  std::string json = tracer.ExportChromeTrace();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"args\":{\"id\":42,\"family\":\"match\"}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"args\":{\"id\":7,\"family\":\"ping\"}"),
+            std::string::npos)
+      << json;
+  // Exactly the two arg-carrying events render id/family args; the nested
+  // plain span must not grow one (metadata events carry their own "args").
+  EXPECT_EQ(CountOccurrences(json, "\"args\":{\"id\":"), 2u);
+  EXPECT_NE(json.find("trace_test/nested"), std::string::npos);
+}
+
 TEST(TracerTest, StartDiscardsEarlierEvents) {
   Tracer tracer;
   tracer.Start();

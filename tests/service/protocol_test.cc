@@ -192,6 +192,75 @@ TEST(WireCodec, LyingElementCountFailsFastWithoutAllocating) {
   EXPECT_TRUE(decoded.status().IsParseError());
 }
 
+TEST(WireCodec, StatsRequestRoundTrip) {
+  auto full = DecodeStatsRequest(EncodeStatsRequest(StatsRequest{false}));
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->delta);
+  auto delta = DecodeStatsRequest(EncodeStatsRequest(StatsRequest{true}));
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta->delta);
+
+  // An empty payload is the *legacy* stats form handled by the server before
+  // decoding, never by this decoder — and trailing garbage is rejected.
+  EXPECT_FALSE(DecodeStatsRequest("").ok());
+  EXPECT_FALSE(DecodeStatsRequest(EncodeStatsRequest({}) + "x").ok());
+}
+
+TEST(WireCodec, StatsResponseRoundTripPreservesSnapshot) {
+  StatsResponse original;
+  original.delta = true;
+  original.interval_ns = 1'500'000'000u;
+  original.snapshot.counters.push_back({"service.requests.ping", 42});
+  original.snapshot.counters.push_back({"service.rejected", 0});
+  original.snapshot.gauges.push_back({"service.sessions", -3});
+  obs::HistogramSnapshot h;
+  h.name = "service.handler_ns.match";
+  h.buckets[0] = 2;          // two zero-valued samples
+  h.buckets[14] = 5;         // five samples in (2^13, 2^14-1]
+  h.buckets[64] = 1;         // one sample above 2^63
+  h.count = 8;
+  h.sum = 123456789u;
+  original.snapshot.histograms.push_back(h);
+
+  auto decoded = DecodeStatsResponse(EncodeStatsResponse(original));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->delta);
+  EXPECT_EQ(decoded->interval_ns, original.interval_ns);
+  ASSERT_EQ(decoded->snapshot.counters.size(), 2u);
+  EXPECT_EQ(decoded->snapshot.counters[0].name, "service.requests.ping");
+  EXPECT_EQ(decoded->snapshot.counters[0].value, 42u);
+  ASSERT_EQ(decoded->snapshot.gauges.size(), 1u);
+  EXPECT_EQ(decoded->snapshot.gauges[0].value, -3);
+  ASSERT_EQ(decoded->snapshot.histograms.size(), 1u);
+  const auto& hd = decoded->snapshot.histograms[0];
+  EXPECT_EQ(hd.name, h.name);
+  EXPECT_EQ(hd.sum, h.sum);
+  EXPECT_EQ(hd.count, 8u);  // derived from the sparse bucket encoding
+  EXPECT_EQ(hd.buckets, h.buckets);
+}
+
+TEST(WireCodec, StatsResponseRejectsTruncationAndBadBucketIndex) {
+  StatsResponse original;
+  original.snapshot.counters.push_back({"c", 1});
+  obs::HistogramSnapshot h;
+  h.name = "h";
+  h.buckets[3] = 7;
+  h.count = 7;
+  original.snapshot.histograms.push_back(h);
+  std::string encoded = EncodeStatsResponse(original);
+
+  EXPECT_FALSE(DecodeStatsResponse(encoded.substr(0, 4)).ok());
+  EXPECT_FALSE(DecodeStatsResponse(encoded + "x").ok());
+
+  // A bucket index past the histogram array must be a parse error, not an
+  // out-of-bounds write: flip the index byte (last 9 bytes are idx + count).
+  std::string corrupt = encoded;
+  corrupt[corrupt.size() - 9] = char(200);
+  auto bad = DecodeStatsResponse(corrupt);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsParseError());
+}
+
 // ---------------------------------------------------------------------------
 // Frame I/O over a real socket pair
 

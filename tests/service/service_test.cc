@@ -4,6 +4,7 @@
 // engine locally on the same inputs.
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -392,6 +393,136 @@ TEST(ServiceLifecycle, AdmissionControlRejectsBeyondQueueDepth) {
   Server::Counters counters = (*server)->CountersNow();
   EXPECT_EQ(counters.rejected, 1u);
   EXPECT_EQ(counters.accepted, 3u);
+  EXPECT_EQ(counters.protocol_errors, 0u);
+
+  // Free the lone worker again (it is parked in queued's ReadFrame), then
+  // probe the two framing-error causes. Each must land in its own counter
+  // while protocol_errors stays the umbrella total.
+  queued->Close();
+
+  auto oversized = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(oversized.ok());
+  {
+    WireWriter w;
+    w.PutU32(0xFFFFFFFFu);  // length prefix far beyond max_frame_bytes
+    ASSERT_TRUE(oversized->SendRaw(w.bytes()).ok());
+    auto reply = oversized->ReadReply();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->tag, static_cast<uint8_t>(ResponseTag::kError));
+    EXPECT_NE(DecodeErrorPayload(reply->payload).message().find(
+                  "frame too large"),
+              std::string::npos);
+  }
+  oversized->Close();
+
+  auto malformed = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(malformed.ok());
+  {
+    WireWriter w;
+    w.PutU32(0);  // zero-length body: no tag byte, structurally malformed
+    ASSERT_TRUE(malformed->SendRaw(w.bytes()).ok());
+    auto reply = malformed->ReadReply();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->tag, static_cast<uint8_t>(ResponseTag::kError));
+    EXPECT_NE(DecodeErrorPayload(reply->payload).message().find(
+                  "zero-length frame"),
+              std::string::npos);
+  }
+
+  // Both causes counted before the error reply is written, so reading the
+  // replies above is enough synchronization.
+  counters = (*server)->CountersNow();
+  EXPECT_EQ(counters.oversized_frames, 1u);
+  EXPECT_EQ(counters.malformed_frames, 1u);
+  EXPECT_EQ(counters.protocol_errors, 2u);
+  EXPECT_EQ(counters.rejected, 1u);
+}
+
+TEST(ServiceLifecycle, StatsSnapshotFullAndDeltaTileTheTimeline) {
+  auto state = BuildTestState();
+  ServerOptions options;
+  options.port = 0;
+  options.num_workers = 1;
+  // A private registry: the default context shares the process-global one,
+  // whose counters carry every other test's traffic.
+  obs::MetricsRegistry registry;
+  core::EngineContext context(&registry, nullptr);
+  auto server = Server::Start(state, options, context);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping().ok());
+
+  auto full = client->StatsSnapshot(/*delta=*/false);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_FALSE(full->delta);
+  EXPECT_GT(full->interval_ns, 0u);  // time since server start
+
+#if HARMONY_OBS_ENABLED
+  const auto* ping_total = full->snapshot.FindCounter("service.requests.ping");
+  ASSERT_NE(ping_total, nullptr);
+  EXPECT_EQ(ping_total->value, 1u);
+#endif
+
+  // Open a delta window: the first delta request resets the server-side
+  // baseline, the second one closes the window.
+  auto opener = client->StatsSnapshot(/*delta=*/true);
+  ASSERT_TRUE(opener.ok()) << opener.status().ToString();
+  EXPECT_TRUE(opener->delta);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(client->Ping().ok());
+  auto window = client->StatsSnapshot(/*delta=*/true);
+  ASSERT_TRUE(window.ok()) << window.status().ToString();
+  EXPECT_TRUE(window->delta);
+  EXPECT_GT(window->interval_ns, 0u);
+
+#if HARMONY_OBS_ENABLED
+  // The baseline snapshot is taken while the opener request is in flight
+  // (before its own counters land), so the window sees the opener's stats
+  // increment but not the closer's: pings are exact, stats is >= 1.
+  const auto* ping_delta =
+      window->snapshot.FindCounter("service.requests.ping");
+  ASSERT_NE(ping_delta, nullptr);
+  EXPECT_EQ(ping_delta->value, 3u);
+  const auto* stats_delta =
+      window->snapshot.FindCounter("service.requests.stats");
+  ASSERT_NE(stats_delta, nullptr);
+  EXPECT_GE(stats_delta->value, 1u);
+  const auto* ping_hist =
+      window->snapshot.FindHistogram("service.handler_ns.ping");
+  ASSERT_NE(ping_hist, nullptr);
+  EXPECT_EQ(ping_hist->count, 3u);
+  EXPECT_GT(ping_hist->sum, 0u);
+#endif
+}
+
+TEST(ServiceLifecycle, RecentRequestRingKeepsLastNSummaries) {
+  auto state = BuildTestState();
+  ServerOptions options;
+  options.port = 0;
+  options.num_workers = 1;
+  options.request_log_capacity = 4;
+  auto server = Server::Start(state, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = Client::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(client->Ping().ok());
+
+  // The summary is pushed after the reply is written, so the last ping's
+  // entry may trail its pong by an instant — poll briefly.
+  std::vector<RequestSummary> recent;
+  for (int spin = 0; spin < 200; ++spin) {
+    recent = (*server)->RecentRequests();
+    if (recent.size() == 4u && recent.back().id == 6u) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(recent.size(), 4u);  // capacity bounds the ring
+  for (size_t i = 0; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i].id, 3u + i);  // ids 1..2 evicted, 3..6 retained
+    EXPECT_STREQ(recent[i].family, "ping");
+    EXPECT_EQ(recent[i].reply_tag, static_cast<uint8_t>(ResponseTag::kOk));
+    EXPECT_GE(recent[i].total_ns, recent[i].handler_ns);
+    EXPECT_EQ(recent[i].reply_bytes, 4u);  // "pong"
+  }
 }
 
 TEST(ServiceLifecycle, ShutdownFrameDrainsTheServer) {
