@@ -124,6 +124,49 @@ BENCHMARK(BM_MatchBySizePerCell)
     ->Arg(150)
     ->Unit(benchmark::kMillisecond);
 
+// Dense vs candidate-pair blocking (core/blocking.h) across sizes. blocked=0
+// is the dense kernel, blocked=1 the kExact blocking path at the default
+// threshold: identical selected matches, but only cells whose admissible
+// bound clears the threshold are scored. The counters expose the deal:
+// cells_scored_per_matrix strictly below pairs, candidate_ratio_pct the
+// fraction survived — wall clock should drop roughly with it, which is the
+// whole case for blocking at the >= 10^3x10^3 scales (concepts=150 is
+// ~1.8k elements per side, the paper's 10^6-pair regime).
+void BM_MatchBlockedBySize(benchmark::State& state) {
+  const auto& pair = PairOfSize(static_cast<size_t>(state.range(0)));
+  core::MatchOptions options;
+  if (state.range(1) != 0) options.blocking.mode = core::BlockingMode::kExact;
+  core::MatchEngine engine(pair.source, pair.target, options);
+  size_t pairs = pair.source.element_count() * pair.target.element_count();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.ComputeMatrix().MaxScore());
+  }
+  core::EngineStats stats = engine.StatsReport();
+  double matrices = stats.matrices_computed
+                        ? static_cast<double>(stats.matrices_computed)
+                        : 1.0;
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["cells_scored_per_matrix"] =
+      static_cast<double>(stats.cells_scored) / matrices;
+  state.counters["cells_pruned_per_matrix"] =
+      static_cast<double>(stats.cells_pruned) / matrices;
+  state.counters["candidate_ratio_pct"] =
+      100.0 * static_cast<double>(stats.cells_scored) /
+      (static_cast<double>(stats.cells_scored) +
+       static_cast<double>(stats.cells_pruned));
+  state.counters["pairs_per_s"] =
+      benchmark::Counter(static_cast<double>(pairs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MatchBlockedBySize)
+    ->ArgNames({"concepts", "blocked"})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({150, 0})
+    ->Args({150, 1})
+    ->Unit(benchmark::kMillisecond);
+
 // Preprocessing should scale linearly in total elements.
 void BM_PreprocessBySize(benchmark::State& state) {
   const auto& pair = PairOfSize(static_cast<size_t>(state.range(0)));

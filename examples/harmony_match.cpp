@@ -4,7 +4,7 @@
 //   harmony_match match <source> <target> [--threshold=0.35] [--one-to-one]
 //                 [--refined] [--csv] [--save-workspace=FILE]
 //                 [--stats] [--stats-interval=MS] [--trace=out.json]
-//                 [--threads=N] [--grain=N]
+//                 [--threads=N] [--grain=N] [--blocking=off|exact|approx]
 //   harmony_match profile <schema>...
 //   harmony_match export <schema> (--ddl | --xsd)
 //   harmony_match vocab <schema> <schema>... [--threshold=0.35] [--threads=N]
@@ -12,6 +12,7 @@
 //   harmony_match serve [--port=N] [--repo=DIR] [--threads=N]
 //                 [--queue-depth=N] [--stats] [--metrics-text]
 //                 [--stats-interval=MS] [--trace=FILE] [--slow-ms=N]
+//                 [--blocking=off|exact|approx] [--engine-cache-max=N]
 //   harmony_match query [--host=ADDR] [--port=N] <action> ...
 //     actions: ping | match <src> <tgt> [--by-name] [--threshold=]
 //              [--one-to-one] [--refined] [--csv]
@@ -116,6 +117,25 @@ std::string FlagValue(const std::vector<std::string>& args, const char* prefix,
   return fallback;
 }
 
+// --blocking= values for match and serve. "exact" prunes with the provable
+// score bound (selected matches identical to the dense kernel), "approx"
+// generates candidates from the inverted indexes only (sub-quadratic, may
+// miss soft-only matches), "off" scores every cell.
+bool ParseBlockingMode(const std::string& value, core::BlockingMode* mode) {
+  if (value == "off") {
+    *mode = core::BlockingMode::kOff;
+  } else if (value == "exact") {
+    *mode = core::BlockingMode::kExact;
+  } else if (value == "approx" || value == "approximate") {
+    *mode = core::BlockingMode::kApproximate;
+  } else {
+    std::fprintf(stderr, "--blocking=%s: expected off, exact, or approx\n",
+                 value.c_str());
+    return false;
+  }
+  return true;
+}
+
 // One CSV renderer for both the local match path and served results, so the
 // service-smoke gate can diff the two outputs byte for byte.
 std::string LinksCsv(const std::vector<service::MatchLink>& links) {
@@ -215,10 +235,17 @@ int RunMatch(const std::vector<std::string>& args) {
       std::atoi(FlagValue(args, "--threads=", "0").c_str()));
   options.grain = static_cast<size_t>(
       std::atoi(FlagValue(args, "--grain=", "0").c_str()));
+  // The selection threshold doubles as the blocking prune threshold, so the
+  // blocked and dense paths select identical links (exact mode).
+  options.threshold = threshold;
+  if (!ParseBlockingMode(FlagValue(args, "--blocking=", "off"),
+                         &options.blocking.mode)) {
+    return 2;
+  }
   core::MatchEngine engine(*source, *target, options, obs_session.context());
   core::MatchMatrix matrix = FlagSet(args, "--refined")
                                  ? engine.ComputeRefinedMatrix()
-                                 : engine.ComputeMatrix();
+                                 : engine.ComputeMatrixFor(threshold);
   auto links =
       FlagSet(args, "--one-to-one")
           ? core::SelectGreedyOneToOne(matrix, threshold, engine.context())
@@ -394,6 +421,12 @@ int RunServe(const std::vector<std::string>& args) {
       std::atoi(FlagValue(args, "--queue-depth=", "64").c_str()));
   options.state.vocab_threshold =
       std::atof(FlagValue(args, "--threshold=", "0.35").c_str());
+  if (!ParseBlockingMode(FlagValue(args, "--blocking=", "off"),
+                         &options.state.match_options.blocking.mode)) {
+    return 2;
+  }
+  options.state.engine_cache_max = static_cast<size_t>(
+      std::atol(FlagValue(args, "--engine-cache-max=", "0").c_str()));
   options.repo_dir = FlagValue(args, "--repo=", "");
   options.synth_schemas = static_cast<size_t>(
       std::atoi(FlagValue(args, "--synth-schemas=", "4").c_str()));

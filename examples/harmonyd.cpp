@@ -7,6 +7,14 @@
 //            [--queue-depth=N] [--threshold=0.35] [--synth-schemas=N]
 //            [--stats] [--metrics-text] [--stats-interval=MS]
 //            [--trace=FILE] [--slow-ms=N]
+//            [--blocking=off|exact|approx] [--engine-cache-max=N]
+//
+// --blocking=exact enables the candidate-pair blocking index on resident
+// match engines: requests selecting at or above the engine threshold skip
+// scoring provably sub-threshold pairs with identical selected matches;
+// lower-threshold requests transparently fall back to the dense kernel.
+// --engine-cache-max=N bounds the resident engine cache (LRU eviction);
+// 0 = unbounded.
 //
 // Observability: --trace=FILE writes a Chrome trace (request spans with
 // id/family args, engine spans nested beneath) at exit; --slow-ms=N logs a
@@ -25,6 +33,7 @@
 // last in-flight request, then the process exits 0. Talk to it with
 // `harmony_match query` or the service::Client library.
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -66,6 +75,19 @@ int main(int argc, char** argv) {
       std::atoi(FlagValue(args, "--queue-depth=", "64").c_str()));
   options.state.vocab_threshold =
       std::atof(FlagValue(args, "--threshold=", "0.35").c_str());
+  std::string blocking = FlagValue(args, "--blocking=", "off");
+  if (blocking == "exact") {
+    options.state.match_options.blocking.mode = core::BlockingMode::kExact;
+  } else if (blocking == "approx" || blocking == "approximate") {
+    options.state.match_options.blocking.mode =
+        core::BlockingMode::kApproximate;
+  } else if (blocking != "off") {
+    std::fprintf(stderr, "--blocking=%s: expected off, exact, or approx\n",
+                 blocking.c_str());
+    return 2;
+  }
+  options.state.engine_cache_max = static_cast<size_t>(
+      std::atol(FlagValue(args, "--engine-cache-max=", "0").c_str()));
   options.repo_dir = FlagValue(args, "--repo=", "");
   options.synth_schemas = static_cast<size_t>(
       std::atoi(FlagValue(args, "--synth-schemas=", "4").c_str()));

@@ -49,8 +49,50 @@ CREATE TABLE purchase (
 );
 EOF
 
+# A strongly-overlapping pair for the blocking A/B gate: a.sql/b.sql score
+# below the daemon's 0.35 engine threshold, so a diff there would pass
+# vacuously (zero links on both sides); these clear 0.4 on 8 links.
+cat > "$WORK/c.sql" <<'EOF'
+CREATE TABLE customer_account (
+  customer_id INT PRIMARY KEY,
+  customer_name VARCHAR(80),
+  email_address VARCHAR(120),
+  phone_number VARCHAR(32),
+  billing_street VARCHAR(120),
+  billing_city VARCHAR(64)
+);
+CREATE TABLE sales_order (
+  order_id INT PRIMARY KEY,
+  customer_id INT,
+  order_date DATE,
+  order_total DECIMAL(10,2),
+  ship_date DATE
+);
+EOF
+cat > "$WORK/d.sql" <<'EOF'
+CREATE TABLE customer_account (
+  customer_id INT PRIMARY KEY,
+  customer_full_name VARCHAR(80),
+  email_address VARCHAR(120),
+  phone_number VARCHAR(32),
+  shipping_street VARCHAR(120),
+  shipping_city VARCHAR(64)
+);
+CREATE TABLE sales_invoice (
+  invoice_id INT PRIMARY KEY,
+  customer_id INT,
+  invoice_date DATE,
+  invoice_total DECIMAL(10,2),
+  due_date DATE
+);
+EOF
+
 # --- Boot ------------------------------------------------------------------
-"$HARMONYD" --port=0 --threads=2 > "$WORK/stdout" 2> "$WORK/stderr" &
+# Candidate-pair blocking on and the engine cache capped: the gates below
+# must hold with both production knobs engaged (requests under the prune
+# threshold transparently fall back to the dense kernel).
+"$HARMONYD" --port=0 --threads=2 --blocking=exact --engine-cache-max=8 \
+  > "$WORK/stdout" 2> "$WORK/stderr" &
 DAEMON_PID=$!
 
 # The startup line carries the ephemeral port:
@@ -94,6 +136,26 @@ cmp "$WORK/batch.csv" "$WORK/served.csv" \
   || fail "served CSV differs from batch CSV"
 [ "$(wc -l < "$WORK/batch.csv")" -gt 1 ] || fail "match produced no links"
 echo "service_smoke: served match byte-identical to batch ($(($(wc -l < "$WORK/batch.csv") - 1)) links)"
+
+# Blocking A/B gate at a threshold >= the daemon's 0.35 prune threshold,
+# where the blocked kernel actually engages: dense batch CLI, blocked batch
+# CLI, and the served match (daemon runs --blocking=exact) must agree byte
+# for byte — on a non-empty link set, or a blocked kernel that pruned
+# everything would pass trivially.
+"$CLI" match "$WORK/c.sql" "$WORK/d.sql" --csv --threshold=0.4 \
+  > "$WORK/dense04.csv" || fail "dense batch match at 0.4 failed"
+"$CLI" match "$WORK/c.sql" "$WORK/d.sql" --csv --threshold=0.4 \
+  --blocking=exact > "$WORK/blocked04.csv" \
+  || fail "blocked batch match at 0.4 failed"
+"${QUERY[@]}" match "$WORK/c.sql" "$WORK/d.sql" --csv --threshold=0.4 \
+  > "$WORK/served04.csv" || fail "served match at 0.4 failed"
+cmp "$WORK/dense04.csv" "$WORK/blocked04.csv" \
+  || fail "blocked CSV differs from dense CSV at threshold 0.4"
+cmp "$WORK/dense04.csv" "$WORK/served04.csv" \
+  || fail "served blocked CSV differs from dense CSV at threshold 0.4"
+[ "$(wc -l < "$WORK/dense04.csv")" -gt 1 ] \
+  || fail "blocking A/B gate is vacuous (no links above 0.4)"
+echo "service_smoke: blocking=exact CSV byte-identical to dense on $(($(wc -l < "$WORK/dense04.csv") - 1)) links (batch and served)"
 
 # --- RED metrics over the wire --------------------------------------------
 # The same counters again, after the match: per-family counters and latency

@@ -1,0 +1,535 @@
+#include "core/blocking.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace harmony::core {
+
+using blocking_internal::CharHist;
+using blocking_internal::ElementSummary;
+using blocking_internal::Side;
+
+namespace {
+
+// Slack on the final bound-vs-threshold compare. The bound arithmetic is a
+// handful of double operations whose worst-case rounding is ~1e-13 relative;
+// 1e-9 absolute dominates it by four orders of magnitude while staying far
+// below any meaningful threshold granularity, so FP noise can never prune a
+// cell whose true score sits exactly on the threshold (satellite: the cut
+// uses the same >= semantics as selection).
+constexpr double kBoundSlack = 1e-9;
+// Relative slack on the cosine numerator: the postings accumulate the dot
+// product in a different order than TfIdfCorpus::Cosine, so the two sums can
+// differ by a few ulps.
+constexpr double kCosineSlack = 1e-9;
+// The voters' soft-token Jaro-Winkler acceptance threshold (voters.cc passes
+// 0.85 explicitly at every call site).
+constexpr double kSoftThreshold = 0.85;
+// Pair-loop budget for the soft-Dice bound: beyond this the bound falls back
+// to the loose min(|A|,|B|) matching size instead of testing every pair.
+constexpr size_t kMaxPairOps = 4096;
+
+int CharClass(unsigned char c) {
+  if (c >= 'a' && c <= 'z') return c - 'a';
+  if (c >= '0' && c <= '9') return 26 + (c - '0');
+  return 36;
+}
+
+CharHist HistOf(std::string_view s) {
+  uint8_t counts[37] = {};
+  for (unsigned char c : s) {
+    uint8_t& n = counts[CharClass(c)];
+    if (n < 3) ++n;
+  }
+  CharHist h;
+  h.len = static_cast<uint32_t>(s.size());
+  for (int k = 0; k < 21; ++k) {
+    h.lo |= static_cast<uint64_t>((1u << counts[k]) - 1) << (3 * k);
+  }
+  for (int k = 21; k < 37; ++k) {
+    h.hi |= static_cast<uint64_t>((1u << counts[k]) - 1) << (3 * (k - 21));
+  }
+  h.sat = static_cast<uint32_t>(std::popcount(h.lo) + std::popcount(h.hi));
+  return h;
+}
+
+// Upper bound on the number of characters a common subsequence/multiset
+// intersection of the two strings can contain (see CharHist's invariant).
+uint32_t CommonUb(const CharHist& a, const CharHist& b) {
+  uint32_t shared = static_cast<uint32_t>(std::popcount(a.lo & b.lo) +
+                                          std::popcount(a.hi & b.hi));
+  uint32_t extra = std::min(a.len - a.sat, b.len - b.sat);
+  return std::min({shared + extra, a.len, b.len});
+}
+
+// Can this token pair score JW >= kSoftThreshold? A necessary condition:
+// JW = jaro + 0.1·p·(1−jaro) with p ≤ 4, so JW ≤ 0.6·jaro + 0.4, hence
+// jaro ≥ 0.75; and jaro = (m/|a| + m/|b| + (m−t)/m)/3 ≤ (m/|a| + m/|b| + 1)/3
+// forces the match count m ≥ 1.25·|a|·|b|/(|a|+|b|). Matches are common
+// characters, so m ≤ CommonUb.
+bool TokenPairCanMatch(const CharHist& a, const CharHist& b) {
+  constexpr double kJaroMin = (kSoftThreshold - 0.4) / 0.6;     // 0.75
+  constexpr double kMatchFactor = 3.0 * kJaroMin - 1.0;         // 1.25
+  double need = kMatchFactor * static_cast<double>(a.len) *
+                static_cast<double>(b.len) /
+                static_cast<double>(a.len + b.len);
+  return static_cast<double>(CommonUb(a, b)) + kBoundSlack >= need;
+}
+
+// Upper bound on the soft-token Dice the voters compute over these token
+// sets (both SoftTokenSimilaritySorted and SoftSortedSimilarity): every
+// accepted pair has JW >= kSoftThreshold and consumes one token from each
+// side, so the matching size is at most the number of a-tokens with any
+// admissible partner, and likewise for b; each accepted pair contributes at
+// most 1. The >32-token exact-intersection fallback is covered too: equal
+// tokens always pass TokenPairCanMatch (m_req = ⌈0.625·len⌉ ≤ len).
+double SoftDiceUb(std::span<const CharHist> a, std::span<const CharHist> b) {
+  size_t ua = a.size(), ub = b.size();
+  size_t m;
+  if (ua * ub > kMaxPairOps) {
+    m = std::min(ua, ub);
+  } else {
+    size_t ma = 0;
+    for (const CharHist& ta : a) {
+      for (const CharHist& tb : b) {
+        if (TokenPairCanMatch(ta, tb)) {
+          ++ma;
+          break;
+        }
+      }
+    }
+    if (ma == 0) return 0.0;
+    size_t mb = 0;
+    for (const CharHist& tb : b) {
+      for (const CharHist& ta : a) {
+        if (TokenPairCanMatch(ta, tb)) {
+          ++mb;
+          break;
+        }
+      }
+    }
+    m = std::min(ma, mb);
+  }
+  return std::min(1.0, 2.0 * static_cast<double>(m) /
+                           static_cast<double>(ua + ub));
+}
+
+std::span<const CharHist> TokenSpan(const Side& side, uint32_t begin,
+                                    uint32_t end) {
+  return std::span<const CharHist>(side.tokens.data() + begin, end - begin);
+}
+
+// Upper bound on max(JaroWinkler, LevenshteinSimilarity) of the names.
+double NameSimUb(const ElementSummary& a, const ElementSummary& b) {
+  uint32_t c = CommonUb(a.name, b.name);
+  uint32_t la = a.name.len, lb = b.name.len;
+  // Levenshtein distance >= max(la,lb) − common, so similarity
+  // 1 − d/max(la,lb) ≤ common/max(la,lb).
+  double lev_ub =
+      static_cast<double>(c) / static_cast<double>(std::max(la, lb));
+  // jaro = (m/la + m/lb + (m−t)/m)/3 with m ≤ c (and jaro = 0 when m = 0).
+  double jaro_ub = c == 0 ? 0.0
+                          : (static_cast<double>(c) / la +
+                             static_cast<double>(c) / lb + 1.0) /
+                                3.0;
+  // The Winkler prefix term is exact: it only reads the first 4 bytes, which
+  // the summaries store. JW = jaro + 0.1·p·(1−jaro) is increasing in jaro
+  // (0.1·p ≤ 0.4 < 1), so substituting jaro_ub keeps it an upper bound.
+  uint32_t p = 0;
+  while (p < 4 && p < a.prefix_len && p < b.prefix_len &&
+         a.prefix[p] == b.prefix[p]) {
+    ++p;
+  }
+  double jw_ub = jaro_ub + 0.1 * static_cast<double>(p) * (1.0 - jaro_ub);
+  return std::min(1.0, std::max(jw_ub, lev_ub));
+}
+
+}  // namespace
+
+BlockingIndex::BlockingIndex(const ProfilePair& profiles,
+                             const VoterConfig& voters,
+                             const MergerOptions& merger,
+                             const BlockingOptions& options,
+                             double selection_threshold)
+    : profiles_(&profiles), options_(options) {
+  prune_threshold_ =
+      options.threshold >= 0.0 ? options.threshold : selection_threshold;
+  active_ = options.mode != BlockingMode::kOff && prune_threshold_ > 0.0;
+  if (!active_) return;
+
+  merge_mode_ = merger.effective_mode();
+  prior_ = merger.prior_weight;
+
+  // Read the weights and half evidences off the instantiated voter set so
+  // the bound can never drift from CreateVoters / the voter classes.
+  for (const auto& v : CreateVoters(voters)) {
+    VoterModel m{v->base_weight(), v->half_evidence()};
+    total_weight_ += m.weight;
+    std::string_view n = v->name();
+    if (n == "name_string") {
+      name_string_ = m;
+    } else if (n == "name_token") {
+      name_token_ = m;
+    } else if (n == "documentation") {
+      documentation_ = m;
+    } else if (n == "data_type") {
+      data_type_ = m;
+    } else if (n == "structural") {
+      structural_ = m;
+    } else if (n == "acronym") {
+      acronym_ = m;
+    } else {
+      HARMONY_CHECK(false) << "unknown voter " << n
+                           << " — blocking bound has no model for it";
+    }
+  }
+
+  for (size_t ta = 0; ta < kTypeCount; ++ta) {
+    for (size_t tb = 0; tb < kTypeCount; ++tb) {
+      auto da = static_cast<schema::DataType>(ta);
+      auto db = static_cast<schema::DataType>(tb);
+      bool part = da != schema::DataType::kUnknown &&
+                  db != schema::DataType::kUnknown &&
+                  da != schema::DataType::kComposite &&
+                  db != schema::DataType::kComposite;
+      type_part_[ta][tb] = part;
+      type_dir_[ta][tb] =
+          part ? 2.0 * schema::DataTypeCompatibility(da, db) - 1.0 : 0.0;
+    }
+  }
+
+  BuildSide(profiles.source_view(), source_);
+  BuildSide(profiles.target_view(), target_);
+
+  const ProfileView& sv = profiles.source_view();
+  const ProfileView& tv = profiles.target_view();
+
+  // Target-side documentation postings (element id as doc id) and source-side
+  // sorted (term, weight) arrays: the per-row dot products then accumulate in
+  // a canonical order — ascending term, then ascending posting doc id — so
+  // candidate sets are identical however the rows are sharded.
+  for (schema::ElementId id = 0; id < tv.size(); ++id) {
+    if (tv.doc_token_count(id) > 0) doc_postings_.Add(id, tv.doc_vector(id));
+  }
+  doc_postings_.Finalize();
+  src_doc_range_.resize(sv.size(), {0, 0});
+  for (schema::ElementId id = 0; id < sv.size(); ++id) {
+    uint32_t begin = static_cast<uint32_t>(src_doc_terms_.size());
+    if (sv.doc_token_count(id) > 0) {
+      for (const auto& [term, w] : sv.doc_vector(id)) {
+        src_doc_terms_.emplace_back(term, w);
+      }
+      std::sort(src_doc_terms_.begin() + begin, src_doc_terms_.end(),
+                [](const auto& x, const auto& y) { return x.first < y.first; });
+    }
+    src_doc_range_[id] = {begin, static_cast<uint32_t>(src_doc_terms_.size())};
+  }
+
+  // Acronym probes mirror AcronymVoter: a fires against targets whose
+  // initials equal a's flattened name (case 1) or whose flattened name
+  // equals a's initials (case 2). Keys are views into the ProfileView
+  // arenas, which the engine keeps alive alongside this index.
+  for (schema::ElementId id = 0; id < tv.size(); ++id) {
+    std::string_view init = tv.initials(id);
+    if (init.size() >= 2) target_by_initials_[init].push_back(id);
+    std::string_view name = tv.normalized_name(id);
+    if (!name.empty()) target_by_name_[name].push_back(id);
+    if (options_.mode == BlockingMode::kApproximate) {
+      for (const std::string& tok : tv.sorted_name_tokens(id)) {
+        target_by_token_[tok].push_back(id);
+      }
+    }
+  }
+}
+
+void BlockingIndex::BuildSide(const ProfileView& view, Side& side) {
+  side.elems.resize(view.size());
+  for (schema::ElementId id = 0; id < view.size(); ++id) {
+    ElementSummary& e = side.elems[id];
+    std::string_view name = view.normalized_name(id);
+    e.name = HistOf(name);
+    e.prefix_len = static_cast<uint32_t>(std::min<size_t>(4, name.size()));
+    for (uint32_t i = 0; i < e.prefix_len; ++i) e.prefix[i] = name[i];
+    e.raw_tokens = static_cast<uint32_t>(view.name_tokens(id).size());
+    auto pack = [&side](std::span<const std::string> tokens, uint32_t& begin,
+                        uint32_t& end) {
+      begin = static_cast<uint32_t>(side.tokens.size());
+      for (const std::string& t : tokens) side.tokens.push_back(HistOf(t));
+      end = static_cast<uint32_t>(side.tokens.size());
+    };
+    pack(view.sorted_name_tokens(id), e.tok_begin, e.tok_end);
+    pack(view.parent_tokens(id), e.par_begin, e.par_end);
+    pack(view.children_tokens(id), e.chi_begin, e.chi_end);
+    e.doc_count = view.doc_token_count(id);
+    if (e.doc_count > 0) {
+      // The same Σw² reduction Cosine runs over this exact map instance
+      // (identical iteration order → identical rounding), inverted once.
+      double norm_sq = 0.0;
+      for (const auto& [term, w] : view.doc_vector(id)) norm_sq += w * w;
+      e.doc_inv_norm = norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0;
+    }
+    e.data_type = static_cast<uint8_t>(view.data_type(id));
+  }
+}
+
+double BlockingIndex::BoundCell(const ElementSummary& a,
+                                const ElementSummary& b, double doc_dot,
+                                uint32_t acronym_len) const {
+  // Per-voter (participates, exact evidence, ratio upper bound). Evidence
+  // and participation follow the voters' gates exactly; only the ratio is
+  // bounded. Direction bound d_ub = 2·min(r_ub,1) − 1 dominates the clamped
+  // direction the merger computes.
+  struct Entry {
+    const VoterModel* model;
+    bool part;
+    double evidence;
+    double d_ub;
+  };
+  Entry entries[6];
+  size_t n = 0;
+
+  if (name_string_.weight > 0.0) {
+    bool part = a.name.len > 0 && b.name.len > 0;
+    double e = part ? static_cast<double>(std::min(a.name.len, b.name.len)) : 0.0;
+    double d = part ? 2.0 * NameSimUb(a, b) - 1.0 : 0.0;
+    entries[n++] = {&name_string_, part, e, d};
+  }
+  if (name_token_.weight > 0.0) {
+    bool part = a.raw_tokens > 0 && b.raw_tokens > 0;
+    double e = part ? (static_cast<double>(a.raw_tokens) +
+                       static_cast<double>(b.raw_tokens)) /
+                          2.0
+                    : 0.0;
+    double d = 0.0;
+    if (part) {
+      d = 2.0 * SoftDiceUb(TokenSpan(source_, a.tok_begin, a.tok_end),
+                           TokenSpan(target_, b.tok_begin, b.tok_end)) -
+          1.0;
+    }
+    entries[n++] = {&name_token_, part, e, d};
+  }
+  if (documentation_.weight > 0.0) {
+    bool part = a.doc_count > 0 && b.doc_count > 0;
+    double e = part ? static_cast<double>(std::min(a.doc_count, b.doc_count)) : 0.0;
+    double d = 0.0;
+    if (part) {
+      double cos_ub = std::min(
+          1.0, doc_dot * a.doc_inv_norm * b.doc_inv_norm * (1.0 + kCosineSlack));
+      d = 2.0 * cos_ub - 1.0;
+    }
+    entries[n++] = {&documentation_, part, e, d};
+  }
+  if (data_type_.weight > 0.0) {
+    bool part = type_part_[a.data_type][b.data_type];
+    entries[n++] = {&data_type_, part, part ? 1.0 : 0.0,
+                    type_dir_[a.data_type][b.data_type]};
+  }
+  if (structural_.weight > 0.0) {
+    bool hp = a.par_end > a.par_begin && b.par_end > b.par_begin;
+    bool hc = a.chi_end > a.chi_begin && b.chi_end > b.chi_begin;
+    bool part = hp || hc;
+    double e = 0.0, num = 0.0;
+    if (hp) {
+      num += 2.0 * SoftDiceUb(TokenSpan(source_, a.par_begin, a.par_end),
+                              TokenSpan(target_, b.par_begin, b.par_end));
+      e += 2.0;
+    }
+    if (hc) {
+      double ce = std::min(
+          static_cast<double>(std::min(a.chi_end - a.chi_begin,
+                                       b.chi_end - b.chi_begin)),
+          6.0);
+      num += ce * SoftDiceUb(TokenSpan(source_, a.chi_begin, a.chi_end),
+                             TokenSpan(target_, b.chi_begin, b.chi_end));
+      e += ce;
+    }
+    entries[n++] = {&structural_, part, e, part ? 2.0 * (num / e) - 1.0 : 0.0};
+  }
+  if (acronym_.weight > 0.0) {
+    bool part = acronym_len > 0;  // ratio is exactly 1 when it fires
+    entries[n++] = {&acronym_, part, static_cast<double>(acronym_len), 1.0};
+  }
+
+  if (merge_mode_ == MergeMode::kNaiveAverage) {
+    // merged = Σ w·(2·clamp(ratio)−1) / Σ w with abstainers voting −1;
+    // substituting each participating voter's d_ub is an upper bound.
+    if (total_weight_ == 0.0) return 0.0;
+    double num = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      num += entries[i].model->weight * (entries[i].part ? entries[i].d_ub : -1.0);
+    }
+    return num / total_weight_;
+  }
+
+  // merged = Σ s·d / (prior + Σ s) over participants. Dropping negative
+  // contributions can only raise it (the denominator keeps every
+  // participant's strength, so dropping a negative term while also dropping
+  // its strength from the denominator still dominates: N/(prior+S) ≤
+  // N⁺/(prior+S⁺) ≤ P/(prior+P) since N⁺ ≤ S⁺ and x/(prior+x) increases).
+  double p_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!entries[i].part || entries[i].d_ub <= 0.0) continue;
+    double s = entries[i].model->weight;
+    if (merge_mode_ == MergeMode::kEvidenceWeighted) {
+      s *= entries[i].evidence /
+           (entries[i].evidence + entries[i].model->half_evidence);
+    }
+    p_sum += s * entries[i].d_ub;
+  }
+  return p_sum > 0.0 ? p_sum / (prior_ + p_sum) : 0.0;
+}
+
+BlockingIndex::TargetSet BlockingIndex::MakeTargetSet(
+    std::span<const schema::ElementId> targets) const {
+  TargetSet tset;
+  tset.targets.assign(targets.begin(), targets.end());
+  tset.col_of_id.assign(target_.elems.size(), -1);
+  for (size_t k = 0; k < targets.size(); ++k) {
+    HARMONY_CHECK_LT(static_cast<size_t>(targets[k]), target_.elems.size())
+        << "target ElementId out of range for the blocking index";
+    tset.col_of_id[targets[k]] = static_cast<int32_t>(k);
+  }
+  return tset;
+}
+
+BlockingIndex::RowScratch BlockingIndex::MakeRowScratch() const {
+  RowScratch scratch;
+  size_t n = target_.elems.size();
+  scratch.doc_dot.assign(n, 0.0);
+  scratch.doc_epoch.assign(n, 0);
+  scratch.acronym_len.assign(n, 0);
+  scratch.acronym_epoch.assign(n, 0);
+  return scratch;
+}
+
+void BlockingIndex::PrepareRow(schema::ElementId source, RowScratch& scratch,
+                               std::vector<uint32_t>* touched) const {
+  ++scratch.epoch;
+  uint32_t epoch = scratch.epoch;
+
+  const ElementSummary& a = source_.elems[source];
+  if (a.doc_count > 0 && documentation_.weight > 0.0) {
+    auto [begin, end] = src_doc_range_[source];
+    for (uint32_t i = begin; i < end; ++i) {
+      auto [term, wa] = src_doc_terms_[i];
+      for (const auto& p : doc_postings_.Postings(term)) {
+        if (scratch.doc_epoch[p.doc] != epoch) {
+          scratch.doc_epoch[p.doc] = epoch;
+          scratch.doc_dot[p.doc] = 0.0;
+          if (touched) touched->push_back(p.doc);
+        }
+        scratch.doc_dot[p.doc] += wa * p.weight;
+      }
+    }
+  }
+
+  if (acronym_.weight > 0.0) {
+    const ProfileView& sv = profiles_->source_view();
+    std::string_view a_name = sv.normalized_name(source);
+    std::string_view a_initials = sv.initials(source);
+    // Case 1 (a's name is the acronym of b) takes priority, matching
+    // AcronymVoter's `a_is_acronym_of_b ? b_initials : a_initials`.
+    if (auto it = target_by_initials_.find(a_name);
+        it != target_by_initials_.end()) {
+      for (uint32_t id : it->second) {
+        scratch.acronym_epoch[id] = epoch;
+        scratch.acronym_len[id] = static_cast<uint32_t>(a_name.size());
+        if (touched) touched->push_back(id);
+      }
+    }
+    if (a_initials.size() >= 2) {
+      if (auto it = target_by_name_.find(a_initials);
+          it != target_by_name_.end()) {
+        for (uint32_t id : it->second) {
+          if (scratch.acronym_epoch[id] == epoch) continue;
+          scratch.acronym_epoch[id] = epoch;
+          scratch.acronym_len[id] = static_cast<uint32_t>(a_initials.size());
+          if (touched) touched->push_back(id);
+        }
+      }
+    }
+  }
+}
+
+void BlockingIndex::CandidateColumns(schema::ElementId source,
+                                     const TargetSet& tset, RowScratch& scratch,
+                                     std::vector<uint32_t>& out_cols) const {
+  out_cols.clear();
+  HARMONY_CHECK_LT(static_cast<size_t>(source), source_.elems.size())
+      << "source ElementId out of range for the blocking index";
+  const ElementSummary& a = source_.elems[source];
+
+  if (options_.mode == BlockingMode::kExact) {
+    PrepareRow(source, scratch, nullptr);
+    uint32_t epoch = scratch.epoch;
+    for (size_t k = 0; k < tset.targets.size(); ++k) {
+      uint32_t id = tset.targets[k];
+      double dot = scratch.doc_epoch[id] == epoch ? scratch.doc_dot[id] : 0.0;
+      uint32_t acr =
+          scratch.acronym_epoch[id] == epoch ? scratch.acronym_len[id] : 0;
+      double bound = BoundCell(a, target_.elems[id], dot, acr);
+      if (bound + kBoundSlack >= prune_threshold_) {
+        out_cols.push_back(static_cast<uint32_t>(k));
+      }
+    }
+    return;
+  }
+
+  // Approximate mode: candidates come from the inverted structures only —
+  // shared doc terms and acronym hits (collected by PrepareRow), exact
+  // shared name-token stems, and exact name equality. Everything else is
+  // assumed prunable without being bounded.
+  std::vector<uint32_t>& cand = scratch.candidate_ids;
+  cand.clear();
+  PrepareRow(source, scratch, &cand);
+  uint32_t epoch = scratch.epoch;
+  const ProfileView& sv = profiles_->source_view();
+  for (const std::string& tok : sv.sorted_name_tokens(source)) {
+    if (auto it = target_by_token_.find(std::string_view(tok));
+        it != target_by_token_.end()) {
+      cand.insert(cand.end(), it->second.begin(), it->second.end());
+    }
+  }
+  std::string_view a_name = sv.normalized_name(source);
+  if (!a_name.empty()) {
+    if (auto it = target_by_name_.find(a_name); it != target_by_name_.end()) {
+      cand.insert(cand.end(), it->second.begin(), it->second.end());
+    }
+  }
+  std::sort(cand.begin(), cand.end());
+  cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+
+  for (uint32_t id : cand) {
+    int32_t col = tset.col_of_id[id];
+    if (col < 0) continue;
+    double dot = scratch.doc_epoch[id] == epoch ? scratch.doc_dot[id] : 0.0;
+    uint32_t acr =
+        scratch.acronym_epoch[id] == epoch ? scratch.acronym_len[id] : 0;
+    double bound = BoundCell(a, target_.elems[id], dot, acr);
+    if (bound + kBoundSlack >= prune_threshold_) {
+      out_cols.push_back(static_cast<uint32_t>(col));
+    }
+  }
+  // Candidate ids ascend, but column order follows the matrix's target
+  // vector; restore ascending columns for a deterministic scatter order.
+  std::sort(out_cols.begin(), out_cols.end());
+}
+
+double BlockingIndex::CellBound(schema::ElementId source,
+                                schema::ElementId target,
+                                RowScratch& scratch) const {
+  HARMONY_CHECK_LT(static_cast<size_t>(source), source_.elems.size());
+  HARMONY_CHECK_LT(static_cast<size_t>(target), target_.elems.size());
+  PrepareRow(source, scratch, nullptr);
+  uint32_t epoch = scratch.epoch;
+  double dot =
+      scratch.doc_epoch[target] == epoch ? scratch.doc_dot[target] : 0.0;
+  uint32_t acr =
+      scratch.acronym_epoch[target] == epoch ? scratch.acronym_len[target] : 0;
+  return BoundCell(source_.elems[source], target_.elems[target], dot, acr);
+}
+
+}  // namespace harmony::core

@@ -1,0 +1,239 @@
+// Candidate-pair blocking (ROADMAP "stop scoring all O(n·m) pairs"): an
+// index over the preprocessed profiles of a schema pair that, for every
+// (source row, target column) cell, produces a cheap ADMISSIBLE upper bound
+// on the merged voter-ensemble score — admissible meaning the bound is
+// provably >= the score the full ensemble would compute. ComputeMatrix then
+// runs the expensive voters only on cells whose bound clears the selection
+// threshold; every pruned cell provably scores below it, so threshold-gated
+// selection over the blocked matrix returns bitwise-identical matches to
+// the dense path (tests/core/blocking_test.cc asserts it across seeds,
+// thread counts, and grains).
+//
+// The bound (derivation in DESIGN.md "Candidate-pair blocking"): with the
+// evidence-weighted merger, merged = Σ s_i·d_i / (prior + Σ s_i) over
+// participating voters, where s_i ≥ 0 and d_i = 2·ratio_i − 1 ≤ 1. Each
+// voter gets a per-cell upper bound p_i ≥ s_i·max(0, d_i) computed from
+// cheap per-element scalars; dropping negative contributions and using the
+// monotonicity of x ↦ x/(prior + x) gives
+//
+//   merged ≤ Σ s_i·d_i / (prior + Σ s_i) ≤ P / (prior + P),  P = Σ p_i.
+//
+// Participation (abstention) and evidence volume are EXACTLY computable per
+// cell from per-element scalars for all six voters, so only each voter's
+// ratio needs bounding:
+//   - name_string: Jaro-Winkler and edit similarity are bounded through the
+//     common-character count, itself bounded by capped per-character-class
+//     histograms (111-bit thermometer encodings: intersection popcount =
+//     Σ min of counts) plus the stored 4-byte prefixes for the Winkler term.
+//   - name_token / structural: a token pair can soft-match (JW ≥ 0.85) only
+//     if its common-character bound reaches ⌈1.25·|a|·|b|/(|a|+|b|)⌉, a
+//     necessary condition from JW ≤ 0.6·jaro + 0.4 and the Jaro definition;
+//     counting tokens with any admissible partner bounds the greedy Dice.
+//   - documentation: the TF-IDF cosine numerator accumulates through an
+//     inverted term → (element, weight) posting index (text::PostingListIndex,
+//     shared with search::SchemaSearchIndex) — a cell with no shared doc
+//     terms costs nothing.
+//   - data_type / acronym: exact (a compatibility table lookup and two hash
+//     probes on the flattened-name/initials maps).
+//
+// Exactness of surviving cells: every voter's VoteRow treats targets
+// independently, so scoring a gathered candidate subset produces bitwise
+// the same per-cell scores as the dense row, and the merge is unchanged.
+// Pruned cells keep the matrix default 0.0 — the paper's "complete
+// uncertainty" — which no threshold-gated selection (threshold > 0) can
+// pick. Blocking therefore only activates when the prune threshold is
+// positive.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/merger.h"
+#include "core/preprocess.h"
+#include "core/voters.h"
+#include "schema/schema.h"
+#include "text/posting_index.h"
+
+namespace harmony::core {
+
+namespace blocking_internal {
+
+/// Capped per-character-class histogram of one string, thermometer-coded:
+/// 37 classes (26 letters, 10 digits, 1 other) × 3 bits, count capped at 3
+/// stored as (1<<count)-1, so popcount(a & b) = Σ min(count_a, count_b)
+/// over the capped histograms. `sat` = Σ capped counts; the true common-
+/// character count is then ≤ popcount(a&b) + min(len_a - sat_a,
+/// len_b - sat_b) (occurrences beyond the cap, bounded by either side's
+/// leftover mass — the capped histogram never overcounts, so the bound
+/// stays admissible).
+struct CharHist {
+  uint64_t lo = 0;  ///< classes 0..20  (bits 0..62)
+  uint64_t hi = 0;  ///< classes 21..36 (bits 0..47)
+  uint32_t len = 0;
+  uint32_t sat = 0;
+};
+
+/// Cheap per-element scalars, everything the bound kernel reads per cell.
+struct ElementSummary {
+  CharHist name;
+  char prefix[4] = {0, 0, 0, 0};  ///< Winkler prefix term (exact, cap 4).
+  uint32_t prefix_len = 0;
+  uint32_t raw_tokens = 0;              ///< |name_tokens| (gate + evidence)
+  uint32_t tok_begin = 0, tok_end = 0;  ///< sorted unique name tokens
+  uint32_t par_begin = 0, par_end = 0;  ///< parent tokens
+  uint32_t chi_begin = 0, chi_end = 0;  ///< children tokens
+  uint32_t doc_count = 0;
+  double doc_inv_norm = 0.0;
+  uint8_t data_type = 0;
+};
+
+struct Side {
+  std::vector<ElementSummary> elems;  ///< indexed by ElementId
+  std::vector<CharHist> tokens;       ///< arena for the three token ranges
+};
+
+}  // namespace blocking_internal
+
+/// \brief How ComputeMatrix uses the blocking index.
+enum class BlockingMode : uint8_t {
+  /// Score every cell (the dense kernel). The default.
+  kOff = 0,
+  /// Compute the admissible bound for every cell and score only cells whose
+  /// bound clears the prune threshold. Selected matches are bitwise
+  /// identical to the dense path for any selection threshold >= the prune
+  /// threshold.
+  kExact,
+  /// Generate candidates purely from the inverted indexes (shared name-token
+  /// stems, shared doc terms, acronym/name-equality probes), then apply the
+  /// bound cut. Sub-quadratic — rows never touch non-overlapping targets —
+  /// but soft-only matches (close-but-unequal stems with no shared terms)
+  /// can be missed; the property suite pins a recall floor, not equality.
+  kApproximate,
+};
+
+/// \brief Blocking configuration, carried in MatchOptions::blocking.
+struct BlockingOptions {
+  BlockingMode mode = BlockingMode::kOff;
+  /// Prune threshold: cells whose bound falls below it are left at the 0.0
+  /// sentinel. Negative (default) adopts MatchOptions::threshold. A blocked
+  /// matrix is valid for threshold-gated selection at any threshold >= this
+  /// value; MatchEngine::ComputeMatrixFor falls back to the dense kernel
+  /// when asked for a lower one, and blocking deactivates entirely when the
+  /// effective prune threshold is <= 0 (the sentinel would be selectable).
+  double threshold = -1.0;
+};
+
+/// \brief The per-pair blocking index. Built once per MatchEngine (after
+/// preprocessing) and immutable afterwards; safe for concurrent rows.
+class BlockingIndex {
+ public:
+  /// `profiles` must outlive the index (summaries keep views into its
+  /// arenas). `selection_threshold` is MatchOptions::threshold, adopted as
+  /// the prune threshold when `options.threshold` is negative.
+  BlockingIndex(const ProfilePair& profiles, const VoterConfig& voters,
+                const MergerOptions& merger, const BlockingOptions& options,
+                double selection_threshold);
+
+  /// False when mode is kOff or the prune threshold is not positive (the
+  /// 0.0 sentinel would not be provably below threshold); ComputeMatrix
+  /// then runs dense.
+  bool active() const { return active_; }
+  BlockingMode mode() const { return options_.mode; }
+  double prune_threshold() const { return prune_threshold_; }
+
+  /// Per-ComputeMatrix precomputation: the matrix's target columns and the
+  /// element-id → column map. Built once per matrix, shared read-only by
+  /// every row shard.
+  struct TargetSet {
+    std::vector<schema::ElementId> targets;
+    std::vector<int32_t> col_of_id;  ///< -1 for targets outside the matrix.
+  };
+  TargetSet MakeTargetSet(std::span<const schema::ElementId> targets) const;
+
+  /// Per-shard scratch: sparse accumulators (epoch-stamped so rows reset in
+  /// O(touched), not O(targets)) and candidate buffers.
+  struct RowScratch {
+    std::vector<double> doc_dot;
+    std::vector<uint32_t> doc_epoch;
+    std::vector<uint32_t> acronym_len;
+    std::vector<uint32_t> acronym_epoch;
+    uint32_t epoch = 0;
+    std::vector<uint32_t> candidate_ids;
+  };
+  RowScratch MakeRowScratch() const;
+
+  /// Fills `out_cols` (cleared first) with the ascending column indices of
+  /// `tset` whose upper bound clears the prune threshold for source row
+  /// `source`. Deterministic: depends only on (source, tset), never on
+  /// sharding.
+  void CandidateColumns(schema::ElementId source, const TargetSet& tset,
+                        RowScratch& scratch,
+                        std::vector<uint32_t>& out_cols) const;
+
+  /// The admissible upper bound for one cell (exposed for the property
+  /// tests, which assert bound >= dense score on every cell).
+  double CellBound(schema::ElementId source, schema::ElementId target,
+                   RowScratch& scratch) const;
+
+ private:
+  static void BuildSide(const ProfileView& view, blocking_internal::Side& side);
+
+  double BoundCell(const blocking_internal::ElementSummary& a,
+                   const blocking_internal::ElementSummary& b, double doc_dot,
+                   uint32_t acronym_len) const;
+
+  /// Accumulates the row's documentation dot products (through the target
+  /// postings) and acronym probe hits into the epoch-stamped scratch. When
+  /// `touched` is non-null (approximate mode), every stamped target id is
+  /// appended (possibly with duplicates; the caller de-duplicates).
+  void PrepareRow(schema::ElementId source, RowScratch& scratch,
+                  std::vector<uint32_t>* touched) const;
+
+  const ProfilePair* profiles_;
+  BlockingOptions options_;
+  double prune_threshold_ = 0.0;
+  bool active_ = false;
+
+  // Merger model (mirrors VoteMerger on the bound side).
+  MergeMode merge_mode_ = MergeMode::kEvidenceWeighted;
+  double prior_ = 1.0;
+
+  // Per-voter base weights (0 = disabled, mirroring CreateVoters) and half
+  // evidences, read off the instantiated voters so the constants cannot
+  // drift from voters.cc.
+  struct VoterModel {
+    double weight = 0.0;
+    double half_evidence = 1.0;
+  };
+  VoterModel name_string_, name_token_, documentation_, data_type_,
+      structural_, acronym_;
+  double total_weight_ = 0.0;  ///< naive-average denominator
+
+  // Data-type participation and exact direction (2·compat − 1) per pair.
+  static constexpr size_t kTypeCount = 11;
+  bool type_part_[kTypeCount][kTypeCount] = {};
+  double type_dir_[kTypeCount][kTypeCount] = {};
+
+  blocking_internal::Side source_, target_;
+
+  // Documentation term postings over the target side (element id as doc id)
+  // and per-source sorted (term, weight) arrays for the row accumulation.
+  text::PostingListIndex doc_postings_;
+  std::vector<std::pair<uint32_t, double>> src_doc_terms_;
+  std::vector<std::pair<uint32_t, uint32_t>> src_doc_range_;
+
+  // Acronym / name-equality probes (string_views into the ProfileView
+  // arenas, which outlive the index).
+  std::unordered_map<std::string_view, std::vector<uint32_t>> target_by_initials_;
+  std::unordered_map<std::string_view, std::vector<uint32_t>> target_by_name_;
+  // Approximate-mode candidate postings: exact stem equality on the sorted
+  // unique name tokens.
+  std::unordered_map<std::string_view, std::vector<uint32_t>> target_by_token_;
+};
+
+}  // namespace harmony::core

@@ -32,6 +32,14 @@ std::string RenderStatsText(const EngineStats& stats) {
           static_cast<unsigned long long>(stats.matrices_computed));
   AppendF(out, "  %-24s %12llu\n", "cells scored",
           static_cast<unsigned long long>(stats.cells_scored));
+  if (stats.cells_pruned > 0) {
+    uint64_t total = stats.cells_scored + stats.cells_pruned;
+    AppendF(out, "  %-24s %12llu (%.1f%% of %llu)\n", "cells pruned",
+            static_cast<unsigned long long>(stats.cells_pruned),
+            100.0 * static_cast<double>(stats.cells_pruned) /
+                static_cast<double>(total),
+            static_cast<unsigned long long>(total));
+  }
   AppendF(out, "  %-24s %12.1f ms (summed over executors)\n", "scoring kernel",
           Ms(stats.score_ns));
   if (!stats.voter_timing) {
@@ -62,11 +70,12 @@ std::string RenderStatsJson(const EngineStats& stats) {
   std::string out;
   AppendF(out,
           "{\"preprocess_seconds\":%.6f,\"matrices_computed\":%llu,"
-          "\"cells_scored\":%llu,\"score_ns\":%llu,\"voter_timing\":%s,"
-          "\"voters\":[",
+          "\"cells_scored\":%llu,\"cells_pruned\":%llu,\"score_ns\":%llu,"
+          "\"voter_timing\":%s,\"voters\":[",
           stats.preprocess_seconds,
           static_cast<unsigned long long>(stats.matrices_computed),
           static_cast<unsigned long long>(stats.cells_scored),
+          static_cast<unsigned long long>(stats.cells_pruned),
           static_cast<unsigned long long>(stats.score_ns),
           stats.voter_timing ? "true" : "false");
   for (size_t i = 0; i < stats.voters.size(); ++i) {

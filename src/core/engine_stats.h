@@ -29,8 +29,12 @@ struct EngineStats {
   double preprocess_seconds = 0.0;
   /// ComputeMatrix invocations (full, filtered, and sub-tree).
   uint64_t matrices_computed = 0;
-  /// Matrix cells scored across all invocations.
+  /// Matrix cells scored across all invocations. With blocking active this
+  /// counts only the candidate cells the voters actually ran on.
   uint64_t cells_scored = 0;
+  /// Cells the blocking index pruned (bound below the prune threshold, left
+  /// at the 0.0 sentinel). Always 0 when blocking is off.
+  uint64_t cells_pruned = 0;
   /// Wall nanoseconds in the scoring kernel, summed over shard executions
   /// (CPU-seconds across executors, not elapsed time).
   uint64_t score_ns = 0;

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/blocking.h"
 #include "core/engine_context.h"
 #include "core/engine_stats.h"
 #include "core/filters.h"
@@ -57,6 +58,15 @@ struct MatchOptions {
   /// benchmarking and the determinism tests; both paths produce
   /// bitwise-identical matrices.
   bool batch_rows = true;
+  /// Candidate-pair blocking (core/blocking.h): skip scoring cells whose
+  /// admissible score upper bound falls below the prune threshold
+  /// (blocking.threshold, defaulting to `threshold` above). Pruned cells
+  /// stay at the 0.0 "complete uncertainty" sentinel, so any threshold-gated
+  /// selection at or above the prune threshold returns bitwise-identical
+  /// matches to the dense kernel in kExact mode. Use ComputeMatrixFor() when
+  /// selecting at a different threshold than the engine default — it falls
+  /// back to the dense kernel whenever blocking would be invalid.
+  BlockingOptions blocking;
 };
 
 /// \brief Per-pair diagnostic: the raw voter scores behind one cell of the
@@ -97,6 +107,15 @@ class MatchEngine {
   /// MATCH(S1, S2) operator. For the paper's scales (1378×784 ≈ 10^6 pairs)
   /// this runs in seconds.
   MatchMatrix ComputeMatrix() const;
+
+  /// ComputeMatrix() for a caller that will threshold-select at
+  /// `selection_threshold`: uses the blocking fast path only when the
+  /// blocked matrix is valid for that threshold (selection_threshold >=
+  /// the prune threshold), otherwise scores densely. Callers selecting at a
+  /// caller-supplied threshold (the match service, the n-way vocabulary
+  /// builder) go through this so a request below the prune threshold never
+  /// sees pruned cells it would have selected.
+  MatchMatrix ComputeMatrixFor(double selection_threshold) const;
 
   /// ComputeMatrix() followed by structural score propagation
   /// (core/propagation.h), which sharpens container matches and breaks ties
@@ -141,6 +160,7 @@ class MatchEngine {
   struct StatsAccumulator {
     std::atomic<uint64_t> matrices{0};
     std::atomic<uint64_t> cells{0};
+    std::atomic<uint64_t> cells_pruned{0};
     std::atomic<uint64_t> score_ns{0};
     std::vector<std::atomic<uint64_t>> voter_calls;  // sized to voters_
     std::vector<std::atomic<uint64_t>> voter_ns;
@@ -153,9 +173,18 @@ class MatchEngine {
     obs::Counter matrices;
     obs::Counter cells;
     obs::Counter engines;
+    obs::Counter blocking_candidates;
+    obs::Counter blocking_pruned;
     obs::Histogram preprocess_ns;
     obs::Histogram matrix_ns;
+    obs::Histogram blocking_candidate_ratio_pct;
   };
+
+  /// The shared matrix kernel. `allow_blocking` false forces the dense path
+  /// (refined matrices, and ComputeMatrixFor below the prune threshold).
+  MatchMatrix ComputeMatrixImpl(const std::vector<schema::ElementId>& source_ids,
+                                const std::vector<schema::ElementId>& target_ids,
+                                bool allow_blocking) const;
 
   MatchOptions options_;
   EngineContext context_;  // by value: three pointers, copied at ctor
@@ -163,6 +192,9 @@ class MatchEngine {
   ProfilePair profiles_;
   std::vector<std::unique_ptr<MatchVoter>> voters_;
   VoteMerger merger_;
+  /// Non-null iff options_.blocking.mode != kOff and the prune threshold is
+  /// positive (BlockingIndex::active()).
+  std::unique_ptr<BlockingIndex> blocking_;
   mutable StatsAccumulator stats_;
 };
 

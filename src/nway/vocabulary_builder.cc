@@ -455,7 +455,10 @@ std::vector<PairwiseMatches> MatchPairsInto(
       HARMONY_TRACE_SPAN(context.tracer, "nway/match_pair");
       auto [i, j] = pairs[k];
       core::MatchEngine engine(*schemas[i], *schemas[j], options, context);
-      core::MatchMatrix matrix = engine.ComputeMatrix();
+      // Selection below happens at `threshold`, which may differ from
+      // options.threshold: ComputeMatrixFor keeps blocking (when enabled)
+      // valid for it, falling back to the dense kernel if needed.
+      core::MatchMatrix matrix = engine.ComputeMatrixFor(threshold);
       PairwiseMatches& pm = out[k];
       pm.source_index = i;
       pm.target_index = j;

@@ -35,7 +35,14 @@ size_t SchemaSearchIndex::Add(const schema::Schema& schema) {
 }
 
 void SchemaSearchIndex::Finalize() {
+  HARMONY_CHECK(!finalized_) << "Finalize called twice";
   corpus_.Finalize();
+  for (size_t i = 0; i < element_docs_.size(); ++i) {
+    uint32_t doc_id = static_cast<uint32_t>(element_docs_[i].doc_id);
+    element_postings_.Add(doc_id, corpus_.DocumentVector(element_docs_[i].doc_id));
+    element_doc_by_id_.emplace(doc_id, i);
+  }
+  element_postings_.Finalize();
   finalized_ = true;
 }
 
@@ -83,8 +90,19 @@ std::vector<SearchHit> SchemaSearchIndex::SearchKeywords(
 
 std::vector<FragmentHit> SchemaSearchIndex::RankFragments(
     const text::SparseVector& query_vec, size_t k) const {
+  // Candidate generation through the posting index: only element docs that
+  // share at least one term with the query can have a non-zero cosine, and
+  // zero-cosine docs were filtered below anyway. Candidates come back
+  // sorted by ascending doc id — the order element docs were registered —
+  // so the hit list (and its tie-breaking sort) is identical to the old
+  // full scan, just without touching the non-overlapping elements.
+  std::vector<uint32_t> candidates;
+  element_postings_.Candidates(query_vec, candidates);
   std::vector<FragmentHit> hits;
-  for (const ElementDoc& doc : element_docs_) {
+  for (uint32_t doc_id : candidates) {
+    auto it = element_doc_by_id_.find(doc_id);
+    if (it == element_doc_by_id_.end()) continue;
+    const ElementDoc& doc = element_docs_[it->second];
     double score =
         text::TfIdfCorpus::Cosine(query_vec, corpus_.DocumentVector(doc.doc_id));
     if (score > 0.0) hits.push_back({doc.schema_index, doc.element, score});

@@ -11,9 +11,11 @@
 #include <limits>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "schema/schema.h"
+#include "text/posting_index.h"
 #include "text/tfidf.h"
 
 namespace harmony::search {
@@ -49,7 +51,10 @@ class SchemaSearchIndex {
   /// Registers a schema; returns its index.
   size_t Add(const schema::Schema& schema);
 
-  /// Builds the TF-IDF statistics. Must be called once after all Add calls.
+  /// Builds the TF-IDF statistics and the element-level posting index.
+  /// Must be called exactly once after all Add calls — a second call is a
+  /// programmer error (checked), since re-finalizing would silently rebuild
+  /// the corpus statistics behind live queries.
   void Finalize();
 
   bool finalized() const { return finalized_; }
@@ -94,6 +99,14 @@ class SchemaSearchIndex {
     size_t doc_id;
   };
   std::vector<ElementDoc> element_docs_;
+  /// Inverted term → element-doc postings, built by Finalize. RankFragments
+  /// scores only the docs sharing at least one term with the query (a doc
+  /// sharing none has cosine exactly 0 and is filtered anyway), so fragment
+  /// search is sub-linear in the element count for selective queries. The
+  /// same machinery backs the match engine's blocking index.
+  text::PostingListIndex element_postings_;
+  /// doc_id → index into element_docs_, for posting-hit lookup.
+  std::unordered_map<uint32_t, size_t> element_doc_by_id_;
 };
 
 /// The token bag of one element: stemmed name tokens plus stop-filtered,

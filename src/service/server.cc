@@ -511,9 +511,14 @@ Result<MatchResponse> Server::HandleMatch(
   std::unique_ptr<schema::Schema> source;
   std::unique_ptr<schema::Schema> target;
   std::unique_ptr<core::MatchEngine> owned_engine;
+  // Holds a cached engine across the whole request: the LRU cap may evict
+  // it from the state cache while this handler still computes on it.
+  std::shared_ptr<const core::MatchEngine> cached_engine;
   if (request.by_name) {
     HARMONY_ASSIGN_OR_RETURN(
-        engine, state_->EngineFor(request.source_name, request.target_name));
+        cached_engine,
+        state_->EngineFor(request.source_name, request.target_name));
+    engine = cached_engine.get();
   } else {
     HARMONY_ASSIGN_OR_RETURN(
         schema::Schema parsed_source,
@@ -527,8 +532,11 @@ Result<MatchResponse> Server::HandleMatch(
         *source, *target, state_->options().match_options, context);
     engine = owned_engine.get();
   }
-  core::MatchMatrix matrix = request.refined ? engine->ComputeRefinedMatrix()
-                                             : engine->ComputeMatrix();
+  // Selection happens at the request's threshold, not the engine default:
+  // ComputeMatrixFor uses blocking only when valid for that threshold.
+  core::MatchMatrix matrix = request.refined
+                                 ? engine->ComputeRefinedMatrix()
+                                 : engine->ComputeMatrixFor(request.threshold);
   auto links = request.one_to_one
                    ? core::SelectGreedyOneToOne(matrix, request.threshold,
                                                 context)

@@ -34,6 +34,8 @@ Result<std::unique_ptr<ServiceState>> ServiceState::Build(
   if (state->context_.metrics != nullptr) {
     state->engine_cache_size_.emplace(*state->context_.metrics,
                                       "service.engine_cache.size");
+    state->engine_cache_evictions_.emplace(*state->context_.metrics,
+                                           "service.engine_cache.evictions");
   }
   state->index_ = state->repo_.BuildSearchIndex();
   if (options.build_vocabulary && state->repo_.schema_count() >= 2 &&
@@ -49,30 +51,47 @@ Result<std::unique_ptr<ServiceState>> ServiceState::Build(
   return state;
 }
 
-Result<const core::MatchEngine*> ServiceState::EngineFor(
+Result<std::shared_ptr<const core::MatchEngine>> ServiceState::EngineFor(
     const std::string& source_name, const std::string& target_name) {
   HARMONY_ASSIGN_OR_RETURN(repository::SchemaId source,
                            repo_.FindSchema(source_name));
   HARMONY_ASSIGN_OR_RETURN(repository::SchemaId target,
                            repo_.FindSchema(target_name));
   std::lock_guard<std::mutex> lock(engines_mu_);
-  auto key = std::make_pair(source, target);
+  EngineKey key(source, target);
   auto it = engines_.find(key);
-  if (it == engines_.end()) {
-    // Built with the state-level context: the preprocessing cost and the
-    // engine's kernel counters belong to the server scope, since the arenas
-    // outlive any single request. Per-request registries still capture
-    // selection and service-level accounting.
-    it = engines_
-             .emplace(key, std::make_unique<core::MatchEngine>(
-                               repo_.schema(source), repo_.schema(target),
-                               options_.match_options, context_))
-             .first;
-    if (engine_cache_size_.has_value()) {
-      engine_cache_size_->Set(static_cast<int64_t>(engines_.size()));
-    }
+  if (it != engines_.end()) {
+    // Cache hit: move to the LRU front.
+    engine_lru_.splice(engine_lru_.begin(), engine_lru_, it->second.lru_pos);
+    return it->second.engine;
   }
-  return const_cast<const core::MatchEngine*>(it->second.get());
+  // Built with the state-level context: the preprocessing cost and the
+  // engine's kernel counters belong to the server scope, since the arenas
+  // outlive any single request. Per-request registries still capture
+  // selection and service-level accounting.
+  auto engine = std::make_shared<const core::MatchEngine>(
+      repo_.schema(source), repo_.schema(target), options_.match_options,
+      context_);
+  engine_lru_.push_front(key);
+  engines_.emplace(key, EngineEntry{engine, engine_lru_.begin()});
+  if (options_.engine_cache_max > 0 &&
+      engines_.size() > options_.engine_cache_max) {
+    // Evict the least recently used pair. Requests still holding the
+    // evicted engine's shared_ptr keep it alive until they finish.
+    EngineKey victim = engine_lru_.back();
+    engine_lru_.pop_back();
+    engines_.erase(victim);
+    if (engine_cache_evictions_.has_value()) engine_cache_evictions_->Add();
+  }
+  if (engine_cache_size_.has_value()) {
+    engine_cache_size_->Set(static_cast<int64_t>(engines_.size()));
+  }
+  return engine;
+}
+
+size_t ServiceState::EngineCacheSize() {
+  std::lock_guard<std::mutex> lock(engines_mu_);
+  return engines_.size();
 }
 
 namespace {

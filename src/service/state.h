@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
@@ -50,6 +51,14 @@ struct StateOptions {
   /// nway::ComprehensiveVocabulary::kMaxSchemas registered schemata; with
   /// more, the vocabulary is skipped (vocab queries then report that).
   bool build_vocabulary = true;
+  /// Bound on resident match engines (--engine-cache-max). Each cached
+  /// engine pins both schemata's preprocessed arenas, so an unbounded cache
+  /// grows with every distinct pair ever requested — O(n²) worst case over a
+  /// repository of n schemata. When the cap is exceeded the least recently
+  /// used engine is evicted ("service.engine_cache.evictions"); in-flight
+  /// requests keep evicted engines alive through their shared_ptr. 0 (the
+  /// default) keeps the historical unbounded behaviour.
+  size_t engine_cache_max = 0;
 };
 
 /// \brief The daemon's warm, immutable-after-build metadata. Request
@@ -77,9 +86,14 @@ class ServiceState {
   /// the same pair skip tokenization, TF-IDF, and arena construction
   /// entirely. Thread-safe; the returned engine is immutable and safe for
   /// concurrent ComputeMatrix calls. NotFound if either name is not a
-  /// registered schema.
-  Result<const core::MatchEngine*> EngineFor(const std::string& source_name,
-                                             const std::string& target_name);
+  /// registered schema. The shared_ptr keeps the engine valid even if the
+  /// LRU cap (StateOptions::engine_cache_max) evicts it from the cache while
+  /// this request still computes on it.
+  Result<std::shared_ptr<const core::MatchEngine>> EngineFor(
+      const std::string& source_name, const std::string& target_name);
+
+  /// Engines currently resident (tests; the gauge mirrors it).
+  size_t EngineCacheSize();
 
   /// Renders the vocabulary summary / keyword lookup for a kVocab request.
   /// Deterministic text: the smoke session asserts on it.
@@ -94,15 +108,24 @@ class ServiceState {
   StateOptions options_;
   core::EngineContext context_;
 
+  using EngineKey = std::pair<repository::SchemaId, repository::SchemaId>;
+  struct EngineEntry {
+    std::shared_ptr<const core::MatchEngine> engine;
+    /// Position in engine_lru_ (front = most recently used).
+    std::list<EngineKey>::iterator lru_pos;
+  };
+
   std::mutex engines_mu_;
-  std::map<std::pair<repository::SchemaId, repository::SchemaId>,
-           std::unique_ptr<core::MatchEngine>>
-      engines_;
+  std::map<EngineKey, EngineEntry> engines_;
+  std::list<EngineKey> engine_lru_;
   /// Resident-cache occupancy ("service.engine_cache.size"): each cached
   /// engine pins preprocessed arenas, so this level is the daemon's main
   /// steady-state memory driver. Optional: bound in Build (the registry
   /// isn't known at construction time).
   std::optional<obs::Gauge> engine_cache_size_;
+  /// LRU evictions under StateOptions::engine_cache_max
+  /// ("service.engine_cache.evictions").
+  std::optional<obs::Counter> engine_cache_evictions_;
 };
 
 }  // namespace harmony::service

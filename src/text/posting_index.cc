@@ -1,0 +1,60 @@
+#include "text/posting_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace harmony::text {
+
+void PostingListIndex::Add(uint32_t doc_id, const SparseVector& vec) {
+  HARMONY_CHECK(!finalized_) << "Add after Finalize";
+  entries_.reserve(entries_.size() + vec.size());
+  for (const auto& [term, weight] : vec) {
+    entries_.push_back({term, {doc_id, weight}});
+  }
+}
+
+void PostingListIndex::Finalize() {
+  HARMONY_CHECK(!finalized_) << "Finalize called twice";
+  std::sort(entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+    if (a.term != b.term) return a.term < b.term;
+    return a.posting.doc < b.posting.doc;
+  });
+  postings_.reserve(entries_.size());
+  for (size_t i = 0; i < entries_.size();) {
+    size_t j = i;
+    uint32_t term = entries_[i].term;
+    while (j < entries_.size() && entries_[j].term == term) ++j;
+    uint32_t begin = static_cast<uint32_t>(postings_.size());
+    for (size_t k = i; k < j; ++k) postings_.push_back(entries_[k].posting);
+    ranges_.emplace(term,
+                    std::make_pair(begin, static_cast<uint32_t>(postings_.size())));
+    i = j;
+  }
+  entries_.clear();
+  entries_.shrink_to_fit();
+  finalized_ = true;
+}
+
+std::span<const PostingListIndex::Posting> PostingListIndex::Postings(
+    uint32_t term) const {
+  HARMONY_CHECK(finalized_) << "query before Finalize";
+  auto it = ranges_.find(term);
+  if (it == ranges_.end()) return {};
+  return std::span<const Posting>(postings_.data() + it->second.first,
+                                  it->second.second - it->second.first);
+}
+
+void PostingListIndex::Candidates(const SparseVector& query,
+                                  std::vector<uint32_t>& out) const {
+  HARMONY_CHECK(finalized_) << "query before Finalize";
+  out.clear();
+  for (const auto& [term, weight] : query) {
+    (void)weight;
+    for (const Posting& p : Postings(term)) out.push_back(p.doc);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+}  // namespace harmony::text

@@ -1,0 +1,66 @@
+// PostingListIndex: a generic inverted index from TF-IDF term ids to the
+// documents that contain them. Two consumers share it: the schema-search
+// fragment ranker (enumerate only the element docs sharing at least one term
+// with the query instead of scanning the whole corpus) and the match
+// engine's candidate-pair blocking index (per-row sparse accumulation of
+// documentation dot products). Both need the same thing — "which docs carry
+// this term, with what weight" — so the machinery lives here, below both.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "text/tfidf.h"
+
+namespace harmony::text {
+
+/// \brief Inverted term → (doc, weight) index over sparse vectors.
+///
+/// Usage: Add() every document's vector, Finalize() once, then query.
+/// Deterministic: postings for a term are sorted by ascending doc id no
+/// matter the Add order or the SparseVector's hash iteration order.
+class PostingListIndex {
+ public:
+  struct Posting {
+    uint32_t doc = 0;
+    double weight = 0.0;
+  };
+
+  /// Registers a document's sparse vector under `doc_id`. Zero-weight
+  /// entries are kept (they exist in the vector, so a dot product through
+  /// the postings sees exactly the vector's terms).
+  void Add(uint32_t doc_id, const SparseVector& vec);
+
+  /// Sorts the postings. Must be called once, after all Add calls.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+  size_t posting_count() const { return postings_.size(); }
+  size_t term_count() const { return ranges_.size(); }
+
+  /// The postings of one term, sorted by ascending doc id (empty span for
+  /// unknown terms). Requires finalized().
+  std::span<const Posting> Postings(uint32_t term) const;
+
+  /// Appends the union of doc ids over the query's terms — sorted
+  /// ascending, de-duplicated — to `out` (cleared first). Any doc whose
+  /// dot product with `query` could be non-zero is in the union.
+  /// Requires finalized().
+  void Candidates(const SparseVector& query, std::vector<uint32_t>& out) const;
+
+ private:
+  struct Entry {
+    uint32_t term;
+    Posting posting;
+  };
+
+  bool finalized_ = false;
+  std::vector<Entry> entries_;  // build-time staging, cleared by Finalize
+  std::vector<Posting> postings_;
+  std::unordered_map<uint32_t, std::pair<uint32_t, uint32_t>> ranges_;
+};
+
+}  // namespace harmony::text

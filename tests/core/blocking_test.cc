@@ -1,0 +1,304 @@
+// Candidate-pair blocking (core/blocking.h): the property suite pinning the
+// kExact contract — selected matches bitwise-identical to the dense kernel
+// across seeds, thread counts, and grains — plus the admissibility property
+// the contract rests on (CellBound >= dense score on every cell), the
+// exact-threshold boundary regression (a cell scoring exactly at threshold
+// is never pruned: the keep test is >=, matching SelectByThreshold), and
+// the kApproximate recall floor.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/blocking.h"
+#include "core/match_engine.h"
+#include "core/selection.h"
+#include "synth/generator.h"
+
+namespace harmony {
+namespace {
+
+synth::GeneratedPair MakePair(uint64_t seed) {
+  synth::PairSpec spec;
+  spec.seed = seed;
+  spec.source_concepts = 10;
+  spec.target_concepts = 8;
+  spec.shared_concepts = 4;
+  return synth::GeneratePair(spec);
+}
+
+core::MatchOptions DenseOptions() {
+  core::MatchOptions options;
+  options.num_threads = 1;
+  return options;
+}
+
+core::MatchOptions BlockedOptions(core::BlockingMode mode, size_t threads,
+                                  size_t grain) {
+  core::MatchOptions options;
+  options.blocking.mode = mode;
+  options.num_threads = threads;
+  options.grain = grain;
+  return options;
+}
+
+// Selected matches must agree pair-for-pair INCLUDING scores —
+// Correspondence::operator== ignores the score, and "bitwise-identical" is
+// precisely the claim under test.
+void ExpectSameSelection(const std::vector<core::Correspondence>& dense,
+                         const std::vector<core::Correspondence>& blocked) {
+  ASSERT_EQ(dense.size(), blocked.size());
+  for (size_t i = 0; i < dense.size(); ++i) {
+    EXPECT_EQ(dense[i].source, blocked[i].source) << "match " << i;
+    EXPECT_EQ(dense[i].target, blocked[i].target) << "match " << i;
+    EXPECT_EQ(dense[i].score, blocked[i].score) << "match " << i;
+  }
+}
+
+// The 20-seed property: for every seed, thread count, and grain, exact-mode
+// blocking selects bitwise-identical matches to the dense kernel at the
+// prune threshold.
+TEST(BlockingTest, ExactModeSelectionIdenticalToDenseAcrossSeeds) {
+  const size_t kThreadCounts[] = {1, 2, 4};
+  const size_t kGrains[] = {0, 1, 3};
+  for (uint64_t seed = 9000; seed < 9020; ++seed) {
+    auto pair = MakePair(seed);
+    core::MatchOptions dense_options = DenseOptions();
+    core::MatchEngine dense(pair.source, pair.target, dense_options);
+    core::MatchMatrix dense_matrix = dense.ComputeMatrix();
+    auto dense_selected =
+        core::SelectByThreshold(dense_matrix, dense_options.threshold);
+
+    for (size_t threads : kThreadCounts) {
+      for (size_t grain : kGrains) {
+        core::MatchOptions options =
+            BlockedOptions(core::BlockingMode::kExact, threads, grain);
+        core::MatchEngine blocked(pair.source, pair.target, options);
+        core::MatchMatrix matrix = blocked.ComputeMatrix();
+        auto selected = core::SelectByThreshold(matrix, options.threshold);
+        SCOPED_TRACE(::testing::Message() << "seed " << seed << " threads "
+                                          << threads << " grain " << grain);
+        ExpectSameSelection(dense_selected, selected);
+      }
+    }
+  }
+}
+
+// Stronger than selection equality: every cell the blocked kernel kept is
+// bitwise equal to the dense score, and every cell it pruned (left at the
+// 0.0 sentinel) is provably below threshold in the dense matrix. Together
+// these are the full admissibility contract.
+TEST(BlockingTest, KeptCellsExactPrunedCellsBelowThreshold) {
+  auto pair = MakePair(9100);
+  core::MatchOptions dense_options = DenseOptions();
+  core::MatchEngine dense(pair.source, pair.target, dense_options);
+  core::MatchMatrix dense_matrix = dense.ComputeMatrix();
+
+  core::MatchOptions options =
+      BlockedOptions(core::BlockingMode::kExact, 1, 0);
+  core::MatchEngine blocked(pair.source, pair.target, options);
+  core::MatchMatrix matrix = blocked.ComputeMatrix();
+
+  ASSERT_EQ(dense_matrix.rows(), matrix.rows());
+  ASSERT_EQ(dense_matrix.cols(), matrix.cols());
+  size_t pruned = 0;
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    for (size_t c = 0; c < matrix.cols(); ++c) {
+      double b = matrix.GetByIndex(r, c);
+      double d = dense_matrix.GetByIndex(r, c);
+      if (b == d) continue;
+      // Any disagreement must be a pruned sentinel over a sub-threshold
+      // dense score.
+      EXPECT_EQ(b, 0.0) << "cell (" << r << ", " << c << ")";
+      EXPECT_LT(d, options.threshold) << "cell (" << r << ", " << c << ")";
+      ++pruned;
+    }
+  }
+  // The synth pair has mostly-unrelated cells; blocking that prunes nothing
+  // would make this test vacuous.
+  EXPECT_GT(pruned, 0u);
+
+  core::EngineStats stats = blocked.StatsReport();
+  EXPECT_EQ(stats.cells_scored + stats.cells_pruned,
+            matrix.rows() * matrix.cols());
+  EXPECT_GT(stats.cells_pruned, 0u);
+}
+
+// The admissibility property the kernel rests on, checked directly against
+// the index: CellBound dominates the dense merged score on every cell.
+TEST(BlockingTest, CellBoundDominatesDenseScore) {
+  for (uint64_t seed : {9200u, 9201u, 9202u}) {
+    auto pair = MakePair(seed);
+    core::MatchOptions options = DenseOptions();
+    core::MatchEngine engine(pair.source, pair.target, options);
+    core::BlockingOptions bopts;
+    bopts.mode = core::BlockingMode::kExact;
+    core::BlockingIndex index(engine.profiles(), options.voters,
+                              options.merger, bopts, options.threshold);
+    ASSERT_TRUE(index.active());
+    auto scratch = index.MakeRowScratch();
+    core::MatchMatrix matrix = engine.ComputeMatrix();
+    for (size_t r = 0; r < matrix.rows(); ++r) {
+      for (size_t c = 0; c < matrix.cols(); ++c) {
+        schema::ElementId s = matrix.SourceIdAt(r);
+        schema::ElementId t = matrix.TargetIdAt(c);
+        double bound = index.CellBound(s, t, scratch);
+        double score = matrix.GetByIndex(r, c);
+        // Tiny slack for floating-point accumulation-order noise; the
+        // kernel applies the same slack before pruning.
+        EXPECT_GE(bound + 1e-9, score)
+            << "seed " << seed << " cell (" << r << ", " << c << ")";
+      }
+    }
+  }
+}
+
+// Satellite fix: threshold boundary semantics. A cell whose dense score
+// lands EXACTLY on the threshold is selected by SelectByThreshold (>=), so
+// the blocking cut must keep it too — plant the threshold at an observed
+// score and assert the cell survives end to end.
+TEST(BlockingTest, ExactThresholdCellIsNeverPruned) {
+  auto pair = MakePair(9300);
+  core::MatchEngine probe(pair.source, pair.target, DenseOptions());
+  core::MatchMatrix dense_matrix = probe.ComputeMatrix();
+
+  // The best-scoring cell: its exact double becomes the planted threshold.
+  double best = 0.0;
+  size_t best_r = 0, best_c = 0;
+  for (size_t r = 0; r < dense_matrix.rows(); ++r) {
+    for (size_t c = 0; c < dense_matrix.cols(); ++c) {
+      if (dense_matrix.GetByIndex(r, c) > best) {
+        best = dense_matrix.GetByIndex(r, c);
+        best_r = r;
+        best_c = c;
+      }
+    }
+  }
+  ASSERT_GT(best, 0.0);
+
+  core::MatchOptions options =
+      BlockedOptions(core::BlockingMode::kExact, 1, 0);
+  options.threshold = best;  // exact-threshold cell by construction
+  core::MatchEngine blocked(pair.source, pair.target, options);
+  core::MatchMatrix matrix = blocked.ComputeMatrix();
+  EXPECT_EQ(matrix.GetByIndex(best_r, best_c), best) << "cell was pruned";
+
+  auto selected = core::SelectByThreshold(matrix, best);
+  bool found = false;
+  for (const auto& match : selected) {
+    if (match.source == dense_matrix.SourceIdAt(best_r) &&
+        match.target == dense_matrix.TargetIdAt(best_c)) {
+      found = true;
+      EXPECT_EQ(match.score, best);
+    }
+  }
+  EXPECT_TRUE(found) << "exact-threshold cell missing from selection";
+}
+
+// ComputeMatrixFor: at or above the prune threshold the blocked kernel is
+// valid (and used — cells_pruned grows); below it the engine must fall back
+// to the dense kernel so sub-threshold cells the caller will select are
+// present.
+TEST(BlockingTest, ComputeMatrixForFallsBackBelowPruneThreshold) {
+  auto pair = MakePair(9400);
+  core::MatchOptions options =
+      BlockedOptions(core::BlockingMode::kExact, 1, 0);
+  core::MatchEngine blocked(pair.source, pair.target, options);
+  core::MatchEngine dense(pair.source, pair.target, DenseOptions());
+  core::MatchMatrix dense_matrix = dense.ComputeMatrix();
+
+  // Below the prune threshold: dense fallback, every cell exact.
+  core::MatchMatrix low = blocked.ComputeMatrixFor(0.05);
+  for (size_t r = 0; r < low.rows(); ++r) {
+    for (size_t c = 0; c < low.cols(); ++c) {
+      EXPECT_EQ(low.GetByIndex(r, c), dense_matrix.GetByIndex(r, c));
+    }
+  }
+  EXPECT_EQ(blocked.StatsReport().cells_pruned, 0u);
+
+  // At the engine threshold: the blocked kernel runs.
+  core::MatchMatrix at = blocked.ComputeMatrixFor(options.threshold);
+  auto dense_selected =
+      core::SelectByThreshold(dense_matrix, options.threshold);
+  auto blocked_selected = core::SelectByThreshold(at, options.threshold);
+  ExpectSameSelection(dense_selected, blocked_selected);
+  EXPECT_GT(blocked.StatsReport().cells_pruned, 0u);
+}
+
+// Refined matrices must ignore blocking entirely: propagation reads
+// sub-threshold structure, so the base matrix has to be dense.
+TEST(BlockingTest, RefinedMatrixUnaffectedByBlocking) {
+  auto pair = MakePair(9500);
+  core::MatchOptions dense_options = DenseOptions();
+  dense_options.propagation.iterations = 2;
+  core::MatchOptions options =
+      BlockedOptions(core::BlockingMode::kExact, 1, 0);
+  options.propagation.iterations = 2;
+  core::MatchEngine dense(pair.source, pair.target, dense_options);
+  core::MatchEngine blocked(pair.source, pair.target, options);
+  core::MatchMatrix a = dense.ComputeRefinedMatrix();
+  core::MatchMatrix b = blocked.ComputeRefinedMatrix();
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(a.GetByIndex(r, c), b.GetByIndex(r, c));
+    }
+  }
+}
+
+// Approximate mode trades exactness for sub-quadratic candidate generation;
+// the contract is a recall floor over the dense selection, not equality.
+// Measured recall on these synth pairs is 1.0 for most seeds; the floor
+// leaves headroom for the soft-only matches the mode can legitimately miss.
+TEST(BlockingTest, ApproximateModeRecallFloor) {
+  size_t dense_total = 0;
+  size_t recalled = 0;
+  for (uint64_t seed = 9600; seed < 9610; ++seed) {
+    auto pair = MakePair(seed);
+    core::MatchOptions dense_options = DenseOptions();
+    core::MatchEngine dense(pair.source, pair.target, dense_options);
+    auto dense_selected = core::SelectByThreshold(dense.ComputeMatrix(),
+                                                  dense_options.threshold);
+    core::MatchOptions options =
+        BlockedOptions(core::BlockingMode::kApproximate, 1, 0);
+    core::MatchEngine approx(pair.source, pair.target, options);
+    auto approx_selected =
+        core::SelectByThreshold(approx.ComputeMatrix(), options.threshold);
+
+    dense_total += dense_selected.size();
+    for (const auto& want : dense_selected) {
+      for (const auto& got : approx_selected) {
+        if (got.source == want.source && got.target == want.target) {
+          // A recalled pair is also exact: kept cells are scored by the
+          // same kernel, approximate mode only generates candidates
+          // differently.
+          EXPECT_EQ(got.score, want.score);
+          ++recalled;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(dense_total, 0u);
+  EXPECT_GE(static_cast<double>(recalled),
+            0.85 * static_cast<double>(dense_total))
+      << "approximate-mode recall " << recalled << "/" << dense_total;
+}
+
+// Blocking deactivates when the prune threshold is not positive: a 0.0
+// sentinel would itself be selectable at threshold 0, so there is no valid
+// cut. The engine must fall back to dense rather than prune.
+TEST(BlockingTest, NonPositiveThresholdDeactivatesBlocking) {
+  auto pair = MakePair(9700);
+  core::MatchOptions options =
+      BlockedOptions(core::BlockingMode::kExact, 1, 0);
+  options.threshold = 0.0;
+  core::MatchEngine engine(pair.source, pair.target, options);
+  engine.ComputeMatrix();
+  EXPECT_EQ(engine.StatsReport().cells_pruned, 0u);
+}
+
+}  // namespace
+}  // namespace harmony

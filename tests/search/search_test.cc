@@ -111,6 +111,17 @@ TEST_F(SearchTest, ScoresSortedDescending) {
   }
 }
 
+TEST(SearchIndexDeathTest, SecondFinalizeDies) {
+  // Finalize is documented "must be called once": a silent re-finalize used
+  // to rebuild the corpus statistics in place. Now it trips the same guard
+  // family as Add-after-Finalize.
+  SchemaSearchIndex index;
+  schema::Schema s = MakeMedical("M");
+  index.Add(s);
+  index.Finalize();
+  EXPECT_DEATH(index.Finalize(), "Finalize called twice");
+}
+
 TEST(SearchIndexTest, EmptyIndexSearches) {
   SchemaSearchIndex index;
   index.Finalize();

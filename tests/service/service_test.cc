@@ -565,6 +565,68 @@ TEST(ServiceLifecycle, RequestDrainUnblocksWait) {
   EXPECT_TRUE((*server)->draining());
 }
 
+TEST(ServiceState, EngineCacheLruEviction) {
+  // engine_cache_max=2 over 3 distinct pairs: the least recently used
+  // engine must be evicted, the eviction must be counted, and a request
+  // still holding the evicted engine's shared_ptr must keep computing on it
+  // safely.
+  synth::NWaySpec spec;
+  spec.seed = 31;
+  spec.schema_count = 4;
+  spec.universe_concepts = 10;
+  spec.concepts_per_schema = 5;
+  auto generated = synth::GenerateNWay(spec);
+  repository::MetadataRepository repo;
+  for (auto& schema : generated.schemas) {
+    auto id = repo.RegisterSchema(std::move(schema));
+    HARMONY_CHECK(id.ok());
+  }
+  StateOptions options;
+  options.engine_cache_max = 2;
+  options.build_vocabulary = false;
+  obs::MetricsRegistry registry(nullptr);
+  core::EngineContext context(&registry, nullptr);
+  auto built = ServiceState::Build(std::move(repo), options, context);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ServiceState& state = **built;
+
+  auto first = state.EngineFor("S1", "S2");
+  ASSERT_TRUE(first.ok());
+  std::shared_ptr<const core::MatchEngine> held = *first;
+  ASSERT_TRUE(state.EngineFor("S1", "S3").ok());
+  EXPECT_EQ(state.EngineCacheSize(), 2u);
+
+  // Third distinct pair evicts (S1, S2) — the LRU back.
+  ASSERT_TRUE(state.EngineFor("S1", "S4").ok());
+  EXPECT_EQ(state.EngineCacheSize(), 2u);
+  const auto* evictions =
+      registry.Snapshot().FindCounter("service.engine_cache.evictions");
+  ASSERT_NE(evictions, nullptr);
+  EXPECT_EQ(evictions->value, 1u);
+
+  // The evicted engine stays valid through our shared_ptr.
+  EXPECT_GT(held->ComputeMatrix().pair_count(), 0u);
+
+  // Re-requesting the evicted pair rebuilds (a distinct engine instance)
+  // and evicts the new LRU back, (S1, S3).
+  auto rebuilt = state.EngineFor("S1", "S2");
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_NE(rebuilt->get(), held.get());
+  EXPECT_EQ(state.EngineCacheSize(), 2u);
+
+  // A cache hit refreshes recency: touch (S1, S4), add a new pair, and the
+  // untouched (S1, S2) is the one evicted.
+  ASSERT_TRUE(state.EngineFor("S1", "S4").ok());
+  ASSERT_TRUE(state.EngineFor("S2", "S3").ok());
+  auto after = state.EngineFor("S1", "S4");
+  ASSERT_TRUE(after.ok());
+  // (S1, S4) survived both rounds as a hit — same instance throughout.
+  const auto* evictions_after =
+      registry.Snapshot().FindCounter("service.engine_cache.evictions");
+  ASSERT_NE(evictions_after, nullptr);
+  EXPECT_EQ(evictions_after->value, 3u);
+}
+
 TEST(ServiceState, RefusesEmptyRepository) {
   auto state = ServiceState::Build(repository::MetadataRepository());
   EXPECT_FALSE(state.ok());
