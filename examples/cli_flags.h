@@ -1,0 +1,135 @@
+// Shared command-line parsing for the example binaries. harmony_match and
+// harmonyd accept the same engine and daemon flags; this header is the one
+// place they are spelled out, so a new engine flag (like --pipeline) lands
+// in both binaries — and in every harmony_match subcommand — by being added
+// here once.
+//
+// All helpers are deliberately tiny: flags are --name=value tokens, first
+// occurrence wins, unknown tokens are ignored (subcommands own their
+// positional arguments). Parse failures print a diagnostic to stderr and
+// return false; callers exit 2 (usage error).
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/match_engine.h"
+#include "service/daemon.h"
+
+namespace harmony::cli {
+
+inline bool FlagSet(const std::vector<std::string>& args, const char* flag) {
+  for (const auto& a : args) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+inline std::string FlagValue(const std::vector<std::string>& args,
+                             const char* prefix, const std::string& fallback) {
+  for (const auto& a : args) {
+    if (StartsWith(a, prefix)) return a.substr(std::strlen(prefix));
+  }
+  return fallback;
+}
+
+/// --blocking= values. "exact" prunes with the provable score bound
+/// (selected matches identical to the dense kernel), "approx" generates
+/// candidates from the inverted indexes only (sub-quadratic, may miss
+/// soft-only matches), "off" scores every cell.
+inline bool ParseBlockingMode(const std::string& value,
+                              core::BlockingMode* mode) {
+  if (value == "off") {
+    *mode = core::BlockingMode::kOff;
+  } else if (value == "exact") {
+    *mode = core::BlockingMode::kExact;
+  } else if (value == "approx" || value == "approximate") {
+    *mode = core::BlockingMode::kApproximate;
+  } else {
+    std::fprintf(stderr, "--blocking=%s: expected off, exact, or approx\n",
+                 value.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// --pipeline= values. "single" runs the classic one-pass kernel (the
+/// default; bitwise-identical to the pre-pipeline engine), "staged" runs
+/// the four-stage retrieve -> enrich -> rank -> rerank pipeline
+/// (core/pipeline.h).
+inline bool ParsePipelineMode(const std::string& value,
+                              core::PipelineMode* mode) {
+  if (value == "single") {
+    *mode = core::PipelineMode::kSingleStage;
+  } else if (value == "staged") {
+    *mode = core::PipelineMode::kStaged;
+  } else {
+    std::fprintf(stderr, "--pipeline=%s: expected single or staged\n",
+                 value.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// The engine flags every matching entry point shares: --threads=N
+/// --grain=N --blocking=off|exact|approx --pipeline=single|staged
+/// --retrieve-budget=K --rerank-blend=A. Leaves unmentioned fields of
+/// `options` untouched.
+inline bool ParseEngineFlags(const std::vector<std::string>& args,
+                             core::MatchOptions* options) {
+  options->num_threads = static_cast<size_t>(
+      std::atoi(FlagValue(args, "--threads=", "0").c_str()));
+  options->grain = static_cast<size_t>(
+      std::atoi(FlagValue(args, "--grain=", "0").c_str()));
+  if (!ParseBlockingMode(FlagValue(args, "--blocking=", "off"),
+                         &options->blocking.mode)) {
+    return false;
+  }
+  if (!ParsePipelineMode(FlagValue(args, "--pipeline=", "single"),
+                         &options->pipeline.mode)) {
+    return false;
+  }
+  options->pipeline.retrieve_budget = static_cast<size_t>(
+      std::atol(FlagValue(args, "--retrieve-budget=", "0").c_str()));
+  options->pipeline.rerank_blend =
+      std::atof(FlagValue(args, "--rerank-blend=", "0.25").c_str());
+  return true;
+}
+
+/// The daemon flags shared verbatim by `harmony_match serve` and the
+/// harmonyd binary. Engine flags flow into state.match_options (and from
+/// there into every resident engine the daemon builds).
+inline bool ParseServeFlags(const std::vector<std::string>& args,
+                            service::ServeOptions* options) {
+  options->server.host = FlagValue(args, "--host=", "127.0.0.1");
+  options->server.port = static_cast<uint16_t>(
+      std::atoi(FlagValue(args, "--port=", "0").c_str()));
+  options->server.num_workers = static_cast<size_t>(
+      std::atoi(FlagValue(args, "--threads=", "0").c_str()));
+  options->server.queue_depth = static_cast<size_t>(
+      std::atoi(FlagValue(args, "--queue-depth=", "64").c_str()));
+  options->state.vocab_threshold =
+      std::atof(FlagValue(args, "--threshold=", "0.35").c_str());
+  if (!ParseEngineFlags(args, &options->state.match_options)) return false;
+  options->state.engine_cache_max = static_cast<size_t>(
+      std::atol(FlagValue(args, "--engine-cache-max=", "0").c_str()));
+  options->repo_dir = FlagValue(args, "--repo=", "");
+  options->synth_schemas = static_cast<size_t>(
+      std::atoi(FlagValue(args, "--synth-schemas=", "4").c_str()));
+  options->stats = FlagSet(args, "--stats");
+  options->metrics_text = FlagSet(args, "--metrics-text");
+  options->stats_interval_ms =
+      std::atol(FlagValue(args, "--stats-interval=", "0").c_str());
+  options->trace_path = FlagValue(args, "--trace=", "");
+  long slow_ms = std::atol(FlagValue(args, "--slow-ms=", "-1").c_str());
+  options->server.slow_request_ns =
+      slow_ms < 0 ? -1 : static_cast<int64_t>(slow_ms) * 1'000'000;
+  return true;
+}
+
+}  // namespace harmony::cli

@@ -5,6 +5,8 @@
 //                 [--refined] [--csv] [--save-workspace=FILE]
 //                 [--stats] [--stats-interval=MS] [--trace=out.json]
 //                 [--threads=N] [--grain=N] [--blocking=off|exact|approx]
+//                 [--pipeline=single|staged] [--retrieve-budget=K]
+//                 [--rerank-blend=A]
 //   harmony_match profile <schema>...
 //   harmony_match export <schema> (--ddl | --xsd)
 //   harmony_match vocab <schema> <schema>... [--threshold=0.35] [--threads=N]
@@ -12,7 +14,8 @@
 //   harmony_match serve [--port=N] [--repo=DIR] [--threads=N]
 //                 [--queue-depth=N] [--stats] [--metrics-text]
 //                 [--stats-interval=MS] [--trace=FILE] [--slow-ms=N]
-//                 [--blocking=off|exact|approx] [--engine-cache-max=N]
+//                 [--blocking=off|exact|approx] [--pipeline=single|staged]
+//                 [--retrieve-budget=K] [--engine-cache-max=N]
 //   harmony_match query [--host=ADDR] [--port=N] <action> ...
 //     actions: ping | match <src> <tgt> [--by-name] [--threshold=]
 //              [--one-to-one] [--refined] [--csv]
@@ -73,12 +76,19 @@
 #include <thread>
 #include <vector>
 
+#include "cli_flags.h"
 #include "harmony.h"
 #include "obs/delta_export.h"
 
 namespace {
 
 using namespace harmony;
+// Flag parsing shared with harmonyd (and every subcommand here) lives in
+// examples/cli_flags.h — new engine flags go there, not in this file.
+using cli::FlagSet;
+using cli::FlagValue;
+using cli::ParseEngineFlags;
+using cli::ParseServeFlags;
 
 Result<std::string> ReadFile(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
@@ -100,40 +110,6 @@ std::string SchemaNameFromPath(const std::string& path) {
 Result<schema::Schema> LoadSchema(const std::string& path) {
   HARMONY_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
   return service::ParseSchemaAuto(text, SchemaNameFromPath(path));
-}
-
-bool FlagSet(const std::vector<std::string>& args, const char* flag) {
-  for (const auto& a : args) {
-    if (a == flag) return true;
-  }
-  return false;
-}
-
-std::string FlagValue(const std::vector<std::string>& args, const char* prefix,
-                      const std::string& fallback) {
-  for (const auto& a : args) {
-    if (StartsWith(a, prefix)) return a.substr(std::strlen(prefix));
-  }
-  return fallback;
-}
-
-// --blocking= values for match and serve. "exact" prunes with the provable
-// score bound (selected matches identical to the dense kernel), "approx"
-// generates candidates from the inverted indexes only (sub-quadratic, may
-// miss soft-only matches), "off" scores every cell.
-bool ParseBlockingMode(const std::string& value, core::BlockingMode* mode) {
-  if (value == "off") {
-    *mode = core::BlockingMode::kOff;
-  } else if (value == "exact") {
-    *mode = core::BlockingMode::kExact;
-  } else if (value == "approx" || value == "approximate") {
-    *mode = core::BlockingMode::kApproximate;
-  } else {
-    std::fprintf(stderr, "--blocking=%s: expected off, exact, or approx\n",
-                 value.c_str());
-    return false;
-  }
-  return true;
 }
 
 // One CSV renderer for both the local match path and served results, so the
@@ -231,17 +207,11 @@ int RunMatch(const std::vector<std::string>& args) {
 
   core::MatchOptions options;
   options.collect_stats = obs_session.stats();
-  options.num_threads = static_cast<size_t>(
-      std::atoi(FlagValue(args, "--threads=", "0").c_str()));
-  options.grain = static_cast<size_t>(
-      std::atoi(FlagValue(args, "--grain=", "0").c_str()));
-  // The selection threshold doubles as the blocking prune threshold, so the
-  // blocked and dense paths select identical links (exact mode).
+  if (!ParseEngineFlags(args, &options)) return 2;
+  // The selection threshold doubles as the blocking (and staged-retrieval)
+  // prune threshold, so the accelerated and dense paths select identical
+  // links (exact mode).
   options.threshold = threshold;
-  if (!ParseBlockingMode(FlagValue(args, "--blocking=", "off"),
-                         &options.blocking.mode)) {
-    return 2;
-  }
   core::MatchEngine engine(*source, *target, options, obs_session.context());
   core::MatchMatrix matrix = FlagSet(args, "--refined")
                                  ? engine.ComputeRefinedMatrix()
@@ -367,13 +337,11 @@ int RunVocab(const std::vector<std::string>& args) {
 
   double threshold =
       std::atof(FlagValue(args, "--threshold=", "0.35").c_str());
-  size_t threads = static_cast<size_t>(
-      std::atoi(FlagValue(args, "--threads=", "0").c_str()));
   core::MatchOptions match_options;
-  match_options.num_threads = threads;
+  if (!ParseEngineFlags(args, &match_options)) return 2;
   nway::NwayOptions nway_options;
   nway_options.parallel_merge = !FlagSet(args, "--serial-merge");
-  nway_options.num_threads = threads;
+  nway_options.num_threads = match_options.num_threads;
 
   auto result = nway::MatchAndBuildVocabulary(
       schemas, threshold, /*one_to_one=*/true, match_options, nway_options,
@@ -412,32 +380,7 @@ int RunVocab(const std::vector<std::string>& args) {
 
 int RunServe(const std::vector<std::string>& args) {
   service::ServeOptions options;
-  options.server.host = FlagValue(args, "--host=", "127.0.0.1");
-  options.server.port = static_cast<uint16_t>(
-      std::atoi(FlagValue(args, "--port=", "0").c_str()));
-  options.server.num_workers = static_cast<size_t>(
-      std::atoi(FlagValue(args, "--threads=", "0").c_str()));
-  options.server.queue_depth = static_cast<size_t>(
-      std::atoi(FlagValue(args, "--queue-depth=", "64").c_str()));
-  options.state.vocab_threshold =
-      std::atof(FlagValue(args, "--threshold=", "0.35").c_str());
-  if (!ParseBlockingMode(FlagValue(args, "--blocking=", "off"),
-                         &options.state.match_options.blocking.mode)) {
-    return 2;
-  }
-  options.state.engine_cache_max = static_cast<size_t>(
-      std::atol(FlagValue(args, "--engine-cache-max=", "0").c_str()));
-  options.repo_dir = FlagValue(args, "--repo=", "");
-  options.synth_schemas = static_cast<size_t>(
-      std::atoi(FlagValue(args, "--synth-schemas=", "4").c_str()));
-  options.stats = FlagSet(args, "--stats");
-  options.metrics_text = FlagSet(args, "--metrics-text");
-  options.stats_interval_ms =
-      std::atol(FlagValue(args, "--stats-interval=", "0").c_str());
-  options.trace_path = FlagValue(args, "--trace=", "");
-  long slow_ms = std::atol(FlagValue(args, "--slow-ms=", "-1").c_str());
-  options.server.slow_request_ns =
-      slow_ms < 0 ? -1 : static_cast<int64_t>(slow_ms) * 1'000'000;
+  if (!ParseServeFlags(args, &options)) return 2;
   return service::ServeMain(options);
 }
 

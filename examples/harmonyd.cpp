@@ -7,14 +7,20 @@
 //            [--queue-depth=N] [--threshold=0.35] [--synth-schemas=N]
 //            [--stats] [--metrics-text] [--stats-interval=MS]
 //            [--trace=FILE] [--slow-ms=N]
-//            [--blocking=off|exact|approx] [--engine-cache-max=N]
+//            [--blocking=off|exact|approx] [--pipeline=single|staged]
+//            [--retrieve-budget=K] [--rerank-blend=A]
+//            [--engine-cache-max=N]
 //
 // --blocking=exact enables the candidate-pair blocking index on resident
 // match engines: requests selecting at or above the engine threshold skip
 // scoring provably sub-threshold pairs with identical selected matches;
-// lower-threshold requests transparently fall back to the dense kernel.
-// --engine-cache-max=N bounds the resident engine cache (LRU eviction);
-// 0 = unbounded.
+// lower-threshold requests transparently fall back to the dense kernel
+// (counted in match.blocking.dense_fallback).
+// --pipeline=staged runs resident engines through the four-stage
+// retrieve -> enrich -> rank -> rerank pipeline (core/pipeline.h); each
+// request then reports per-stage latency in the match.pipeline.*_ns
+// histograms and per-request trace spans. --engine-cache-max=N bounds the
+// resident engine cache (LRU eviction); 0 = unbounded.
 //
 // Observability: --trace=FILE writes a Chrome trace (request spans with
 // id/family args, engine spans nested beneath) at exit; --slow-ms=N logs a
@@ -33,71 +39,17 @@
 // last in-flight request, then the process exits 0. Talk to it with
 // `harmony_match query` or the service::Client library.
 
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
-#include "common/string_util.h"
+#include "cli_flags.h"
 #include "service/daemon.h"
-
-namespace {
-
-using namespace harmony;
-
-std::string FlagValue(const std::vector<std::string>& args, const char* prefix,
-                      const std::string& fallback) {
-  for (const auto& a : args) {
-    if (StartsWith(a, prefix)) return a.substr(std::strlen(prefix));
-  }
-  return fallback;
-}
-
-bool FlagSet(const std::vector<std::string>& args, const char* flag) {
-  for (const auto& a : args) {
-    if (a == flag) return true;
-  }
-  return false;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  service::ServeOptions options;
-  options.server.host = FlagValue(args, "--host=", "127.0.0.1");
-  options.server.port =
-      static_cast<uint16_t>(std::atoi(FlagValue(args, "--port=", "0").c_str()));
-  options.server.num_workers = static_cast<size_t>(
-      std::atoi(FlagValue(args, "--threads=", "0").c_str()));
-  options.server.queue_depth = static_cast<size_t>(
-      std::atoi(FlagValue(args, "--queue-depth=", "64").c_str()));
-  options.state.vocab_threshold =
-      std::atof(FlagValue(args, "--threshold=", "0.35").c_str());
-  std::string blocking = FlagValue(args, "--blocking=", "off");
-  if (blocking == "exact") {
-    options.state.match_options.blocking.mode = core::BlockingMode::kExact;
-  } else if (blocking == "approx" || blocking == "approximate") {
-    options.state.match_options.blocking.mode =
-        core::BlockingMode::kApproximate;
-  } else if (blocking != "off") {
-    std::fprintf(stderr, "--blocking=%s: expected off, exact, or approx\n",
-                 blocking.c_str());
-    return 2;
-  }
-  options.state.engine_cache_max = static_cast<size_t>(
-      std::atol(FlagValue(args, "--engine-cache-max=", "0").c_str()));
-  options.repo_dir = FlagValue(args, "--repo=", "");
-  options.synth_schemas = static_cast<size_t>(
-      std::atoi(FlagValue(args, "--synth-schemas=", "4").c_str()));
-  options.stats = FlagSet(args, "--stats");
-  options.metrics_text = FlagSet(args, "--metrics-text");
-  options.stats_interval_ms =
-      std::atol(FlagValue(args, "--stats-interval=", "0").c_str());
-  options.trace_path = FlagValue(args, "--trace=", "");
-  long slow_ms = std::atol(FlagValue(args, "--slow-ms=", "-1").c_str());
-  options.server.slow_request_ns =
-      slow_ms < 0 ? -1 : static_cast<int64_t>(slow_ms) * 1'000'000;
-  return service::ServeMain(options);
+  harmony::service::ServeOptions options;
+  // Flag parsing is shared with `harmony_match serve` (examples/cli_flags.h)
+  // so both daemon entry points accept exactly the same flags.
+  if (!harmony::cli::ParseServeFlags(args, &options)) return 2;
+  return harmony::service::ServeMain(options);
 }

@@ -212,6 +212,54 @@ grep -q "protocol_errors=1" "$WORK/stderr" \
 grep -q "oversized_frames=1" "$WORK/stderr" \
   || fail "drain summary did not attribute the bad frame to the oversized counter"
 
+# --- Pipeline-mode daemon --------------------------------------------------
+# A daemon in staged pipeline mode (retrieve -> enrich -> rank -> rerank):
+# its served match CSV must be byte-identical to the batch CLI running the
+# same staged pipeline — the end-to-end determinism gate for the staged
+# kernel — and the per-stage pipeline histograms must move.
+"$HARMONYD" --port=0 --threads=2 --pipeline=staged \
+  > "$WORK/stdout_pipe" 2> "$WORK/stderr_pipe" &
+PIPE_PID=$!
+PIPE_PORT=""
+for _ in $(seq 1 100); do
+  if ! kill -0 "$PIPE_PID" 2>/dev/null; then
+    cat "$WORK/stderr_pipe" >&2
+    fail "pipeline daemon died during startup"
+  fi
+  PIPE_PORT=$(sed -n 's/.* on 127\.0\.0\.1:\([0-9]*\) .*/\1/p' "$WORK/stdout_pipe")
+  [ -n "$PIPE_PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PIPE_PORT" ] || fail "pipeline daemon printed no port within 10s"
+
+# Threshold 0.35 matches the engine's staged-retrieval prune threshold on
+# both sides, so neither path falls back to the dense kernel.
+"$CLI" match "$WORK/c.sql" "$WORK/d.sql" --csv --threshold=0.35 \
+  --pipeline=staged > "$WORK/pipe_batch.csv" \
+  || fail "batch staged match failed"
+"$CLI" query "--port=$PIPE_PORT" match "$WORK/c.sql" "$WORK/d.sql" --csv \
+  --threshold=0.35 > "$WORK/pipe_served.csv" \
+  || fail "served staged match failed"
+cmp "$WORK/pipe_batch.csv" "$WORK/pipe_served.csv" \
+  || fail "served staged CSV differs from batch staged CSV"
+[ "$(wc -l < "$WORK/pipe_batch.csv")" -gt 1 ] \
+  || fail "staged pipeline gate is vacuous (no links)"
+
+"$CLI" query "--port=$PIPE_PORT" stats --metrics-text \
+  > "$WORK/pipe_stats.txt" || fail "pipeline daemon stats failed"
+PIPE_RANKED=$(metric "$WORK/pipe_stats.txt" match_pipeline_rank_ns_count)
+[ "${PIPE_RANKED:-0}" -ge 1 ] \
+  || fail "match_pipeline_rank_ns histogram recorded nothing"
+PIPE_RERANKED=$(metric "$WORK/pipe_stats.txt" match_pipeline_rerank_ns_count)
+[ "${PIPE_RERANKED:-0}" -ge 1 ] \
+  || fail "match_pipeline_rerank_ns histogram recorded nothing"
+
+kill -TERM "$PIPE_PID"
+PIPE_EXIT=0
+wait "$PIPE_PID" || PIPE_EXIT=$?
+[ "$PIPE_EXIT" -eq 0 ] || { cat "$WORK/stderr_pipe" >&2; fail "pipeline daemon exited $PIPE_EXIT after SIGTERM (want 0)"; }
+echo "service_smoke: staged pipeline served CSV byte-identical to batch on $(($(wc -l < "$WORK/pipe_batch.csv") - 1)) links (rank_count=$PIPE_RANKED rerank_count=$PIPE_RERANKED)"
+
 # --- Traced session: spans, slow-request log, shutdown delta ---------------
 # A second short daemon with the full observability surface on: Chrome trace,
 # slow-request log at threshold 0 (log everything), metrics-text exit dump,

@@ -518,6 +518,71 @@ void BlockingIndex::CandidateColumns(schema::ElementId source,
   std::sort(out_cols.begin(), out_cols.end());
 }
 
+void BlockingIndex::CandidateColumnsBounded(
+    schema::ElementId source, const TargetSet& tset, RowScratch& scratch,
+    std::vector<BoundedCandidate>& out) const {
+  out.clear();
+  HARMONY_CHECK_LT(static_cast<size_t>(source), source_.elems.size())
+      << "source ElementId out of range for the blocking index";
+  const ElementSummary& a = source_.elems[source];
+
+  if (options_.mode == BlockingMode::kExact) {
+    PrepareRow(source, scratch, nullptr);
+    uint32_t epoch = scratch.epoch;
+    for (size_t k = 0; k < tset.targets.size(); ++k) {
+      uint32_t id = tset.targets[k];
+      double dot = scratch.doc_epoch[id] == epoch ? scratch.doc_dot[id] : 0.0;
+      uint32_t acr =
+          scratch.acronym_epoch[id] == epoch ? scratch.acronym_len[id] : 0;
+      double bound = BoundCell(a, target_.elems[id], dot, acr);
+      if (bound + kBoundSlack >= prune_threshold_) {
+        out.push_back({static_cast<uint32_t>(k), bound});
+      }
+    }
+    return;
+  }
+
+  // Approximate mode: identical candidate generation to CandidateColumns
+  // (inverted structures only), with the bound carried out for budgeting.
+  std::vector<uint32_t>& cand = scratch.candidate_ids;
+  cand.clear();
+  PrepareRow(source, scratch, &cand);
+  uint32_t epoch = scratch.epoch;
+  const ProfileView& sv = profiles_->source_view();
+  for (const std::string& tok : sv.sorted_name_tokens(source)) {
+    if (auto it = target_by_token_.find(std::string_view(tok));
+        it != target_by_token_.end()) {
+      cand.insert(cand.end(), it->second.begin(), it->second.end());
+    }
+  }
+  std::string_view a_name = sv.normalized_name(source);
+  if (!a_name.empty()) {
+    if (auto it = target_by_name_.find(a_name); it != target_by_name_.end()) {
+      cand.insert(cand.end(), it->second.begin(), it->second.end());
+    }
+  }
+  std::sort(cand.begin(), cand.end());
+  cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+
+  for (uint32_t id : cand) {
+    int32_t col = tset.col_of_id[id];
+    if (col < 0) continue;
+    double dot = scratch.doc_epoch[id] == epoch ? scratch.doc_dot[id] : 0.0;
+    uint32_t acr =
+        scratch.acronym_epoch[id] == epoch ? scratch.acronym_len[id] : 0;
+    double bound = BoundCell(a, target_.elems[id], dot, acr);
+    if (bound + kBoundSlack >= prune_threshold_) {
+      out.push_back({static_cast<uint32_t>(col), bound});
+    }
+  }
+  // Candidate ids ascend, but column order follows the matrix's target
+  // vector; restore ascending columns for a deterministic order.
+  std::sort(out.begin(), out.end(),
+            [](const BoundedCandidate& x, const BoundedCandidate& y) {
+              return x.col < y.col;
+            });
+}
+
 double BlockingIndex::CellBound(schema::ElementId source,
                                 schema::ElementId target,
                                 RowScratch& scratch) const {

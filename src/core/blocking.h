@@ -175,6 +175,21 @@ class BlockingIndex {
                         RowScratch& scratch,
                         std::vector<uint32_t>& out_cols) const;
 
+  /// A stage-1 retrieval candidate: a surviving column plus its admissible
+  /// bound, so the pipeline can keep only the top-K bounds per row.
+  struct BoundedCandidate {
+    uint32_t col = 0;
+    double bound = 0.0;
+  };
+
+  /// CandidateColumns, but emitting each surviving column's bound. Same
+  /// survivors and the same ascending column order; the bound is the value
+  /// the keep test compared against the prune threshold. Used by the staged
+  /// pipeline's budgeted retrieval (core/pipeline.h).
+  void CandidateColumnsBounded(schema::ElementId source, const TargetSet& tset,
+                               RowScratch& scratch,
+                               std::vector<BoundedCandidate>& out) const;
+
   /// The admissible upper bound for one cell (exposed for the property
   /// tests, which assert bound >= dense score on every cell).
   double CellBound(schema::ElementId source, schema::ElementId target,

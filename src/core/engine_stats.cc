@@ -40,6 +40,22 @@ std::string RenderStatsText(const EngineStats& stats) {
                 static_cast<double>(total),
             static_cast<unsigned long long>(total));
   }
+  if (stats.dense_fallbacks > 0) {
+    AppendF(out, "  %-24s %12llu\n", "dense fallbacks",
+            static_cast<unsigned long long>(stats.dense_fallbacks));
+  }
+  if (stats.pipeline_elements_enriched > 0 ||
+      stats.pipeline_candidates_retrieved > 0 ||
+      stats.pipeline_candidates_reranked > 0) {
+    AppendF(out, "  %-24s %12llu\n", "stage-1 retrieved",
+            static_cast<unsigned long long>(
+                stats.pipeline_candidates_retrieved));
+    AppendF(out, "  %-24s %12llu\n", "stage-2 enriched",
+            static_cast<unsigned long long>(stats.pipeline_elements_enriched));
+    AppendF(out, "  %-24s %12llu\n", "stage-4 reranked",
+            static_cast<unsigned long long>(
+                stats.pipeline_candidates_reranked));
+  }
   AppendF(out, "  %-24s %12.1f ms (summed over executors)\n", "scoring kernel",
           Ms(stats.score_ns));
   if (!stats.voter_timing) {
@@ -71,12 +87,21 @@ std::string RenderStatsJson(const EngineStats& stats) {
   AppendF(out,
           "{\"preprocess_seconds\":%.6f,\"matrices_computed\":%llu,"
           "\"cells_scored\":%llu,\"cells_pruned\":%llu,\"score_ns\":%llu,"
+          "\"dense_fallbacks\":%llu,\"pipeline_candidates_retrieved\":%llu,"
+          "\"pipeline_elements_enriched\":%llu,"
+          "\"pipeline_candidates_reranked\":%llu,"
           "\"voter_timing\":%s,\"voters\":[",
           stats.preprocess_seconds,
           static_cast<unsigned long long>(stats.matrices_computed),
           static_cast<unsigned long long>(stats.cells_scored),
           static_cast<unsigned long long>(stats.cells_pruned),
           static_cast<unsigned long long>(stats.score_ns),
+          static_cast<unsigned long long>(stats.dense_fallbacks),
+          static_cast<unsigned long long>(
+              stats.pipeline_candidates_retrieved),
+          static_cast<unsigned long long>(stats.pipeline_elements_enriched),
+          static_cast<unsigned long long>(
+              stats.pipeline_candidates_reranked),
           stats.voter_timing ? "true" : "false");
   for (size_t i = 0; i < stats.voters.size(); ++i) {
     const VoterStat& v = stats.voters[i];

@@ -38,6 +38,18 @@ struct EngineStats {
   /// Wall nanoseconds in the scoring kernel, summed over shard executions
   /// (CPU-seconds across executors, not elapsed time).
   uint64_t score_ns = 0;
+  /// ComputeMatrixFor calls that requested an accelerated path (blocking /
+  /// staged retrieval) but selected below the prune threshold, forcing the
+  /// dense kernel. A persistently growing count means the configured
+  /// threshold and the callers' selection thresholds disagree.
+  uint64_t dense_fallbacks = 0;
+  /// Staged pipeline rollups (all 0 in single-stage mode): stage-1
+  /// candidates retrieved across matrices, elements enriched by stage 2
+  /// (counted once, at engine construction), and stage-4 candidates
+  /// reranked.
+  uint64_t pipeline_candidates_retrieved = 0;
+  uint64_t pipeline_elements_enriched = 0;
+  uint64_t pipeline_candidates_reranked = 0;
   /// True when MatchOptions::collect_stats was set: the per-voter rows below
   /// are populated (timing adds two clock reads per Vote(), so it is opt-in).
   bool voter_timing = false;

@@ -1,0 +1,97 @@
+#include "core/enricher.h"
+
+#include <algorithm>
+#include <string_view>
+#include <utility>
+
+namespace harmony::core {
+
+void EnrichedProfileView::Append(std::vector<std::string> expanded,
+                                 std::vector<std::string> summary) {
+  TokenRange e;
+  e.begin = static_cast<uint32_t>(tokens_.size());
+  for (auto& t : expanded) tokens_.push_back(std::move(t));
+  e.end = static_cast<uint32_t>(tokens_.size());
+  expanded_.push_back(e);
+  TokenRange s;
+  s.begin = static_cast<uint32_t>(tokens_.size());
+  for (auto& t : summary) tokens_.push_back(std::move(t));
+  s.end = static_cast<uint32_t>(tokens_.size());
+  summary_.push_back(s);
+}
+
+namespace {
+
+// Splits a (possibly multi-word) dictionary value into its words —
+// canonicals and expansions like "last name" / "date of birth" contribute
+// one token per word, matching how preprocessing tokenizes them.
+void AppendWords(std::string_view text, std::vector<std::string>& out) {
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find(' ', begin);
+    if (end == std::string_view::npos) end = text.size();
+    if (end > begin) out.emplace_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+}
+
+}  // namespace
+
+ReferenceEnricher::ReferenceEnricher(const PreprocessOptions& options,
+                                     size_t summary_terms)
+    : synonyms_(options.synonyms),
+      abbreviations_(options.abbreviations),
+      summary_terms_(summary_terms) {}
+
+EnrichedProfileView ReferenceEnricher::Enrich(const ProfilePair& profiles,
+                                              PipelineSide side) const {
+  const ProfileView& view = side == PipelineSide::kSource
+                                ? profiles.source_view()
+                                : profiles.target_view();
+  const text::TfIdfCorpus& corpus = profiles.corpus();
+  EnrichedProfileView out;
+  std::vector<std::string> expanded;
+  std::vector<std::string> summary;
+  std::vector<std::pair<double, const std::string*>> ranked;
+  for (size_t i = 0; i < view.size(); ++i) {
+    schema::ElementId id = static_cast<schema::ElementId>(i);
+    expanded.clear();
+    for (const std::string& tok : view.sorted_name_tokens(id)) {
+      expanded.push_back(tok);
+      // Canonicalize returns the token itself outside any synset; the
+      // sort+unique below folds that duplicate away.
+      AppendWords(synonyms_.Canonicalize(tok), expanded);
+      std::string expansion = abbreviations_.Lookup(tok);
+      if (!expansion.empty()) AppendWords(expansion, expanded);
+    }
+    std::string_view initials = view.initials(id);
+    if (initials.size() >= 2) expanded.emplace_back(initials);
+    std::sort(expanded.begin(), expanded.end());
+    expanded.erase(std::unique(expanded.begin(), expanded.end()),
+                   expanded.end());
+
+    summary.clear();
+    if (view.doc_token_count(id) > 0) {
+      ranked.clear();
+      for (const auto& [term, weight] : view.doc_vector(id)) {
+        ranked.emplace_back(weight, &corpus.Token(term));
+      }
+      // Weight descending, term string ascending on ties — a total order
+      // independent of the SparseVector's hash iteration order, so the
+      // summary is deterministic.
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return *a.second < *b.second;
+                });
+      if (ranked.size() > summary_terms_) ranked.resize(summary_terms_);
+      for (const auto& [weight, term] : ranked) summary.push_back(*term);
+    }
+    out.Append(std::move(expanded), std::move(summary));
+    expanded = {};
+    summary = {};
+  }
+  return out;
+}
+
+}  // namespace harmony::core

@@ -1,0 +1,111 @@
+// Pipeline stage 2: metadata enrichment. The LLM-era staged matchers
+// (Schemora's metadata enrichment, Matchmaker's candidate refinement) widen
+// each element's evidence before the expensive ranking stages; this is the
+// native, deterministic equivalent. An Enricher derives an
+// EnrichedProfileView — an immutable OVERLAY of per-element derived
+// features — from a finished ProfilePair. The underlying ProfileView arenas
+// are never touched: stage 3 (the voter ensemble) keeps reading the
+// original views bit-for-bit, and only stage 4 (the Reranker) consumes the
+// overlay. That separation is what makes the staged pipeline's determinism
+// argument local: enrichment is a pure function of the profiles, computed
+// once per engine, never per shard.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/preprocess.h"
+#include "schema/schema.h"
+
+namespace harmony::core {
+
+/// \brief Which side of the pair an overlay describes.
+enum class PipelineSide : uint8_t { kSource, kTarget };
+
+/// \brief Immutable per-element derived features, arena-packed like
+/// ProfileView (one string vector shared by every element's ranges).
+class EnrichedProfileView {
+ public:
+  size_t size() const { return expanded_.size(); }
+
+  /// Sorted unique union of the element's name tokens with their thesaurus
+  /// canonicals and abbreviation expansions (plus the acronym initials).
+  /// Never aliases the ProfileView arenas.
+  std::span<const std::string> expanded_tokens(schema::ElementId id) const {
+    return Tokens(expanded_[Index(id)]);
+  }
+
+  /// The element's documentation summarized to its top TF-IDF terms,
+  /// ordered by descending weight (ties by term string). Empty for
+  /// undocumented elements.
+  std::span<const std::string> doc_summary(schema::ElementId id) const {
+    return Tokens(summary_[Index(id)]);
+  }
+
+  /// Builder-side append API: one Append per element, in id order.
+  void Append(std::vector<std::string> expanded,
+              std::vector<std::string> summary);
+
+ private:
+  struct TokenRange {
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+
+  size_t Index(schema::ElementId id) const {
+    HARMONY_CHECK_LT(static_cast<size_t>(id), expanded_.size())
+        << "ElementId out of range for this enrichment overlay";
+    return static_cast<size_t>(id);
+  }
+  std::span<const std::string> Tokens(TokenRange r) const {
+    return std::span<const std::string>(tokens_.data() + r.begin,
+                                        r.end - r.begin);
+  }
+
+  std::vector<std::string> tokens_;  // all token lists, back to back
+  std::vector<TokenRange> expanded_, summary_;
+};
+
+/// \brief Stage-2 strategy interface. Implementations MUST be deterministic
+/// (a pure function of the profiles — the staged pipeline's reproducibility
+/// rests on it) and thread-compatible after construction: the pipeline
+/// enriches once at engine build, then shares the overlay read-only across
+/// every matrix computation and shard.
+class Enricher {
+ public:
+  virtual ~Enricher() = default;
+
+  /// Stable identifier for stats and traces.
+  virtual const char* name() const = 0;
+
+  /// Derives the overlay for every element of `side`, indexed by ElementId.
+  virtual EnrichedProfileView Enrich(const ProfilePair& profiles,
+                                     PipelineSide side) const = 0;
+};
+
+/// \brief The deterministic reference enricher: thesaurus synonym
+/// canonicalization + abbreviation expansion of the name tokens, and
+/// doc-term summarization (top-k TF-IDF terms of the element's
+/// documentation, decoded through the pair's joint corpus).
+class ReferenceEnricher : public Enricher {
+ public:
+  /// `options` supplies the dictionaries (copied — the enricher outlives
+  /// any particular MatchOptions). `summary_terms` caps the doc summary.
+  explicit ReferenceEnricher(const PreprocessOptions& options,
+                             size_t summary_terms = 8);
+
+  const char* name() const override { return "reference"; }
+  EnrichedProfileView Enrich(const ProfilePair& profiles,
+                             PipelineSide side) const override;
+
+ private:
+  text::SynonymDictionary synonyms_;
+  text::AbbreviationDictionary abbreviations_;
+  size_t summary_terms_;
+};
+
+}  // namespace harmony::core

@@ -1,57 +1,26 @@
 #include "core/match_engine.h"
 
-#include <span>
-
-#include "common/thread_pool.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-
 namespace harmony::core {
-
-MatchEngine::EngineMetrics::EngineMetrics(obs::MetricsRegistry& registry)
-    : matrices(registry, "engine.matrices_computed"),
-      cells(registry, "engine.cells_scored"),
-      engines(registry, "engine.constructed"),
-      blocking_candidates(registry, "match.blocking.candidates"),
-      blocking_pruned(registry, "match.blocking.pruned"),
-      preprocess_ns(registry, "engine.preprocess_ns"),
-      matrix_ns(registry, "engine.compute_matrix_ns"),
-      blocking_candidate_ratio_pct(registry,
-                                   "match.blocking.candidate_ratio_pct") {}
 
 MatchEngine::MatchEngine(const schema::Schema& source, const schema::Schema& target,
                          MatchOptions options, const EngineContext& context)
     : options_(std::move(options)),
       context_(context),
-      metrics_(*context_.metrics),
       profiles_(source, target, options_.preprocess, context_),
-      voters_(CreateVoters(options_.voters)),
-      merger_(options_.merger) {
-  if (options_.blocking.mode != BlockingMode::kOff) {
-    auto index = std::make_unique<BlockingIndex>(
-        profiles_, options_.voters, options_.merger, options_.blocking,
-        options_.threshold);
-    // An inactive index (non-positive prune threshold) degrades to the
-    // dense kernel rather than pruning against an unselectable sentinel.
-    if (index->active()) blocking_ = std::move(index);
-  }
-  stats_.voter_calls = std::vector<std::atomic<uint64_t>>(voters_.size());
-  stats_.voter_ns = std::vector<std::atomic<uint64_t>>(voters_.size());
-  metrics_.engines.Add();
-  metrics_.preprocess_ns.Record(
-      static_cast<uint64_t>(profiles_.build_seconds() * 1e9));
-}
+      pipeline_(profiles_, options_, context_) {}
 
 MatchMatrix MatchEngine::ComputeMatrix() const {
   return ComputeMatrix(source().AllElementIds(), target().AllElementIds());
 }
 
 MatchMatrix MatchEngine::ComputeMatrixFor(double selection_threshold) const {
-  // A blocked matrix is only valid for selection at or above the prune
-  // threshold (pruned cells sit at 0.0 and could otherwise be selected).
-  bool allow = !blocking_ || selection_threshold >= blocking_->prune_threshold();
-  return ComputeMatrixImpl(source().AllElementIds(), target().AllElementIds(),
-                           allow);
+  // A blocked or staged matrix is only valid for selection at or above the
+  // prune threshold (un-retrieved cells sit at 0.0 and could otherwise be
+  // selected). Below it the engine runs dense — counted, not silent.
+  bool allow = pipeline_.ValidFor(selection_threshold);
+  if (!allow) pipeline_.CountDenseFallback();
+  return pipeline_.Run(source().AllElementIds(), target().AllElementIds(),
+                       allow);
 }
 
 MatchMatrix MatchEngine::ComputeRefinedMatrix() const {
@@ -60,11 +29,12 @@ MatchMatrix MatchEngine::ComputeRefinedMatrix() const {
   if (propagation.grain == 0) propagation.grain = options_.grain;
   // Propagation reads the full score structure — including sub-threshold
   // cells, which lift or depress their neighbours — so the base matrix is
-  // always computed densely; a blocked base would alter refined scores.
+  // always computed densely; a blocked or staged base would alter refined
+  // scores.
   return PropagateScores(source(), target(),
-                         ComputeMatrixImpl(source().AllElementIds(),
-                                           target().AllElementIds(),
-                                           /*allow_blocking=*/false),
+                         pipeline_.Run(source().AllElementIds(),
+                                       target().AllElementIds(),
+                                       /*allow_accel=*/false),
                          propagation, context_);
 }
 
@@ -76,189 +46,7 @@ MatchMatrix MatchEngine::ComputeMatrix(const NodeFilter& source_filter,
 MatchMatrix MatchEngine::ComputeMatrix(
     const std::vector<schema::ElementId>& source_ids,
     const std::vector<schema::ElementId>& target_ids) const {
-  return ComputeMatrixImpl(source_ids, target_ids, /*allow_blocking=*/true);
-}
-
-MatchMatrix MatchEngine::ComputeMatrixImpl(
-    const std::vector<schema::ElementId>& source_ids,
-    const std::vector<schema::ElementId>& target_ids,
-    bool allow_blocking) const {
-  HARMONY_TRACE_SPAN(context_.tracer, "engine/compute_matrix");
-  uint64_t t0 = obs::MonotonicNanos();
-  MatchMatrix matrix(source_ids, target_ids);
-  const bool timed = options_.collect_stats;
-  const bool batched = options_.batch_rows;
-  const size_t cols = matrix.cols();
-  const size_t num_voters = voters_.size();
-  const BlockingIndex* blocking =
-      allow_blocking && blocking_ ? blocking_.get() : nullptr;
-  BlockingIndex::TargetSet tset;
-  if (blocking) tset = blocking->MakeTargetSet(matrix.target_ids());
-  // Cells that survived the bound cut, summed across shards for the
-  // candidate-ratio instrumentation.
-  std::atomic<uint64_t> scored_cells{0};
-  // Row-sharded: each executor owns disjoint matrix rows and private
-  // scratch, so the parallel result is bitwise-identical to the serial one
-  // (same cells, same operations, no shared writes). The timed variant runs
-  // the same arithmetic — it only adds clock reads — so scores are
-  // unchanged with stats collection on. The batched path drives each voter
-  // across a whole row (MatchVoter::VoteRow) before merging; the per-cell
-  // path dispatches every voter per cell. Both orders score every (voter,
-  // cell) pair with the same inputs, so the matrices are bitwise-identical
-  // (tests/obs/determinism_test.cc asserts it per voter config).
-  auto score_rows = [&](size_t row_begin, size_t row_end) {
-    HARMONY_TRACE_SPAN(context_.tracer, "engine/score_rows");
-    std::vector<VoterScore> scores(num_voters);
-    std::vector<uint64_t> shard_voter_ns(timed ? num_voters : 0, 0);
-    if (blocking) {
-      // Blocked kernel: per row, the bound pass picks the candidate columns,
-      // then the voters score only that gathered subset. Every voter's
-      // VoteRow (and Vote) treats targets independently, so the per-cell
-      // scores — and the merge — are bitwise what the dense kernel computes
-      // for those cells; pruned cells keep the 0.0 sentinel the matrix was
-      // initialized with. Candidate sets depend only on the row, never on
-      // sharding, so any thread count/grain yields the same matrix.
-      BlockingIndex::RowScratch bscratch = blocking->MakeRowScratch();
-      std::vector<uint32_t> cand_cols;
-      std::vector<schema::ElementId> cand_ids;
-      VoterScratch scratch;
-      std::vector<VoterScore> row_scores(batched ? num_voters * cols : 0);
-      uint64_t shard_scored = 0;
-      for (size_t r = row_begin; r < row_end; ++r) {
-        schema::ElementId s = matrix.SourceIdAt(r);
-        blocking->CandidateColumns(s, tset, bscratch, cand_cols);
-        shard_scored += cand_cols.size();
-        if (cand_cols.empty()) continue;
-        cand_ids.clear();
-        for (uint32_t c : cand_cols) cand_ids.push_back(matrix.TargetIdAt(c));
-        const size_t ncand = cand_ids.size();
-        if (batched) {
-          std::span<const schema::ElementId> targets(cand_ids);
-          for (size_t v = 0; v < num_voters; ++v) {
-            std::span<VoterScore> out(row_scores.data() + v * cols, ncand);
-            if (timed) {
-              uint64_t start = obs::MonotonicNanos();
-              voters_[v]->VoteRow(profiles_, s, targets, out, scratch);
-              shard_voter_ns[v] += obs::MonotonicNanos() - start;
-            } else {
-              voters_[v]->VoteRow(profiles_, s, targets, out, scratch);
-            }
-          }
-          for (size_t k = 0; k < ncand; ++k) {
-            for (size_t v = 0; v < num_voters; ++v) {
-              scores[v] = row_scores[v * cols + k];
-            }
-            matrix.SetByIndex(r, cand_cols[k], merger_.Merge(voters_, scores));
-          }
-        } else {
-          for (size_t k = 0; k < ncand; ++k) {
-            schema::ElementId t = cand_ids[k];
-            if (timed) {
-              for (size_t v = 0; v < num_voters; ++v) {
-                uint64_t start = obs::MonotonicNanos();
-                scores[v] = voters_[v]->Vote(profiles_, s, t);
-                shard_voter_ns[v] += obs::MonotonicNanos() - start;
-              }
-            } else {
-              for (size_t v = 0; v < num_voters; ++v) {
-                scores[v] = voters_[v]->Vote(profiles_, s, t);
-              }
-            }
-            matrix.SetByIndex(r, cand_cols[k], merger_.Merge(voters_, scores));
-          }
-        }
-      }
-      uint64_t shard_total = (row_end - row_begin) * cols;
-      uint64_t shard_pruned = shard_total - shard_scored;
-      scored_cells.fetch_add(shard_scored, std::memory_order_relaxed);
-      stats_.cells.fetch_add(shard_scored, std::memory_order_relaxed);
-      stats_.cells_pruned.fetch_add(shard_pruned, std::memory_order_relaxed);
-      metrics_.cells.Add(shard_scored);
-      metrics_.blocking_candidates.Add(shard_scored);
-      metrics_.blocking_pruned.Add(shard_pruned);
-      if (timed) {
-        for (size_t v = 0; v < num_voters; ++v) {
-          stats_.voter_calls[v].fetch_add(shard_scored,
-                                          std::memory_order_relaxed);
-          stats_.voter_ns[v].fetch_add(shard_voter_ns[v],
-                                       std::memory_order_relaxed);
-        }
-      }
-      return;
-    }
-    if (batched) {
-      VoterScratch scratch;
-      // Voter-major row buffer: row_scores[v * cols + c].
-      std::vector<VoterScore> row_scores(num_voters * cols);
-      std::span<const schema::ElementId> targets = matrix.target_ids();
-      for (size_t r = row_begin; r < row_end; ++r) {
-        schema::ElementId s = matrix.SourceIdAt(r);
-        for (size_t v = 0; v < num_voters; ++v) {
-          std::span<VoterScore> out(row_scores.data() + v * cols, cols);
-          if (timed) {
-            uint64_t start = obs::MonotonicNanos();
-            voters_[v]->VoteRow(profiles_, s, targets, out, scratch);
-            shard_voter_ns[v] += obs::MonotonicNanos() - start;
-          } else {
-            voters_[v]->VoteRow(profiles_, s, targets, out, scratch);
-          }
-        }
-        for (size_t c = 0; c < cols; ++c) {
-          for (size_t v = 0; v < num_voters; ++v) {
-            scores[v] = row_scores[v * cols + c];
-          }
-          matrix.SetByIndex(r, c, merger_.Merge(voters_, scores));
-        }
-      }
-    } else {
-      for (size_t r = row_begin; r < row_end; ++r) {
-        schema::ElementId s = matrix.SourceIdAt(r);
-        for (size_t c = 0; c < cols; ++c) {
-          schema::ElementId t = matrix.TargetIdAt(c);
-          if (timed) {
-            for (size_t v = 0; v < num_voters; ++v) {
-              uint64_t start = obs::MonotonicNanos();
-              scores[v] = voters_[v]->Vote(profiles_, s, t);
-              shard_voter_ns[v] += obs::MonotonicNanos() - start;
-            }
-          } else {
-            for (size_t v = 0; v < num_voters; ++v) {
-              scores[v] = voters_[v]->Vote(profiles_, s, t);
-            }
-          }
-          matrix.SetByIndex(r, c, merger_.Merge(voters_, scores));
-        }
-      }
-    }
-    size_t shard_cells = (row_end - row_begin) * cols;
-    stats_.cells.fetch_add(shard_cells, std::memory_order_relaxed);
-    metrics_.cells.Add(shard_cells);
-    if (timed) {
-      // voter_calls counts cells scored per voter on both paths, so the
-      // per-call averages in StatsReport stay comparable across kernels.
-      uint64_t shard_calls = shard_cells;
-      for (size_t v = 0; v < num_voters; ++v) {
-        stats_.voter_calls[v].fetch_add(shard_calls, std::memory_order_relaxed);
-        stats_.voter_ns[v].fetch_add(shard_voter_ns[v],
-                                     std::memory_order_relaxed);
-      }
-    }
-  };
-  common::ParallelFor(0, matrix.rows(), options_.grain, score_rows,
-                      options_.num_threads, context_);
-  if (blocking) {
-    uint64_t total = static_cast<uint64_t>(matrix.rows()) * cols;
-    if (total > 0) {
-      metrics_.blocking_candidate_ratio_pct.Record(
-          scored_cells.load(std::memory_order_relaxed) * 100 / total);
-    }
-  }
-  stats_.matrices.fetch_add(1, std::memory_order_relaxed);
-  uint64_t elapsed = obs::MonotonicNanos() - t0;
-  stats_.score_ns.fetch_add(elapsed, std::memory_order_relaxed);
-  metrics_.matrices.Add();
-  metrics_.matrix_ns.Record(elapsed);
-  return matrix;
+  return pipeline_.Run(source_ids, target_ids, /*allow_accel=*/true);
 }
 
 MatchMatrix MatchEngine::MatchSubtree(schema::ElementId source_root) const {
@@ -273,40 +61,32 @@ std::vector<Correspondence> MatchEngine::Match() const {
 
 VoteBreakdown MatchEngine::Explain(schema::ElementId source_id,
                                    schema::ElementId target_id) const {
+  const auto& voters = pipeline_.voters();
   VoteBreakdown out;
-  out.voter_names.reserve(voters_.size());
-  out.scores.reserve(voters_.size());
-  for (const auto& v : voters_) {
+  out.voter_names.reserve(voters.size());
+  out.scores.reserve(voters.size());
+  for (const auto& v : voters) {
     out.voter_names.push_back(v->name());
     out.scores.push_back(v->Vote(profiles_, source_id, target_id));
   }
-  out.merged = merger_.Merge(voters_, out.scores);
+  out.merged = pipeline_.merger().Merge(voters, out.scores);
   return out;
 }
 
 double MatchEngine::ScorePair(schema::ElementId source_id,
                               schema::ElementId target_id) const {
-  std::vector<VoterScore> scores(voters_.size());
-  for (size_t v = 0; v < voters_.size(); ++v) {
-    scores[v] = voters_[v]->Vote(profiles_, source_id, target_id);
+  const auto& voters = pipeline_.voters();
+  std::vector<VoterScore> scores(voters.size());
+  for (size_t v = 0; v < voters.size(); ++v) {
+    scores[v] = voters[v]->Vote(profiles_, source_id, target_id);
   }
-  return merger_.Merge(voters_, scores);
+  return pipeline_.merger().Merge(voters, scores);
 }
 
 EngineStats MatchEngine::StatsReport() const {
   EngineStats out;
   out.preprocess_seconds = profiles_.build_seconds();
-  out.matrices_computed = stats_.matrices.load(std::memory_order_relaxed);
-  out.cells_scored = stats_.cells.load(std::memory_order_relaxed);
-  out.cells_pruned = stats_.cells_pruned.load(std::memory_order_relaxed);
-  out.score_ns = stats_.score_ns.load(std::memory_order_relaxed);
-  out.voter_timing = options_.collect_stats;
-  out.voters.resize(voters_.size());
-  for (size_t v = 0; v < voters_.size(); ++v) {
-    out.voters[v].name = voters_[v]->name();
-    out.voters[v].calls = stats_.voter_calls[v].load(std::memory_order_relaxed);
-    out.voters[v].total_ns = stats_.voter_ns[v].load(std::memory_order_relaxed);
-  }
+  pipeline_.FillStats(out);
   return out;
 }
 

@@ -1,10 +1,13 @@
 // MatchEngine: the Harmony matcher facade. Construct one per schema pair
 // (preprocessing happens once), then run full matches, filtered matches, or
 // incremental sub-tree matches — the concept-at-a-time workflow of §3.3.
+// Since the pipeline refactor the engine is a thin client of
+// core::MatchPipeline (core/pipeline.h), which owns the voters, the
+// blocking/retrieval indexes, enrichment, and the reranker; the engine owns
+// the profiles and the option/threshold policy around the pipeline.
 
 #pragma once
 
-#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -14,6 +17,7 @@
 #include "core/filters.h"
 #include "core/match_matrix.h"
 #include "core/merger.h"
+#include "core/pipeline.h"
 #include "core/preprocess.h"
 #include "core/propagation.h"
 #include "core/selection.h"
@@ -67,6 +71,10 @@ struct MatchOptions {
   /// selecting at a different threshold than the engine default — it falls
   /// back to the dense kernel whenever blocking would be invalid.
   BlockingOptions blocking;
+  /// Multi-stage pipeline configuration (core/pipeline.h). kSingleStage
+  /// (the default) runs the fused kernel above, bitwise-identical to the
+  /// pre-pipeline engine; kStaged runs retrieve → enrich → rank → rerank.
+  PipelineOptions pipeline;
 };
 
 /// \brief Per-pair diagnostic: the raw voter scores behind one cell of the
@@ -102,6 +110,10 @@ class MatchEngine {
   /// pass this on so their telemetry lands in the same scope.
   const EngineContext& context() const { return context_; }
   const ProfilePair& profiles() const { return profiles_; }
+  /// The staged kernel behind the matrix calls — exposed for tests and
+  /// diagnostics that inspect the stage components (enrichment overlays,
+  /// the retrieval index, the reranker).
+  const MatchPipeline& pipeline() const { return pipeline_; }
 
   /// Scores every source element against every target element — the
   /// MATCH(S1, S2) operator. For the paper's scales (1378×784 ≈ 10^6 pairs)
@@ -109,12 +121,15 @@ class MatchEngine {
   MatchMatrix ComputeMatrix() const;
 
   /// ComputeMatrix() for a caller that will threshold-select at
-  /// `selection_threshold`: uses the blocking fast path only when the
-  /// blocked matrix is valid for that threshold (selection_threshold >=
-  /// the prune threshold), otherwise scores densely. Callers selecting at a
-  /// caller-supplied threshold (the match service, the n-way vocabulary
-  /// builder) go through this so a request below the prune threshold never
-  /// sees pruned cells it would have selected.
+  /// `selection_threshold`: uses the accelerated path (blocking, staged
+  /// retrieval) only when the resulting matrix is valid for that threshold
+  /// (selection_threshold >= every active prune threshold), otherwise
+  /// scores densely — and counts the fallback
+  /// (match.blocking.dense_fallback) instead of silently ignoring the
+  /// requested mode. Callers selecting at a caller-supplied threshold (the
+  /// match service, the n-way vocabulary builder) go through this so a
+  /// request below the prune threshold never sees pruned cells it would
+  /// have selected.
   MatchMatrix ComputeMatrixFor(double selection_threshold) const;
 
   /// ComputeMatrix() followed by structural score propagation
@@ -155,47 +170,11 @@ class MatchEngine {
   EngineStats StatsReport() const;
 
  private:
-  // Atomic so concurrent ComputeMatrix calls (the engine is otherwise
-  // immutable) can account shard results without synchronization.
-  struct StatsAccumulator {
-    std::atomic<uint64_t> matrices{0};
-    std::atomic<uint64_t> cells{0};
-    std::atomic<uint64_t> cells_pruned{0};
-    std::atomic<uint64_t> score_ns{0};
-    std::vector<std::atomic<uint64_t>> voter_calls;  // sized to voters_
-    std::vector<std::atomic<uint64_t>> voter_ns;
-  };
-
-  // Engine-lifecycle metrics, bound once to context_'s registry (ids
-  // resolve at construction; increments are lock-free from any shard).
-  struct EngineMetrics {
-    explicit EngineMetrics(obs::MetricsRegistry& registry);
-    obs::Counter matrices;
-    obs::Counter cells;
-    obs::Counter engines;
-    obs::Counter blocking_candidates;
-    obs::Counter blocking_pruned;
-    obs::Histogram preprocess_ns;
-    obs::Histogram matrix_ns;
-    obs::Histogram blocking_candidate_ratio_pct;
-  };
-
-  /// The shared matrix kernel. `allow_blocking` false forces the dense path
-  /// (refined matrices, and ComputeMatrixFor below the prune threshold).
-  MatchMatrix ComputeMatrixImpl(const std::vector<schema::ElementId>& source_ids,
-                                const std::vector<schema::ElementId>& target_ids,
-                                bool allow_blocking) const;
-
   MatchOptions options_;
   EngineContext context_;  // by value: three pointers, copied at ctor
-  EngineMetrics metrics_;
   ProfilePair profiles_;
-  std::vector<std::unique_ptr<MatchVoter>> voters_;
-  VoteMerger merger_;
-  /// Non-null iff options_.blocking.mode != kOff and the prune threshold is
-  /// positive (BlockingIndex::active()).
-  std::unique_ptr<BlockingIndex> blocking_;
-  mutable StatsAccumulator stats_;
+  // Declared after options_/profiles_: the pipeline keeps pointers to both.
+  MatchPipeline pipeline_;
 };
 
 }  // namespace harmony::core

@@ -1,0 +1,504 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+
+#include "common/thread_pool.h"
+#include "core/match_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace harmony::core {
+
+MatchPipeline::PipelineMetrics::PipelineMetrics(obs::MetricsRegistry& registry)
+    : matrices(registry, "engine.matrices_computed"),
+      cells(registry, "engine.cells_scored"),
+      engines(registry, "engine.constructed"),
+      blocking_candidates(registry, "match.blocking.candidates"),
+      blocking_pruned(registry, "match.blocking.pruned"),
+      dense_fallback(registry, "match.blocking.dense_fallback"),
+      preprocess_ns(registry, "engine.preprocess_ns"),
+      matrix_ns(registry, "engine.compute_matrix_ns"),
+      blocking_candidate_ratio_pct(registry,
+                                   "match.blocking.candidate_ratio_pct"),
+      retrieve_ns(registry, "match.pipeline.retrieve_ns"),
+      enrich_ns(registry, "match.pipeline.enrich_ns"),
+      rank_ns(registry, "match.pipeline.rank_ns"),
+      rerank_ns(registry, "match.pipeline.rerank_ns") {}
+
+MatchPipeline::MatchPipeline(const ProfilePair& profiles,
+                             const MatchOptions& options,
+                             const EngineContext& context)
+    : profiles_(&profiles),
+      options_(&options),
+      context_(context),
+      metrics_(*context_.metrics),
+      voters_(CreateVoters(options.voters)),
+      merger_(options.merger) {
+  if (options.blocking.mode != BlockingMode::kOff) {
+    auto index = std::make_unique<BlockingIndex>(
+        profiles, options.voters, options.merger, options.blocking,
+        options.threshold);
+    // An inactive index (non-positive prune threshold) degrades to the
+    // dense kernel rather than pruning against an unselectable sentinel.
+    if (index->active()) blocking_ = std::move(index);
+  }
+  stats_.voter_calls = std::vector<std::atomic<uint64_t>>(voters_.size());
+  stats_.voter_ns = std::vector<std::atomic<uint64_t>>(voters_.size());
+  metrics_.engines.Add();
+  metrics_.preprocess_ns.Record(
+      static_cast<uint64_t>(profiles.build_seconds() * 1e9));
+
+  if (options.pipeline.mode == PipelineMode::kStaged) {
+    if (!blocking_) {
+      // Stage 1 needs a bound index even when the caller left blocking off:
+      // retrieval IS the bound cut. kExact at the engine threshold keeps
+      // staged-without-budget lossless for selection at that threshold.
+      BlockingOptions retrieval_options;
+      retrieval_options.mode = BlockingMode::kExact;
+      auto index = std::make_unique<BlockingIndex>(
+          profiles, options.voters, options.merger, retrieval_options,
+          options.threshold);
+      if (index->active()) staged_retrieval_ = std::move(index);
+    }
+    // Stage 2 runs once, here: enrichment is a pure function of the
+    // profiles, so computing it per matrix (or per shard) would only
+    // re-derive identical overlays.
+    uint64_t t0 = obs::MonotonicNanos();
+    HARMONY_TRACE_SPAN(context_.tracer, "pipeline/enrich");
+    enricher_ = options.pipeline.enricher
+                    ? options.pipeline.enricher
+                    : std::make_shared<const ReferenceEnricher>(
+                          options.preprocess);
+    source_enrichment_ = std::make_unique<EnrichedProfileView>(
+        enricher_->Enrich(profiles, PipelineSide::kSource));
+    target_enrichment_ = std::make_unique<EnrichedProfileView>(
+        enricher_->Enrich(profiles, PipelineSide::kTarget));
+    stats_.elements_enriched.store(
+        source_enrichment_->size() + target_enrichment_->size(),
+        std::memory_order_relaxed);
+    metrics_.enrich_ns.Record(obs::MonotonicNanos() - t0);
+    reranker_ = options.pipeline.reranker
+                    ? options.pipeline.reranker
+                    : std::make_shared<const HeuristicReranker>(
+                          options.pipeline.rerank_blend);
+  }
+}
+
+bool MatchPipeline::staged() const {
+  return options_->pipeline.mode == PipelineMode::kStaged;
+}
+
+bool MatchPipeline::ValidFor(double selection_threshold) const {
+  // A blocked or staged matrix leaves un-retrieved cells at the 0.0
+  // sentinel, so it is only valid for selection at or above the prune
+  // threshold of every active cut.
+  if (blocking_ && selection_threshold < blocking_->prune_threshold()) {
+    return false;
+  }
+  if (staged()) {
+    const BlockingIndex* retr = retrieval();
+    if (retr && selection_threshold < retr->prune_threshold()) return false;
+  }
+  return true;
+}
+
+void MatchPipeline::CountDenseFallback() const {
+  stats_.dense_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  metrics_.dense_fallback.Add();
+}
+
+MatchMatrix MatchPipeline::Run(
+    const std::vector<schema::ElementId>& source_ids,
+    const std::vector<schema::ElementId>& target_ids, bool allow_accel) const {
+  if (allow_accel && staged()) return RunStaged(source_ids, target_ids);
+  return RunSingleStage(source_ids, target_ids, allow_accel);
+}
+
+MatchMatrix MatchPipeline::RunSingleStage(
+    const std::vector<schema::ElementId>& source_ids,
+    const std::vector<schema::ElementId>& target_ids,
+    bool allow_blocking) const {
+  HARMONY_TRACE_SPAN(context_.tracer, "engine/compute_matrix");
+  uint64_t t0 = obs::MonotonicNanos();
+  MatchMatrix matrix(source_ids, target_ids);
+  const bool timed = options_->collect_stats;
+  const bool batched = options_->batch_rows;
+  const size_t cols = matrix.cols();
+  const size_t num_voters = voters_.size();
+  const BlockingIndex* blocking =
+      allow_blocking && blocking_ ? blocking_.get() : nullptr;
+  BlockingIndex::TargetSet tset;
+  if (blocking) tset = blocking->MakeTargetSet(matrix.target_ids());
+  // Cells that survived the bound cut, summed across shards for the
+  // candidate-ratio instrumentation.
+  std::atomic<uint64_t> scored_cells{0};
+  // Row-sharded: each executor owns disjoint matrix rows and private
+  // scratch, so the parallel result is bitwise-identical to the serial one
+  // (same cells, same operations, no shared writes). The timed variant runs
+  // the same arithmetic — it only adds clock reads — so scores are
+  // unchanged with stats collection on. The batched path drives each voter
+  // across a whole row (MatchVoter::VoteRow) before merging; the per-cell
+  // path dispatches every voter per cell. Both orders score every (voter,
+  // cell) pair with the same inputs, so the matrices are bitwise-identical
+  // (tests/obs/determinism_test.cc asserts it per voter config).
+  auto score_rows = [&](size_t row_begin, size_t row_end) {
+    HARMONY_TRACE_SPAN(context_.tracer, "engine/score_rows");
+    std::vector<VoterScore> scores(num_voters);
+    std::vector<uint64_t> shard_voter_ns(timed ? num_voters : 0, 0);
+    if (blocking) {
+      // Blocked kernel: per row, the bound pass picks the candidate columns,
+      // then the voters score only that gathered subset. Every voter's
+      // VoteRow (and Vote) treats targets independently, so the per-cell
+      // scores — and the merge — are bitwise what the dense kernel computes
+      // for those cells; pruned cells keep the 0.0 sentinel the matrix was
+      // initialized with. Candidate sets depend only on the row, never on
+      // sharding, so any thread count/grain yields the same matrix.
+      BlockingIndex::RowScratch bscratch = blocking->MakeRowScratch();
+      std::vector<uint32_t> cand_cols;
+      std::vector<schema::ElementId> cand_ids;
+      VoterScratch scratch;
+      std::vector<VoterScore> row_scores(batched ? num_voters * cols : 0);
+      uint64_t shard_scored = 0;
+      for (size_t r = row_begin; r < row_end; ++r) {
+        schema::ElementId s = matrix.SourceIdAt(r);
+        blocking->CandidateColumns(s, tset, bscratch, cand_cols);
+        shard_scored += cand_cols.size();
+        if (cand_cols.empty()) continue;
+        cand_ids.clear();
+        for (uint32_t c : cand_cols) cand_ids.push_back(matrix.TargetIdAt(c));
+        const size_t ncand = cand_ids.size();
+        if (batched) {
+          std::span<const schema::ElementId> targets(cand_ids);
+          for (size_t v = 0; v < num_voters; ++v) {
+            std::span<VoterScore> out(row_scores.data() + v * cols, ncand);
+            if (timed) {
+              uint64_t start = obs::MonotonicNanos();
+              voters_[v]->VoteRow(*profiles_, s, targets, out, scratch);
+              shard_voter_ns[v] += obs::MonotonicNanos() - start;
+            } else {
+              voters_[v]->VoteRow(*profiles_, s, targets, out, scratch);
+            }
+          }
+          for (size_t k = 0; k < ncand; ++k) {
+            for (size_t v = 0; v < num_voters; ++v) {
+              scores[v] = row_scores[v * cols + k];
+            }
+            matrix.SetByIndex(r, cand_cols[k], merger_.Merge(voters_, scores));
+          }
+        } else {
+          for (size_t k = 0; k < ncand; ++k) {
+            schema::ElementId t = cand_ids[k];
+            if (timed) {
+              for (size_t v = 0; v < num_voters; ++v) {
+                uint64_t start = obs::MonotonicNanos();
+                scores[v] = voters_[v]->Vote(*profiles_, s, t);
+                shard_voter_ns[v] += obs::MonotonicNanos() - start;
+              }
+            } else {
+              for (size_t v = 0; v < num_voters; ++v) {
+                scores[v] = voters_[v]->Vote(*profiles_, s, t);
+              }
+            }
+            matrix.SetByIndex(r, cand_cols[k], merger_.Merge(voters_, scores));
+          }
+        }
+      }
+      uint64_t shard_total = (row_end - row_begin) * cols;
+      uint64_t shard_pruned = shard_total - shard_scored;
+      scored_cells.fetch_add(shard_scored, std::memory_order_relaxed);
+      stats_.cells.fetch_add(shard_scored, std::memory_order_relaxed);
+      stats_.cells_pruned.fetch_add(shard_pruned, std::memory_order_relaxed);
+      metrics_.cells.Add(shard_scored);
+      metrics_.blocking_candidates.Add(shard_scored);
+      metrics_.blocking_pruned.Add(shard_pruned);
+      if (timed) {
+        for (size_t v = 0; v < num_voters; ++v) {
+          stats_.voter_calls[v].fetch_add(shard_scored,
+                                          std::memory_order_relaxed);
+          stats_.voter_ns[v].fetch_add(shard_voter_ns[v],
+                                       std::memory_order_relaxed);
+        }
+      }
+      return;
+    }
+    if (batched) {
+      VoterScratch scratch;
+      // Voter-major row buffer: row_scores[v * cols + c].
+      std::vector<VoterScore> row_scores(num_voters * cols);
+      std::span<const schema::ElementId> targets = matrix.target_ids();
+      for (size_t r = row_begin; r < row_end; ++r) {
+        schema::ElementId s = matrix.SourceIdAt(r);
+        for (size_t v = 0; v < num_voters; ++v) {
+          std::span<VoterScore> out(row_scores.data() + v * cols, cols);
+          if (timed) {
+            uint64_t start = obs::MonotonicNanos();
+            voters_[v]->VoteRow(*profiles_, s, targets, out, scratch);
+            shard_voter_ns[v] += obs::MonotonicNanos() - start;
+          } else {
+            voters_[v]->VoteRow(*profiles_, s, targets, out, scratch);
+          }
+        }
+        for (size_t c = 0; c < cols; ++c) {
+          for (size_t v = 0; v < num_voters; ++v) {
+            scores[v] = row_scores[v * cols + c];
+          }
+          matrix.SetByIndex(r, c, merger_.Merge(voters_, scores));
+        }
+      }
+    } else {
+      for (size_t r = row_begin; r < row_end; ++r) {
+        schema::ElementId s = matrix.SourceIdAt(r);
+        for (size_t c = 0; c < cols; ++c) {
+          schema::ElementId t = matrix.TargetIdAt(c);
+          if (timed) {
+            for (size_t v = 0; v < num_voters; ++v) {
+              uint64_t start = obs::MonotonicNanos();
+              scores[v] = voters_[v]->Vote(*profiles_, s, t);
+              shard_voter_ns[v] += obs::MonotonicNanos() - start;
+            }
+          } else {
+            for (size_t v = 0; v < num_voters; ++v) {
+              scores[v] = voters_[v]->Vote(*profiles_, s, t);
+            }
+          }
+          matrix.SetByIndex(r, c, merger_.Merge(voters_, scores));
+        }
+      }
+    }
+    size_t shard_cells = (row_end - row_begin) * cols;
+    stats_.cells.fetch_add(shard_cells, std::memory_order_relaxed);
+    metrics_.cells.Add(shard_cells);
+    if (timed) {
+      // voter_calls counts cells scored per voter on both paths, so the
+      // per-call averages in StatsReport stay comparable across kernels.
+      uint64_t shard_calls = shard_cells;
+      for (size_t v = 0; v < num_voters; ++v) {
+        stats_.voter_calls[v].fetch_add(shard_calls, std::memory_order_relaxed);
+        stats_.voter_ns[v].fetch_add(shard_voter_ns[v],
+                                     std::memory_order_relaxed);
+      }
+    }
+  };
+  common::ParallelFor(0, matrix.rows(), options_->grain, score_rows,
+                      options_->num_threads, context_);
+  if (blocking) {
+    uint64_t total = static_cast<uint64_t>(matrix.rows()) * cols;
+    if (total > 0) {
+      metrics_.blocking_candidate_ratio_pct.Record(
+          scored_cells.load(std::memory_order_relaxed) * 100 / total);
+    }
+  }
+  stats_.matrices.fetch_add(1, std::memory_order_relaxed);
+  uint64_t elapsed = obs::MonotonicNanos() - t0;
+  stats_.score_ns.fetch_add(elapsed, std::memory_order_relaxed);
+  metrics_.matrices.Add();
+  metrics_.matrix_ns.Record(elapsed);
+  return matrix;
+}
+
+MatchMatrix MatchPipeline::RunStaged(
+    const std::vector<schema::ElementId>& source_ids,
+    const std::vector<schema::ElementId>& target_ids) const {
+  HARMONY_TRACE_SPAN(context_.tracer, "engine/compute_matrix");
+  uint64_t t0 = obs::MonotonicNanos();
+  MatchMatrix matrix(source_ids, target_ids);
+  const size_t rows = matrix.rows();
+  const size_t cols = matrix.cols();
+  const bool timed = options_->collect_stats;
+  const size_t num_voters = voters_.size();
+  const BlockingIndex* retr = retrieval();
+  const size_t budget = options_->pipeline.retrieve_budget;
+
+  // ---- Stage 1: retrieve. Per-row candidate column lists from the bound
+  // index, budgeted to the top-K bounds. Candidates depend only on the row
+  // (and the budget cut is a total order), so sharding cannot change them.
+  std::vector<std::vector<uint32_t>> row_cands(rows);
+  std::atomic<uint64_t> retrieved{0};
+  {
+    HARMONY_TRACE_SPAN(context_.tracer, "pipeline/retrieve");
+    uint64_t s0 = obs::MonotonicNanos();
+    if (retr != nullptr) {
+      BlockingIndex::TargetSet tset = retr->MakeTargetSet(matrix.target_ids());
+      auto retrieve_rows = [&](size_t row_begin, size_t row_end) {
+        BlockingIndex::RowScratch scratch = retr->MakeRowScratch();
+        std::vector<BlockingIndex::BoundedCandidate> cands;
+        uint64_t shard_retrieved = 0;
+        for (size_t r = row_begin; r < row_end; ++r) {
+          retr->CandidateColumnsBounded(matrix.SourceIdAt(r), tset, scratch,
+                                        cands);
+          if (budget > 0 && cands.size() > budget) {
+            // Keep the K best bounds; ties broken by ascending column so
+            // the cut is a deterministic total order.
+            std::sort(cands.begin(), cands.end(),
+                      [](const BlockingIndex::BoundedCandidate& a,
+                         const BlockingIndex::BoundedCandidate& b) {
+                        if (a.bound != b.bound) return a.bound > b.bound;
+                        return a.col < b.col;
+                      });
+            cands.resize(budget);
+          }
+          std::vector<uint32_t>& out = row_cands[r];
+          out.reserve(cands.size());
+          for (const auto& c : cands) out.push_back(c.col);
+          // Ascending columns for a deterministic scatter order in the
+          // ranking stage (the budget sort scrambled them).
+          std::sort(out.begin(), out.end());
+          shard_retrieved += out.size();
+        }
+        retrieved.fetch_add(shard_retrieved, std::memory_order_relaxed);
+      };
+      common::ParallelFor(0, rows, options_->grain, retrieve_rows,
+                          options_->num_threads, context_);
+    } else {
+      // No active bound index (non-positive threshold): dense retrieval —
+      // every column is a candidate and the budget has no bound to cut by.
+      for (size_t r = 0; r < rows; ++r) {
+        row_cands[r].resize(cols);
+        std::iota(row_cands[r].begin(), row_cands[r].end(), 0u);
+      }
+      retrieved.store(static_cast<uint64_t>(rows) * cols,
+                      std::memory_order_relaxed);
+    }
+    metrics_.retrieve_ns.Record(obs::MonotonicNanos() - s0);
+  }
+  const uint64_t total_cells = static_cast<uint64_t>(rows) * cols;
+  const uint64_t kept = retrieved.load(std::memory_order_relaxed);
+  stats_.candidates_retrieved.fetch_add(kept, std::memory_order_relaxed);
+  stats_.cells_pruned.fetch_add(total_cells - kept, std::memory_order_relaxed);
+  if (retr != nullptr) {
+    metrics_.blocking_candidates.Add(kept);
+    metrics_.blocking_pruned.Add(total_cells - kept);
+    if (total_cells > 0) {
+      metrics_.blocking_candidate_ratio_pct.Record(kept * 100 / total_cells);
+    }
+  }
+
+  // ---- Stage 3: rank. The full voter ensemble on the survivors through
+  // the batched VoteRow kernel — the same gathered-subset arithmetic as the
+  // blocked single-stage path, so kept cells score bitwise what the dense
+  // kernel would compute for them.
+  {
+    HARMONY_TRACE_SPAN(context_.tracer, "pipeline/rank");
+    uint64_t s0 = obs::MonotonicNanos();
+    auto rank_rows = [&](size_t row_begin, size_t row_end) {
+      std::vector<VoterScore> scores(num_voters);
+      std::vector<uint64_t> shard_voter_ns(timed ? num_voters : 0, 0);
+      std::vector<schema::ElementId> cand_ids;
+      VoterScratch scratch;
+      std::vector<VoterScore> row_scores(num_voters * cols);
+      uint64_t shard_scored = 0;
+      for (size_t r = row_begin; r < row_end; ++r) {
+        const std::vector<uint32_t>& cand_cols = row_cands[r];
+        if (cand_cols.empty()) continue;
+        schema::ElementId s = matrix.SourceIdAt(r);
+        cand_ids.clear();
+        for (uint32_t c : cand_cols) cand_ids.push_back(matrix.TargetIdAt(c));
+        const size_t ncand = cand_ids.size();
+        shard_scored += ncand;
+        std::span<const schema::ElementId> targets(cand_ids);
+        for (size_t v = 0; v < num_voters; ++v) {
+          std::span<VoterScore> out(row_scores.data() + v * cols, ncand);
+          if (timed) {
+            uint64_t start = obs::MonotonicNanos();
+            voters_[v]->VoteRow(*profiles_, s, targets, out, scratch);
+            shard_voter_ns[v] += obs::MonotonicNanos() - start;
+          } else {
+            voters_[v]->VoteRow(*profiles_, s, targets, out, scratch);
+          }
+        }
+        for (size_t k = 0; k < ncand; ++k) {
+          for (size_t v = 0; v < num_voters; ++v) {
+            scores[v] = row_scores[v * cols + k];
+          }
+          matrix.SetByIndex(r, cand_cols[k], merger_.Merge(voters_, scores));
+        }
+      }
+      stats_.cells.fetch_add(shard_scored, std::memory_order_relaxed);
+      metrics_.cells.Add(shard_scored);
+      if (timed) {
+        for (size_t v = 0; v < num_voters; ++v) {
+          stats_.voter_calls[v].fetch_add(shard_scored,
+                                          std::memory_order_relaxed);
+          stats_.voter_ns[v].fetch_add(shard_voter_ns[v],
+                                       std::memory_order_relaxed);
+        }
+      }
+    };
+    common::ParallelFor(0, rows, options_->grain, rank_rows,
+                        options_->num_threads, context_);
+    metrics_.rank_ns.Record(obs::MonotonicNanos() - s0);
+  }
+
+  // ---- Stage 4: rerank. Row-scoped: each call sees exactly one row's
+  // candidates, so a deterministic Reranker makes the stage invariant under
+  // sharding.
+  {
+    HARMONY_TRACE_SPAN(context_.tracer, "pipeline/rerank");
+    uint64_t s0 = obs::MonotonicNanos();
+    RerankEvidence evidence;
+    evidence.profiles = profiles_;
+    evidence.source_enrichment = source_enrichment_.get();
+    evidence.target_enrichment = target_enrichment_.get();
+    auto rerank_rows = [&](size_t row_begin, size_t row_end) {
+      std::vector<RerankCandidate> cands;
+      std::vector<double> rescored;
+      uint64_t shard_reranked = 0;
+      for (size_t r = row_begin; r < row_end; ++r) {
+        const std::vector<uint32_t>& cand_cols = row_cands[r];
+        if (cand_cols.empty()) continue;
+        cands.clear();
+        for (uint32_t c : cand_cols) {
+          RerankCandidate cand;
+          cand.source = matrix.SourceIdAt(r);
+          cand.target = matrix.TargetIdAt(c);
+          cand.ensemble_score = matrix.GetByIndex(r, c);
+          cands.push_back(cand);
+        }
+        rescored.resize(cands.size());
+        reranker_->Rerank(cands, evidence, rescored);
+        for (size_t k = 0; k < cand_cols.size(); ++k) {
+          matrix.SetByIndex(r, cand_cols[k], rescored[k]);
+        }
+        shard_reranked += cands.size();
+      }
+      stats_.candidates_reranked.fetch_add(shard_reranked,
+                                           std::memory_order_relaxed);
+    };
+    common::ParallelFor(0, rows, options_->grain, rerank_rows,
+                        options_->num_threads, context_);
+    metrics_.rerank_ns.Record(obs::MonotonicNanos() - s0);
+  }
+
+  stats_.matrices.fetch_add(1, std::memory_order_relaxed);
+  uint64_t elapsed = obs::MonotonicNanos() - t0;
+  stats_.score_ns.fetch_add(elapsed, std::memory_order_relaxed);
+  metrics_.matrices.Add();
+  metrics_.matrix_ns.Record(elapsed);
+  return matrix;
+}
+
+void MatchPipeline::FillStats(EngineStats& out) const {
+  out.matrices_computed = stats_.matrices.load(std::memory_order_relaxed);
+  out.cells_scored = stats_.cells.load(std::memory_order_relaxed);
+  out.cells_pruned = stats_.cells_pruned.load(std::memory_order_relaxed);
+  out.score_ns = stats_.score_ns.load(std::memory_order_relaxed);
+  out.dense_fallbacks =
+      stats_.dense_fallbacks.load(std::memory_order_relaxed);
+  out.pipeline_candidates_retrieved =
+      stats_.candidates_retrieved.load(std::memory_order_relaxed);
+  out.pipeline_elements_enriched =
+      stats_.elements_enriched.load(std::memory_order_relaxed);
+  out.pipeline_candidates_reranked =
+      stats_.candidates_reranked.load(std::memory_order_relaxed);
+  out.voter_timing = options_->collect_stats;
+  out.voters.resize(voters_.size());
+  for (size_t v = 0; v < voters_.size(); ++v) {
+    out.voters[v].name = voters_[v]->name();
+    out.voters[v].calls = stats_.voter_calls[v].load(std::memory_order_relaxed);
+    out.voters[v].total_ns = stats_.voter_ns[v].load(std::memory_order_relaxed);
+  }
+}
+
+}  // namespace harmony::core

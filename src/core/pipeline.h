@@ -1,0 +1,198 @@
+// The multi-stage match pipeline (ROADMAP "retrieve-then-rank matching"):
+//
+//   stage 1  retrieve  — per-row candidate columns from the admissible
+//                        blocking bound (core/blocking.h), optionally
+//                        budgeted to the top-K bounds per row;
+//   stage 2  enrich    — a deterministic metadata overlay derived once per
+//                        engine (core/enricher.h), never touching the
+//                        ProfileView arenas;
+//   stage 3  rank      — the full voter ensemble on the survivors through
+//                        the batched MatchVoter::VoteRow kernel;
+//   stage 4  rerank    — a pluggable Reranker (core/reranker.h) re-scores
+//                        each row's candidates against the enrichment.
+//
+// MatchEngine::ComputeMatrix* are thin clients of this class. Single-stage
+// mode (the default) runs the fused dense/blocked kernel unchanged —
+// bitwise-identical to the pre-pipeline engine at any thread count and
+// grain (tests/core/pipeline_test.cc). Staged mode is deterministic in its
+// own right: retrieval depends only on the row, enrichment is computed once
+// at construction, ranking scores gathered candidate spans with the same
+// VoteRow arithmetic as the dense kernel, and reranking is row-scoped — so
+// every stage is invariant under sharding.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/blocking.h"
+#include "core/engine_context.h"
+#include "core/engine_stats.h"
+#include "core/enricher.h"
+#include "core/match_matrix.h"
+#include "core/merger.h"
+#include "core/reranker.h"
+#include "core/voters.h"
+#include "obs/metrics.h"
+#include "schema/schema.h"
+
+namespace harmony::core {
+
+struct MatchOptions;  // core/match_engine.h (carries PipelineOptions)
+
+/// \brief Which pipeline the engine's matrix calls run.
+enum class PipelineMode : uint8_t {
+  /// The fused dense/blocked kernel — today's behaviour, bitwise-identical
+  /// to the pre-pipeline engine. The default.
+  kSingleStage = 0,
+  /// The four materialized stages above. Scores differ from single-stage
+  /// wherever the reranker has an opinion; determinism across thread
+  /// counts/grains is preserved.
+  kStaged,
+};
+
+/// \brief Pipeline configuration, carried in MatchOptions::pipeline.
+struct PipelineOptions {
+  PipelineMode mode = PipelineMode::kSingleStage;
+  /// Staged stage-1 budget: keep at most this many candidates per source
+  /// row — the K with the highest admissible bounds (ties broken by
+  /// ascending column, so the cut is deterministic). 0 = unbudgeted.
+  size_t retrieve_budget = 0;
+  /// Blend weight of the default HeuristicReranker (ignored when a custom
+  /// reranker is supplied). 0 = ensemble scores pass through unchanged.
+  double rerank_blend = 0.25;
+  /// Custom stage-2 / stage-4 implementations; null selects the
+  /// deterministic references (ReferenceEnricher, HeuristicReranker).
+  /// Shared pointers so options structs stay copyable across the service's
+  /// cached engines.
+  std::shared_ptr<const Enricher> enricher;
+  std::shared_ptr<const Reranker> reranker;
+};
+
+/// \brief The staged match kernel behind MatchEngine. Owns the voters, the
+/// merger, the blocking/retrieval indexes, the enrichment overlays, and the
+/// reranker; immutable after construction, so concurrent Run calls are safe
+/// (stats accounting is atomic).
+class MatchPipeline {
+ public:
+  /// `profiles` and `options` must outlive the pipeline (MatchEngine owns
+  /// both; options are read per Run).
+  MatchPipeline(const ProfilePair& profiles, const MatchOptions& options,
+                const EngineContext& context);
+
+  /// Computes the matrix for the given row/column id sets. `allow_accel`
+  /// false forces the dense single-stage kernel — used for refined matrices
+  /// (propagation needs sub-threshold structure) and ComputeMatrixFor below
+  /// the prune threshold.
+  MatchMatrix Run(const std::vector<schema::ElementId>& source_ids,
+                  const std::vector<schema::ElementId>& target_ids,
+                  bool allow_accel) const;
+
+  /// True when a matrix produced by Run(…, true) is valid for
+  /// threshold-gated selection at `selection_threshold` — i.e. no
+  /// configured pruning stage could have dropped a cell the caller would
+  /// select. Always true when neither blocking nor staged retrieval is
+  /// active.
+  bool ValidFor(double selection_threshold) const;
+
+  /// Accounts one dense-kernel fallback (ComputeMatrixFor declining the
+  /// accelerated path): bumps the match.blocking.dense_fallback counter and
+  /// the EngineStats rollup.
+  void CountDenseFallback() const;
+
+  bool staged() const;
+
+  const std::vector<std::unique_ptr<MatchVoter>>& voters() const {
+    return voters_;
+  }
+  const VoteMerger& merger() const { return merger_; }
+  /// The index from MatchOptions::blocking; null when off/inactive.
+  const BlockingIndex* blocking() const { return blocking_.get(); }
+  /// The stage-1 index staged mode retrieves through: the blocking index if
+  /// one is configured, else a pipeline-built kExact index. Null when
+  /// inactive (non-positive threshold) — retrieval is then dense.
+  const BlockingIndex* retrieval() const {
+    return blocking_ ? blocking_.get() : staged_retrieval_.get();
+  }
+  /// Non-null only in staged mode.
+  const Enricher* enricher() const { return enricher_.get(); }
+  const Reranker* reranker() const { return reranker_.get(); }
+  const EnrichedProfileView* source_enrichment() const {
+    return source_enrichment_.get();
+  }
+  const EnrichedProfileView* target_enrichment() const {
+    return target_enrichment_.get();
+  }
+
+  /// Loads the atomic accumulators into an EngineStats (everything except
+  /// preprocess_seconds, which the engine owns).
+  void FillStats(EngineStats& out) const;
+
+ private:
+  // Atomic so concurrent Run calls (the pipeline is otherwise immutable)
+  // can account shard results without synchronization.
+  struct StatsAccumulator {
+    std::atomic<uint64_t> matrices{0};
+    std::atomic<uint64_t> cells{0};
+    std::atomic<uint64_t> cells_pruned{0};
+    std::atomic<uint64_t> score_ns{0};
+    std::atomic<uint64_t> dense_fallbacks{0};
+    std::atomic<uint64_t> candidates_retrieved{0};
+    std::atomic<uint64_t> elements_enriched{0};
+    std::atomic<uint64_t> candidates_reranked{0};
+    std::vector<std::atomic<uint64_t>> voter_calls;  // sized to voters_
+    std::vector<std::atomic<uint64_t>> voter_ns;
+  };
+
+  // Pipeline-lifecycle metrics, bound once to context_'s registry (ids
+  // resolve at construction; increments are lock-free from any shard).
+  struct PipelineMetrics {
+    explicit PipelineMetrics(obs::MetricsRegistry& registry);
+    obs::Counter matrices;
+    obs::Counter cells;
+    obs::Counter engines;
+    obs::Counter blocking_candidates;
+    obs::Counter blocking_pruned;
+    obs::Counter dense_fallback;
+    obs::Histogram preprocess_ns;
+    obs::Histogram matrix_ns;
+    obs::Histogram blocking_candidate_ratio_pct;
+    obs::Histogram retrieve_ns;
+    obs::Histogram enrich_ns;
+    obs::Histogram rank_ns;
+    obs::Histogram rerank_ns;
+  };
+
+  /// The fused dense/blocked kernel (the pre-pipeline ComputeMatrixImpl,
+  /// verbatim). `allow_blocking` false forces the dense path.
+  MatchMatrix RunSingleStage(const std::vector<schema::ElementId>& source_ids,
+                             const std::vector<schema::ElementId>& target_ids,
+                             bool allow_blocking) const;
+
+  /// The materialized retrieve → rank → rerank stages (enrichment happened
+  /// at construction).
+  MatchMatrix RunStaged(const std::vector<schema::ElementId>& source_ids,
+                        const std::vector<schema::ElementId>& target_ids) const;
+
+  const ProfilePair* profiles_;
+  const MatchOptions* options_;
+  EngineContext context_;  // by value: three pointers, copied at ctor
+  PipelineMetrics metrics_;
+  std::vector<std::unique_ptr<MatchVoter>> voters_;
+  VoteMerger merger_;
+  /// Non-null iff options_->blocking.mode != kOff and the prune threshold
+  /// is positive (BlockingIndex::active()).
+  std::unique_ptr<BlockingIndex> blocking_;
+  /// Staged-mode retrieval index, built only when no blocking index is
+  /// configured (see retrieval()).
+  std::unique_ptr<BlockingIndex> staged_retrieval_;
+  std::shared_ptr<const Enricher> enricher_;
+  std::shared_ptr<const Reranker> reranker_;
+  std::unique_ptr<EnrichedProfileView> source_enrichment_;
+  std::unique_ptr<EnrichedProfileView> target_enrichment_;
+  mutable StatsAccumulator stats_;
+};
+
+}  // namespace harmony::core

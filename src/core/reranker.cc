@@ -1,0 +1,93 @@
+#include "core/reranker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace harmony::core {
+
+void IdentityReranker::Rerank(std::span<const RerankCandidate> candidates,
+                              const RerankEvidence& evidence,
+                              std::span<double> out) const {
+  (void)evidence;
+  HARMONY_CHECK_EQ(candidates.size(), out.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    out[i] = candidates[i].ensemble_score;
+  }
+}
+
+namespace {
+
+// Jaccard of two sorted unique token spans. Returns −1 when both sides are
+// empty (no signal — the caller treats that as abstention, unlike
+// SortedJaccard's both-empty → 1 convention, which would reward two
+// undocumented elements for sharing nothing).
+double SpanJaccard(std::span<const std::string> a,
+                   std::span<const std::string> b) {
+  if (a.empty() && b.empty()) return -1.0;
+  size_t i = 0, j = 0, both = 0;
+  while (i < a.size() && j < b.size()) {
+    int cmp = a[i].compare(b[j]);
+    if (cmp == 0) {
+      ++both;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t either = a.size() + b.size() - both;
+  return static_cast<double>(both) / static_cast<double>(either);
+}
+
+}  // namespace
+
+void HeuristicReranker::Rerank(std::span<const RerankCandidate> candidates,
+                               const RerankEvidence& evidence,
+                               std::span<double> out) const {
+  HARMONY_CHECK_EQ(candidates.size(), out.size());
+  HARMONY_CHECK(evidence.profiles != nullptr);
+  const EnrichedProfileView* se = evidence.source_enrichment;
+  const EnrichedProfileView* te = evidence.target_enrichment;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const RerankCandidate& c = candidates[i];
+    double score = c.ensemble_score;
+    if (blend_ > 0.0 && se != nullptr && te != nullptr) {
+      // Overlay agreement: expanded-token and doc-summary Jaccard, blended
+      // on the raw [0, 1] scale. Mapping Jaccard onto the ensemble's
+      // (−1, +1) scale instead would turn any overlap below 50% into a
+      // demotion — and real matches routinely share only a token or two —
+      // measurably sinking recall; on [0, 1] disjoint overlays demote and
+      // any agreement corroborates. A side with no signal (both spans
+      // empty) abstains rather than voting.
+      double signal = 0.0;
+      double weight = 0.0;
+      double tok = SpanJaccard(se->expanded_tokens(c.source),
+                               te->expanded_tokens(c.target));
+      if (tok >= 0.0) {
+        signal += tok;
+        weight += 1.0;
+      }
+      // The doc summaries are ordered by weight; Jaccard needs sorted sets,
+      // and the summaries are short (≤ summary_terms), so sort copies.
+      std::span<const std::string> sdoc = se->doc_summary(c.source);
+      std::span<const std::string> tdoc = te->doc_summary(c.target);
+      if (!sdoc.empty() || !tdoc.empty()) {
+        std::vector<std::string> a(sdoc.begin(), sdoc.end());
+        std::vector<std::string> b(tdoc.begin(), tdoc.end());
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        signal += SpanJaccard(a, b);
+        weight += 1.0;
+      }
+      if (weight > 0.0) {
+        score = (1.0 - blend_) * score + blend_ * (signal / weight);
+      }
+    }
+    out[i] = std::clamp(score, -1.0, 1.0);
+  }
+}
+
+}  // namespace harmony::core

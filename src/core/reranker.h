@@ -1,0 +1,90 @@
+// Pipeline stage 4: pluggable re-ranking of the surviving candidates. The
+// staged matchers this pipeline mirrors (Schemora, Matchmaker, LLMATCH) end
+// with an expensive model re-scoring a short candidate list; here the
+// interface is native so such a model — an external LLM included — can slot
+// in later without touching the kernel. The reference implementations are
+// deterministic, which is what keeps the whole staged pipeline
+// bitwise-reproducible end to end: Rerank is called once per matrix row
+// with that row's candidates, so as long as an implementation is a pure
+// function of (candidates, evidence) the result is independent of thread
+// count and grain.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/enricher.h"
+#include "core/preprocess.h"
+#include "schema/schema.h"
+
+namespace harmony::core {
+
+/// \brief One stage-3 survivor: an element pair plus the merged voter
+/// ensemble score the ranking stage computed for it.
+struct RerankCandidate {
+  schema::ElementId source = schema::kInvalidElementId;
+  schema::ElementId target = schema::kInvalidElementId;
+  double ensemble_score = 0.0;
+};
+
+/// \brief Read-only evidence handed to every Rerank call: the preprocessed
+/// profiles and (when the pipeline enriched) the stage-2 overlays. Overlay
+/// pointers are null when enrichment is off.
+struct RerankEvidence {
+  const ProfilePair* profiles = nullptr;
+  const EnrichedProfileView* source_enrichment = nullptr;
+  const EnrichedProfileView* target_enrichment = nullptr;
+};
+
+/// \brief Stage-4 strategy interface: Rerank(candidates, evidence) ->
+/// scores. Implementations MUST be deterministic pure functions of their
+/// arguments (candidates arrive row-scoped, so this makes staged matrices
+/// identical across thread counts and grains) and thread-compatible: Rerank
+/// is called concurrently from row shards.
+class Reranker {
+ public:
+  virtual ~Reranker() = default;
+
+  /// Stable identifier for stats and traces.
+  virtual const char* name() const = 0;
+
+  /// Scores every candidate into `out` (`out.size() == candidates.size()`).
+  /// Scores live in (−1, +1) like the ensemble's.
+  virtual void Rerank(std::span<const RerankCandidate> candidates,
+                      const RerankEvidence& evidence,
+                      std::span<double> out) const = 0;
+};
+
+/// \brief Pass-through: out[i] = ensemble_score. Composes the staged
+/// pipeline into "retrieval + ensemble" with no stage-4 opinion — and is
+/// the implicit reranker of single-stage mode.
+class IdentityReranker : public Reranker {
+ public:
+  const char* name() const override { return "identity"; }
+  void Rerank(std::span<const RerankCandidate> candidates,
+              const RerankEvidence& evidence,
+              std::span<double> out) const override;
+};
+
+/// \brief The deterministic reference heuristic: blends the ensemble score
+/// with enrichment-overlay agreement — Jaccard overlap of the expanded
+/// token sets and of the doc-term summaries, on the raw [0, 1] scale (so
+/// any overlap corroborates and only disjoint overlays demote). blend = 0
+/// degrades to IdentityReranker; the default 0.25 lets enrichment adjust
+/// borderline candidates without overruling the ensemble.
+class HeuristicReranker : public Reranker {
+ public:
+  explicit HeuristicReranker(double blend = 0.25) : blend_(blend) {}
+  const char* name() const override { return "heuristic"; }
+  void Rerank(std::span<const RerankCandidate> candidates,
+              const RerankEvidence& evidence,
+              std::span<double> out) const override;
+
+ private:
+  double blend_;
+};
+
+}  // namespace harmony::core

@@ -32,6 +32,10 @@ size_t TfIdfCorpus::AddDocument(const std::vector<std::string>& tokens) {
 void TfIdfCorpus::Finalize() {
   HARMONY_CHECK(!finalized_) << "Finalize called twice";
   finalized_ = true;
+  // Reverse vocabulary map. Pointers into vocab_'s keys stay valid: the
+  // map is never mutated after Finalize (AddDocument CHECKs against it).
+  terms_.resize(vocab_.size());
+  for (const auto& [token, id] : vocab_) terms_[id] = &token;
   double n_docs = static_cast<double>(documents_.size());
   idf_.resize(doc_freq_.size());
   for (size_t t = 0; t < doc_freq_.size(); ++t) {
@@ -84,6 +88,12 @@ SparseVector TfIdfCorpus::Vectorize(const std::vector<std::string>& tokens) cons
 
 double TfIdfCorpus::Similarity(size_t doc_a, size_t doc_b) const {
   return Cosine(DocumentVector(doc_a), DocumentVector(doc_b));
+}
+
+const std::string& TfIdfCorpus::Token(uint32_t term_id) const {
+  HARMONY_CHECK(finalized_);
+  HARMONY_CHECK_LT(static_cast<size_t>(term_id), terms_.size());
+  return *terms_[term_id];
 }
 
 double TfIdfCorpus::Idf(const std::string& token) const {

@@ -51,6 +51,12 @@ class TfIdfCorpus {
   /// IDF of a token; 0 for out-of-vocabulary tokens.
   double Idf(const std::string& token) const;
 
+  /// The token string for a term id — the inverse of the internal
+  /// vocabulary map, for consumers that hold SparseVector term ids and need
+  /// the words back (the match pipeline's doc-term summarization). Requires
+  /// finalized() and a valid id.
+  const std::string& Token(uint32_t term_id) const;
+
   /// Cosine of two sparse vectors (helper, assumes both L2-normalized is NOT
   /// required — computes the full cosine).
   static double Cosine(const SparseVector& a, const SparseVector& b);
@@ -60,6 +66,7 @@ class TfIdfCorpus {
 
   bool finalized_ = false;
   std::unordered_map<std::string, uint32_t> vocab_;
+  std::vector<const std::string*> terms_;            // term id → vocab_ key, post-Finalize
   std::vector<uint32_t> doc_freq_;                   // term id → #docs containing it
   std::vector<double> idf_;                          // term id → idf weight
   std::vector<std::unordered_map<uint32_t, uint32_t>> documents_;  // raw term counts

@@ -1,0 +1,415 @@
+// The multi-stage match pipeline (core/pipeline.h): the property suite
+// pinning the refactor contract — single-stage mode is bitwise-identical to
+// the classic dense kernel across seeds, thread counts, and grains — plus
+// the staged-mode guarantees: determinism under sharding, exact ensemble
+// scores on every retrieved cell when the reranker abstains, the budgeted
+// retrieval recall floor, the dense fallback accounting of
+// ComputeMatrixFor, and the per-stage stats counters. EnricherTest and
+// RerankerTest cover the stage-2/stage-4 reference implementations
+// directly.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/enricher.h"
+#include "core/match_engine.h"
+#include "core/pipeline.h"
+#include "core/reranker.h"
+#include "core/selection.h"
+#include "synth/generator.h"
+
+namespace harmony {
+namespace {
+
+synth::GeneratedPair MakePair(uint64_t seed) {
+  synth::PairSpec spec;
+  spec.seed = seed;
+  spec.source_concepts = 10;
+  spec.target_concepts = 8;
+  spec.shared_concepts = 4;
+  return synth::GeneratePair(spec);
+}
+
+core::MatchOptions DenseOptions() {
+  core::MatchOptions options;
+  options.num_threads = 1;
+  return options;
+}
+
+core::MatchOptions PipelineOptions(core::PipelineMode mode, size_t threads,
+                                   size_t grain) {
+  core::MatchOptions options;
+  options.pipeline.mode = mode;
+  options.num_threads = threads;
+  options.grain = grain;
+  return options;
+}
+
+void ExpectSameMatrix(const core::MatchMatrix& want,
+                      const core::MatchMatrix& got) {
+  ASSERT_EQ(want.rows(), got.rows());
+  ASSERT_EQ(want.cols(), got.cols());
+  for (size_t r = 0; r < want.rows(); ++r) {
+    for (size_t c = 0; c < want.cols(); ++c) {
+      ASSERT_EQ(want.GetByIndex(r, c), got.GetByIndex(r, c))
+          << "cell (" << r << ", " << c << ")";
+    }
+  }
+}
+
+// The 20-seed refactor property: explicitly selecting single-stage mode at
+// any thread count and grain produces a matrix bitwise-identical to the
+// baseline engine — cell for cell, not just selection for selection. This
+// is the guarantee that lets MatchEngine delegate everything to the
+// pipeline without a behaviour change.
+TEST(PipelineTest, SingleStageBitwiseIdenticalToDenseAcrossSeeds) {
+  const size_t kThreadCounts[] = {1, 2, 4};
+  const size_t kGrains[] = {0, 1, 3};
+  for (uint64_t seed = 9000; seed < 9020; ++seed) {
+    auto pair = MakePair(seed);
+    core::MatchEngine dense(pair.source, pair.target, DenseOptions());
+    core::MatchMatrix dense_matrix = dense.ComputeMatrix();
+
+    for (size_t threads : kThreadCounts) {
+      for (size_t grain : kGrains) {
+        core::MatchEngine engine(
+            pair.source, pair.target,
+            PipelineOptions(core::PipelineMode::kSingleStage, threads, grain));
+        SCOPED_TRACE(::testing::Message() << "seed " << seed << " threads "
+                                          << threads << " grain " << grain);
+        ExpectSameMatrix(dense_matrix, engine.ComputeMatrix());
+      }
+    }
+  }
+}
+
+// Staged mode re-scores candidates, so it does not match the dense kernel —
+// but it must match ITSELF exactly under any sharding: retrieval, ranking,
+// and reranking are all row-scoped, and enrichment happens once at
+// construction.
+TEST(PipelineTest, StagedModeDeterministicAcrossThreadsAndGrains) {
+  const size_t kThreadCounts[] = {1, 2, 4};
+  const size_t kGrains[] = {0, 1, 3};
+  for (uint64_t seed : {9000u, 9007u, 9013u, 9019u}) {
+    auto pair = MakePair(seed);
+    core::MatchEngine reference(
+        pair.source, pair.target,
+        PipelineOptions(core::PipelineMode::kStaged, 1, 0));
+    core::MatchMatrix want = reference.ComputeMatrix();
+
+    for (size_t threads : kThreadCounts) {
+      for (size_t grain : kGrains) {
+        core::MatchEngine engine(
+            pair.source, pair.target,
+            PipelineOptions(core::PipelineMode::kStaged, threads, grain));
+        SCOPED_TRACE(::testing::Message() << "seed " << seed << " threads "
+                                          << threads << " grain " << grain);
+        ExpectSameMatrix(want, engine.ComputeMatrix());
+      }
+    }
+  }
+}
+
+// With the reranker silenced (identity) and no budget, staged mode is
+// "retrieval + the exact ensemble": every retrieved cell carries the
+// bitwise dense score and threshold-gated selection agrees with the dense
+// kernel — the staged analogue of the blocking admissibility contract.
+TEST(PipelineTest, StagedIdentityRerankerSelectsSameAsDense) {
+  for (uint64_t seed : {9100u, 9101u, 9102u}) {
+    auto pair = MakePair(seed);
+    core::MatchOptions dense_options = DenseOptions();
+    core::MatchEngine dense(pair.source, pair.target, dense_options);
+    core::MatchMatrix dense_matrix = dense.ComputeMatrix();
+
+    core::MatchOptions options =
+        PipelineOptions(core::PipelineMode::kStaged, 2, 1);
+    options.pipeline.reranker = std::make_shared<core::IdentityReranker>();
+    core::MatchEngine staged(pair.source, pair.target, options);
+    core::MatchMatrix matrix = staged.ComputeMatrix();
+
+    ASSERT_EQ(dense_matrix.rows(), matrix.rows());
+    ASSERT_EQ(dense_matrix.cols(), matrix.cols());
+    for (size_t r = 0; r < matrix.rows(); ++r) {
+      for (size_t c = 0; c < matrix.cols(); ++c) {
+        double s = matrix.GetByIndex(r, c);
+        double d = dense_matrix.GetByIndex(r, c);
+        if (s == d) continue;
+        // Any disagreement must be an un-retrieved sentinel over a
+        // sub-threshold dense score.
+        EXPECT_EQ(s, 0.0) << "cell (" << r << ", " << c << ")";
+        EXPECT_LT(d, options.threshold) << "cell (" << r << ", " << c << ")";
+      }
+    }
+    auto dense_selected =
+        core::SelectByThreshold(dense_matrix, dense_options.threshold);
+    auto staged_selected = core::SelectByThreshold(matrix, options.threshold);
+    ASSERT_EQ(dense_selected.size(), staged_selected.size()) << "seed " << seed;
+    for (size_t i = 0; i < dense_selected.size(); ++i) {
+      EXPECT_EQ(dense_selected[i].source, staged_selected[i].source);
+      EXPECT_EQ(dense_selected[i].target, staged_selected[i].target);
+      EXPECT_EQ(dense_selected[i].score, staged_selected[i].score);
+    }
+  }
+}
+
+// Budgeted retrieval keeps only the top-K bounds per row; the contract is a
+// recall floor over the dense selection (mirroring the approximate-blocking
+// floor in blocking_test.cc), not equality.
+TEST(PipelineTest, BudgetedRetrievalRecallFloor) {
+  size_t dense_total = 0;
+  size_t recalled = 0;
+  for (uint64_t seed = 9600; seed < 9610; ++seed) {
+    auto pair = MakePair(seed);
+    core::MatchOptions dense_options = DenseOptions();
+    core::MatchEngine dense(pair.source, pair.target, dense_options);
+    auto dense_selected = core::SelectByThreshold(dense.ComputeMatrix(),
+                                                  dense_options.threshold);
+
+    core::MatchOptions options =
+        PipelineOptions(core::PipelineMode::kStaged, 1, 0);
+    options.pipeline.retrieve_budget = 5;
+    options.pipeline.reranker = std::make_shared<core::IdentityReranker>();
+    core::MatchEngine staged(pair.source, pair.target, options);
+    auto staged_selected =
+        core::SelectByThreshold(staged.ComputeMatrix(), options.threshold);
+
+    dense_total += dense_selected.size();
+    for (const auto& want : dense_selected) {
+      for (const auto& got : staged_selected) {
+        if (got.source == want.source && got.target == want.target) {
+          // A recalled pair is also exact: retrieval only selects which
+          // cells the unchanged ensemble kernel scores.
+          EXPECT_EQ(got.score, want.score);
+          ++recalled;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(dense_total, 0u);
+  EXPECT_GE(static_cast<double>(recalled),
+            0.85 * static_cast<double>(dense_total))
+      << "budgeted retrieval recall " << recalled << "/" << dense_total;
+}
+
+// ComputeMatrixFor below the retrieval prune threshold must fall back to
+// the dense kernel (un-retrieved 0.0 sentinels would be selectable) — and
+// the fallback is counted, not silent, in both staged and blocked engines.
+TEST(PipelineTest, ComputeMatrixForCountsDenseFallback) {
+  auto pair = MakePair(9400);
+  core::MatchEngine dense(pair.source, pair.target, DenseOptions());
+  core::MatchMatrix dense_matrix = dense.ComputeMatrix();
+
+  core::MatchOptions staged_options =
+      PipelineOptions(core::PipelineMode::kStaged, 1, 0);
+  core::MatchEngine staged(pair.source, pair.target, staged_options);
+  core::MatchMatrix low = staged.ComputeMatrixFor(0.05);
+  ExpectSameMatrix(dense_matrix, low);
+  EXPECT_EQ(staged.StatsReport().dense_fallbacks, 1u);
+
+  // At the engine threshold the staged path runs; no further fallback.
+  staged.ComputeMatrixFor(staged_options.threshold);
+  core::EngineStats stats = staged.StatsReport();
+  EXPECT_EQ(stats.dense_fallbacks, 1u);
+  EXPECT_GT(stats.pipeline_candidates_retrieved, 0u);
+
+  // Same contract on a single-stage blocked engine (satellite of the same
+  // fix: the silent dense fallback became a counter).
+  core::MatchOptions blocked_options = DenseOptions();
+  blocked_options.blocking.mode = core::BlockingMode::kExact;
+  core::MatchEngine blocked(pair.source, pair.target, blocked_options);
+  blocked.ComputeMatrixFor(0.05);
+  EXPECT_EQ(blocked.StatsReport().dense_fallbacks, 1u);
+  blocked.ComputeMatrixFor(blocked_options.threshold);
+  EXPECT_EQ(blocked.StatsReport().dense_fallbacks, 1u);
+}
+
+// The per-stage pipeline counters surface in EngineStats and both
+// renderers.
+TEST(PipelineTest, StagedStatsCountersPopulated) {
+  auto pair = MakePair(9450);
+  core::MatchOptions options =
+      PipelineOptions(core::PipelineMode::kStaged, 1, 0);
+  core::MatchEngine engine(pair.source, pair.target, options);
+  core::MatchMatrix matrix = engine.ComputeMatrix();
+
+  core::EngineStats stats = engine.StatsReport();
+  // Overlays span the full id space: every element plus each side's root
+  // (id 0, not counted by element_count()).
+  EXPECT_EQ(stats.pipeline_elements_enriched,
+            engine.source().element_count() + engine.target().element_count() +
+                2);
+  EXPECT_GT(stats.pipeline_candidates_retrieved, 0u);
+  // Every retrieved candidate is ranked and then reranked.
+  EXPECT_EQ(stats.pipeline_candidates_reranked,
+            stats.pipeline_candidates_retrieved);
+  EXPECT_EQ(stats.cells_scored, stats.pipeline_candidates_retrieved);
+  EXPECT_EQ(stats.cells_scored + stats.cells_pruned,
+            matrix.rows() * matrix.cols());
+
+  std::string text = core::RenderStatsText(stats);
+  EXPECT_NE(text.find("stage-1 retrieved"), std::string::npos);
+  EXPECT_NE(text.find("stage-2 enriched"), std::string::npos);
+  std::string json = core::RenderStatsJson(stats);
+  EXPECT_NE(json.find("\"pipeline_candidates_retrieved\":"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"dense_fallbacks\":"), std::string::npos);
+}
+
+// Refined matrices ignore the staged pipeline entirely: propagation needs
+// the dense sub-threshold structure.
+TEST(PipelineTest, RefinedMatrixUnaffectedByStagedMode) {
+  auto pair = MakePair(9500);
+  core::MatchOptions dense_options = DenseOptions();
+  dense_options.propagation.iterations = 2;
+  core::MatchOptions options =
+      PipelineOptions(core::PipelineMode::kStaged, 1, 0);
+  options.propagation.iterations = 2;
+  core::MatchEngine dense(pair.source, pair.target, dense_options);
+  core::MatchEngine staged(pair.source, pair.target, options);
+  core::MatchMatrix a = dense.ComputeRefinedMatrix();
+  core::MatchMatrix b = staged.ComputeRefinedMatrix();
+  ExpectSameMatrix(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Stage 2: the reference enricher.
+
+TEST(EnricherTest, OverlayIsDeterministicSortedAndComplete) {
+  auto pair = MakePair(9800);
+  core::MatchOptions options = DenseOptions();
+  core::MatchEngine engine(pair.source, pair.target, options);
+  core::ReferenceEnricher enricher(options.preprocess);
+
+  core::EnrichedProfileView a =
+      enricher.Enrich(engine.profiles(), core::PipelineSide::kSource);
+  core::EnrichedProfileView b =
+      enricher.Enrich(engine.profiles(), core::PipelineSide::kSource);
+  // The overlay spans the id space: element_count() plus the root (id 0).
+  ASSERT_EQ(a.size(), engine.source().element_count() + 1);
+  ASSERT_EQ(a.size(), b.size());
+
+  size_t expanded_total = 0;
+  for (auto id : engine.source().AllElementIds()) {
+    auto ea = a.expanded_tokens(id);
+    auto eb = b.expanded_tokens(id);
+    // Two runs over the same profiles produce identical overlays.
+    ASSERT_EQ(ea.size(), eb.size());
+    for (size_t i = 0; i < ea.size(); ++i) EXPECT_EQ(ea[i], eb[i]);
+    // Expanded token sets are sorted and duplicate-free (the reranker's
+    // Jaccard relies on it).
+    EXPECT_TRUE(std::is_sorted(ea.begin(), ea.end()));
+    EXPECT_EQ(std::adjacent_find(ea.begin(), ea.end()), ea.end());
+    // The expansion is a superset of the element's own sorted name tokens.
+    for (const auto& tok : engine.profiles().source_view().sorted_name_tokens(id)) {
+      EXPECT_TRUE(std::binary_search(ea.begin(), ea.end(), std::string(tok)))
+          << "missing own token " << tok;
+    }
+    expanded_total += ea.size();
+
+    auto sa = a.doc_summary(id);
+    auto sb = b.doc_summary(id);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
+    EXPECT_LE(sa.size(), 8u);  // default summary_terms cap
+  }
+  EXPECT_GT(expanded_total, 0u);
+}
+
+TEST(EnricherTest, SummaryCapIsHonored) {
+  auto pair = MakePair(9801);
+  core::MatchOptions options = DenseOptions();
+  core::MatchEngine engine(pair.source, pair.target, options);
+  core::ReferenceEnricher tight(options.preprocess, /*summary_terms=*/2);
+  core::EnrichedProfileView view =
+      tight.Enrich(engine.profiles(), core::PipelineSide::kTarget);
+  for (auto id : engine.target().AllElementIds()) {
+    EXPECT_LE(view.doc_summary(id).size(), 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stage 4: the reference rerankers.
+
+TEST(RerankerTest, IdentityPassesEnsembleScoresThrough) {
+  std::vector<core::RerankCandidate> candidates = {
+      {schema::ElementId{0}, schema::ElementId{1}, 0.75},
+      {schema::ElementId{2}, schema::ElementId{3}, -0.25},
+  };
+  std::vector<double> out(candidates.size(), 99.0);
+  core::IdentityReranker identity;
+  core::RerankEvidence evidence;  // identity never reads it
+  identity.Rerank(candidates, evidence, out);
+  EXPECT_EQ(out[0], 0.75);
+  EXPECT_EQ(out[1], -0.25);
+}
+
+TEST(RerankerTest, HeuristicBlendZeroDegradesToIdentity) {
+  auto pair = MakePair(9850);
+  core::MatchOptions options =
+      PipelineOptions(core::PipelineMode::kStaged, 1, 0);
+  options.pipeline.rerank_blend = 0.0;
+  core::MatchEngine staged(pair.source, pair.target, options);
+
+  core::MatchOptions identity_options =
+      PipelineOptions(core::PipelineMode::kStaged, 1, 0);
+  identity_options.pipeline.reranker =
+      std::make_shared<core::IdentityReranker>();
+  core::MatchEngine identity(pair.source, pair.target, identity_options);
+
+  core::MatchMatrix a = staged.ComputeMatrix();
+  core::MatchMatrix b = identity.ComputeMatrix();
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(a.GetByIndex(r, c), b.GetByIndex(r, c))
+          << "cell (" << r << ", " << c << ")";
+    }
+  }
+}
+
+TEST(RerankerTest, HeuristicScoresAreDeterministicAndBounded) {
+  auto pair = MakePair(9851);
+  core::MatchOptions options = DenseOptions();
+  core::MatchEngine engine(pair.source, pair.target, options);
+  core::ReferenceEnricher enricher(options.preprocess);
+  core::EnrichedProfileView source_view =
+      enricher.Enrich(engine.profiles(), core::PipelineSide::kSource);
+  core::EnrichedProfileView target_view =
+      enricher.Enrich(engine.profiles(), core::PipelineSide::kTarget);
+  core::RerankEvidence evidence;
+  evidence.profiles = &engine.profiles();
+  evidence.source_enrichment = &source_view;
+  evidence.target_enrichment = &target_view;
+
+  std::vector<core::RerankCandidate> candidates;
+  for (auto s : engine.source().AllElementIds()) {
+    for (auto t : engine.target().AllElementIds()) {
+      candidates.push_back({s, t, engine.ScorePair(s, t)});
+    }
+  }
+  core::HeuristicReranker reranker(0.25);
+  std::vector<double> out_a(candidates.size());
+  std::vector<double> out_b(candidates.size());
+  reranker.Rerank(candidates, evidence, out_a);
+  reranker.Rerank(candidates, evidence, out_b);
+  bool moved_any = false;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(out_a[i], out_b[i]) << "candidate " << i;
+    EXPECT_GE(out_a[i], -1.0);
+    EXPECT_LE(out_a[i], 1.0);
+    if (out_a[i] != candidates[i].ensemble_score) moved_any = true;
+  }
+  // On a synth pair with real overlap the heuristic must have an opinion
+  // somewhere, or the staged pipeline degenerates to identity silently.
+  EXPECT_TRUE(moved_any);
+}
+
+}  // namespace
+}  // namespace harmony
