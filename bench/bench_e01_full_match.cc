@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "bench_util.h"
 #include "core/engine_context.h"
@@ -15,6 +16,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "synth/generator.h"
+#include "text/simd.h"
 
 namespace {
 
@@ -75,15 +77,18 @@ BENCHMARK(BM_EnginePreprocess)->Unit(benchmark::kMillisecond);
 void BM_FullMatch(benchmark::State& state) {
   const auto& pair = PaperPair();
   core::MatchEngine engine(pair.source, pair.target);
-  size_t pairs = 0;
+  size_t pairs = 0, pairs_total = 0;
   for (auto _ : state) {
     core::MatchMatrix matrix = engine.ComputeMatrix();
     pairs = matrix.pair_count();
+    pairs_total += pairs;
     benchmark::DoNotOptimize(matrix.MaxScore());
   }
   state.counters["pairs"] = static_cast<double>(pairs);
-  state.counters["pairs_per_s"] =
-      benchmark::Counter(static_cast<double>(pairs), benchmark::Counter::kIsRate);
+  // kIsRate divides by total elapsed time, so the numerator must be the
+  // total pair count over every iteration, not a single run's.
+  state.counters["pairs_per_s"] = benchmark::Counter(
+      static_cast<double>(pairs_total), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FullMatch)->Unit(benchmark::kMillisecond)->MinTime(2.0);
 
@@ -96,17 +101,86 @@ void BM_FullMatchPerCell(benchmark::State& state) {
   core::MatchOptions options;
   options.batch_rows = false;
   core::MatchEngine engine(pair.source, pair.target, options);
-  size_t pairs = 0;
+  size_t pairs = 0, pairs_total = 0;
   for (auto _ : state) {
     core::MatchMatrix matrix = engine.ComputeMatrix();
     pairs = matrix.pair_count();
+    pairs_total += pairs;
     benchmark::DoNotOptimize(matrix.MaxScore());
   }
   state.counters["pairs"] = static_cast<double>(pairs);
-  state.counters["pairs_per_s"] =
-      benchmark::Counter(static_cast<double>(pairs), benchmark::Counter::kIsRate);
+  state.counters["pairs_per_s"] = benchmark::Counter(
+      static_cast<double>(pairs_total), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FullMatchPerCell)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+// The SIMD A/B pair (ISSUE 10 tentpole): the same full match pinned to the
+// scalar reference kernels and at the detected SIMD level. Same binary, so
+// the comparison isolates the kernels — compile flags, allocator state and
+// schema inputs are shared. The perf CI additionally runs the whole suite
+// under HARMONY_SIMD=off to cross-check the env override.
+void BM_FullMatchScalarKernels(benchmark::State& state) {
+  const auto& pair = PaperPair();
+  text::simd::Level saved = text::simd::ActiveLevel();
+  text::simd::SetActiveLevel(text::simd::Level::kScalar);
+  core::MatchEngine engine(pair.source, pair.target);
+  size_t pairs = 0, pairs_total = 0;
+  for (auto _ : state) {
+    core::MatchMatrix matrix = engine.ComputeMatrix();
+    pairs = matrix.pair_count();
+    pairs_total += pairs;
+    benchmark::DoNotOptimize(matrix.MaxScore());
+  }
+  text::simd::SetActiveLevel(saved);
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["pairs_per_s"] = benchmark::Counter(
+      static_cast<double>(pairs_total), benchmark::Counter::kIsRate);
+  state.SetLabel("simd=scalar");
+}
+BENCHMARK(BM_FullMatchScalarKernels)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+void BM_FullMatchSimdKernels(benchmark::State& state) {
+  const auto& pair = PaperPair();
+  text::simd::Level saved = text::simd::ActiveLevel();
+  text::simd::SetActiveLevel(text::simd::DetectLevel());
+  core::MatchEngine engine(pair.source, pair.target);
+  size_t pairs = 0, pairs_total = 0;
+  for (auto _ : state) {
+    core::MatchMatrix matrix = engine.ComputeMatrix();
+    pairs = matrix.pair_count();
+    pairs_total += pairs;
+    benchmark::DoNotOptimize(matrix.MaxScore());
+  }
+  text::simd::SetActiveLevel(saved);
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["pairs_per_s"] = benchmark::Counter(
+      static_cast<double>(pairs_total), benchmark::Counter::kIsRate);
+  state.SetLabel(std::string("simd=") +
+                 text::simd::LevelName(text::simd::DetectLevel()));
+}
+BENCHMARK(BM_FullMatchSimdKernels)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+// Adaptive-grain A/B on the same fan-out: static auto grain vs the
+// controller-driven carve. On a skew-free synthetic pair the two should be
+// near-identical — the interesting signal is the skewed-service workloads;
+// this keeps the knob's overhead visible in the tracked suite.
+void BM_FullMatchAdaptiveGrain(benchmark::State& state) {
+  const auto& pair = PaperPair();
+  core::MatchOptions options;
+  options.adaptive_grain = true;
+  core::MatchEngine engine(pair.source, pair.target, options);
+  size_t pairs = 0, pairs_total = 0;
+  for (auto _ : state) {
+    core::MatchMatrix matrix = engine.ComputeMatrix();
+    pairs = matrix.pair_count();
+    pairs_total += pairs;
+    benchmark::DoNotOptimize(matrix.MaxScore());
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["pairs_per_s"] = benchmark::Counter(
+      static_cast<double>(pairs_total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullMatchAdaptiveGrain)->Unit(benchmark::kMillisecond)->MinTime(2.0);
 
 // Same match, but the engine runs on its own child registry and tracer via
 // an explicit EngineContext instead of the process globals. The delta
@@ -119,15 +193,16 @@ void BM_FullMatchScopedContext(benchmark::State& state) {
   obs::Tracer tracer;  // present but not started, like the global default
   core::EngineContext context(&registry, &tracer);
   core::MatchEngine engine(pair.source, pair.target, {}, context);
-  size_t pairs = 0;
+  size_t pairs = 0, pairs_total = 0;
   for (auto _ : state) {
     core::MatchMatrix matrix = engine.ComputeMatrix();
     pairs = matrix.pair_count();
+    pairs_total += pairs;
     benchmark::DoNotOptimize(matrix.MaxScore());
   }
   state.counters["pairs"] = static_cast<double>(pairs);
-  state.counters["pairs_per_s"] =
-      benchmark::Counter(static_cast<double>(pairs), benchmark::Counter::kIsRate);
+  state.counters["pairs_per_s"] = benchmark::Counter(
+      static_cast<double>(pairs_total), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FullMatchScopedContext)->Unit(benchmark::kMillisecond)->MinTime(2.0);
 

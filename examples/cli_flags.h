@@ -20,6 +20,7 @@
 #include "common/string_util.h"
 #include "core/match_engine.h"
 #include "service/daemon.h"
+#include "text/simd.h"
 
 namespace harmony::cli {
 
@@ -77,15 +78,30 @@ inline bool ParsePipelineMode(const std::string& value,
 }
 
 /// The engine flags every matching entry point shares: --threads=N
-/// --grain=N --blocking=off|exact|approx --pipeline=single|staged
-/// --retrieve-budget=K --rerank-blend=A. Leaves unmentioned fields of
-/// `options` untouched.
+/// --grain=N --adaptive-grain --blocking=off|exact|approx
+/// --pipeline=single|staged --retrieve-budget=K --rerank-blend=A
+/// --simd=scalar|bitparallel|avx2|auto. Leaves unmentioned fields of
+/// `options` untouched. --simd sets the process-wide kernel level
+/// (text/simd.h) — scores are bitwise-identical at every level, so the flag
+/// is a perf/debug knob, not a behavior switch.
 inline bool ParseEngineFlags(const std::vector<std::string>& args,
                              core::MatchOptions* options) {
   options->num_threads = static_cast<size_t>(
       std::atoi(FlagValue(args, "--threads=", "0").c_str()));
   options->grain = static_cast<size_t>(
       std::atoi(FlagValue(args, "--grain=", "0").c_str()));
+  options->adaptive_grain = FlagSet(args, "--adaptive-grain");
+  std::string simd = FlagValue(args, "--simd=", "");
+  if (!simd.empty()) {
+    text::simd::Level level;
+    if (!text::simd::ParseLevel(simd, &level)) {
+      std::fprintf(stderr,
+                   "--simd=%s: expected scalar, bitparallel, avx2, or auto\n",
+                   simd.c_str());
+      return false;
+    }
+    text::simd::SetActiveLevel(level);
+  }
   if (!ParseBlockingMode(FlagValue(args, "--blocking=", "off"),
                          &options->blocking.mode)) {
     return false;

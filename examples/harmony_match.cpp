@@ -4,9 +4,10 @@
 //   harmony_match match <source> <target> [--threshold=0.35] [--one-to-one]
 //                 [--refined] [--csv] [--save-workspace=FILE]
 //                 [--stats] [--stats-interval=MS] [--trace=out.json]
-//                 [--threads=N] [--grain=N] [--blocking=off|exact|approx]
+//                 [--threads=N] [--grain=N] [--adaptive-grain]
+//                 [--blocking=off|exact|approx]
 //                 [--pipeline=single|staged] [--retrieve-budget=K]
-//                 [--rerank-blend=A]
+//                 [--rerank-blend=A] [--simd=scalar|bitparallel|avx2|auto]
 //   harmony_match profile <schema>...
 //   harmony_match export <schema> (--ddl | --xsd)
 //   harmony_match vocab <schema> <schema>... [--threshold=0.35] [--threads=N]
@@ -16,6 +17,7 @@
 //                 [--stats-interval=MS] [--trace=FILE] [--slow-ms=N]
 //                 [--blocking=off|exact|approx] [--pipeline=single|staged]
 //                 [--retrieve-budget=K] [--engine-cache-max=N]
+//                 [--adaptive-grain] [--simd=scalar|bitparallel|avx2|auto]
 //   harmony_match query [--host=ADDR] [--port=N] <action> ...
 //     actions: ping | match <src> <tgt> [--by-name] [--threshold=]
 //              [--one-to-one] [--refined] [--csv]

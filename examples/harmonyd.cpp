@@ -10,6 +10,7 @@
 //            [--blocking=off|exact|approx] [--pipeline=single|staged]
 //            [--retrieve-budget=K] [--rerank-blend=A]
 //            [--engine-cache-max=N]
+//            [--adaptive-grain] [--simd=scalar|bitparallel|avx2|auto]
 //
 // --blocking=exact enables the candidate-pair blocking index on resident
 // match engines: requests selecting at or above the engine threshold skip

@@ -1,0 +1,74 @@
+#include "common/adaptive_grain.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/thread_pool.h"
+
+namespace harmony::common {
+
+size_t GrainController::BucketOf(uint64_t ns) {
+  if (ns == 0) return 0;
+  size_t b = static_cast<size_t>(std::bit_width(ns)) - 1;  // floor(log2)
+  return std::min(b, kBuckets - 1);
+}
+
+void GrainController::ObserveShard(uint64_t duration_ns, uint64_t items) {
+  hist_[BucketOf(duration_ns)].fetch_add(1, std::memory_order_relaxed);
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(duration_ns, std::memory_order_relaxed);
+  total_items_.fetch_add(items, std::memory_order_relaxed);
+}
+
+double GrainController::SkewRatio() const {
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    counts[b] = hist_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0.0;
+  // Bucket holding the p-th sample of the cumulative distribution; the
+  // representative duration of bucket b is 2^b ns (its lower edge).
+  auto bucket_at = [&](uint64_t rank) {
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      seen += counts[b];
+      if (seen > rank) return b;
+    }
+    return kBuckets - 1;
+  };
+  size_t p50 = bucket_at(total / 2);
+  size_t p99 = bucket_at(total - 1 - (total - 1) / 100);
+  return static_cast<double>(uint64_t{1} << (p99 - p50));
+}
+
+size_t GrainController::Recommend(size_t items, size_t threads) const {
+  if (items == 0 || threads <= 1) return 0;
+  if (samples_.load(std::memory_order_relaxed) < options_.min_samples) {
+    return 0;
+  }
+  if (SkewRatio() < options_.skew_threshold) return 0;
+
+  const size_t static_grain = ResolveGrain(0, items, threads);
+  if (static_grain <= 1) return 0;  // already as fine as it gets
+  size_t grain =
+      std::max<size_t>(1, static_grain / std::max<size_t>(1, options_.split_factor));
+
+  // Floor: a shard should still run long enough to amortize its claim.
+  // Expected per-item cost from the running totals (integer division is
+  // fine — this is a floor, not a score).
+  const uint64_t ti = total_items_.load(std::memory_order_relaxed);
+  const uint64_t tn = total_ns_.load(std::memory_order_relaxed);
+  if (ti > 0) {
+    const uint64_t per_item_ns = tn / ti;
+    if (per_item_ns > 0) {
+      grain = std::max<size_t>(
+          grain, static_cast<size_t>(options_.min_shard_ns / per_item_ns));
+    }
+  }
+  grain = std::min(grain, static_grain);
+  return std::max<size_t>(1, grain);
+}
+
+}  // namespace harmony::common

@@ -1,0 +1,92 @@
+// Adaptive ParallelFor grain (ISSUE 10 tentpole, scheduling half): a
+// controller that watches observed shard durations and recommends a finer
+// claim grain when the workload is skewed.
+//
+// The static heuristic (ResolveGrain: ~8 shards per executor) amortizes
+// claim overhead well when shard costs are uniform, but on skewed rows —
+// blocking prunes most of some rows and none of others, doc-heavy elements
+// cost 10× doc-free ones — a coarse grain lets one unlucky executor drag
+// the whole call: the work-stealing claim loop can only even out costs it
+// can still steal. The controller keeps a lock-free log2 histogram of shard
+// durations (its own buckets, deliberately independent of the obs registry
+// so adaptation works in HARMONY_OBS=OFF builds) and, once the p99/p50
+// bucket ratio shows real skew, recommends the static grain divided by a
+// split factor, floored so shards never shrink below a minimum duration
+// (estimated from observed per-item cost).
+//
+// Determinism: the grain ONLY changes how [begin, end) is carved into
+// shards. ParallelFor's contract — every index covered exactly once, bodies
+// own their shard — makes scores independent of the carve, so adaptation
+// can never change a match result; tests/common/adaptive_grain_test.cc and
+// the SIMD determinism suite pin scores across grains. Recommendations feed
+// back only between ParallelFor calls, never mid-call.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace harmony::common {
+
+/// \brief Lock-free shard-duration tracker + grain policy.
+///
+/// One instance per engine (MatchPipeline owns one when
+/// MatchOptions::adaptive_grain is set and threads it through
+/// EngineContext::grain). ObserveShard is called concurrently by every
+/// executor; Recommend is called once per ParallelFor entry.
+class GrainController {
+ public:
+  struct Options {
+    /// Recommend only after this many shard observations (cold start runs
+    /// the static grain).
+    uint64_t min_samples = 32;
+    /// p99/p50 shard-duration ratio (bucket-resolution) at or above which
+    /// the workload counts as skewed. Log2 buckets: 4.0 = two buckets apart.
+    double skew_threshold = 4.0;
+    /// Divide the static grain by this under skew.
+    size_t split_factor = 4;
+    /// Never recommend shards expected to run shorter than this (claim
+    /// overhead would dominate); expected duration comes from the observed
+    /// mean per-item cost.
+    uint64_t min_shard_ns = 20000;
+  };
+
+  GrainController() = default;
+  explicit GrainController(const Options& options) : options_(options) {}
+
+  /// Records one executed shard: wall duration and item count. Relaxed
+  /// atomics — executors never contend on a lock.
+  void ObserveShard(uint64_t duration_ns, uint64_t items);
+
+  /// The grain to use for a fresh ParallelFor over `items` with `threads`
+  /// executors, or 0 for "no recommendation — use the static heuristic".
+  /// Nonzero only when enough samples exist AND the duration histogram is
+  /// skewed; the result is the static grain / split_factor, floored by the
+  /// min-duration rule and by 1, and never coarser than the static grain.
+  size_t Recommend(size_t items, size_t threads) const;
+
+  /// Total shards observed (test + telemetry hook).
+  uint64_t sample_count() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+  /// p99/p50 shard-duration ratio at bucket resolution; 0.0 until any
+  /// sample arrives. Exposed for tests and the stats report.
+  double SkewRatio() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  static constexpr size_t kBuckets = 40;  // log2(ns) 0..39 covers >500s
+  static size_t BucketOf(uint64_t ns);
+
+  Options options_;
+  std::array<std::atomic<uint64_t>, kBuckets> hist_{};
+  std::atomic<uint64_t> samples_{0};
+  std::atomic<uint64_t> total_ns_{0};
+  std::atomic<uint64_t> total_items_{0};
+};
+
+}  // namespace harmony::common

@@ -26,6 +26,7 @@
 
 namespace harmony::common {
 
+class GrainController;
 class ThreadPool;
 
 struct EngineContext {
@@ -49,6 +50,13 @@ struct EngineContext {
   /// Kept lazy so merely default-constructing a context (every call site
   /// with default arguments does) never spawns worker threads.
   ThreadPool* pool;
+  /// May be null (default): ParallelFor uses the static grain heuristic.
+  /// When set (MatchPipeline under MatchOptions::adaptive_grain), auto-grain
+  /// ParallelFor calls consult it for a recommendation and feed their shard
+  /// timings back. Deliberately a default-initialized member rather than a
+  /// constructor parameter: the three existing constructors — and every
+  /// call site building a context — stay untouched.
+  GrainController* grain = nullptr;
 
   /// `pool`, or the shared pool if unset (creating it on first use).
   ThreadPool& pool_or_shared() const;

@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "common/adaptive_grain.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -146,14 +147,18 @@ struct ParallelForState {
         body(std::move(body_)),
         shards_per_executor(*context.metrics,
                             "parallel_for.shards_per_executor"),
-        tracer(context.tracer) {}
+        shard_ns(*context.metrics, "parallel_for.shard_ns"),
+        tracer(context.tracer),
+        controller(context.grain) {}
 
   std::atomic<size_t> next;
   const size_t end;
   const size_t grain;
   const std::function<void(size_t, size_t)> body;
   obs::Histogram shards_per_executor;
+  obs::Histogram shard_ns;
   obs::Tracer* const tracer;
+  GrainController* const controller;
   std::atomic<bool> abort{false};
 
   std::mutex mu;
@@ -183,6 +188,7 @@ void RunShards(ParallelForState& state) {
       if (lo >= state.end) break;
       ++shards_claimed;
       size_t hi = std::min(state.end, lo + state.grain);
+      uint64_t shard_start = obs::MonotonicNanos();
       try {
         state.body(lo, hi);
       } catch (...) {
@@ -193,6 +199,14 @@ void RunShards(ParallelForState& state) {
           }
         }
         state.abort.store(true, std::memory_order_relaxed);
+      }
+      // Shard timing feeds the imbalance histogram and, when an adaptive
+      // controller rides the context, its duration model. Two clock reads
+      // per shard; shards are coarse (~8 per executor), so this is noise.
+      uint64_t shard_dur = obs::MonotonicNanos() - shard_start;
+      state.shard_ns.Record(shard_dur);
+      if (state.controller != nullptr) {
+        state.controller->ObserveShard(shard_dur, hi - lo);
       }
     }
     state.shards_per_executor.Record(shards_claimed);
@@ -207,6 +221,13 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t, size_t)>& body,
                  size_t num_threads, const EngineContext& context) {
   if (begin >= end) return;
+  // Auto grain consults the adaptive controller first (a 0 recommendation —
+  // cold start, no skew — falls through to the static heuristic). Explicit
+  // grains always win: the determinism suites sweep pinned grains.
+  if (grain == 0 && context.grain != nullptr) {
+    grain = context.grain->Recommend(end - begin,
+                                     EffectiveThreadCount(num_threads));
+  }
   grain = ResolveGrain(grain, end - begin, num_threads);
   // Per-call name lookup instead of a cached handle: ParallelFor calls are
   // coarse (one per matrix / pair fan-out), and the registry varies with

@@ -120,8 +120,11 @@ void ParallelForShards(size_t begin, size_t end, size_t grain,
                        const EngineContext& context = EngineContext());
 
 /// \brief Runs `body(lo, hi)` over disjoint shards covering [begin, end),
-/// each shard at most `grain` long (0 = auto via ResolveGrain), using up
-/// to `num_threads` executors (the calling thread plus pool workers).
+/// each shard at most `grain` long (0 = auto: the context's GrainController
+/// recommendation when one is attached and warmed up, else ResolveGrain),
+/// using up to `num_threads` executors (the calling thread plus pool
+/// workers). Executed shards report their duration to the
+/// `parallel_for.shard_ns` histogram and to the context's controller.
 ///
 /// `num_threads` follows the engine-wide convention: 0 = hardware
 /// concurrency, 1 = run `body(begin, end)` inline on the calling thread

@@ -21,22 +21,24 @@ namespace {
 // cell whose true score sits exactly on the threshold (satellite: the cut
 // uses the same >= semantics as selection).
 constexpr double kBoundSlack = 1e-9;
-// Relative slack on the cosine numerator: the postings accumulate the dot
-// product in a different order than TfIdfCorpus::Cosine, so the two sums can
-// differ by a few ulps.
+// Relative slack on the cosine numerator. Since the canonical doc arenas,
+// the posting accumulation and the voter's SortedSparseDot all run in
+// ascending term order, the sums should now agree exactly; the slack stays
+// as defense in depth (it only loosens an already-admissible bound).
 constexpr double kCosineSlack = 1e-9;
 // The voters' soft-token Jaro-Winkler acceptance threshold (voters.cc passes
 // 0.85 explicitly at every call site).
 constexpr double kSoftThreshold = 0.85;
-// Pair-loop budget for the soft-Dice bound: beyond this the bound falls back
-// to the loose min(|A|,|B|) matching size instead of testing every pair.
-constexpr size_t kMaxPairOps = 4096;
 
 int CharClass(unsigned char c) {
   if (c >= 'a' && c <= 'z') return c - 'a';
   if (c >= '0' && c <= '9') return 26 + (c - '0');
   return 36;
 }
+
+}  // namespace
+
+namespace blocking_internal {
 
 CharHist HistOf(std::string_view s) {
   uint8_t counts[37] = {};
@@ -116,6 +118,14 @@ double SoftDiceUb(std::span<const CharHist> a, std::span<const CharHist> b) {
   return std::min(1.0, 2.0 * static_cast<double>(m) /
                            static_cast<double>(ua + ub));
 }
+
+}  // namespace blocking_internal
+
+namespace {
+
+using blocking_internal::CommonUb;
+using blocking_internal::HistOf;
+using blocking_internal::SoftDiceUb;
 
 std::span<const CharHist> TokenSpan(const Side& side, uint32_t begin,
                                     uint32_t end) {
@@ -218,12 +228,11 @@ BlockingIndex::BlockingIndex(const ProfilePair& profiles,
   src_doc_range_.resize(sv.size(), {0, 0});
   for (schema::ElementId id = 0; id < sv.size(); ++id) {
     uint32_t begin = static_cast<uint32_t>(src_doc_terms_.size());
-    if (sv.doc_token_count(id) > 0) {
-      for (const auto& [term, w] : sv.doc_vector(id)) {
-        src_doc_terms_.emplace_back(term, w);
-      }
-      std::sort(src_doc_terms_.begin() + begin, src_doc_terms_.end(),
-                [](const auto& x, const auto& y) { return x.first < y.first; });
+    // Read off the view's canonical arenas — already term-sorted, and the
+    // same weights (in the same order) the voter's dot product consumes.
+    const text::SortedVecView v = sv.doc_terms(id);
+    for (uint32_t k = 0; k < v.size; ++k) {
+      src_doc_terms_.emplace_back(v.terms[k], v.weights[k]);
     }
     src_doc_range_[id] = {begin, static_cast<uint32_t>(src_doc_terms_.size())};
   }
@@ -264,13 +273,9 @@ void BlockingIndex::BuildSide(const ProfileView& view, Side& side) {
     pack(view.parent_tokens(id), e.par_begin, e.par_end);
     pack(view.children_tokens(id), e.chi_begin, e.chi_end);
     e.doc_count = view.doc_token_count(id);
-    if (e.doc_count > 0) {
-      // The same Σw² reduction Cosine runs over this exact map instance
-      // (identical iteration order → identical rounding), inverted once.
-      double norm_sq = 0.0;
-      for (const auto& [term, w] : view.doc_vector(id)) norm_sq += w * w;
-      e.doc_inv_norm = norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0;
-    }
+    // The canonical inverse norm the voter multiplies by — the identical
+    // double, so the bound's cosine term shares its rounding.
+    e.doc_inv_norm = view.doc_inv_norm(id);
     e.data_type = static_cast<uint8_t>(view.data_type(id));
   }
 }

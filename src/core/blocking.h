@@ -97,6 +97,24 @@ struct Side {
   std::vector<CharHist> tokens;       ///< arena for the three token ranges
 };
 
+/// Pair-loop budget for SoftDiceUb: token-set pairs with |A|·|B| strictly
+/// beyond this fall back to the loose min(|A|,|B|) matching-size bound
+/// instead of testing every pair — still admissible (a matching consumes one
+/// token per side) but coarser. tests/core/blocking_budget_test.cc pins the
+/// exact boundary: |A|·|B| == kMaxPairOps still runs the per-pair bound.
+inline constexpr size_t kMaxPairOps = 4096;
+
+/// The capped histogram of one string (see CharHist).
+CharHist HistOf(std::string_view s);
+
+/// Necessary condition for a token pair to reach the voters' soft-match
+/// threshold (JW >= 0.85), via the common-character bound.
+bool TokenPairCanMatch(const CharHist& a, const CharHist& b);
+
+/// Admissible upper bound on the soft-token Dice over these token sets.
+/// Exposed (with kMaxPairOps) so the budget early-exit is directly testable.
+double SoftDiceUb(std::span<const CharHist> a, std::span<const CharHist> b);
+
 }  // namespace blocking_internal
 
 /// \brief How ComputeMatrix uses the blocking index.

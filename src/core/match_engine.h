@@ -49,6 +49,14 @@ struct MatchOptions {
   /// fixed grain of 1 paid one claim per row. The kernel is row-sharded
   /// with disjoint writes, so every grain yields bitwise-identical scores.
   size_t grain = 0;
+  /// Adapt the auto grain (grain == 0 only) from observed shard durations:
+  /// the engine's pipeline owns a common::GrainController fed by every
+  /// kernel ParallelFor, and once the shard-time histogram shows p99/p50
+  /// skew the static ~8-shards-per-executor carve is split finer so the
+  /// work-stealing loop can even out expensive rows. Scheduling-only: shards
+  /// own disjoint rows at every grain, so scores are bitwise-identical with
+  /// this on or off (tests/common/adaptive_grain_test.cc pins it).
+  bool adaptive_grain = false;
   /// Collect per-voter cumulative timing in StatsReport(). On the batched
   /// path this costs two steady-clock reads per VoteRow() (one row per
   /// voter); on the per-cell path, two per Vote(). Opt-in either way; cheap

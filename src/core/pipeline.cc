@@ -36,6 +36,12 @@ MatchPipeline::MatchPipeline(const ProfilePair& profiles,
       metrics_(*context_.metrics),
       voters_(CreateVoters(options.voters)),
       merger_(options.merger) {
+  // Adaptive grain only drives the auto carve; an explicit grain is a
+  // pinned experiment (the determinism suites sweep them) and wins.
+  if (options.adaptive_grain && options.grain == 0) {
+    grain_controller_ = std::make_unique<common::GrainController>();
+    context_.grain = grain_controller_.get();
+  }
   if (options.blocking.mode != BlockingMode::kOff) {
     auto index = std::make_unique<BlockingIndex>(
         profiles, options.voters, options.merger, options.blocking,

@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/adaptive_grain.h"
 #include "core/blocking.h"
 #include "core/engine_context.h"
 #include "core/engine_stats.h"
@@ -125,6 +126,12 @@ class MatchPipeline {
   const EnrichedProfileView* target_enrichment() const {
     return target_enrichment_.get();
   }
+  /// Non-null iff MatchOptions::adaptive_grain is set (and grain == 0):
+  /// the controller every kernel ParallelFor reports shard timings to and
+  /// consults for its carve. Exposed for tests and the stats report.
+  const common::GrainController* grain_controller() const {
+    return grain_controller_.get();
+  }
 
   /// Loads the atomic accumulators into an EngineStats (everything except
   /// preprocess_seconds, which the engine owns).
@@ -178,7 +185,11 @@ class MatchPipeline {
 
   const ProfilePair* profiles_;
   const MatchOptions* options_;
-  EngineContext context_;  // by value: three pointers, copied at ctor
+  /// Owned adaptive-grain state; context_.grain points at it when enabled.
+  /// Declared before context_ so the pointer it hands out outlives every
+  /// ParallelFor issued through the context.
+  std::unique_ptr<common::GrainController> grain_controller_;
+  EngineContext context_;  // by value: service pointers, copied at ctor
   PipelineMetrics metrics_;
   std::vector<std::unique_ptr<MatchVoter>> voters_;
   VoteMerger merger_;

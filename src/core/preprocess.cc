@@ -1,6 +1,8 @@
 #include "core/preprocess.h"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "common/string_util.h"
 #include "obs/metrics.h"
@@ -85,6 +87,10 @@ void ProfileView::Build(const std::vector<ElementProfile>& profiles,
   children_tokens_.assign(n, {});
   doc_token_counts_.assign(n, 0);
   doc_vectors_.assign(n, nullptr);
+  doc_ranges_.assign(n, {});
+  doc_inv_norms_.assign(n, 0.0);
+  doc_term_arena_.clear();
+  doc_weight_arena_.clear();
   types_.assign(n, schema::DataType::kUnknown);
 
   // Pre-size the arenas so appends never reallocate mid-build.
@@ -120,6 +126,37 @@ void ProfileView::Build(const std::vector<ElementProfile>& profiles,
     children_tokens_[i] = append_tokens(p.children_tokens);
     doc_token_counts_[i] = static_cast<uint32_t>(p.doc_tokens.size());
     doc_vectors_[i] = &p.doc_vector;
+  }
+
+  // Canonical doc arenas: each element's (term, weight) pairs sorted by term
+  // id, appended on a kDocTermBlock boundary, then padded with sentinel
+  // terms / zero weights to the next boundary. The inverse norm is
+  // accumulated over the sorted run — one fixed summation order that every
+  // scoring path (per-cell, batched, blocked bound) shares.
+  std::vector<std::pair<uint32_t, double>> sorted_terms;
+  for (size_t i = 0; i < n; ++i) {
+    const text::SparseVector& v = profiles[i].doc_vector;
+    sorted_terms.assign(v.begin(), v.end());
+    std::sort(sorted_terms.begin(), sorted_terms.end());
+    DocRange r;
+    r.begin = static_cast<uint32_t>(doc_term_arena_.size());
+    r.size = static_cast<uint32_t>(sorted_terms.size());
+    double norm_sq = 0.0;
+    for (const auto& [term, w] : sorted_terms) {
+      doc_term_arena_.push_back(term);
+      doc_weight_arena_.push_back(w);
+      norm_sq += w * w;
+    }
+    // At least one sentinel, then out to the block boundary: the vector
+    // kernel's block walk stops only at a sentinel, so a run whose length
+    // is already a block multiple still needs a full sentinel block after
+    // it — otherwise the walk would read into the next element's terms.
+    do {
+      doc_term_arena_.push_back(text::kDocTermSentinel);
+      doc_weight_arena_.push_back(0.0);
+    } while (doc_term_arena_.size() % text::kDocTermBlock != 0);
+    doc_ranges_[i] = r;
+    doc_inv_norms_[i] = norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0;
   }
   for (schema::ElementId id : schema.AllElementIds()) {
     types_[id] = schema.element(id).type;

@@ -121,11 +121,29 @@ class ProfileView {
   uint32_t doc_token_count(schema::ElementId id) const {
     return doc_token_counts_[Index(id)];
   }
-  /// The element's TF-IDF doc vector (the same object the profile holds, so
-  /// cosine accumulation order — and thus rounding — matches the per-cell
-  /// path bit for bit). Only valid when doc_token_count(id) > 0.
+  /// The element's TF-IDF doc vector (the same object the profile holds).
+  /// Only valid when doc_token_count(id) > 0. The hot cosine path uses
+  /// doc_terms()/doc_inv_norm() instead — this stays for consumers that want
+  /// the map form (pipeline doc-term summaries, tests).
   const text::SparseVector& doc_vector(schema::ElementId id) const {
     return *doc_vectors_[Index(id)];
+  }
+  /// Canonical sorted form of the element's doc vector: ascending term ids
+  /// with weights, packed in a shared arena. Each element's range starts on
+  /// a text::kDocTermBlock lane boundary and is padded with
+  /// text::kDocTermSentinel terms / 0.0 weights up to the next boundary, so
+  /// the view satisfies SortedSparseDot's vector-lane contract as either
+  /// argument. Empty (size 0) when the element has no documentation.
+  text::SortedVecView doc_terms(schema::ElementId id) const {
+    const DocRange& r = doc_ranges_[Index(id)];
+    return {doc_term_arena_.data() + r.begin, doc_weight_arena_.data() + r.begin,
+            r.size};
+  }
+  /// 1/‖v‖₂ of the canonical doc vector, with the squared norm accumulated
+  /// in ascending term order (one fixed rounding, shared by every scoring
+  /// path). 0.0 when the element has no documentation.
+  double doc_inv_norm(schema::ElementId id) const {
+    return doc_inv_norms_[Index(id)];
   }
   schema::DataType data_type(schema::ElementId id) const {
     return types_[Index(id)];
@@ -141,6 +159,10 @@ class ProfileView {
   struct TokenRange {
     uint32_t begin = 0;
     uint32_t end = 0;
+  };
+  struct DocRange {
+    uint32_t begin = 0;  // Always a multiple of text::kDocTermBlock.
+    uint32_t size = 0;   // Real (unpadded) entry count.
   };
 
   size_t Index(schema::ElementId id) const {
@@ -167,6 +189,13 @@ class ProfileView {
       children_tokens_;
   std::vector<uint32_t> doc_token_counts_;
   std::vector<const text::SparseVector*> doc_vectors_;
+  // Canonical doc-term arenas: per-element sorted (term, weight) runs, each
+  // padded to a kDocTermBlock multiple (sentinel terms, zero weights) so the
+  // AVX2 intersection kernel can read whole blocks without bounds checks.
+  std::vector<uint32_t> doc_term_arena_;
+  std::vector<double> doc_weight_arena_;
+  std::vector<DocRange> doc_ranges_;
+  std::vector<double> doc_inv_norms_;
   std::vector<schema::DataType> types_;
 };
 

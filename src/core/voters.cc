@@ -102,7 +102,13 @@ VoterScore DocumentationVoter::Vote(const ProfilePair& profiles,
   const auto& pa = profiles.source_profile(source);
   const auto& pb = profiles.target_profile(target);
   if (pa.doc_tokens.empty() || pb.doc_tokens.empty()) return {0.0, 0.0};
-  double sim = text::TfIdfCorpus::Cosine(pa.doc_vector, pb.doc_vector);
+  // Canonical term-sorted cosine — the same arrays, merge order, and
+  // inverse-norm roundings the batched VoteRow uses, so per-cell and batched
+  // scores stay bitwise-identical regardless of which SIMD level runs.
+  const ProfileView& sv = profiles.source_view();
+  const ProfileView& tv = profiles.target_view();
+  double sim = text::SortedSparseDot(sv.doc_terms(source), tv.doc_terms(target)) *
+               sv.doc_inv_norm(source) * tv.doc_inv_norm(target);
   // The evidence behind a cosine is bounded by the thinner document: a
   // 3-word blurb can at best weakly confirm, however well it aligns.
   double evidence = static_cast<double>(
@@ -122,14 +128,16 @@ void DocumentationVoter::VoteRow(const ProfilePair& profiles,
     std::fill(out.begin(), out.end(), VoterScore{0.0, 0.0});
     return;
   }
-  const text::SparseVector& a_vec = sv.doc_vector(source);
+  const text::SortedVecView a_vec = sv.doc_terms(source);
+  const double a_inv = sv.doc_inv_norm(source);
   for (size_t k = 0; k < targets.size(); ++k) {
     uint32_t b_count = tv.doc_token_count(targets[k]);
     if (b_count == 0) {
       out[k] = {0.0, 0.0};
       continue;
     }
-    double sim = text::TfIdfCorpus::Cosine(a_vec, tv.doc_vector(targets[k]));
+    double sim = text::SortedSparseDot(a_vec, tv.doc_terms(targets[k])) * a_inv *
+                 tv.doc_inv_norm(targets[k]);
     double evidence = static_cast<double>(std::min(a_count, b_count));
     out[k] = {sim, evidence};
   }

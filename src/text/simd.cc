@@ -1,0 +1,81 @@
+#include "text/simd.h"
+
+#include <cstdlib>
+
+namespace harmony::text::simd {
+
+Level DetectLevel() {
+#if defined(HARMONY_SIMD_DISABLED)
+  return Level::kScalar;
+#else
+#if defined(__x86_64__) || defined(__i386__)
+  static const Level detected =
+      __builtin_cpu_supports("avx2") ? Level::kAvx2 : Level::kBitParallel;
+  return detected;
+#else
+  // Portable bit-parallel kernels need nothing beyond uint64_t.
+  return Level::kBitParallel;
+#endif
+#endif
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kBitParallel:
+      return "bitparallel";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseLevel(std::string_view name, Level* out) {
+  if (name == "scalar" || name == "off") {
+    *out = Level::kScalar;
+  } else if (name == "bitparallel") {
+    *out = Level::kBitParallel;
+  } else if (name == "avx2") {
+    *out = Level::kAvx2;
+  } else if (name == "auto" || name == "on") {
+    *out = DetectLevel();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+#if !defined(HARMONY_SIMD_DISABLED)
+
+namespace internal {
+
+namespace {
+
+uint8_t InitialLevel() {
+  Level level = DetectLevel();
+  if (const char* env = std::getenv("HARMONY_SIMD")) {
+    Level parsed;
+    if (ParseLevel(env, &parsed) && parsed < level) level = parsed;
+  }
+  return static_cast<uint8_t>(level);
+}
+
+}  // namespace
+
+std::atomic<uint8_t>& ActiveLevelStorage() {
+  static std::atomic<uint8_t> storage{InitialLevel()};
+  return storage;
+}
+
+}  // namespace internal
+
+void SetActiveLevel(Level level) {
+  if (level > DetectLevel()) level = DetectLevel();
+  internal::ActiveLevelStorage().store(static_cast<uint8_t>(level),
+                                       std::memory_order_relaxed);
+}
+
+#endif  // !HARMONY_SIMD_DISABLED
+
+}  // namespace harmony::text::simd

@@ -1,0 +1,85 @@
+// Runtime dispatch for the SIMD string-metric kernels.
+//
+// Every hot metric in text/ has (at least) two implementations: the scalar
+// reference — the code every prior PR's determinism suite was pinned
+// against — and an accelerated kernel that must produce BITWISE-identical
+// results. Which one runs is decided per call by ActiveLevel():
+//
+//   kScalar       the reference implementations, always available.
+//   kBitParallel  portable 64-bit bit-parallel kernels (Myers edit
+//                 distance, bitmask Jaro matching, packed q-gram codes).
+//                 No intrinsics — any 64-bit target.
+//   kAvx2         everything above plus AVX2 intrinsics for the sorted
+//                 doc-term intersection behind the TF-IDF cosine. x86-64
+//                 with AVX2 only (checked at runtime via cpuid).
+//
+// Levels are cumulative: a kernel missing at the active level falls back to
+// the next lower one, so SetActiveLevel(kAvx2) on a non-AVX2 machine is
+// clamped at detection time and never faults.
+//
+// The process-wide active level defaults to DetectLevel() and can be
+// overridden by the HARMONY_SIMD environment variable ("scalar"/"off",
+// "bitparallel", "avx2", "auto") — the perf CI uses this to A/B one binary
+// — or programmatically via SetActiveLevel() (the differential tests toggle
+// it per assertion; the CLI exposes --simd=).
+//
+// Compiled with -DHARMONY_SIMD_DISABLED (CMake -DHARMONY_SIMD=OFF),
+// ActiveLevel() is a compile-time kScalar and every dispatch site folds to
+// the reference path: an OFF build and an ON build running at kScalar
+// execute the same instructions, which is what makes the cross-build
+// "HARMONY_SIMD=ON/OFF bitwise identical" guarantee follow from the
+// in-binary scalar-vs-vector differential suite.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace harmony::text::simd {
+
+enum class Level : uint8_t {
+  kScalar = 0,
+  kBitParallel = 1,
+  kAvx2 = 2,
+};
+
+/// Best level this build + this CPU supports. Constant per process.
+Level DetectLevel();
+
+/// Human-readable level name ("scalar", "bitparallel", "avx2").
+const char* LevelName(Level level);
+
+/// Parses a level name (accepts "off" as an alias for "scalar" and "auto"
+/// for DetectLevel()). Returns false on an unknown name.
+bool ParseLevel(std::string_view name, Level* out);
+
+#if defined(HARMONY_SIMD_DISABLED)
+
+constexpr Level ActiveLevel() { return Level::kScalar; }
+inline void SetActiveLevel(Level) {}
+
+#else
+
+namespace internal {
+/// The process-wide active level. Initialized on first use from
+/// DetectLevel() clamped by the HARMONY_SIMD environment variable.
+std::atomic<uint8_t>& ActiveLevelStorage();
+}  // namespace internal
+
+/// The level dispatch sites consult. Relaxed load — callers in hot loops
+/// pay one uncontended atomic read.
+inline Level ActiveLevel() {
+  return static_cast<Level>(
+      internal::ActiveLevelStorage().load(std::memory_order_relaxed));
+}
+
+/// Sets the active level, clamped to DetectLevel(). Takes effect for
+/// subsequent metric calls process-wide; intended for startup flags and the
+/// differential tests (which serialize around it), not for racing against
+/// in-flight matches.
+void SetActiveLevel(Level level);
+
+#endif  // HARMONY_SIMD_DISABLED
+
+}  // namespace harmony::text::simd

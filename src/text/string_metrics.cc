@@ -1,13 +1,117 @@
 #include "text/string_metrics.h"
 
 #include <algorithm>
+#include <bit>
 #include <unordered_map>
 
+#include "text/simd.h"
+
 namespace harmony::text {
+
+namespace {
+
+// ---- Bit-parallel kernels (active at simd::Level::kBitParallel and up).
+//
+// All three are exact algorithms over 64-bit masks: they compute the same
+// integers the scalar references compute (distances, match positions,
+// transposition counts, shared-gram counts), so the trailing floating-point
+// arithmetic — kept textually identical to the scalar versions — rounds
+// identically and the results are bitwise-equal by construction.
+
+// Rebuilds the epoch-stamped per-byte bitmask table over `pattern`
+// (pattern.size() <= 64). peq[c] has bit i set iff pattern[i] == c.
+void BuildPeq(std::string_view pattern, MetricScratch& s) {
+  const uint64_t stamp = ++s.peq_stamp;
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(pattern[i]);
+    if (s.peq_epoch[c] != stamp) {
+      s.peq_epoch[c] = stamp;
+      s.peq[c] = 0;
+    }
+    s.peq[c] |= uint64_t{1} << i;
+  }
+}
+
+uint64_t PeqOf(unsigned char c, const MetricScratch& s) {
+  return s.peq_epoch[c] == s.peq_stamp ? s.peq[c] : 0;
+}
+
+// Myers/Hyyrö bit-parallel Levenshtein distance: exact (identical to the
+// two-row DP) for patterns of 1..64 bytes, O(|text|) word operations
+// instead of O(|text|·|pattern|) cells.
+size_t MyersDistance(std::string_view text, std::string_view pattern,
+                     MetricScratch& scratch) {
+  const size_t m = pattern.size();
+  BuildPeq(pattern, scratch);
+  uint64_t vp = (m == 64) ? ~uint64_t{0} : ((uint64_t{1} << m) - 1);
+  uint64_t vn = 0;
+  const uint64_t top = uint64_t{1} << (m - 1);
+  size_t score = m;
+  for (char tc : text) {
+    uint64_t eq = PeqOf(static_cast<unsigned char>(tc), scratch);
+    uint64_t d0 = (((eq & vp) + vp) ^ vp) | eq | vn;
+    uint64_t hp = vn | ~(d0 | vp);
+    uint64_t hn = vp & d0;
+    if (hp & top) ++score;
+    if (hn & top) --score;
+    hp = (hp << 1) | 1;
+    hn <<= 1;
+    vp = hn | ~(d0 | hp);
+    vn = hp & d0;
+  }
+  return score;
+}
+
+// Bit-parallel Jaro for strings of at most 64 bytes each. The candidate
+// mask peq[a[i]] & ~b_matched & window holds exactly the positions the
+// scalar j-scan would consider; its lowest set bit is the first unmatched
+// equal character — the same j the scalar loop picks — so the match masks,
+// the match count, and the transposition walk reproduce the scalar state
+// exactly.
+double JaroBitParallel(std::string_view a, std::string_view b, size_t window,
+                       MetricScratch& scratch) {
+  BuildPeq(b, scratch);
+  const size_t la = a.size(), lb = b.size();
+  uint64_t a_mask = 0, b_mask = 0;
+  for (size_t i = 0; i < la; ++i) {
+    size_t lo = (i > window) ? i - window : 0;
+    size_t hi = std::min(lb, i + window + 1);
+    if (lo >= hi) continue;  // window fell past the end of b
+    // Bits [lo, hi): lo < hi <= 64, so the lo shift never overflows.
+    uint64_t wmask =
+        ((hi == 64) ? ~uint64_t{0} : ((uint64_t{1} << hi) - 1)) &
+        ~((uint64_t{1} << lo) - 1);
+    uint64_t cand =
+        PeqOf(static_cast<unsigned char>(a[i]), scratch) & ~b_mask & wmask;
+    if (cand == 0) continue;
+    b_mask |= cand & (~cand + 1);  // lowest set bit
+    a_mask |= uint64_t{1} << i;
+  }
+  if (a_mask == 0) return 0.0;
+
+  size_t matches = static_cast<size_t>(std::popcount(a_mask));
+  size_t transpositions = 0;
+  uint64_t arem = a_mask, brem = b_mask;
+  while (arem != 0) {
+    size_t i = static_cast<size_t>(std::countr_zero(arem));
+    size_t k = static_cast<size_t>(std::countr_zero(brem));
+    arem &= arem - 1;
+    brem &= brem - 1;
+    if (a[i] != b[k]) ++transpositions;
+  }
+  double m = static_cast<double>(matches);
+  return (m / la + m / lb + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+}  // namespace
 
 size_t LevenshteinDistance(std::string_view a, std::string_view b,
                            MetricScratch& scratch) {
   if (a.size() < b.size()) std::swap(a, b);  // Ensure b is the shorter.
+  if (simd::ActiveLevel() != simd::Level::kScalar && !b.empty() &&
+      b.size() <= 64) {
+    return MyersDistance(a, b, scratch);
+  }
   std::vector<size_t>& prev = scratch.lev_prev;
   std::vector<size_t>& cur = scratch.lev_cur;
   prev.resize(b.size() + 1);
@@ -48,6 +152,10 @@ double JaroSimilarity(std::string_view a, std::string_view b,
   if (a.empty() || b.empty()) return 0.0;
   size_t window = std::max(a.size(), b.size()) / 2;
   if (window > 0) --window;
+  if (simd::ActiveLevel() != simd::Level::kScalar && a.size() <= 64 &&
+      b.size() <= 64) {
+    return JaroBitParallel(a, b, window, scratch);
+  }
 
   std::vector<char>& a_matched = scratch.jaro_a;
   std::vector<char>& b_matched = scratch.jaro_b;
@@ -116,24 +224,62 @@ double LcsSimilarity(std::string_view a, std::string_view b) {
          static_cast<double>(a.size() + b.size());
 }
 
-double QGramSimilarity(std::string_view a, std::string_view b, size_t q) {
+double QGramSimilarity(std::string_view a, std::string_view b, size_t q,
+                       MetricScratch& scratch) {
   if (a == b) return 1.0;
   if (a.size() < q || b.size() < q) return 0.0;
-  std::unordered_map<std::string, int> grams;
-  for (size_t i = 0; i + q <= a.size(); ++i) {
-    grams[std::string(a.substr(i, q))]++;
-  }
-  size_t shared = 0;
-  for (size_t i = 0; i + q <= b.size(); ++i) {
-    auto it = grams.find(std::string(b.substr(i, q)));
-    if (it != grams.end() && it->second > 0) {
-      --it->second;
-      ++shared;
-    }
-  }
   size_t na = a.size() - q + 1;
   size_t nb = b.size() - q + 1;
+  size_t shared = 0;
+  if (simd::ActiveLevel() != simd::Level::kScalar && q <= 8) {
+    // Packed path: each q-gram is one big-endian uint64 code, so the
+    // multiset intersection is a sort + merge over integers instead of a
+    // hash map of heap strings. A sorted merge counts min-multiplicity per
+    // distinct gram — the same `shared` the decrementing map computes.
+    auto pack = [q](std::string_view s, std::vector<uint64_t>& out) {
+      out.clear();
+      for (size_t i = 0; i + q <= s.size(); ++i) {
+        uint64_t code = 0;
+        for (size_t k = 0; k < q; ++k) {
+          code = (code << 8) | static_cast<unsigned char>(s[i + k]);
+        }
+        out.push_back(code);
+      }
+      std::sort(out.begin(), out.end());
+    };
+    pack(a, scratch.qgram_a);
+    pack(b, scratch.qgram_b);
+    size_t i = 0, j = 0;
+    while (i < na && j < nb) {
+      if (scratch.qgram_a[i] == scratch.qgram_b[j]) {
+        ++shared;
+        ++i;
+        ++j;
+      } else if (scratch.qgram_a[i] < scratch.qgram_b[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+  } else {
+    std::unordered_map<std::string, int> grams;
+    for (size_t i = 0; i + q <= a.size(); ++i) {
+      grams[std::string(a.substr(i, q))]++;
+    }
+    for (size_t i = 0; i + q <= b.size(); ++i) {
+      auto it = grams.find(std::string(b.substr(i, q)));
+      if (it != grams.end() && it->second > 0) {
+        --it->second;
+        ++shared;
+      }
+    }
+  }
   return 2.0 * static_cast<double>(shared) / static_cast<double>(na + nb);
+}
+
+double QGramSimilarity(std::string_view a, std::string_view b, size_t q) {
+  MetricScratch scratch;
+  return QGramSimilarity(a, b, q, scratch);
 }
 
 namespace {

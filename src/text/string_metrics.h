@@ -6,6 +6,12 @@
 // buffers (MetricScratch) so hot loops — the batched match kernel scores
 // ~10^6 pairs per schema pair — run without per-call heap allocation. Both
 // forms execute identical arithmetic and return bitwise-identical results.
+//
+// The hot metrics additionally dispatch on text::simd::ActiveLevel() to
+// bit-parallel kernels (Myers edit distance, bitmask Jaro matching, packed
+// q-gram codes). Every accelerated path returns results bitwise-identical
+// to the scalar reference — tests/text/simd_differential_test.cc pins it —
+// so callers never observe which kernel ran.
 
 #pragma once
 
@@ -38,6 +44,14 @@ struct MetricScratch {
   std::vector<char> used_a, used_b;
   // Dedup buffers for the raw-token SoftTokenSimilarity entry point.
   std::vector<std::string> unique_a, unique_b;
+  // Bit-parallel kernel scratch (text/simd.h): per-byte pattern bitmasks for
+  // the Myers edit-distance and Jaro matching kernels. Epoch-stamped so each
+  // call rebuilds only the bytes its pattern touches — no 256-entry clear.
+  uint64_t peq[256] = {};
+  uint64_t peq_epoch[256] = {};
+  uint64_t peq_stamp = 0;
+  // Packed q-gram codes for the sorted-merge QGramSimilarity path.
+  std::vector<uint64_t> qgram_a, qgram_b;
 };
 
 /// Levenshtein edit distance (insert/delete/substitute, unit costs).
@@ -70,6 +84,8 @@ double LcsSimilarity(std::string_view a, std::string_view b);
 /// Dice coefficient on the multiset of character q-grams (default bigrams).
 /// Strings shorter than q yield 0 unless both are equal.
 double QGramSimilarity(std::string_view a, std::string_view b, size_t q = 2);
+double QGramSimilarity(std::string_view a, std::string_view b, size_t q,
+                       MetricScratch& scratch);
 
 /// Jaccard similarity of two token sets: |A∩B| / |A∪B| (duplicates within a
 /// side are ignored). Two empty sets → 1.

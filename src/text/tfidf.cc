@@ -1,10 +1,77 @@
 #include "text/tfidf.h"
 
+#include <bit>
 #include <cmath>
 
 #include "common/logging.h"
+#include "text/simd.h"
+
+#if defined(__x86_64__) && !defined(HARMONY_SIMD_DISABLED)
+#include <immintrin.h>
+#endif
 
 namespace harmony::text {
+
+namespace {
+
+double SortedSparseDotScalar(const SortedVecView& a, const SortedVecView& b) {
+  double dot = 0.0;
+  uint32_t i = 0, j = 0;
+  while (i < a.size && j < b.size) {
+    uint32_t ta = a.terms[i];
+    uint32_t tb = b.terms[j];
+    if (ta == tb) {
+      dot += a.weights[i] * b.weights[j];
+      ++i;
+      ++j;
+    } else if (ta < tb) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return dot;
+}
+
+#if defined(__x86_64__) && !defined(HARMONY_SIMD_DISABLED)
+// Block intersection: for each real a-term, advance b a block (8 terms) at a
+// time while the block maximum is below it, then compare the a-term against
+// all 8 lanes at once. b's sentinel padding (kDocTermSentinel, which no real
+// term id can equal) both stops the block walk and never matches. Products
+// are emitted one per shared term in ascending term order — the exact
+// sequence of the scalar merge — so the accumulated double is bitwise-equal.
+__attribute__((target("avx2"))) double SortedSparseDotAvx2(
+    const SortedVecView& a, const SortedVecView& b) {
+  double dot = 0.0;
+  uint32_t bp = 0;
+  for (uint32_t i = 0; i < a.size; ++i) {
+    const uint32_t at = a.terms[i];
+    while (b.terms[bp + 7] < at) bp += 8;  // sentinel block ends the walk
+    const __m256i va = _mm256_set1_epi32(static_cast<int>(at));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b.terms + bp));
+    const uint32_t eq = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi32(va, vb)));
+    if (eq != 0) {
+      const uint32_t lane = static_cast<uint32_t>(std::countr_zero(eq)) / 4;
+      dot += a.weights[i] * b.weights[bp + lane];
+    }
+  }
+  return dot;
+}
+#endif  // __x86_64__ && !HARMONY_SIMD_DISABLED
+
+}  // namespace
+
+double SortedSparseDot(const SortedVecView& a, const SortedVecView& b) {
+  if (a.size == 0 || b.size == 0) return 0.0;
+#if defined(__x86_64__) && !defined(HARMONY_SIMD_DISABLED)
+  if (simd::ActiveLevel() == simd::Level::kAvx2) {
+    return SortedSparseDotAvx2(a, b);
+  }
+#endif
+  return SortedSparseDotScalar(a, b);
+}
 
 uint32_t TfIdfCorpus::InternToken(const std::string& token) {
   auto it = vocab_.find(token);

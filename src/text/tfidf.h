@@ -15,6 +15,42 @@ namespace harmony::text {
 /// \brief Sparse TF-IDF vector: term id → weight.
 using SparseVector = std::unordered_map<uint32_t, double>;
 
+/// \brief Canonical sorted view of a sparse vector: ascending unique term
+/// ids with their weights, in parallel arrays.
+///
+/// This is the form the hot cosine path consumes (core::ProfileView packs
+/// each element's doc vector into such arrays once, at preprocess time):
+/// unlike SparseVector's hash iteration order, the term order — and with it
+/// every FP rounding in the dot product — is canonical, which is what lets
+/// the vectorized intersection kernel be bitwise-identical to the scalar
+/// merge.
+struct SortedVecView {
+  const uint32_t* terms = nullptr;
+  const double* weights = nullptr;
+  uint32_t size = 0;
+};
+
+/// Lane-padding contract for the AVX2 intersection kernel: a SortedVecView
+/// passed as the *second* argument of SortedSparseDot must have its term
+/// array followed by AT LEAST ONE kDocTermSentinel entry, sentinel-filled
+/// out to the next multiple of kDocTermBlock strictly greater than size,
+/// with the matching weight slots zero-filled. (The kernel's block walk
+/// stops only at a sentinel; a run whose length is already a block multiple
+/// still needs a trailing sentinel block, or the walk would read past the
+/// run when a query term exceeds every real term.) Real
+/// term ids must be < kDocTermSentinel. core::ProfileView's doc arenas
+/// honor this; ad-hoc callers (tests) must pad the same way.
+inline constexpr uint32_t kDocTermBlock = 8;
+inline constexpr uint32_t kDocTermSentinel = 0xFFFFFFFFu;
+
+/// Dot product of two canonical sorted vectors: Σ w_a·w_b over shared term
+/// ids, accumulated in ascending term order with separately rounded
+/// multiply and add (the tree is built with -ffp-contract=off). Dispatches
+/// on text::simd::ActiveLevel(): the AVX2 path block-compares 8 target
+/// terms per step but emits the identical product sequence, so the result
+/// is bitwise-equal to the scalar merge.
+double SortedSparseDot(const SortedVecView& a, const SortedVecView& b);
+
 /// \brief A corpus of token documents with IDF statistics and TF-IDF
 /// vectorization.
 ///

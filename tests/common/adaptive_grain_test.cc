@@ -1,0 +1,213 @@
+// GrainController (common/adaptive_grain.h): the policy unit tests feed the
+// controller deterministic synthetic shard observations — no wall-clock
+// assertions, which would flake on a loaded 1-vCPU CI runner — and check
+// the recommendation logic directly: cold start and balanced histograms
+// keep the static grain, skewed histograms split it, the min-duration floor
+// holds, and a skewed-row workload's worst-executor shard assignment
+// (computed analytically from the carve) improves. The ParallelFor wiring
+// tests then assert the integration points: shards feed the controller, the
+// recommendation drives the carve, and — the invariant that lets the whole
+// feature exist — scores never change with adaptation on.
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/adaptive_grain.h"
+#include "common/engine_context.h"
+#include "common/thread_pool.h"
+#include "core/match_engine.h"
+#include "synth/generator.h"
+
+namespace harmony {
+namespace {
+
+using common::GrainController;
+
+TEST(AdaptiveGrainTest, ColdStartRecommendsNothing) {
+  GrainController c;
+  EXPECT_EQ(0u, c.Recommend(1000, 4));
+  c.ObserveShard(1000, 10);
+  EXPECT_EQ(0u, c.Recommend(1000, 4));  // below min_samples
+  EXPECT_EQ(1u, c.sample_count());
+}
+
+TEST(AdaptiveGrainTest, BalancedHistogramKeepsStaticGrain) {
+  GrainController c;
+  // 100 uniform shards: p50 and p99 land in the same log2 bucket.
+  for (int i = 0; i < 100; ++i) c.ObserveShard(100000, 10);
+  EXPECT_EQ(0u, c.Recommend(1000, 4));
+  EXPECT_DOUBLE_EQ(1.0, c.SkewRatio());
+}
+
+TEST(AdaptiveGrainTest, SkewedHistogramSplitsStaticGrain) {
+  GrainController c;
+  // 95 cheap shards, 5 shards 64x slower: p99/p50 spans 6 buckets.
+  for (int i = 0; i < 95; ++i) c.ObserveShard(100000, 10);
+  for (int i = 0; i < 5; ++i) c.ObserveShard(6400000, 10);
+  EXPECT_GE(c.SkewRatio(), 4.0);
+  const size_t items = 1000, threads = 4;
+  const size_t static_grain = common::ResolveGrain(0, items, threads);
+  const size_t adaptive = c.Recommend(items, threads);
+  ASSERT_GT(adaptive, 0u);
+  EXPECT_LT(adaptive, static_grain);
+  EXPECT_EQ(static_grain / GrainController::Options{}.split_factor, adaptive);
+}
+
+TEST(AdaptiveGrainTest, MinDurationFloorBoundsTheSplit) {
+  GrainController::Options options;
+  options.min_shard_ns = 1000000;  // 1ms minimum shard
+  GrainController c(options);
+  for (int i = 0; i < 95; ++i) c.ObserveShard(100000, 10);
+  for (int i = 0; i < 5; ++i) c.ObserveShard(6400000, 10);
+  const size_t items = 1000, threads = 4;
+  const size_t static_grain = common::ResolveGrain(0, items, threads);
+  const size_t grain = c.Recommend(items, threads);
+  ASSERT_GT(grain, 0u);
+  // The unfloored split would be static/split_factor; at the observed mean
+  // item cost (~41.5us) a 1ms shard needs ~24 items, and the floor wins.
+  EXPECT_GT(grain, static_grain / options.split_factor);
+  // The floor never exceeds the static grain (floor > static would mean
+  // "recommend coarser than default", which Recommend caps).
+  EXPECT_LE(grain, static_grain);
+}
+
+TEST(AdaptiveGrainTest, DegenerateInputsRecommendNothing) {
+  GrainController c;
+  for (int i = 0; i < 95; ++i) c.ObserveShard(100000, 10);
+  for (int i = 0; i < 5; ++i) c.ObserveShard(6400000, 10);
+  EXPECT_EQ(0u, c.Recommend(0, 4));    // empty range
+  EXPECT_EQ(0u, c.Recommend(1000, 1)); // serial: grain is irrelevant
+  EXPECT_EQ(0u, c.Recommend(10, 4));   // static grain already 1
+}
+
+// The scheduling claim itself, settled analytically instead of by racing
+// wall clocks: with per-item costs known, the worst single shard under the
+// adaptive carve is strictly cheaper than under the static carve, so the
+// straggler an executor can be stuck with shrinks. (ParallelFor's
+// work-stealing claim loop makes worst-shard cost the binding constraint on
+// the critical path once shards outnumber executors.)
+TEST(AdaptiveGrainTest, SkewedRowWorkloadWorstShardImproves) {
+  const size_t items = 256, threads = 4;
+  // A skewed row-cost profile: one hot band 50x the baseline (doc-heavy
+  // elements in a schema, in engine terms).
+  std::vector<uint64_t> cost(items, 10);
+  for (size_t i = 64; i < 96; ++i) cost[i] = 500;
+
+  GrainController c;
+  // Warm the controller with the observations the static carve would have
+  // produced: shards of the static grain, each with its true summed cost.
+  const size_t static_grain = common::ResolveGrain(0, items, threads);
+  for (size_t lo = 0; lo < items; lo += static_grain) {
+    size_t hi = std::min(items, lo + static_grain);
+    uint64_t ns = 0;
+    for (size_t i = lo; i < hi; ++i) ns += cost[i] * 1000;
+    c.ObserveShard(ns, hi - lo);
+  }
+  // One carve is not 32 samples; replay it until the controller warms up.
+  while (c.sample_count() < GrainController::Options{}.min_samples) {
+    for (size_t lo = 0; lo < items; lo += static_grain) {
+      size_t hi = std::min(items, lo + static_grain);
+      uint64_t ns = 0;
+      for (size_t i = lo; i < hi; ++i) ns += cost[i] * 1000;
+      c.ObserveShard(ns, hi - lo);
+    }
+  }
+
+  const size_t adaptive_grain_v = c.Recommend(items, threads);
+  ASSERT_GT(adaptive_grain_v, 0u);
+  ASSERT_LT(adaptive_grain_v, static_grain);
+
+  auto worst_shard = [&](size_t grain) {
+    uint64_t worst = 0;
+    for (size_t lo = 0; lo < items; lo += grain) {
+      size_t hi = std::min(items, lo + grain);
+      uint64_t ns = 0;
+      for (size_t i = lo; i < hi; ++i) ns += cost[i] * 1000;
+      worst = std::max(worst, ns);
+    }
+    return worst;
+  };
+  EXPECT_LT(worst_shard(adaptive_grain_v), worst_shard(static_grain));
+}
+
+// Wiring: an auto-grain ParallelFor through a context carrying a controller
+// reports every shard, and a warmed-up skewed controller's recommendation
+// changes the carve (more, finer shards).
+TEST(AdaptiveGrainTest, ParallelForFeedsAndConsultsController) {
+  common::ThreadPool pool(4);
+  GrainController controller;
+  common::EngineContext context(&pool);
+  context.grain = &controller;
+
+  std::atomic<uint64_t> shards{0};
+  auto body = [&](size_t, size_t) {
+    shards.fetch_add(1, std::memory_order_relaxed);
+  };
+  // Cold: static carve (~8 shards/executor on 4+1 executors would need >=
+  // items; with items=100, grain = 100/(4*8) = 3). Every executed shard
+  // must land in the controller.
+  common::ParallelFor(0, 100, 0, body, 4, context);
+  const uint64_t cold_shards = shards.load();
+  EXPECT_GT(cold_shards, 1u);
+  EXPECT_EQ(cold_shards, controller.sample_count());
+
+  // Inject skew so Recommend splits, then re-run: the carve must get finer.
+  for (int i = 0; i < 95; ++i) controller.ObserveShard(100000, 10);
+  for (int i = 0; i < 5; ++i) controller.ObserveShard(6400000, 10);
+  ASSERT_GT(controller.Recommend(100, 4), 0u);
+  shards.store(0);
+  common::ParallelFor(0, 100, 0, body, 4, context);
+  EXPECT_GT(shards.load(), cold_shards);
+
+  // An explicit grain ignores the controller: exactly ceil(100/50) shards.
+  shards.store(0);
+  common::ParallelFor(0, 100, 50, body, 4, context);
+  EXPECT_EQ(2u, shards.load());
+}
+
+// The invariant that makes adaptive_grain safe to ship on by default
+// anywhere: scores are bitwise-identical with it on and off. Two full
+// engines over the same pair, one adaptive (multi-threaded, so ParallelFor
+// actually shards and feeds the controller), one not — every matrix cell
+// equal, across repeated runs so later matrices run under recommendations
+// warmed by earlier ones.
+TEST(AdaptiveGrainTest, AdaptationNeverChangesScores) {
+  synth::PairSpec spec;
+  spec.seed = 777;
+  spec.source_concepts = 12;
+  spec.target_concepts = 9;
+  spec.shared_concepts = 5;
+  auto pair = synth::GeneratePair(spec);
+
+  core::MatchOptions plain;
+  plain.num_threads = 1;
+  core::MatchEngine reference(pair.source, pair.target, plain);
+  core::MatchMatrix want = reference.ComputeMatrix();
+
+  core::MatchOptions adaptive;
+  adaptive.num_threads = 4;
+  adaptive.adaptive_grain = true;
+  core::MatchEngine engine(pair.source, pair.target, adaptive);
+  ASSERT_NE(nullptr, engine.pipeline().grain_controller());
+  for (int run = 0; run < 3; ++run) {
+    SCOPED_TRACE(::testing::Message() << "run " << run);
+    core::MatchMatrix got = engine.ComputeMatrix();
+    ASSERT_EQ(want.rows(), got.rows());
+    ASSERT_EQ(want.cols(), got.cols());
+    for (size_t r = 0; r < want.rows(); ++r) {
+      for (size_t c = 0; c < want.cols(); ++c) {
+        ASSERT_EQ(want.GetByIndex(r, c), got.GetByIndex(r, c))
+            << "cell (" << r << ", " << c << ")";
+      }
+    }
+  }
+  // The kernel fan-outs actually reported: adaptation had data to chew on.
+  EXPECT_GT(engine.pipeline().grain_controller()->sample_count(), 0u);
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,101 @@
+// SoftDiceUb's pair-budget early exit (ISSUE 10 satellite): the bound
+// kernel tests every (a-token, b-token) pair for soft-match admissibility
+// only while |A|·|B| <= blocking_internal::kMaxPairOps; beyond the budget
+// it falls back to the loose min(|A|,|B|) matching-size bound. Both regimes
+// are admissible — what this suite pins is the exact boundary (== budget
+// still runs the per-pair bound; budget+1 falls back) and the direction of
+// the fallback (never tighter than the per-pair bound, so crossing the
+// budget can only loosen, never break, admissibility).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/blocking.h"
+
+namespace harmony {
+namespace {
+
+using core::blocking_internal::CharHist;
+using core::blocking_internal::HistOf;
+using core::blocking_internal::kMaxPairOps;
+using core::blocking_internal::SoftDiceUb;
+using core::blocking_internal::TokenPairCanMatch;
+
+// Token sets engineered so the two regimes disagree: no pair can soft-match
+// (disjoint alphabets), so the per-pair bound yields 0.0 while the
+// over-budget fallback yields min(|A|,|B|) matched tokens > 0.
+std::vector<CharHist> DisjointTokens(size_t n, char base) {
+  std::vector<CharHist> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(HistOf(std::string(6, static_cast<char>(base + (i % 3)))));
+  }
+  return v;
+}
+
+TEST(BlockingBudgetTest, PairsCannotMatchAcrossDisjointAlphabets) {
+  CharHist a = HistOf("aaaaaa");
+  CharHist b = HistOf("zzzzzz");
+  EXPECT_FALSE(TokenPairCanMatch(a, b));
+  EXPECT_TRUE(TokenPairCanMatch(a, a));
+}
+
+// |A|·|B| == kMaxPairOps exactly: the per-pair loop must still run — with
+// disjoint alphabets it proves no token can match and returns 0.0. This is
+// the boundary the `>` in the budget test implies; an off-by-one to `>=`
+// would flip this case to the loose fallback and the assertion catches it.
+TEST(BlockingBudgetTest, ExactBudgetStillRunsPerPairBound) {
+  ASSERT_EQ(4096u, kMaxPairOps) << "budget changed — update the shapes below";
+  auto a = DisjointTokens(64, 'a');  // tokens over {a,b,c}
+  auto b = DisjointTokens(64, 'x');  // tokens over {x,y,z}
+  ASSERT_EQ(kMaxPairOps, a.size() * b.size());
+  EXPECT_DOUBLE_EQ(0.0, SoftDiceUb(a, b));
+}
+
+// One past the budget: the early exit takes over and the bound degrades to
+// the loose 2·min/(|A|+|B|) form — nonzero even though no pair can match.
+TEST(BlockingBudgetTest, BeyondBudgetFallsBackToLooseBound) {
+  auto a = DisjointTokens(64, 'a');
+  auto b = DisjointTokens(65, 'x');
+  ASSERT_GT(a.size() * b.size(), kMaxPairOps);
+  double ub = SoftDiceUb(a, b);
+  EXPECT_DOUBLE_EQ(2.0 * 64.0 / (64.0 + 65.0), ub);
+}
+
+// The fallback is never tighter than the per-pair bound on the same input
+// (admissibility direction): sweep mixed token sets across the boundary by
+// padding one side, computing the per-pair value on a trimmed in-budget
+// copy for reference.
+TEST(BlockingBudgetTest, FallbackOnlyLoosens) {
+  // Half the tokens can match across sides, half cannot.
+  std::vector<CharHist> a, b;
+  for (size_t i = 0; i < 64; ++i) {
+    a.push_back(HistOf(i % 2 == 0 ? "shared" : "aaaaaa"));
+  }
+  for (size_t i = 0; i < 64; ++i) {
+    b.push_back(HistOf(i % 2 == 0 ? "shared" : "zzzzzz"));
+  }
+  ASSERT_EQ(kMaxPairOps, a.size() * b.size());
+  double in_budget = SoftDiceUb(a, b);  // per-pair: only "shared" admissible
+
+  b.push_back(HistOf("zzzzzz"));  // 64*65 > budget: loose fallback
+  double fallback = SoftDiceUb(a, b);
+  // Same normalization family; the fallback counts min(|A|,|B|) = 64
+  // matches vs the per-pair 32 — strictly looser, never tighter.
+  EXPECT_GT(fallback, in_budget);
+  EXPECT_DOUBLE_EQ(2.0 * 32.0 / (64.0 + 64.0), in_budget);
+  EXPECT_DOUBLE_EQ(2.0 * 64.0 / (64.0 + 65.0), fallback);
+}
+
+// Small-set sanity: well under budget, exact-intersection-style inputs.
+TEST(BlockingBudgetTest, UnderBudgetMatchesExpectedDice) {
+  std::vector<CharHist> a = {HistOf("customer"), HistOf("id")};
+  std::vector<CharHist> b = {HistOf("customer"), HistOf("zz")};
+  // "customer" matches itself; "id" and "zz" have no admissible partner.
+  EXPECT_DOUBLE_EQ(2.0 * 1.0 / 4.0, SoftDiceUb(a, b));
+}
+
+}  // namespace
+}  // namespace harmony

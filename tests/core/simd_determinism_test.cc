@@ -1,0 +1,150 @@
+// End-to-end SIMD determinism (ISSUE 10 satellite): the full ComputeMatrix
+// — single-stage and staged — must be bitwise-identical between the scalar
+// reference level and every accelerated level, across thread counts and
+// grains, on 20 seeds of synthetic schema pairs. Together with the
+// per-metric differential suite (tests/text/simd_differential_test.cc) this
+// extends the repo's standing invariant lattice — parallel == serial,
+// blocked == dense, staged single-stage == classic — with one more edge:
+// vector kernels == scalar kernels, all the way through the engine.
+//
+// Cross-build coverage: a -DHARMONY_SIMD=OFF binary compiles the identical
+// scalar reference paths this test pins the accelerated levels against
+// (ActiveLevel() folds to kScalar), so ON-at-kScalar == OFF by
+// construction, and this in-binary test carries the ON == OFF guarantee.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/match_engine.h"
+#include "synth/generator.h"
+#include "text/simd.h"
+
+namespace harmony {
+namespace {
+
+namespace simd = text::simd;
+
+class LevelGuard {
+ public:
+  LevelGuard() : saved_(simd::ActiveLevel()) {}
+  ~LevelGuard() { simd::SetActiveLevel(saved_); }
+
+ private:
+  simd::Level saved_;
+};
+
+synth::GeneratedPair MakePair(uint64_t seed) {
+  synth::PairSpec spec;
+  spec.seed = seed;
+  spec.source_concepts = 10;
+  spec.target_concepts = 8;
+  spec.shared_concepts = 4;
+  return synth::GeneratePair(spec);
+}
+
+core::MatchMatrix ComputeAt(const synth::GeneratedPair& pair,
+                            core::PipelineMode mode, size_t threads,
+                            size_t grain, simd::Level level) {
+  simd::SetActiveLevel(level);
+  core::MatchOptions options;
+  options.pipeline.mode = mode;
+  options.num_threads = threads;
+  options.grain = grain;
+  core::MatchEngine engine(pair.source, pair.target, options);
+  return engine.ComputeMatrix();
+}
+
+void ExpectSameMatrix(const core::MatchMatrix& want,
+                      const core::MatchMatrix& got) {
+  ASSERT_EQ(want.rows(), got.rows());
+  ASSERT_EQ(want.cols(), got.cols());
+  for (size_t r = 0; r < want.rows(); ++r) {
+    for (size_t c = 0; c < want.cols(); ++c) {
+      ASSERT_EQ(want.GetByIndex(r, c), got.GetByIndex(r, c))
+          << "cell (" << r << ", " << c << ")";
+    }
+  }
+}
+
+#define SKIP_IF_SCALAR_ONLY()                                             \
+  do {                                                                    \
+    if (simd::DetectLevel() == simd::Level::kScalar) {                    \
+      GTEST_SKIP() << "no accelerated level in this build/CPU — nothing " \
+                      "to compare";                                       \
+    }                                                                     \
+  } while (0)
+
+// 20 seeds × threads {1,2,4} × grains {0,1,3}: the single-stage matrix at
+// the best detected level equals the scalar-level serial reference bit for
+// bit. The scalar reference is computed once per seed at threads=1 — the
+// standing determinism suites already pin scalar parallel == scalar serial,
+// so one reference covers the whole sweep.
+TEST(SimdDeterminismTest, SingleStageMatchesScalarAcrossThreadsAndGrains) {
+  SKIP_IF_SCALAR_ONLY();
+  LevelGuard guard;
+  const size_t kThreadCounts[] = {1, 2, 4};
+  const size_t kGrains[] = {0, 1, 3};
+  for (uint64_t seed = 9100; seed < 9120; ++seed) {
+    auto pair = MakePair(seed);
+    core::MatchMatrix want = ComputeAt(pair, core::PipelineMode::kSingleStage,
+                                       1, 0, simd::Level::kScalar);
+    for (size_t threads : kThreadCounts) {
+      for (size_t grain : kGrains) {
+        SCOPED_TRACE(::testing::Message() << "seed " << seed << " threads "
+                                          << threads << " grain " << grain);
+        ExpectSameMatrix(
+            want, ComputeAt(pair, core::PipelineMode::kSingleStage, threads,
+                            grain, simd::DetectLevel()));
+      }
+    }
+  }
+}
+
+// Staged mode exercises the blocking/retrieval bound arithmetic and the
+// rerank blend on top of the voters — all of it must be level-invariant
+// too. Fewer seeds (the staged engine builds three indexes per
+// construction), full thread × grain sweep.
+TEST(SimdDeterminismTest, StagedMatchesScalarAcrossThreadsAndGrains) {
+  SKIP_IF_SCALAR_ONLY();
+  LevelGuard guard;
+  const size_t kThreadCounts[] = {1, 2, 4};
+  const size_t kGrains[] = {0, 1, 3};
+  for (uint64_t seed : {9100u, 9106u, 9111u, 9119u}) {
+    auto pair = MakePair(seed);
+    core::MatchMatrix want = ComputeAt(pair, core::PipelineMode::kStaged, 1,
+                                       0, simd::Level::kScalar);
+    for (size_t threads : kThreadCounts) {
+      for (size_t grain : kGrains) {
+        SCOPED_TRACE(::testing::Message() << "seed " << seed << " threads "
+                                          << threads << " grain " << grain);
+        ExpectSameMatrix(want,
+                         ComputeAt(pair, core::PipelineMode::kStaged, threads,
+                                   grain, simd::DetectLevel()));
+      }
+    }
+  }
+}
+
+// Every intermediate level agrees as well (kBitParallel without AVX2): the
+// level lattice is totally ordered, so any two levels agreeing with scalar
+// agree with each other — but test the middle level directly anyway so a
+// bitparallel-only regression cannot hide behind an AVX2-only CI machine.
+TEST(SimdDeterminismTest, EveryLevelAgreesOnSingleStage) {
+  SKIP_IF_SCALAR_ONLY();
+  LevelGuard guard;
+  auto pair = MakePair(9142);
+  core::MatchMatrix want = ComputeAt(pair, core::PipelineMode::kSingleStage,
+                                     2, 0, simd::Level::kScalar);
+  for (uint8_t l = 1; l <= static_cast<uint8_t>(simd::DetectLevel()); ++l) {
+    SCOPED_TRACE(::testing::Message()
+                 << "level " << simd::LevelName(static_cast<simd::Level>(l)));
+    ExpectSameMatrix(want,
+                     ComputeAt(pair, core::PipelineMode::kSingleStage, 2, 0,
+                               static_cast<simd::Level>(l)));
+  }
+}
+
+}  // namespace
+}  // namespace harmony

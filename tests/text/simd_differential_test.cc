@@ -1,0 +1,400 @@
+// The scalar/vector differential harness (ISSUE 10 satellite): every SIMD
+// string-metric kernel must return results BITWISE-identical to the scalar
+// reference — same distance, same double, same bits — for every metric, at
+// every supported level, on adversarial inputs, 20 seeds of random corpora,
+// and at every byte alignment 0..31 of the inputs inside an arena. This is
+// the suite that makes "which kernel ran" unobservable, which in turn is
+// what keeps the engine-wide determinism invariants (parallel == serial,
+// blocked == dense, SIMD build == scalar build) reducible to in-binary
+// checks.
+//
+// In a -DHARMONY_SIMD=OFF build (or on a CPU with no accelerated level)
+// there is nothing to differentiate against and the suite skips.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "text/simd.h"
+#include "text/string_metrics.h"
+#include "text/tfidf.h"
+
+namespace harmony {
+namespace {
+
+namespace simd = text::simd;
+
+// Restores the entry level on destruction so test order never leaks.
+class LevelGuard {
+ public:
+  LevelGuard() : saved_(simd::ActiveLevel()) {}
+  ~LevelGuard() { simd::SetActiveLevel(saved_); }
+
+ private:
+  simd::Level saved_;
+};
+
+std::vector<simd::Level> AcceleratedLevels() {
+  std::vector<simd::Level> levels;
+  if (simd::DetectLevel() >= simd::Level::kBitParallel) {
+    levels.push_back(simd::Level::kBitParallel);
+  }
+  if (simd::DetectLevel() >= simd::Level::kAvx2) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  return levels;
+}
+
+#define SKIP_IF_SCALAR_ONLY()                                              \
+  do {                                                                     \
+    if (simd::DetectLevel() == simd::Level::kScalar) {                     \
+      GTEST_SKIP() << "no accelerated level in this build/CPU — nothing "  \
+                      "to differentiate";                                  \
+    }                                                                      \
+  } while (0)
+
+// Bitwise double equality: NaN-safe and distinguishes -0.0 from +0.0,
+// which plain EXPECT_DOUBLE_EQ would let slide.
+void ExpectBitwiseEq(double want, double got, const char* what) {
+  EXPECT_EQ(std::bit_cast<uint64_t>(want), std::bit_cast<uint64_t>(got))
+      << what << ": scalar " << want << " vs vector " << got;
+}
+
+// Runs every string metric on (a, b) at kScalar, then re-runs at each
+// accelerated level and asserts bitwise equality.
+void DifferentialCheck(std::string_view a, std::string_view b) {
+  SCOPED_TRACE(::testing::Message()
+               << "a[" << a.size() << "]=\"" << std::string(a).substr(0, 40)
+               << "\" b[" << b.size() << "]=\"" << std::string(b).substr(0, 40)
+               << "\"");
+  text::MetricScratch scratch;
+  LevelGuard guard;
+
+  simd::SetActiveLevel(simd::Level::kScalar);
+  const size_t lev = text::LevenshteinDistance(a, b, scratch);
+  const double lev_sim = text::LevenshteinSimilarity(a, b, scratch);
+  const double jaro = text::JaroSimilarity(a, b, scratch);
+  const double jw = text::JaroWinklerSimilarity(a, b, scratch);
+  const double qgram2 = text::QGramSimilarity(a, b, 2, scratch);
+  const double qgram3 = text::QGramSimilarity(a, b, 3, scratch);
+
+  for (simd::Level level : AcceleratedLevels()) {
+    SCOPED_TRACE(::testing::Message() << "level " << simd::LevelName(level));
+    simd::SetActiveLevel(level);
+    // Fresh scratch per level: carried-over scratch state must not be able
+    // to mask (or cause) a divergence.
+    text::MetricScratch vec_scratch;
+    EXPECT_EQ(lev, text::LevenshteinDistance(a, b, vec_scratch)) << "lev";
+    ExpectBitwiseEq(lev_sim, text::LevenshteinSimilarity(a, b, vec_scratch),
+                    "lev_sim");
+    ExpectBitwiseEq(jaro, text::JaroSimilarity(a, b, vec_scratch), "jaro");
+    ExpectBitwiseEq(jw, text::JaroWinklerSimilarity(a, b, vec_scratch), "jw");
+    ExpectBitwiseEq(qgram2, text::QGramSimilarity(a, b, 2, vec_scratch),
+                    "qgram2");
+    ExpectBitwiseEq(qgram3, text::QGramSimilarity(a, b, 3, vec_scratch),
+                    "qgram3");
+    // And again with the reused scratch — the epoch-stamped peq table must
+    // behave identically on its second use.
+    EXPECT_EQ(lev, text::LevenshteinDistance(a, b, vec_scratch)) << "lev#2";
+    ExpectBitwiseEq(jaro, text::JaroSimilarity(a, b, vec_scratch), "jaro#2");
+  }
+}
+
+TEST(SimdDifferentialTest, AdversarialCases) {
+  SKIP_IF_SCALAR_ONLY();
+  const std::string all_equal_63(63, 'x');
+  const std::string all_equal_64(64, 'x');
+  const std::string all_equal_65(65, 'x');
+  // Raw UTF-8 bytes: the metrics are byte-oriented, and the kernels index
+  // peq by unsigned char — bytes >= 0x80 must not sign-extend.
+  const std::string utf8_a = "sch\xc3\xa9ma_\xc3\xa9l\xc3\xa9ment";
+  const std::string utf8_b = "schema_element";
+  const std::string high_bytes = "\x80\xff\xfe\x01\x7f\x80\xff";
+  const std::vector<std::string> cases = {
+      "",
+      "a",
+      "b",
+      "ab",
+      "ba",
+      "abcdefghijklmnopqrstuvwxyz",
+      "customer_id",
+      "cust_identifier",
+      all_equal_63,
+      all_equal_64,
+      all_equal_65,
+      all_equal_64 + "y",
+      utf8_a,
+      utf8_b,
+      high_bytes,
+      std::string("\x00\x01\x02", 3),  // embedded NUL bytes
+  };
+  for (const std::string& a : cases) {
+    for (const std::string& b : cases) {
+      DifferentialCheck(a, b);
+    }
+  }
+}
+
+// Lengths straddling every vector-width boundary the kernels care about:
+// the 64-bit word of the bit-parallel kernels (63/64/65) and the 8/16/32
+// lane groups (7..9, 15..17, 31..33), in every pairing, both as equal
+// strings and as near-misses (one substitution, one deletion).
+TEST(SimdDifferentialTest, BoundaryLengths) {
+  SKIP_IF_SCALAR_ONLY();
+  const size_t kLengths[] = {0, 1, 2, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 66};
+  Rng rng(0x51D0);
+  for (size_t la : kLengths) {
+    for (size_t lb : kLengths) {
+      std::string a(la, 'a'), b(lb, 'a');
+      for (size_t i = 0; i < la; ++i) a[i] = static_cast<char>('a' + (i % 5));
+      for (size_t i = 0; i < lb; ++i) b[i] = static_cast<char>('a' + (i % 5));
+      DifferentialCheck(a, b);
+      if (!b.empty()) {
+        std::string mutated = b;
+        mutated[static_cast<size_t>(rng.Uniform(
+            0, static_cast<int64_t>(b.size()) - 1))] = 'z';
+        DifferentialCheck(a, mutated);
+      }
+    }
+  }
+}
+
+// 20 seeds of random corpora: mixed alphabets (tight 4-letter for dense
+// matches, full byte range for the sign/overflow edges), lengths 0..80 so
+// both the <=64 bit-parallel paths and the >64 scalar fallbacks run.
+TEST(SimdDifferentialTest, RandomCorpora20Seeds) {
+  SKIP_IF_SCALAR_ONLY();
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "seed " << seed);
+    Rng rng(seed);
+    for (int pair = 0; pair < 40; ++pair) {
+      const bool tight = rng.Bernoulli(0.5);
+      auto make = [&](size_t max_len) {
+        std::string s(static_cast<size_t>(
+                          rng.Uniform(0, static_cast<int64_t>(max_len))),
+                      '\0');
+        for (char& c : s) {
+          c = tight ? static_cast<char>('a' + rng.Uniform(0, 3))
+                    : static_cast<char>(rng.Uniform(0, 255));
+        }
+        return s;
+      };
+      DifferentialCheck(make(80), make(80));
+    }
+  }
+}
+
+// Every metric, at every byte offset 0..31 into a shared arena: the kernels
+// take string_views wherever the caller's buffers put them, so a result
+// must never depend on the address alignment of its inputs. The scalar
+// reference is computed once from the offset-0 copy; every (offset, level)
+// combination must reproduce it bitwise.
+TEST(SimdDifferentialTest, AlignmentOffsets0To31) {
+  SKIP_IF_SCALAR_ONLY();
+  const std::string a_src = "part_identifier_code_9921";
+  const std::string b_src = "partidentifiercode";
+  text::MetricScratch scratch;
+  LevelGuard guard;
+
+  simd::SetActiveLevel(simd::Level::kScalar);
+  const size_t lev = text::LevenshteinDistance(a_src, b_src, scratch);
+  const double jaro = text::JaroSimilarity(a_src, b_src, scratch);
+  const double jw = text::JaroWinklerSimilarity(a_src, b_src, scratch);
+  const double qgram2 = text::QGramSimilarity(a_src, b_src, 2, scratch);
+
+  // a lives at [off_a, off_a + 25); b starts at 64 + off_b, past any a
+  // placement (max end 32 + 25 = 57), so the two copies never overlap.
+  std::vector<char> arena(64 + 32 + b_src.size());
+  for (size_t off_a = 0; off_a < 32; ++off_a) {
+    for (size_t off_b : {0u, 1u, 7u, 13u, 31u}) {
+      char* pa = arena.data() + off_a;
+      char* pb = arena.data() + 64 + off_b;
+      std::memcpy(pa, a_src.data(), a_src.size());
+      std::memcpy(pb, b_src.data(), b_src.size());
+      std::string_view a(pa, a_src.size());
+      std::string_view b(pb, b_src.size());
+      for (simd::Level level : AcceleratedLevels()) {
+        SCOPED_TRACE(::testing::Message()
+                     << "off_a " << off_a << " off_b " << off_b << " level "
+                     << simd::LevelName(level));
+        simd::SetActiveLevel(level);
+        EXPECT_EQ(lev, text::LevenshteinDistance(a, b, scratch));
+        ExpectBitwiseEq(jaro, text::JaroSimilarity(a, b, scratch), "jaro");
+        ExpectBitwiseEq(jw, text::JaroWinklerSimilarity(a, b, scratch), "jw");
+        ExpectBitwiseEq(qgram2, text::QGramSimilarity(a, b, 2, scratch),
+                        "qgram2");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SortedSparseDot: the cosine kernel behind the documentation voter.
+
+// A sorted sparse vector with its own padded backing store, optionally
+// placed `offset` elements into the buffer so the AVX2 loads hit every
+// 4-byte alignment class.
+struct PaddedVec {
+  std::vector<uint32_t> terms;
+  std::vector<double> weights;
+  uint32_t size = 0;
+  size_t offset = 0;
+
+  text::SortedVecView view() const {
+    return {terms.data() + offset, weights.data() + offset, size};
+  }
+};
+
+PaddedVec MakePadded(const std::vector<std::pair<uint32_t, double>>& entries,
+                     size_t offset) {
+  PaddedVec v;
+  v.offset = offset;
+  v.size = static_cast<uint32_t>(entries.size());
+  v.terms.assign(offset, 0);
+  v.weights.assign(offset, 0.0);
+  for (const auto& [t, w] : entries) {
+    v.terms.push_back(t);
+    v.weights.push_back(w);
+  }
+  // Mirror ProfileView::Build's contract: at least one sentinel (so the
+  // block walk always terminates inside the run), then pad to the block
+  // boundary.
+  do {
+    v.terms.push_back(text::kDocTermSentinel);
+    v.weights.push_back(0.0);
+  } while ((v.terms.size() - offset) % text::kDocTermBlock != 0);
+  return v;
+}
+
+std::vector<std::pair<uint32_t, double>> RandomSortedEntries(Rng& rng,
+                                                            size_t max_terms,
+                                                            uint32_t universe) {
+  std::vector<std::pair<uint32_t, double>> entries;
+  uint32_t term = 0;
+  size_t want = static_cast<size_t>(
+      rng.Uniform(0, static_cast<int64_t>(max_terms)));
+  while (entries.size() < want && term < universe) {
+    term += static_cast<uint32_t>(rng.Uniform(1, 5));
+    entries.emplace_back(term, rng.NextDouble() * 2.0 - 1.0);
+  }
+  return entries;
+}
+
+TEST(SimdDifferentialTest, SortedSparseDotRandom20Seeds) {
+  SKIP_IF_SCALAR_ONLY();
+  LevelGuard guard;
+  for (uint64_t seed = 100; seed < 120; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "seed " << seed);
+    Rng rng(seed);
+    for (int rep = 0; rep < 50; ++rep) {
+      auto ea = RandomSortedEntries(rng, 40, 400);
+      auto eb = RandomSortedEntries(rng, 40, 400);
+      PaddedVec a = MakePadded(ea, 0);
+      PaddedVec b = MakePadded(eb, 0);
+
+      simd::SetActiveLevel(simd::Level::kScalar);
+      const double want = text::SortedSparseDot(a.view(), b.view());
+      for (simd::Level level : AcceleratedLevels()) {
+        SCOPED_TRACE(::testing::Message() << "level "
+                                          << simd::LevelName(level));
+        simd::SetActiveLevel(level);
+        ExpectBitwiseEq(want, text::SortedSparseDot(a.view(), b.view()),
+                        "dot");
+        // Symmetric call — both orders must agree with their scalar twin.
+        simd::SetActiveLevel(simd::Level::kScalar);
+        const double want_rev = text::SortedSparseDot(b.view(), a.view());
+        simd::SetActiveLevel(level);
+        ExpectBitwiseEq(want_rev, text::SortedSparseDot(b.view(), a.view()),
+                        "dot_rev");
+      }
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, SortedSparseDotEdgeShapes) {
+  SKIP_IF_SCALAR_ONLY();
+  LevelGuard guard;
+  using Entries = std::vector<std::pair<uint32_t, double>>;
+  const Entries empty;
+  const Entries one = {{7, 0.5}};
+  Entries block7, block8, block9, sparse_far;
+  for (uint32_t i = 0; i < 7; ++i) block7.push_back({i * 3, 0.1 * (i + 1)});
+  for (uint32_t i = 0; i < 8; ++i) block8.push_back({i * 3, 0.1 * (i + 1)});
+  for (uint32_t i = 0; i < 9; ++i) block9.push_back({i * 3, 0.1 * (i + 1)});
+  // Forces multi-block advance: a-terms far beyond b's first blocks.
+  for (uint32_t i = 0; i < 24; ++i) sparse_far.push_back({i * 97, 1.0});
+  const std::vector<Entries> shapes = {empty, one,    block7,
+                                       block8, block9, sparse_far};
+  for (const Entries& ea : shapes) {
+    for (const Entries& eb : shapes) {
+      PaddedVec a = MakePadded(ea, 0);
+      PaddedVec b = MakePadded(eb, 0);
+      simd::SetActiveLevel(simd::Level::kScalar);
+      const double want = text::SortedSparseDot(a.view(), b.view());
+      for (simd::Level level : AcceleratedLevels()) {
+        simd::SetActiveLevel(level);
+        ExpectBitwiseEq(want, text::SortedSparseDot(a.view(), b.view()),
+                        "dot");
+      }
+    }
+  }
+}
+
+// The dot at every element offset 0..31 of both operands' backing stores:
+// unaligned AVX2 loads must return the same bits wherever the arena starts.
+TEST(SimdDifferentialTest, SortedSparseDotAlignmentOffsets) {
+  SKIP_IF_SCALAR_ONLY();
+  LevelGuard guard;
+  Rng rng(0xA11);
+  auto ea = RandomSortedEntries(rng, 30, 300);
+  auto eb = RandomSortedEntries(rng, 30, 300);
+
+  PaddedVec a0 = MakePadded(ea, 0);
+  PaddedVec b0 = MakePadded(eb, 0);
+  simd::SetActiveLevel(simd::Level::kScalar);
+  const double want = text::SortedSparseDot(a0.view(), b0.view());
+
+  for (size_t off_a = 0; off_a < 32; ++off_a) {
+    for (size_t off_b = 0; off_b < 32; ++off_b) {
+      PaddedVec a = MakePadded(ea, off_a);
+      PaddedVec b = MakePadded(eb, off_b);
+      for (simd::Level level : AcceleratedLevels()) {
+        SCOPED_TRACE(::testing::Message()
+                     << "off_a " << off_a << " off_b " << off_b << " level "
+                     << simd::LevelName(level));
+        simd::SetActiveLevel(level);
+        ExpectBitwiseEq(want, text::SortedSparseDot(a.view(), b.view()),
+                        "dot");
+      }
+    }
+  }
+}
+
+// Guardrail on the dispatch plumbing itself: parsing and clamping.
+TEST(SimdDifferentialTest, LevelParseAndClamp) {
+  simd::Level level;
+  EXPECT_TRUE(simd::ParseLevel("scalar", &level));
+  EXPECT_EQ(simd::Level::kScalar, level);
+  EXPECT_TRUE(simd::ParseLevel("off", &level));
+  EXPECT_EQ(simd::Level::kScalar, level);
+  EXPECT_TRUE(simd::ParseLevel("bitparallel", &level));
+  EXPECT_EQ(simd::Level::kBitParallel, level);
+  EXPECT_TRUE(simd::ParseLevel("avx2", &level));
+  EXPECT_EQ(simd::Level::kAvx2, level);
+  EXPECT_TRUE(simd::ParseLevel("auto", &level));
+  EXPECT_EQ(simd::DetectLevel(), level);
+  EXPECT_FALSE(simd::ParseLevel("sse9", &level));
+
+  LevelGuard guard;
+  simd::SetActiveLevel(simd::Level::kAvx2);
+  EXPECT_LE(simd::ActiveLevel(), simd::DetectLevel());  // clamped, not trusted
+}
+
+}  // namespace
+}  // namespace harmony
